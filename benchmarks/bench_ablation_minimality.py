@@ -1,0 +1,116 @@
+"""Section 5 ablation: what maintaining minimal supertypes buys.
+
+Two claims to quantify:
+
+1. "To resolve property naming conflicts in a type, it would only be
+   necessary to iterate through the minimal supertypes of that type" —
+   the minimal scan touches |P(t)|+1 interfaces instead of |PL(t)| and
+   must return the *same* conflicts.
+2. "A user would only need to see the minimal subtype relationships in
+   order to understand the complete functionality of a type" — the
+   minimal edge view draws Σ|P| edges instead of Σ|Pe|.
+"""
+
+import pytest
+
+from repro.analysis import (
+    LatticeSpec,
+    lattice_metrics,
+    measure_conflict_scan,
+    random_lattice,
+)
+from repro.orion.conflict import (
+    find_name_conflicts_full,
+    find_name_conflicts_minimal,
+)
+from repro.viz import format_table
+
+
+def test_regenerate_conflict_scan_ablation(record_artifact):
+    rows = measure_conflict_scan(n_types=150, seed=11, repeats=3, sample=8)
+    table = format_table(
+        ["type", "|P(t)|", "|PL(t)|", "minimal scan (µs)",
+         "full scan (µs)", "same conflicts"],
+        [
+            (r.type_name, str(r.p_size), str(r.pl_size),
+             f"{r.minimal_seconds * 1e6:.1f}",
+             f"{r.full_seconds * 1e6:.1f}",
+             "yes" if r.agree else "NO")
+            for r in rows
+        ],
+    )
+    record_artifact("ablation_conflict_scan.txt",
+                    "Conflict detection: minimal P(t) scan vs full PL(t) scan\n\n"
+                    + table)
+    assert all(r.agree for r in rows)          # same answer
+    assert all(r.p_size <= r.pl_size for r in rows)  # touching less
+
+
+def test_regenerate_display_economy(record_artifact):
+    lines = ["Lattice display: minimal vs essential edge counts", ""]
+    rows = []
+    for prob in (0.0, 0.2, 0.5, 0.8):
+        lattice = random_lattice(
+            LatticeSpec(n_types=100, seed=13, extra_essential_prob=prob)
+        )
+        m = lattice_metrics(lattice)
+        rows.append(
+            (f"{prob:.1f}", str(m.essential_edges), str(m.minimal_edges),
+             f"{m.edge_reduction:.0%}")
+        )
+    table = format_table(
+        ["extra-essential prob", "Σ|Pe| (edges stored)",
+         "Σ|P| (edges drawn)", "reduction"],
+        rows,
+    )
+    record_artifact("ablation_display_economy.txt",
+                    "\n".join(lines) + table)
+    # More redundant essentials -> bigger payoff from minimality.
+    reductions = [float(r[3].rstrip("%")) for r in rows]
+    assert reductions[-1] > reductions[0]
+
+
+@pytest.mark.parametrize("scan", ["minimal", "full"])
+def test_bench_conflict_scan(benchmark, scan):
+    lattice = random_lattice(
+        LatticeSpec(n_types=200, seed=11, properties_per_type=3,
+                    n_property_names=6, extra_essential_prob=0.5)
+    )
+    lattice.derivation
+    deep = max(
+        (t for t in lattice.types() if t != lattice.base),
+        key=lambda t: len(lattice.pl(t)),
+    )
+    fn = (
+        find_name_conflicts_minimal if scan == "minimal"
+        else find_name_conflicts_full
+    )
+    benchmark(lambda: fn(lattice, deep))
+
+
+def test_minimal_and_full_agree_everywhere(benchmark):
+    lattice = random_lattice(
+        LatticeSpec(n_types=120, seed=17, properties_per_type=3,
+                    n_property_names=5, extra_essential_prob=0.4)
+    )
+    lattice.derivation
+
+    def agree_on_all_types() -> bool:
+        return all(
+            find_name_conflicts_minimal(lattice, t)
+            == find_name_conflicts_full(lattice, t)
+            for t in lattice.types()
+        )
+
+    assert benchmark(agree_on_all_types)
+
+
+@pytest.mark.parametrize("view", ["minimal", "essential"])
+def test_bench_dot_rendering(benchmark, view):
+    from repro.viz import to_dot
+
+    lattice = random_lattice(
+        LatticeSpec(n_types=150, seed=13, extra_essential_prob=0.6)
+    )
+    lattice.derivation
+    benchmark(lambda: to_dot(lattice, use_essential=(view == "essential")))

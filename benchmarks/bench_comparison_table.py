@@ -1,0 +1,68 @@
+"""Section 5: the five-system comparison through the common framework.
+
+Regenerates the capability table ("By reducing systems to the axiomatic
+model, their functionality ... can be compared within a common
+framework") and benchmarks each system's reduction.
+"""
+
+import pytest
+
+from repro.core import check_all
+from repro.orion import OrionProperty
+from repro.systems import (
+    EncoreSchema,
+    GemStoneSchema,
+    OrionSystem,
+    SherpaSchema,
+    TigukatSystem,
+)
+from repro.viz import render_comparison
+
+
+def populated_systems():
+    tig = TigukatSystem()
+    mgr_store = tig.store
+    mgr_store.define_stored_behavior("p.name", "name", "T_string")
+    mgr_store.add_type("T_P", behaviors=("p.name",))
+    mgr_store.add_type("T_S", supertypes=("T_P",))
+
+    orion = OrionSystem()
+    orion.reduced.op6("P")
+    orion.reduced.op1("P", OrionProperty("name", "STRING"))
+    orion.reduced.op6("S", "P")
+
+    gs = GemStoneSchema()
+    gs.define_class("P")
+    gs.add_instance_variable("P", "name", "String")
+    gs.define_class("S", "P")
+
+    enc = EncoreSchema()
+    enc.define_type("P", {"name"})
+    enc.add_property("P", "age")
+
+    sherpa = SherpaSchema()
+    sherpa.add_class("P")
+    sherpa.add_property("P", OrionProperty("name", "STRING"))
+    sherpa.add_class("S", "P")
+    return [tig, orion, gs, enc, sherpa]
+
+
+def test_regenerate_comparison_table(record_artifact):
+    systems = populated_systems()
+    text = render_comparison(*systems)
+    record_artifact("section5_comparison.txt", text)
+    # Section 5 headline rows:
+    assert "minimal_supertypes" in text
+    assert "drop_order_independent" in text
+    assert "axioms_reducible_to_it" in text
+
+
+@pytest.mark.parametrize(
+    "index,name",
+    [(0, "TIGUKAT"), (1, "Orion"), (2, "GemStone"), (3, "Encore"),
+     (4, "Sherpa")],
+)
+def test_bench_reduction(benchmark, index, name):
+    system = populated_systems()[index]
+    lattice = benchmark(system.to_axiomatic)
+    assert check_all(lattice) == [], name

@@ -1,0 +1,153 @@
+"""Section 6's deferred study: empirical performance characteristics.
+
+Full re-derivation vs. incremental recomputation across lattice sizes
+(the optimization the paper alludes to with "several optimizations can be
+made to the way in which the axioms generate their results"), plus the
+change-propagation strategy trade-off (conversion pays at change time,
+screening at access time).
+"""
+
+import pytest
+
+from repro.analysis import (
+    LatticeSpec,
+    measure_derivation_scaling,
+    random_lattice,
+)
+from repro.core import prop
+from repro.viz import format_table
+
+
+def test_regenerate_scaling_study(record_artifact):
+    rows = measure_derivation_scaling(
+        sizes=(10, 50, 100, 250, 500), repeats=3
+    )
+    table = format_table(
+        ["|T|", "full derivation (ms)", "incremental leaf change (ms)",
+         "speedup"],
+        [
+            (str(r.n_types), f"{r.full_seconds * 1e3:.3f}",
+             f"{r.incremental_seconds * 1e3:.3f}", f"{r.speedup:.1f}x")
+            for r in rows
+        ],
+    )
+    record_artifact(
+        "complexity_scaling.txt",
+        "Deferred complexity study: full vs incremental recomputation\n\n"
+        + table,
+    )
+    # Shape: on large lattices the incremental path must win clearly.
+    assert rows[-1].speedup > 2.0
+
+
+@pytest.mark.parametrize("n", [50, 200, 500])
+def test_bench_incremental_leaf_change(benchmark, n):
+    lattice = random_lattice(LatticeSpec(n_types=n, seed=3))
+    lattice.derivation
+    leaf = max(
+        (t for t in lattice.types() if t not in (lattice.root, lattice.base)),
+        key=lambda t: len(lattice.pl(t)),
+    )
+    flip = prop(f"{leaf}.flip")
+
+    def change():
+        lattice.add_essential_property(leaf, flip)
+        lattice.derivation
+        lattice.drop_essential_property(leaf, flip)
+        lattice.derivation
+
+    benchmark(change)
+
+
+@pytest.mark.parametrize("n", [50, 200, 500])
+def test_bench_full_recompute(benchmark, n):
+    lattice = random_lattice(LatticeSpec(n_types=n, seed=3))
+
+    def full():
+        lattice.invalidate_cache()
+        lattice.derivation
+
+    benchmark(full)
+
+
+def test_regenerate_propagation_tradeoff(record_artifact):
+    """Conversion vs screening: where the coercion cost lands."""
+    import time
+
+    from repro.propagation import ConversionStrategy, ScreeningStrategy
+    from repro.tigukat import Objectbase, SchemaManager
+
+    rows = []
+    for n_instances in (100, 1000):
+        for strategy_name in ("conversion", "screening"):
+            store = Objectbase()
+            mgr = SchemaManager(store)
+            store.define_stored_behavior("d.a", "a")
+            store.define_stored_behavior("d.b", "b")
+            mgr.at("T_doc", behaviors=("d.a", "d.b"), with_class=True)
+            objs = [
+                store.create_object("T_doc", a=i, b=i) for i in range(n_instances)
+            ]
+            strategy = (
+                ConversionStrategy(store) if strategy_name == "conversion"
+                else ScreeningStrategy(store)
+            )
+            start = time.perf_counter()
+            mgr.mt_db("T_doc", "d.b")
+            strategy.on_schema_change(frozenset({"T_doc"}))
+            change_time = time.perf_counter() - start
+
+            start = time.perf_counter()
+            for obj in objs[: n_instances // 10]:  # 10% get accessed
+                strategy.read_slot(obj, "d.a")
+            access_time = time.perf_counter() - start
+            rows.append(
+                (str(n_instances), strategy_name,
+                 f"{change_time * 1e3:.2f}", f"{access_time * 1e3:.2f}",
+                 str(strategy.coerced_count))
+            )
+    table = format_table(
+        ["instances", "strategy", "change-time (ms)",
+         "access-time 10% (ms)", "instances coerced"],
+        rows,
+    )
+    record_artifact(
+        "complexity_propagation_tradeoff.txt",
+        "Change propagation: conversion (eager) vs screening (lazy)\n\n"
+        + table,
+    )
+    # Shape: screening coerces only the accessed 10%, conversion all.
+    conv = [r for r in rows if r[1] == "conversion"]
+    scr = [r for r in rows if r[1] == "screening"]
+    assert all(int(c[4]) > int(s[4]) for c, s in zip(conv, scr))
+
+
+def test_regenerate_propagation_crossover(record_artifact):
+    """Sweep the access ratio: where does eager conversion stop losing?"""
+    from repro.analysis import measure_propagation_crossover
+
+    rows = measure_propagation_crossover(
+        n_instances=1500,
+        access_ratios=(0.0, 0.1, 0.25, 0.5, 0.75, 1.0),
+        repeats=3,
+    )
+    table = format_table(
+        ["access ratio", "conversion (ms)", "screening (ms)",
+         "cheaper strategy"],
+        [
+            (f"{r.access_ratio:.2f}", f"{r.conversion_seconds * 1e3:.2f}",
+             f"{r.screening_seconds * 1e3:.2f}", r.winner)
+            for r in rows
+        ],
+    )
+    record_artifact(
+        "complexity_propagation_crossover.txt",
+        "Propagation crossover: total cost vs fraction of instances "
+        "accessed after the change\n\n" + table,
+    )
+    # Shape: screening's advantage shrinks monotonically-ish with the
+    # access ratio — the gap at 0% access dwarfs the gap at 100%.
+    gap_none = rows[0].conversion_seconds - rows[0].screening_seconds
+    gap_full = rows[-1].conversion_seconds - rows[-1].screening_seconds
+    assert gap_none > 0
+    assert gap_full < gap_none

@@ -1,0 +1,95 @@
+"""Figure 1: the simple type lattice and the Section 2 worked example.
+
+Regenerates the figure (ASCII, level layout, DOT), re-derives every set
+the paper states for it, asserts each stated value, and benchmarks the
+build + the worked-example drop sequence.
+"""
+
+from repro.core import build_figure1_lattice, check_all, prop, verify
+from repro.viz import render_lattice, render_levels, render_type_card, to_dot
+
+
+def test_regenerate_figure1(record_artifact):
+    lattice = build_figure1_lattice()
+    text = "\n\n".join(
+        [
+            "Figure 1: simple type lattice (minimal P-edge view)",
+            render_lattice(lattice),
+            "Level layout (paper orientation):",
+            render_levels(lattice),
+            "Worked-example type card:",
+            render_type_card(lattice, "T_teachingAssistant"),
+            "DOT:",
+            to_dot(lattice, name="figure1"),
+        ]
+    )
+    record_artifact("figure1_lattice.txt", text)
+
+    # Every value the paper states for Figure 1:
+    assert lattice.p("T_teachingAssistant") == {"T_student", "T_employee"}
+    assert lattice.pl("T_employee") == {
+        "T_employee", "T_person", "T_taxSource", "T_object"
+    }
+    assert lattice.pe("T_teachingAssistant") >= {
+        "T_student", "T_employee", "T_person", "T_object"
+    }
+    assert "T_taxSource" not in lattice.pe("T_teachingAssistant")
+    assert check_all(lattice) == [] and verify(lattice).ok
+
+
+def test_regenerate_worked_drops(record_artifact):
+    lattice = build_figure1_lattice()
+    steps = ["Worked example: dropping essential supertypes of T_teachingAssistant", ""]
+    steps.append("P before any drop: "
+                 + str(sorted(lattice.p("T_teachingAssistant"))))
+    lattice.drop_essential_supertype("T_teachingAssistant", "T_student")
+    steps.append("after dropping T_student:  "
+                 + str(sorted(lattice.p("T_teachingAssistant"))))
+    assert lattice.p("T_teachingAssistant") == {"T_employee"}
+    lattice.drop_essential_supertype("T_teachingAssistant", "T_employee")
+    steps.append("after dropping T_employee: "
+                 + str(sorted(lattice.p("T_teachingAssistant"))))
+    assert lattice.p("T_teachingAssistant") == {"T_person"}
+    steps.append(
+        "T_taxSource lost (was not essential): "
+        + str("T_taxSource" not in lattice.pl("T_teachingAssistant"))
+    )
+    record_artifact("figure1_worked_drops.txt", "\n".join(steps))
+
+
+def test_regenerate_taxbracket_adoption(record_artifact):
+    lattice = build_figure1_lattice()
+    tb = prop("taxSource.taxBracket")
+    lines = [
+        "Essential-property adoption (taxBracket example)",
+        f"before DT(T_taxSource): taxBracket native in T_employee = "
+        f"{tb in lattice.n('T_employee')}",
+    ]
+    lattice.drop_type("T_taxSource")
+    lines.append(
+        f"after DT(T_taxSource):  taxBracket native in T_employee = "
+        f"{tb in lattice.n('T_employee')}"
+    )
+    assert tb in lattice.n("T_employee")
+    record_artifact("figure1_taxbracket_adoption.txt", "\n".join(lines))
+
+
+def test_bench_build_figure1(benchmark):
+    result = benchmark(build_figure1_lattice)
+    assert len(result) == 7
+
+
+def test_bench_worked_drop_sequence(benchmark):
+    def drops():
+        lattice = build_figure1_lattice()
+        lattice.drop_essential_supertype("T_teachingAssistant", "T_student")
+        lattice.drop_essential_supertype("T_teachingAssistant", "T_employee")
+        return lattice.p("T_teachingAssistant")
+
+    assert benchmark(drops) == {"T_person"}
+
+
+def test_bench_verify_figure1(benchmark):
+    lattice = build_figure1_lattice()
+    report = benchmark(lambda: verify(lattice))
+    assert report.ok

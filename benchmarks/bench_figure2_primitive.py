@@ -1,0 +1,66 @@
+"""Figure 2: the primitive type system of TIGUKAT.
+
+Regenerates the bootstrap lattice, asserts its shape (root, base, meta
+types under T_class, the atomic chain), and benchmarks objectbase
+bootstrap plus the uniform B_* behavior applications.
+"""
+
+from repro.core import check_all, verify
+from repro.tigukat import Objectbase
+from repro.viz import render_lattice, to_dot
+
+
+def test_regenerate_figure2(record_artifact):
+    store = Objectbase()
+    text = "\n\n".join(
+        [
+            "Figure 2: primitive type system of TIGUKAT",
+            render_lattice(store.lattice),
+            "DOT:",
+            to_dot(store.lattice, name="figure2"),
+        ]
+    )
+    record_artifact("figure2_primitive.txt", text)
+
+    lat = store.lattice
+    assert lat.root == "T_object" and lat.base == "T_null"
+    assert lat.p("T_class") == {"T_collection"}
+    for meta in ("T_type-class", "T_class-class", "T_collection-class"):
+        assert lat.p(meta) == {"T_class"}
+    assert lat.p("T_natural") == {"T_integer"}
+    assert lat.p("T_integer") == {"T_real"}
+    assert check_all(lat) == [] and verify(lat).ok
+
+
+def test_bench_bootstrap(benchmark):
+    store = benchmark(Objectbase)
+    assert "T_type" in store.lattice
+
+
+def test_bench_uniform_behavior_application(benchmark):
+    """Applying the five schema behaviors to a type object — schema
+    queried through the uniform behavioral interface."""
+    store = Objectbase()
+    store.define_stored_behavior("x.b", "b")
+    store.add_type("T_x", behaviors=("x.b",))
+    t = store.type_object("T_x")
+
+    def apply_all_five():
+        store.apply(t, "supertypes")
+        store.apply(t, "super-lattice")
+        store.apply(t, "interface")
+        store.apply(t, "native")
+        store.apply(t, "inherited")
+
+    benchmark(apply_all_five)
+
+
+def test_bench_b_new_type_creation(benchmark):
+    store = Objectbase()
+    t_type = store.type_object("T_type")
+
+    def create_and_drop():
+        created = store.apply(t_type, "new", (), ())
+        store.drop_type(created.name)
+
+    benchmark(create_and_drop)

@@ -1,0 +1,120 @@
+"""Section 4: OP1-OP8 and the Orion → axiomatic reduction.
+
+Regenerates the reduction-equivalence evidence (native and reduced agree
+after a large random OP stream; the reverse direction has a concrete
+counterexample), and benchmarks each OP natively vs. through the
+axiomatic model — the price of deriving minimal supertypes Orion never
+maintains.
+"""
+
+import pytest
+
+from repro.analysis import LatticeSpec, random_orion_pair
+from repro.orion import (
+    OrionOps,
+    OrionProperty,
+    ReducedOrion,
+    check_equivalent,
+    reverse_reduction_counterexample,
+)
+from repro.viz import format_table
+
+
+def test_regenerate_reduction_evidence(record_artifact):
+    native, reduced = random_orion_pair(LatticeSpec(n_types=40, seed=9))
+    report = check_equivalent(native.db, reduced)
+    cx = reverse_reduction_counterexample()
+    text = "\n".join(
+        [
+            "Orion -> axiomatic model reduction (Section 4)",
+            f"random schema: {len(native.db)} classes",
+            f"equivalence after construction: {report.equivalent}",
+            "",
+            "Reverse direction (axioms -> Orion) counterexample:",
+            f"  P(A) = P(B) before drop: {cx['identical_p_before']}",
+            f"  P(A) after drop: {sorted(cx['p_A_after'])}",
+            f"  P(B) after drop: {sorted(cx['p_B_after'])}",
+            f"  states diverge (Orion cannot represent the difference): "
+            f"{cx['diverged']}",
+        ]
+    )
+    record_artifact("orion_reduction.txt", text)
+    assert report.equivalent
+    assert cx["diverged"]
+
+
+def test_regenerate_op_semantics_table(record_artifact):
+    """The eight operations and their axiomatic renderings, as a table."""
+    rows = [
+        ("OP1", "add property v to C", "add v to Ne(C)"),
+        ("OP2", "drop property v from C", "drop v from Ne(C)"),
+        ("OP3", "make S a superclass of C", "append S to ordered Pe(C); reject on cycle"),
+        ("OP4", "remove S as superclass of C", "remove from Pe(C); last edge links C to Pe(S); REJECT if last is OBJECT"),
+        ("OP5", "reorder superclasses of C", "reorder Pe(C) (conflict metadata only)"),
+        ("OP6", "add class C under S", "create C, Pe(C)={S}; default S=OBJECT"),
+        ("OP7", "drop class S", "OP4(C,S) for every subclass C, then remove S"),
+        ("OP8", "rename C", "re-reference C in every Pe"),
+    ]
+    text = format_table(["OP", "Orion semantics", "axiomatic rendering"], rows)
+    record_artifact("orion_op_semantics.txt", text)
+
+
+def lockstep_pair():
+    native, reduced = OrionOps(), ReducedOrion()
+    for target in (native, reduced):
+        target.op6("A")
+        target.op6("B", "A")
+        target.op6("C", "A")
+        target.op6("D", "B")
+        target.op3("D", "C")
+        target.op1("A", OrionProperty("name", "STRING"))
+    return native, reduced
+
+
+@pytest.mark.parametrize("side", ["native", "reduced"])
+def test_bench_op1_op2_property_lifecycle(benchmark, side):
+    native, reduced = lockstep_pair()
+    target = native if side == "native" else reduced
+
+    def add_and_drop():
+        target.op1("D", OrionProperty("bench_prop", "OBJECT"))
+        target.op2("D", "bench_prop")
+
+    benchmark(add_and_drop)
+
+
+@pytest.mark.parametrize("side", ["native", "reduced"])
+def test_bench_op3_op4_edge_cycle(benchmark, side):
+    native, reduced = lockstep_pair()
+    target = native if side == "native" else reduced
+
+    def edge_cycle():
+        target.op3("B", "C")
+        target.op4("B", "C")
+
+    benchmark(edge_cycle)
+
+
+@pytest.mark.parametrize("side", ["native", "reduced"])
+def test_bench_op6_op7_class_lifecycle(benchmark, side):
+    native, reduced = lockstep_pair()
+    target = native if side == "native" else reduced
+    counter = iter(range(10**6))
+
+    def lifecycle():
+        name = f"X{next(counter)}"
+        target.op6(name, "B")
+        target.op7(name)
+
+    benchmark(lifecycle)
+
+
+def test_bench_full_random_stream_differential(benchmark):
+    """Build a 25-class schema natively AND reduced, then verify
+    equivalence — the whole differential check as one unit."""
+
+    def build_and_check():
+        native, reduced = random_orion_pair(LatticeSpec(n_types=25, seed=3))
+        return check_equivalent(native.db, reduced).equivalent
+
+    assert benchmark(build_and_check)

@@ -1,0 +1,49 @@
+"""Longevity: sustained dynamic evolution while the system is in
+operation (the paper's Section 1 operating regime, measured).
+
+Regenerates a session report (operation mix, rejection rate, invariant
+checks) and benchmarks sustained operation throughput with invariant
+checking in the loop.
+"""
+
+from repro.analysis import SoakSession
+from repro.viz import format_table
+
+
+def test_regenerate_soak_report(record_artifact):
+    session = SoakSession(seed=42, check_every=25)
+    report = session.run(1500)
+    mix = format_table(
+        ["operation", "accepted", "rejected"],
+        [
+            (op, str(report.accepted.get(op, 0)),
+             str(report.rejected.get(op, 0)))
+            for op in sorted(set(report.accepted) | set(report.rejected))
+        ],
+    )
+    text = "\n\n".join(
+        [
+            "Soak session: 1500 interleaved schema/instance operations",
+            format_table(["summary", "value"], report.summary_rows()),
+            mix,
+            f"final lattice size: {len(session.store.lattice)} types, "
+            f"{session.store.object_count()} objects",
+        ]
+    )
+    record_artifact("soak_session.txt", text)
+    assert report.ok
+
+
+def test_bench_soak_throughput(benchmark):
+    def run_session():
+        return SoakSession(seed=9, check_every=50).run(200).ok
+
+    assert benchmark(run_session)
+
+
+def test_bench_soak_step_with_full_checking(benchmark):
+    session = SoakSession(seed=10, check_every=1)
+    session.run(100)  # warm up to a realistic store size
+
+    benchmark(session.step)
+    assert session.report.ok

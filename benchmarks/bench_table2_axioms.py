@@ -1,0 +1,55 @@
+"""Table 2: the nine axioms — regeneration and checking/derivation cost.
+
+Regenerates the axioms table with live status on the Figure 1 lattice,
+then benchmarks (a) the full axiom check, (b) each individual axiom, and
+(c) the derivation engine across lattice sizes — the paper's deferred
+"empirical evidence of its performance characteristics".
+"""
+
+import pytest
+
+from repro.analysis import LatticeSpec, random_lattice
+from repro.core import ALL_AXIOMS, build_figure1_lattice, check_all, derive
+from repro.viz import format_table, render_table2
+
+
+def test_regenerate_table2(record_artifact):
+    lattice = build_figure1_lattice()
+    text = render_table2(lattice)
+    record_artifact("table2_axioms.txt", text)
+    assert text.count("holds") == 9  # all nine axioms hold on Figure 1
+
+
+def test_regenerate_axiom_costs(record_artifact):
+    from repro.analysis import measure_axiom_costs
+
+    costs = measure_axiom_costs(n_types=150, repeats=3)
+    text = format_table(
+        ["Axiom", "median check time (µs), |T|=152"],
+        [(name, f"{seconds * 1e6:.1f}") for name, seconds in costs],
+    )
+    record_artifact("table2_axiom_costs.txt", text)
+    assert len(costs) == 9
+
+
+def test_bench_check_all_axioms_figure1(benchmark):
+    lattice = build_figure1_lattice()
+    lattice.derivation
+    result = benchmark(lambda: check_all(lattice))
+    assert result == []
+
+
+@pytest.mark.parametrize("axiom", ALL_AXIOMS, ids=lambda a: a.name)
+def test_bench_each_axiom(benchmark, axiom):
+    lattice = random_lattice(LatticeSpec(n_types=100, seed=2))
+    lattice.derivation
+    violations = benchmark(lambda: axiom.check(lattice))
+    assert violations == []
+
+
+@pytest.mark.parametrize("n", [10, 50, 200, 500])
+def test_bench_full_derivation_scaling(benchmark, n):
+    lattice = random_lattice(LatticeSpec(n_types=n, seed=4))
+    pe, ne = lattice._pe_view(), lattice._ne_view()
+    result = benchmark(lambda: derive(pe, ne))
+    assert len(result.p) == n + 2

@@ -1,0 +1,151 @@
+"""Table 3: the classification of schema changes — regeneration plus a
+latency benchmark for every bold (schema-evolution) operation.
+
+The paper classifies 6 object categories × 3 operation kinds; the bold
+entries constitute dynamic schema evolution.  Each bold operation is
+timed against a mid-sized TIGUKAT objectbase.
+"""
+
+import pytest
+
+from repro.tigukat import (
+    FunctionKind,
+    Objectbase,
+    SchemaManager,
+    schema_evolution_codes,
+)
+from repro.viz import render_table3
+
+
+def test_regenerate_table3(record_artifact):
+    text = render_table3()
+    record_artifact("table3_classification.txt", text)
+    # 13 bold operation codes, as in the paper.
+    assert len(schema_evolution_codes()) == 13
+
+
+def make_base(n_types: int = 30) -> tuple[Objectbase, SchemaManager]:
+    store = Objectbase()
+    mgr = SchemaManager(store)
+    for i in range(n_types):
+        store.define_stored_behavior(f"t{i}.b", f"b{i}")
+        supers = (f"T_app{i - 1}",) if i else ()
+        mgr.at(f"T_app{i}", supers, (f"t{i}.b",),
+               with_class=(i % 2 == 0))
+    return store, mgr
+
+
+def test_bench_at(benchmark):
+    store, mgr = make_base()
+    counter = iter(range(10**6))
+
+    def at_and_clean():
+        name = f"T_bench{next(counter)}"
+        mgr.at(name, ("T_app5",))
+        store.drop_type(name)  # keep the lattice size constant
+
+    benchmark(at_and_clean)
+
+
+def test_bench_dt(benchmark):
+    store, mgr = make_base()
+    counter = iter(range(10**6))
+
+    def setup():
+        name = f"T_victim{next(counter)}"
+        mgr.at(name, ("T_app5",))
+        return (name,), {}
+
+    benchmark.pedantic(mgr.dt, setup=setup, rounds=50)
+
+
+def test_bench_mt_ab_and_db(benchmark):
+    store, mgr = make_base()
+    store.define_stored_behavior("bench.b", "benchB")
+
+    def add_drop():
+        mgr.mt_ab("T_app10", "bench.b")
+        mgr.mt_db("T_app10", "bench.b")
+
+    benchmark(add_drop)
+
+
+def test_bench_mt_asr_and_dsr(benchmark):
+    store, mgr = make_base()
+
+    def add_drop_edge():
+        mgr.mt_asr("T_app20", "T_app5")
+        mgr.mt_dsr("T_app20", "T_app5")
+
+    benchmark(add_drop_edge)
+
+
+def test_bench_ac_dc(benchmark):
+    store, mgr = make_base()
+
+    def ac_dc():
+        mgr.ac("T_app1")   # odd indices have no class
+        mgr.dc("T_app1")
+
+    benchmark(ac_dc)
+
+
+def test_bench_db_drop_behavior_everywhere(benchmark):
+    store, mgr = make_base()
+    counter = iter(range(10**6))
+
+    def setup():
+        sem = f"wide.b{next(counter)}"
+        store.define_stored_behavior(sem, "wide")
+        for i in range(0, 30, 3):
+            mgr.mt_ab(f"T_app{i}", sem)
+        return (sem,), {}
+
+    benchmark.pedantic(mgr.db, setup=setup, rounds=30)
+
+
+def test_bench_mb_ca(benchmark):
+    store, mgr = make_base()
+    fn = store.define_function(
+        "swap", FunctionKind.COMPUTED, body=lambda s, r: 0
+    )
+    benchmark(lambda: mgr.mb_ca("t10.b", "T_app10", fn))
+
+
+def test_bench_df(benchmark):
+    store, mgr = make_base()
+    counter = iter(range(10**6))
+
+    def setup():
+        # A function associated only with a class-less type is droppable.
+        sem = f"odd.b{next(counter)}"
+        store.define_stored_behavior(sem, "odd")
+        mgr.mt_ab("T_app1", sem)  # T_app1 has no class
+        oid = store.behavior(sem).implementation_for("T_app1")
+        return (oid,), {}
+
+    benchmark.pedantic(mgr.df, setup=setup, rounds=30)
+
+
+def test_bench_al_dl(benchmark):
+    store, mgr = make_base()
+    counter = iter(range(10**6))
+
+    def al_dl():
+        name = f"coll{next(counter)}"
+        mgr.al(name)
+        mgr.dl(name)
+
+    benchmark(al_dl)
+
+
+def test_bench_non_schema_ops_for_contrast(benchmark):
+    """AO/MO/DO: the emphasized (non-schema) entries, for scale."""
+    store, mgr = make_base()
+
+    def instance_lifecycle():
+        obj = store.create_object("T_app10", b10=1)
+        store.apply(obj, "b10", 2)
+        store.delete_object(obj.oid)
+
+    benchmark(instance_lifecycle)

@@ -1,0 +1,44 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates its paper artifact (table / figure / claimed
+comparison) as text, writes it under ``benchmarks/output/``, and asserts
+the qualitative *shape* the paper reports before timing the underlying
+machinery with pytest-benchmark.
+
+``record_artifact`` depends on the ``benchmark`` fixture so the
+artifact-regenerating tests run under ``--benchmark-only`` too (the
+regeneration itself is registered as a single-round measurement).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture
+def record_artifact(artifact_dir, benchmark):
+    """Write one regenerated artifact; returns its path."""
+    state = {"used": False}
+
+    def _record(name: str, text: str) -> Path:
+        path = artifact_dir / name
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ---\n{text}\n")
+        if not state["used"]:
+            # Register a one-round measurement so --benchmark-only keeps
+            # (rather than skips) the regeneration tests.
+            benchmark.pedantic(lambda: len(text), rounds=1, iterations=1)
+            state["used"] = True
+        return path
+
+    return _record

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Schema governance: impact analysis, atomic transactions, and
+reflective queries over a live objectbase.
+
+A DBA-style session: inspect the schema reflectively, dry-run a risky
+change to see its blast radius, apply a compound change atomically (with
+automatic rollback on failure), and query instances behaviorally —
+demonstrating the operational tooling built around the axiomatic model.
+
+Run:  python examples/schema_governance.py
+"""
+
+from repro.core import (
+    DropEssentialSupertype,
+    DropType,
+    EvolutionJournal,
+    SchemaTransaction,
+    check_all,
+    join_unique,
+    meet_unique,
+)
+from repro.core.operations import AddEssentialSupertype
+from repro.query import B, schema_query, select
+from repro.tigukat import (
+    Objectbase,
+    SchemaManager,
+    analyze_objectbase_impact,
+)
+
+
+def build_store() -> tuple[Objectbase, SchemaManager]:
+    store = Objectbase()
+    mgr = SchemaManager(store)
+    for semantics, name, rtype in [
+        ("asset.id", "id", "T_string"),
+        ("asset.value", "value", "T_real"),
+        ("vehicle.range", "range", "T_real"),
+        ("building.floors", "floors", "T_natural"),
+        ("fleet.plate", "plate", "T_string"),
+    ]:
+        store.define_stored_behavior(semantics, name, rtype)
+    mgr.at("T_asset", behaviors=("asset.id", "asset.value"),
+           with_class=True)
+    mgr.at("T_vehicle", ("T_asset",), ("vehicle.range",), with_class=True)
+    mgr.at("T_building", ("T_asset",), ("building.floors",),
+           with_class=True)
+    mgr.at("T_fleetCar", ("T_vehicle",), ("fleet.plate",), with_class=True)
+    for i in range(4):
+        store.create_object("T_fleetCar", id=f"CAR-{i}", value=20000.0 + i,
+                            range=400.0, plate=f"P{i:03d}")
+    store.create_object("T_building", id="HQ", value=9e6, floors=11)
+    return store, mgr
+
+
+def main() -> None:
+    store, mgr = build_store()
+    q = schema_query(store)
+
+    # --- reflective schema queries -----------------------------------------
+    print("types understanding 'value':",
+          sorted(t for t in q.types_understanding("value")
+                 if t.startswith("T_") and not t.startswith("T_n")))
+    print("types without extent:",
+          sorted(t for t in q.types_without_extent()
+                 if t.startswith("T_asset") or "vehicle" in t))
+    print("join(T_fleetCar, T_building) =",
+          join_unique(store.lattice, "T_fleetCar", "T_building"))
+    print("meet(T_vehicle, T_asset) =",
+          meet_unique(store.lattice, "T_vehicle", "T_asset"))
+
+    # --- behavioral instance queries ----------------------------------------
+    pricey = select(store, "T_asset").where(B("value") > 20001.0)
+    print("\nassets worth > 20001:",
+          sorted(store.apply(o, "id") for o in pricey))
+    long_range = (B("range") >= 400.0) & ~(B("value") > 25000.0)
+    print("affordable long-range vehicles:",
+          select(store, "T_vehicle").where(long_range).count())
+
+    # --- impact analysis before a risky change --------------------------------
+    print("\n--- dry-run: what would DT(T_vehicle) do? ---")
+    impact = analyze_objectbase_impact(store, DropType("T_vehicle"))
+    print(impact.summary())
+    print("(nothing was changed; the store is intact)")
+    assert "T_vehicle" in store.lattice
+
+    print("\n--- dry-run: drop the asset aspect from fleet cars? ---")
+    impact = analyze_objectbase_impact(
+        store, DropEssentialSupertype("T_fleetCar", "T_vehicle")
+    )
+    print(impact.summary())
+
+    # --- atomic compound change -------------------------------------------------
+    print("\n--- atomic re-parenting of T_fleetCar (transaction) ---")
+    journal = EvolutionJournal(lattice=store.lattice)
+    with SchemaTransaction(journal) as txn:
+        txn.apply(AddEssentialSupertype("T_fleetCar", "T_asset"))
+        txn.apply(DropEssentialSupertype("T_fleetCar", "T_vehicle"))
+    print("committed:", txn.state,
+          "| P(T_fleetCar) =", sorted(store.lattice.p("T_fleetCar")))
+
+    print("\n--- a failing compound change rolls back completely ---")
+    before = store.lattice.state_fingerprint()
+    try:
+        with SchemaTransaction(journal) as txn:
+            txn.apply(DropEssentialSupertype("T_fleetCar", "T_asset"))
+            txn.apply(DropType("T_object"))  # rejected: primitive root
+    except Exception as exc:
+        print("rejected as expected:", exc)
+    print("state fully restored:",
+          store.lattice.state_fingerprint() == before)
+
+    print("\naxiom violations:", check_all(store.lattice))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""A tour of the TIGUKAT objectbase: uniformity in action.
+
+"The model is uniform in that every component of information, including
+its semantics, is modeled as a first-class object with well-defined
+behavior."  Types, classes, behaviors, functions and collections are all
+objects here; schema is queried by applying behaviors to type objects;
+stored attributes and computed methods are interchangeable behaviors.
+
+Run:  python examples/tigukat_objectbase.py
+"""
+
+from repro.core import Oid
+from repro.tigukat import (
+    FunctionKind,
+    Objectbase,
+    SchemaManager,
+    schema_oids,
+    schema_sets,
+)
+from repro.viz import render_table3
+
+
+def main() -> None:
+    store = Objectbase()
+    mgr = SchemaManager(store)
+
+    print("bootstrap objectbase:", store)
+
+    # --- everything is an object ----------------------------------------
+    t_person_behaviors = [
+        ("person.name", "name", "T_string"),
+        ("person.birthYear", "birthYear", "T_natural"),
+        ("person.age", "age", "T_natural"),
+    ]
+    for semantics, name, rtype in t_person_behaviors:
+        store.define_stored_behavior(semantics, name, rtype)
+    mgr.at("T_person", behaviors=tuple(s for s, _, _ in t_person_behaviors),
+           with_class=True)
+
+    type_obj = store.type_object("T_person")
+    behavior_obj = store.behavior("person.age")
+    class_obj = store.class_of("T_person")
+    print("\nuniformity — all constructs have OIDs:")
+    print("  type object:    ", repr(type_obj))
+    print("  behavior object:", repr(behavior_obj), "->", behavior_obj)
+    print("  class object:   ", repr(class_obj), "->", class_obj)
+
+    # --- schema queried behaviorally --------------------------------------
+    print("\nschema via behavior application (o.b dot notation):")
+    print("  T_person.supertypes   =", store.apply(type_obj, "supertypes"))
+    print("  T_person.super-lattice =",
+          store.apply(type_obj, "super-lattice"))
+    print("  |T_person.interface|  =",
+          len(store.apply(type_obj, "interface")))
+
+    # --- stored vs computed: one mechanism --------------------------------
+    david = store.create_object("T_person", name="David", birthYear=1995)
+    store.apply(david, "age", 30)
+    print("\nstored 'age':", store.apply(david, "age"))
+
+    computed_age = store.define_function(
+        "age_from_birthYear", FunctionKind.COMPUTED,
+        body=lambda s, r: 2026 - s.apply(r, "birthYear"),
+    )
+    mgr.mb_ca("person.age", "T_person", computed_age)
+    print("computed 'age' after MB-CA (same call site!):",
+          store.apply(david, "age"))
+
+    # --- subtyping with overriding -----------------------------------------
+    store.define_stored_behavior("robot.model", "model", "T_string")
+    mgr.at("T_robot", ("T_person",), ("robot.model",), with_class=True)
+    eternal = store.define_function(
+        "robot_age", FunctionKind.COMPUTED, body=lambda s, r: 0,
+    )
+    mgr.mb_ca("person.age", "T_robot", eternal)
+    robot = store.create_object("T_robot", model="R2", birthYear=1977)
+    print("\nlate binding: robot.age =", store.apply(robot, "age"),
+          "| david.age =", store.apply(david, "age"))
+
+    # --- the schema, per Definitions 3.1/3.2 ------------------------------
+    sets = schema_sets(store)
+    print("\nDefinition 3.2 — the schema object sets:")
+    print(f"  TSO={len(sets.tso)} BSO={len(sets.bso)} FSO={len(sets.fso)} "
+          f"LSO={len(sets.lso)} CSO={len(sets.cso)}")
+    print("  |schema| =", len(schema_oids(store)))
+    print("  david is schema?", david.oid in schema_oids(store))
+
+    # --- collections vs classes --------------------------------------------
+    team = store.add_collection("team", member_type="T_person")
+    team.insert(david.oid)
+    team.insert(robot.oid)  # heterogeneous up to the advisory member type
+    print("\ncollection 'team' members:", len(team))
+    mgr.dl("team")
+    print("after DL, david still exists:", david.oid in store)
+
+    # --- Table 3, regenerated ------------------------------------------------
+    print("\nTable 3 (classification of schema changes):\n")
+    print(render_table3())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""A university objectbase evolving while in operation.
+
+Full TIGUKAT stack: behaviors, types, classes, instances — then dynamic
+schema evolution (Section 3.3 operations) with lazy change propagation
+(screening) and temporal versioning, all while the nine axioms are
+verified after every step.
+
+Run:  python examples/university_evolution.py
+"""
+
+from repro.core import check_all
+from repro.propagation import ScreeningStrategy, TemporalSchema
+from repro.tigukat import Objectbase, SchemaManager, schema_sets
+from repro.viz import render_lattice
+
+
+def main() -> None:
+    store = Objectbase()
+    mgr = SchemaManager(store)
+    temporal = TemporalSchema(store.lattice)
+    screening = ScreeningStrategy(store)
+
+    # --- build the schema (behaviors first, then types + classes) -----
+    for semantics, name, rtype in [
+        ("person.name", "name", "T_string"),
+        ("person.age", "age", "T_natural"),
+        ("taxSource.name", "name", "T_string"),
+        ("taxSource.taxBracket", "taxBracket", "T_natural"),
+        ("employee.salary", "salary", "T_real"),
+        ("student.gpa", "gpa", "T_real"),
+        ("ta.course", "course", "T_string"),
+    ]:
+        store.define_stored_behavior(semantics, name, rtype)
+
+    mgr.at("T_person", behaviors=("person.name", "person.age"),
+           with_class=True)
+    mgr.at("T_taxSource",
+           behaviors=("taxSource.name", "taxSource.taxBracket"))
+    mgr.at("T_student", ("T_person",), ("student.gpa",), with_class=True)
+    mgr.at("T_employee", ("T_person", "T_taxSource"),
+           ("employee.salary", "taxSource.taxBracket"), with_class=True)
+    mgr.at("T_teachingAssistant", ("T_student", "T_employee"),
+           ("ta.course",), with_class=True)
+    temporal.commit("initial university schema")
+
+    print("University schema:")
+    print(render_lattice(store.lattice, root="T_object"))
+
+    # --- populate instances --------------------------------------------
+    david = store.create_object(
+        "T_teachingAssistant", gpa=3.8, salary=1800.0, course="CMPUT 391",
+    )
+    store.apply(david, "person.name", "David")
+    ada = store.create_object("T_student", gpa=4.0)
+    store.apply(ada, "person.name", "Ada")
+
+    print("\nDavid:", store.apply(david, "person.name"),
+          "| course:", store.apply(david, "course"),
+          "| salary:", store.apply(david, "salary"))
+
+    sets = schema_sets(store)
+    print(f"schema: |TSO|={len(sets.tso)} |BSO|={len(sets.bso)} "
+          f"|FSO|={len(sets.fso)} |CSO|={len(sets.cso)}")
+
+    # --- evolve while in operation --------------------------------------
+    print("\n>>> MT-DSR: teaching assistants cease to be employees")
+    mgr.mt_dsr("T_teachingAssistant", "T_employee")
+    screening.on_schema_change(frozenset({"T_teachingAssistant"}))
+    temporal.commit("TAs are no longer employees")
+
+    # "if teaching assistants cease to be employees ... they
+    # automatically cease to be taxable sources."
+    print("TA still a taxSource?",
+          store.lattice.is_subtype("T_teachingAssistant", "T_taxSource"))
+    # David's salary slot is stranded; screening coerces on access.
+    print("David salary slot before access:",
+          david._get_slot("employee.salary"))
+    print("David salary via screening:",
+          screening.read_slot(david, "employee.salary"))
+    print("instances screened so far:", screening.coerced_count)
+
+    print("\n>>> DT with migration: retire T_student, keep the students")
+    mgr.dt("T_student", migrate_to="T_person")
+    print("Ada is now a:", store.get(ada.oid).type_name)
+    print("Ada's name survived:", store.apply(ada.oid, "person.name"))
+
+    # --- temporal queries ------------------------------------------------
+    print("\nSchema history:")
+    for v in range(len(temporal)):
+        types = temporal.version(v).types()
+        print(f"  v{v} ({temporal.version(v).label}): {len(types)} types")
+    print("diff v1 -> v2:", temporal.diff(1, 2))
+
+    violations = check_all(store.lattice)
+    print("\naxiom violations after the whole session:", violations)
+    assert violations == []
+
+
+if __name__ == "__main__":
+    main()

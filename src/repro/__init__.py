@@ -1,0 +1,70 @@
+"""Reproduction of Peters & Özsu, "Axiomatization of Dynamic Schema
+Evolution in Objectbases" (ICDE 1995).
+
+Subpackages
+-----------
+``repro.core``
+    The axiomatic model: type lattice, the nine axioms, derivation engine,
+    soundness/completeness oracle, evolution operations, journal.
+``repro.tigukat``
+    The TIGUKAT uniform behavioral objectbase substrate and its schema
+    evolution policies (paper Section 3).
+``repro.orion``
+    The Orion model, its invariants, operations OP1-OP8, and their
+    reduction to the axiomatic model (paper Section 4).
+``repro.systems``
+    GemStone / Encore / Sherpa reductions and the cross-system comparison
+    interface (paper Sections 4-5).
+``repro.propagation``
+    Change propagation (screening, conversion, filtering, migration,
+    temporal versions) — the companion problem the paper defers.
+``repro.analysis``
+    Workload generation, order-independence experiments, complexity study.
+``repro.storage``
+    Snapshot and write-ahead journal persistence.
+``repro.viz``
+    ASCII/DOT lattice rendering and regeneration of the paper's tables.
+"""
+
+from . import (
+    analysis,
+    core,
+    orion,
+    propagation,
+    query,
+    storage,
+    systems,
+    tigukat,
+    viz,
+)
+from .core import (
+    LatticePolicy,
+    Property,
+    TypeLattice,
+    build_figure1_lattice,
+    check_all,
+    prop,
+    verify,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "tigukat",
+    "orion",
+    "systems",
+    "propagation",
+    "query",
+    "analysis",
+    "storage",
+    "viz",
+    "TypeLattice",
+    "LatticePolicy",
+    "Property",
+    "prop",
+    "build_figure1_lattice",
+    "check_all",
+    "verify",
+    "__version__",
+]

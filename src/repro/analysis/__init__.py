@@ -1,0 +1,51 @@
+"""Workload generation, the order-independence experiment, the deferred
+complexity study, and lattice metrics (paper Sections 5-6)."""
+
+from .compare import (
+    OrderExperimentResult,
+    TrialResult,
+    run_order_experiment,
+)
+from .complexity import (
+    ConflictScanRow,
+    CrossoverRow,
+    measure_propagation_crossover,
+    ScalingRow,
+    measure_axiom_costs,
+    measure_conflict_scan,
+    measure_derivation_scaling,
+)
+from .metrics import LatticeMetrics, lattice_metrics
+from .soak import SoakReport, SoakSession
+from .zoo import ZOO, build_topology
+from .workload import (
+    LatticeSpec,
+    droppable_edges,
+    random_evolution_program,
+    random_lattice,
+    random_orion_pair,
+)
+
+__all__ = [
+    "LatticeSpec",
+    "random_lattice",
+    "random_orion_pair",
+    "droppable_edges",
+    "random_evolution_program",
+    "run_order_experiment",
+    "OrderExperimentResult",
+    "TrialResult",
+    "measure_derivation_scaling",
+    "measure_axiom_costs",
+    "measure_conflict_scan",
+    "ScalingRow",
+    "ConflictScanRow",
+    "CrossoverRow",
+    "measure_propagation_crossover",
+    "LatticeMetrics",
+    "lattice_metrics",
+    "SoakSession",
+    "SoakReport",
+    "ZOO",
+    "build_topology",
+]

@@ -1,0 +1,193 @@
+"""The Section 5 order-(in)dependence experiment.
+
+"Dropping a series of edges in Orion can produce a different lattice
+depending on the order in which the edges are dropped.  In TIGUKAT, the
+ordering is irrelevant and the same lattice is produced no matter the
+order in which they are dropped."
+
+:func:`run_order_experiment` makes the claim quantitative: over many
+random schemas and random drop sets, apply the *same* set of edge drops
+in several different orders to (a) a native Orion database via OP4 and
+(b) a TIGUKAT-policy axiomatic lattice via MT-DSR, and count how many
+trials end in more than one distinct final lattice.  The expected shape:
+TIGUKAT diverges in **zero** trials; Orion diverges in a substantial
+fraction (any trial whose drop set touches a "last superclass" rewire).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from ..core.errors import SchemaError
+from ..core.lattice import TypeLattice
+from ..orion.model import OrionDatabase, ROOT_CLASS
+from ..orion.operations import OrionOps
+from .workload import LatticeSpec, droppable_edges, random_lattice, random_orion_pair
+
+__all__ = ["TrialResult", "OrderExperimentResult", "run_order_experiment"]
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Outcome of one random schema + drop set."""
+
+    trial: int
+    n_drops: int
+    orders_tried: int
+    orion_distinct: int     # distinct final Orion lattices
+    tigukat_distinct: int   # distinct final TIGUKAT lattices (expect 1)
+
+    @property
+    def orion_diverged(self) -> bool:
+        return self.orion_distinct > 1
+
+    @property
+    def tigukat_diverged(self) -> bool:
+        return self.tigukat_distinct > 1
+
+
+@dataclass
+class OrderExperimentResult:
+    trials: list[TrialResult] = field(default_factory=list)
+
+    @property
+    def orion_divergence_rate(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(t.orion_diverged for t in self.trials) / len(self.trials)
+
+    @property
+    def tigukat_divergence_rate(self) -> float:
+        if not self.trials:
+            return 0.0
+        return sum(t.tigukat_diverged for t in self.trials) / len(self.trials)
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        return [
+            ("trials", str(len(self.trials))),
+            ("Orion trials with order-dependent result",
+             f"{sum(t.orion_diverged for t in self.trials)} "
+             f"({self.orion_divergence_rate:.0%})"),
+            ("TIGUKAT trials with order-dependent result",
+             f"{sum(t.tigukat_diverged for t in self.trials)} "
+             f"({self.tigukat_divergence_rate:.0%})"),
+        ]
+
+
+def _orion_final_state(db: OrionDatabase, drops: list[tuple[str, str]]) -> tuple:
+    """Apply OP4 drops in the given order on a copy; rejected or
+    already-gone edges are skipped (they are part of the order effects)."""
+    ops = OrionOps(db.copy())
+    for c, s in drops:
+        if c not in ops.db:
+            continue
+        if s not in ops.db.get(c).superclasses:
+            continue
+        try:
+            ops.op4(c, s)
+        except SchemaError:
+            continue
+    return ops.db.fingerprint()
+
+
+def _tigukat_final_state(
+    lattice: TypeLattice, drops: list[tuple[str, str]]
+) -> tuple:
+    """Apply MT-DSR drops in the given order on a copy; same skipping."""
+    lat = lattice.copy()
+    for t, s in drops:
+        if t not in lat or s not in lat:
+            continue
+        try:
+            lat.drop_essential_supertype(t, s)
+        except SchemaError:
+            continue
+    return lat.derived_fingerprint()
+
+
+def _sample_orders(
+    drops: list[tuple[str, str]], n_orders: int, rng: random.Random
+) -> list[list[tuple[str, str]]]:
+    """Up to ``n_orders`` distinct permutations (exhaustive when small)."""
+    if len(drops) <= 4:
+        perms = list(itertools.permutations(drops))
+        rng.shuffle(perms)
+        return [list(p) for p in perms[:n_orders]]
+    seen: set[tuple] = set()
+    orders: list[list[tuple[str, str]]] = []
+    while len(orders) < n_orders:
+        perm = drops[:]
+        rng.shuffle(perm)
+        key = tuple(perm)
+        if key not in seen:
+            seen.add(key)
+            orders.append(perm)
+    return orders
+
+
+def run_order_experiment(
+    n_trials: int = 20,
+    n_drops: int = 4,
+    n_orders: int = 8,
+    spec: LatticeSpec | None = None,
+    seed: int = 7,
+) -> OrderExperimentResult:
+    """The full experiment; see the module docstring for the design."""
+    base_spec = spec if spec is not None else LatticeSpec(n_types=16)
+    rng = random.Random(seed)
+    result = OrderExperimentResult()
+    for trial in range(n_trials):
+        trial_spec = LatticeSpec(
+            n_types=base_spec.n_types,
+            max_supertypes=base_spec.max_supertypes,
+            n_property_names=base_spec.n_property_names,
+            properties_per_type=base_spec.properties_per_type,
+            extra_essential_prob=base_spec.extra_essential_prob,
+            seed=seed * 1000 + trial,
+        )
+        native, __ = random_orion_pair(trial_spec)
+        drops = droppable_edges(native, n_drops, seed=trial_spec.seed + 1)
+        if not drops:
+            continue
+        orders = _sample_orders(drops, n_orders, rng)
+
+        orion_outcomes = {
+            _orion_final_state(native.db, order) for order in orders
+        }
+
+        lattice = random_lattice(trial_spec)
+        lattice_edges = _matching_lattice_drops(lattice, len(drops), trial_spec.seed)
+        tig_outcomes = {
+            _tigukat_final_state(lattice, order)
+            for order in _sample_orders(lattice_edges, n_orders, rng)
+        } if lattice_edges else {()}
+
+        result.trials.append(
+            TrialResult(
+                trial=trial,
+                n_drops=len(drops),
+                orders_tried=len(orders),
+                orion_distinct=len(orion_outcomes),
+                tigukat_distinct=len(tig_outcomes),
+            )
+        )
+    return result
+
+
+def _matching_lattice_drops(
+    lattice: TypeLattice, limit: int, seed: int
+) -> list[tuple[str, str]]:
+    """A random sample of droppable essential-supertype pairs (never the
+    root link, which MT-DSR rejects; never the base's)."""
+    rng = random.Random(seed)
+    edges = [
+        (t, s)
+        for t in sorted(lattice.types())
+        if t not in (lattice.root, lattice.base)
+        for s in sorted(lattice.pe(t))
+        if s != lattice.root
+    ]
+    rng.shuffle(edges)
+    return edges[:limit]

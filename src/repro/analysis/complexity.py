@@ -1,0 +1,224 @@
+"""The deferred complexity study (paper Section 6).
+
+"Also of interest is a formal complexity analysis of our implementation
+techniques, which will provide the theoretical evidence of performance."
+
+Measured here empirically: full vs. incremental axiom recomputation as
+the lattice grows, the cost of each axiom check, and the minimal-vs-full
+conflict scan of Section 5.  All timings use ``perf_counter`` over
+repeated runs; the shapes (full recompute grows with |T|, incremental
+with the affected downset; minimal scan touches |P(t)|+1 interfaces vs.
+|PL(t)|) are what the benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+
+from ..core.axioms import ALL_AXIOMS
+from ..core.derivation import derive
+from ..core.lattice import TypeLattice
+from ..core.properties import prop
+from ..orion.conflict import (
+    find_name_conflicts_full,
+    find_name_conflicts_minimal,
+)
+from .workload import LatticeSpec, random_lattice
+
+__all__ = [
+    "ScalingRow",
+    "measure_derivation_scaling",
+    "measure_axiom_costs",
+    "ConflictScanRow",
+    "measure_conflict_scan",
+    "CrossoverRow",
+    "measure_propagation_crossover",
+]
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs."""
+    samples = []
+    for __ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    n_types: int
+    full_seconds: float
+    incremental_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.incremental_seconds == 0:
+            return float("inf")
+        return self.full_seconds / self.incremental_seconds
+
+
+def measure_derivation_scaling(
+    sizes: tuple[int, ...] = (10, 50, 100, 250, 500),
+    seed: int = 3,
+    repeats: int = 3,
+) -> list[ScalingRow]:
+    """Full re-derivation vs. incremental recompute of one leaf change."""
+    rows: list[ScalingRow] = []
+    for n in sizes:
+        lattice = random_lattice(LatticeSpec(n_types=n, seed=seed))
+        pe, ne = lattice._pe_view(), lattice._ne_view()
+        full = _time(lambda: derive(pe, ne), repeats)
+
+        # Incremental: flip one essential property on a leaf-ish type.
+        leaf = max(
+            (t for t in lattice.types()
+             if t not in (lattice.root, lattice.base)),
+            key=lambda t: len(lattice.pl(t)),
+        )
+        flip = prop(f"{leaf}.flip")
+
+        def one_change() -> None:
+            lattice.add_essential_property(leaf, flip)
+            lattice.derivation  # trigger the incremental recompute
+            lattice.drop_essential_property(leaf, flip)
+            lattice.derivation
+
+        lattice.derivation  # warm cache
+        incremental = _time(one_change, repeats) / 2  # two recomputes
+        rows.append(ScalingRow(n, full, incremental))
+    return rows
+
+
+def measure_axiom_costs(
+    n_types: int = 200, seed: int = 5, repeats: int = 3
+) -> list[tuple[str, float]]:
+    """Median check time of each of the nine axioms on one lattice."""
+    lattice = random_lattice(LatticeSpec(n_types=n_types, seed=seed))
+    lattice.derivation  # the checks should not pay derivation cost
+    out: list[tuple[str, float]] = []
+    for axiom in ALL_AXIOMS:
+        out.append((axiom.name, _time(lambda a=axiom: a.check(lattice), repeats)))
+    return out
+
+
+@dataclass(frozen=True)
+class ConflictScanRow:
+    type_name: str
+    p_size: int
+    pl_size: int
+    minimal_seconds: float
+    full_seconds: float
+    agree: bool
+
+
+def measure_conflict_scan(
+    lattice: TypeLattice | None = None,
+    n_types: int = 150,
+    seed: int = 11,
+    repeats: int = 3,
+    sample: int = 10,
+) -> list[ConflictScanRow]:
+    """Section 5's minimality payoff: conflict detection through ``P(t)``
+    vs. the naive full-``PL(t)`` scan, on the deepest types."""
+    if lattice is None:
+        lattice = random_lattice(
+            LatticeSpec(n_types=n_types, seed=seed, properties_per_type=3,
+                        n_property_names=6)
+        )
+    deepest = sorted(
+        (t for t in lattice.types() if t != lattice.base),
+        key=lambda t: len(lattice.pl(t)),
+        reverse=True,
+    )[:sample]
+    rows: list[ConflictScanRow] = []
+    for t in deepest:
+        minimal = find_name_conflicts_minimal(lattice, t)
+        full = find_name_conflicts_full(lattice, t)
+        rows.append(
+            ConflictScanRow(
+                type_name=t,
+                p_size=len(lattice.p(t)),
+                pl_size=len(lattice.pl(t)),
+                minimal_seconds=_time(
+                    lambda t=t: find_name_conflicts_minimal(lattice, t),
+                    repeats,
+                ),
+                full_seconds=_time(
+                    lambda t=t: find_name_conflicts_full(lattice, t), repeats
+                ),
+                agree=minimal == full,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class CrossoverRow:
+    """Total propagation cost at one access ratio, both strategies."""
+
+    access_ratio: float
+    conversion_seconds: float
+    screening_seconds: float
+
+    @property
+    def winner(self) -> str:
+        if self.conversion_seconds < self.screening_seconds:
+            return "conversion"
+        return "screening"
+
+
+def measure_propagation_crossover(
+    n_instances: int = 2000,
+    access_ratios: tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 0.75, 1.0),
+    repeats: int = 3,
+) -> list[CrossoverRow]:
+    """Where eager conversion overtakes lazy screening.
+
+    Total cost = change-time work + the reads that actually happen.
+    Screening wins when few instances are ever touched again; conversion
+    wins as the touched fraction approaches everything (it coerces each
+    instance once, with no per-read version check).  The crossover point
+    is the series' shape target.
+    """
+    from ..propagation.conversion import ConversionStrategy
+    from ..propagation.screening import ScreeningStrategy
+    from ..tigukat.evolution import SchemaManager
+    from ..tigukat.store import Objectbase
+
+    def one_run(strategy_cls, ratio: float) -> float:
+        store = Objectbase()
+        mgr = SchemaManager(store)
+        store.define_stored_behavior("c.keep", "keep")
+        store.define_stored_behavior("c.drop", "drop")
+        mgr.at("T_item", behaviors=("c.keep", "c.drop"), with_class=True)
+        objs = [
+            store.create_object("T_item", keep=i, drop=i)
+            for i in range(n_instances)
+        ]
+        strategy = strategy_cls(store)
+        touched = objs[: int(n_instances * ratio)]
+
+        start = time.perf_counter()
+        mgr.mt_db("T_item", "c.drop")
+        strategy.on_schema_change(frozenset({"T_item"}))
+        for obj in touched:
+            strategy.read_slot(obj, "c.keep")
+        return time.perf_counter() - start
+
+    from ..propagation.conversion import ConversionStrategy as Conv
+    from ..propagation.screening import ScreeningStrategy as Scr
+
+    rows: list[CrossoverRow] = []
+    for ratio in access_ratios:
+        conv = statistics.median(
+            one_run(Conv, ratio) for __ in range(repeats)
+        )
+        scr = statistics.median(
+            one_run(Scr, ratio) for __ in range(repeats)
+        )
+        rows.append(CrossoverRow(ratio, conv, scr))
+    return rows

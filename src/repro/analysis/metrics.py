@@ -1,0 +1,60 @@
+"""Structural metrics of a lattice (reported alongside every benchmark)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.lattice import TypeLattice
+from ..core.minimality import essential_edge_count, minimal_edge_count
+
+__all__ = ["LatticeMetrics", "lattice_metrics"]
+
+
+@dataclass(frozen=True)
+class LatticeMetrics:
+    """Summary statistics of one lattice."""
+
+    n_types: int
+    essential_edges: int
+    minimal_edges: int
+    max_depth: int
+    mean_fan_in: float
+    n_properties: int
+    mean_interface: float
+
+    @property
+    def edge_reduction(self) -> float:
+        """Fraction of essential edges the minimal view prunes — the
+        Section 5 display-economy number."""
+        if self.essential_edges == 0:
+            return 0.0
+        return 1.0 - self.minimal_edges / self.essential_edges
+
+    def rows(self) -> list[tuple[str, str]]:
+        return [
+            ("|T|", str(self.n_types)),
+            ("Σ|Pe(t)| (essential edges)", str(self.essential_edges)),
+            ("Σ|P(t)| (minimal edges)", str(self.minimal_edges)),
+            ("edge reduction", f"{self.edge_reduction:.0%}"),
+            ("max depth", str(self.max_depth)),
+            ("mean fan-in", f"{self.mean_fan_in:.2f}"),
+            ("|properties|", str(self.n_properties)),
+            ("mean |I(t)|", f"{self.mean_interface:.2f}"),
+        ]
+
+
+def lattice_metrics(lattice: TypeLattice) -> LatticeMetrics:
+    types = lattice.types()
+    n = len(types)
+    depths = {t: len(lattice.pl(t)) - 1 for t in types}
+    fan_ins = [len(lattice.p(t)) for t in types]
+    interfaces = [len(lattice.interface(t)) for t in types]
+    return LatticeMetrics(
+        n_types=n,
+        essential_edges=essential_edge_count(lattice),
+        minimal_edges=minimal_edge_count(lattice),
+        max_depth=max(depths.values(), default=0),
+        mean_fan_in=sum(fan_ins) / n if n else 0.0,
+        n_properties=len(lattice.universe),
+        mean_interface=sum(interfaces) / n if n else 0.0,
+    )

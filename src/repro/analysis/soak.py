@@ -1,0 +1,235 @@
+"""Soak harness: long randomized full-stack evolution sessions.
+
+Dynamic schema evolution is "the management of schema changes while the
+system is in operation" — so the harness interleaves schema operations
+(the Table 3 bold set), instance operations (the emphasized set), and
+change propagation over one live objectbase, for thousands of steps,
+while checking after every step that
+
+* the nine axioms hold on the lattice,
+* the Definition 3.1 subset invariants hold on the schema sets,
+* class membership is consistent, and
+* behavior application never crashes on conformant receivers.
+
+Deterministic in its seed; used by the stress tests and the longevity
+benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..core.axioms import check_all
+from ..core.errors import SchemaError
+from ..propagation.base import stranded_slots
+from ..propagation.invariants import check_membership
+from ..propagation.screening import ScreeningStrategy
+from ..tigukat.evolution import SchemaManager
+from ..tigukat.schema import schema_sets
+from ..tigukat.store import Objectbase
+
+__all__ = ["SoakReport", "SoakSession"]
+
+
+@dataclass
+class SoakReport:
+    """Outcome statistics of one soak session."""
+
+    steps: int = 0
+    accepted: dict[str, int] = field(default_factory=dict)
+    rejected: dict[str, int] = field(default_factory=dict)
+    invariant_failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.invariant_failures
+
+    def total_accepted(self) -> int:
+        return sum(self.accepted.values())
+
+    def summary_rows(self) -> list[tuple[str, str]]:
+        return [
+            ("steps", str(self.steps)),
+            ("accepted operations", str(self.total_accepted())),
+            ("rejected operations", str(sum(self.rejected.values()))),
+            ("invariant failures", str(len(self.invariant_failures))),
+        ]
+
+
+class SoakSession:
+    """One deterministic randomized session over a fresh objectbase."""
+
+    OPS = (
+        "at", "dt", "asr", "dsr", "ab", "db_type",
+        "ac", "dc", "ao", "mo", "do",
+    )
+    WEIGHTS = (8, 3, 10, 8, 10, 5, 4, 2, 20, 22, 8)
+
+    def __init__(self, seed: int = 0, check_every: int = 1) -> None:
+        self.rng = random.Random(seed)
+        self.store = Objectbase()
+        self.manager = SchemaManager(self.store)
+        self.screening = ScreeningStrategy(self.store)
+        self.check_every = max(1, check_every)
+        self._type_counter = 0
+        self._behavior_counter = 0
+        self.report = SoakReport()
+
+    # -- vocabulary helpers ---------------------------------------------------
+
+    def _app_types(self) -> list[str]:
+        return sorted(
+            t for t in self.store.lattice.types()
+            if not self.store.lattice.is_frozen(t)
+        )
+
+    def _behaviors(self) -> list[str]:
+        return sorted(
+            b.semantics for b in self.store.behaviors()
+            if not b.semantics.startswith("type.")
+        )
+
+    def _instances(self) -> list:
+        out = []
+        for cls in self.store.classes():
+            out.extend(cls.members())
+        return sorted(out)
+
+    # -- one step ----------------------------------------------------------------
+
+    def step(self) -> None:
+        op = self.rng.choices(self.OPS, weights=self.WEIGHTS)[0]
+        try:
+            self._execute(op)
+            self.report.accepted[op] = self.report.accepted.get(op, 0) + 1
+        except SchemaError:
+            self.report.rejected[op] = self.report.rejected.get(op, 0) + 1
+        self.report.steps += 1
+        if self.report.steps % self.check_every == 0:
+            self._check_invariants()
+
+    def _execute(self, op: str) -> None:
+        rng = self.rng
+        types = self._app_types()
+        behaviors = self._behaviors()
+        instances = self._instances()
+
+        if op == "at":
+            self._type_counter += 1
+            name = f"T_soak{self._type_counter:05d}"
+            supers = rng.sample(types, min(rng.randint(0, 2), len(types)))
+            chosen = rng.sample(
+                behaviors, min(rng.randint(0, 2), len(behaviors))
+            )
+            self.manager.at(name, tuple(supers), tuple(chosen),
+                            with_class=rng.random() < 0.6)
+        elif op == "dt" and types:
+            victim = rng.choice(types)
+            survivors = [t for t in types if t != victim]
+            migrate = (
+                rng.choice(survivors)
+                if survivors and rng.random() < 0.3
+                and self.store.class_of(victim) is not None
+                else None
+            )
+            if migrate is not None and self.store.class_of(migrate) is None:
+                migrate = None
+            self.manager.dt(victim, migrate_to=migrate)
+            self.screening.on_schema_change(frozenset(survivors))
+        elif op == "asr" and len(types) >= 2:
+            self.manager.mt_asr(rng.choice(types), rng.choice(types))
+        elif op == "dsr" and types:
+            t = rng.choice(types)
+            supers = sorted(
+                self.store.lattice.pe(t) - {self.store.lattice.root}
+            )
+            if not supers:
+                return
+            self.manager.mt_dsr(t, rng.choice(supers))
+            self.screening.on_schema_change(
+                frozenset({t}) | self.store.lattice.all_subtypes(t)
+            )
+        elif op == "ab" and types:
+            self._behavior_counter += 1
+            semantics = f"soak.b{self._behavior_counter:05d}"
+            self.store.define_stored_behavior(
+                semantics, f"b{self._behavior_counter}"
+            )
+            self.manager.mt_ab(rng.choice(types), semantics)
+        elif op == "db_type" and types and behaviors:
+            t = rng.choice(types)
+            essentials = sorted(
+                p.semantics for p in self.store.lattice.ne(t)
+            )
+            if not essentials:
+                return
+            self.manager.mt_db(t, rng.choice(essentials))
+            self.screening.on_schema_change(
+                frozenset({t}) | self.store.lattice.all_subtypes(t)
+            )
+        elif op == "ac" and types:
+            candidates = [
+                t for t in types if self.store.class_of(t) is None
+            ]
+            if candidates:
+                self.manager.ac(rng.choice(candidates))
+        elif op == "dc" and types:
+            candidates = [
+                t for t in types if self.store.class_of(t) is not None
+            ]
+            if candidates:
+                self.manager.dc(rng.choice(candidates))
+        elif op == "ao" and types:
+            candidates = [
+                t for t in types if self.store.class_of(t) is not None
+            ]
+            if candidates:
+                self.store.create_object(rng.choice(candidates))
+        elif op == "mo" and instances:
+            oid = rng.choice(instances)
+            obj = self.store.get(oid)
+            self.screening.screen(obj)
+            props = sorted(
+                p.semantics
+                for p in self.store.lattice.interface(obj.type_name)
+                if not p.semantics.startswith("type.")
+            )
+            if props:
+                self.store.apply(obj, rng.choice(props), rng.randint(0, 99))
+        elif op == "do" and instances:
+            self.store.delete_object(rng.choice(instances))
+
+    # -- invariants -----------------------------------------------------------------
+
+    def _check_invariants(self) -> None:
+        violations = check_all(self.store.lattice)
+        if violations:
+            self.report.invariant_failures.append(
+                f"step {self.report.steps}: axioms: {violations[0]}"
+            )
+        sets = schema_sets(self.store)
+        if not sets.invariants_ok(self.store):
+            self.report.invariant_failures.append(
+                f"step {self.report.steps}: Definition 3.1 subset inclusion"
+            )
+        membership = check_membership(self.store)
+        if membership:
+            self.report.invariant_failures.append(
+                f"step {self.report.steps}: membership: {membership[0]}"
+            )
+        # Every screened-clean instance must conform.
+        for oid in self._instances():
+            obj = self.store.get(oid)
+            self.screening.screen(obj)
+            if stranded_slots(self.store, obj):
+                self.report.invariant_failures.append(
+                    f"step {self.report.steps}: {oid} not conformant "
+                    f"after screening"
+                )
+                break
+
+    def run(self, steps: int) -> SoakReport:
+        for __ in range(steps):
+            self.step()
+        return self.report

@@ -1,0 +1,174 @@
+"""Workload generators: random lattices and operation streams.
+
+The paper's evaluation is formal; the deferred empirical study ("the
+completion of this task will provide the necessary empirical evidence of
+its performance characteristics", Section 6) needs workloads.  Everything
+here is seeded and deterministic so the benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.config import LatticePolicy
+from ..core.lattice import TypeLattice
+from ..core.properties import Property
+from ..orion.model import OrionProperty, ROOT_CLASS
+from ..orion.operations import OrionOps
+from ..orion.reduction import ReducedOrion
+
+__all__ = [
+    "LatticeSpec",
+    "random_lattice",
+    "random_orion_pair",
+    "droppable_edges",
+    "random_evolution_program",
+]
+
+
+@dataclass(frozen=True)
+class LatticeSpec:
+    """Parameters of a random lattice.
+
+    ``extra_essential_prob`` is the probability that a non-immediate
+    ancestor is *also* declared essential — the knob that separates the
+    axiomatic model from Orion (which cannot represent such declarations)
+    and drives the minimality ablations.
+    """
+
+    n_types: int = 50
+    max_supertypes: int = 3
+    n_property_names: int = 12
+    properties_per_type: int = 2
+    extra_essential_prob: float = 0.2
+    seed: int = 0
+
+
+def random_lattice(
+    spec: LatticeSpec, policy: LatticePolicy | None = None
+) -> TypeLattice:
+    """A random DAG lattice with the given spec (deterministic in seed)."""
+    rng = random.Random(spec.seed)
+    lattice = TypeLattice(
+        policy if policy is not None else LatticePolicy.tigukat()
+    )
+    names = [f"T_{i:04d}" for i in range(spec.n_types)]
+    created: list[str] = []
+    for name in names:
+        k = rng.randint(0, min(spec.max_supertypes, len(created)))
+        supers = rng.sample(created, k) if k else []
+        props = [
+            Property(f"{name}.p{j}", f"p{rng.randrange(spec.n_property_names)}")
+            for j in range(rng.randint(0, spec.properties_per_type))
+        ]
+        lattice.add_type(name, supertypes=supers, properties=props)
+        created.append(name)
+    # Sprinkle extra essential (dominated) supertypes: ancestors declared
+    # essential although reachable — what P/Pe minimality is about.
+    for name in created:
+        ancestors = sorted(lattice.pl(name) - {name})
+        for ancestor in ancestors:
+            if ancestor in (lattice.root, lattice.base):
+                continue
+            if ancestor in lattice.pe(name):
+                continue
+            if rng.random() < spec.extra_essential_prob:
+                lattice.add_essential_supertype(name, ancestor)
+    return lattice
+
+
+def random_orion_pair(spec: LatticeSpec) -> tuple[OrionOps, ReducedOrion]:
+    """A native Orion database and its reduction, built in lockstep
+    through the same random OP6/OP3/OP1 stream."""
+    rng = random.Random(spec.seed)
+    native = OrionOps()
+    reduced = ReducedOrion()
+    names = [f"C{i:04d}" for i in range(spec.n_types)]
+    created: list[str] = [ROOT_CLASS]
+    for name in names:
+        first = rng.choice(created)
+        native.op6(name, None if first == ROOT_CLASS else first)
+        reduced.op6(name, None if first == ROOT_CLASS else first)
+        extra = rng.randint(0, spec.max_supertypes - 1)
+        candidates = [c for c in created if c not in (name, first, ROOT_CLASS)]
+        for s in rng.sample(candidates, min(extra, len(candidates))):
+            try:
+                native.op3(name, s)
+                reduced.op3(name, s)
+            except Exception:
+                continue  # cycle attempts rejected identically in both
+        for j in range(rng.randint(0, spec.properties_per_type)):
+            prop = OrionProperty(
+                f"p{rng.randrange(spec.n_property_names)}", "OBJECT"
+            )
+            try:
+                native.op1(name, prop)
+                reduced.op1(name, prop)
+            except Exception:
+                continue
+        created.append(name)
+    return native, reduced
+
+
+def droppable_edges(ops: OrionOps, limit: int, seed: int) -> list[tuple[str, str]]:
+    """A random sample of (class, superclass) edges safe to attempt to
+    drop (never the root's own edges; OBJECT edges allowed — OP4 decides
+    at drop time whether to reject)."""
+    rng = random.Random(seed)
+    edges = [
+        (c, s)
+        for c in sorted(ops.db.classes())
+        if c != ROOT_CLASS
+        for s in ops.db.get(c).superclasses
+    ]
+    rng.shuffle(edges)
+    return edges[:limit]
+
+
+def random_evolution_program(
+    lattice: TypeLattice, n_ops: int, seed: int
+) -> list[tuple]:
+    """A mixed stream of mutations applicable to an existing lattice.
+
+    Returns ``(kind, *args)`` tuples; rejected operations are part of the
+    workload (a live system sees them too), so the executor in the
+    benchmarks catches SchemaError and moves on.
+    """
+    rng = random.Random(seed)
+    program: list[tuple] = []
+    types = sorted(
+        t for t in lattice.types() if t not in (lattice.root, lattice.base)
+    )
+    props = sorted(lattice.universe, key=lambda p: p.semantics)
+    fresh = 0
+    for _ in range(n_ops):
+        kind = rng.choices(
+            ["add_edge", "drop_edge", "add_prop", "drop_prop",
+             "add_type", "drop_type"],
+            weights=[25, 25, 20, 15, 10, 5],
+        )[0]
+        if kind == "add_type":
+            fresh += 1
+            supers = rng.sample(types, min(2, len(types)))
+            program.append(("add_type", f"T_new{fresh:04d}", tuple(supers)))
+        elif kind == "drop_type" and types:
+            program.append(("drop_type", rng.choice(types)))
+        elif kind == "add_edge" and len(types) >= 2:
+            program.append(
+                ("add_edge", rng.choice(types), rng.choice(types))
+            )
+        elif kind == "drop_edge" and types:
+            t = rng.choice(types)
+            candidates = sorted(lattice.pe(t) - {lattice.root or ""})
+            if candidates:
+                program.append(("drop_edge", t, rng.choice(candidates)))
+        elif kind == "add_prop" and types and props:
+            program.append(
+                ("add_prop", rng.choice(types), rng.choice(props))
+            )
+        elif kind == "drop_prop" and types and props:
+            program.append(
+                ("drop_prop", rng.choice(types), rng.choice(props))
+            )
+    return program

@@ -1,0 +1,132 @@
+"""The lattice zoo: canonical topologies for complexity experiments.
+
+Random DAGs (the default workload) average away structure; the zoo
+provides the extreme shapes that bound the engine's behaviour:
+
+* **chain** — depth = n: worst case for path-length-dependent work
+  (stratified induction, PL sizes grow linearly);
+* **star** — one root, n leaves: maximal fan-out, depth 1;
+* **binary tree** — balanced branching (the GemStone-ish shape);
+* **diamond stack** — repeated diamonds: maximal multiple-inheritance
+  joins per level, stressing Axiom 5's domination elimination;
+* **dense** — every earlier type is an essential supertype: |Pe| grows
+  quadratically while |P| stays 1 — the maximal minimality payoff.
+
+Every builder is deterministic, sized by one parameter, and produces a
+valid TIGUKAT-policy lattice (axioms asserted in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.config import LatticePolicy
+from ..core.lattice import TypeLattice
+from ..core.properties import Property
+
+__all__ = ["ZOO", "build_topology", "chain", "star", "binary_tree",
+           "diamond_stack", "dense"]
+
+
+def _fresh(policy: LatticePolicy | None) -> TypeLattice:
+    return TypeLattice(policy if policy is not None else LatticePolicy.tigukat())
+
+
+def _with_prop(i: int) -> list[Property]:
+    return [Property(f"zoo{i}.p", f"p{i % 5}")]
+
+
+def chain(n: int, policy: LatticePolicy | None = None) -> TypeLattice:
+    """``t0 <- t1 <- ... <- t(n-1)``: maximal depth."""
+    lat = _fresh(policy)
+    previous: str | None = None
+    for i in range(n):
+        name = f"t{i:04d}"
+        lat.add_type(
+            name,
+            supertypes=[previous] if previous else [],
+            properties=_with_prop(i),
+        )
+        previous = name
+    return lat
+
+
+def star(n: int, policy: LatticePolicy | None = None) -> TypeLattice:
+    """One hub with ``n - 1`` leaves: maximal fan-out, depth 1."""
+    lat = _fresh(policy)
+    lat.add_type("hub", properties=_with_prop(0))
+    for i in range(1, n):
+        lat.add_type(f"leaf{i:04d}", supertypes=["hub"],
+                     properties=_with_prop(i))
+    return lat
+
+
+def binary_tree(n: int, policy: LatticePolicy | None = None) -> TypeLattice:
+    """A balanced binary tree with ``n`` nodes (heap indexing)."""
+    lat = _fresh(policy)
+    for i in range(n):
+        name = f"t{i:04d}"
+        parent = [] if i == 0 else [f"t{(i - 1) // 2:04d}"]
+        lat.add_type(name, supertypes=parent, properties=_with_prop(i))
+    return lat
+
+
+def diamond_stack(n: int, policy: LatticePolicy | None = None) -> TypeLattice:
+    """Stacked diamonds: top, then (left, right, join) repeated.
+
+    ``n`` counts *types*; every join has two immediate supertypes, so
+    Axiom 5 does real domination work at every level.
+    """
+    lat = _fresh(policy)
+    lat.add_type("j0000", properties=_with_prop(0))
+    apex = "j0000"
+    level = 0
+    created = 1
+    while created + 3 <= n:
+        level += 1
+        left = f"l{level:04d}"
+        right = f"r{level:04d}"
+        join = f"j{level:04d}"
+        lat.add_type(left, supertypes=[apex], properties=_with_prop(created))
+        lat.add_type(right, supertypes=[apex],
+                     properties=_with_prop(created + 1))
+        lat.add_type(join, supertypes=[left, right],
+                     properties=_with_prop(created + 2))
+        apex = join
+        created += 3
+    return lat
+
+
+def dense(n: int, policy: LatticePolicy | None = None) -> TypeLattice:
+    """Every earlier type is declared an essential supertype.
+
+    ``Σ|Pe|`` is Θ(n²) while ``Σ|P|`` is Θ(n): the strongest separation
+    between what the designer declared and what the minimal view keeps.
+    """
+    lat = _fresh(policy)
+    created: list[str] = []
+    for i in range(n):
+        name = f"t{i:04d}"
+        lat.add_type(name, supertypes=list(created),
+                     properties=_with_prop(i))
+        created.append(name)
+    return lat
+
+
+ZOO: dict[str, Callable[[int], TypeLattice]] = {
+    "chain": chain,
+    "star": star,
+    "binary-tree": binary_tree,
+    "diamond-stack": diamond_stack,
+    "dense": dense,
+}
+
+
+def build_topology(name: str, n: int) -> TypeLattice:
+    """Build a named zoo topology with ``n`` types."""
+    builder = ZOO.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown topology {name!r}; choose from {sorted(ZOO)}"
+        )
+    return builder(n)

@@ -1,0 +1,231 @@
+"""Command-line schema-evolution tool over a durable lattice.
+
+A thin operational surface for the library: schema state lives in a
+write-ahead journal file (see :mod:`repro.storage.journal`) and every
+subcommand is one of the paper's operations or inspections::
+
+    python -m repro --db schema.wal init
+    python -m repro --db schema.wal add-type T_person -p person.name
+    python -m repro --db schema.wal add-type T_student -s T_person
+    python -m repro --db schema.wal add-edge T_student T_person
+    python -m repro --db schema.wal drop-edge T_student T_person
+    python -m repro --db schema.wal add-prop T_person person.age
+    python -m repro --db schema.wal drop-type T_student
+    python -m repro --db schema.wal show [T_student]
+    python -m repro --db schema.wal check       # axioms + oracle
+    python -m repro --db schema.wal render      # ASCII lattice
+    python -m repro --db schema.wal dot         # Graphviz output
+    python -m repro --db schema.wal tables      # Tables 1-3
+    python -m repro --db schema.wal checkpoint  # WAL -> snapshot
+
+Exit status: 0 on success, 1 on a rejected operation or failed check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .core import (
+    AddEssentialProperty,
+    AddEssentialSupertype,
+    AddType,
+    DropEssentialProperty,
+    DropEssentialSupertype,
+    DropType,
+    Property,
+    SchemaError,
+    check_all,
+    verify,
+)
+from .storage import DurableLattice
+from .viz import (
+    render_lattice,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_type_card,
+    to_dot,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Axiomatic dynamic schema evolution over a durable lattice.",
+    )
+    parser.add_argument(
+        "--db", required=True,
+        help="path to the write-ahead journal file (created when missing)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("init", help="create an empty TIGUKAT-policy schema")
+
+    p = sub.add_parser("add-type", help="AT: create a type")
+    p.add_argument("name")
+    p.add_argument("-s", "--supertype", action="append", default=[],
+                   help="essential supertype (repeatable)")
+    p.add_argument("-p", "--prop", action="append", default=[],
+                   help="essential property semantics key (repeatable)")
+
+    p = sub.add_parser("drop-type", help="DT: drop a type")
+    p.add_argument("name")
+
+    p = sub.add_parser("add-edge", help="MT-ASR: add essential supertype")
+    p.add_argument("subtype")
+    p.add_argument("supertype")
+
+    p = sub.add_parser("drop-edge", help="MT-DSR: drop essential supertype")
+    p.add_argument("subtype")
+    p.add_argument("supertype")
+
+    p = sub.add_parser("add-prop", help="MT-AB: add essential property")
+    p.add_argument("type")
+    p.add_argument("semantics")
+    p.add_argument("--name", default="", help="display name")
+
+    p = sub.add_parser("drop-prop", help="MT-DB: drop essential property")
+    p.add_argument("type")
+    p.add_argument("semantics")
+
+    p = sub.add_parser("show", help="type card(s): all Table 1 terms")
+    p.add_argument("type", nargs="?", help="one type (default: list all)")
+
+    sub.add_parser("check", help="verify the nine axioms and the oracle")
+    sub.add_parser("lint", help="advisory findings (redundant essentials, "
+                                "shadowed names, ...)")
+    sub.add_parser("normalize", help="rewrite Pe/Ne to the minimal "
+                                     "declarations (drops the insurance!)")
+    sub.add_parser("history", help="show the journaled operations")
+
+    p = sub.add_parser("impact", help="dry-run an operation: "
+                                      "impact <drop-type|drop-edge> args...")
+    p.add_argument("what", choices=["drop-type", "drop-edge"])
+    p.add_argument("args", nargs="+")
+    sub.add_parser("render", help="ASCII lattice (minimal P-edge view)")
+
+    p = sub.add_parser("dot", help="Graphviz DOT output")
+    p.add_argument("--essential", action="store_true",
+                   help="draw raw Pe edges instead of minimal P edges")
+
+    sub.add_parser("tables", help="regenerate the paper's Tables 1-3")
+    sub.add_parser("checkpoint", help="fold the WAL into a snapshot")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        durable = DurableLattice(args.db)
+    except SchemaError as exc:
+        print(f"error: cannot open {args.db}: {exc}", file=sys.stderr)
+        return 1
+    lattice = durable.lattice
+
+    try:
+        if args.command == "init":
+            print(f"initialized schema at {args.db}: "
+                  f"{sorted(lattice.types())}")
+        elif args.command == "add-type":
+            durable.apply(AddType(
+                args.name,
+                tuple(args.supertype),
+                tuple(Property(s) for s in args.prop),
+            ))
+            print(f"added {args.name}; P = {sorted(lattice.p(args.name))}")
+        elif args.command == "drop-type":
+            durable.apply(DropType(args.name))
+            print(f"dropped {args.name}")
+        elif args.command == "add-edge":
+            durable.apply(AddEssentialSupertype(args.subtype, args.supertype))
+            print(f"Pe({args.subtype}) += {args.supertype}; "
+                  f"P = {sorted(lattice.p(args.subtype))}")
+        elif args.command == "drop-edge":
+            durable.apply(DropEssentialSupertype(args.subtype, args.supertype))
+            print(f"Pe({args.subtype}) -= {args.supertype}; "
+                  f"P = {sorted(lattice.p(args.subtype))}")
+        elif args.command == "add-prop":
+            durable.apply(AddEssentialProperty(
+                args.type, Property(args.semantics, args.name)
+            ))
+            print(f"Ne({args.type}) += {args.semantics}")
+        elif args.command == "drop-prop":
+            durable.apply(DropEssentialProperty(
+                args.type, Property(args.semantics)
+            ))
+            print(f"Ne({args.type}) -= {args.semantics}")
+        elif args.command == "show":
+            if args.type:
+                print(render_type_card(lattice, args.type))
+            else:
+                for t in sorted(lattice.types()):
+                    print(f"{t}: P={sorted(lattice.p(t))} "
+                          f"|I|={len(lattice.interface(t))}")
+        elif args.command == "check":
+            violations = check_all(lattice)
+            report = verify(lattice)
+            for v in violations:
+                print(f"VIOLATION: {v}")
+            print(f"axioms: {'ok' if not violations else 'FAILED'}; "
+                  f"oracle: {'ok' if report.ok else 'FAILED'}")
+            if violations or not report.ok:
+                return 1
+        elif args.command == "lint":
+            from .core import lint_lattice
+
+            findings = lint_lattice(lattice)
+            for f in findings:
+                print(f)
+            print(f"{len(findings)} finding(s)")
+        elif args.command == "normalize":
+            from .core import normalize
+
+            report = normalize(lattice)
+            durable.checkpoint()  # the rewrite bypasses the op log
+            print(
+                f"dropped {report.dropped_supertype_declarations} supertype "
+                f"and {report.dropped_property_declarations} property "
+                f"declaration(s); checkpointed"
+            )
+        elif args.command == "history":
+            entries = durable.journal.entries
+            if not entries:
+                print("(no journaled operations since the last checkpoint)")
+            for entry in entries:
+                print(f"{entry.seq:4d}  {entry.operation.code:<7} "
+                      f"{entry.operation.describe()}")
+        elif args.command == "impact":
+            from .core import DropEssentialSupertype as DES
+            from .core import DropType as DTOp
+            from .core import analyze_impact
+
+            if args.what == "drop-type":
+                op = DTOp(args.args[0])
+            else:
+                op = DES(args.args[0], args.args[1])
+            print(analyze_impact(lattice, op).summary())
+        elif args.command == "render":
+            print(render_lattice(lattice))
+        elif args.command == "dot":
+            print(to_dot(lattice, use_essential=args.essential))
+        elif args.command == "tables":
+            print(render_table1())
+            print()
+            print(render_table2(lattice))
+            print()
+            print(render_table3())
+        elif args.command == "checkpoint":
+            durable.checkpoint()
+            print(f"checkpointed {len(lattice)} types; WAL truncated")
+    except SchemaError as exc:
+        print(f"rejected: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

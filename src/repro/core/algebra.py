@@ -1,0 +1,112 @@
+"""Lattice algebra: meets and joins over the derived subtype order.
+
+The paper's structure ``(T, ⊑)`` with ``s ⊑ t ⟺ t ∈ PL(s)`` is a genuine
+lattice when both relaxable axioms hold (⊤ and ⊥ bound every pair).
+This module provides the order-theoretic operations downstream tooling
+needs — e.g. the static result type of a conditional expression is the
+*join* of the branch types, and the most general receiver able to answer
+two interfaces is their *meet*.
+
+* ``join(a, b)`` — least upper bound candidates: the minimal common
+  supertypes (unique when the lattice is a true lattice for the pair);
+* ``meet(a, b)`` — greatest lower bound candidates: the maximal common
+  subtypes;
+* ``comparable`` / ``partial_order`` helpers used by the query layer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .errors import UnknownTypeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lattice import TypeLattice
+
+__all__ = [
+    "is_subtype",
+    "comparable",
+    "upper_bounds",
+    "lower_bounds",
+    "join",
+    "meet",
+    "join_unique",
+    "meet_unique",
+]
+
+
+def _require(lattice: "TypeLattice", *names: str) -> None:
+    for name in names:
+        if name not in lattice:
+            raise UnknownTypeError(name)
+
+
+def is_subtype(lattice: "TypeLattice", sub: str, sup: str) -> bool:
+    """``sub ⊑ sup`` (reflexive): ``sup ∈ PL(sub)``."""
+    _require(lattice, sub, sup)
+    return sup in lattice.pl(sub)
+
+
+def comparable(lattice: "TypeLattice", a: str, b: str) -> bool:
+    """Whether ``a`` and ``b`` are ordered either way."""
+    return is_subtype(lattice, a, b) or is_subtype(lattice, b, a)
+
+
+def upper_bounds(lattice: "TypeLattice", *names: str) -> frozenset[str]:
+    """All common supertypes: the intersection of the ``PL`` sets."""
+    if not names:
+        return frozenset()
+    _require(lattice, *names)
+    result = lattice.pl(names[0])
+    for name in names[1:]:
+        result &= lattice.pl(name)
+    return result
+
+
+def lower_bounds(lattice: "TypeLattice", *names: str) -> frozenset[str]:
+    """All common subtypes: types whose ``PL`` contains every argument."""
+    if not names:
+        return frozenset()
+    _require(lattice, *names)
+    return frozenset(
+        t for t in lattice.types()
+        if all(n in lattice.pl(t) for n in names)
+    )
+
+
+def join(lattice: "TypeLattice", *names: str) -> frozenset[str]:
+    """Least upper bound candidates: minimal elements of the common
+    supertypes.  On a rooted lattice this is never empty (⊤ bounds all);
+    multiple candidates mean the pair has no unique join (the order is
+    only a partial lattice there)."""
+    bounds = upper_bounds(lattice, *names)
+    return frozenset(
+        t for t in bounds
+        if not any(t in lattice.pl(u) and u != t for u in bounds)
+    )
+
+
+def meet(lattice: "TypeLattice", *names: str) -> frozenset[str]:
+    """Greatest lower bound candidates: maximal elements of the common
+    subtypes.  On a pointed lattice never empty (⊥ is below all)."""
+    bounds = lower_bounds(lattice, *names)
+    return frozenset(
+        t for t in bounds
+        if not any(u in lattice.pl(t) and u != t for u in bounds)
+    )
+
+
+def join_unique(lattice: "TypeLattice", *names: str) -> str | None:
+    """The join when it is unique, else ``None``."""
+    candidates = join(lattice, *names)
+    if len(candidates) == 1:
+        return next(iter(candidates))
+    return None
+
+
+def meet_unique(lattice: "TypeLattice", *names: str) -> str | None:
+    """The meet when it is unique, else ``None``."""
+    candidates = meet(lattice, *names)
+    if len(candidates) == 1:
+        return next(iter(candidates))
+    return None

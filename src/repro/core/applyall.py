@@ -1,0 +1,67 @@
+"""The apply-all operation ``α`` of the axiomatic model.
+
+Section 2: "We assume the availability of an apply-all operation ...
+denoted α_x(f, T'), [which] applies the unary function f to the elements of
+a set of types T' ⊆ T.  ... let x range over the elements of T' and for
+each binding of x, evaluate f and include the result in the final result
+set.  If T' is empty, the empty set is returned."
+
+The paper's axioms always combine ``α`` with an *extended union* over the
+resulting set of sets ("the large union operator preceding each apply-all"),
+with the extended union of the empty set defined as the empty set.  Both
+operations are provided here so :mod:`repro.core.axioms` can be written in
+a form that visibly matches Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, TypeVar
+
+__all__ = ["apply_all", "extended_union", "union_apply_all"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def apply_all(
+    f: Callable[[T], R], elements: Iterable[T]
+) -> frozenset[R]:
+    """``α_x(f, T')``: evaluate ``f`` at each element, collect the results.
+
+    The result is a *set* (as in the paper): duplicate results collapse.
+    ``f`` results must therefore be hashable; in the axioms they are
+    (frozen) sets of types or properties.
+
+    >>> sorted(apply_all(lambda x: x * 2, {1, 2, 3}))
+    [2, 4, 6]
+    >>> apply_all(lambda x: x, set())
+    frozenset()
+    """
+    return frozenset(f(x) for x in elements)
+
+
+def extended_union(sets: Iterable[FrozenSet[R]]) -> frozenset[R]:
+    """The extended (big) union ``⋃`` over a set of sets.
+
+    "We define the extended union of the empty set as the empty set."
+
+    >>> sorted(extended_union([frozenset({1, 2}), frozenset({2, 3})]))
+    [1, 2, 3]
+    >>> extended_union([])
+    frozenset()
+    """
+    result: set[R] = set()
+    for s in sets:
+        result.update(s)
+    return frozenset(result)
+
+
+def union_apply_all(
+    f: Callable[[T], FrozenSet[R]], elements: Iterable[T]
+) -> frozenset[R]:
+    """``⋃ α_x(f, T')`` — the composite form used by Axioms 2, 5, 6, 9.
+
+    >>> sorted(union_apply_all(lambda x: frozenset(range(x)), {2, 3}))
+    [0, 1, 2]
+    """
+    return extended_union(apply_all(f, elements))

@@ -1,0 +1,303 @@
+"""The nine axioms of Table 2 as independently checkable predicates.
+
+Each axiom is represented by an :class:`Axiom` object whose ``check``
+inspects a :class:`~repro.core.lattice.TypeLattice` and returns the list of
+:class:`Violation` it finds.  The checks are written against the *literal*
+Table-2 formulas (using the apply-all operator ``α`` and extended union),
+independently of the derivation engine, so they double as a verification
+oracle for :mod:`repro.core.derivation`: an engine bug that produced a set
+disagreeing with its axiom would be reported here.
+
+The numbering follows the paper:
+
+1. Closure            ``∀t∈T, Pe(t) ⊆ T``
+2. Acyclicity         ``∀t∈T, t ∉ ⋃ α_x(PL(x), Pe(t))``
+3. Rootedness         ``∃!⊤∈T ∀t∈T · ⊤ ∈ PL(t) ∧ P(⊤) = {}``
+4. Pointedness        ``∃!⊥∈T ∀t∈T · t ∈ PL(⊥)``
+5. Supertypes         ``∀t∈T, P(t) = Pe(t) − ⋃ α_x(PL(x) ∩ Pe(t) − {x}, Pe(t))``
+6. Supertype Lattice  ``∀t∈T, PL(t) = ⋃ α_x(PL(x), P(t)) ∪ {t}``
+7. Interface          ``∀t∈T, I(t) = N(t) ∪ H(t)``
+8. Nativeness         ``∀t∈T, N(t) = Ne(t) − H(t)``
+9. Inheritance        ``∀t∈T, H(t) = ⋃ α_x(I(x), P(t))``
+
+Axioms 3 and 4 are *relaxable*; their checks consult the lattice policy and
+pass vacuously when relaxed (forest / multi-leaf lattices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, TYPE_CHECKING
+
+from .applyall import union_apply_all
+from .errors import AxiomViolationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .lattice import TypeLattice
+
+__all__ = [
+    "Violation",
+    "Axiom",
+    "ALL_AXIOMS",
+    "AXIOMS_BY_NAME",
+    "check_axiom",
+    "check_all",
+    "assert_all",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single axiom violation, attributable to a type (or the lattice)."""
+
+    axiom: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.axiom}] {self.subject}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """A named, numbered axiom with a formula string and a checker."""
+
+    number: int
+    name: str
+    formula: str
+    relaxable: bool
+    _checker: Callable[["TypeLattice"], list[Violation]]
+
+    def check(self, lattice: "TypeLattice") -> list[Violation]:
+        """All violations of this axiom in ``lattice`` (empty when it holds)."""
+        return self._checker(lattice)
+
+    def holds(self, lattice: "TypeLattice") -> bool:
+        return not self.check(lattice)
+
+    def __str__(self) -> str:
+        return f"Axiom {self.number} ({self.name}): {self.formula}"
+
+
+# ----------------------------------------------------------------------
+# Individual checkers
+# ----------------------------------------------------------------------
+
+
+def _check_closure(lat: "TypeLattice") -> list[Violation]:
+    out: list[Violation] = []
+    universe = lat.types()
+    for t in universe:
+        stray = lat.pe(t) - universe
+        if stray:
+            out.append(
+                Violation(
+                    "Closure", t,
+                    f"Pe({t}) mentions types outside T: {sorted(stray)}",
+                )
+            )
+    return out
+
+
+def _check_acyclicity(lat: "TypeLattice") -> list[Violation]:
+    # t ∉ ⋃ α_x(PL(x), Pe(t)): no type appears in the supertype lattice of
+    # any of its (essential) supertypes.
+    out: list[Violation] = []
+    universe = lat.types()
+    try:
+        deriv = lat.derivation
+    except Exception:
+        # The derivation itself refuses cyclic graphs: report the cycle by
+        # a direct reachability walk over raw Pe edges.
+        for t in sorted(universe):
+            if _reaches_itself(lat, t):
+                out.append(
+                    Violation("Acyclicity", t, "type reaches itself via Pe")
+                )
+        return out
+    for t in universe:
+        above = union_apply_all(
+            lambda x: deriv.pl[x], (s for s in lat.pe(t) if s in universe)
+        )
+        if t in above:
+            out.append(
+                Violation(
+                    "Acyclicity", t,
+                    "type appears in the supertype lattice of its supertypes",
+                )
+            )
+    return out
+
+
+def _reaches_itself(lat: "TypeLattice", start: str) -> bool:
+    seen: set[str] = set()
+    stack = list(lat.pe(start))
+    while stack:
+        s = stack.pop()
+        if s == start:
+            return True
+        if s in seen or s not in lat:
+            continue
+        seen.add(s)
+        stack.extend(lat.pe(s))
+    return False
+
+
+def _check_rootedness(lat: "TypeLattice") -> list[Violation]:
+    if not lat.policy.rooted:
+        return []
+    out: list[Violation] = []
+    root = lat.policy.root_name
+    if root not in lat:
+        return [Violation("Rootedness", root, "declared root is not in T")]
+    if lat.p(root):
+        out.append(
+            Violation("Rootedness", root, f"P(⊤) must be empty, got {sorted(lat.p(root))}")
+        )
+    for t in lat.types():
+        if root not in lat.pl(t):
+            out.append(
+                Violation("Rootedness", t, f"⊤ ∉ PL({t})")
+            )
+    # Uniqueness: no other type may have an empty supertype set.
+    for t in lat.types():
+        if t != root and not lat.p(t):
+            out.append(
+                Violation("Rootedness", t, "second root: P(t) is empty")
+            )
+    return out
+
+
+def _check_pointedness(lat: "TypeLattice") -> list[Violation]:
+    if not lat.policy.pointed:
+        return []
+    out: list[Violation] = []
+    base = lat.policy.base_name
+    if base not in lat:
+        return [Violation("Pointedness", base, "declared base is not in T")]
+    missing = lat.types() - lat.pl(base)
+    if missing:
+        out.append(
+            Violation(
+                "Pointedness", base,
+                f"types missing from PL(⊥): {sorted(missing)}",
+            )
+        )
+    return out
+
+
+def _check_supertypes(lat: "TypeLattice") -> list[Violation]:
+    out: list[Violation] = []
+    deriv = lat.derivation
+    universe = lat.types()
+    for t in universe:
+        pe_t = frozenset(s for s in lat.pe(t) if s in universe)
+        dominated = union_apply_all(
+            lambda x: (deriv.pl[x] & pe_t) - {x}, pe_t
+        )
+        expected = pe_t - dominated
+        if deriv.p[t] != expected:
+            out.append(
+                Violation(
+                    "Supertypes", t,
+                    f"P({t}) = {sorted(deriv.p[t])}, axiom requires {sorted(expected)}",
+                )
+            )
+    return out
+
+
+def _check_supertype_lattice(lat: "TypeLattice") -> list[Violation]:
+    out: list[Violation] = []
+    deriv = lat.derivation
+    for t in lat.types():
+        expected = union_apply_all(lambda x: deriv.pl[x], deriv.p[t]) | {t}
+        if deriv.pl[t] != expected:
+            out.append(
+                Violation(
+                    "Supertype Lattice", t,
+                    f"PL({t}) = {sorted(deriv.pl[t])}, axiom requires {sorted(expected)}",
+                )
+            )
+    return out
+
+
+def _check_interface(lat: "TypeLattice") -> list[Violation]:
+    out: list[Violation] = []
+    deriv = lat.derivation
+    for t in lat.types():
+        expected = deriv.n[t] | deriv.h[t]
+        if deriv.i[t] != expected:
+            out.append(
+                Violation("Interface", t, "I(t) ≠ N(t) ∪ H(t)")
+            )
+    return out
+
+
+def _check_nativeness(lat: "TypeLattice") -> list[Violation]:
+    out: list[Violation] = []
+    deriv = lat.derivation
+    for t in lat.types():
+        expected = lat.ne(t) - deriv.h[t]
+        if deriv.n[t] != expected:
+            out.append(
+                Violation("Nativeness", t, "N(t) ≠ Ne(t) − H(t)")
+            )
+    return out
+
+
+def _check_inheritance(lat: "TypeLattice") -> list[Violation]:
+    out: list[Violation] = []
+    deriv = lat.derivation
+    for t in lat.types():
+        expected = union_apply_all(lambda x: deriv.i[x], deriv.p[t])
+        if deriv.h[t] != expected:
+            out.append(
+                Violation("Inheritance", t, "H(t) ≠ ⋃ α_x(I(x), P(t))")
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+ALL_AXIOMS: tuple[Axiom, ...] = (
+    Axiom(1, "Closure", "∀t∈T, Pe(t) ⊆ T", False, _check_closure),
+    Axiom(2, "Acyclicity", "∀t∈T, t ∉ ⋃ α_x(PL(x), Pe(t))", False, _check_acyclicity),
+    Axiom(3, "Rootedness", "∃!⊤∈T ∀t∈T · ⊤ ∈ PL(t) ∧ P(⊤) = {}", True, _check_rootedness),
+    Axiom(4, "Pointedness", "∃!⊥∈T ∀t∈T · t ∈ PL(⊥)", True, _check_pointedness),
+    Axiom(5, "Supertypes", "∀t∈T, P(t) = Pe(t) − ⋃ α_x(PL(x) ∩ Pe(t) − {x}, Pe(t))", False, _check_supertypes),
+    Axiom(6, "Supertype Lattice", "∀t∈T, PL(t) = ⋃ α_x(PL(x), P(t)) ∪ {t}", False, _check_supertype_lattice),
+    Axiom(7, "Interface", "∀t∈T, I(t) = N(t) ∪ H(t)", False, _check_interface),
+    Axiom(8, "Nativeness", "∀t∈T, N(t) = Ne(t) − H(t)", False, _check_nativeness),
+    Axiom(9, "Inheritance", "∀t∈T, H(t) = ⋃ α_x(I(x), P(t))", False, _check_inheritance),
+)
+
+AXIOMS_BY_NAME: dict[str, Axiom] = {a.name: a for a in ALL_AXIOMS}
+
+
+def check_axiom(lattice: "TypeLattice", which: int | str) -> list[Violation]:
+    """Check a single axiom by number (1-9) or name."""
+    if isinstance(which, int):
+        for a in ALL_AXIOMS:
+            if a.number == which:
+                return a.check(lattice)
+        raise KeyError(f"no axiom numbered {which}")
+    return AXIOMS_BY_NAME[which].check(lattice)
+
+
+def check_all(
+    lattice: "TypeLattice", axioms: Iterable[Axiom] = ALL_AXIOMS
+) -> list[Violation]:
+    """Check every axiom; returns the concatenated violation list."""
+    out: list[Violation] = []
+    for axiom in axioms:
+        out.extend(axiom.check(lattice))
+    return out
+
+
+def assert_all(lattice: "TypeLattice") -> None:
+    """Raise :class:`AxiomViolationError` unless all nine axioms hold."""
+    violations = check_all(lattice)
+    if violations:
+        raise AxiomViolationError(violations)

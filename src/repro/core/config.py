@@ -1,0 +1,92 @@
+"""Lattice policies: the relaxable axioms and essentiality defaults.
+
+The paper allows the Axiom of Rootedness and the Axiom of Pointedness to be
+relaxed ("in which case the type lattice has many roots and is known as a
+forest" / "the lattice has many leaves").  It also leaves the management of
+``Pe``/``Ne`` open: "The specification of Pe and Ne can be system or user
+managed ... the system may, as default, assume that all supertypes and
+properties (including inherited properties) are essential in a given type,
+or that none are essential."  :class:`LatticePolicy` captures those knobs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["EssentialityDefault", "LatticePolicy"]
+
+
+class EssentialityDefault(enum.Enum):
+    """How ``Pe``/``Ne`` are populated when a type is declared.
+
+    ``EXPLICIT``
+        Only what the designer states is essential (TIGUKAT's default in the
+        paper: "the system may assume that only the initial supertypes and
+        properties defined on a type are essential.  By default, none of the
+        inherited properties are assumed to be essential").
+    ``ALL_INHERITED``
+        Everything reachable/inherited at declaration time is recorded as
+        essential (the "all essential" extreme the paper mentions).
+    """
+
+    EXPLICIT = "explicit"
+    ALL_INHERITED = "all-inherited"
+
+
+@dataclass(frozen=True)
+class LatticePolicy:
+    """Configuration of the relaxable axioms and naming of ``⊤``/``⊥``.
+
+    Parameters
+    ----------
+    rooted:
+        Enforce the Axiom of Rootedness: a single root ``⊤`` supertype of
+        every type.  When set, the root is implicitly in every ``Pe(t)``,
+        the link to it cannot be dropped, and the root cannot be dropped.
+    pointed:
+        Enforce the Axiom of Pointedness: a single base ``⊥`` subtype of
+        every type.  When set, every added type automatically joins
+        ``Pe(⊥)`` (TIGUKAT: "the new type t is added to Pe(T_null) because
+        all types are essential supertypes of this base type").
+    root_name / base_name:
+        Reference names for ``⊤`` and ``⊥`` (TIGUKAT: ``T_object`` and
+        ``T_null``; Orion: ``OBJECT`` with pointedness relaxed).
+    essentiality:
+        Default population rule for ``Pe``/``Ne`` on type creation.
+    """
+
+    rooted: bool = True
+    pointed: bool = True
+    root_name: str = "T_object"
+    base_name: str = "T_null"
+    essentiality: EssentialityDefault = EssentialityDefault.EXPLICIT
+
+    def __post_init__(self) -> None:
+        if self.rooted and not self.root_name:
+            raise ValueError("a rooted lattice needs a root_name")
+        if self.pointed and not self.base_name:
+            raise ValueError("a pointed lattice needs a base_name")
+        if (
+            self.rooted
+            and self.pointed
+            and self.root_name == self.base_name
+        ):
+            raise ValueError("root and base must be distinct types")
+
+    @classmethod
+    def tigukat(cls) -> "LatticePolicy":
+        """TIGUKAT obeys both rootedness and pointedness (Section 3)."""
+        return cls(rooted=True, pointed=True,
+                   root_name="T_object", base_name="T_null")
+
+    @classmethod
+    def orion(cls) -> "LatticePolicy":
+        """Orion: rooted at OBJECT, pointedness relaxed (Section 4)."""
+        return cls(rooted=True, pointed=False,
+                   root_name="OBJECT", base_name="")
+
+    @classmethod
+    def forest(cls) -> "LatticePolicy":
+        """Both axioms relaxed: many roots, many leaves."""
+        return cls(rooted=False, pointed=False, root_name="", base_name="")

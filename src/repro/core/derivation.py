@@ -1,0 +1,237 @@
+"""Derivation engine: instantiating P, PL, N, H, I from Pe and Ne.
+
+Section 2 of the paper: "All schema evolution operations can be handled
+through these two terms [Pe and Ne] ... The axiomatic model takes care of
+rearranging the schema to conform to these two inputs."
+
+The five derived terms are mutually recursive (Axioms 5, 6, 7, 8, 9), but
+because the Pe-graph is acyclic (Axiom 2) and every derived term of ``t``
+depends only on terms of types *above* ``t``, a single topological pass
+from the root(s) down instantiates everything.  This is one of the
+"simplifications ... to reduce the amount of mutual recursion among [the
+axioms]" the paper alludes to.
+
+Two entry points are provided:
+
+* :func:`derive` — full derivation from scratch;
+* :func:`derive_incremental` — after a change to ``Pe``/``Ne`` of a known
+  set of types, recompute only the affected downset and reuse the previous
+  derivation for the rest (one of the "optimizations ... to the way in
+  which the axioms generate their results").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .applyall import union_apply_all
+from .errors import CycleError
+from .properties import Property
+
+__all__ = ["Derivation", "derive", "derive_incremental", "topological_order"]
+
+PeMap = Mapping[str, frozenset[str]]
+NeMap = Mapping[str, frozenset[Property]]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """The instantiated derived terms of an entire lattice.
+
+    All five per-type maps cover exactly the same key set (the lattice
+    ``T``), and every value is a frozen set, so a :class:`Derivation` is an
+    immutable snapshot that survives later lattice mutation.
+    """
+
+    p: dict[str, frozenset[str]]
+    pl: dict[str, frozenset[str]]
+    n: dict[str, frozenset[Property]]
+    h: dict[str, frozenset[Property]]
+    i: dict[str, frozenset[Property]]
+    order: tuple[str, ...] = field(default=())
+
+    def types(self) -> frozenset[str]:
+        return frozenset(self.p)
+
+    def subtypes(self, t: str) -> frozenset[str]:
+        """Immediate subtypes: the inverse of ``P`` (paper, DT operation:
+        "this can be defined as the inverse operation of the supertypes
+        property")."""
+        return frozenset(s for s, supers in self.p.items() if t in supers)
+
+    def all_subtypes(self, t: str) -> frozenset[str]:
+        """Every type whose supertype lattice contains ``t`` (minus ``t``)."""
+        return frozenset(
+            s for s, lat in self.pl.items() if t in lat and s != t
+        )
+
+    def fingerprint(self) -> tuple:
+        """A canonical, hashable digest of the derived structure.
+
+        Two derivations with equal fingerprints describe the same lattice
+        shape and property placement; used by the comparison framework and
+        the order-independence experiments.
+        """
+        return tuple(
+            (
+                t,
+                tuple(sorted(self.p[t])),
+                tuple(sorted(pr.semantics for pr in self.n[t])),
+                tuple(sorted(pr.semantics for pr in self.i[t])),
+            )
+            for t in sorted(self.p)
+        )
+
+
+def topological_order(pe: PeMap) -> tuple[str, ...]:
+    """Order the types so every type follows all of its essential supertypes.
+
+    Raises :class:`CycleError` when the Pe-graph has a cycle (Axiom of
+    Acyclicity violated), naming one edge on the offending cycle.
+    """
+    # Kahn's algorithm on edges t -> s for s in Pe(t): we need supertypes
+    # first, so a type becomes ready when all of its Pe members are emitted.
+    remaining: dict[str, set[str]] = {
+        t: {s for s in supers if s in pe} for t, supers in pe.items()
+    }
+    dependents: dict[str, list[str]] = {t: [] for t in pe}
+    for t, supers in remaining.items():
+        for s in supers:
+            dependents[s].append(t)
+
+    ready = deque(sorted(t for t, supers in remaining.items() if not supers))
+    order: list[str] = []
+    while ready:
+        s = ready.popleft()
+        order.append(s)
+        for t in dependents[s]:
+            deps = remaining[t]
+            deps.discard(s)
+            if not deps:
+                ready.append(t)
+    if len(order) != len(pe):
+        stuck = sorted(t for t, deps in remaining.items() if deps)
+        t = stuck[0]
+        s = sorted(remaining[t])[0]
+        raise CycleError(t, s)
+    return tuple(order)
+
+
+def _derive_one(
+    t: str,
+    pe: PeMap,
+    ne: NeMap,
+    pl: dict[str, frozenset[str]],
+    i: dict[str, frozenset[Property]],
+) -> tuple[
+    frozenset[str],
+    frozenset[str],
+    frozenset[Property],
+    frozenset[Property],
+    frozenset[Property],
+]:
+    """Instantiate the derived terms of a single type.
+
+    ``pl`` and ``i`` must already hold the values for every member of
+    ``Pe(t)`` (guaranteed by topological order).  The formulas are literal
+    transcriptions of Table 2, using the apply-all operator.
+    """
+    pe_t = frozenset(s for s in pe[t] if s in pe)
+
+    # Axiom of Supertypes (5):
+    #   P(t) = Pe(t) − ⋃ α_x(PL(x) ∩ Pe(t) − {x}, Pe(t))
+    dominated = union_apply_all(
+        lambda x: (pl[x] & pe_t) - {x}, pe_t
+    )
+    p_t = pe_t - dominated
+
+    # Axiom of Supertype Lattice (6):
+    #   PL(t) = ⋃ α_x(PL(x), P(t)) ∪ {t}
+    pl_t = union_apply_all(lambda x: pl[x], p_t) | {t}
+
+    # Axiom of Inheritance (9):
+    #   H(t) = ⋃ α_x(I(x), P(t))
+    h_t = union_apply_all(lambda x: i[x], p_t)
+
+    # Axiom of Nativeness (8):  N(t) = Ne(t) − H(t)
+    n_t = frozenset(ne[t]) - h_t
+
+    # Axiom of Interface (7):  I(t) = N(t) ∪ H(t)
+    i_t = n_t | h_t
+
+    return p_t, pl_t, n_t, h_t, i_t
+
+
+def derive(pe: PeMap, ne: NeMap) -> Derivation:
+    """Instantiate every derived term of the lattice from ``Pe`` and ``Ne``.
+
+    The inputs must cover the same key set; dangling supertype references
+    (names not in ``T``) are ignored, which lets callers derive mid-way
+    through a multi-step operation.
+    """
+    order = topological_order(pe)
+    p: dict[str, frozenset[str]] = {}
+    pl: dict[str, frozenset[str]] = {}
+    n: dict[str, frozenset[Property]] = {}
+    h: dict[str, frozenset[Property]] = {}
+    i: dict[str, frozenset[Property]] = {}
+    for t in order:
+        p[t], pl[t], n[t], h[t], i[t] = _derive_one(t, pe, ne, pl, i)
+    return Derivation(p=p, pl=pl, n=n, h=h, i=i, order=order)
+
+
+def affected_downset(pe: PeMap, dirty: Iterable[str]) -> set[str]:
+    """All types whose derived terms may change after ``dirty`` changed.
+
+    A type is affected when it *is* dirty or can reach a dirty type through
+    essential-supertype edges (its derivation reads the dirty type's
+    ``PL``/``I``).  Computed by BFS over the inverse Pe-graph.
+    """
+    inverse: dict[str, list[str]] = {t: [] for t in pe}
+    for t, supers in pe.items():
+        for s in supers:
+            if s in inverse:
+                inverse[s].append(t)
+    affected: set[str] = set()
+    frontier = deque(t for t in dirty if t in pe)
+    affected.update(frontier)
+    while frontier:
+        s = frontier.popleft()
+        for t in inverse[s]:
+            if t not in affected:
+                affected.add(t)
+                frontier.append(t)
+    return affected
+
+
+def derive_incremental(
+    previous: Derivation, pe: PeMap, ne: NeMap, dirty: Iterable[str]
+) -> Derivation:
+    """Re-derive only the downset affected by ``dirty``; reuse the rest.
+
+    ``previous`` must be a derivation of the same lattice before the
+    change.  Types present in ``previous`` but no longer in ``pe`` are
+    dropped; new types are treated as dirty automatically.
+    """
+    dirty_set = set(dirty)
+    dirty_set.update(t for t in pe if t not in previous.p)
+    affected = affected_downset(pe, dirty_set)
+
+    order = topological_order(pe)
+    p: dict[str, frozenset[str]] = {}
+    pl: dict[str, frozenset[str]] = {}
+    n: dict[str, frozenset[Property]] = {}
+    h: dict[str, frozenset[Property]] = {}
+    i: dict[str, frozenset[Property]] = {}
+    for t in order:
+        if t not in affected:
+            p[t] = previous.p[t]
+            pl[t] = previous.pl[t]
+            n[t] = previous.n[t]
+            h[t] = previous.h[t]
+            i[t] = previous.i[t]
+        else:
+            p[t], pl[t], n[t], h[t], i[t] = _derive_one(t, pe, ne, pl, i)
+    return Derivation(p=p, pl=pl, n=n, h=h, i=i, order=order)

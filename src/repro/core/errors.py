@@ -1,0 +1,125 @@
+"""Exception hierarchy for the axiomatic schema-evolution model.
+
+Every error raised by :mod:`repro.core` derives from :class:`SchemaError`,
+so callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the individual failure modes the paper
+calls out (cycle introduction, dropping the root link, unknown types, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SchemaError",
+    "UnknownTypeError",
+    "DuplicateTypeError",
+    "CycleError",
+    "RootViolationError",
+    "PointednessViolationError",
+    "AxiomViolationError",
+    "OperationRejected",
+    "UnknownPropertyError",
+    "FrozenTypeError",
+    "JournalError",
+]
+
+
+class SchemaError(Exception):
+    """Base class for all schema-evolution errors."""
+
+
+class UnknownTypeError(SchemaError, KeyError):
+    """A referenced type is not a member of the lattice ``T``."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:  # KeyError would quote the repr otherwise
+        return f"unknown type: {self.name!r}"
+
+
+class DuplicateTypeError(SchemaError):
+    """A type with the same identity already exists in the lattice."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"type already exists: {name!r}")
+        self.name = name
+
+
+class CycleError(SchemaError):
+    """Axiom of Acyclicity: the requested change would introduce a cycle.
+
+    The paper (Section 3.3, MT-ASR): "Due to the axiom of acyclicity, the
+    addition of a type as a supertype of another type is rejected if it
+    introduces a cycle into the lattice."
+    """
+
+    def __init__(self, subtype: str, supertype: str) -> None:
+        super().__init__(
+            f"adding {supertype!r} as a supertype of {subtype!r} "
+            f"would create a cycle"
+        )
+        self.subtype = subtype
+        self.supertype = supertype
+
+
+class RootViolationError(SchemaError):
+    """Axiom of Rootedness: the change would disconnect a type from the root.
+
+    TIGUKAT obeys rootedness, so "a subtype relationship to T_object cannot
+    be dropped" and the root type itself cannot be dropped.
+    """
+
+
+class PointednessViolationError(SchemaError):
+    """Axiom of Pointedness: the change would break the base type ``⊥``."""
+
+
+class AxiomViolationError(SchemaError):
+    """An axiom check failed; carries the structured violation list."""
+
+    def __init__(self, violations: list) -> None:
+        lines = "; ".join(str(v) for v in violations)
+        super().__init__(f"axiom violations: {lines}")
+        self.violations = list(violations)
+
+
+class OperationRejected(SchemaError):
+    """A schema-evolution operation was rejected by its precondition.
+
+    Mirrors the paper's REJECT outcomes (e.g. Orion OP4 on the last
+    superclass being OBJECT, or TIGUKAT DF on a function still implementing
+    a behavior of a type with an associated class).
+    """
+
+    def __init__(self, operation: str, reason: str) -> None:
+        super().__init__(f"{operation} rejected: {reason}")
+        self.operation = operation
+        self.reason = reason
+
+
+class UnknownPropertyError(SchemaError, KeyError):
+    """A referenced property is not known to the schema."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.name = name
+
+    def __str__(self) -> str:
+        return f"unknown property: {self.name!r}"
+
+
+class FrozenTypeError(SchemaError):
+    """A primitive (frozen) type was the target of a destructive change.
+
+    TIGUKAT restricts the primitive types of the model (Figure 2) from
+    being dropped.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"primitive type cannot be modified or dropped: {name!r}")
+        self.name = name
+
+
+class JournalError(SchemaError):
+    """The operation journal is corrupt or a replay failed."""

@@ -1,0 +1,99 @@
+"""Naive fixpoint derivation: Table 2 as literal simultaneous equations.
+
+Section 2: "There are several simplifications that can be made to the
+axioms in order to reduce the amount of mutual recursion among them.
+Furthermore, several optimizations can be made to the way in which the
+axioms generate their results."
+
+The production engine (:mod:`repro.core.derivation`) *is* the simplified
+form: one topological pass.  This module keeps the *unsimplified* form
+alive: treat Axioms 5-9 as a system of simultaneous set equations and
+iterate them from empty sets until a fixpoint.  On an acyclic ``Pe``
+graph the least fixpoint equals the topological derivation — asserted by
+the test suite on random lattices, and quantified as an ablation
+benchmark (the fixpoint engine re-evaluates every equation each round;
+the topological pass touches each type once).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .applyall import union_apply_all
+from .derivation import Derivation, NeMap, PeMap
+from .errors import CycleError
+from .properties import Property
+
+__all__ = ["derive_fixpoint"]
+
+
+def derive_fixpoint(pe: PeMap, ne: NeMap, max_rounds: int | None = None) -> Derivation:
+    """Iterate Axioms 5-9 to their least fixpoint.
+
+    ``max_rounds`` defaults to ``|T| + 2`` — on an acyclic graph the
+    fixpoint is reached within ``depth + 1 ≤ |T|`` rounds; exceeding the
+    bound means the Pe graph is cyclic and derivation cannot converge
+    (reported as :class:`CycleError`, mirroring Axiom 2).
+    """
+    types = [t for t in pe]
+    pe_clean: dict[str, frozenset[str]] = {
+        t: frozenset(s for s in pe[t] if s in pe) for t in types
+    }
+    limit = max_rounds if max_rounds is not None else len(types) + 2
+
+    p: dict[str, frozenset[str]] = {t: frozenset() for t in types}
+    pl: dict[str, frozenset[str]] = {t: frozenset({t}) for t in types}
+    n: dict[str, frozenset[Property]] = {t: frozenset() for t in types}
+    h: dict[str, frozenset[Property]] = {t: frozenset() for t in types}
+    i: dict[str, frozenset[Property]] = {t: frozenset() for t in types}
+
+    for _round in range(limit):
+        changed = False
+        for t in types:
+            pe_t = pe_clean[t]
+            # Axiom 5: P(t) = Pe(t) − ⋃ α_x(PL(x) ∩ Pe(t) − {x}, Pe(t))
+            dominated = union_apply_all(
+                lambda x: (pl[x] & pe_t) - {x}, pe_t
+            )
+            new_p = pe_t - dominated
+            # Axiom 6: PL(t) = ⋃ α_x(PL(x), P(t)) ∪ {t}
+            new_pl = union_apply_all(lambda x: pl[x], new_p) | {t}
+            # Axiom 9: H(t) = ⋃ α_x(I(x), P(t))
+            new_h = union_apply_all(lambda x: i[x], new_p)
+            # Axiom 8: N(t) = Ne(t) − H(t)
+            new_n = frozenset(ne[t]) - new_h
+            # Axiom 7: I(t) = N(t) ∪ H(t)
+            new_i = new_n | new_h
+            if (
+                new_p != p[t] or new_pl != pl[t] or new_h != h[t]
+                or new_n != n[t] or new_i != i[t]
+            ):
+                changed = True
+                p[t], pl[t], h[t], n[t], i[t] = (
+                    new_p, new_pl, new_h, new_n, new_i
+                )
+        if not changed:
+            break
+    else:
+        # Never reached a fixpoint inside the acyclicity bound.
+        for t in types:
+            if t in union_apply_all(lambda x: pl[x], pe_clean[t]):
+                raise CycleError(t, sorted(pe_clean[t])[0])
+        raise CycleError(types[0] if types else "?", "?")
+
+    # A stable assignment on a cyclic graph can still exist in pathological
+    # hand-made inputs; reject any t appearing above itself (Axiom 2).
+    for t in types:
+        above = union_apply_all(lambda x: pl[x], pe_clean[t])
+        if t in above:
+            raise CycleError(t, sorted(pe_clean[t])[0])
+
+    order = tuple(sorted(types, key=lambda t: (len(pl[t]), t)))
+    return Derivation(p=p, pl=pl, n=n, h=h, i=i, order=order)
+
+
+def derive_fixpoint_from_views(
+    pe: Mapping[str, frozenset[str]], ne: Mapping[str, frozenset[Property]]
+) -> Derivation:
+    """Alias used by benchmarks; identical to :func:`derive_fixpoint`."""
+    return derive_fixpoint(pe, ne)

@@ -1,0 +1,124 @@
+"""Object identity for the uniform object model.
+
+TIGUKAT objects "are created with a unique, immutable object identity"
+(Section 5).  References (names) are separate from identity: two different
+references may denote the same object, and renaming never exists at the
+identity level.  This module provides the OID allocator and the
+reference-to-identity indirection used by both the axiomatic core and the
+TIGUKAT substrate.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["Oid", "OidGenerator", "ReferenceMap"]
+
+
+@dataclass(frozen=True, order=True)
+class Oid:
+    """An immutable object identity.
+
+    Ordering and hashing are by the ``(space, serial)`` pair so OIDs are
+    usable as dictionary keys and can be deterministically sorted for
+    reproducible output.
+    """
+
+    space: str
+    serial: int
+
+    def __str__(self) -> str:
+        return f"{self.space}#{self.serial}"
+
+
+class OidGenerator:
+    """Thread-safe allocator of :class:`Oid` values within a named space."""
+
+    def __init__(self, space: str = "obj") -> None:
+        self._space = space
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    @property
+    def space(self) -> str:
+        return self._space
+
+    def allocate(self) -> Oid:
+        """Return a fresh, never-before-issued identity."""
+        with self._lock:
+            return Oid(self._space, next(self._counter))
+
+    def allocate_many(self, count: int) -> list[Oid]:
+        """Allocate ``count`` identities in one lock acquisition."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        with self._lock:
+            return [Oid(self._space, next(self._counter)) for _ in range(count)]
+
+
+@dataclass
+class ReferenceMap:
+    """A many-to-one mapping of human references onto identities.
+
+    The paper: "the act of adding s to Pe(t) does not mean 'add the name s'
+    ... it means 'add a reference to the object identified by s'.  There may
+    be two different references (with different names) that refer to the
+    same object."
+    """
+
+    _by_name: dict[str, Oid] = field(default_factory=dict)
+    _names: dict[Oid, set[str]] = field(default_factory=dict)
+
+    def bind(self, name: str, oid: Oid) -> None:
+        """Bind ``name`` to ``oid``; rebinding an existing name is an error."""
+        if name in self._by_name:
+            raise ValueError(f"reference already bound: {name!r}")
+        self._by_name[name] = oid
+        self._names.setdefault(oid, set()).add(name)
+
+    def rebind(self, name: str, oid: Oid) -> None:
+        """Point an existing (or new) ``name`` at ``oid``."""
+        old = self._by_name.get(name)
+        if old is not None:
+            self._names[old].discard(name)
+            if not self._names[old]:
+                del self._names[old]
+        self._by_name[name] = oid
+        self._names.setdefault(oid, set()).add(name)
+
+    def unbind(self, name: str) -> Oid:
+        """Remove a reference; the object itself is untouched."""
+        oid = self._by_name.pop(name, None)
+        if oid is None:
+            raise KeyError(name)
+        self._names[oid].discard(name)
+        if not self._names[oid]:
+            del self._names[oid]
+        return oid
+
+    def resolve(self, name: str) -> Oid:
+        """Return the identity a reference denotes."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unresolved reference: {name!r}") from None
+
+    def names_of(self, oid: Oid) -> frozenset[str]:
+        """All references currently denoting ``oid`` (possibly several)."""
+        return frozenset(self._names.get(oid, ()))
+
+    def drop_object(self, oid: Oid) -> frozenset[str]:
+        """Remove every reference to ``oid``; returns the removed names."""
+        names = self.names_of(oid)
+        for name in names:
+            del self._by_name[name]
+        self._names.pop(oid, None)
+        return names
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)

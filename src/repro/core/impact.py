@@ -1,0 +1,114 @@
+"""Impact analysis: what a schema change *would* do, before doing it.
+
+The schema designer's half of "the timely change and management of the
+schema": before an operation is applied to a live objectbase, preview
+exactly which types' derived terms change and how.  The analysis runs
+the operation on a throwaway copy of the lattice and diffs the derived
+structure — so it is exact by construction (same engine, same axioms),
+and the live lattice is untouched.
+
+Used by :class:`repro.core.transactions.SchemaTransaction` callers as a
+dry-run, and by the TIGUKAT layer (`repro.tigukat.impact`) to extend the
+preview to instance counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .errors import SchemaError
+from .minimality import diff_lattices
+from .operations import SchemaOperation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lattice import TypeLattice
+
+__all__ = ["ImpactReport", "analyze_impact"]
+
+
+@dataclass
+class ImpactReport:
+    """The projected effect of one operation on the derived schema."""
+
+    operation: SchemaOperation
+    accepted: bool
+    rejection: str = ""
+    types_added: frozenset[str] = frozenset()
+    types_removed: frozenset[str] = frozenset()
+    #: type -> (P before, P after)
+    supertype_changes: dict[str, tuple[frozenset[str], frozenset[str]]] = field(
+        default_factory=dict
+    )
+    #: type -> (properties entering I(t), properties leaving I(t))
+    interface_changes: dict[str, tuple[frozenset, frozenset]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def affected_types(self) -> frozenset[str]:
+        """Every type whose derived structure would change."""
+        return frozenset(
+            set(self.supertype_changes)
+            | set(self.interface_changes)
+            | self.types_added
+            | self.types_removed
+        )
+
+    @property
+    def is_noop(self) -> bool:
+        return self.accepted and not self.affected_types
+
+    def summary(self) -> str:
+        if not self.accepted:
+            return f"REJECTED: {self.rejection}"
+        if self.is_noop:
+            return "no derived change"
+        lines: list[str] = []
+        if self.types_added:
+            lines.append(f"adds types: {sorted(self.types_added)}")
+        if self.types_removed:
+            lines.append(f"removes types: {sorted(self.types_removed)}")
+        for t, (before, after) in sorted(self.supertype_changes.items()):
+            lines.append(
+                f"P({t}): {sorted(before)} -> {sorted(after)}"
+            )
+        for t, (gained, lost) in sorted(self.interface_changes.items()):
+            bits = []
+            if gained:
+                bits.append(f"+{sorted(str(p) for p in gained)}")
+            if lost:
+                bits.append(f"-{sorted(str(p) for p in lost)}")
+            lines.append(f"I({t}): {' '.join(bits)}")
+        return "\n".join(lines)
+
+
+def analyze_impact(
+    lattice: "TypeLattice", operation: SchemaOperation
+) -> ImpactReport:
+    """Dry-run ``operation`` and report the projected derived changes.
+
+    Never mutates ``lattice``.  A rejected operation reports
+    ``accepted=False`` with the rejection reason instead of raising.
+    """
+    trial = lattice.copy()
+    try:
+        operation.apply(trial)
+    except SchemaError as exc:
+        return ImpactReport(operation, accepted=False, rejection=str(exc))
+
+    diff = diff_lattices(lattice, trial)
+    interface_changes: dict[str, tuple[frozenset, frozenset]] = {}
+    for t, (before, after) in diff.interface_changes.items():
+        interface_changes[t] = (
+            frozenset(after - before),   # gained
+            frozenset(before - after),   # lost
+        )
+    return ImpactReport(
+        operation,
+        accepted=True,
+        types_added=diff.only_right,
+        types_removed=diff.only_left,
+        supertype_changes=dict(diff.edge_changes),
+        interface_changes=interface_changes,
+    )

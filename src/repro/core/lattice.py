@@ -1,0 +1,519 @@
+"""The type lattice ``T`` with designer inputs ``Pe`` and ``Ne``.
+
+:class:`TypeLattice` is the central data structure of the axiomatic model
+(Section 2 of the paper).  Its *state* is exactly the two designer-managed
+terms — the essential supertypes ``Pe(t)`` and essential properties
+``Ne(t)`` of every type — plus a :class:`~repro.core.config.LatticePolicy`
+selecting which of the relaxable axioms (rootedness, pointedness) are in
+force.  Everything else (``P``, ``PL``, ``N``, ``H``, ``I``) is *derived*
+through the axioms, cached, and invalidated on mutation.
+
+The mutation API enforces at change time exactly the rejections the paper
+specifies: cycle-introducing supertype additions (Axiom of Acyclicity),
+dropping the link to the root (Axiom of Rootedness), and destructive
+changes to frozen (primitive) types.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .config import EssentialityDefault, LatticePolicy
+from .derivation import Derivation, derive, derive_incremental
+from .errors import (
+    CycleError,
+    DuplicateTypeError,
+    FrozenTypeError,
+    PointednessViolationError,
+    RootViolationError,
+    UnknownTypeError,
+)
+from .properties import Property, PropertyUniverse
+
+__all__ = ["TypeLattice", "build_figure1_lattice"]
+
+
+class TypeLattice:
+    """A lattice of types driven by essential supertypes and properties.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`LatticePolicy` in force.  Defaults to the TIGUKAT
+        policy (rooted at ``T_object``, pointed at ``T_null``).  When the
+        policy is rooted and/or pointed, the root/base types are created
+        automatically.
+
+    Examples
+    --------
+    >>> lat = TypeLattice()
+    >>> _ = lat.add_type("T_person")
+    >>> _ = lat.add_type("T_student", supertypes=["T_person"])
+    >>> sorted(lat.p("T_student"))
+    ['T_person']
+    """
+
+    def __init__(self, policy: LatticePolicy | None = None) -> None:
+        self._policy = policy if policy is not None else LatticePolicy.tigukat()
+        self._pe: dict[str, set[str]] = {}
+        self._ne: dict[str, set[Property]] = {}
+        self._frozen: set[str] = set()
+        self._universe = PropertyUniverse()
+        self._derivation: Derivation | None = None
+        self._dirty: set[str] = set()
+        self._full_recompute = True
+        self._generation = 0
+        self.stats = {"full_derivations": 0, "incremental_derivations": 0}
+
+        if self._policy.rooted:
+            self._install_type(self._policy.root_name, frozen=True)
+        if self._policy.pointed:
+            self._install_type(self._policy.base_name, frozen=True)
+            if self._policy.rooted:
+                self._pe[self._policy.base_name].add(self._policy.root_name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def policy(self) -> LatticePolicy:
+        return self._policy
+
+    @property
+    def universe(self) -> PropertyUniverse:
+        """Every property known to the schema (interned)."""
+        return self._universe
+
+    def types(self) -> frozenset[str]:
+        """The set ``T`` of all types in the system."""
+        return frozenset(self._pe)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pe
+
+    def __len__(self) -> int:
+        return len(self._pe)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._pe)
+
+    @property
+    def root(self) -> str | None:
+        return self._policy.root_name if self._policy.rooted else None
+
+    @property
+    def base(self) -> str | None:
+        return self._policy.base_name if self._policy.pointed else None
+
+    def is_frozen(self, name: str) -> bool:
+        """Whether ``name`` is a primitive type protected from changes."""
+        self._require(name)
+        return name in self._frozen
+
+    # -- designer-managed terms ----------------------------------------
+
+    def pe(self, name: str) -> frozenset[str]:
+        """``Pe(t)``: the essential supertypes of ``t``."""
+        self._require(name)
+        return frozenset(self._pe[name])
+
+    def ne(self, name: str) -> frozenset[Property]:
+        """``Ne(t)``: the essential properties of ``t``."""
+        self._require(name)
+        return frozenset(self._ne[name])
+
+    # -- derived terms (the axioms) ------------------------------------
+
+    @property
+    def derivation(self) -> Derivation:
+        """The current instantiation of all derived terms (cached)."""
+        if self._derivation is None or self._full_recompute:
+            self._derivation = derive(self._pe_view(), self._ne_view())
+            self.stats["full_derivations"] += 1
+            self._full_recompute = False
+            self._dirty.clear()
+        elif self._dirty:
+            self._derivation = derive_incremental(
+                self._derivation, self._pe_view(), self._ne_view(), self._dirty
+            )
+            self.stats["incremental_derivations"] += 1
+            self._dirty.clear()
+        return self._derivation
+
+    def p(self, name: str) -> frozenset[str]:
+        """``P(t)``: the immediate (minimal) supertypes of ``t`` (Axiom 5)."""
+        self._require(name)
+        return self.derivation.p[name]
+
+    def pl(self, name: str) -> frozenset[str]:
+        """``PL(t)``: the supertype lattice of ``t``, including ``t`` (Axiom 6)."""
+        self._require(name)
+        return self.derivation.pl[name]
+
+    def n(self, name: str) -> frozenset[Property]:
+        """``N(t)``: the native properties of ``t`` (Axiom 8)."""
+        self._require(name)
+        return self.derivation.n[name]
+
+    def h(self, name: str) -> frozenset[Property]:
+        """``H(t)``: the inherited properties of ``t`` (Axiom 9)."""
+        self._require(name)
+        return self.derivation.h[name]
+
+    def interface(self, name: str) -> frozenset[Property]:
+        """``I(t)``: the full interface of ``t`` (Axiom 7)."""
+        self._require(name)
+        return self.derivation.i[name]
+
+    def subtypes(self, name: str) -> frozenset[str]:
+        """Immediate subtypes of ``name`` — the inverse of ``P``."""
+        self._require(name)
+        return self.derivation.subtypes(name)
+
+    def all_subtypes(self, name: str) -> frozenset[str]:
+        """All (transitive) subtypes of ``name``, excluding itself."""
+        self._require(name)
+        return self.derivation.all_subtypes(name)
+
+    def essential_subtypes(self, name: str) -> frozenset[str]:
+        """Types that list ``name`` among their essential supertypes."""
+        self._require(name)
+        return frozenset(t for t, supers in self._pe.items() if name in supers)
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        """Whether ``sub ⊑ sup`` in the derived lattice (reflexive)."""
+        return sup in self.pl(sub)
+
+    def defining_types(self, p: Property) -> frozenset[str]:
+        """Types that define ``p`` natively in the derived lattice."""
+        deriv = self.derivation
+        return frozenset(t for t in deriv.n if p in deriv.n[t])
+
+    def essential_in(self, p: Property) -> frozenset[str]:
+        """Types that list ``p`` among their essential properties."""
+        return frozenset(t for t, props in self._ne.items() if p in props)
+
+    # ------------------------------------------------------------------
+    # Mutation (the designer-facing evolution primitives)
+    # ------------------------------------------------------------------
+
+    def add_type(
+        self,
+        name: str,
+        supertypes: Iterable[str] = (),
+        properties: Iterable[Property] = (),
+        frozen: bool = False,
+    ) -> str:
+        """Create a new type with the given essential supertypes/properties.
+
+        Implements the paper's AT semantics: "The result of creating a new
+        type t as the subtype of types s1..sn with essential behaviors
+        b1..bm adds s1..sn to Pe(t), b1..bm to Ne(t), and the axioms are
+        recomputed.  If no supertypes are specified, T_object is assumed.
+        Due to the axiom of pointedness ... the new type t is added to
+        Pe(T_null)."
+        """
+        if name in self._pe:
+            raise DuplicateTypeError(name)
+        supertypes = list(supertypes)
+        for s in supertypes:
+            self._require(s)
+            if self._policy.pointed and s == self._policy.base_name:
+                raise PointednessViolationError(
+                    f"the base type {s!r} cannot be a supertype"
+                )
+        self._install_type(name, frozen=frozen)
+        pe = self._pe[name]
+        pe.update(supertypes)
+        if self._policy.rooted and name != self._policy.root_name:
+            pe.add(self._policy.root_name)
+        if self._policy.essentiality is EssentialityDefault.ALL_INHERITED:
+            # Everything reachable at declaration time becomes essential.
+            reachable: set[str] = set()
+            for s in list(pe):
+                reachable.update(self._pe_closure(s))
+            pe.update(reachable - {name})
+        for p in properties:
+            self._ne[name].add(self._universe.intern(p))
+        if self._policy.essentiality is EssentialityDefault.ALL_INHERITED:
+            # Inherited properties present at declaration time become
+            # essential too ("all supertypes and properties (including
+            # inherited properties) are essential").
+            inherited = derive(self._pe_view(), self._ne_view())
+            for s in pe:
+                self._ne[name].update(inherited.i[s])
+        if self._policy.pointed and name != self._policy.base_name:
+            self._pe[self._policy.base_name].add(name)
+        self._invalidate(name, self._policy.base_name if self._policy.pointed else None)
+        return name
+
+    def drop_type(self, name: str) -> frozenset[str]:
+        """Drop ``name`` from ``T`` and from every ``Pe`` that lists it.
+
+        Returns the set of types whose ``Pe`` was touched.  Implements the
+        paper's DT semantics ("the type is removed from C_type and from
+        the Pe of all subtypes of t").  Frozen (primitive) types and the
+        root/base of an enforced policy cannot be dropped.
+        """
+        self._require(name)
+        if name in self._frozen:
+            raise FrozenTypeError(name)
+        if self._policy.rooted and name == self._policy.root_name:
+            raise RootViolationError("the root type cannot be dropped")
+        if self._policy.pointed and name == self._policy.base_name:
+            raise PointednessViolationError("the base type cannot be dropped")
+        dependents = self.essential_subtypes(name)
+        for t in dependents:
+            self._pe[t].discard(name)
+        del self._pe[name]
+        del self._ne[name]
+        self._frozen.discard(name)
+        self._invalidate(*dependents)
+        return dependents
+
+    def add_essential_supertype(self, name: str, supertype: str) -> bool:
+        """Add ``supertype`` to ``Pe(name)`` (the paper's MT-ASR).
+
+        Returns ``True`` when ``Pe`` changed.  Rejects cycle-introducing
+        additions per the Axiom of Acyclicity, and any edge involving the
+        base type on the supertype side.
+        """
+        self._require(name)
+        self._require(supertype)
+        if self._policy.pointed and supertype == self._policy.base_name:
+            raise PointednessViolationError(
+                f"the base type {supertype!r} cannot be a supertype"
+            )
+        if self._policy.rooted and name == self._policy.root_name:
+            raise RootViolationError("the root type cannot gain supertypes")
+        if name in self._frozen:
+            raise FrozenTypeError(name)
+        if supertype == name or name in self._pe_closure(supertype):
+            raise CycleError(name, supertype)
+        if supertype in self._pe[name]:
+            return False
+        self._pe[name].add(supertype)
+        self._invalidate(name)
+        return True
+
+    def drop_essential_supertype(self, name: str, supertype: str) -> bool:
+        """Remove ``supertype`` from ``Pe(name)`` (the paper's MT-DSR).
+
+        Returns ``True`` when ``Pe`` changed.  "Due to the axiom of
+        rootedness, which TIGUKAT obeys, a subtype relationship to
+        T_object cannot be dropped."
+        """
+        self._require(name)
+        self._require(supertype)
+        if name in self._frozen:
+            raise FrozenTypeError(name)
+        if self._policy.rooted and supertype == self._policy.root_name:
+            raise RootViolationError(
+                "the subtype relationship to the root cannot be dropped"
+            )
+        if self._policy.pointed and name == self._policy.base_name:
+            raise PointednessViolationError(
+                "the base type keeps every type as an essential supertype"
+            )
+        if supertype not in self._pe[name]:
+            return False
+        self._pe[name].discard(supertype)
+        self._invalidate(name)
+        return True
+
+    def add_essential_property(self, name: str, p: Property) -> bool:
+        """Add ``p`` to ``Ne(name)`` (the paper's MT-AB).
+
+        "Defining an already inherited property on a type would not include
+        the property in N, but would include it in Ne."  Returns ``True``
+        when ``Ne`` changed.
+        """
+        self._require(name)
+        if name in self._frozen:
+            raise FrozenTypeError(name)
+        p = self._universe.intern(p)
+        if p in self._ne[name]:
+            return False
+        self._ne[name].add(p)
+        self._invalidate(name)
+        return True
+
+    def drop_essential_property(self, name: str, p: Property) -> bool:
+        """Remove ``p`` from ``Ne(name)`` (the paper's MT-DB).
+
+        "Note that this may not actually remove b from the interface of t
+        because b may be inherited from one or more supertypes of t."
+        Returns ``True`` when ``Ne`` changed.
+        """
+        self._require(name)
+        if name in self._frozen:
+            raise FrozenTypeError(name)
+        if p not in self._ne[name]:
+            return False
+        self._ne[name].discard(p)
+        self._invalidate(name)
+        return True
+
+    def drop_property_everywhere(self, p: Property) -> frozenset[str]:
+        """Drop ``p`` from every ``Ne`` that lists it (the paper's DB).
+
+        "A dropped behavior is dropped from all types that define the
+        behavior as essential."  Returns the set of touched types.
+        """
+        touched = frozenset(
+            t for t, props in self._ne.items()
+            if p in props and t not in self._frozen
+        )
+        for t in touched:
+            self._ne[t].discard(p)
+        if not self.essential_in(p):
+            self._universe.discard(p.semantics)
+        self._invalidate(*touched)
+        return touched
+
+    def freeze(self, name: str) -> None:
+        """Mark ``name`` as primitive (immutable and undroppable)."""
+        self._require(name)
+        self._frozen.add(name)
+
+    # ------------------------------------------------------------------
+    # Whole-lattice utilities
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "TypeLattice":
+        """An independent deep copy with the same state and policy."""
+        clone = TypeLattice.__new__(TypeLattice)
+        clone._policy = self._policy
+        clone._pe = {t: set(s) for t, s in self._pe.items()}
+        clone._ne = {t: set(p) for t, p in self._ne.items()}
+        clone._frozen = set(self._frozen)
+        clone._universe = PropertyUniverse(self._universe)
+        clone._derivation = None
+        clone._dirty = set()
+        clone._full_recompute = True
+        clone._generation = 0
+        clone.stats = {"full_derivations": 0, "incremental_derivations": 0}
+        return clone
+
+    def state_fingerprint(self) -> tuple:
+        """Canonical digest of the designer-managed state (``Pe``/``Ne``)."""
+        return tuple(
+            (
+                t,
+                tuple(sorted(self._pe[t])),
+                tuple(sorted(p.semantics for p in self._ne[t])),
+            )
+            for t in sorted(self._pe)
+        )
+
+    def derived_fingerprint(self) -> tuple:
+        """Canonical digest of the derived lattice (``P``/``N``/``I``)."""
+        return self.derivation.fingerprint()
+
+    @property
+    def generation(self) -> int:
+        """Monotonic mutation counter.
+
+        Increments on every designer-state change (including explicit
+        cache invalidation); callers caching anything derived from the
+        lattice key their caches on this.
+        """
+        return self._generation
+
+    def invalidate_cache(self) -> None:
+        """Force the next derived-term access to recompute from scratch."""
+        self._generation += 1
+        self._full_recompute = True
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _install_type(self, name: str, frozen: bool = False) -> None:
+        if not name:
+            raise ValueError("type names must be non-empty")
+        self._pe[name] = set()
+        self._ne[name] = set()
+        if frozen:
+            self._frozen.add(name)
+
+    def _require(self, name: str) -> None:
+        if name not in self._pe:
+            raise UnknownTypeError(name)
+
+    def _pe_closure(self, start: str) -> set[str]:
+        """Everything reachable upward from ``start`` via Pe edges."""
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            t = stack.pop()
+            for s in self._pe.get(t, ()):
+                if s not in seen and s in self._pe:
+                    seen.add(s)
+                    stack.append(s)
+        return seen
+
+    def _pe_view(self) -> dict[str, frozenset[str]]:
+        return {t: frozenset(s) for t, s in self._pe.items()}
+
+    def _ne_view(self) -> dict[str, frozenset[Property]]:
+        return {t: frozenset(p) for t, p in self._ne.items()}
+
+    def _invalidate(self, *names: str | None) -> None:
+        self._generation += 1
+        if self._derivation is None:
+            self._full_recompute = True
+            return
+        self._dirty.update(n for n in names if n)
+
+    def __repr__(self) -> str:
+        return (
+            f"TypeLattice(|T|={len(self._pe)}, "
+            f"rooted={self._policy.rooted}, pointed={self._policy.pointed})"
+        )
+
+
+def build_figure1_lattice(policy: LatticePolicy | None = None) -> TypeLattice:
+    """The simple type lattice of Figure 1, with the paper's essentials.
+
+    Builds the seven-type university lattice::
+
+                      T_object
+                      /      \\
+               T_person      T_taxSource
+                /     \\       /
+         T_student    T_employee
+                \\      /
+          T_teachingAssistant
+                   |
+                 T_null
+
+    with the worked-example essential declarations of Section 2:
+    ``Pe(T_teachingAssistant) = {T_student, T_employee, T_person,
+    T_object}`` (``T_taxSource`` deliberately *not* essential) and the
+    native ``name``/``salary``/``taxBracket`` properties, ``taxBracket``
+    being declared essential in ``T_employee``.
+    """
+    from .properties import prop
+
+    lat = TypeLattice(policy)
+    person_name = prop("person.name", "name")
+    tax_name = prop("taxSource.name", "name")
+    tax_bracket = prop("taxSource.taxBracket", "taxBracket")
+    salary = prop("employee.salary", "salary")
+
+    lat.add_type("T_person", properties=[person_name])
+    lat.add_type("T_taxSource", properties=[tax_name, tax_bracket])
+    lat.add_type("T_student", supertypes=["T_person"])
+    lat.add_type(
+        "T_employee",
+        supertypes=["T_person", "T_taxSource"],
+        properties=[salary, tax_bracket],  # taxBracket essential in employee
+    )
+    lat.add_type(
+        "T_teachingAssistant",
+        supertypes=["T_student", "T_employee", "T_person"],
+    )
+    return lat

@@ -1,0 +1,158 @@
+"""Minimality utilities: transitive reduction and lattice comparison.
+
+Section 5 of the paper argues that maintaining *minimal* supertypes and
+native properties "can be useful for the efficiency of the system": name
+conflicts are detectable by scanning only ``P(t)``, and "a user would only
+need to see the minimal subtype relationships in order to understand the
+complete functionality of a type".
+
+This module provides the graph-theoretic backing for those claims:
+transitive reduction of an arbitrary DAG, minimality verification of a
+derived lattice, and a structured diff between two lattices (used by the
+order-independence experiments of Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lattice import TypeLattice
+
+__all__ = [
+    "transitive_closure",
+    "transitive_reduction",
+    "is_reduced",
+    "minimal_edge_count",
+    "essential_edge_count",
+    "LatticeDiff",
+    "diff_lattices",
+]
+
+EdgeMap = Mapping[str, frozenset[str]]
+
+
+def transitive_closure(edges: EdgeMap) -> dict[str, frozenset[str]]:
+    """Reachability sets (excluding the node itself) of a DAG.
+
+    ``edges[u]`` is the set of direct successors of ``u``.  Nodes
+    referenced but not present as keys are treated as sinks.
+    """
+    closure: dict[str, frozenset[str]] = {}
+
+    def visit(u: str) -> frozenset[str]:
+        if u in closure:
+            return closure[u]
+        closure[u] = frozenset()  # cycle guard; DAG expected
+        reach: set[str] = set()
+        for v in edges.get(u, frozenset()):
+            reach.add(v)
+            reach.update(visit(v))
+        closure[u] = frozenset(reach)
+        return closure[u]
+
+    for u in edges:
+        visit(u)
+    return closure
+
+
+def transitive_reduction(edges: EdgeMap) -> dict[str, frozenset[str]]:
+    """The unique minimal edge set with the same reachability (DAG only).
+
+    An edge ``u → v`` is redundant exactly when ``v`` is reachable from
+    ``u`` through some *other* direct successor.  This mirrors Axiom 5:
+    ``P(t)`` is the transitive reduction of ``Pe(t)`` restricted to the
+    edges out of ``t``.
+    """
+    closure = transitive_closure(edges)
+    reduced: dict[str, frozenset[str]] = {}
+    for u, direct in edges.items():
+        kept = frozenset(
+            v for v in direct
+            if not any(v in closure.get(w, frozenset())
+                       for w in direct if w != v)
+        )
+        reduced[u] = kept
+    return reduced
+
+
+def is_reduced(edges: EdgeMap) -> bool:
+    """Whether no edge of the DAG is implied by the others."""
+    return transitive_reduction(edges) == {
+        u: frozenset(vs) for u, vs in edges.items()
+    }
+
+
+def essential_edge_count(lattice: "TypeLattice") -> int:
+    """Total number of essential supertype declarations (``Σ |Pe(t)|``)."""
+    return sum(len(lattice.pe(t)) for t in lattice.types())
+
+
+def minimal_edge_count(lattice: "TypeLattice") -> int:
+    """Total number of immediate supertype edges (``Σ |P(t)|``).
+
+    The Section-5 display claim quantified: this is the number of edges a
+    graphical lattice browser must draw, always ≤ the essential count.
+    """
+    return sum(len(lattice.p(t)) for t in lattice.types())
+
+
+@dataclass
+class LatticeDiff:
+    """A structured difference between two derived lattices."""
+
+    only_left: frozenset[str] = frozenset()
+    only_right: frozenset[str] = frozenset()
+    edge_changes: dict[str, tuple[frozenset[str], frozenset[str]]] = field(
+        default_factory=dict
+    )
+    interface_changes: dict[str, tuple[frozenset, frozenset]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def identical(self) -> bool:
+        return (
+            not self.only_left
+            and not self.only_right
+            and not self.edge_changes
+            and not self.interface_changes
+        )
+
+    def __str__(self) -> str:
+        if self.identical:
+            return "lattices are identical"
+        lines: list[str] = []
+        if self.only_left:
+            lines.append(f"only in left: {sorted(self.only_left)}")
+        if self.only_right:
+            lines.append(f"only in right: {sorted(self.only_right)}")
+        for t, (l, r) in sorted(self.edge_changes.items()):
+            lines.append(f"P({t}): {sorted(l)} vs {sorted(r)}")
+        for t, (l, r) in sorted(self.interface_changes.items()):
+            lines.append(
+                f"I({t}): {sorted(map(str, l))} vs {sorted(map(str, r))}"
+            )
+        return "\n".join(lines)
+
+
+def diff_lattices(left: "TypeLattice", right: "TypeLattice") -> LatticeDiff:
+    """Compare the derived structure (``P`` and ``I``) of two lattices.
+
+    Used by the Section-5 experiments: after applying the same edge drops
+    in different orders, TIGUKAT lattices diff as identical while Orion
+    lattices may not.
+    """
+    lt, rt = left.types(), right.types()
+    diff = LatticeDiff(
+        only_left=frozenset(lt - rt), only_right=frozenset(rt - lt)
+    )
+    for t in lt & rt:
+        lp, rp = left.p(t), right.p(t)
+        if lp != rp:
+            diff.edge_changes[t] = (lp, rp)
+        li, ri = left.interface(t), right.interface(t)
+        if li != ri:
+            diff.interface_changes[t] = (li, ri)
+    return diff

@@ -1,0 +1,105 @@
+"""Normalization: the minimal essential declarations for a derived lattice.
+
+The derived lattice is a function of ``Pe``/``Ne``, but the function is
+not injective — many essential declarations produce the same ``P``/``I``
+structure (that freedom is what essentiality buys during *future*
+evolution).  The **normal form** replaces each type's declarations with
+the minimal ones that reproduce the current derived lattice exactly:
+
+* ``Pe'(t) = P(t)`` — only the immediate supertypes are declared;
+* ``Ne'(t) = N(t)`` — only the native properties are declared.
+
+Normalizing loses exactly the designer's *insurance*: which dominated
+ancestors and inherited properties should survive future drops.  It is
+therefore an explicit maintenance action (compare a database ``VACUUM``),
+not something the engine ever does implicitly.  The linter's
+``redundant-essential-*`` findings enumerate precisely what normalization
+would remove.
+
+Theorems (property-tested):
+
+1. ``derived(normalize(L)) == derived(L)`` — normalization preserves the
+   derived lattice;
+2. ``normalize`` is idempotent;
+3. after normalization the lattice has zero redundant-essential lint
+   findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lattice import TypeLattice
+
+__all__ = ["NormalizationReport", "normalize", "normalized_copy", "is_normalized"]
+
+
+@dataclass(frozen=True)
+class NormalizationReport:
+    """What normalization removed."""
+
+    dropped_supertype_declarations: int
+    dropped_property_declarations: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(
+            self.dropped_supertype_declarations
+            or self.dropped_property_declarations
+        )
+
+
+def normalize(lattice: "TypeLattice") -> NormalizationReport:
+    """Rewrite ``Pe``/``Ne`` of every type to the minimal form, in place.
+
+    Policy-managed entries are preserved: the implicit root membership of
+    every ``Pe`` (rooted lattices) and the total ``Pe(⊥)`` (pointed
+    lattices) are infrastructure, not designer declarations.  Frozen
+    (primitive) types are left untouched.
+    """
+    deriv = lattice.derivation  # snapshot before edits
+    root, base = lattice.root, lattice.base
+    dropped_supers = 0
+    dropped_props = 0
+    for t in sorted(lattice.types()):
+        if lattice.is_frozen(t) or t == base:
+            continue
+        keep_supers = set(deriv.p[t])
+        if root is not None:
+            keep_supers.add(root)
+        for s in sorted(lattice.pe(t) - keep_supers):
+            lattice._pe[t].discard(s)
+            dropped_supers += 1
+        keep_props = deriv.n[t]
+        for p in sorted(lattice.ne(t) - keep_props):
+            lattice._ne[t].discard(p)
+            dropped_props += 1
+        if lattice.pe(t) != keep_supers or lattice.ne(t) != keep_props:
+            pass  # pragma: no cover - defensive; sets now match by construction
+    lattice.invalidate_cache()
+    return NormalizationReport(dropped_supers, dropped_props)
+
+
+def normalized_copy(lattice: "TypeLattice") -> "TypeLattice":
+    """A normalized copy, leaving the original untouched."""
+    clone = lattice.copy()
+    normalize(clone)
+    return clone
+
+
+def is_normalized(lattice: "TypeLattice") -> bool:
+    """Whether every declaration is already minimal."""
+    root, base = lattice.root, lattice.base
+    for t in lattice.types():
+        if lattice.is_frozen(t) or t == base:
+            continue
+        expected = set(lattice.p(t))
+        if root is not None:
+            expected.add(root)
+        if set(lattice.pe(t)) != expected:
+            return False
+        if lattice.ne(t) != lattice.n(t):
+            return False
+    return True

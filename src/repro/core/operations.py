@@ -1,0 +1,446 @@
+"""Schema-evolution operations as first-class command objects.
+
+Section 2: "Changes to these two components [``Pe`` and ``Ne``] are
+fundamental to schema evolution and the axiomatic model can handle
+variations of the other type and property arrangements."  Every operation
+here therefore mutates only ``Pe``/``Ne`` (plus type existence) and lets
+the axioms re-instantiate the rest.
+
+The operation codes follow the paper's Section 3.3 naming (MT-AB, MT-DB,
+MT-ASR, MT-DSR, AT, DT, DB); the TIGUKAT-specific class/function/collection
+operations (AC, DC, MB-CA, DF, AL, DL) live in
+:mod:`repro.tigukat.evolution` since they involve constructs beyond the
+axiomatic core.
+
+Each operation knows how to
+
+* ``validate`` its preconditions against a lattice (without mutating),
+* ``apply`` itself, returning an :class:`OperationResult` that carries the
+  exact *inverse* operations (enabling undo and journal replay), and
+* round-trip through plain dictionaries (``to_dict``/``from_dict``) for
+  the persistence layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, TYPE_CHECKING
+
+from .errors import (
+    DuplicateTypeError,
+    OperationRejected,
+    UnknownTypeError,
+)
+from .properties import Property
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lattice import TypeLattice
+
+__all__ = [
+    "SchemaOperation",
+    "OperationResult",
+    "AddType",
+    "DropType",
+    "AddEssentialSupertype",
+    "DropEssentialSupertype",
+    "AddEssentialProperty",
+    "DropEssentialProperty",
+    "DropPropertyEverywhere",
+    "operation_from_dict",
+    "OPERATION_CODES",
+]
+
+
+def _prop_to_dict(p: Property) -> dict[str, Any]:
+    return {"semantics": p.semantics, "name": p.name, "domain": p.domain}
+
+
+def _prop_from_dict(d: dict[str, Any]) -> Property:
+    return Property(d["semantics"], d.get("name", ""), d.get("domain"))
+
+
+@dataclass
+class OperationResult:
+    """Outcome of applying a :class:`SchemaOperation`.
+
+    ``inverse`` is the (ordered) list of operations that restores the
+    pre-application designer state when applied in sequence.
+    """
+
+    operation: "SchemaOperation"
+    changed: bool
+    detail: str = ""
+    inverse: list["SchemaOperation"] = field(default_factory=list)
+
+
+class SchemaOperation:
+    """Abstract schema-evolution command over a :class:`TypeLattice`."""
+
+    code: ClassVar[str] = "?"
+
+    def validate(self, lattice: "TypeLattice") -> None:
+        """Raise a :class:`~repro.core.errors.SchemaError` on precondition
+        failure; a successful return guarantees ``apply`` will not raise."""
+        raise NotImplementedError
+
+    def apply(self, lattice: "TypeLattice") -> OperationResult:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{self.code} {self.describe()}>"
+
+
+@dataclass(repr=False)
+class AddType(SchemaOperation):
+    """AT: create a type with essential supertypes and properties."""
+
+    name: str
+    supertypes: tuple[str, ...] = ()
+    properties: tuple[Property, ...] = ()
+
+    code: ClassVar[str] = "AT"
+
+    def validate(self, lattice: "TypeLattice") -> None:
+        if self.name in lattice:
+            raise DuplicateTypeError(self.name)
+        for s in self.supertypes:
+            if s not in lattice:
+                raise UnknownTypeError(s)
+            if lattice.base is not None and s == lattice.base:
+                raise OperationRejected(
+                    self.code, f"the base type {s!r} cannot be a supertype"
+                )
+
+    def apply(self, lattice: "TypeLattice") -> OperationResult:
+        self.validate(lattice)
+        lattice.add_type(
+            self.name, supertypes=self.supertypes, properties=self.properties
+        )
+        return OperationResult(
+            self, True,
+            detail=f"added type {self.name!r}",
+            inverse=[DropType(self.name)],
+        )
+
+    def describe(self) -> str:
+        return (
+            f"add type {self.name!r} under {list(self.supertypes)} "
+            f"with {len(self.properties)} essential properties"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "name": self.name,
+            "supertypes": list(self.supertypes),
+            "properties": [_prop_to_dict(p) for p in self.properties],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "AddType":
+        return cls(
+            d["name"],
+            tuple(d.get("supertypes", ())),
+            tuple(_prop_from_dict(p) for p in d.get("properties", ())),
+        )
+
+
+@dataclass(repr=False)
+class DropType(SchemaOperation):
+    """DT: drop a type and remove it from every ``Pe`` that lists it."""
+
+    name: str
+
+    code: ClassVar[str] = "DT"
+
+    def validate(self, lattice: "TypeLattice") -> None:
+        if self.name not in lattice:
+            raise UnknownTypeError(self.name)
+        if lattice.is_frozen(self.name):
+            raise OperationRejected(
+                self.code, f"{self.name!r} is a primitive type"
+            )
+
+    def apply(self, lattice: "TypeLattice") -> OperationResult:
+        self.validate(lattice)
+        # Capture the designer state before destruction, for the inverse.
+        pe = sorted(
+            s for s in lattice.pe(self.name)
+            if lattice.root is None or s != lattice.root
+        )
+        ne = tuple(sorted(lattice.ne(self.name)))
+        dependents = lattice.drop_type(self.name)
+        inverse: list[SchemaOperation] = [
+            AddType(self.name, tuple(pe), ne)
+        ]
+        base = lattice.base
+        for dep in sorted(dependents):
+            if dep == base:
+                continue  # re-established automatically by AddType
+            inverse.append(AddEssentialSupertype(dep, self.name))
+        return OperationResult(
+            self, True,
+            detail=(
+                f"dropped type {self.name!r}; "
+                f"removed from Pe of {sorted(dependents)}"
+            ),
+            inverse=inverse,
+        )
+
+    def describe(self) -> str:
+        return f"drop type {self.name!r}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"code": self.code, "name": self.name}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "DropType":
+        return cls(d["name"])
+
+
+@dataclass(repr=False)
+class AddEssentialSupertype(SchemaOperation):
+    """MT-ASR: add ``supertype`` to ``Pe(subject)``."""
+
+    subject: str
+    supertype: str
+
+    code: ClassVar[str] = "MT-ASR"
+
+    def validate(self, lattice: "TypeLattice") -> None:
+        if self.subject not in lattice:
+            raise UnknownTypeError(self.subject)
+        if self.supertype not in lattice:
+            raise UnknownTypeError(self.supertype)
+        trial = lattice.copy()
+        trial.add_essential_supertype(self.subject, self.supertype)
+
+    def apply(self, lattice: "TypeLattice") -> OperationResult:
+        changed = lattice.add_essential_supertype(self.subject, self.supertype)
+        inverse: list[SchemaOperation] = []
+        if changed:
+            inverse.append(DropEssentialSupertype(self.subject, self.supertype))
+        return OperationResult(
+            self, changed,
+            detail=(
+                f"Pe({self.subject}) now includes {self.supertype!r}"
+                if changed else "no change (already essential)"
+            ),
+            inverse=inverse,
+        )
+
+    def describe(self) -> str:
+        return f"add {self.supertype!r} as essential supertype of {self.subject!r}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "subject": self.subject,
+            "supertype": self.supertype,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "AddEssentialSupertype":
+        return cls(d["subject"], d["supertype"])
+
+
+@dataclass(repr=False)
+class DropEssentialSupertype(SchemaOperation):
+    """MT-DSR: remove ``supertype`` from ``Pe(subject)``."""
+
+    subject: str
+    supertype: str
+
+    code: ClassVar[str] = "MT-DSR"
+
+    def validate(self, lattice: "TypeLattice") -> None:
+        if self.subject not in lattice:
+            raise UnknownTypeError(self.subject)
+        if self.supertype not in lattice:
+            raise UnknownTypeError(self.supertype)
+        trial = lattice.copy()
+        trial.drop_essential_supertype(self.subject, self.supertype)
+
+    def apply(self, lattice: "TypeLattice") -> OperationResult:
+        changed = lattice.drop_essential_supertype(self.subject, self.supertype)
+        inverse: list[SchemaOperation] = []
+        if changed:
+            inverse.append(AddEssentialSupertype(self.subject, self.supertype))
+        return OperationResult(
+            self, changed,
+            detail=(
+                f"Pe({self.subject}) no longer includes {self.supertype!r}"
+                if changed else "no change (was not essential)"
+            ),
+            inverse=inverse,
+        )
+
+    def describe(self) -> str:
+        return f"drop {self.supertype!r} as essential supertype of {self.subject!r}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "subject": self.subject,
+            "supertype": self.supertype,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "DropEssentialSupertype":
+        return cls(d["subject"], d["supertype"])
+
+
+@dataclass(repr=False)
+class AddEssentialProperty(SchemaOperation):
+    """MT-AB: add a property to ``Ne(subject)``."""
+
+    subject: str
+    prop: Property
+
+    code: ClassVar[str] = "MT-AB"
+
+    def validate(self, lattice: "TypeLattice") -> None:
+        if self.subject not in lattice:
+            raise UnknownTypeError(self.subject)
+        if lattice.is_frozen(self.subject):
+            raise OperationRejected(
+                self.code, f"{self.subject!r} is a primitive type"
+            )
+
+    def apply(self, lattice: "TypeLattice") -> OperationResult:
+        self.validate(lattice)
+        changed = lattice.add_essential_property(self.subject, self.prop)
+        inverse: list[SchemaOperation] = []
+        if changed:
+            inverse.append(DropEssentialProperty(self.subject, self.prop))
+        return OperationResult(
+            self, changed,
+            detail=(
+                f"Ne({self.subject}) now includes {self.prop}"
+                if changed else "no change (already essential)"
+            ),
+            inverse=inverse,
+        )
+
+    def describe(self) -> str:
+        return f"add essential property {self.prop} to {self.subject!r}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "subject": self.subject,
+            "prop": _prop_to_dict(self.prop),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "AddEssentialProperty":
+        return cls(d["subject"], _prop_from_dict(d["prop"]))
+
+
+@dataclass(repr=False)
+class DropEssentialProperty(SchemaOperation):
+    """MT-DB: remove a property from ``Ne(subject)``."""
+
+    subject: str
+    prop: Property
+
+    code: ClassVar[str] = "MT-DB"
+
+    def validate(self, lattice: "TypeLattice") -> None:
+        if self.subject not in lattice:
+            raise UnknownTypeError(self.subject)
+        if lattice.is_frozen(self.subject):
+            raise OperationRejected(
+                self.code, f"{self.subject!r} is a primitive type"
+            )
+
+    def apply(self, lattice: "TypeLattice") -> OperationResult:
+        self.validate(lattice)
+        changed = lattice.drop_essential_property(self.subject, self.prop)
+        inverse: list[SchemaOperation] = []
+        if changed:
+            inverse.append(AddEssentialProperty(self.subject, self.prop))
+        return OperationResult(
+            self, changed,
+            detail=(
+                f"Ne({self.subject}) no longer includes {self.prop}"
+                if changed else "no change (was not essential)"
+            ),
+            inverse=inverse,
+        )
+
+    def describe(self) -> str:
+        return f"drop essential property {self.prop} from {self.subject!r}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "subject": self.subject,
+            "prop": _prop_to_dict(self.prop),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "DropEssentialProperty":
+        return cls(d["subject"], _prop_from_dict(d["prop"]))
+
+
+@dataclass(repr=False)
+class DropPropertyEverywhere(SchemaOperation):
+    """DB: drop a property from every ``Ne`` that lists it."""
+
+    prop: Property
+
+    code: ClassVar[str] = "DB"
+
+    def validate(self, lattice: "TypeLattice") -> None:
+        pass  # always applicable; touching zero types is a valid no-op
+
+    def apply(self, lattice: "TypeLattice") -> OperationResult:
+        touched = lattice.drop_property_everywhere(self.prop)
+        inverse: list[SchemaOperation] = [
+            AddEssentialProperty(t, self.prop) for t in sorted(touched)
+        ]
+        return OperationResult(
+            self, bool(touched),
+            detail=f"dropped {self.prop} from {sorted(touched)}",
+            inverse=inverse,
+        )
+
+    def describe(self) -> str:
+        return f"drop property {self.prop} from every type"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"code": self.code, "prop": _prop_to_dict(self.prop)}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "DropPropertyEverywhere":
+        return cls(_prop_from_dict(d["prop"]))
+
+
+OPERATION_CODES: dict[str, type[SchemaOperation]] = {
+    cls.code: cls
+    for cls in (
+        AddType,
+        DropType,
+        AddEssentialSupertype,
+        DropEssentialSupertype,
+        AddEssentialProperty,
+        DropEssentialProperty,
+        DropPropertyEverywhere,
+    )
+}
+
+
+def operation_from_dict(d: dict[str, Any]) -> SchemaOperation:
+    """Reconstruct an operation from its ``to_dict`` representation."""
+    code = d.get("code")
+    cls = OPERATION_CODES.get(code)
+    if cls is None:
+        raise ValueError(f"unknown operation code: {code!r}")
+    return cls.from_dict(d)

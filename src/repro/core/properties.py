@@ -1,0 +1,130 @@
+"""Properties in the generic sense of the axiomatic model.
+
+The paper uses *property* "in the generic sense as encompassing" attributes,
+methods, and behaviors.  Crucially (Section 3.1/3.2), the axiomatic model
+identifies a property by its *semantics*: "the semantics of a property is a
+unique description ... therefore, simple set operations can be used to
+resolve conflicts."  Names and domains may be *part of* the semantics
+(Section 4, Orion mapping) but are not the identity.
+
+:class:`Property` is therefore an immutable value identified by a semantics
+key; two properties with the same semantics key are the same property no
+matter what they are called, and two same-named properties with different
+semantics keys are distinct (the two native "name" properties of
+``T_person`` and ``T_taxSource`` in the paper's Figure-1 discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Property", "PropertyUniverse", "prop"]
+
+
+@dataclass(frozen=True, order=True)
+class Property:
+    """An immutable schema property identified by its semantics.
+
+    Parameters
+    ----------
+    semantics:
+        The unique semantic description.  Set membership, hashing, and
+        equality all use only this field.
+    name:
+        The human-facing name used to apply the property.  Several distinct
+        properties may share a name (a *name conflict*, resolved by the
+        host system's policy, not by the axiomatic model).
+    domain:
+        Optional value-domain annotation (Orion attaches name+domain to
+        properties; the axiomatic model carries it as opaque payload).
+    """
+
+    semantics: str
+    name: str = ""
+    domain: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.semantics:
+            raise ValueError("a property must have a non-empty semantics key")
+        if not self.name:
+            # Default the display name to the semantics key itself.
+            object.__setattr__(self, "name", self.semantics)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Property):
+            return self.semantics == other.semantics
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.semantics)
+
+    def renamed(self, name: str) -> "Property":
+        """A view of the same property under a different reference name."""
+        return Property(self.semantics, name, self.domain)
+
+    def __str__(self) -> str:
+        if self.name != self.semantics:
+            return f"{self.name}<{self.semantics}>"
+        return self.semantics
+
+
+def prop(semantics: str, name: str = "", domain: str | None = None) -> Property:
+    """Convenience constructor mirroring the paper's ``B_`` references."""
+    return Property(semantics, name, domain)
+
+
+class PropertyUniverse:
+    """An interning registry of every property known to a schema.
+
+    The universe corresponds to ``I(⊥)`` in the paper's terms when the
+    lattice is pointed: the base type inherits from everything, so its
+    interface enumerates all properties of all types.  Keeping an explicit
+    registry lets the library answer "which property does this semantics key
+    denote" without scanning the lattice, and keeps ``domain``/``name``
+    payloads stable across re-derivations.
+    """
+
+    def __init__(self, properties: Iterable[Property] = ()) -> None:
+        self._by_semantics: dict[str, Property] = {}
+        for p in properties:
+            self.intern(p)
+
+    def intern(self, p: Property) -> Property:
+        """Register ``p`` (or return the existing equal property)."""
+        existing = self._by_semantics.get(p.semantics)
+        if existing is None:
+            self._by_semantics[p.semantics] = p
+            return p
+        return existing
+
+    def get(self, semantics: str) -> Property | None:
+        return self._by_semantics.get(semantics)
+
+    def require(self, semantics: str) -> Property:
+        p = self._by_semantics.get(semantics)
+        if p is None:
+            from .errors import UnknownPropertyError
+
+            raise UnknownPropertyError(semantics)
+        return p
+
+    def discard(self, semantics: str) -> None:
+        self._by_semantics.pop(semantics, None)
+
+    def by_name(self, name: str) -> frozenset[Property]:
+        """All distinct properties sharing a display name."""
+        return frozenset(
+            p for p in self._by_semantics.values() if p.name == name
+        )
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Property):
+            return item.semantics in self._by_semantics
+        return item in self._by_semantics
+
+    def __iter__(self) -> Iterator[Property]:
+        return iter(self._by_semantics.values())
+
+    def __len__(self) -> int:
+        return len(self._by_semantics)

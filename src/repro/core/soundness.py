@@ -1,0 +1,211 @@
+"""Mechanical verification of Theorems 2.1 (soundness) and 2.2 (completeness).
+
+The paper proves both theorems "through subset inclusion and induction on
+maximal path lengths to root type T_object", assuming ``Pe(t)`` and
+``Ne(t)`` are sound/complete.  This module re-implements the derived terms
+with an *independent oracle* that never uses the axioms' recursive
+formulas:
+
+* ``PL*(t)`` is plain graph reachability over the raw ``Pe`` edges
+  (plus ``t`` itself);
+* ``P*(t)`` is the set of minimal elements of ``Pe(t)`` under the
+  reachability order;
+* ``H*(t)`` is the flattened union ``⋃_{a ∈ PL*(t) − {t}} N*(a)``, with
+  ``N*(t) = Ne(t) − H*(t)`` resolved in stratified order of maximal path
+  length to the top — exactly the induction of the proof sketch.
+
+Soundness of a derived term means it is a subset of the oracle's set (the
+axioms produce nothing spurious); completeness means it is a superset (the
+axioms produce everything).  A sound *and* complete engine therefore
+matches the oracle exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .properties import Property
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lattice import TypeLattice
+
+__all__ = ["Oracle", "Discrepancy", "SoundnessReport", "verify", "assert_sound_and_complete"]
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One derived set disagreeing with the oracle."""
+
+    term: str           # "P", "PL", "N", "H", or "I"
+    type_name: str
+    missing: frozenset  # oracle − derived  (completeness failure)
+    spurious: frozenset  # derived − oracle (soundness failure)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.spurious:
+            parts.append(f"spurious={sorted(map(str, self.spurious))}")
+        if self.missing:
+            parts.append(f"missing={sorted(map(str, self.missing))}")
+        return f"{self.term}({self.type_name}): " + ", ".join(parts)
+
+
+@dataclass
+class SoundnessReport:
+    """The outcome of verifying a lattice against the oracle."""
+
+    discrepancies: list[Discrepancy] = field(default_factory=list)
+
+    @property
+    def is_sound(self) -> bool:
+        """No derived set contains an element the oracle rejects."""
+        return all(not d.spurious for d in self.discrepancies)
+
+    @property
+    def is_complete(self) -> bool:
+        """No derived set misses an element the oracle requires."""
+        return all(not d.missing for d in self.discrepancies)
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "sound and complete (derived terms match the oracle exactly)"
+        return "\n".join(str(d) for d in self.discrepancies)
+
+
+class Oracle:
+    """Ground-truth derived terms computed without the axioms.
+
+    Uses only raw ``Pe``/``Ne`` state, reachability, and the stratification
+    by maximal path length to the top of the lattice used in the paper's
+    proof sketch.
+    """
+
+    def __init__(self, lattice: "TypeLattice") -> None:
+        self._types = lattice.types()
+        self._pe = {
+            t: frozenset(s for s in lattice.pe(t) if s in self._types)
+            for t in self._types
+        }
+        self._ne = {t: lattice.ne(t) for t in self._types}
+        self._pl = {t: self._reachable(t) | {t} for t in self._types}
+        self._strata = self._stratify()
+        self._n: dict[str, frozenset[Property]] = {}
+        self._h: dict[str, frozenset[Property]] = {}
+        self._resolve_properties()
+
+    # -- construction ---------------------------------------------------
+
+    def _reachable(self, start: str) -> frozenset[str]:
+        seen: set[str] = set()
+        stack = list(self._pe[start])
+        while stack:
+            s = stack.pop()
+            if s in seen:
+                continue
+            seen.add(s)
+            stack.extend(self._pe[s])
+        return frozenset(seen)
+
+    def _stratify(self) -> list[list[str]]:
+        """Group types by maximal Pe-path length to a top (no-supertype) type.
+
+        This is the induction variable in the paper's proofs.  Stratum 0
+        holds the roots; stratum ``k`` holds types whose longest upward
+        path has ``k`` edges.
+        """
+        depth: dict[str, int] = {}
+
+        def depth_of(t: str) -> int:
+            if t in depth:
+                return depth[t]
+            supers = self._pe[t]
+            d = 0 if not supers else 1 + max(depth_of(s) for s in supers)
+            depth[t] = d
+            return d
+
+        for t in self._types:
+            depth_of(t)
+        strata: list[list[str]] = []
+        for t, d in depth.items():
+            while len(strata) <= d:
+                strata.append([])
+            strata[d].append(t)
+        return strata
+
+    def _resolve_properties(self) -> None:
+        # Stratified (inductive) resolution: a type's H*/N* depend only on
+        # strictly shallower types, since every proper ancestor has a
+        # strictly smaller maximal path length to the top.
+        for stratum in self._strata:
+            for t in stratum:
+                inherited: set[Property] = set()
+                for a in self._pl[t] - {t}:
+                    inherited.update(self._n[a])
+                self._h[t] = frozenset(inherited)
+                self._n[t] = self._ne[t] - self._h[t]
+
+    # -- oracle terms ----------------------------------------------------
+
+    def pl(self, t: str) -> frozenset[str]:
+        return self._pl[t]
+
+    def p(self, t: str) -> frozenset[str]:
+        pe_t = self._pe[t]
+        return frozenset(
+            s for s in pe_t
+            if not any(s in self._pl[x] for x in pe_t if x != s)
+        )
+
+    def n(self, t: str) -> frozenset[Property]:
+        return self._n[t]
+
+    def h(self, t: str) -> frozenset[Property]:
+        return self._h[t]
+
+    def i(self, t: str) -> frozenset[Property]:
+        return self._n[t] | self._h[t]
+
+    def strata(self) -> list[list[str]]:
+        """The path-length strata (exposed for the inductive check)."""
+        return [list(s) for s in self._strata]
+
+
+def verify(lattice: "TypeLattice") -> SoundnessReport:
+    """Compare every derived term of ``lattice`` against the oracle.
+
+    Returns a :class:`SoundnessReport`; ``report.ok`` means the engine is
+    sound and complete on this lattice (Theorems 2.1 and 2.2 hold).
+    """
+    oracle = Oracle(lattice)
+    deriv = lattice.derivation
+    report = SoundnessReport()
+
+    def compare(term: str, t: str, derived: frozenset, truth: frozenset) -> None:
+        if derived != truth:
+            report.discrepancies.append(
+                Discrepancy(
+                    term, t,
+                    missing=frozenset(truth - derived),
+                    spurious=frozenset(derived - truth),
+                )
+            )
+
+    for t in lattice.types():
+        compare("P", t, deriv.p[t], oracle.p(t))
+        compare("PL", t, deriv.pl[t], oracle.pl(t))
+        compare("N", t, deriv.n[t], oracle.n(t))
+        compare("H", t, deriv.h[t], oracle.h(t))
+        compare("I", t, deriv.i[t], oracle.i(t))
+    return report
+
+
+def assert_sound_and_complete(lattice: "TypeLattice") -> None:
+    """Raise ``AssertionError`` with the discrepancy list unless both hold."""
+    report = verify(lattice)
+    if not report.ok:
+        raise AssertionError(str(report))

@@ -1,0 +1,76 @@
+"""Subschema extraction: the self-contained fragment around chosen types.
+
+Modular schema management needs to lift a coherent fragment out of a
+large lattice — e.g. to ship the "billing" types to another objectbase,
+or to reason about one application area in isolation.  The extract of a
+set of seed types is the *upward closure* of their essential structure:
+every seed, every type reachable from a seed through ``Pe`` edges, the
+``Pe`` edges among them, and their ``Ne`` declarations.
+
+Upward closure is exactly what makes the fragment self-contained: the
+Axiom of Closure (``Pe(t) ⊆ T``) holds in the extract by construction,
+and every derived term of an extracted type is *identical* to its value
+in the source lattice (PL/H/N/I only consult ancestors) — the extraction
+theorem, property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TYPE_CHECKING
+
+from .errors import UnknownTypeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lattice import TypeLattice
+
+__all__ = ["upward_closure", "extract_subschema"]
+
+
+def upward_closure(
+    lattice: "TypeLattice", seeds: Iterable[str]
+) -> frozenset[str]:
+    """The seeds plus everything reachable through ``Pe`` edges."""
+    closure: set[str] = set()
+    stack = list(seeds)
+    for seed in stack:
+        if seed not in lattice:
+            raise UnknownTypeError(seed)
+    while stack:
+        t = stack.pop()
+        if t in closure:
+            continue
+        closure.add(t)
+        stack.extend(s for s in lattice.pe(t) if s in lattice)
+    return frozenset(closure)
+
+
+def extract_subschema(
+    lattice: "TypeLattice", seeds: Iterable[str]
+) -> "TypeLattice":
+    """A new lattice containing exactly the upward closure of ``seeds``.
+
+    The extract uses the source policy.  The base type (when pointed) is
+    re-created by the policy and re-pointed at the extracted types only;
+    it is never required as a seed.
+    """
+    from .lattice import TypeLattice
+
+    members = upward_closure(lattice, seeds)
+    extract = TypeLattice(lattice.policy)
+    base = lattice.base
+    order = [
+        t for t in lattice.derivation.order
+        if t in members and t not in extract and t != base
+    ]
+    for t in order:
+        root = extract.root
+        extract.add_type(
+            t,
+            supertypes=[
+                s for s in lattice.pe(t)
+                if s in members and s != root and s != base
+            ],
+            properties=sorted(lattice.ne(t)),
+            frozen=lattice.is_frozen(t),
+        )
+    return extract

@@ -1,0 +1,138 @@
+"""Atomic schema-change transactions.
+
+Dynamic schema evolution happens "while the system is in operation"
+(Section 1), and realistic changes are *compound*: the engineering-design
+motivation routinely needs several MT-* operations that only make sense
+together (drop an aspect, adopt its essential behaviors, re-point
+subtypes).  A :class:`SchemaTransaction` groups operations so that either
+all apply or none do:
+
+* operations inside the transaction see the effects of earlier ones;
+* any rejection (or an axiom violation, when ``verify_on_commit`` is set)
+  rolls the lattice back to the pre-transaction state via the recorded
+  inverses;
+* a committed transaction lands in the journal as its individual
+  operations (replay/undo keep working), bracketed for auditability.
+
+Use it as a context manager::
+
+    with SchemaTransaction(journal) as txn:
+        txn.apply(DropEssentialSupertype("T_ta", "T_employee"))
+        txn.apply(AddEssentialSupertype("T_ta", "T_person"))
+    # atomically applied, or fully rolled back on error
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .axioms import check_all
+from .errors import AxiomViolationError, SchemaError
+from .history import EvolutionJournal
+from .operations import OperationResult, SchemaOperation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .lattice import TypeLattice
+
+__all__ = ["TransactionError", "SchemaTransaction"]
+
+
+class TransactionError(SchemaError):
+    """The transaction is not in a state that allows the request."""
+
+
+class SchemaTransaction:
+    """An atomic group of schema-evolution operations over a journal."""
+
+    def __init__(
+        self,
+        journal: EvolutionJournal,
+        verify_on_commit: bool = True,
+    ) -> None:
+        self._journal = journal
+        self._verify = verify_on_commit
+        self._applied: list[OperationResult] = []
+        self._state: str = "pending"  # pending | active | committed | rolled-back
+        self._before_fingerprint: tuple | None = None
+        self._journal_len_before = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def lattice(self) -> "TypeLattice":
+        return self._journal.lattice
+
+    def begin(self) -> "SchemaTransaction":
+        if self._state != "pending":
+            raise TransactionError(f"cannot begin a {self._state} transaction")
+        self._before_fingerprint = self.lattice.state_fingerprint()
+        self._journal_len_before = len(self._journal)
+        self._state = "active"
+        return self
+
+    def apply(self, operation: SchemaOperation) -> OperationResult:
+        """Apply one operation inside the transaction.
+
+        A rejected operation raises and leaves the transaction *active*
+        with its earlier effects intact — the caller decides whether to
+        continue, commit, or roll back.
+        """
+        if self._state != "active":
+            raise TransactionError(
+                f"cannot apply to a {self._state} transaction"
+            )
+        result = self._journal.apply(operation)
+        self._applied.append(result)
+        return result
+
+    def commit(self) -> None:
+        """Make the group permanent (optionally verifying the axioms)."""
+        if self._state != "active":
+            raise TransactionError(f"cannot commit a {self._state} transaction")
+        if self._verify:
+            violations = check_all(self.lattice)
+            if violations:
+                self.rollback()
+                raise AxiomViolationError(violations)
+        self._state = "committed"
+
+    def rollback(self) -> None:
+        """Undo everything applied inside this transaction."""
+        if self._state != "active":
+            raise TransactionError(
+                f"cannot roll back a {self._state} transaction"
+            )
+        while len(self._journal) > self._journal_len_before:
+            self._journal.undo()
+        self._state = "rolled-back"
+        after = self.lattice.state_fingerprint()
+        if after != self._before_fingerprint:  # pragma: no cover - guard
+            raise TransactionError(
+                "rollback failed to restore the pre-transaction state"
+            )
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "SchemaTransaction":
+        return self.begin()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._state != "active":
+            return False  # already resolved explicitly
+        if exc_type is None:
+            self.commit()
+            return False
+        self.rollback()
+        return False  # propagate the original error
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._applied)
+
+    def operations(self) -> list[SchemaOperation]:
+        return [r.operation for r in self._applied]

@@ -1,0 +1,55 @@
+"""The Orion system and its reduction to the axiomatic model (Section 4).
+
+* :class:`OrionDatabase` / :class:`OrionOps` — the native model with
+  ordered superclasses, name+domain properties, invariants, and OP1-OP8;
+* :class:`ReducedOrion` — the same eight operations executed through the
+  axiomatic model, per the paper's mapping;
+* :func:`check_equivalent` — the machine check of the reduction theorem;
+* :func:`reverse_reduction_counterexample` — why the reverse direction
+  fails (Orion keeps no minimal supertypes).
+"""
+
+from .conflict import (
+    find_name_conflicts_full,
+    find_name_conflicts_minimal,
+    resolve_interface,
+    resolve_on_lattice,
+    visible_property,
+)
+from .invariants import (
+    ORION_INVARIANTS,
+    ORION_RULES,
+    OrionViolation,
+    check_invariants,
+)
+from .model import ROOT_CLASS, OrionClass, OrionDatabase, OrionProperty
+from .operations import OrionOps
+from .reduction import (
+    EquivalenceReport,
+    ReducedOrion,
+    assert_equivalent,
+    check_equivalent,
+    reverse_reduction_counterexample,
+)
+
+__all__ = [
+    "ROOT_CLASS",
+    "OrionProperty",
+    "OrionClass",
+    "OrionDatabase",
+    "OrionOps",
+    "OrionViolation",
+    "check_invariants",
+    "ORION_INVARIANTS",
+    "ORION_RULES",
+    "resolve_interface",
+    "visible_property",
+    "resolve_on_lattice",
+    "find_name_conflicts_minimal",
+    "find_name_conflicts_full",
+    "ReducedOrion",
+    "EquivalenceReport",
+    "check_equivalent",
+    "assert_equivalent",
+    "reverse_reduction_counterexample",
+]

@@ -1,0 +1,179 @@
+"""Orion's invariants and rules (Banerjee et al. 1987) as checkers.
+
+"Orion defines a complete set of invariants and a set of twelve
+accompanying rules for maintaining the invariants over schema changes"
+(paper Section 4).  The invariants are implemented as predicates over an
+:class:`~repro.orion.model.OrionDatabase`; the twelve rules are encoded
+as a documented registry mapping each rule to the code location that
+enforces it, so the "invariants and rules" approach can be compared
+side-by-side with the axiomatic approach (which replaces all of this
+with Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .conflict import resolve_interface
+from .model import ROOT_CLASS, OrionDatabase
+
+__all__ = [
+    "OrionViolation",
+    "check_invariants",
+    "ORION_INVARIANTS",
+    "ORION_RULES",
+]
+
+
+@dataclass(frozen=True)
+class OrionViolation:
+    invariant: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.subject}: {self.detail}"
+
+
+def _check_class_lattice(db: OrionDatabase) -> list[OrionViolation]:
+    """Class lattice invariant: a rooted, connected DAG.
+
+    Every class other than OBJECT has at least one superclass, OBJECT is
+    reachable from everywhere, and there are no cycles.
+    """
+    out: list[OrionViolation] = []
+    if not db.is_dag():
+        out.append(
+            OrionViolation("class-lattice", "*", "superclass graph has a cycle")
+        )
+        return out
+    for name in db.classes():
+        if name == ROOT_CLASS:
+            continue
+        cls = db.get(name)
+        if not cls.superclasses:
+            out.append(
+                OrionViolation(
+                    "class-lattice", name, "class has no superclass"
+                )
+            )
+        elif ROOT_CLASS not in db.ancestors_of(name):
+            out.append(
+                OrionViolation(
+                    "class-lattice", name, "OBJECT is not an ancestor"
+                )
+            )
+    return out
+
+
+def _check_distinct_names(db: OrionDatabase) -> list[OrionViolation]:
+    """Distinct name invariant.
+
+    Class names are unique (structurally guaranteed by the dict) and the
+    *resolved* interface of a class maps each name to exactly one
+    property — i.e. conflict resolution actually resolved everything.
+    """
+    out: list[OrionViolation] = []
+    for name in db.classes():
+        try:
+            resolve_interface(db, name)
+        except Exception as exc:  # pragma: no cover - defensive
+            out.append(OrionViolation("distinct-name", name, str(exc)))
+    return out
+
+
+def _check_distinct_origin(db: OrionDatabase) -> list[OrionViolation]:
+    """Distinct identity (origin) invariant: within one class's local
+    definitions, each property has that class as origin (redefinition
+    re-originates)."""
+    out: list[OrionViolation] = []
+    for name in db.classes():
+        for prop in db.get(name).local.values():
+            if prop.origin != name:
+                out.append(
+                    OrionViolation(
+                        "distinct-origin", name,
+                        f"local property {prop.name!r} has foreign origin "
+                        f"{prop.origin!r}",
+                    )
+                )
+    return out
+
+
+def _check_full_inheritance(db: OrionDatabase) -> list[OrionViolation]:
+    """Full inheritance invariant: a class inherits every superclass
+    property except those lost to name conflicts (a winner with that name
+    must still be visible)."""
+    out: list[OrionViolation] = []
+    for name in db.classes():
+        visible = resolve_interface(db, name)
+        for s in db.get(name).superclasses:
+            for prop_name in resolve_interface(db, s):
+                if prop_name not in visible:
+                    out.append(
+                        OrionViolation(
+                            "full-inheritance", name,
+                            f"property {prop_name!r} of superclass {s!r} "
+                            f"is not visible",
+                        )
+                    )
+    return out
+
+
+ORION_INVARIANTS = {
+    "class-lattice": _check_class_lattice,
+    "distinct-name": _check_distinct_names,
+    "distinct-origin": _check_distinct_origin,
+    "full-inheritance": _check_full_inheritance,
+}
+
+
+def check_invariants(db: OrionDatabase) -> list[OrionViolation]:
+    """Check every Orion invariant; empty list when all hold.
+
+    A broken class lattice (cycle/disconnection) is reported alone —
+    the property invariants presuppose a well-formed lattice and would
+    only cascade noise (or fail to terminate) on top of it.
+    """
+    structural = _check_class_lattice(db)
+    if structural:
+        return structural
+    out: list[OrionViolation] = []
+    for name, checker in ORION_INVARIANTS.items():
+        if name == "class-lattice":
+            continue
+        out.extend(checker(db))
+    return out
+
+
+#: The twelve rules of Banerjee et al., with where this implementation
+#: enforces each.  The registry is what the Section 4/5 comparison tables
+#: render: the axiomatic model replaces the entire right-hand column with
+#: the nine axioms of Table 2.
+ORION_RULES: tuple[tuple[str, str, str], ...] = (
+    ("R1", "default conflict resolution: local definition wins",
+     "conflict.resolve_interface (locals update last)"),
+    ("R2", "conflict among superclasses resolved by superclass order",
+     "conflict.resolve_interface (setdefault in order)"),
+    ("R3", "a property inherited along several paths from one origin is "
+     "inherited once", "OrionProperty identity is (name, origin)"),
+    ("R4", "redefinition re-originates the property in the subclass",
+     "OrionClass.define / OrionProperty.redefined_by"),
+    ("R5", "domain of a redefined attribute may only specialize",
+     "operations.OrionOps.op1 (domain check)"),
+    ("R6", "property additions propagate to all subclasses unless shadowed",
+     "conflict.resolve_interface (recursive)"),
+    ("R7", "property drops propagate to all subclasses unless redefined",
+     "conflict.resolve_interface (recursive)"),
+    ("R8", "no cycles may be introduced in the class lattice",
+     "model.OrionDatabase.add_edge"),
+    ("R9", "a class whose last superclass edge is dropped is connected to "
+     "the superclasses of the dropped superclass",
+     "operations.OrionOps.op4"),
+    ("R10", "the edge to OBJECT of a class with no other superclass cannot "
+     "be dropped", "operations.OrionOps.op4 (REJECT branch)"),
+    ("R11", "dropping a class drops its edges via the edge-drop rule",
+     "operations.OrionOps.op7"),
+    ("R12", "class renaming must keep class names unique",
+     "model.OrionDatabase.rename_class"),
+)

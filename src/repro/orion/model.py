@@ -1,0 +1,232 @@
+"""The Orion object model (Banerjee, Kim, Kim & Korth, SIGMOD 1987).
+
+"The Orion model is the first system to introduce the invariants and
+rules approach as a structured way of describing schema evolution in
+OBMSs" (paper Section 4).  This module is a faithful, *native*
+implementation of Orion's class structure as the paper characterizes it:
+
+* classes with **ordered** superclass lists ("The superclasses in Orion
+  are ordered for conflict resolution purposes");
+* properties (attributes and methods alike) carrying **name and domain**
+  ("Properties in Orion have names and domains, which are used in
+  conflict resolution") plus an *origin* class;
+* name-based conflict resolution with locally-defined precedence and
+  superclass-order precedence (:mod:`repro.orion.conflict`);
+* a lattice "rooted with ⊤ = OBJECT" and "the Axiom of Pointedness ...
+  relaxed since there is no single class as a base".
+
+The native model exists so the reduction of Section 4 can be *tested*
+rather than asserted: :mod:`repro.orion.reduction` drives an axiomatic
+lattice through the same operations and the differential tests check the
+two agree operation by operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.errors import (
+    CycleError,
+    DuplicateTypeError,
+    UnknownTypeError,
+)
+
+__all__ = ["ROOT_CLASS", "OrionProperty", "OrionClass", "OrionDatabase"]
+
+#: Orion's distinguished root class.
+ROOT_CLASS = "OBJECT"
+
+
+@dataclass(frozen=True)
+class OrionProperty:
+    """An Orion attribute or method.
+
+    ``origin`` is the class that (re)defined the property — Orion's
+    "distinct identity (origin)" notion.  Two properties with the same
+    name but different origins are different properties that *conflict*;
+    the resolution rules pick which one a class sees.
+    """
+
+    name: str
+    domain: str = "OBJECT"
+    origin: str = ""
+    is_method: bool = False
+
+    def redefined_by(self, new_origin: str, domain: str | None = None) -> "OrionProperty":
+        """The property as redefined in a subclass (new origin)."""
+        return replace(
+            self, origin=new_origin,
+            domain=self.domain if domain is None else domain,
+        )
+
+    @property
+    def semantics(self) -> str:
+        """The identity key used when mapping into the axiomatic model:
+        origin-qualified, since Orion identifies properties by origin."""
+        return f"{self.origin}.{self.name}"
+
+    def __str__(self) -> str:
+        kind = "method" if self.is_method else "attr"
+        return f"{self.name}[{kind}:{self.domain}]@{self.origin}"
+
+
+@dataclass
+class OrionClass:
+    """A class: ordered superclasses plus locally (re)defined properties."""
+
+    name: str
+    superclasses: list[str] = field(default_factory=list)
+    #: locally defined or redefined properties, by name
+    local: dict[str, OrionProperty] = field(default_factory=dict)
+
+    def define(self, prop: OrionProperty) -> None:
+        self.local[prop.name] = replace(prop, origin=self.name)
+
+    def undefine(self, name: str) -> OrionProperty | None:
+        return self.local.pop(name, None)
+
+    def copy(self) -> "OrionClass":
+        return OrionClass(
+            self.name, list(self.superclasses), dict(self.local)
+        )
+
+
+class OrionDatabase:
+    """The native Orion class lattice.
+
+    The DAG is rooted at :data:`ROOT_CLASS`; every class except the root
+    must keep at least one superclass (Orion's "class lattice invariant"
+    keeps the structure connected — OP4 enforces it by rewiring).
+    """
+
+    def __init__(self) -> None:
+        self._classes: dict[str, OrionClass] = {
+            ROOT_CLASS: OrionClass(ROOT_CLASS)
+        }
+
+    # -- access ----------------------------------------------------------
+
+    def classes(self) -> frozenset[str]:
+        return frozenset(self._classes)
+
+    def get(self, name: str) -> OrionClass:
+        cls = self._classes.get(name)
+        if cls is None:
+            raise UnknownTypeError(name)
+        return cls
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def subclasses_of(self, name: str) -> frozenset[str]:
+        """Classes listing ``name`` as a direct superclass."""
+        self.get(name)
+        return frozenset(
+            c.name for c in self._classes.values()
+            if name in c.superclasses
+        )
+
+    def ancestors_of(self, name: str) -> frozenset[str]:
+        """All classes reachable upward from ``name`` (excluded)."""
+        seen: set[str] = set()
+        stack = list(self.get(name).superclasses)
+        while stack:
+            s = stack.pop()
+            if s in seen or s not in self._classes:
+                continue
+            seen.add(s)
+            stack.extend(self._classes[s].superclasses)
+        return frozenset(seen)
+
+    def is_dag(self) -> bool:
+        """Whether the superclass graph is acyclic."""
+        try:
+            for name in self._classes:
+                if name in self.ancestors_of(name):
+                    return False
+        except RecursionError:  # pragma: no cover - defensive
+            return False
+        return True
+
+    # -- structural mutation (used by the OP1-OP8 layer) ------------------
+
+    def add_class(self, name: str, superclasses: list[str] | None = None) -> OrionClass:
+        if name in self._classes:
+            raise DuplicateTypeError(name)
+        supers = list(superclasses) if superclasses else [ROOT_CLASS]
+        for s in supers:
+            if s not in self._classes:
+                raise UnknownTypeError(s)
+        cls = OrionClass(name, supers)
+        self._classes[name] = cls
+        return cls
+
+    def remove_class(self, name: str) -> OrionClass:
+        if name == ROOT_CLASS:
+            raise ValueError("OBJECT cannot be removed")
+        return self._classes.pop(name)
+
+    def add_edge(self, subclass: str, superclass: str) -> None:
+        """Append ``superclass`` at the end of the ordered list.
+
+        "OP3: Add S to the end of ordered Pe(C) ... If the Axiom of
+        Acyclicity is violated, the operation is rejected."
+        """
+        cls = self.get(subclass)
+        self.get(superclass)
+        if superclass == subclass or subclass in (
+            self.ancestors_of(superclass) | {superclass}
+        ):
+            raise CycleError(subclass, superclass)
+        if superclass in cls.superclasses:
+            return
+        cls.superclasses.append(superclass)
+
+    def rename_class(self, old: str, new: str) -> None:
+        """OP8 support: rename a class everywhere it occurs."""
+        if new in self._classes:
+            raise DuplicateTypeError(new)
+        cls = self._classes.pop(old) if old in self._classes else None
+        if cls is None:
+            raise UnknownTypeError(old)
+        cls.name = new
+        # Re-originate local properties: in Orion the origin is the class
+        # name, which just changed.
+        cls.local = {
+            n: replace(p, origin=new) for n, p in cls.local.items()
+        }
+        self._classes[new] = cls
+        for other in self._classes.values():
+            other.superclasses = [
+                new if s == old else s for s in other.superclasses
+            ]
+            # Inherited-origin bookkeeping for redefinitions pointing at
+            # the old name.
+            other.local = {
+                n: (replace(p, domain=new) if p.domain == old else p)
+                for n, p in other.local.items()
+            }
+
+    def copy(self) -> "OrionDatabase":
+        clone = OrionDatabase()
+        clone._classes = {n: c.copy() for n, c in self._classes.items()}
+        return clone
+
+    def fingerprint(self) -> tuple:
+        """Canonical digest of the class structure (for the differential
+        and order-dependence experiments).  Superclass *order* matters in
+        Orion, so it is part of the digest."""
+        return tuple(
+            (
+                name,
+                tuple(cls.superclasses),
+                tuple(sorted(str(p) for p in cls.local.values())),
+            )
+            for name, cls in sorted(self._classes.items())
+        )
+
+    def __repr__(self) -> str:
+        return f"OrionDatabase(classes={len(self._classes)})"

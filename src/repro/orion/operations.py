@@ -1,0 +1,168 @@
+"""Orion's eight fundamental schema operations, natively (Section 4).
+
+"Orion defines eight fundamental operations that are declared as being
+inclusive of all 'interesting' schema changes."  The docstring of each
+method quotes the paper's rendering of the operation; the bodies
+implement exactly that semantics over the native
+:class:`~repro.orion.model.OrionDatabase`.
+
+The twin of this module is :class:`repro.orion.reduction.ReducedOrion`,
+which performs the same eight operations through the axiomatic model;
+the differential tests assert they stay equivalent.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import OperationRejected, UnknownTypeError
+from .model import ROOT_CLASS, OrionDatabase, OrionProperty
+
+__all__ = ["OrionOps"]
+
+
+class OrionOps:
+    """Executor of OP1-OP8 over a native Orion database."""
+
+    def __init__(self, db: OrionDatabase | None = None) -> None:
+        self.db = db if db is not None else OrionDatabase()
+
+    # -- properties -------------------------------------------------------
+
+    def op1(self, class_name: str, prop: OrionProperty) -> None:
+        """OP1: Add a new property v to a class C.
+
+        "Add v to Ne(C).  Perform Orion conflict resolution as necessary.
+        The same operation is performed whether v is an attribute or a
+        method."  Rule R5: a redefinition may only specialize the domain.
+        """
+        from .conflict import visible_property
+
+        cls = self.db.get(class_name)
+        inherited = visible_property(self.db, class_name, prop.name)
+        if (
+            inherited is not None
+            and inherited.origin != class_name
+            and not prop.is_method
+            and not self._domain_specializes(prop.domain, inherited.domain)
+        ):
+            raise OperationRejected(
+                "OP1",
+                f"redefinition of {prop.name!r} must specialize domain "
+                f"{inherited.domain!r}, got {prop.domain!r}",
+            )
+        cls.define(prop)
+
+    def op2(self, class_name: str, prop_name: str) -> None:
+        """OP2: Drop an existing property v from a class C.
+
+        "Drop v from Ne(C).  Perform conflict resolution as necessary."
+        Dropping a name the class does not define locally is rejected
+        (inherited properties are dropped at their origin).
+        """
+        cls = self.db.get(class_name)
+        if cls.undefine(prop_name) is None:
+            raise OperationRejected(
+                "OP2",
+                f"class {class_name!r} does not define {prop_name!r} locally",
+            )
+
+    # -- edges -------------------------------------------------------------
+
+    def op3(self, class_name: str, superclass: str) -> None:
+        """OP3: Add an edge to make class S a superclass of class C.
+
+        "Add S to the end of ordered Pe(C).  Perform conflict resolution
+        as necessary.  If the Axiom of Acyclicity is violated, the
+        operation is rejected."
+        """
+        self.db.add_edge(class_name, superclass)
+
+    def op4(self, class_name: str, superclass: str) -> None:
+        """OP4: Drop an edge to remove class S as a superclass of class C.
+
+        The paper's algorithm, verbatim::
+
+            if Pe(C) = {S} then            // Last superclass of C?
+                if S = OBJECT then REJECT operation
+                else Pe(C) = Pe(S)         // Link C to superclasses
+            else remove S from Pe(C)
+        """
+        cls = self.db.get(class_name)
+        if superclass not in cls.superclasses:
+            raise OperationRejected(
+                "OP4",
+                f"{superclass!r} is not a superclass of {class_name!r}",
+            )
+        if cls.superclasses == [superclass]:
+            if superclass == ROOT_CLASS:
+                raise OperationRejected(
+                    "OP4", "cannot drop the last edge to OBJECT"
+                )
+            # Link C to the superclasses of S *as they are right now* —
+            # the source of Orion's drop-order dependence (Section 5).
+            cls.superclasses = list(self.db.get(superclass).superclasses)
+        else:
+            cls.superclasses.remove(superclass)
+
+    def op5(self, class_name: str, new_order: list[str]) -> None:
+        """OP5: Change the ordering of superclasses of a class C.
+
+        "Simply change the ordering of classes in Pe(C)."  The new order
+        must be a permutation of the current superclass list.
+        """
+        cls = self.db.get(class_name)
+        if sorted(new_order) != sorted(cls.superclasses):
+            raise OperationRejected(
+                "OP5",
+                "new order must be a permutation of the current superclasses",
+            )
+        cls.superclasses = list(new_order)
+
+    # -- classes -------------------------------------------------------------
+
+    def op6(self, class_name: str, superclass: str | None = None) -> None:
+        """OP6: Add a new class C as the subclass of a class S.
+
+        "Create C and add S to Pe(C).  If S is not specified, then
+        S = OBJECT by default.  In Orion, additional superclasses can be
+        added to C using OP3."
+        """
+        self.db.add_class(
+            class_name, [superclass if superclass else ROOT_CLASS]
+        )
+
+    def op7(self, class_name: str) -> None:
+        """OP7: Drop an existing class S.
+
+        "For all subclasses C of S, remove S as a superclass of C using
+        OP4."  The class is then removed from the lattice.
+        """
+        if class_name == ROOT_CLASS:
+            raise OperationRejected("OP7", "OBJECT cannot be dropped")
+        if class_name not in self.db:
+            raise UnknownTypeError(class_name)
+        for sub in sorted(self.db.subclasses_of(class_name)):
+            self.op4(sub, class_name)
+        self.db.remove_class(class_name)
+
+    def op8(self, old_name: str, new_name: str) -> None:
+        """OP8: Change the name of a class C.
+
+        "Change every occurrence of C in the Pe's of the various classes
+        to the new name."
+        """
+        if old_name == ROOT_CLASS:
+            raise OperationRejected("OP8", "OBJECT cannot be renamed")
+        self.db.rename_class(old_name, new_name)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _domain_specializes(self, sub_domain: str, super_domain: str) -> bool:
+        """Rule R5: the redefined domain must be the same class or one of
+        its descendants."""
+        if sub_domain == super_domain:
+            return True
+        if sub_domain not in self.db or super_domain not in self.db:
+            # Unmodeled (atomic) domains: accept, as Orion does for
+            # user-interpreted domains.
+            return True
+        return super_domain in self.db.ancestors_of(sub_domain)

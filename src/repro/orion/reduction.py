@@ -1,0 +1,369 @@
+"""The reduction of Orion to the axiomatic model (paper Section 4).
+
+"In mapping the Orion class structure to the axiomatic model, Pe
+represents the superclasses of an Orion class ... The Pe set can easily
+be ordered for [conflict resolution].  ... In mapping properties, Ne
+represents the defined or redefined properties of an Orion class."
+
+:class:`ReducedOrion` executes Orion's OP1-OP8 *through* the axiomatic
+model: the lattice (with the Orion policy: rooted at OBJECT, pointedness
+relaxed) carries ``Pe``/``Ne``, an ordered mirror of ``Pe`` carries the
+conflict-resolution order, and every operation follows the paper's
+axiomatic rendering verbatim.  :func:`assert_equivalent` is the machine
+check of the reduction theorem: after any operation sequence, the native
+database and the reduction agree on classes, superclass order, ancestor
+sets, and conflict-resolved interfaces.
+
+The paper also notes the reverse direction fails: "The reduction of [the]
+axiomatic model to Orion is not possible since, for example, Orion does
+not maintain minimal superclasses or native properties of classes."
+:func:`reverse_reduction_counterexample` constructs the witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import LatticePolicy
+from ..core.errors import OperationRejected, UnknownTypeError
+from ..core.lattice import TypeLattice
+from ..core.properties import Property
+from .conflict import resolve_interface, resolve_on_lattice
+from .model import ROOT_CLASS, OrionDatabase, OrionProperty
+
+__all__ = [
+    "ReducedOrion",
+    "EquivalenceReport",
+    "check_equivalent",
+    "assert_equivalent",
+    "reverse_reduction_counterexample",
+]
+
+
+class ReducedOrion:
+    """Orion's eight operations, executed on the axiomatic model."""
+
+    def __init__(self) -> None:
+        self.lattice = TypeLattice(LatticePolicy.orion())
+        #: the ordered view of ``Pe`` ("The Pe set can easily be ordered")
+        self.ordered_pe: dict[str, list[str]] = {ROOT_CLASS: []}
+        #: payload registry: semantics key -> the Orion property object
+        self.props: dict[str, OrionProperty] = {}
+
+    # -- helpers -----------------------------------------------------------
+
+    def _require(self, class_name: str) -> None:
+        if class_name not in self.lattice:
+            raise UnknownTypeError(class_name)
+
+    def _local_props(self, class_name: str) -> dict[str, Property]:
+        """Ne(C) indexed by property *name* (each name appears once: a
+        class (re)defines a name at most once, as in Orion)."""
+        return {p.name: p for p in self.lattice.ne(class_name)}
+
+    def _winner(self, class_name: str, prop_name: str) -> OrionProperty | None:
+        semantics = resolve_on_lattice(
+            self.lattice, self.ordered_pe, class_name
+        ).get(prop_name)
+        return self.props.get(semantics) if semantics else None
+
+    def _domain_specializes(self, sub: str, sup: str) -> bool:
+        if sub == sup:
+            return True
+        if sub not in self.lattice or sup not in self.lattice:
+            return True
+        return self.lattice.is_subtype(sub, sup)
+
+    # -- OP1-OP8, axiomatic renderings --------------------------------------
+
+    def op1(self, class_name: str, prop: OrionProperty) -> None:
+        """OP1: "Add v to Ne(C).  Perform Orion conflict resolution as
+        necessary." """
+        self._require(class_name)
+        inherited = self._winner(class_name, prop.name)
+        if (
+            inherited is not None
+            and inherited.origin != class_name
+            and not prop.is_method
+            and not self._domain_specializes(prop.domain, inherited.domain)
+        ):
+            raise OperationRejected(
+                "OP1",
+                f"redefinition of {prop.name!r} must specialize domain "
+                f"{inherited.domain!r}, got {prop.domain!r}",
+            )
+        # A same-name local redefinition replaces the previous one.
+        existing = self._local_props(class_name).get(prop.name)
+        if existing is not None:
+            self.lattice.drop_essential_property(class_name, existing)
+            self.props.pop(existing.semantics, None)
+        originated = OrionProperty(
+            prop.name, prop.domain, class_name, prop.is_method
+        )
+        p = Property(originated.semantics, prop.name, prop.domain)
+        self.lattice.add_essential_property(class_name, p)
+        self.props[p.semantics] = originated
+
+    def op2(self, class_name: str, prop_name: str) -> None:
+        """OP2: "Drop v from Ne(C)." """
+        self._require(class_name)
+        existing = self._local_props(class_name).get(prop_name)
+        if existing is None:
+            raise OperationRejected(
+                "OP2",
+                f"class {class_name!r} does not define {prop_name!r} locally",
+            )
+        self.lattice.drop_essential_property(class_name, existing)
+        self.props.pop(existing.semantics, None)
+
+    def op3(self, class_name: str, superclass: str) -> None:
+        """OP3: "Add S to the end of ordered Pe(C) ... If the Axiom of
+        Acyclicity is violated, the operation is rejected." """
+        self._require(class_name)
+        self._require(superclass)
+        if superclass in self.ordered_pe[class_name]:
+            return
+        if superclass != ROOT_CLASS:
+            # The lattice rejects cycles (Axiom of Acyclicity).
+            self.lattice.add_essential_supertype(class_name, superclass)
+        else:
+            # OBJECT is implicitly in Pe under the rooted policy; only
+            # the ordered mirror needs the entry.
+            pass
+        self.ordered_pe[class_name].append(superclass)
+
+    def op4(self, class_name: str, superclass: str) -> None:
+        """OP4, the paper's algorithm::
+
+            if Pe(C) = {S} then
+                if S = OBJECT then REJECT operation
+                else Pe(C) = Pe(S)
+            else remove S from Pe(C)
+        """
+        self._require(class_name)
+        order = self.ordered_pe[class_name]
+        if superclass not in order:
+            raise OperationRejected(
+                "OP4",
+                f"{superclass!r} is not a superclass of {class_name!r}",
+            )
+        if order == [superclass]:
+            if superclass == ROOT_CLASS:
+                raise OperationRejected(
+                    "OP4", "cannot drop the last edge to OBJECT"
+                )
+            inherited_order = list(self.ordered_pe[superclass])
+            self.lattice.drop_essential_supertype(class_name, superclass)
+            for s in inherited_order:
+                if s != ROOT_CLASS:
+                    self.lattice.add_essential_supertype(class_name, s)
+            self.ordered_pe[class_name] = inherited_order
+        else:
+            if superclass != ROOT_CLASS:
+                self.lattice.drop_essential_supertype(class_name, superclass)
+            order.remove(superclass)
+
+    def op5(self, class_name: str, new_order: list[str]) -> None:
+        """OP5: "Simply change the ordering of classes in Pe(C)."
+
+        Pure conflict-resolution metadata: the lattice is untouched — the
+        axiomatization of TIGUKAT abstracted this operation out entirely
+        (Section 5).
+        """
+        self._require(class_name)
+        if sorted(new_order) != sorted(self.ordered_pe[class_name]):
+            raise OperationRejected(
+                "OP5",
+                "new order must be a permutation of the current superclasses",
+            )
+        self.ordered_pe[class_name] = list(new_order)
+
+    def op6(self, class_name: str, superclass: str | None = None) -> None:
+        """OP6: "Create C and add S to Pe(C).  If S is not specified, then
+        S = OBJECT by default." """
+        s = superclass if superclass else ROOT_CLASS
+        self._require(s)
+        self.lattice.add_type(
+            class_name, supertypes=[] if s == ROOT_CLASS else [s]
+        )
+        self.ordered_pe[class_name] = [s]
+
+    def op7(self, class_name: str) -> None:
+        """OP7: "For all subclasses C of S, remove S as a superclass of C
+        using OP4." """
+        if class_name == ROOT_CLASS:
+            raise OperationRejected("OP7", "OBJECT cannot be dropped")
+        self._require(class_name)
+        subs = sorted(
+            c for c, order in self.ordered_pe.items()
+            if class_name in order
+        )
+        for sub in subs:
+            self.op4(sub, class_name)
+        for p in list(self.lattice.ne(class_name)):
+            self.props.pop(p.semantics, None)
+        self.lattice.drop_type(class_name)
+        del self.ordered_pe[class_name]
+
+    def op8(self, old_name: str, new_name: str) -> None:
+        """OP8: "Change every occurrence of C in the Pe's of the various
+        classes to the new name."
+
+        The axiomatic model has no renaming (identity is immutable and
+        references are separate, Section 5); the reduction realizes the
+        Orion semantics by re-referencing: rebuild the type under the new
+        reference and re-point every ``Pe`` and property origin/domain.
+        """
+        self._require(old_name)
+        if old_name == ROOT_CLASS:
+            raise OperationRejected("OP8", "OBJECT cannot be renamed")
+        if new_name in self.lattice:
+            raise OperationRejected("OP8", f"{new_name!r} already exists")
+
+        old_order = self.ordered_pe[old_name]
+        local = sorted(self.lattice.ne(old_name))
+        dependents = {
+            c: list(order) for c, order in self.ordered_pe.items()
+            if old_name in order and c != old_name
+        }
+        # Create the new reference with the same supertypes.
+        self.lattice.add_type(
+            new_name,
+            supertypes=[s for s in old_order if s != ROOT_CLASS],
+        )
+        self.ordered_pe[new_name] = list(old_order)
+        # Re-originate local properties under the new name.
+        for p in local:
+            orion_prop = self.props.pop(p.semantics)
+            renamed = OrionProperty(
+                orion_prop.name, orion_prop.domain, new_name,
+                orion_prop.is_method,
+            )
+            np = Property(renamed.semantics, renamed.name, renamed.domain)
+            self.lattice.add_essential_property(new_name, np)
+            self.props[np.semantics] = renamed
+        # Re-point subclasses, preserving their order positions.
+        for c, order in dependents.items():
+            self.lattice.add_essential_supertype(c, new_name)
+            self.lattice.drop_essential_supertype(c, old_name)
+            self.ordered_pe[c] = [
+                new_name if s == old_name else s for s in order
+            ]
+        # Domains referencing the renamed class follow it.
+        for semantics, orion_prop in list(self.props.items()):
+            if orion_prop.domain == old_name:
+                self.props[semantics] = OrionProperty(
+                    orion_prop.name, new_name, orion_prop.origin,
+                    orion_prop.is_method,
+                )
+        self.lattice.drop_type(old_name)
+        del self.ordered_pe[old_name]
+
+    # -- views ---------------------------------------------------------------
+
+    def classes(self) -> frozenset[str]:
+        return self.lattice.types()
+
+    def resolved_interface(self, class_name: str) -> dict[str, str]:
+        """Conflict-resolved interface: ``name -> winning semantics``."""
+        return resolve_on_lattice(self.lattice, self.ordered_pe, class_name)
+
+
+# ----------------------------------------------------------------------
+# The reduction theorem, machine-checked
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EquivalenceReport:
+    """Differences between a native Orion database and its reduction."""
+
+    mismatches: list[str]
+
+    @property
+    def equivalent(self) -> bool:
+        return not self.mismatches
+
+    def __str__(self) -> str:
+        if self.equivalent:
+            return "native Orion and the axiomatic reduction are equivalent"
+        return "\n".join(self.mismatches)
+
+
+def check_equivalent(
+    native: OrionDatabase, reduced: ReducedOrion
+) -> EquivalenceReport:
+    """Compare every observable the paper's reduction must preserve."""
+    mismatches: list[str] = []
+
+    native_classes = native.classes()
+    reduced_classes = reduced.classes()
+    if native_classes != reduced_classes:
+        mismatches.append(
+            f"class sets differ: only native "
+            f"{sorted(native_classes - reduced_classes)}, only reduced "
+            f"{sorted(reduced_classes - native_classes)}"
+        )
+        return EquivalenceReport(mismatches)
+
+    for name in sorted(native_classes):
+        native_cls = native.get(name)
+        if native_cls.superclasses != reduced.ordered_pe.get(name, []):
+            mismatches.append(
+                f"ordered superclasses of {name!r}: native "
+                f"{native_cls.superclasses} vs reduced "
+                f"{reduced.ordered_pe.get(name)}"
+            )
+        native_ancestors = native.ancestors_of(name) | {name}
+        if native_ancestors != reduced.lattice.pl(name):
+            mismatches.append(
+                f"ancestors of {name!r}: native {sorted(native_ancestors)} "
+                f"vs PL {sorted(reduced.lattice.pl(name))}"
+            )
+        native_iface = {
+            n: p.semantics
+            for n, p in resolve_interface(native, name).items()
+        }
+        reduced_iface = reduced.resolved_interface(name)
+        if native_iface != reduced_iface:
+            mismatches.append(
+                f"resolved interface of {name!r}: native {native_iface} "
+                f"vs reduced {reduced_iface}"
+            )
+    return EquivalenceReport(mismatches)
+
+
+def assert_equivalent(native: OrionDatabase, reduced: ReducedOrion) -> None:
+    report = check_equivalent(native, reduced)
+    if not report.equivalent:
+        raise AssertionError(str(report))
+
+
+def reverse_reduction_counterexample() -> dict[str, object]:
+    """Why the axiomatic model does NOT reduce to Orion (Section 4/5).
+
+    Builds a lattice where the axiomatic model distinguishes states Orion
+    cannot represent: two types with identical Orion-visible structure
+    whose essential (minimal) bookkeeping differs, so dropping the same
+    edge diverges.  Returns the witness pieces for tests and docs.
+    """
+    # Type A declares T_mid AND T_top essential; type B only T_mid.  Both
+    # have P = {T_mid} — indistinguishable to Orion, which keeps only the
+    # direct superclass list.  Dropping T_mid then separates them: A
+    # retains T_top (essential), B falls to the root.
+    lat = TypeLattice(LatticePolicy(rooted=True, pointed=False,
+                                    root_name="OBJECT", base_name=""))
+    lat.add_type("T_top")
+    lat.add_type("T_mid", supertypes=["T_top"])
+    lat.add_type("A", supertypes=["T_mid", "T_top"])
+    lat.add_type("B", supertypes=["T_mid"])
+    same_before = lat.p("A") == lat.p("B") == frozenset({"T_mid"})
+    lat.drop_essential_supertype("A", "T_mid")
+    lat.drop_essential_supertype("B", "T_mid")
+    return {
+        "lattice": lat,
+        "identical_p_before": same_before,
+        "p_A_after": lat.p("A"),   # {T_top}: the essential memory
+        "p_B_after": lat.p("B"),   # {OBJECT}: no essential memory
+        "diverged": lat.p("A") != lat.p("B"),
+    }

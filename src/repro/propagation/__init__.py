@@ -1,0 +1,40 @@
+"""Change propagation: the companion problem to semantics of change.
+
+The paper addresses only the *semantics of change*; this package supplies
+the *change propagation* half it defers — screening, conversion, and
+filtering coercion strategies, object migration, and temporal schema
+versions — so the reproduction covers the paper's stated future work.
+"""
+
+from .auto import AutoPropagator
+from .base import CoercionStrategy, stranded_slots, visible_slots
+from .conversion import ConversionStrategy
+from .filtering import FilteringStrategy
+from .invariants import (
+    PropagationViolation,
+    check_filtered_visibility,
+    check_full_conformance,
+    check_membership,
+    check_screened_conformance,
+)
+from .migration import Migrator
+from .screening import ScreeningStrategy
+from .temporal import SchemaVersion, TemporalSchema
+
+__all__ = [
+    "CoercionStrategy",
+    "AutoPropagator",
+    "visible_slots",
+    "stranded_slots",
+    "PropagationViolation",
+    "check_membership",
+    "check_full_conformance",
+    "check_screened_conformance",
+    "check_filtered_visibility",
+    "ConversionStrategy",
+    "ScreeningStrategy",
+    "FilteringStrategy",
+    "Migrator",
+    "SchemaVersion",
+    "TemporalSchema",
+]

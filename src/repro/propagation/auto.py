@@ -1,0 +1,62 @@
+"""Automatic change propagation: wiring schema events to a strategy.
+
+The examples wire propagation by hand (apply an operation, then tell the
+strategy what changed).  :class:`AutoPropagator` removes the manual step:
+subscribe it to a :class:`~repro.tigukat.evolution.SchemaManager` and
+every schema-evolution operation automatically notifies the coercion
+strategy with the precise affected-type set (the changed type plus its
+transitive subtypes — interfaces only ever change downward).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .base import CoercionStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tigukat.evolution import EvolutionRecord, SchemaManager
+
+__all__ = ["AutoPropagator"]
+
+#: operation codes that can change interfaces (the others touch classes,
+#: functions, or collections only)
+_INTERFACE_CHANGING = {
+    "MT-AB", "MT-DB", "MT-ASR", "MT-DSR", "AT", "DT", "DB",
+}
+
+
+class AutoPropagator:
+    """Subscribes a coercion strategy to a schema manager's event stream."""
+
+    def __init__(
+        self, manager: "SchemaManager", strategy: CoercionStrategy
+    ) -> None:
+        self.manager = manager
+        self.strategy = strategy
+        self.notifications = 0
+        manager.subscribe(self._on_record)
+
+    def _affected(self, record: "EvolutionRecord") -> frozenset[str]:
+        lattice = self.manager.store.lattice
+        code = record.code
+        if code in ("MT-AB", "MT-DB", "MT-ASR", "MT-DSR", "AT"):
+            t = record.arguments.get("type") or record.arguments.get("name")
+            if t is None or t not in lattice:
+                return frozenset()
+            return frozenset({t}) | lattice.all_subtypes(t)
+        if code in ("DT", "DB"):
+            # The dropped construct is gone; conservatively cover every
+            # non-frozen type (its former subtypes are among them).
+            return frozenset(
+                t for t in lattice.types() if not lattice.is_frozen(t)
+            )
+        return frozenset()
+
+    def _on_record(self, record: "EvolutionRecord") -> None:
+        if record.code not in _INTERFACE_CHANGING:
+            return
+        affected = self._affected(record)
+        if affected:
+            self.strategy.on_schema_change(affected)
+            self.notifications += 1

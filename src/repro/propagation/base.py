@@ -1,0 +1,95 @@
+"""Change propagation: coercing instances to evolved schema definitions.
+
+The paper (Section 1): "the typical solution is to explicitly coerce
+objects to coincide with the new schema definition.  Screening,
+conversion, and filtering are techniques for defining when and how
+coercion takes place."  The paper defers propagation to [7]; this package
+implements the three classic techniques as pluggable strategies over the
+TIGUKAT objectbase, as the "future work" extension of the reproduction.
+
+Vocabulary
+----------
+An instance *conforms* to its type when every stored slot it carries
+corresponds to a behavior in the type's current interface.  Schema
+changes can strand slots (dropped behaviors) or introduce behaviors the
+instance has no slot for (which stored implementations simply default —
+only stranded slots need coercion).
+
+* **Conversion** coerces *eagerly*: every affected instance is rewritten
+  the moment the schema changes.
+* **Screening** coerces *lazily*: instances are stamped with the schema
+  version they conform to and rewritten on first access after a change.
+* **Filtering** never rewrites: stale slots are masked at access time,
+  leaving stored state untouched (useful when changes may be undone).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from ..tigukat.objects import TigukatObject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tigukat.store import Objectbase
+
+__all__ = ["visible_slots", "stranded_slots", "CoercionStrategy"]
+
+
+def visible_slots(store: "Objectbase", obj: TigukatObject) -> frozenset[str]:
+    """The slot keys the current interface of ``obj``'s type sanctions."""
+    if obj.type_name not in store.lattice:
+        return frozenset()
+    return frozenset(
+        p.semantics for p in store.lattice.interface(obj.type_name)
+    )
+
+
+def stranded_slots(store: "Objectbase", obj: TigukatObject) -> frozenset[str]:
+    """Slots the instance carries that its type no longer defines."""
+    return obj._slots() - visible_slots(store, obj)
+
+
+class CoercionStrategy(abc.ABC):
+    """A change-propagation policy over one objectbase."""
+
+    def __init__(self, store: "Objectbase") -> None:
+        self.store = store
+        #: number of instances physically rewritten so far
+        self.coerced_count = 0
+
+    @abc.abstractmethod
+    def on_schema_change(self, affected_types: frozenset[str]) -> None:
+        """Called after a schema-evolution operation with the set of types
+        whose interfaces may have changed."""
+
+    @abc.abstractmethod
+    def read_slot(self, obj: TigukatObject, semantics: str):
+        """Access an instance slot under this policy (the policy decides
+        whether/when to coerce)."""
+
+    def conforms(self, obj: TigukatObject) -> bool:
+        """Whether the instance currently conforms to its type."""
+        return not stranded_slots(self.store, obj)
+
+    def _coerce(self, obj: TigukatObject) -> bool:
+        """Physically drop stranded slots; returns True when work was done."""
+        stale = stranded_slots(self.store, obj)
+        if not stale:
+            return False
+        for semantics in stale:
+            obj._drop_slot(semantics)
+        self.coerced_count += 1
+        return True
+
+    def _instances_of(self, type_names: frozenset[str]):
+        """All application instances whose type is in (or below) the set."""
+        seen: set = set()
+        for t in type_names:
+            if t not in self.store.lattice:
+                continue
+            for oid in self.store.extent(t, deep=True):
+                if oid in seen:
+                    continue
+                seen.add(oid)
+                yield self.store.get(oid)

@@ -1,0 +1,32 @@
+"""Conversion: eager change propagation.
+
+Every instance of an affected type is rewritten to the new schema
+definition at change time.  Reads are then always clean (no per-access
+overhead), at the price of a potentially large synchronous pause — the
+classic trade-off against :mod:`repro.propagation.screening`.
+"""
+
+from __future__ import annotations
+
+from ..tigukat.objects import TigukatObject
+from .base import CoercionStrategy
+
+__all__ = ["ConversionStrategy"]
+
+
+class ConversionStrategy(CoercionStrategy):
+    """Coerce all affected instances immediately on schema change."""
+
+    def on_schema_change(self, affected_types: frozenset[str]) -> None:
+        for obj in self._instances_of(affected_types):
+            self._coerce(obj)
+
+    def read_slot(self, obj: TigukatObject, semantics: str):
+        # Conversion guarantees conformance at change time; reads are raw.
+        return obj._get_slot(semantics)
+
+    def convert_everything(self) -> int:
+        """Full-base conversion sweep; returns instances rewritten."""
+        before = self.coerced_count
+        self.on_schema_change(frozenset(self.store.lattice.types()))
+        return self.coerced_count - before

@@ -1,0 +1,48 @@
+"""Filtering: view-based change propagation.
+
+Instances are never rewritten.  Every read is filtered through the type's
+*current* interface, so stale slots are invisible but physically retained
+— which makes schema changes trivially reversible at the instance level
+(undoing the change brings the old values back).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..tigukat.objects import TigukatObject
+from .base import CoercionStrategy, visible_slots
+
+__all__ = ["FilteringStrategy"]
+
+
+class FilteringStrategy(CoercionStrategy):
+    """Mask stale slots at access time; never mutate instance state."""
+
+    def on_schema_change(self, affected_types: frozenset[str]) -> None:
+        # Nothing to do: the filter consults the live interface on every
+        # read, so it is always up to date by construction.
+        pass
+
+    def read_slot(self, obj: TigukatObject, semantics: str) -> Any:
+        if semantics not in visible_slots(self.store, obj):
+            return None
+        return obj._get_slot(semantics)
+
+    def filtered_state(self, obj: TigukatObject) -> dict[str, Any]:
+        """The instance state as visible through the current schema."""
+        allowed = visible_slots(self.store, obj)
+        return {
+            semantics: obj._get_slot(semantics)
+            for semantics in obj._slots()
+            if semantics in allowed
+        }
+
+    def hidden_state(self, obj: TigukatObject) -> dict[str, Any]:
+        """The physically retained but currently invisible slots."""
+        allowed = visible_slots(self.store, obj)
+        return {
+            semantics: obj._get_slot(semantics)
+            for semantics in obj._slots()
+            if semantics not in allowed
+        }

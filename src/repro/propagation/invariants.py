@@ -1,0 +1,154 @@
+"""Propagation invariants: the change-propagation axioms, checkable.
+
+The paper's future work (Section 6): "a formal axiomatic model for
+change propagation and its integration with the model proposed here is
+under development."  This module states the propagation contract each
+coercion strategy promises, as machine-checkable invariants over an
+objectbase — the executable counterpart of that planned axiomatization.
+
+* **Membership**: every managed instance is in exactly the class of its
+  type, and every class member exists.
+* **Conversion conformance**: after a conversion pass, *every* instance
+  conforms to its type's current interface.
+* **Screening conformance**: every instance *accessed since* the last
+  schema change conforms; untouched instances may lag (that is the
+  point).
+* **Filtering visibility**: the filtered view of any instance contains
+  exactly the interface-sanctioned slots, regardless of physical state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..tigukat.objects import TigukatObject
+from .base import stranded_slots, visible_slots
+from .filtering import FilteringStrategy
+from .screening import ScreeningStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tigukat.store import Objectbase
+
+__all__ = [
+    "PropagationViolation",
+    "check_membership",
+    "check_full_conformance",
+    "check_screened_conformance",
+    "check_filtered_visibility",
+]
+
+
+@dataclass(frozen=True)
+class PropagationViolation:
+    invariant: str
+    subject: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.subject}: {self.detail}"
+
+
+def _instances(store: "Objectbase"):
+    for cls in store.classes():
+        for oid in cls.members():
+            if oid in store:
+                yield store.get(oid)
+
+
+def check_membership(store: "Objectbase") -> list[PropagationViolation]:
+    """Instances belong to exactly their type's class; members exist."""
+    out: list[PropagationViolation] = []
+    for cls in store.classes():
+        for oid in cls.members():
+            if oid not in store:
+                out.append(
+                    PropagationViolation(
+                        "membership", str(oid),
+                        f"member of {cls} does not exist",
+                    )
+                )
+                continue
+            obj = store.get(oid)
+            if obj.type_name != cls.of_type:
+                out.append(
+                    PropagationViolation(
+                        "membership", str(oid),
+                        f"typed {obj.type_name!r} but held by the class "
+                        f"of {cls.of_type!r}",
+                    )
+                )
+    for obj in _instances(store):
+        if type(obj) is not TigukatObject:
+            continue
+        cls = store.class_of(obj.type_name)
+        if cls is None or obj.oid not in cls:
+            out.append(
+                PropagationViolation(
+                    "membership", str(obj.oid),
+                    "instance not registered in its type's class",
+                )
+            )
+    return out
+
+
+def check_full_conformance(store: "Objectbase") -> list[PropagationViolation]:
+    """The conversion contract: no instance carries stranded slots."""
+    out: list[PropagationViolation] = []
+    for obj in _instances(store):
+        stale = stranded_slots(store, obj)
+        if stale:
+            out.append(
+                PropagationViolation(
+                    "conversion-conformance", str(obj.oid),
+                    f"stranded slots: {sorted(stale)}",
+                )
+            )
+    return out
+
+
+def check_screened_conformance(
+    store: "Objectbase", strategy: ScreeningStrategy
+) -> list[PropagationViolation]:
+    """The screening contract: instances marked clean at (or after) their
+    type's last change carry no stranded slots."""
+    out: list[PropagationViolation] = []
+    for obj in _instances(store):
+        changed_at = strategy._type_changed_at.get(obj.type_name, 0)
+        clean_at = strategy._clean_at.get(obj.oid, 0)
+        if clean_at >= changed_at and stranded_slots(store, obj):
+            out.append(
+                PropagationViolation(
+                    "screening-conformance", str(obj.oid),
+                    "marked clean but carries stranded slots",
+                )
+            )
+    return out
+
+
+def check_filtered_visibility(
+    store: "Objectbase", strategy: FilteringStrategy
+) -> list[PropagationViolation]:
+    """The filtering contract: a filtered view exposes exactly the
+    interface-sanctioned slots."""
+    out: list[PropagationViolation] = []
+    for obj in _instances(store):
+        view = strategy.filtered_state(obj)
+        allowed = visible_slots(store, obj)
+        exposed = set(view)
+        if not exposed <= allowed:
+            out.append(
+                PropagationViolation(
+                    "filtering-visibility", str(obj.oid),
+                    f"view leaks slots: {sorted(exposed - allowed)}",
+                )
+            )
+        hidden = strategy.hidden_state(obj)
+        if set(hidden) & allowed:
+            out.append(
+                PropagationViolation(
+                    "filtering-visibility", str(obj.oid),
+                    "sanctioned slots reported as hidden",
+                )
+            )
+    return out

@@ -1,0 +1,78 @@
+"""Object migration: porting instances between types.
+
+"With the use of object migration techniques, the instances can be ported
+to some other type prior to being dropped in order to preserve their
+existence" (Section 3.3, DT).  Migration preserves object *identity* —
+the OID never changes — while reassigning the instance to the target
+type's class and coercing its state to the target interface.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.errors import OperationRejected, UnknownTypeError
+from ..core.identity import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tigukat.store import Objectbase
+
+__all__ = ["Migrator"]
+
+
+class Migrator:
+    """Moves instances between type extents, preserving identity."""
+
+    def __init__(self, store: "Objectbase") -> None:
+        self.store = store
+        #: number of instances migrated so far
+        self.migrated_count = 0
+
+    def migrate_object(self, oid: Oid, target_type: str) -> None:
+        """Port one instance to ``target_type``.
+
+        Rejected when the target type has no class (object creation —
+        and hence membership — "occurs only through classes") or when
+        the identity does not denote an application instance.
+        """
+        if target_type not in self.store.lattice:
+            raise UnknownTypeError(target_type)
+        target_class = self.store.class_of(target_type)
+        if target_class is None:
+            raise OperationRejected(
+                "MIGRATE",
+                f"target type {target_type!r} has no associated class",
+            )
+        obj = self.store.get(oid)
+        source_class = self.store.class_of(obj.type_name)
+        if source_class is None or oid not in source_class:
+            raise OperationRejected(
+                "MIGRATE", f"{oid} is not a managed instance"
+            )
+        source_class.remove(oid)
+        obj._migrate(target_type)
+        target_class.insert(oid)
+        # Coerce state to the target interface: stranded slots are cut.
+        allowed = {
+            p.semantics for p in self.store.lattice.interface(target_type)
+        }
+        for semantics in obj._slots() - allowed:
+            obj._drop_slot(semantics)
+        self.migrated_count += 1
+
+    def migrate_extent(self, source_type: str, target_type: str) -> int:
+        """Port the entire (shallow) extent of ``source_type``.
+
+        Returns the number of instances moved.  Used by DT/DC with
+        ``migrate_to`` to preserve instances of dropped types.
+        """
+        source_class = self.store.class_of(source_type)
+        if source_class is None:
+            raise OperationRejected(
+                "MIGRATE", f"type {source_type!r} has no associated class"
+            )
+        moved = 0
+        for oid in sorted(source_class.members()):
+            self.migrate_object(oid, target_type)
+            moved += 1
+        return moved

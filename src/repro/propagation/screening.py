@@ -1,0 +1,62 @@
+"""Screening: lazy change propagation.
+
+Schema changes only bump a global schema-version counter and record which
+types were affected at each version.  Instances remember the version they
+last conformed to and are physically coerced on first access afterwards.
+Change-time cost is O(1); the coercion cost is spread over future reads
+(and never paid for instances that are never touched again).
+"""
+
+from __future__ import annotations
+
+from ..core.identity import Oid
+from ..tigukat.objects import TigukatObject
+from .base import CoercionStrategy
+
+__all__ = ["ScreeningStrategy"]
+
+
+class ScreeningStrategy(CoercionStrategy):
+    """Coerce instances lazily, on first access after a schema change."""
+
+    def __init__(self, store) -> None:
+        super().__init__(store)
+        self._schema_version = 0
+        #: version at which each type last changed
+        self._type_changed_at: dict[str, int] = {}
+        #: version up to which each instance is known clean
+        self._clean_at: dict[Oid, int] = {}
+
+    @property
+    def schema_version(self) -> int:
+        return self._schema_version
+
+    def on_schema_change(self, affected_types: frozenset[str]) -> None:
+        self._schema_version += 1
+        for t in affected_types:
+            self._type_changed_at[t] = self._schema_version
+
+    def screen(self, obj: TigukatObject) -> bool:
+        """Bring one instance up to date if stale; returns whether a
+        physical coercion happened."""
+        changed_at = self._type_changed_at.get(obj.type_name, 0)
+        if self._clean_at.get(obj.oid, 0) >= changed_at:
+            return False
+        did = self._coerce(obj)
+        self._clean_at[obj.oid] = self._schema_version
+        return did
+
+    def read_slot(self, obj: TigukatObject, semantics: str):
+        self.screen(obj)
+        return obj._get_slot(semantics)
+
+    def pending_count(self) -> int:
+        """Instances that would still need screening if accessed now."""
+        count = 0
+        for t, changed_at in self._type_changed_at.items():
+            if t not in self.store.lattice:
+                continue
+            for oid in self.store.extent(t, deep=False):
+                if self._clean_at.get(oid, 0) < changed_at:
+                    count += 1
+        return count

@@ -1,0 +1,137 @@
+"""Temporal schema versioning.
+
+The paper points at "a discussion of change propagation in TIGUKAT that
+uses the temporality of the model" ([7], [2]) and Skarra & Zdonik's type
+versioning in Encore.  :class:`TemporalSchema` provides the substrate:
+every committed schema-evolution step produces an immutable, numbered
+schema *version* (a snapshot of the derived lattice), and historical
+queries ("what was the interface of T_employee at version 3?") are
+answered against the snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.derivation import Derivation
+from ..core.properties import Property
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.lattice import TypeLattice
+
+__all__ = ["SchemaVersion", "TemporalSchema"]
+
+
+@dataclass(frozen=True)
+class SchemaVersion:
+    """One immutable schema snapshot."""
+
+    number: int
+    label: str
+    derivation: Derivation
+
+    def types(self) -> frozenset[str]:
+        return self.derivation.types()
+
+    def interface(self, type_name: str) -> frozenset[Property]:
+        return self.derivation.i[type_name]
+
+    def supertypes(self, type_name: str) -> frozenset[str]:
+        return self.derivation.p[type_name]
+
+
+class TemporalSchema:
+    """A linear version history over one lattice.
+
+    ``commit`` snapshots the current derived state; snapshots are cheap
+    (the derivation's frozensets are shared, never copied).
+    """
+
+    def __init__(self, lattice: "TypeLattice") -> None:
+        self._lattice = lattice
+        self._versions: list[SchemaVersion] = []
+        self.commit("initial")
+
+    @property
+    def lattice(self) -> "TypeLattice":
+        return self._lattice
+
+    def commit(self, label: str = "") -> SchemaVersion:
+        """Record the current schema as a new version."""
+        version = SchemaVersion(
+            number=len(self._versions),
+            label=label or f"v{len(self._versions)}",
+            derivation=self._lattice.derivation,
+        )
+        self._versions.append(version)
+        return version
+
+    def version(self, number: int) -> SchemaVersion:
+        return self._versions[number]
+
+    @property
+    def current(self) -> SchemaVersion:
+        return self._versions[-1]
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    # -- historical queries ----------------------------------------------
+
+    def interface_at(
+        self, type_name: str, version: int
+    ) -> frozenset[Property]:
+        """``I(t)`` as of a past version (KeyError if t did not exist)."""
+        return self._versions[version].interface(type_name)
+
+    def lifespan(self, type_name: str) -> tuple[int, int | None]:
+        """The version range ``[first, last]`` during which a type
+        existed; ``last`` is ``None`` while the type is still alive."""
+        first: int | None = None
+        last: int | None = None
+        for v in self._versions:
+            if type_name in v.types():
+                if first is None:
+                    first = v.number
+                last = v.number
+        if first is None:
+            raise KeyError(f"type {type_name!r} never existed")
+        if last == self._versions[-1].number:
+            return first, None
+        return first, last
+
+    def interface_history(
+        self, type_name: str
+    ) -> list[tuple[int, frozenset[Property]]]:
+        """The distinct interfaces a type has had, as (version, I(t))
+        pairs recording when each change became visible."""
+        history: list[tuple[int, frozenset[Property]]] = []
+        previous: frozenset[Property] | None = None
+        for v in self._versions:
+            if type_name not in v.types():
+                previous = None
+                continue
+            iface = v.interface(type_name)
+            if iface != previous:
+                history.append((v.number, iface))
+                previous = iface
+        return history
+
+    def diff(self, earlier: int, later: int) -> dict[str, str]:
+        """Type-level summary of what changed between two versions."""
+        a, b = self._versions[earlier], self._versions[later]
+        out: dict[str, str] = {}
+        for t in sorted(a.types() - b.types()):
+            out[t] = "dropped"
+        for t in sorted(b.types() - a.types()):
+            out[t] = "added"
+        for t in sorted(a.types() & b.types()):
+            changes = []
+            if a.supertypes(t) != b.supertypes(t):
+                changes.append("supertypes")
+            if a.interface(t) != b.interface(t):
+                changes.append("interface")
+            if changes:
+                out[t] = "+".join(changes)
+        return out

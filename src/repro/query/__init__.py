@@ -1,0 +1,28 @@
+"""Behavioral and reflective queries over a TIGUKAT objectbase.
+
+Instance queries (:func:`select`, :func:`from_collection`) filter extents
+through behavioral predicates built with :func:`B`; reflective queries
+(:func:`schema_query`) range over the schema objects themselves — the
+facility the paper's meta-architecture provides ("reflective queries",
+Section 3.1).
+"""
+
+from .ast import B, BehaviorTerm, Predicate
+from .engine import (
+    ExtentQuery,
+    SchemaQuery,
+    from_collection,
+    schema_query,
+    select,
+)
+
+__all__ = [
+    "B",
+    "BehaviorTerm",
+    "Predicate",
+    "ExtentQuery",
+    "SchemaQuery",
+    "select",
+    "from_collection",
+    "schema_query",
+]

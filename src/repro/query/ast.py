@@ -1,0 +1,142 @@
+"""Predicate combinators for behavioral queries.
+
+The TIGUKAT meta-architecture supports "class behaviors, reflective
+queries" (paper Section 3.1, citing [8]): because types, behaviors and
+classes are first-class objects, queries can range over schema and data
+alike.  This module provides the predicate language; execution lives in
+:mod:`repro.query.engine`.
+
+Predicates are small composable objects evaluated against
+``(store, object)``; behavior access goes through ``store.apply`` so a
+query observes exactly what the behavioral interface exposes (late
+binding, computed implementations, conformance — everything).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..tigukat.objects import TigukatObject
+    from ..tigukat.store import Objectbase
+
+__all__ = ["Predicate", "B", "BehaviorTerm"]
+
+
+class Predicate:
+    """A boolean condition over one object."""
+
+    def __init__(
+        self, fn: Callable[["Objectbase", "TigukatObject"], bool],
+        description: str,
+    ) -> None:
+        self._fn = fn
+        self.description = description
+
+    def __call__(self, store: "Objectbase", obj: "TigukatObject") -> bool:
+        return bool(self._fn(store, obj))
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda s, o: self(s, o) and other(s, o),
+            f"({self.description} and {other.description})",
+        )
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda s, o: self(s, o) or other(s, o),
+            f"({self.description} or {other.description})",
+        )
+
+    def __invert__(self) -> "Predicate":
+        return Predicate(
+            lambda s, o: not self(s, o), f"(not {self.description})"
+        )
+
+    def __repr__(self) -> str:
+        return f"<Predicate {self.description}>"
+
+
+@dataclass(frozen=True)
+class BehaviorTerm:
+    """A reference to a behavior value, comparable into a Predicate.
+
+    ``B("salary") > 1000`` builds a predicate that applies the ``salary``
+    behavior to each candidate and compares.  Objects whose interface
+    lacks the behavior — or where application fails — simply do not
+    match (queries filter, they never crash on heterogeneous inputs).
+    """
+
+    name: str
+
+    def _compare(self, op: Callable[[Any, Any], bool], sym: str, value: Any) -> Predicate:
+        def check(store: "Objectbase", obj: "TigukatObject") -> bool:
+            from ..core.errors import SchemaError
+
+            try:
+                actual = store.apply(obj, self.name)
+            except SchemaError:
+                return False
+            if actual is None:
+                return False
+            try:
+                return op(actual, value)
+            except TypeError:
+                return False
+
+        return Predicate(check, f"{self.name} {sym} {value!r}")
+
+    def __eq__(self, value: object) -> Predicate:  # type: ignore[override]
+        return self._compare(operator.eq, "==", value)
+
+    def __ne__(self, value: object) -> Predicate:  # type: ignore[override]
+        return self._compare(operator.ne, "!=", value)
+
+    def __lt__(self, value: Any) -> Predicate:
+        return self._compare(operator.lt, "<", value)
+
+    def __le__(self, value: Any) -> Predicate:
+        return self._compare(operator.le, "<=", value)
+
+    def __gt__(self, value: Any) -> Predicate:
+        return self._compare(operator.gt, ">", value)
+
+    def __ge__(self, value: Any) -> Predicate:
+        return self._compare(operator.ge, ">=", value)
+
+    def __hash__(self) -> int:  # dataclass eq is overridden above
+        return hash(self.name)
+
+    def defined(self) -> Predicate:
+        """Matches objects whose interface offers the behavior at all."""
+
+        def check(store: "Objectbase", obj: "TigukatObject") -> bool:
+            from ..core.errors import SchemaError
+
+            try:
+                store.resolve_behavior(obj.type_name, self.name)
+                return True
+            except SchemaError:
+                return False
+
+        return Predicate(check, f"defined({self.name})")
+
+    def is_null(self) -> Predicate:
+        """Matches objects where the behavior is defined but unset."""
+
+        def check(store: "Objectbase", obj: "TigukatObject") -> bool:
+            from ..core.errors import SchemaError
+
+            try:
+                return store.apply(obj, self.name) is None
+            except SchemaError:
+                return False
+
+        return Predicate(check, f"is_null({self.name})")
+
+
+def B(name: str) -> BehaviorTerm:
+    """Behavior reference, mirroring the paper's ``B_`` prefix."""
+    return BehaviorTerm(name)

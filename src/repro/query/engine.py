@@ -1,0 +1,241 @@
+"""Query execution over extents, collections, and the schema itself.
+
+Two query surfaces, mirroring the uniformity of the model:
+
+* :class:`ExtentQuery` — select over the (deep) extent of a type or the
+  members of a collection, filtered by behavioral predicates;
+* :class:`SchemaQuery` — *reflective* queries ranging over the schema
+  objects themselves (types defining a behavior, subtypes of a type,
+  behaviors without implementations, ...), possible precisely because
+  schema is first-class data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, TYPE_CHECKING
+
+from ..core.errors import UnknownTypeError
+from .ast import Predicate
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.properties import Property
+    from ..tigukat.objects import TigukatObject
+    from ..tigukat.store import Objectbase
+
+__all__ = ["ExtentQuery", "SchemaQuery", "select", "schema_query"]
+
+
+class ExtentQuery:
+    """A fluent select over instances.
+
+    >>> select(store, "T_employee").where(B("salary") > 1000).all()
+    """
+
+    def __init__(
+        self,
+        store: "Objectbase",
+        source: str,
+        deep: bool = True,
+        from_collection: bool = False,
+    ) -> None:
+        self._store = store
+        self._source = source
+        self._deep = deep
+        self._from_collection = from_collection
+        self._predicates: list[Predicate] = []
+
+    def where(self, predicate: Predicate) -> "ExtentQuery":
+        """Add a conjunct; chaining ANDs predicates together."""
+        clone = ExtentQuery(
+            self._store, self._source, self._deep, self._from_collection
+        )
+        clone._predicates = [*self._predicates, predicate]
+        return clone
+
+    def _candidates(self) -> Iterator["TigukatObject"]:
+        if self._from_collection:
+            collection = self._store.collection(self._source)
+            oids = collection.members()
+        else:
+            oids = self._store.extent(self._source, deep=self._deep)
+        for oid in sorted(oids):
+            if oid in self._store:
+                yield self._store.get(oid)
+
+    def __iter__(self) -> Iterator["TigukatObject"]:
+        for obj in self._candidates():
+            if all(p(self._store, obj) for p in self._predicates):
+                yield obj
+
+    def all(self) -> list["TigukatObject"]:
+        return list(self)
+
+    def count(self) -> int:
+        return sum(1 for __ in self)
+
+    def first(self) -> "TigukatObject | None":
+        return next(iter(self), None)
+
+    def exists(self) -> bool:
+        return self.first() is not None
+
+    def values(self, behavior_name: str) -> list[Any]:
+        """Project one behavior over the matches (unresolvable → None)."""
+        from ..core.errors import SchemaError
+
+        out: list[Any] = []
+        for obj in self:
+            try:
+                out.append(self._store.apply(obj, behavior_name))
+            except SchemaError:
+                out.append(None)
+        return out
+
+    def aggregate(self, behavior_name: str, fn: Callable[[list[Any]], Any]) -> Any:
+        """Fold a projection: ``fn`` over the non-None behavior values.
+
+        >>> select(store, "T_employee").aggregate("salary", sum)
+        """
+        return fn([v for v in self.values(behavior_name) if v is not None])
+
+    def group_by(self, behavior_name: str) -> dict[Any, list["TigukatObject"]]:
+        """Partition the matches by a behavior value.
+
+        Unresolvable or unset behaviors group under ``None``; values must
+        be hashable.
+        """
+        from ..core.errors import SchemaError
+
+        groups: dict[Any, list["TigukatObject"]] = {}
+        for obj in self:
+            try:
+                key = self._store.apply(obj, behavior_name)
+            except SchemaError:
+                key = None
+            groups.setdefault(key, []).append(obj)
+        return groups
+
+    def group_counts(self, behavior_name: str) -> dict[Any, int]:
+        """Group sizes by behavior value (the histogram form)."""
+        return {
+            key: len(members)
+            for key, members in self.group_by(behavior_name).items()
+        }
+
+
+def select(
+    store: "Objectbase", type_name: str, deep: bool = True
+) -> ExtentQuery:
+    """Query the extent of a type (deep by default: inclusion
+    polymorphism makes subtype instances members too)."""
+    if type_name not in store.lattice:
+        raise UnknownTypeError(type_name)
+    return ExtentQuery(store, type_name, deep=deep)
+
+
+def from_collection(store: "Objectbase", name: str) -> ExtentQuery:
+    """Query the members of a user-managed collection."""
+    store.collection(name)  # existence check
+    return ExtentQuery(store, name, from_collection=True)
+
+
+class SchemaQuery:
+    """Reflective queries over the schema objects."""
+
+    def __init__(self, store: "Objectbase") -> None:
+        self._store = store
+
+    # -- type-centric -------------------------------------------------------
+
+    def types_defining(self, behavior_name: str) -> frozenset[str]:
+        """Types whose *native* set defines a behavior with this name."""
+        lattice = self._store.lattice
+        return frozenset(
+            t for t in lattice.types()
+            if any(p.name == behavior_name for p in lattice.n(t))
+        )
+
+    def types_understanding(self, behavior_name: str) -> frozenset[str]:
+        """Types whose interface offers the behavior (native or
+        inherited) — the set of receivers that can answer it."""
+        lattice = self._store.lattice
+        return frozenset(
+            t for t in lattice.types()
+            if any(p.name == behavior_name for p in lattice.interface(t))
+        )
+
+    def subtypes_of(self, type_name: str, transitive: bool = True) -> frozenset[str]:
+        lattice = self._store.lattice
+        if transitive:
+            return lattice.all_subtypes(type_name)
+        return lattice.subtypes(type_name)
+
+    def common_supertypes(self, *type_names: str) -> frozenset[str]:
+        """Types every argument conforms to (intersection of PLs)."""
+        lattice = self._store.lattice
+        if not type_names:
+            return frozenset()
+        result = lattice.pl(type_names[0])
+        for name in type_names[1:]:
+            result &= lattice.pl(name)
+        return result
+
+    def least_common_supertypes(self, *type_names: str) -> frozenset[str]:
+        """The minimal elements of the common supertypes — the join
+        candidates of the lattice."""
+        lattice = self._store.lattice
+        common = self.common_supertypes(*type_names)
+        return frozenset(
+            t for t in common
+            if not any(
+                t in lattice.pl(other) and other != t for other in common
+            )
+        )
+
+    def types_without_extent(self) -> frozenset[str]:
+        """Types with no associated class (no instances possible)."""
+        lattice = self._store.lattice
+        return frozenset(
+            t for t in lattice.types()
+            if self._store.class_of(t) is None
+        )
+
+    def types_where(
+        self, predicate: Callable[[str], bool]
+    ) -> frozenset[str]:
+        """General reflective filter over type names."""
+        return frozenset(
+            t for t in self._store.lattice.types() if predicate(t)
+        )
+
+    # -- behavior-centric -----------------------------------------------------
+
+    def name_conflicts(self, type_name: str) -> dict[str, frozenset[str]]:
+        """Distinct behaviors sharing a display name in one interface —
+        computed via the minimal supertypes, per the Section 5 claim."""
+        from ..orion.conflict import find_name_conflicts_minimal
+
+        return find_name_conflicts_minimal(self._store.lattice, type_name)
+
+    def unimplemented_behaviors(self, type_name: str) -> frozenset["Property"]:
+        """Interface members with no reachable implementation (callable
+        contract gaps — useful after manual surgery)."""
+        lattice = self._store.lattice
+        out = set()
+        for p in lattice.interface(type_name):
+            behavior = self._store._behaviors.get(p.semantics)
+            if behavior is None:
+                out.add(p)
+                continue
+            if self._store.lookup_implementation(type_name, behavior) is None:
+                out.add(p)
+        return frozenset(out)
+
+    def overriding_types(self, behavior_semantics: str) -> frozenset[str]:
+        """Types that associate their own implementation with a behavior."""
+        behavior = self._store.behavior(behavior_semantics)
+        return behavior.implementing_types()
+
+
+def schema_query(store: "Objectbase") -> SchemaQuery:
+    return SchemaQuery(store)

@@ -1,0 +1,30 @@
+"""Persistence: schema snapshots and the write-ahead operation journal."""
+
+from .durable_store import DurableObjectbase
+from .journal import DurableLattice, JournalFile
+from .objectbase_snapshot import (
+    load_objectbase,
+    objectbase_from_dict,
+    objectbase_to_dict,
+    save_objectbase,
+)
+from .snapshot import (
+    lattice_from_dict,
+    lattice_to_dict,
+    load_lattice,
+    save_lattice,
+)
+
+__all__ = [
+    "DurableObjectbase",
+    "objectbase_to_dict",
+    "objectbase_from_dict",
+    "save_objectbase",
+    "load_objectbase",
+    "lattice_to_dict",
+    "lattice_from_dict",
+    "save_lattice",
+    "load_lattice",
+    "JournalFile",
+    "DurableLattice",
+]

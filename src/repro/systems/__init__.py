@@ -1,0 +1,28 @@
+"""Reductions of the surveyed systems and the comparison framework.
+
+GemStone (single inheritance), Encore (type versioning), and Sherpa
+(Orion-style changes with per-change propagation), each with a native
+model and a reduction to the axiomatic lattice, plus adapters for
+TIGUKAT and Orion — everything :func:`compare_systems` needs to render
+the Section 5 comparison across all five systems.
+"""
+
+from .adapters import OrionSystem, TigukatSystem
+from .base import ReducibleSystem, SystemProfile, compare_systems
+from .encore import EncoreSchema, TypeVersion, VersionSet
+from .gemstone import GemStoneSchema
+from .sherpa import PropagationMode, SherpaSchema
+
+__all__ = [
+    "ReducibleSystem",
+    "SystemProfile",
+    "compare_systems",
+    "GemStoneSchema",
+    "EncoreSchema",
+    "TypeVersion",
+    "VersionSet",
+    "SherpaSchema",
+    "PropagationMode",
+    "TigukatSystem",
+    "OrionSystem",
+]

@@ -1,0 +1,102 @@
+"""ReducibleSystem adapters for TIGUKAT and Orion.
+
+TIGUKAT and Orion live in their own packages (Sections 3 and 4); these
+thin adapters give them the common :class:`ReducibleSystem` face so the
+Section 5 comparison can line all five systems up in one table.
+"""
+
+from __future__ import annotations
+
+from ..core.lattice import TypeLattice
+from ..orion.reduction import ReducedOrion
+from ..tigukat.store import Objectbase
+from .base import ReducibleSystem, SystemProfile
+
+__all__ = ["TigukatSystem", "OrionSystem"]
+
+
+class TigukatSystem(ReducibleSystem):
+    """TIGUKAT: the only system reducible in *both* directions.
+
+    "In terms of subtyping and property inheritance, TIGUKAT and the
+    axiomatic model are reducible in both directions while only the
+    reduction from Orion to the axiomatic model is possible" (Section 5).
+    """
+
+    def __init__(self, store: Objectbase | None = None) -> None:
+        self.store = store if store is not None else Objectbase()
+
+    @property
+    def profile(self) -> SystemProfile:
+        return SystemProfile(
+            name="TIGUKAT",
+            multiple_inheritance=True,
+            ordered_superclasses=False,
+            minimal_supertypes=True,
+            minimal_native_properties=True,
+            rooted=True,
+            pointed=True,
+            explicit_deletion=True,
+            type_versioning=False,
+            uniform_properties=True,
+            drop_order_independent=True,
+            reducible_to_axioms=True,
+            axioms_reducible_to_it=True,
+        )
+
+    def to_axiomatic(self) -> TypeLattice:
+        # TIGUKAT's schema *is* an axiomatic lattice (the bidirectional
+        # reduction): expose a copy of the live one.
+        return self.store.lattice.copy()
+
+    def from_axiomatic(self, lattice: TypeLattice) -> Objectbase:
+        """The reverse reduction: rebuild an objectbase from a lattice.
+
+        Only TIGUKAT offers this direction — the lattice's ``Pe``/``Ne``
+        map one-to-one onto essential supertypes and behaviors.
+        """
+        from ..tigukat.behaviors import Signature
+
+        store = Objectbase(policy=lattice.policy, bootstrap=False)
+        for t in lattice.derivation.order:
+            if t in store.lattice:
+                continue
+            behaviors = []
+            for p in sorted(lattice.ne(t)):
+                store.define_behavior(p.semantics, Signature(p.name))
+                behaviors.append(p.semantics)
+            base = lattice.base
+            supers = [
+                s for s in lattice.pe(t)
+                if s != lattice.root and s != base and s in store.lattice
+            ]
+            store.add_type(t, supertypes=supers, behaviors=behaviors)
+        return store
+
+
+class OrionSystem(ReducibleSystem):
+    """Orion behind the common interface (via its reduction)."""
+
+    def __init__(self, reduced: ReducedOrion | None = None) -> None:
+        self.reduced = reduced if reduced is not None else ReducedOrion()
+
+    @property
+    def profile(self) -> SystemProfile:
+        return SystemProfile(
+            name="Orion",
+            multiple_inheritance=True,
+            ordered_superclasses=True,
+            minimal_supertypes=False,
+            minimal_native_properties=False,
+            rooted=True,
+            pointed=False,
+            explicit_deletion=True,
+            type_versioning=False,
+            uniform_properties=False,
+            drop_order_independent=False,
+            reducible_to_axioms=True,
+            axioms_reducible_to_it=False,
+        )
+
+    def to_axiomatic(self) -> TypeLattice:
+        return self.reduced.lattice.copy()

@@ -1,0 +1,83 @@
+"""The common comparison framework for schema-evolution systems.
+
+The paper's thesis: "By reducing systems to the axiomatic model, their
+functionality with respect to dynamic schema evolution can be compared
+within a common framework."  :class:`ReducibleSystem` is that interface:
+a system exposes its current schema as an axiomatic
+:class:`~repro.core.lattice.TypeLattice` plus a :class:`SystemProfile` of
+capability flags, and :func:`compare_systems` tabulates any number of
+systems side by side (the Section 5 discussion as a function).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.lattice import TypeLattice
+
+__all__ = ["SystemProfile", "ReducibleSystem", "compare_systems"]
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """Capability flags of a schema-evolution system, per the paper.
+
+    Each flag corresponds to a distinction Sections 4-5 draw between
+    TIGUKAT, Orion, GemStone, Encore, and Sherpa.
+    """
+
+    name: str
+    multiple_inheritance: bool
+    ordered_superclasses: bool
+    minimal_supertypes: bool       # maintains P(t) (only TIGUKAT/axioms)
+    minimal_native_properties: bool  # maintains N(t)
+    rooted: bool
+    pointed: bool
+    explicit_deletion: bool        # objects can be explicitly deleted
+    type_versioning: bool          # Encore-style versions
+    uniform_properties: bool       # stored/computed treated uniformly
+    drop_order_independent: bool   # Section 5's headline comparison
+    reducible_to_axioms: bool
+    axioms_reducible_to_it: bool   # only TIGUKAT is bidirectional
+
+    def flags(self) -> dict[str, bool]:
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "name"
+        }
+
+
+class ReducibleSystem(abc.ABC):
+    """A schema-evolution system reducible to the axiomatic model."""
+
+    @property
+    @abc.abstractmethod
+    def profile(self) -> SystemProfile:
+        """The system's capability profile."""
+
+    @abc.abstractmethod
+    def to_axiomatic(self) -> "TypeLattice":
+        """The current schema, reduced to the axiomatic model.
+
+        The result must satisfy all nine axioms (under the system's
+        policy) — :func:`repro.core.axioms.check_all` is the contract and
+        is asserted in the test suite for every system.
+        """
+
+
+def compare_systems(*systems: ReducibleSystem) -> dict[str, dict[str, bool]]:
+    """Tabulate capability flags: ``flag -> {system name -> value}``.
+
+    The rendering used by the Section 5 example and the comparison
+    benchmark; :mod:`repro.viz.tables` turns it into text.
+    """
+    profiles = [s.profile for s in systems]
+    table: dict[str, dict[str, bool]] = {}
+    for profile in profiles:
+        for flag, value in profile.flags().items():
+            table.setdefault(flag, {})[profile.name] = value
+    return table

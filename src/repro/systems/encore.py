@@ -1,0 +1,239 @@
+"""Encore type versioning (Skarra & Zdonik, OOPSLA 1986), reduced.
+
+"Skarra and Zdonik define a framework for versioning types in Encore as a
+support mechanism for evolving type definitions.  This work is focussed
+on dealing with change propagation rather than semantics of change.
+Their schema evolution operations are similar to Orion and, thus,
+representable by the axiomatic model" (paper Section 4).
+
+The native model: a type change never mutates a type in place — it
+creates a new *version*.  All versions of a type belong to its *version
+set*; the version-set interface is the union of the member interfaces,
+and reader/writer *handlers* mediate accesses from instances bound to one
+version through the interface of another (the propagation mechanism the
+framework was built for).
+
+The reduction maps each type *version* onto an axiomatic type (versions
+are types — exactly how the axiomatic model absorbs versioning), with the
+previous version recorded as an essential supertype so the lineage is a
+chain in the lattice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..core.config import LatticePolicy
+from ..core.errors import OperationRejected, UnknownTypeError
+from ..core.lattice import TypeLattice
+from ..core.properties import Property
+from .base import ReducibleSystem, SystemProfile
+
+__all__ = ["TypeVersion", "VersionSet", "EncoreSchema"]
+
+ROOT = "Entity"
+
+
+@dataclass(frozen=True)
+class TypeVersion:
+    """One immutable version of a type: its property set at that version."""
+
+    type_name: str
+    number: int
+    properties: frozenset[str]
+
+    @property
+    def version_name(self) -> str:
+        return f"{self.type_name}@v{self.number}"
+
+
+@dataclass
+class VersionSet:
+    """All versions of one type, plus the cross-version handlers."""
+
+    type_name: str
+    versions: list[TypeVersion] = field(default_factory=list)
+    #: (property, reader-version) -> handler producing a substitute value
+    handlers: dict[tuple[str, int], Callable[[Any], Any]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def current(self) -> TypeVersion:
+        return self.versions[-1]
+
+    def interface(self) -> frozenset[str]:
+        """The version-set interface: the union over all versions."""
+        out: set[str] = set()
+        for v in self.versions:
+            out.update(v.properties)
+        return frozenset(out)
+
+
+class EncoreSchema(ReducibleSystem):
+    """A versioned type system with Encore's evolution operations."""
+
+    def __init__(self) -> None:
+        self._sets: dict[str, VersionSet] = {}
+        #: instances: oid -> (type, bound version number, state)
+        self._instances: dict[int, tuple[str, int, dict[str, Any]]] = {}
+        self._next_oid = 1
+
+    # -- type definition and versioned evolution ------------------------------
+
+    def define_type(
+        self, name: str, properties: frozenset[str] | set[str] = frozenset()
+    ) -> TypeVersion:
+        if name in self._sets:
+            raise OperationRejected(
+                "ENCORE-DEFINE", f"type {name!r} already exists"
+            )
+        version = TypeVersion(name, 1, frozenset(properties))
+        self._sets[name] = VersionSet(name, [version])
+        return version
+
+    def version_set(self, name: str) -> VersionSet:
+        vs = self._sets.get(name)
+        if vs is None:
+            raise UnknownTypeError(name)
+        return vs
+
+    def add_property(self, type_name: str, prop: str) -> TypeVersion:
+        """Evolve by adding a property: a NEW version, old ones untouched."""
+        vs = self.version_set(type_name)
+        if prop in vs.current.properties:
+            raise OperationRejected(
+                "ENCORE-ADD", f"{prop!r} already in the current version"
+            )
+        return self._new_version(vs, vs.current.properties | {prop})
+
+    def drop_property(self, type_name: str, prop: str) -> TypeVersion:
+        """Evolve by dropping a property (again: a new version)."""
+        vs = self.version_set(type_name)
+        if prop not in vs.current.properties:
+            raise OperationRejected(
+                "ENCORE-DROP", f"{prop!r} not in the current version"
+            )
+        return self._new_version(vs, vs.current.properties - {prop})
+
+    def _new_version(
+        self, vs: VersionSet, properties: frozenset[str]
+    ) -> TypeVersion:
+        version = TypeVersion(vs.type_name, len(vs.versions) + 1, properties)
+        vs.versions.append(version)
+        return version
+
+    def install_handler(
+        self,
+        type_name: str,
+        prop: str,
+        reader_version: int,
+        handler: Callable[[Any], Any],
+    ) -> None:
+        """Register a cross-version access handler.
+
+        Skarra-Zdonik's mechanism: when a program written against version
+        ``reader_version`` reads ``prop`` from an instance whose bound
+        version lacks it, the handler computes a substitute from the
+        instance state.
+        """
+        vs = self.version_set(type_name)
+        if reader_version < 1 or reader_version > len(vs.versions):
+            raise OperationRejected(
+                "ENCORE-HANDLER", f"no version {reader_version}"
+            )
+        vs.handlers[(prop, reader_version)] = handler
+
+    # -- instances bound to versions -------------------------------------------
+
+    def create_instance(self, type_name: str, **state: Any) -> int:
+        """An instance bound to the *current* version of its type."""
+        vs = self.version_set(type_name)
+        unknown = set(state) - set(vs.current.properties)
+        if unknown:
+            raise OperationRejected(
+                "ENCORE-NEW", f"unknown properties {sorted(unknown)}"
+            )
+        oid = self._next_oid
+        self._next_oid += 1
+        self._instances[oid] = (type_name, vs.current.number, dict(state))
+        return oid
+
+    def bound_version(self, oid: int) -> int:
+        return self._instances[oid][1]
+
+    def read(self, oid: int, prop: str, reader_version: int | None = None) -> Any:
+        """Read through the version-set interface.
+
+        A read of a property the instance's bound version defines returns
+        the stored value; otherwise the handler for the reader's version
+        (default: current) mediates; with no handler, the read fails —
+        exactly the Skarra-Zdonik contract.
+        """
+        type_name, bound, state = self._instances[oid]
+        vs = self.version_set(type_name)
+        reader = reader_version if reader_version else vs.current.number
+        if prop not in vs.interface():
+            raise OperationRejected(
+                "ENCORE-READ",
+                f"{prop!r} is not in the version-set interface of "
+                f"{type_name!r}",
+            )
+        bound_props = vs.versions[bound - 1].properties
+        if prop in bound_props and prop in state:
+            return state[prop]
+        if prop in bound_props:
+            return None  # defined but never written
+        handler = vs.handlers.get((prop, reader))
+        if handler is None:
+            raise OperationRejected(
+                "ENCORE-READ",
+                f"instance bound to v{bound} lacks {prop!r} and no handler "
+                f"is installed for readers of v{reader}",
+            )
+        return handler(dict(state))
+
+    # -- reduction ---------------------------------------------------------------
+
+    @property
+    def profile(self) -> SystemProfile:
+        return SystemProfile(
+            name="Encore",
+            multiple_inheritance=False,
+            ordered_superclasses=False,
+            minimal_supertypes=False,
+            minimal_native_properties=False,
+            rooted=True,
+            pointed=False,
+            explicit_deletion=True,
+            type_versioning=True,
+            uniform_properties=False,
+            drop_order_independent=True,  # versions never mutate in place
+            reducible_to_axioms=True,
+            axioms_reducible_to_it=False,
+        )
+
+    def to_axiomatic(self) -> TypeLattice:
+        """Reduce: every version is a type; the lineage is a supertype
+        chain (``v(n)`` has ``v(n-1)`` essential), so the version-set
+        interface of the *newest* version is recoverable as ``I`` along
+        its ``PL`` and old versions remain addressable — versioning is
+        just more types, as the paper's claim requires."""
+        lattice = TypeLattice(
+            LatticePolicy(rooted=True, pointed=False,
+                          root_name=ROOT, base_name="")
+        )
+        for vs in self._sets.values():
+            previous: str | None = None
+            for version in vs.versions:
+                lattice.add_type(
+                    version.version_name,
+                    supertypes=[previous] if previous else [],
+                    properties=[
+                        Property(f"{version.version_name}.{p}", p)
+                        for p in sorted(version.properties)
+                    ],
+                )
+                previous = version.version_name
+        return lattice

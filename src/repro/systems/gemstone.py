@@ -1,0 +1,285 @@
+"""GemStone class modification (Penney & Stein, OOPSLA 1987), reduced.
+
+"Schema evolution in GemStone is similar to Orion in its definition of a
+number of invariants.  The GemStone model is less complex than Orion in
+that multiple inheritance and explicit deletion of objects are not
+permitted.  As a result, the schema evolution policies in GemStone are
+simpler and cleaner.  Based on published work, the GemStone schema
+changes can be expressed by the axiomatic model" (paper Section 4).
+
+The native model here is deliberately the *restricted* one: every class
+has exactly one superclass (a tree, not a DAG), properties are instance
+variables with single-inheritance resolution (no order needed — there is
+nothing to order), and objects are never explicitly deleted (drops
+migrate instances upward instead).
+"""
+
+from __future__ import annotations
+
+from ..core.config import LatticePolicy
+from ..core.errors import (
+    CycleError,
+    DuplicateTypeError,
+    OperationRejected,
+    UnknownTypeError,
+)
+from ..core.lattice import TypeLattice
+from ..core.properties import Property
+from .base import ReducibleSystem, SystemProfile
+
+__all__ = ["GemStoneSchema"]
+
+ROOT = "Object"
+
+
+class GemStoneSchema(ReducibleSystem):
+    """A single-inheritance class hierarchy with GemStone's change ops."""
+
+    def __init__(self) -> None:
+        self._superclass: dict[str, str | None] = {ROOT: None}
+        self._instance_variables: dict[str, dict[str, str]] = {ROOT: {}}
+        # Penney & Stein's instance mechanism: every class modification
+        # bumps the class's version; instances remember the version they
+        # last conformed to and migrate lazily on access.
+        self._class_version: dict[str, int] = {ROOT: 1}
+        self._instances: dict[int, dict] = {}
+        self._next_oid = 1
+        self.lazy_migrations = 0
+
+    # -- structure ---------------------------------------------------------
+
+    def classes(self) -> frozenset[str]:
+        return frozenset(self._superclass)
+
+    def superclass_of(self, name: str) -> str | None:
+        if name not in self._superclass:
+            raise UnknownTypeError(name)
+        return self._superclass[name]
+
+    def subclasses_of(self, name: str) -> frozenset[str]:
+        if name not in self._superclass:
+            raise UnknownTypeError(name)
+        return frozenset(
+            c for c, s in self._superclass.items() if s == name
+        )
+
+    def ancestors_of(self, name: str) -> tuple[str, ...]:
+        """The (unique) superclass chain, nearest first."""
+        chain: list[str] = []
+        current = self.superclass_of(name)
+        while current is not None:
+            if current in chain:  # pragma: no cover - defensive
+                raise CycleError(name, current)
+            chain.append(current)
+            current = self._superclass[current]
+        return tuple(chain)
+
+    def all_instance_variables(self, name: str) -> dict[str, str]:
+        """Resolved variables: single inheritance means the nearest
+        definition wins and no cross-superclass conflicts can exist."""
+        resolved: dict[str, str] = {}
+        for ancestor in reversed(self.ancestors_of(name)):
+            resolved.update(self._instance_variables[ancestor])
+        resolved.update(self._instance_variables[name])
+        return resolved
+
+    # -- GemStone's class-modification operations ----------------------------
+
+    def define_class(self, name: str, superclass: str = ROOT) -> None:
+        """Subclass creation (the only way to add a class)."""
+        if name in self._superclass:
+            raise DuplicateTypeError(name)
+        if superclass not in self._superclass:
+            raise UnknownTypeError(superclass)
+        self._superclass[name] = superclass
+        self._instance_variables[name] = {}
+
+    def add_instance_variable(
+        self, class_name: str, var: str, constraint: str = ROOT
+    ) -> None:
+        """Add an instance variable (GemStone: with a class constraint)."""
+        if class_name not in self._superclass:
+            raise UnknownTypeError(class_name)
+        if var in self.all_instance_variables(class_name):
+            raise OperationRejected(
+                "GS-ADD-IV",
+                f"{class_name!r} already sees a variable named {var!r} "
+                f"(GemStone forbids shadowing)",
+            )
+        self._instance_variables[class_name][var] = constraint
+        self._bump_version(class_name)
+
+    def remove_instance_variable(self, class_name: str, var: str) -> None:
+        if class_name not in self._superclass:
+            raise UnknownTypeError(class_name)
+        if var not in self._instance_variables[class_name]:
+            raise OperationRejected(
+                "GS-DROP-IV",
+                f"{var!r} is not defined locally in {class_name!r}",
+            )
+        del self._instance_variables[class_name][var]
+        self._bump_version(class_name)
+
+    def change_superclass(self, class_name: str, new_superclass: str) -> None:
+        """Re-parent a class (staying single-inheritance, acyclic)."""
+        if class_name == ROOT:
+            raise OperationRejected("GS-RESUPER", "Object has no superclass")
+        if new_superclass not in self._superclass:
+            raise UnknownTypeError(new_superclass)
+        if class_name == new_superclass or class_name in (
+            set(self.ancestors_of(new_superclass)) | {new_superclass}
+        ):
+            raise CycleError(class_name, new_superclass)
+        # GemStone forbids shadowing: the re-parented class must not see
+        # duplicate variable names through the new chain.
+        local = set(self._instance_variables[class_name])
+        inherited = set(self.all_instance_variables(new_superclass))
+        clash = local & inherited
+        if clash:
+            raise OperationRejected(
+                "GS-RESUPER",
+                f"variables {sorted(clash)} would be shadowed",
+            )
+        self._superclass[class_name] = new_superclass
+        self._bump_version(class_name)
+
+    def remove_class(self, class_name: str) -> None:
+        """Class removal: subclasses are re-parented to the superclass
+        (no explicit instance deletion in GemStone — instances migrate
+        with the hierarchy)."""
+        if class_name == ROOT:
+            raise OperationRejected("GS-DROP", "Object cannot be removed")
+        parent = self.superclass_of(class_name)
+        assert parent is not None
+        for sub in sorted(self.subclasses_of(class_name)):
+            self._superclass[sub] = parent
+            self._bump_version(sub)
+        # "Explicit deletion of objects [is] not permitted": instances of
+        # the removed class migrate up to the parent.
+        for record in self._instances.values():
+            if record["class"] == class_name:
+                record["class"] = parent
+                record["version"] = 0  # force migration on next access
+        del self._superclass[class_name]
+        del self._instance_variables[class_name]
+        self._class_version.pop(class_name, None)
+
+    # -- instances with lazy migration (Penney & Stein's mechanism) --------
+
+    def _bump_version(self, class_name: str) -> None:
+        """A class modification invalidates the class and (since variable
+        resolution is chain-wide) all of its subclasses."""
+        self._class_version[class_name] = (
+            self._class_version.get(class_name, 1) + 1
+        )
+        for sub in self.subclasses_of(class_name):
+            self._bump_version(sub)
+
+    def create_instance(self, class_name: str, **variables) -> int:
+        """A new instance conformant with the current class version."""
+        if class_name not in self._superclass:
+            raise UnknownTypeError(class_name)
+        allowed = set(self.all_instance_variables(class_name))
+        unknown = set(variables) - allowed
+        if unknown:
+            raise OperationRejected(
+                "GS-NEW", f"unknown instance variables {sorted(unknown)}"
+            )
+        oid = self._next_oid
+        self._next_oid += 1
+        self._instances[oid] = {
+            "class": class_name,
+            "version": self._class_version.get(class_name, 1),
+            "state": dict(variables),
+        }
+        return oid
+
+    def _migrate_if_stale(self, record: dict) -> None:
+        class_name = record["class"]
+        current = self._class_version.get(class_name, 1)
+        if record["version"] == current:
+            return
+        allowed = set(self.all_instance_variables(class_name))
+        for var in set(record["state"]) - allowed:
+            del record["state"][var]
+        record["version"] = current
+        self.lazy_migrations += 1
+
+    def read(self, oid: int, var: str):
+        """Read an instance variable, lazily migrating a stale instance
+        to the current class definition first."""
+        record = self._instances[oid]
+        self._migrate_if_stale(record)
+        if var not in self.all_instance_variables(record["class"]):
+            raise OperationRejected(
+                "GS-READ",
+                f"{var!r} is not an instance variable of "
+                f"{record['class']!r}",
+            )
+        return record["state"].get(var)
+
+    def write(self, oid: int, var: str, value) -> None:
+        record = self._instances[oid]
+        self._migrate_if_stale(record)
+        if var not in self.all_instance_variables(record["class"]):
+            raise OperationRejected(
+                "GS-WRITE",
+                f"{var!r} is not an instance variable of "
+                f"{record['class']!r}",
+            )
+        record["state"][var] = value
+
+    def instance_version(self, oid: int) -> int:
+        """The class version the instance currently conforms to."""
+        return self._instances[oid]["version"]
+
+    def stale_instances(self) -> int:
+        """Instances that would migrate on next access."""
+        return sum(
+            1 for record in self._instances.values()
+            if record["version"]
+            != self._class_version.get(record["class"], 1)
+        )
+
+    # -- reduction -------------------------------------------------------------
+
+    @property
+    def profile(self) -> SystemProfile:
+        return SystemProfile(
+            name="GemStone",
+            multiple_inheritance=False,
+            ordered_superclasses=False,
+            minimal_supertypes=False,
+            minimal_native_properties=False,
+            rooted=True,
+            pointed=False,
+            explicit_deletion=False,
+            type_versioning=False,
+            uniform_properties=False,
+            drop_order_independent=True,  # trees: no rewiring ambiguity
+            reducible_to_axioms=True,
+            axioms_reducible_to_it=False,
+        )
+
+    def to_axiomatic(self) -> TypeLattice:
+        """Reduce: ``Pe(c) = {superclass}``, ``Ne(c)`` = local variables
+        (origin-qualified, like the Orion reduction)."""
+        lattice = TypeLattice(
+            LatticePolicy(rooted=True, pointed=False,
+                          root_name=ROOT, base_name="")
+        )
+        # Parents before children (walk by chain depth).
+        for name in sorted(
+            self.classes() - {ROOT}, key=lambda c: len(self.ancestors_of(c))
+        ):
+            superclass = self._superclass[name]
+            lattice.add_type(
+                name,
+                supertypes=[] if superclass == ROOT else [superclass],
+                properties=[
+                    Property(f"{name}.{var}", var, constraint)
+                    for var, constraint in
+                    self._instance_variables[name].items()
+                ],
+            )
+        return lattice

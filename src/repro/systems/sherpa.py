@@ -1,0 +1,185 @@
+"""Sherpa (Nguyen & Rieu, DKE 1989), reduced.
+
+"Nguyen and Rieu discuss schema evolution in the Sherpa model ... The
+emphasis of this work is to provide equal support for semantics of change
+and change propagation.  The schema changes allowed in Sherpa follow
+those of Orion and, therefore, can be represented by the axiomatic model"
+(paper Section 4).
+
+The native model is therefore Orion's operation set with Sherpa's
+distinguishing feature on top: every schema change carries an explicit
+*propagation mode* — immediate (convert affected instances now) or
+deferred (screen them on access) — chosen per change, which is exactly
+the "equal support" the paper credits Sherpa with.  Instances here are
+lightweight property maps so the propagation half is executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from ..core.lattice import TypeLattice
+from ..orion.conflict import resolve_interface
+from ..orion.model import OrionDatabase, OrionProperty
+from ..orion.operations import OrionOps
+from ..orion.reduction import ReducedOrion
+from .base import ReducibleSystem, SystemProfile
+
+__all__ = ["PropagationMode", "SherpaSchema"]
+
+
+class PropagationMode(Enum):
+    IMMEDIATE = "immediate"   # convert now
+    DEFERRED = "deferred"     # screen on access
+
+
+@dataclass
+class _Instance:
+    class_name: str
+    state: dict[str, Any] = field(default_factory=dict)
+    clean_at: int = 0          # change counter the instance conforms to
+
+
+class SherpaSchema(ReducibleSystem):
+    """Orion-style changes with per-change propagation modes."""
+
+    def __init__(self) -> None:
+        self.ops = OrionOps()
+        self._mirror = ReducedOrion()   # kept in lockstep for to_axiomatic
+        self._instances: dict[int, _Instance] = {}
+        self._next_oid = 1
+        self._change_counter = 0
+        self.converted = 0   # instances converted eagerly
+        self.screened = 0    # instances coerced lazily
+
+    @property
+    def db(self) -> OrionDatabase:
+        return self.ops.db
+
+    # -- schema changes with propagation modes ---------------------------------
+
+    def add_class(self, name: str, superclass: str | None = None) -> None:
+        self.ops.op6(name, superclass)
+        self._mirror.op6(name, superclass)
+
+    def add_property(
+        self,
+        class_name: str,
+        prop: OrionProperty,
+        mode: PropagationMode = PropagationMode.DEFERRED,
+    ) -> None:
+        self.ops.op1(class_name, prop)
+        self._mirror.op1(class_name, prop)
+        self._after_change(class_name, mode)
+
+    def drop_property(
+        self,
+        class_name: str,
+        prop_name: str,
+        mode: PropagationMode = PropagationMode.DEFERRED,
+    ) -> None:
+        self.ops.op2(class_name, prop_name)
+        self._mirror.op2(class_name, prop_name)
+        self._after_change(class_name, mode)
+
+    def add_edge(
+        self,
+        class_name: str,
+        superclass: str,
+        mode: PropagationMode = PropagationMode.DEFERRED,
+    ) -> None:
+        self.ops.op3(class_name, superclass)
+        self._mirror.op3(class_name, superclass)
+        self._after_change(class_name, mode)
+
+    def drop_edge(
+        self,
+        class_name: str,
+        superclass: str,
+        mode: PropagationMode = PropagationMode.DEFERRED,
+    ) -> None:
+        self.ops.op4(class_name, superclass)
+        self._mirror.op4(class_name, superclass)
+        self._after_change(class_name, mode)
+
+    def _after_change(self, class_name: str, mode: PropagationMode) -> None:
+        self._change_counter += 1
+        if mode is PropagationMode.IMMEDIATE:
+            for inst in self._instances.values():
+                if self._affected(inst.class_name, class_name):
+                    self._conform(inst)
+
+    def _affected(self, instance_class: str, changed_class: str) -> bool:
+        if instance_class == changed_class:
+            return True
+        if instance_class not in self.db:
+            return False
+        return changed_class in self.db.ancestors_of(instance_class)
+
+    # -- instances ----------------------------------------------------------------
+
+    def create_instance(self, class_name: str, **state: Any) -> int:
+        self.db.get(class_name)
+        oid = self._next_oid
+        self._next_oid += 1
+        visible = set(resolve_interface(self.db, class_name))
+        unknown = set(state) - visible
+        if unknown:
+            raise KeyError(f"unknown properties {sorted(unknown)}")
+        self._instances[oid] = _Instance(
+            class_name, dict(state), self._change_counter
+        )
+        return oid
+
+    def read(self, oid: int, prop_name: str) -> Any:
+        """Deferred-mode screening happens here, on access."""
+        inst = self._instances[oid]
+        if inst.clean_at < self._change_counter:
+            self._conform(inst, lazily=True)
+        return inst.state.get(prop_name)
+
+    def _conform(self, inst: _Instance, lazily: bool = False) -> None:
+        visible = set(resolve_interface(self.db, inst.class_name))
+        stale = set(inst.state) - visible
+        if stale:
+            for name in stale:
+                del inst.state[name]
+            if lazily:
+                self.screened += 1
+            else:
+                self.converted += 1
+        inst.clean_at = self._change_counter
+
+    def pending(self) -> int:
+        """Instances that still carry out-of-date state."""
+        return sum(
+            1 for inst in self._instances.values()
+            if inst.clean_at < self._change_counter
+        )
+
+    # -- reduction -------------------------------------------------------------------
+
+    @property
+    def profile(self) -> SystemProfile:
+        return SystemProfile(
+            name="Sherpa",
+            multiple_inheritance=True,
+            ordered_superclasses=True,
+            minimal_supertypes=False,
+            minimal_native_properties=False,
+            rooted=True,
+            pointed=False,
+            explicit_deletion=True,
+            type_versioning=False,
+            uniform_properties=False,
+            drop_order_independent=False,  # inherits Orion's OP4 semantics
+            reducible_to_axioms=True,
+            axioms_reducible_to_it=False,
+        )
+
+    def to_axiomatic(self) -> TypeLattice:
+        """Sherpa's changes follow Orion's, so its reduction *is* the
+        Orion reduction: the lockstep mirror's lattice."""
+        return self._mirror.lattice.copy()

@@ -1,0 +1,54 @@
+"""The TIGUKAT uniform behavioral objectbase (paper Section 3).
+
+Public surface: the :class:`Objectbase` facade, the first-class object
+kinds (:class:`TypeObject`, :class:`Behavior`, :class:`Function`,
+:class:`ClassObject`, :class:`CollectionObject`), the primitive type
+system bootstrap (Figure 2), the schema-object sets of Definition 3.1,
+and the :class:`SchemaManager` executing the Section 3.3 operations.
+"""
+
+from .behaviors import Behavior, Signature
+from .collections_ import ClassObject, CollectionObject
+from .evolution import (
+    OPERATION_TABLE,
+    SchemaManager,
+    TableEntry,
+    schema_evolution_codes,
+)
+from .functions import Function, FunctionKind
+from .impact import ObjectbaseImpact, analyze_objectbase_impact
+from .signatures import RefinementIssue, check_refinement, safe_implement
+from .objects import TigukatObject
+from .primitive import PRIMITIVE_TYPE_BEHAVIORS, PRIMITIVE_TYPES, bootstrap
+from .schema import SchemaSets, schema_oids, schema_sets
+from .store import AmbiguousBehaviorError, DispatchError, Objectbase
+from .types import TypeObject
+
+__all__ = [
+    "Objectbase",
+    "SchemaManager",
+    "TigukatObject",
+    "TypeObject",
+    "Behavior",
+    "Signature",
+    "Function",
+    "FunctionKind",
+    "ClassObject",
+    "CollectionObject",
+    "DispatchError",
+    "ObjectbaseImpact",
+    "analyze_objectbase_impact",
+    "RefinementIssue",
+    "check_refinement",
+    "safe_implement",
+    "AmbiguousBehaviorError",
+    "PRIMITIVE_TYPES",
+    "PRIMITIVE_TYPE_BEHAVIORS",
+    "bootstrap",
+    "SchemaSets",
+    "schema_sets",
+    "schema_oids",
+    "OPERATION_TABLE",
+    "TableEntry",
+    "schema_evolution_codes",
+]

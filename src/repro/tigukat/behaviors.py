@@ -1,0 +1,122 @@
+"""Behaviors: the TIGUKAT realization of the paper's generic *properties*.
+
+"Behaviors in TIGUKAT correspond to the generic concept of properties
+discussed in Section 2."  A behavior has a *semantics* — "a unique
+description of the behavior" — of which the :class:`Signature` (name,
+argument types, result type) is the machine-checkable part: "We use
+signatures as a partial semantics of behaviors."
+
+A behavior is decoupled from its implementations: "We clearly separate the
+definition of a behavior from its possible implementations
+(functions/methods).  This supports overloading and late binding."  The
+per-type association ``B_implementation(t)`` lives here; the functions
+themselves are :class:`repro.tigukat.functions.Function` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.identity import Oid
+from ..core.properties import Property
+from .objects import TigukatObject
+
+__all__ = ["Signature", "Behavior"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The partial semantics of a behavior.
+
+    ``name`` is the reference used to apply the behavior (``o.b`` in the
+    paper's dot notation); ``argument_types`` and ``result_type`` are type
+    references checked against the lattice on application.
+    """
+
+    name: str
+    argument_types: tuple[str, ...] = ()
+    result_type: str = "T_object"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a behavior signature needs a name")
+
+    @property
+    def arity(self) -> int:
+        return len(self.argument_types)
+
+    def __str__(self) -> str:
+        args = ", ".join(self.argument_types)
+        return f"{self.name}({args}) -> {self.result_type}"
+
+
+class Behavior(TigukatObject):
+    """A first-class behavior object (instances of ``T_behavior``).
+
+    The behavior's identity in the axiomatic model is its semantics key;
+    :meth:`as_property` produces the corresponding
+    :class:`~repro.core.properties.Property` so that the TIGUKAT layer can
+    delegate all schema reasoning to the axiomatic core.
+    """
+
+    __slots__ = ("_semantics", "_signature", "_implementations")
+
+    def __init__(self, oid: Oid, semantics: str, signature: Signature) -> None:
+        super().__init__(oid, "T_behavior")
+        if not semantics:
+            raise ValueError("a behavior needs a non-empty semantics key")
+        self._semantics = semantics
+        self._signature = signature
+        # B_implementation: type name -> function OID (late bound).
+        self._implementations: dict[str, Oid] = {}
+
+    @property
+    def semantics(self) -> str:
+        return self._semantics
+
+    @property
+    def signature(self) -> Signature:
+        return self._signature
+
+    @property
+    def name(self) -> str:
+        """The application name (from the signature)."""
+        return self._signature.name
+
+    def as_property(self) -> Property:
+        """The axiomatic-model view of this behavior."""
+        return Property(self._semantics, self._signature.name)
+
+    # -- implementation association (B_implementation) ------------------
+
+    def implementation_for(self, type_name: str) -> Oid | None:
+        """The function associated with this behavior *directly on* the
+        given type, or ``None`` (inheritance of implementations is
+        resolved by the objectbase dispatcher, not here)."""
+        return self._implementations.get(type_name)
+
+    def associate(self, type_name: str, function_oid: Oid) -> Oid | None:
+        """Associate (or re-associate) an implementation for a type.
+
+        Returns the previously associated function OID, if any — the
+        MB-CA operation needs it to decide whether the old function left
+        ``FSO``.
+        """
+        previous = self._implementations.get(type_name)
+        self._implementations[type_name] = function_oid
+        return previous
+
+    def dissociate(self, type_name: str) -> Oid | None:
+        """Remove the implementation association for a type."""
+        return self._implementations.pop(type_name, None)
+
+    def implementing_types(self) -> frozenset[str]:
+        """All types with a directly associated implementation."""
+        return frozenset(self._implementations)
+
+    def implementation_oids(self) -> frozenset[Oid]:
+        """Every function OID associated through this behavior."""
+        return frozenset(self._implementations.values())
+
+    def __str__(self) -> str:
+        return f"B_{self._signature.name}<{self._semantics}>"

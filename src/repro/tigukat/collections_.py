@@ -1,0 +1,123 @@
+"""Collections and classes: the grouping constructs of TIGUKAT.
+
+"Collections are defined as heterogeneous grouping constructs as opposed
+to classes, which are homogeneous up to inclusion polymorphism.  Object
+creation occurs only through classes; thus they are extents of types and
+are managed automatically by the system.  Collections are managed
+explicitly by the user" (Section 3.1).
+
+``T_class`` is a subtype of ``T_collection`` in the primitive type system
+(Figure 2), mirrored here by :class:`ClassObject` subclassing
+:class:`CollectionObject`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.identity import Oid
+from .objects import TigukatObject
+
+__all__ = ["CollectionObject", "ClassObject"]
+
+
+class CollectionObject(TigukatObject):
+    """A heterogeneous, user-managed grouping of objects.
+
+    Members are held by identity.  An optional ``member_type`` documents
+    the intended membership type, but — collections being user-managed —
+    it is advisory: "Modifying a collection involves changing the
+    membership of its extent and changing its membership type."
+    """
+
+    __slots__ = ("_name", "_members", "_member_type")
+
+    def __init__(
+        self,
+        oid: Oid,
+        name: str,
+        member_type: str = "T_object",
+        type_name: str = "T_collection",
+    ) -> None:
+        super().__init__(oid, type_name)
+        self._name = name
+        self._members: set[Oid] = set()
+        self._member_type = member_type
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def member_type(self) -> str:
+        return self._member_type
+
+    def set_member_type(self, type_name: str) -> None:
+        """ML (modify collection): change the membership type.
+
+        A content operation, not schema evolution (Table 3 classifies it
+        as *emphasized*, i.e. outside the schema-evolution problem).
+        """
+        self._member_type = type_name
+
+    def insert(self, oid: Oid) -> bool:
+        """Add a member; returns ``False`` if already present."""
+        if oid in self._members:
+            return False
+        self._members.add(oid)
+        return True
+
+    def remove(self, oid: Oid) -> bool:
+        """Remove a member; returns ``False`` if absent."""
+        if oid not in self._members:
+            return False
+        self._members.discard(oid)
+        return True
+
+    def members(self) -> frozenset[Oid]:
+        return frozenset(self._members)
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Oid]:
+        return iter(sorted(self._members))
+
+    def __str__(self) -> str:
+        return f"L_{self._name}({len(self._members)})"
+
+
+class ClassObject(CollectionObject):
+    """The extent manager of a type: homogeneous, system-managed.
+
+    "A class ties together the notions of type and object instances ...
+    responsible for managing all instances of a particular type (i.e.,
+    the type extent).  In this way, the model clearly separates types
+    from their extents" (Section 3.1).
+
+    Only the objectbase inserts into a class (at object creation) —
+    classes are *not* user-managed, unlike their collection supertype.
+    """
+
+    __slots__ = ("_of_type",)
+
+    def __init__(self, oid: Oid, name: str, of_type: str) -> None:
+        super().__init__(oid, name, member_type=of_type, type_name="T_class")
+        self._of_type = of_type
+
+    @property
+    def of_type(self) -> str:
+        """The type whose extent this class manages."""
+        return self._of_type
+
+    def set_member_type(self, type_name: str) -> None:
+        raise TypeError(
+            "a class is uniquely associated with its type; "
+            "its membership type cannot be changed"
+        )
+
+    def __str__(self) -> str:
+        return f"C_{self._of_type.removeprefix('T_')}({len(self)})"

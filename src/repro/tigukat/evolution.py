@@ -1,0 +1,393 @@
+"""TIGUKAT dynamic schema evolution: Section 3.3 and Table 3.
+
+Implements every operation of the paper's Section 3.3 over an
+:class:`~repro.tigukat.store.Objectbase` (which in turn delegates all
+schema reasoning to the axiomatic core):
+
+====== ===============================================================
+Code   Semantics of change
+====== ===============================================================
+MT-AB  add a behavior as essential component of a type
+MT-DB  drop a behavior as essential component of a type
+MT-ASR add an essential supertype (subtype relationship)
+MT-DSR drop an essential supertype (subtype relationship)
+AT     add (create) a type
+DT     drop a type (with its class and extent)
+AC     add the class of a type
+DC     drop the class of a type (with its extent)
+DB     drop a behavior in its entirety
+MB-CA  change the function associated with a behavior on a type
+DF     drop a function in its entirety (with the paper's rejection rule)
+AL     add a collection
+DL     drop a collection (members survive)
+====== ===============================================================
+
+It also encodes Table 3 — the classification of all object-category ×
+operation-kind combinations into schema-evolution changes (the table's
+bold entries) and non-schema changes (the emphasized ones) — as a
+machine-readable registry, :data:`OPERATION_TABLE`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from ..core.errors import OperationRejected
+from ..core.identity import Oid
+from ..core.properties import Property
+from .behaviors import Behavior
+from .functions import Function
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .store import Objectbase
+
+__all__ = [
+    "TableEntry",
+    "OPERATION_TABLE",
+    "schema_evolution_codes",
+    "SchemaManager",
+]
+
+
+# ----------------------------------------------------------------------
+# Table 3: classification of schema changes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableEntry:
+    """One cell of Table 3."""
+
+    category: str        # Type / Class / Behavior / Function / Collection / Other
+    kind: str            # Add / Drop / Modify
+    description: str     # the paper's cell text
+    code: str | None     # operation code when the paper names one
+    is_schema_change: bool  # bold in the paper's table
+
+    def __str__(self) -> str:
+        marker = "**" if self.is_schema_change else ""
+        return f"{marker}{self.description}{marker}"
+
+
+OPERATION_TABLE: tuple[TableEntry, ...] = (
+    # Type (T)
+    TableEntry("Type", "Add", "subtyping", "AT", True),
+    TableEntry("Type", "Drop", "type deletion", "DT", True),
+    TableEntry("Type", "Modify", "add behavior", "MT-AB", True),
+    TableEntry("Type", "Modify", "drop behavior", "MT-DB", True),
+    TableEntry("Type", "Modify", "add subtype relationship", "MT-ASR", True),
+    TableEntry("Type", "Modify", "drop subtype relationship", "MT-DSR", True),
+    # Class (C)
+    TableEntry("Class", "Add", "class creation", "AC", True),
+    TableEntry("Class", "Drop", "class deletion", "DC", True),
+    TableEntry("Class", "Modify", "extent change", "MC", False),
+    # Behavior (B)
+    TableEntry("Behavior", "Add", "behavior definition", "AB", False),
+    TableEntry("Behavior", "Drop", "behavior deletion", "DB", True),
+    TableEntry("Behavior", "Modify", "change association", "MB-CA", True),
+    # Function (F)
+    TableEntry("Function", "Add", "function definition", "AF", False),
+    TableEntry("Function", "Drop", "function deletion", "DF", True),
+    TableEntry("Function", "Modify", "implementation change", "MF", False),
+    # Collection (L)
+    TableEntry("Collection", "Add", "collection creation", "AL", True),
+    TableEntry("Collection", "Drop", "collection deletion", "DL", True),
+    TableEntry("Collection", "Modify", "extent change", "ML", False),
+    # Other (O)
+    TableEntry("Other", "Add", "instance creation", "AO", False),
+    TableEntry("Other", "Drop", "instance deletion", "DO", False),
+    TableEntry("Other", "Modify", "instance update", "MO", False),
+)
+
+
+def schema_evolution_codes() -> frozenset[str]:
+    """The codes of the bold (schema-evolution) entries of Table 3."""
+    return frozenset(
+        e.code for e in OPERATION_TABLE if e.is_schema_change and e.code
+    )
+
+
+# ----------------------------------------------------------------------
+# The schema manager: Section 3.3 operations with logging
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class EvolutionRecord:
+    """Audit record of one executed schema-evolution operation."""
+
+    seq: int
+    code: str
+    detail: str
+    arguments: dict[str, Any] = field(default_factory=dict)
+
+
+class SchemaManager:
+    """Executes the Section 3.3 operations against an objectbase.
+
+    Every mutating call is validated, executed, logged, and leaves the
+    axiomatic lattice in a state satisfying all nine axioms (the lattice
+    enforces the relevant rejections itself; this layer adds the
+    TIGUKAT-specific rules for classes, functions and collections).
+    """
+
+    def __init__(self, store: "Objectbase") -> None:
+        self.store = store
+        self.log: list[EvolutionRecord] = []
+        self._listeners: list[Any] = []
+
+    def subscribe(self, listener) -> None:
+        """Register a callable invoked with every
+        :class:`EvolutionRecord` after the operation applied — the hook
+        automatic change propagation attaches to (see
+        :class:`repro.propagation.auto.AutoPropagator`)."""
+        self._listeners.append(listener)
+
+    def _record(self, code: str, detail: str, **arguments: Any) -> None:
+        record = EvolutionRecord(len(self.log), code, detail, arguments)
+        self.log.append(record)
+        for listener in self._listeners:
+            listener(record)
+
+    # -- behaviors on types ---------------------------------------------
+
+    def mt_ab(self, type_name: str, behavior: Behavior | str) -> Property:
+        """MT-AB: "adds a behavior as an essential component of a type and
+        the behavior then becomes part of BSO.  To add behavior b to type
+        t, b is added to Ne(t) and N(t), H(t), I(t) are recomputed."
+
+        A stored implementation is auto-created when the behavior has no
+        implementation reachable from ``type_name`` (so freshly added
+        behaviors are immediately applicable).
+        """
+        behavior = self._resolve_behavior(behavior)
+        p = behavior.as_property()
+        self.store.lattice.add_essential_property(type_name, p)
+        if self.store.lookup_implementation(type_name, behavior) is None:
+            self.store.implement_stored(behavior.semantics, type_name)
+        self._record(
+            "MT-AB", f"added {behavior} to Ne({type_name})",
+            type=type_name, behavior=behavior.semantics,
+        )
+        return p
+
+    def mt_db(self, type_name: str, behavior: Behavior | str) -> bool:
+        """MT-DB: drop a behavior as an essential component of a type.
+
+        "Note that this may not actually remove b from the interface of t
+        because b may be inherited from one or more supertypes of t."
+        Returns whether the behavior left the interface of the type.
+        """
+        behavior = self._resolve_behavior(behavior)
+        p = behavior.as_property()
+        self.store.lattice.drop_essential_property(type_name, p)
+        gone = p not in self.store.lattice.interface(type_name)
+        if gone:
+            self._drop_orphaned_implementation(behavior, type_name)
+        self._record(
+            "MT-DB",
+            f"dropped {behavior} from Ne({type_name})"
+            + ("" if gone else " (still inherited)"),
+            type=type_name, behavior=behavior.semantics,
+        )
+        return gone
+
+    # -- subtype relationships -------------------------------------------
+
+    def mt_asr(self, type_name: str, supertype: str) -> bool:
+        """MT-ASR: add an essential supertype.  "Due to the axiom of
+        acyclicity, the addition ... is rejected if it introduces a cycle"
+        — enforced by the lattice (raises
+        :class:`~repro.core.errors.CycleError`)."""
+        changed = self.store.lattice.add_essential_supertype(
+            type_name, supertype
+        )
+        self._record(
+            "MT-ASR", f"added {supertype} to Pe({type_name})",
+            type=type_name, supertype=supertype,
+        )
+        return changed
+
+    def mt_dsr(self, type_name: str, supertype: str) -> bool:
+        """MT-DSR: drop an essential supertype.  "Due to the axiom of
+        rootedness ... a subtype relationship to T_object cannot be
+        dropped" — enforced by the lattice."""
+        changed = self.store.lattice.drop_essential_supertype(
+            type_name, supertype
+        )
+        if changed:
+            self._adopt_implementations()
+        self._record(
+            "MT-DSR", f"dropped {supertype} from Pe({type_name})",
+            type=type_name, supertype=supertype,
+        )
+        return changed
+
+    # -- types -------------------------------------------------------------
+
+    def at(
+        self,
+        name: str,
+        supertypes: tuple[str, ...] = (),
+        behaviors: tuple[str, ...] = (),
+        with_class: bool = False,
+    ) -> str:
+        """AT: create a type via B_new ("accepts a collection of
+        supertypes and a collection of behaviors as arguments")."""
+        self.store.add_type(
+            name, supertypes=supertypes, behaviors=behaviors,
+            with_class=with_class,
+        )
+        self._record(
+            "AT", f"created type {name}",
+            name=name, supertypes=list(supertypes),
+            behaviors=list(behaviors),
+        )
+        return name
+
+    def dt(self, name: str, migrate_to: str | None = None) -> None:
+        """DT: drop a type (with class and extent; optionally migrating
+        instances first)."""
+        self.store.drop_type(name, migrate_to=migrate_to)
+        self._adopt_implementations()
+        self._record("DT", f"dropped type {name}", name=name,
+                     migrate_to=migrate_to)
+
+    # -- classes -----------------------------------------------------------
+
+    def ac(self, type_name: str) -> Oid:
+        """AC: create the class uniquely associated with a type."""
+        cls = self.store.add_class(type_name)
+        self._record("AC", f"created class of {type_name}", type=type_name)
+        return cls.oid
+
+    def dc(self, type_name: str, migrate_to: str | None = None) -> None:
+        """DC: drop the class of a type and its extent."""
+        self.store.drop_class(type_name, migrate_to=migrate_to)
+        self._record("DC", f"dropped class of {type_name}", type=type_name,
+                     migrate_to=migrate_to)
+
+    # -- behaviors and functions globally -----------------------------------
+
+    def db(self, behavior: Behavior | str) -> frozenset[str]:
+        """DB: drop a behavior in its entirety.
+
+        "A dropped behavior is dropped from all types that define the
+        behavior as essential."  Returns the set of types touched.
+        """
+        behavior = self._resolve_behavior(behavior)
+        p = behavior.as_property()
+        touched = self.store.lattice.drop_property_everywhere(p)
+        for t in behavior.implementing_types():
+            behavior.dissociate(t)
+        self.store._behaviors.pop(behavior.semantics, None)
+        self.store._objects.pop(behavior.oid, None)
+        self._record(
+            "DB", f"dropped behavior {behavior} from {sorted(touched)}",
+            behavior=behavior.semantics,
+        )
+        return touched
+
+    def mb_ca(
+        self, behavior: Behavior | str, type_name: str, function: Function
+    ) -> Oid | None:
+        """MB-CA: change the implementation association of a behavior.
+
+        Returns the OID of the replaced function (which "could also affect
+        the function's membership in FSO").
+        """
+        behavior = self._resolve_behavior(behavior)
+        previous = self.store.implement(
+            behavior.semantics, type_name, function
+        )
+        self._record(
+            "MB-CA",
+            f"associated {function} with {behavior} on {type_name}",
+            behavior=behavior.semantics, type=type_name,
+            function=str(function.oid),
+        )
+        return previous
+
+    def df(self, function: Function | Oid) -> None:
+        """DF: drop a function in its entirety.
+
+        "The operation is rejected if the function is associated as the
+        implementation of a behavior in a type that has an associated
+        class."
+        """
+        oid = function.oid if isinstance(function, Function) else function
+        blockers = [
+            (behavior, t)
+            for behavior in self.store.behaviors()
+            for t in behavior.implementing_types()
+            if behavior.implementation_for(t) == oid
+            and self.store.class_of(t) is not None
+        ]
+        if blockers:
+            behavior, t = blockers[0]
+            raise OperationRejected(
+                "DF",
+                f"function implements {behavior} on {t!r}, "
+                f"which has an associated class",
+            )
+        # Safe to dissociate from class-less types and remove.
+        for behavior in self.store.behaviors():
+            for t in list(behavior.implementing_types()):
+                if behavior.implementation_for(t) == oid:
+                    behavior.dissociate(t)
+        if not self.store.remove_function(oid):
+            raise OperationRejected("DF", f"no function with identity {oid}")
+        self._record("DF", f"dropped function {oid}", function=str(oid))
+
+    # -- collections ---------------------------------------------------------
+
+    def al(self, name: str, member_type: str = "T_object") -> Oid:
+        """AL: add a new empty collection."""
+        collection = self.store.add_collection(name, member_type)
+        self._record("AL", f"created collection {name}", name=name)
+        return collection.oid
+
+    def dl(self, name: str) -> frozenset[Oid]:
+        """DL: drop a collection; "dropping a collection does not drop its
+        members."  Returns the surviving member identities."""
+        collection = self.store.drop_collection(name)
+        self._record("DL", f"dropped collection {name}", name=name)
+        return collection.members()
+
+    # -- internals -----------------------------------------------------------
+
+    def _resolve_behavior(self, behavior: Behavior | str) -> Behavior:
+        if isinstance(behavior, Behavior):
+            return behavior
+        return self.store.behavior(behavior)
+
+    def _adopt_implementations(self) -> None:
+        """Implementation adoption after a lattice cut (MT-DSR / DT).
+
+        The adoption of an essential inherited property as native
+        (Section 2's taxBracket scenario) must carry an implementation
+        with it: the old one lived on the now-unreachable supertype.  Any
+        native behavior left without a reachable implementation gets a
+        fresh stored one, keeping every interface applicable.
+        """
+        lattice = self.store.lattice
+        for t in lattice.types():
+            if lattice.is_frozen(t):
+                continue
+            for p in lattice.n(t):
+                behavior = self.store._behaviors.get(p.semantics)
+                if behavior is None:
+                    continue
+                if self.store.lookup_implementation(t, behavior) is None:
+                    self.store.implement_stored(behavior.semantics, t)
+
+    def _drop_orphaned_implementation(
+        self, behavior: Behavior, type_name: str
+    ) -> None:
+        """After a behavior leaves a type's interface, its direct
+        implementation association on that type is dangling; retract it
+        (and garbage-collect the function when nothing else uses it)."""
+        oid = behavior.dissociate(type_name)
+        if oid is not None:
+            self.store.remove_function(oid)

@@ -1,0 +1,115 @@
+"""Functions: implementations of behaviors (instances of ``T_function``).
+
+"[Behaviors'] possible implementations (functions/methods)" come in the
+two flavors the paper contrasts with Orion: "stored properties and
+computed methods are separate concepts in Orion ... while in TIGUKAT they
+are treated uniformly as behaviors and, therefore, a single mechanism
+suffices for both."  The single mechanism is this class: a *stored*
+function reads/writes a state slot of the receiver; a *computed* function
+runs arbitrary code.  Which flavor backs a behavior is invisible to
+callers of :meth:`Objectbase.apply` — that is the uniformity claim made
+executable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+from ..core.identity import Oid
+from .objects import TigukatObject
+
+__all__ = ["FunctionKind", "Function"]
+
+
+class FunctionKind(enum.Enum):
+    """How an implementation produces its result."""
+
+    STORED = "stored"      # slot access on the receiver's state
+    COMPUTED = "computed"  # arbitrary code over (store, receiver, *args)
+
+
+class Function(TigukatObject):
+    """A first-class implementation object.
+
+    Parameters
+    ----------
+    oid:
+        Identity.
+    name:
+        Human reference (``F_`` prefix by convention).
+    kind:
+        Stored or computed.
+    slot:
+        For stored functions, the state-slot key (defaults to the
+        semantics of the behavior it implements at association time).
+    body:
+        For computed functions, a callable ``(store, receiver, *args)``.
+    """
+
+    __slots__ = ("_name", "_kind", "_slot", "_body")
+
+    def __init__(
+        self,
+        oid: Oid,
+        name: str,
+        kind: FunctionKind,
+        slot: str | None = None,
+        body: Callable[..., Any] | None = None,
+    ) -> None:
+        super().__init__(oid, "T_function")
+        if kind is FunctionKind.STORED and slot is None:
+            raise ValueError("a stored function needs a slot key")
+        if kind is FunctionKind.COMPUTED and body is None:
+            raise ValueError("a computed function needs a body")
+        self._name = name
+        self._kind = kind
+        self._slot = slot
+        self._body = body
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def kind(self) -> FunctionKind:
+        return self._kind
+
+    @property
+    def slot(self) -> str | None:
+        return self._slot
+
+    def invoke(self, store: Any, receiver: TigukatObject, *args: Any) -> Any:
+        """Execute the implementation against a receiver.
+
+        Stored functions act as getter (no args) or setter (one arg);
+        computed functions delegate to their body.  The argument
+        convention mirrors the paper's dot notation ``o.b(...)``.
+        """
+        if self._kind is FunctionKind.STORED:
+            assert self._slot is not None
+            if not args:
+                return receiver._get_slot(self._slot)
+            if len(args) == 1:
+                receiver._set_slot(self._slot, args[0])
+                return args[0]
+            raise TypeError(
+                f"stored function {self._name!r} takes 0 or 1 arguments, "
+                f"got {len(args)}"
+            )
+        assert self._body is not None
+        return self._body(store, receiver, *args)
+
+    def replace_body(self, body: Callable[..., Any]) -> None:
+        """MF (modify function): swap the code of a computed function.
+
+        Per Table 3 this "does not affect the semantics of the behaviors
+        it may be associated with and, therefore ... does not affect the
+        schema" — so no schema invalidation happens here.
+        """
+        if self._kind is not FunctionKind.COMPUTED:
+            raise TypeError("only computed functions have a body to replace")
+        self._body = body
+
+    def __str__(self) -> str:
+        return f"F_{self._name}[{self._kind.value}]"

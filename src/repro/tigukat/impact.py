@@ -1,0 +1,76 @@
+"""Objectbase-level impact analysis: derived changes + instance exposure.
+
+Extends :mod:`repro.core.impact` from the schema to the data: for each
+type whose interface would change, how many live instances are exposed
+(would need coercion under conversion, or screening on next access), and
+how many would be destroyed or need migration for DT/DC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..core.impact import ImpactReport, analyze_impact
+from ..core.operations import DropType, SchemaOperation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .store import Objectbase
+
+__all__ = ["ObjectbaseImpact", "analyze_objectbase_impact"]
+
+
+@dataclass
+class ObjectbaseImpact:
+    """Schema impact plus instance-level exposure."""
+
+    schema: ImpactReport
+    #: type -> live instances whose interface changes (deep extent)
+    exposed_instances: dict[str, int] = field(default_factory=dict)
+    #: instances that DT/DC would destroy unless migrated
+    instances_at_risk: int = 0
+
+    @property
+    def total_exposed(self) -> int:
+        return sum(self.exposed_instances.values())
+
+    def summary(self) -> str:
+        lines = [self.schema.summary()]
+        if self.exposed_instances:
+            lines.append(
+                "exposed instances: "
+                + ", ".join(
+                    f"{t}: {n}"
+                    for t, n in sorted(self.exposed_instances.items())
+                )
+            )
+        if self.instances_at_risk:
+            lines.append(
+                f"instances at risk (destroyed unless migrated): "
+                f"{self.instances_at_risk}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_objectbase_impact(
+    store: "Objectbase", operation: SchemaOperation
+) -> ObjectbaseImpact:
+    """Dry-run an operation against the store's lattice and count the
+    live instances each interface change would expose."""
+    schema = analyze_impact(store.lattice, operation)
+    impact = ObjectbaseImpact(schema=schema)
+    if not schema.accepted:
+        return impact
+
+    for t in sorted(schema.interface_changes):
+        if t not in store.lattice:
+            continue
+        count = len(store.extent(t, deep=False))
+        if count:
+            impact.exposed_instances[t] = count
+
+    if isinstance(operation, DropType) and operation.name in store.lattice:
+        cls = store.class_of(operation.name)
+        if cls is not None:
+            impact.instances_at_risk = len(cls)
+    return impact

@@ -1,0 +1,88 @@
+"""Uniform first-class objects of the TIGUKAT model.
+
+"The model is uniform in that every component of information, including
+its semantics, is modeled as a first-class object with well-defined
+behavior" (Section 3.1).  Accordingly, :class:`TigukatObject` is the one
+runtime representation shared by application objects *and* the modeling
+constructs themselves (types, classes, behaviors, functions, collections
+are all subclasses carrying extra structure).
+
+"Objects consist of a unique identity and an encapsulated state.  Access
+and manipulation of objects occurs exclusively through the application of
+behaviors."  State is therefore held in a private slot table keyed by
+behavior semantics; the public road to it is
+:meth:`repro.tigukat.store.Objectbase.apply`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.identity import Oid
+
+__all__ = ["TigukatObject"]
+
+
+class TigukatObject:
+    """An object with unique immutable identity and encapsulated state.
+
+    Parameters
+    ----------
+    oid:
+        The immutable identity (allocated by the objectbase).
+    type_name:
+        Reference to the type whose class created this object.
+    """
+
+    __slots__ = ("_oid", "_type_name", "_state")
+
+    def __init__(self, oid: Oid, type_name: str) -> None:
+        self._oid = oid
+        self._type_name = type_name
+        self._state: dict[str, Any] = {}
+
+    @property
+    def oid(self) -> Oid:
+        return self._oid
+
+    @property
+    def type_name(self) -> str:
+        """The type this object is an instance of (``B_typeOf``)."""
+        return self._type_name
+
+    def _migrate(self, new_type: str) -> None:
+        """Reassign this object's type (object migration support).
+
+        Internal: migration is driven by
+        :class:`repro.propagation.migration.Migrator`, which also fixes
+        class extents; identity is preserved.
+        """
+        self._type_name = new_type
+
+    # -- encapsulated state (reachable only through behaviors) ---------
+
+    def _get_slot(self, semantics: str) -> Any:
+        return self._state.get(semantics)
+
+    def _set_slot(self, semantics: str, value: Any) -> None:
+        self._state[semantics] = value
+
+    def _drop_slot(self, semantics: str) -> None:
+        self._state.pop(semantics, None)
+
+    def _slots(self) -> frozenset[str]:
+        return frozenset(self._state)
+
+    def __eq__(self, other: object) -> bool:
+        # Identity equality: two objects are the same object iff their
+        # OIDs coincide ("objects are created with a unique, immutable
+        # object identity").
+        if isinstance(other, TigukatObject):
+            return self._oid == other._oid
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._oid)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self._oid} : {self._type_name}>"

@@ -1,0 +1,110 @@
+"""The primitive type system of TIGUKAT (Figure 2 of the paper).
+
+Bootstraps the objectbase with the primitive types, the meta types, and
+the primitive schema-evolution behaviors of ``T_type`` (B_supertypes,
+B_super-lattice, B_interface, B_native, B_inherited, B_subtypes, B_new).
+
+Reconstruction note: the figure in the available paper text is partially
+garbled; the layout below follows the figure's legible content plus the
+TIGUKAT model papers it cites ([5], [7], [8]):
+
+* ``T_object`` is the root; ``T_null`` the base.
+* First-class construct types directly under ``T_object``: ``T_atomic``,
+  ``T_type``, ``T_behavior``, ``T_function``, ``T_collection``.
+* ``T_class`` is a subtype of ``T_collection`` (classes are special
+  collections).
+* The extended meta type system: ``T_type-class``, ``T_class-class`` and
+  ``T_collection-class`` under ``T_class`` ("their placement within the
+  type lattice directly supports the uniformity of the model").
+* Atomic chain: ``T_string``, ``T_boolean`` and ``T_real`` under
+  ``T_atomic``; ``T_integer`` under ``T_real``; ``T_natural`` under
+  ``T_integer``.
+
+All primitive types are frozen: "the primitive types of the model ...
+cannot be dropped."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .behaviors import Signature
+from .functions import FunctionKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .store import Objectbase
+
+__all__ = ["PRIMITIVE_TYPES", "PRIMITIVE_TYPE_BEHAVIORS", "bootstrap"]
+
+#: ``(name, supertypes)`` in creation order.  The root and base come from
+#: the lattice policy and are not listed.
+PRIMITIVE_TYPES: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("T_atomic", ()),
+    ("T_type", ()),
+    ("T_behavior", ()),
+    ("T_function", ()),
+    ("T_collection", ()),
+    ("T_class", ("T_collection",)),
+    ("T_type-class", ("T_class",)),
+    ("T_class-class", ("T_class",)),
+    ("T_collection-class", ("T_class",)),
+    ("T_string", ("T_atomic",)),
+    ("T_boolean", ("T_atomic",)),
+    ("T_real", ("T_atomic",)),
+    ("T_integer", ("T_real",)),
+    ("T_natural", ("T_integer",)),
+)
+
+#: The primitive behaviors of ``T_type`` related to schema evolution
+#: (Section 3.1), as ``semantics -> signature``.
+PRIMITIVE_TYPE_BEHAVIORS: dict[str, Signature] = {
+    "type.supertypes": Signature("supertypes", (), "T_collection"),
+    "type.super-lattice": Signature("super-lattice", (), "T_collection"),
+    "type.interface": Signature("interface", (), "T_collection"),
+    "type.native": Signature("native", (), "T_collection"),
+    "type.inherited": Signature("inherited", (), "T_collection"),
+    "type.subtypes": Signature("subtypes", (), "T_collection"),
+    "type.new": Signature("new", ("T_collection", "T_collection"), "T_type"),
+}
+
+
+def bootstrap(store: "Objectbase") -> None:
+    """Install the primitive type system into a fresh objectbase."""
+    for semantics, signature in PRIMITIVE_TYPE_BEHAVIORS.items():
+        store.define_behavior(semantics, signature)
+
+    for name, supertypes in PRIMITIVE_TYPES:
+        if name in store.lattice:
+            continue
+        behaviors = (
+            tuple(PRIMITIVE_TYPE_BEHAVIORS) if name == "T_type" else ()
+        )
+        store.add_type(
+            name, supertypes=supertypes, behaviors=behaviors, frozen=True
+        )
+
+    # Computed implementations delegating to the axiomatic lattice: the
+    # uniform behaviors *are* the derived terms of the model.  These
+    # replace the placeholder stored slots created by ``add_type``.
+    delegates = {
+        "type.supertypes": lambda s, r: s.type_object(r.name).b_supertypes(),
+        "type.super-lattice": lambda s, r: s.type_object(r.name).b_super_lattice(),
+        "type.interface": lambda s, r: s.type_object(r.name).b_interface(),
+        "type.native": lambda s, r: s.type_object(r.name).b_native(),
+        "type.inherited": lambda s, r: s.type_object(r.name).b_inherited(),
+        "type.subtypes": lambda s, r: s.type_object(r.name).b_subtypes(),
+        "type.new": lambda s, r, supers, behaviors: s.add_type(
+            f"T_anon{s.object_count()}",
+            supertypes=supers,
+            behaviors=behaviors,
+        ),
+    }
+    for semantics, body in delegates.items():
+        function = store.define_function(
+            semantics.replace("type.", "type_"),
+            FunctionKind.COMPUTED,
+            body=body,
+        )
+        replaced = store.implement(semantics, "T_type", function)
+        if replaced is not None:
+            store.remove_function(replaced)

@@ -1,0 +1,113 @@
+"""Schema-object sets and the schema definition (Definitions 3.1 / 3.2).
+
+"All objects managed by TIGUKAT fit in the category of type, class,
+behavior, function, collection or other.  These categories are used to
+distinguish the 'schema' of the model and the changes that affect it."
+
+The five sets:
+
+* ``TSO`` — type schema objects: the extent of ``C_type`` (≡ ``T`` in the
+  axiomatic model);
+* ``BSO`` — behavior schema objects: the extended union of the interfaces
+  of all types ("Only those behaviors defined in the interface of some
+  type are considered to be behavior schema objects", so ``BSO ⊆
+  C_behavior``; ``BSO`` represents all properties, ≡ ``I(⊥)``);
+* ``FSO`` — function schema objects: the extended union of the behavior
+  implementations over all types (``FSO ⊆ C_function``);
+* ``LSO`` — collection schema objects: the extent of ``C_collection``;
+* ``CSO`` — class schema objects: the extent of ``C_class``
+  (``CSO ⊆ LSO``).
+
+``schema = TSO ∪ BSO ∪ FSO ∪ LSO ∪ CSO`` (Definition 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.identity import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .store import Objectbase
+
+__all__ = ["SchemaSets", "schema_sets", "schema_oids"]
+
+
+@dataclass(frozen=True)
+class SchemaSets:
+    """A snapshot of the five schema-object sets, by identity."""
+
+    tso: frozenset[str]   # type names (references to type objects)
+    bso: frozenset[str]   # behavior semantics keys
+    fso: frozenset[Oid]   # function identities
+    lso: frozenset[Oid]   # collection identities (classes included)
+    cso: frozenset[Oid]   # class identities
+
+    @property
+    def schema_size(self) -> int:
+        """|schema| per Definition 3.2 (the sets are pairwise disjoint in
+        identity space except CSO ⊆ LSO, counted once)."""
+        return len(self.tso) + len(self.bso) + len(self.fso) + len(self.lso)
+
+    def invariants_ok(self, store: "Objectbase") -> bool:
+        """The subset inclusions stated by Definition 3.1."""
+        behavior_keys = {b.semantics for b in store.behaviors()}
+        function_oids = {f.oid for f in store.functions()}
+        class_oids = {c.oid for c in store.classes()}
+        return (
+            self.bso <= behavior_keys          # BSO ⊆ C_behavior
+            and self.fso <= function_oids      # FSO ⊆ C_function
+            and self.cso <= class_oids
+            and self.cso <= self.lso           # CSO ⊆ LSO
+        )
+
+
+def schema_sets(store: "Objectbase") -> SchemaSets:
+    """Compute the five schema-object sets of Definition 3.1.
+
+    ``BSO`` is ``⋃ t.B_interface`` over all types; ``FSO`` is
+    ``⋃ b.B_implementation(t)`` over all behaviors in ``BSO`` and all
+    types in ``TSO``.
+    """
+    lattice = store.lattice
+    tso = lattice.types()
+
+    bso: set[str] = set()
+    for t in tso:
+        bso.update(p.semantics for p in lattice.interface(t))
+
+    fso: set[Oid] = set()
+    for semantics in bso:
+        behavior = store.behavior(semantics)
+        for t in behavior.implementing_types():
+            if t in tso:
+                oid = behavior.implementation_for(t)
+                if oid is not None:
+                    fso.add(oid)
+
+    cso = frozenset(c.oid for c in store.classes())
+    lso = frozenset(c.oid for c in store.collections())  # CSO ⊆ LSO already
+
+    return SchemaSets(
+        tso=frozenset(tso),
+        bso=frozenset(bso),
+        fso=frozenset(fso),
+        lso=lso,
+        cso=cso,
+    )
+
+
+def schema_oids(store: "Objectbase") -> frozenset[Oid]:
+    """Definition 3.2 as a single identity set: the union of the schema
+    object sets, with type/behavior references resolved to OIDs."""
+    sets = schema_sets(store)
+    oids: set[Oid] = set()
+    for name in sets.tso:
+        oids.add(store.type_object(name).oid)
+    for semantics in sets.bso:
+        oids.add(store.behavior(semantics).oid)
+    oids.update(sets.fso)
+    oids.update(sets.lso)
+    oids.update(sets.cso)
+    return frozenset(oids)

@@ -1,0 +1,113 @@
+"""Signature conformance: safe refinement of behavior implementations.
+
+"We use signatures as a partial semantics of behaviors" (Section 3.1).
+When a subtype associates its own implementation with an inherited
+behavior (overriding, via MB-CA), the standard substitutability rules
+decide whether the refinement is safe:
+
+* the **result type** may only *specialize* (covariance) — callers typed
+  against the supertype must still receive something they can handle;
+* each **argument type** may only *generalize* (contravariance) — every
+  argument a supertype-typed caller passes must still conform;
+* the **arity** must match.
+
+The checker is policy: :meth:`Objectbase.implement` stays permissive by
+default (TIGUKAT separates behavior semantics from implementations), and
+callers that want the discipline run :func:`check_refinement` first or
+use :func:`safe_implement`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .behaviors import Signature
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .functions import Function
+    from .store import Objectbase
+
+__all__ = ["RefinementIssue", "check_refinement", "safe_implement"]
+
+
+@dataclass(frozen=True)
+class RefinementIssue:
+    kind: str       # "arity" | "result" | "argument"
+    position: int   # argument index, or -1
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+def _conforms(store: "Objectbase", sub: str, sup: str) -> bool:
+    """Type-reference conformance over the lattice, tolerant of atomic
+    names that are real lattice types in Figure 2."""
+    if sub == sup or sup == "T_object":
+        return True
+    lattice = store.lattice
+    if sub in lattice and sup in lattice:
+        return lattice.is_subtype(sub, sup)
+    return False
+
+
+def check_refinement(
+    store: "Objectbase", base: Signature, refined: Signature
+) -> list[RefinementIssue]:
+    """All substitutability violations of ``refined`` against ``base``."""
+    issues: list[RefinementIssue] = []
+    if base.arity != refined.arity:
+        issues.append(
+            RefinementIssue(
+                "arity", -1,
+                f"expected {base.arity} arguments, got {refined.arity}",
+            )
+        )
+        return issues
+    if not _conforms(store, refined.result_type, base.result_type):
+        issues.append(
+            RefinementIssue(
+                "result", -1,
+                f"result {refined.result_type!r} must specialize "
+                f"{base.result_type!r} (covariance)",
+            )
+        )
+    for i, (base_arg, refined_arg) in enumerate(
+        zip(base.argument_types, refined.argument_types)
+    ):
+        if not _conforms(store, base_arg, refined_arg):
+            issues.append(
+                RefinementIssue(
+                    "argument", i,
+                    f"argument {i} {refined_arg!r} must generalize "
+                    f"{base_arg!r} (contravariance)",
+                )
+            )
+    return issues
+
+
+def safe_implement(
+    store: "Objectbase",
+    semantics: str,
+    type_name: str,
+    function: "Function",
+    refined_signature: Signature | None = None,
+) -> None:
+    """Associate an implementation only if the refinement is safe.
+
+    ``refined_signature`` describes the override's effective signature
+    (defaults to the behavior's own, which is trivially safe).  Raises
+    :class:`TypeError` listing every violation otherwise.
+    """
+    behavior = store.behavior(semantics)
+    if refined_signature is not None:
+        issues = check_refinement(
+            store, behavior.signature, refined_signature
+        )
+        if issues:
+            raise TypeError(
+                f"unsafe override of {behavior} on {type_name!r}: "
+                + "; ".join(str(i) for i in issues)
+            )
+    store.implement(semantics, type_name, function)

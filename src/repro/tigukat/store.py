@@ -1,0 +1,564 @@
+"""The TIGUKAT objectbase: a uniform behavioral object store.
+
+:class:`Objectbase` is the facade tying the substrate together: the
+axiomatic :class:`~repro.core.lattice.TypeLattice` for all schema
+reasoning, plus registries of the first-class objects of the model
+(types, behaviors, functions, classes, collections, and application
+instances), plus behavioral dispatch with late binding.
+
+Design rule: *the lattice is the single source of truth for schema*.
+The objectbase never stores a second copy of supertype or interface
+information; the uniform ``B_*`` behaviors of type objects delegate into
+the lattice, which is precisely the paper's reduction of TIGUKAT to the
+axiomatic model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..core.config import LatticePolicy
+from ..core.errors import (
+    OperationRejected,
+    SchemaError,
+    UnknownPropertyError,
+    UnknownTypeError,
+)
+from ..core.identity import Oid, OidGenerator
+from ..core.lattice import TypeLattice
+from ..core.properties import Property
+from .behaviors import Behavior, Signature
+from .collections_ import ClassObject, CollectionObject
+from .functions import Function, FunctionKind
+from .objects import TigukatObject
+from .types import TypeObject
+
+__all__ = ["Objectbase", "DispatchError", "AmbiguousBehaviorError"]
+
+#: Mapping of Python value types onto the atomic types of Figure 2 used
+#: when signature checking behavior applications with raw values.
+_ATOMIC_CONFORMANCE: dict[str, Callable[[Any], bool]] = {
+    "T_string": lambda v: isinstance(v, str),
+    "T_boolean": lambda v: isinstance(v, bool),
+    "T_natural": lambda v: isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+    "T_integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "T_real": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "T_atomic": lambda v: isinstance(v, (str, int, float, bool)),
+}
+
+
+class DispatchError(SchemaError):
+    """A behavior application could not be resolved or type-checked."""
+
+
+class AmbiguousBehaviorError(DispatchError):
+    """A behavior name denotes several distinct semantics in an interface.
+
+    "Conflict resolution of properties is at a semantic level in which the
+    semantics of a property is unique" — so the model surfaces name
+    collisions to the caller instead of silently picking one (that is
+    Orion's ordered-superclass policy, implemented in
+    :mod:`repro.orion.conflict`).
+    """
+
+
+class Objectbase:
+    """A TIGUKAT objectbase instance.
+
+    Parameters
+    ----------
+    policy:
+        Lattice policy; defaults to TIGUKAT's (rooted and pointed).
+    bootstrap:
+        When true (default), installs the primitive type system of
+        Figure 2 via :func:`repro.tigukat.primitive.bootstrap`.
+    """
+
+    def __init__(
+        self, policy: LatticePolicy | None = None, bootstrap: bool = True
+    ) -> None:
+        self.lattice = TypeLattice(
+            policy if policy is not None else LatticePolicy.tigukat()
+        )
+        self._oids = OidGenerator("tgk")
+        self._objects: dict[Oid, TigukatObject] = {}
+        self._type_objects: dict[str, TypeObject] = {}
+        self._behaviors: dict[str, Behavior] = {}       # by semantics
+        self._functions: dict[Oid, Function] = {}
+        self._classes: dict[str, ClassObject] = {}      # by type name
+        self._collections: dict[str, CollectionObject] = {}
+        #: dispatch cache: type -> (lattice generation, linearization)
+        self._linearizations: dict[str, tuple[int, list[str]]] = {}
+
+        # Reify the policy-created root and base as type objects.
+        for name in sorted(self.lattice.types()):
+            self._reify_type(name)
+
+        if bootstrap:
+            from .primitive import bootstrap as install_primitives
+
+            install_primitives(self)
+
+    # ------------------------------------------------------------------
+    # Object access
+    # ------------------------------------------------------------------
+
+    def get(self, oid: Oid) -> TigukatObject:
+        obj = self._objects.get(oid)
+        if obj is None:
+            raise KeyError(f"no object with identity {oid}")
+        return obj
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid in self._objects
+
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    def type_object(self, name: str) -> TypeObject:
+        obj = self._type_objects.get(name)
+        if obj is None:
+            raise UnknownTypeError(name)
+        return obj
+
+    def behavior(self, semantics: str) -> Behavior:
+        b = self._behaviors.get(semantics)
+        if b is None:
+            raise UnknownPropertyError(semantics)
+        return b
+
+    def behaviors(self) -> frozenset[Behavior]:
+        """The extent of ``C_behavior``: every defined behavior object."""
+        return frozenset(self._behaviors.values())
+
+    def function(self, oid: Oid) -> Function:
+        f = self._functions.get(oid)
+        if f is None:
+            raise KeyError(f"no function with identity {oid}")
+        return f
+
+    def functions(self) -> frozenset[Function]:
+        """The extent of ``C_function``."""
+        return frozenset(self._functions.values())
+
+    def class_of(self, type_name: str) -> ClassObject | None:
+        """The class associated with a type, if one exists."""
+        if type_name not in self.lattice:
+            raise UnknownTypeError(type_name)
+        return self._classes.get(type_name)
+
+    def classes(self) -> frozenset[ClassObject]:
+        """The extent of ``C_class``."""
+        return frozenset(self._classes.values())
+
+    def collection(self, name: str) -> CollectionObject:
+        c = self._collections.get(name)
+        if c is None:
+            raise KeyError(f"no collection named {name!r}")
+        return c
+
+    def collections(self) -> frozenset[CollectionObject]:
+        """The extent of ``C_collection`` (classes included: CSO ⊆ LSO)."""
+        return frozenset(self._collections.values()) | frozenset(
+            self._classes.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Behavior and function definition (AB / AF: *not* schema changes)
+    # ------------------------------------------------------------------
+
+    def define_behavior(
+        self,
+        semantics: str,
+        signature: Signature | str,
+    ) -> Behavior:
+        """AB: define a new behavior object.
+
+        "Defining a new behavior does not affect the schema because
+        behaviors don't become part of the schema until after they are
+        added as essential behaviors of some type."
+        """
+        if isinstance(signature, str):
+            signature = Signature(signature)
+        if semantics in self._behaviors:
+            return self._behaviors[semantics]
+        behavior = Behavior(self._oids.allocate(), semantics, signature)
+        self._behaviors[semantics] = behavior
+        self._objects[behavior.oid] = behavior
+        return behavior
+
+    def define_function(
+        self,
+        name: str,
+        kind: FunctionKind = FunctionKind.COMPUTED,
+        slot: str | None = None,
+        body: Callable[..., Any] | None = None,
+    ) -> Function:
+        """AF: define a new function object (not a schema change)."""
+        function = Function(self._oids.allocate(), name, kind, slot, body)
+        self._functions[function.oid] = function
+        self._objects[function.oid] = function
+        return function
+
+    def define_stored_behavior(
+        self, semantics: str, name: str, result_type: str = "T_object"
+    ) -> Behavior:
+        """Convenience: a behavior whose default implementation is a
+        stored slot named after its semantics (TIGUKAT's uniform treatment
+        of what Orion would call an attribute)."""
+        behavior = self.define_behavior(
+            semantics, Signature(name, (), result_type)
+        )
+        return behavior
+
+    def implement(
+        self, semantics: str, type_name: str, function: Function
+    ) -> Oid | None:
+        """Associate ``function`` as the implementation of a behavior for
+        a type (the association side of MB-CA).  Returns the OID of the
+        previously associated function, if any."""
+        if type_name not in self.lattice:
+            raise UnknownTypeError(type_name)
+        behavior = self.behavior(semantics)
+        return behavior.associate(type_name, function.oid)
+
+    def remove_function(self, oid: Oid) -> bool:
+        """Low-level removal of a function object that implements nothing.
+
+        Returns ``False`` (and does nothing) if any behavior still uses
+        the function; the schema-aware DF operation with its rejection
+        rule lives in :mod:`repro.tigukat.evolution`.
+        """
+        if any(
+            oid in behavior.implementation_oids()
+            for behavior in self._behaviors.values()
+        ):
+            return False
+        function = self._functions.pop(oid, None)
+        if function is None:
+            return False
+        self._objects.pop(oid, None)
+        return True
+
+    def implement_stored(self, semantics: str, type_name: str) -> Function:
+        """Create and associate a stored-slot implementation in one step."""
+        behavior = self.behavior(semantics)
+        function = self.define_function(
+            f"{behavior.name}@{type_name}", FunctionKind.STORED, slot=semantics
+        )
+        self.implement(semantics, type_name, function)
+        return function
+
+    # ------------------------------------------------------------------
+    # Types and classes (primitive machinery used by the evolution ops)
+    # ------------------------------------------------------------------
+
+    def add_type(
+        self,
+        name: str,
+        supertypes: Iterable[str] = (),
+        behaviors: Iterable[str] = (),
+        with_class: bool = False,
+        frozen: bool = False,
+    ) -> TypeObject:
+        """B_new: create a type from supertypes and essential behaviors.
+
+        ``behaviors`` are semantics keys of already-defined behavior
+        objects; stored implementations are auto-created for any of them
+        lacking an implementation on this type.
+        """
+        behavior_objs = [self.behavior(s) for s in behaviors]
+        self.lattice.add_type(
+            name,
+            supertypes=supertypes,
+            properties=[b.as_property() for b in behavior_objs],
+            frozen=frozen,
+        )
+        type_object = self._reify_type(name)
+        for b in behavior_objs:
+            if b.implementation_for(name) is None:
+                self.implement_stored(b.semantics, name)
+        if with_class:
+            self.add_class(name)
+        return type_object
+
+    def drop_type(self, name: str, migrate_to: str | None = None) -> None:
+        """DT: drop a type, its class, and its extent.
+
+        "When a type is dropped, the type's associated class and extent
+        are dropped as well.  With the use of object migration techniques,
+        the instances can be ported to some other type prior to being
+        dropped."  Pass ``migrate_to`` to port instances.
+        """
+        if name not in self.lattice:
+            raise UnknownTypeError(name)
+        if self._classes.get(name) is not None:
+            self.drop_class(name, migrate_to=migrate_to)
+        self.lattice.drop_type(name)
+        type_object = self._type_objects.pop(name)
+        self._objects.pop(type_object.oid, None)
+        # Implementations registered directly on the dropped type vanish.
+        for behavior in self._behaviors.values():
+            behavior.dissociate(name)
+
+    def add_class(self, type_name: str) -> ClassObject:
+        """AC: create the class uniquely associated with a type.
+
+        "The creation of a class allows instances of its associated type
+        to be created."
+        """
+        if type_name not in self.lattice:
+            raise UnknownTypeError(type_name)
+        if type_name in self._classes:
+            raise OperationRejected(
+                "AC", f"type {type_name!r} already has an associated class"
+            )
+        cls = ClassObject(
+            self._oids.allocate(),
+            f"C_{type_name.removeprefix('T_')}",
+            of_type=type_name,
+        )
+        self._classes[type_name] = cls
+        self._objects[cls.oid] = cls
+        return cls
+
+    def drop_class(
+        self, type_name: str, migrate_to: str | None = None
+    ) -> frozenset[Oid]:
+        """DC: drop the class of a type along with its extent.
+
+        "The extent managed by a dropped class is also dropped" — unless
+        ``migrate_to`` names another type with a class, in which case the
+        instances are ported first (object migration).  Returns the OIDs
+        that were dropped (or migrated away).
+        """
+        cls = self._classes.get(type_name)
+        if cls is None:
+            raise OperationRejected(
+                "DC", f"type {type_name!r} has no associated class"
+            )
+        members = cls.members()
+        if migrate_to is not None:
+            from ..propagation.migration import Migrator
+
+            Migrator(self).migrate_extent(type_name, migrate_to)
+            members = cls.members()  # anything migration left behind
+        for oid in members:
+            self._objects.pop(oid, None)
+        del self._classes[type_name]
+        self._objects.pop(cls.oid, None)
+        return members
+
+    def _reify_type(self, name: str) -> TypeObject:
+        type_object = TypeObject(self._oids.allocate(), name, self.lattice)
+        self._type_objects[name] = type_object
+        self._objects[type_object.oid] = type_object
+        return type_object
+
+    # ------------------------------------------------------------------
+    # Collections (AL / DL)
+    # ------------------------------------------------------------------
+
+    def add_collection(
+        self, name: str, member_type: str = "T_object"
+    ) -> CollectionObject:
+        """AL: create a new, empty, user-managed collection."""
+        if name in self._collections:
+            raise OperationRejected("AL", f"collection {name!r} already exists")
+        if member_type not in self.lattice:
+            raise UnknownTypeError(member_type)
+        collection = CollectionObject(
+            self._oids.allocate(), name, member_type=member_type
+        )
+        self._collections[name] = collection
+        self._objects[collection.oid] = collection
+        return collection
+
+    def drop_collection(self, name: str) -> CollectionObject:
+        """DL: drop a collection.  "Unlike classes, dropping a collection
+        does not drop its members." """
+        collection = self._collections.pop(name, None)
+        if collection is None:
+            raise OperationRejected("DL", f"no collection named {name!r}")
+        self._objects.pop(collection.oid, None)
+        return collection
+
+    # ------------------------------------------------------------------
+    # Instances and behavioral dispatch
+    # ------------------------------------------------------------------
+
+    def create_object(self, type_name: str, **slots: Any) -> TigukatObject:
+        """AO: create an instance through the class of ``type_name``.
+
+        "Object creation occurs only through classes."  Keyword arguments
+        pre-populate stored behaviors by *behavior name* (checked against
+        the type's interface).
+        """
+        cls = self.class_of(type_name)
+        if cls is None:
+            raise OperationRejected(
+                "AO",
+                f"type {type_name!r} has no associated class; "
+                f"instances cannot be created",
+            )
+        obj = TigukatObject(self._oids.allocate(), type_name)
+        self._objects[obj.oid] = obj
+        cls.insert(obj.oid)
+        for name, value in slots.items():
+            self.apply(obj, name, value)
+        return obj
+
+    def delete_object(self, oid: Oid) -> None:
+        """DO: delete an application instance."""
+        obj = self.get(oid)
+        if not type(obj) is TigukatObject:
+            raise OperationRejected(
+                "DO", "modeling constructs are dropped via their own operations"
+            )
+        cls = self._classes.get(obj.type_name)
+        if cls is not None:
+            cls.remove(oid)
+        del self._objects[oid]
+
+    def extent(self, type_name: str, deep: bool = True) -> frozenset[Oid]:
+        """The extent of a type: its class members, plus (when ``deep``)
+        the members of every subtype's class (inclusion polymorphism)."""
+        if type_name not in self.lattice:
+            raise UnknownTypeError(type_name)
+        names = {type_name}
+        if deep:
+            names |= self.lattice.all_subtypes(type_name)
+        out: set[Oid] = set()
+        for n in names:
+            cls = self._classes.get(n)
+            if cls is not None:
+                out.update(cls.members())
+        return frozenset(out)
+
+    def resolve_behavior(
+        self, type_name: str, name_or_semantics: str
+    ) -> Behavior:
+        """Resolve a behavior reference within a type's interface.
+
+        Accepts either the exact semantics key or the behavior's
+        application name.  A name shared by several distinct behaviors in
+        the interface raises :class:`AmbiguousBehaviorError`.
+        """
+        interface = self.lattice.interface(type_name)
+        by_semantics = {p.semantics: p for p in interface}
+        if name_or_semantics in by_semantics:
+            return self.behavior(name_or_semantics)
+        candidates = [
+            p for p in interface if p.name == name_or_semantics
+        ]
+        if not candidates:
+            raise DispatchError(
+                f"type {type_name!r} has no behavior {name_or_semantics!r} "
+                f"in its interface"
+            )
+        if len(candidates) > 1:
+            raise AmbiguousBehaviorError(
+                f"name {name_or_semantics!r} denotes "
+                f"{sorted(p.semantics for p in candidates)} in the "
+                f"interface of {type_name!r}; use the semantics key"
+            )
+        return self.behavior(candidates[0].semantics)
+
+    def _linearize(self, type_name: str) -> list[str]:
+        """Most-specific-first ordering of ``PL(t)`` for implementation
+        lookup: the receiver type, then supertypes by decreasing depth
+        (later in the lattice's topological order = more specific).
+
+        Cached per (type, lattice generation): dispatch is the hot path
+        of a behavioral objectbase, and the linearization only changes
+        when the schema does.
+        """
+        generation = self.lattice.generation
+        cached = self._linearizations.get(type_name)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        members = self.lattice.pl(type_name)
+        order = self.lattice.derivation.order
+        rank = {t: i for i, t in enumerate(order)}
+        ranked = sorted(members, key=lambda t: rank[t], reverse=True)
+        ranked.remove(type_name)
+        result = [type_name, *ranked]
+        self._linearizations[type_name] = (generation, result)
+        return result
+
+    def lookup_implementation(
+        self, type_name: str, behavior: Behavior
+    ) -> tuple[str, Function] | None:
+        """Late binding: the most specific implementation of ``behavior``
+        applicable to ``type_name`` (the overriding type and the
+        function), or ``None``."""
+        for candidate in self._linearize(type_name):
+            f_oid = behavior.implementation_for(candidate)
+            if f_oid is not None:
+                return candidate, self._functions[f_oid]
+        return None
+
+    def apply(
+        self,
+        receiver: TigukatObject | Oid,
+        behavior_name: str,
+        *args: Any,
+    ) -> Any:
+        """Apply a behavior to a receiver: the paper's ``o.b`` dot notation.
+
+        Resolution: the behavior must be in the interface of the
+        receiver's type (the axiomatic ``I(t)``); the implementation is
+        late-bound through the supertype linearization; argument values
+        are conformance-checked against the signature.
+        """
+        if isinstance(receiver, Oid):
+            receiver = self.get(receiver)
+        behavior = self.resolve_behavior(receiver.type_name, behavior_name)
+        sig = behavior.signature
+        if args and sig.argument_types:
+            if len(args) != sig.arity:
+                raise DispatchError(
+                    f"{behavior} expects {sig.arity} arguments, got {len(args)}"
+                )
+            for value, expected in zip(args, sig.argument_types):
+                if not self.conforms_value(value, expected):
+                    raise DispatchError(
+                        f"argument {value!r} does not conform to {expected}"
+                    )
+        found = self.lookup_implementation(receiver.type_name, behavior)
+        if found is None:
+            raise DispatchError(
+                f"behavior {behavior} has no implementation reachable from "
+                f"type {receiver.type_name!r}"
+            )
+        __, function = found
+        return function.invoke(self, receiver, *args)
+
+    def conforms_value(self, value: Any, type_name: str) -> bool:
+        """Whether a runtime value conforms to a type reference.
+
+        TIGUKAT objects use lattice subtyping; raw Python values are
+        checked against the atomic types of Figure 2; ``T_object``
+        accepts anything.
+        """
+        if type_name == "T_object":
+            return True
+        if isinstance(value, TigukatObject):
+            return self.lattice.is_subtype(value.type_name, type_name)
+        if type_name == "T_collection":
+            # Raw Python sequences stand in for transient collections
+            # (the primitive B_new signature takes two of them).
+            return isinstance(value, (tuple, list, set, frozenset))
+        checker = _ATOMIC_CONFORMANCE.get(type_name)
+        if checker is not None:
+            return checker(value)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"Objectbase(types={len(self._type_objects)}, "
+            f"behaviors={len(self._behaviors)}, "
+            f"functions={len(self._functions)}, "
+            f"classes={len(self._classes)}, "
+            f"objects={len(self._objects)})"
+        )

@@ -1,0 +1,98 @@
+"""Type objects: instances of ``T_type`` wrapping axiomatic lattice types.
+
+"The uniformity of TIGUKAT dictates that types are modeled as objects.
+The primitive type T_type defines the behaviors of types.  The behaviors
+related to schema evolution include B_supertypes, B_super-lattice,
+B_interface, B_native, and B_inherited" (Section 3.1).
+
+:class:`TypeObject` holds no lattice state of its own — every schema
+query delegates to the axiomatic :class:`~repro.core.lattice.TypeLattice`
+so there is exactly one source of truth, which is the reduction claim of
+the paper made structural: the TIGUKAT behaviors *are* the axiomatic
+terms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.identity import Oid
+from ..core.properties import Property
+from .objects import TigukatObject
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.lattice import TypeLattice
+
+__all__ = ["TypeObject"]
+
+
+class TypeObject(TigukatObject):
+    """A first-class type object.
+
+    Parameters
+    ----------
+    oid:
+        Identity of the type object itself.
+    name:
+        The reference of the lattice type this object reifies.
+    lattice:
+        The axiomatic lattice all behaviors delegate to.
+    """
+
+    __slots__ = ("_name", "_lattice")
+
+    def __init__(self, oid: Oid, name: str, lattice: "TypeLattice") -> None:
+        super().__init__(oid, "T_type")
+        self._name = name
+        self._lattice = lattice
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def exists(self) -> bool:
+        """Whether the underlying lattice type still exists (a dropped
+        type leaves dangling type objects invalid, never wrong)."""
+        return self._name in self._lattice
+
+    # -- the five schema-evolution behaviors of Section 3.1 -------------
+
+    def b_supertypes(self) -> frozenset[str]:
+        """``B_supertypes``: "returns the immediate supertypes of [the]
+        receiver type" — the axiomatic ``P(t)``."""
+        return self._lattice.p(self._name)
+
+    def b_super_lattice(self) -> tuple[str, ...]:
+        """``B_super-lattice``: "a partially ordered collection of types
+        representing the supertype lattice pointed at the receiver type
+        and rooted at T_object" — ``PL(t)``, topologically ordered from
+        the root down."""
+        members = self._lattice.pl(self._name)
+        order = self._lattice.derivation.order
+        return tuple(t for t in order if t in members)
+
+    def b_interface(self) -> frozenset[Property]:
+        """``B_interface``: the axiomatic ``I(t)``."""
+        return self._lattice.interface(self._name)
+
+    def b_native(self) -> frozenset[Property]:
+        """``B_native``: the axiomatic ``N(t)``."""
+        return self._lattice.n(self._name)
+
+    def b_inherited(self) -> frozenset[Property]:
+        """``B_inherited``: the axiomatic ``H(t)``."""
+        return self._lattice.h(self._name)
+
+    def b_subtypes(self) -> frozenset[str]:
+        """``B_subtypes``: "the inverse operation of the supertypes
+        property" — used by DT to find the types whose ``Pe`` must be
+        cleaned."""
+        return self._lattice.subtypes(self._name)
+
+    def conforms_to(self, other: str) -> bool:
+        """Inclusion polymorphism: does this type conform to ``other``?"""
+        return self._lattice.is_subtype(self._name, other)
+
+    def __str__(self) -> str:
+        return self._name

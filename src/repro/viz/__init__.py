@@ -1,0 +1,24 @@
+"""Rendering: ASCII/DOT lattice views and the paper's tables as text."""
+
+from .ascii_art import render_diff, render_lattice, render_levels, render_type_card
+from .dot import to_dot
+from .tables import (
+    format_table,
+    render_comparison,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "render_lattice",
+    "render_diff",
+    "render_levels",
+    "render_type_card",
+    "to_dot",
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_comparison",
+]

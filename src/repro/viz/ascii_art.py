@@ -1,0 +1,117 @@
+"""ASCII rendering of type lattices (Figures 1 and 2 regenerated).
+
+The Section 5 display claim — "a user would only need to see the minimal
+subtype relationships in order to understand the complete functionality
+of a type" — is reflected in the default: lattices render through the
+derived ``P`` edges (the transitive reduction), not the raw ``Pe``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.lattice import TypeLattice
+
+__all__ = ["render_lattice", "render_levels", "render_type_card", "render_diff"]
+
+
+def render_lattice(
+    lattice: "TypeLattice",
+    root: str | None = None,
+    use_essential: bool = False,
+    max_depth: int = 30,
+) -> str:
+    """Indented downward tree from the root; shared subtrees repeat with
+    an ellipsis marker after their first expansion."""
+    start = root if root is not None else (lattice.root or _pick_root(lattice))
+    if start is None:
+        return "(empty lattice)"
+    lines: list[str] = []
+    expanded: set[str] = set()
+
+    def children(t: str) -> list[str]:
+        if use_essential:
+            return sorted(lattice.essential_subtypes(t))
+        return sorted(lattice.subtypes(t))
+
+    def walk(t: str, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "" if not prefix and not lines else ("└── " if is_last else "├── ")
+        marker = ""
+        first_time = t not in expanded
+        if not first_time:
+            marker = " (…)"
+        lines.append(f"{prefix}{connector}{t}{marker}")
+        if not first_time or depth >= max_depth:
+            return
+        expanded.add(t)
+        kids = children(t)
+        extension = "    " if is_last or not prefix and len(lines) == 1 else "│   "
+        child_prefix = prefix + ("" if not prefix and len(lines) == 1 else extension)
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix, i == len(kids) - 1, depth + 1)
+
+    walk(start, "", True, 0)
+    return "\n".join(lines)
+
+
+def _pick_root(lattice: "TypeLattice") -> str | None:
+    roots = sorted(t for t in lattice.types() if not lattice.p(t))
+    return roots[0] if roots else None
+
+
+def render_levels(lattice: "TypeLattice") -> str:
+    """The lattice by depth level (root at top, base at bottom) — the
+    layout of the paper's Figure 1."""
+    from ..core.soundness import Oracle
+
+    strata = Oracle(lattice).strata()
+    width = max(
+        (len("   ".join(sorted(level))) for level in strata), default=0
+    )
+    lines: list[str] = []
+    for level in strata:
+        row = "   ".join(sorted(level))
+        lines.append(row.center(width))
+    return "\n".join(lines)
+
+
+def render_type_card(lattice: "TypeLattice", type_name: str) -> str:
+    """A one-type summary card showing every term of Table 1."""
+    lines = [
+        f"type {type_name}",
+        f"  Pe(t) = {sorted(lattice.pe(type_name))}",
+        f"  P(t)  = {sorted(lattice.p(type_name))}",
+        f"  PL(t) = {sorted(lattice.pl(type_name))}",
+        f"  Ne(t) = {sorted(str(p) for p in lattice.ne(type_name))}",
+        f"  N(t)  = {sorted(str(p) for p in lattice.n(type_name))}",
+        f"  H(t)  = {sorted(str(p) for p in lattice.h(type_name))}",
+        f"  I(t)  = {sorted(str(p) for p in lattice.interface(type_name))}",
+    ]
+    return "\n".join(lines)
+
+
+def render_diff(diff) -> str:
+    """Human-oriented rendering of a :class:`~repro.core.minimality.LatticeDiff`.
+
+    Structured like a code review: type-level adds/removes first, then
+    per-type supertype and interface deltas with +/- markers.
+    """
+    if diff.identical:
+        return "(no differences)"
+    lines: list[str] = []
+    for t in sorted(diff.only_left):
+        lines.append(f"- type {t}")
+    for t in sorted(diff.only_right):
+        lines.append(f"+ type {t}")
+    for t, (left, right) in sorted(diff.edge_changes.items()):
+        for s in sorted(left - right):
+            lines.append(f"  {t}: - supertype {s}")
+        for s in sorted(right - left):
+            lines.append(f"  {t}: + supertype {s}")
+    for t, (left, right) in sorted(diff.interface_changes.items()):
+        for p in sorted(left - right):
+            lines.append(f"  {t}: - behavior {p}")
+        for p in sorted(right - left):
+            lines.append(f"  {t}: + behavior {p}")
+    return "\n".join(lines)

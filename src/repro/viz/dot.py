@@ -1,0 +1,46 @@
+"""Graphviz DOT output for lattices (minimal or essential edge views)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.lattice import TypeLattice
+
+__all__ = ["to_dot"]
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(
+    lattice: "TypeLattice",
+    use_essential: bool = False,
+    highlight: frozenset[str] | set[str] = frozenset(),
+    name: str = "lattice",
+) -> str:
+    """The lattice as a DOT digraph (subtype → supertype arrows, matching
+    the paper's arrow convention: tail = subtype, head = supertype).
+
+    ``use_essential=False`` (default) draws the minimal ``P`` edges —
+    the Section 5 recommendation for lattice display.  ``highlight``
+    marks types (e.g. those touched by the last operation).
+    """
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=BT;",
+        '  node [shape=box, fontname="Helvetica"];',
+    ]
+    for t in sorted(lattice.types()):
+        attrs = ""
+        if t in highlight:
+            attrs = ' [style=filled, fillcolor="lightgrey"]'
+        lines.append(f"  {_quote(t)}{attrs};")
+    for t in sorted(lattice.types()):
+        supers = lattice.pe(t) if use_essential else lattice.p(t)
+        for s in sorted(supers):
+            lines.append(f"  {_quote(t)} -> {_quote(s)};")
+    lines.append("}")
+    return "\n".join(lines)

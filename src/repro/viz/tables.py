@@ -1,0 +1,151 @@
+"""Programmatic regeneration of the paper's Tables 1-3 and the Section 5
+comparison, as formatted text.
+
+Each ``render_*`` function reproduces one table from live library state
+(not hard-coded prose): Table 1 walks the axiomatic terms, Table 2 prints
+the registered axioms with their formulas and current status on a given
+lattice, Table 3 is rendered from the operation registry of
+:mod:`repro.tigukat.evolution`, and the comparison table from
+:func:`repro.systems.compare_systems`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TYPE_CHECKING
+
+from ..core.axioms import ALL_AXIOMS
+from ..tigukat.evolution import OPERATION_TABLE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.lattice import TypeLattice
+    from ..systems.base import ReducibleSystem
+
+__all__ = [
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_comparison",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Plain monospace table with column sizing and a header rule."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    rule = "-+-".join("-" * w for w in widths)
+    return "\n".join([line(headers), rule, *map(line, rows)])
+
+
+#: Table 1's term descriptions, keyed by the notation.
+_TABLE1_TERMS: tuple[tuple[str, str], ...] = (
+    ("T", "The lattice of all types in the system."),
+    ("s, t, ⊤, ⊥", "Type elements of T."),
+    ("P(t)", "Immediate supertypes of type t."),
+    ("Pe(t)", "Essential supertypes of type t."),
+    ("PL(t)", "Supertype lattice of type t."),
+    ("N(t)", "Native properties of type t."),
+    ("H(t)", "Inherited properties of type t."),
+    ("Ne(t)", "Essential properties of type t."),
+    ("I(t)", "Interface of type t."),
+    ("α_x(f, T')", "Apply-all operation."),
+)
+
+
+def render_table1(lattice: "TypeLattice | None" = None,
+                  example_type: str | None = None) -> str:
+    """Table 1 (notation), optionally instantiated on a concrete type."""
+    rows: list[list[str]] = []
+    for term, description in _TABLE1_TERMS:
+        row = [term, description]
+        if lattice is not None and example_type is not None:
+            row.append(_example_value(lattice, example_type, term))
+        rows.append(row)
+    headers = ["Term", "Description"]
+    if lattice is not None and example_type is not None:
+        headers.append(f"Value at t = {example_type}")
+    return format_table(headers, rows)
+
+
+def _example_value(lattice: "TypeLattice", t: str, term: str) -> str:
+    if term == "T":
+        return f"|T| = {len(lattice)}"
+    if term.startswith("s, t"):
+        return f"⊤={lattice.root or '—'}, ⊥={lattice.base or '—'}"
+    value = {
+        "P(t)": lambda: sorted(lattice.p(t)),
+        "Pe(t)": lambda: sorted(lattice.pe(t)),
+        "PL(t)": lambda: sorted(lattice.pl(t)),
+        "N(t)": lambda: sorted(str(p) for p in lattice.n(t)),
+        "H(t)": lambda: sorted(str(p) for p in lattice.h(t)),
+        "Ne(t)": lambda: sorted(str(p) for p in lattice.ne(t)),
+        "I(t)": lambda: sorted(str(p) for p in lattice.interface(t)),
+    }.get(term)
+    if value is None:
+        return "(operator)"
+    return "{" + ", ".join(value()) + "}"
+
+
+def render_table2(lattice: "TypeLattice | None" = None) -> str:
+    """Table 2 (the axioms), optionally with their status on a lattice."""
+    rows: list[list[str]] = []
+    for axiom in ALL_AXIOMS:
+        row = [
+            str(axiom.number),
+            axiom.name + (" (relaxable)" if axiom.relaxable else ""),
+            axiom.formula,
+        ]
+        if lattice is not None:
+            violations = axiom.check(lattice)
+            row.append("holds" if not violations else f"{len(violations)} violation(s)")
+        rows.append(row)
+    headers = ["#", "Axiom", "Formula"]
+    if lattice is not None:
+        headers.append("Status")
+    return format_table(headers, rows)
+
+
+def render_table3() -> str:
+    """Table 3 (classification of schema changes), from the registry.
+
+    Bold (schema evolution) entries render with ``**``, emphasized
+    (non-schema) entries in plain text — matching the paper's typography.
+    """
+    # The paper's category letters (Collection is L, not C).
+    letters = {
+        "Type": "T", "Class": "C", "Behavior": "B",
+        "Function": "F", "Collection": "L", "Other": "O",
+    }
+    categories = ["Type", "Class", "Behavior", "Function", "Collection", "Other"]
+    kinds = ["Add", "Drop", "Modify"]
+    rows: list[list[str]] = []
+    for category in categories:
+        row = [f"{category} ({letters[category]})"]
+        for kind in kinds:
+            cells = [
+                str(e) for e in OPERATION_TABLE
+                if e.category == category and e.kind == kind
+            ]
+            row.append("; ".join(cells))
+        rows.append(row)
+    return format_table(["Objects", "Add (A)", "Drop (D)", "Modify (M)"], rows)
+
+
+def render_comparison(*systems: "ReducibleSystem") -> str:
+    """The Section 5 comparison as a flags × systems table."""
+    from ..systems.base import compare_systems
+
+    table = compare_systems(*systems)
+    names = [s.profile.name for s in systems]
+    rows = [
+        [flag, *("yes" if table[flag].get(n) else "no" for n in names)]
+        for flag in table
+    ]
+    return format_table(["capability", *names], rows)

@@ -1,0 +1,66 @@
+"""Tests for the empirical complexity study helpers."""
+
+from repro.analysis import (
+    LatticeSpec,
+    lattice_metrics,
+    measure_axiom_costs,
+    measure_conflict_scan,
+    measure_derivation_scaling,
+    random_lattice,
+)
+
+
+class TestDerivationScaling:
+    def test_rows_cover_sizes(self):
+        rows = measure_derivation_scaling(sizes=(10, 30), repeats=1)
+        assert [r.n_types for r in rows] == [10, 30]
+        assert all(r.full_seconds > 0 for r in rows)
+        assert all(r.incremental_seconds > 0 for r in rows)
+
+    def test_speedup_property(self):
+        rows = measure_derivation_scaling(sizes=(50,), repeats=1)
+        assert rows[0].speedup == (
+            rows[0].full_seconds / rows[0].incremental_seconds
+        )
+
+
+class TestAxiomCosts:
+    def test_all_nine_measured(self):
+        costs = measure_axiom_costs(n_types=40, repeats=1)
+        assert len(costs) == 9
+        assert {name for name, __ in costs} == {
+            "Closure", "Acyclicity", "Rootedness", "Pointedness",
+            "Supertypes", "Supertype Lattice", "Interface",
+            "Nativeness", "Inheritance",
+        }
+        assert all(seconds >= 0 for __, seconds in costs)
+
+
+class TestConflictScan:
+    def test_minimal_and_full_agree(self):
+        rows = measure_conflict_scan(n_types=60, repeats=1, sample=6)
+        assert rows
+        assert all(r.agree for r in rows)
+
+    def test_minimal_touches_fewer_types(self):
+        rows = measure_conflict_scan(n_types=60, repeats=1, sample=6)
+        assert all(r.p_size <= r.pl_size for r in rows)
+        # Deep types genuinely separate P from PL:
+        assert any(r.p_size + 1 < r.pl_size for r in rows)
+
+
+class TestMetrics:
+    def test_metrics_consistency(self):
+        lat = random_lattice(LatticeSpec(n_types=30, seed=1))
+        m = lattice_metrics(lat)
+        assert m.n_types == len(lat)
+        assert 0 <= m.edge_reduction <= 1
+        assert m.minimal_edges <= m.essential_edges
+        assert len(m.rows()) == 8
+
+    def test_empty_lattice_metrics(self):
+        from repro.core import LatticePolicy, TypeLattice
+
+        m = lattice_metrics(TypeLattice(LatticePolicy.forest()))
+        assert m.n_types == 0
+        assert m.edge_reduction == 0.0

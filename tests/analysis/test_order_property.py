@@ -1,0 +1,86 @@
+"""Property-based form of the Section 5 order-independence theorem:
+for ANY TIGUKAT lattice and ANY multiset of essential-supertype drops,
+every application order yields the same derived lattice."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LatticeSpec, random_lattice
+from repro.analysis.compare import _tigukat_final_state
+from repro.core import SchemaError
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    n_drops=st.integers(min_value=2, max_value=6),
+    perm_seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_any_drop_order_same_lattice(seed, n_drops, perm_seed):
+    lattice = random_lattice(LatticeSpec(n_types=12, seed=seed))
+    edges = [
+        (t, s)
+        for t in sorted(lattice.types())
+        if t not in (lattice.root, lattice.base)
+        for s in sorted(lattice.pe(t))
+        if s != lattice.root
+    ]
+    rng = random.Random(perm_seed)
+    rng.shuffle(edges)
+    drops = edges[:n_drops]
+    if not drops:
+        return
+    baseline = _tigukat_final_state(lattice, drops)
+    for __ in range(3):
+        order = drops[:]
+        rng.shuffle(order)
+        assert _tigukat_final_state(lattice, order) == baseline
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    perm_seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_mixed_operation_commutativity_on_disjoint_targets(seed, perm_seed):
+    """Operations on disjoint Pe sets commute: applying them in any order
+    gives the same derived lattice (path independence, generalized)."""
+    from repro.core import prop
+
+    lattice = random_lattice(LatticeSpec(n_types=10, seed=seed))
+    targets = sorted(
+        t for t in lattice.types() if t not in (lattice.root, lattice.base)
+    )[:4]
+    if len(targets) < 2:
+        return
+    ops = [
+        ("drop_edge", targets[0]),
+        ("add_prop", targets[1]),
+        ("drop_prop", targets[2 % len(targets)]),
+    ]
+
+    def apply_in(order):
+        lat = lattice.copy()
+        for kind, t in order:
+            try:
+                if kind == "drop_edge":
+                    supers = sorted(lat.pe(t) - {lat.root})
+                    if supers:
+                        lat.drop_essential_supertype(t, supers[0])
+                elif kind == "add_prop":
+                    lat.add_essential_property(t, prop("commute.p"))
+                elif kind == "drop_prop":
+                    props = sorted(lat.ne(t))
+                    if props:
+                        lat.drop_essential_property(t, props[0])
+            except SchemaError:
+                continue
+        return lat.derived_fingerprint()
+
+    rng = random.Random(perm_seed)
+    baseline = apply_in(ops)
+    shuffled = ops[:]
+    rng.shuffle(shuffled)
+    assert apply_in(shuffled) == baseline

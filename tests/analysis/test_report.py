@@ -1,0 +1,36 @@
+"""Tests for the one-command reproduction report."""
+
+from repro.analysis.report import generate_report, main
+
+
+class TestReport:
+    def test_generates_index_and_artifacts(self, tmp_path):
+        index = generate_report(tmp_path / "out")
+        assert index.name == "REPORT.md"
+        text = index.read_text()
+        for artifact in (
+            "table1_notation.txt",
+            "table2_axioms.txt",
+            "table3_classification.txt",
+            "figure1_lattice.txt",
+            "figure2_primitive.txt",
+            "soundness.txt",
+            "orion_reduction.txt",
+            "order_independence.txt",
+            "complexity_scaling.txt",
+            "propagation_crossover.txt",
+        ):
+            assert artifact in text
+            assert (tmp_path / "out" / artifact).exists()
+
+    def test_index_reports_the_headline_shapes(self, tmp_path):
+        text = generate_report(tmp_path / "out").read_text()
+        assert "TIGUKAT 0%" in text
+        assert "sound and complete" in text
+        assert "equivalent=True" in text
+        assert "counterexample diverged=True" in text
+
+    def test_main_entrypoint(self, tmp_path, capsys):
+        assert main([str(tmp_path / "cli_out")]) == 0
+        out = capsys.readouterr().out
+        assert "REPORT.md" in out

@@ -1,0 +1,96 @@
+"""Tests for the workload generators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    LatticeSpec,
+    droppable_edges,
+    random_evolution_program,
+    random_lattice,
+    random_orion_pair,
+)
+from repro.core import SchemaError, check_all, verify
+from repro.orion import check_invariants, check_equivalent
+
+
+class TestRandomLattice:
+    def test_deterministic_in_seed(self):
+        a = random_lattice(LatticeSpec(n_types=30, seed=42))
+        b = random_lattice(LatticeSpec(n_types=30, seed=42))
+        assert a.state_fingerprint() == b.state_fingerprint()
+
+    def test_different_seeds_differ(self):
+        a = random_lattice(LatticeSpec(n_types=30, seed=1))
+        b = random_lattice(LatticeSpec(n_types=30, seed=2))
+        assert a.state_fingerprint() != b.state_fingerprint()
+
+    def test_requested_size(self):
+        lat = random_lattice(LatticeSpec(n_types=25, seed=0))
+        assert len(lat) == 25 + 2  # plus root and base
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_always_valid(self, seed):
+        lat = random_lattice(LatticeSpec(n_types=20, seed=seed))
+        assert check_all(lat) == []
+        assert verify(lat).ok
+
+    def test_extra_essentials_create_dominated_edges(self):
+        lat = random_lattice(
+            LatticeSpec(n_types=40, seed=5, extra_essential_prob=0.8)
+        )
+        dominated = sum(
+            len(lat.pe(t)) - len(lat.p(t)) for t in lat.types()
+        )
+        assert dominated > 0
+
+
+class TestRandomOrionPair:
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_pair_is_equivalent_and_valid(self, seed):
+        native, reduced = random_orion_pair(LatticeSpec(n_types=15, seed=seed))
+        assert check_invariants(native.db) == []
+        report = check_equivalent(native.db, reduced)
+        assert report.equivalent, str(report)
+
+    def test_droppable_edges_are_real(self):
+        native, __ = random_orion_pair(LatticeSpec(n_types=20, seed=3))
+        for c, s in droppable_edges(native, 10, seed=4):
+            assert s in native.db.get(c).superclasses
+
+
+class TestEvolutionProgram:
+    def test_program_is_deterministic(self):
+        lat = random_lattice(LatticeSpec(n_types=20, seed=9))
+        p1 = random_evolution_program(lat, 30, seed=1)
+        p2 = random_evolution_program(lat, 30, seed=1)
+        assert p1 == p2
+
+    def test_program_executes_preserving_axioms(self):
+        lat = random_lattice(LatticeSpec(n_types=20, seed=9))
+        program = random_evolution_program(lat, 50, seed=2)
+        accepted = 0
+        for step in program:
+            kind, *args = step
+            try:
+                if kind == "add_type":
+                    name, supers = args
+                    lat.add_type(name, supertypes=[s for s in supers if s in lat])
+                elif kind == "drop_type":
+                    lat.drop_type(args[0])
+                elif kind == "add_edge":
+                    lat.add_essential_supertype(*args)
+                elif kind == "drop_edge":
+                    lat.drop_essential_supertype(*args)
+                elif kind == "add_prop":
+                    lat.add_essential_property(*args)
+                elif kind == "drop_prop":
+                    lat.drop_essential_property(*args)
+                accepted += 1
+            except SchemaError:
+                continue
+        assert accepted > 0
+        assert check_all(lat) == []
+        assert verify(lat).ok

@@ -1,0 +1,60 @@
+"""Tests for the canonical topology zoo."""
+
+import pytest
+
+from repro.analysis import ZOO, build_topology
+from repro.core import check_all, verify
+from repro.core.minimality import essential_edge_count, minimal_edge_count
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+class TestEveryTopology:
+    def test_valid_lattice(self, name):
+        lat = build_topology(name, 25)
+        assert check_all(lat) == []
+        assert verify(lat).ok
+
+    def test_deterministic(self, name):
+        assert (
+            build_topology(name, 20).state_fingerprint()
+            == build_topology(name, 20).state_fingerprint()
+        )
+
+    def test_scales_with_n(self, name):
+        small = build_topology(name, 10)
+        large = build_topology(name, 40)
+        assert len(large) > len(small)
+
+
+class TestShapes:
+    def test_chain_depth(self):
+        lat = build_topology("chain", 20)
+        assert len(lat.pl("t0019")) == 21  # 20 chain members + root
+
+    def test_star_fanout(self):
+        lat = build_topology("star", 20)
+        assert len(lat.subtypes("hub")) == 19
+
+    def test_binary_tree_parents(self):
+        lat = build_topology("binary-tree", 15)
+        assert lat.p("t0014") == {"t0006"}
+        assert lat.p("t0001") == {"t0000"}
+
+    def test_diamond_stack_joins(self):
+        lat = build_topology("diamond-stack", 10)
+        assert lat.p("j0001") == {"l0001", "r0001"}
+        # The apex of each diamond is dominated at the join below it.
+        assert "j0000" in lat.pl("j0001") - lat.p("j0001")
+
+    def test_dense_separation(self):
+        lat = build_topology("dense", 30)
+        # Θ(n²) declared vs Θ(n) minimal.
+        assert essential_edge_count(lat) > 400
+        assert minimal_edge_count(lat) < 100
+        for t in lat.types():
+            if t not in (lat.root, lat.base, "t0000"):
+                assert len(lat.p(t)) == 1
+
+    def test_unknown_topology(self):
+        with pytest.raises(KeyError):
+            build_topology("moebius", 10)

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import LatticePolicy, TypeLattice, build_figure1_lattice, prop
+
+
+@pytest.fixture
+def figure1() -> TypeLattice:
+    """The paper's Figure 1 lattice with the worked-example essentials."""
+    return build_figure1_lattice()
+
+
+@pytest.fixture
+def empty_tigukat() -> TypeLattice:
+    """A fresh TIGUKAT-policy lattice (rooted + pointed)."""
+    return TypeLattice(LatticePolicy.tigukat())
+
+
+@pytest.fixture
+def forest() -> TypeLattice:
+    """A lattice with both relaxable axioms relaxed."""
+    return TypeLattice(LatticePolicy.forest())
+
+
+@pytest.fixture
+def diamond() -> TypeLattice:
+    """A classic diamond: root -> a, b -> c, with properties at each level."""
+    lat = TypeLattice(LatticePolicy.tigukat())
+    lat.add_type("a", properties=[prop("a.p")])
+    lat.add_type("b", properties=[prop("b.p")])
+    lat.add_type("c", supertypes=["a", "b"], properties=[prop("c.p")])
+    return lat

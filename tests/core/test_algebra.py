@@ -1,0 +1,131 @@
+"""Tests for the lattice algebra (meets, joins, bounds)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LatticeSpec, random_lattice
+from repro.core import (
+    UnknownTypeError,
+    build_figure1_lattice,
+    comparable,
+    join,
+    join_unique,
+    lower_bounds,
+    meet,
+    meet_unique,
+    upper_bounds,
+)
+from repro.core.algebra import is_subtype
+
+
+@pytest.fixture
+def lat():
+    return build_figure1_lattice()
+
+
+class TestOrder:
+    def test_is_subtype_reflexive(self, lat):
+        for t in lat.types():
+            assert is_subtype(lat, t, t)
+
+    def test_is_subtype_transitive_on_figure1(self, lat):
+        assert is_subtype(lat, "T_teachingAssistant", "T_person")
+        assert is_subtype(lat, "T_teachingAssistant", "T_taxSource")
+        assert not is_subtype(lat, "T_person", "T_teachingAssistant")
+
+    def test_comparable(self, lat):
+        assert comparable(lat, "T_student", "T_person")
+        assert comparable(lat, "T_person", "T_student")
+        assert not comparable(lat, "T_student", "T_employee")
+
+    def test_unknown_types_rejected(self, lat):
+        with pytest.raises(UnknownTypeError):
+            is_subtype(lat, "T_ghost", "T_person")
+        with pytest.raises(UnknownTypeError):
+            upper_bounds(lat, "T_person", "T_ghost")
+
+
+class TestBounds:
+    def test_upper_bounds(self, lat):
+        assert upper_bounds(lat, "T_student", "T_employee") == {
+            "T_person", "T_object"
+        }
+        assert upper_bounds(lat) == frozenset()
+
+    def test_lower_bounds(self, lat):
+        assert lower_bounds(lat, "T_student", "T_employee") == {
+            "T_teachingAssistant", "T_null"
+        }
+
+    def test_single_argument(self, lat):
+        assert upper_bounds(lat, "T_employee") == lat.pl("T_employee")
+        assert "T_employee" in lower_bounds(lat, "T_employee")
+
+
+class TestJoinMeet:
+    def test_join_of_siblings(self, lat):
+        assert join(lat, "T_student", "T_employee") == {"T_person"}
+        assert join_unique(lat, "T_student", "T_employee") == "T_person"
+
+    def test_meet_of_siblings(self, lat):
+        assert meet(lat, "T_student", "T_employee") == {
+            "T_teachingAssistant"
+        }
+        assert meet_unique(lat, "T_student", "T_employee") == (
+            "T_teachingAssistant"
+        )
+
+    def test_join_with_comparable_pair_is_the_upper(self, lat):
+        assert join_unique(lat, "T_student", "T_person") == "T_person"
+        assert meet_unique(lat, "T_student", "T_person") == "T_student"
+
+    def test_join_of_person_and_taxsource_is_root(self, lat):
+        assert join_unique(lat, "T_person", "T_taxSource") == "T_object"
+
+    def test_non_unique_join_returns_none(self, lat):
+        # Build a pair with two incomparable minimal common supertypes.
+        lat.add_type("T_a")
+        lat.add_type("T_b")
+        lat.add_type("T_x", supertypes=["T_a", "T_b"])
+        lat.add_type("T_y", supertypes=["T_a", "T_b"])
+        assert join(lat, "T_x", "T_y") == {"T_a", "T_b"}
+        assert join_unique(lat, "T_x", "T_y") is None
+
+    def test_join_idempotent(self, lat):
+        assert join_unique(lat, "T_student", "T_student") == "T_student"
+
+    def test_meet_on_pointed_lattice_never_empty(self, lat):
+        # ⊥ bounds any pair from below.
+        assert meet(lat, "T_person", "T_taxSource")
+
+
+class TestAlgebraProperties:
+    @given(seed=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=15, deadline=None)
+    def test_bounds_are_bounds(self, seed):
+        lat = random_lattice(LatticeSpec(n_types=12, seed=seed))
+        types = sorted(lat.types())
+        a, b = types[len(types) // 3], types[2 * len(types) // 3]
+        for u in join(lat, a, b):
+            assert is_subtype(lat, a, u) and is_subtype(lat, b, u)
+        for l in meet(lat, a, b):
+            assert is_subtype(lat, l, a) and is_subtype(lat, l, b)
+
+    @given(seed=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=15, deadline=None)
+    def test_join_commutative(self, seed):
+        lat = random_lattice(LatticeSpec(n_types=12, seed=seed))
+        types = sorted(lat.types())
+        a, b = types[1], types[-2]
+        assert join(lat, a, b) == join(lat, b, a)
+        assert meet(lat, a, b) == meet(lat, b, a)
+
+    @given(seed=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=15, deadline=None)
+    def test_rooted_pointed_always_bounded(self, seed):
+        lat = random_lattice(LatticeSpec(n_types=10, seed=seed))
+        types = sorted(lat.types())
+        a, b = types[0], types[-1]
+        assert join(lat, a, b)
+        assert meet(lat, a, b)

@@ -1,0 +1,65 @@
+"""Tests for the apply-all operator α and the extended union."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import apply_all, extended_union, union_apply_all
+
+
+class TestApplyAll:
+    def test_maps_over_elements(self):
+        assert apply_all(lambda x: x + 1, {1, 2, 3}) == {2, 3, 4}
+
+    def test_empty_set_returns_empty_set(self):
+        # "If T' is empty, the empty set is returned."
+        assert apply_all(lambda x: x, set()) == frozenset()
+
+    def test_duplicates_collapse(self):
+        assert apply_all(lambda x: x % 2, {1, 2, 3, 4}) == {0, 1}
+
+    def test_free_variables_stay_constant(self):
+        # Other variables "are substituted with their values and remain
+        # constant throughout the apply-all operation".
+        t = frozenset({"a", "b"})
+        result = apply_all(lambda x: frozenset({x}) | t, {"c"})
+        assert result == {frozenset({"a", "b", "c"})}
+
+
+class TestExtendedUnion:
+    def test_unions_member_sets(self):
+        sets = [frozenset({1, 2}), frozenset({2, 3})]
+        assert extended_union(sets) == {1, 2, 3}
+
+    def test_empty_outer_set(self):
+        # "We define the extended union of the empty set as the empty set."
+        assert extended_union([]) == frozenset()
+
+    def test_empty_member_sets(self):
+        assert extended_union([frozenset(), frozenset()]) == frozenset()
+
+
+class TestUnionApplyAll:
+    def test_composite_form(self):
+        # ⋃ α_x(f, T') as used in Axioms 5, 6, 9.
+        f = lambda x: frozenset(range(x))
+        assert union_apply_all(f, {2, 3}) == {0, 1, 2}
+
+    def test_empty(self):
+        assert union_apply_all(lambda x: frozenset({x}), set()) == frozenset()
+
+    @given(st.sets(st.integers(min_value=0, max_value=20), max_size=10))
+    def test_equivalent_to_flat_comprehension(self, elements):
+        f = lambda x: frozenset(range(x))
+        expected = frozenset(y for x in elements for y in range(x))
+        assert union_apply_all(f, elements) == expected
+
+    @given(
+        st.sets(st.integers(min_value=-50, max_value=50), max_size=30),
+        st.sets(st.integers(min_value=-50, max_value=50), max_size=30),
+    )
+    def test_union_apply_distributes_over_union(self, a, b):
+        # α over a union of index sets equals the union of the αs.
+        f = lambda x: frozenset({x, x * 2})
+        assert union_apply_all(f, a | b) == (
+            union_apply_all(f, a) | union_apply_all(f, b)
+        )

@@ -1,0 +1,147 @@
+"""Tests for the derivation engine (topological pass, incremental mode)."""
+
+import pytest
+
+from repro.core import (
+    CycleError,
+    LatticePolicy,
+    TypeLattice,
+    derive,
+    derive_incremental,
+    prop,
+    topological_order,
+)
+from repro.core.derivation import affected_downset
+
+
+def pe_map(**kwargs):
+    return {k: frozenset(v) for k, v in kwargs.items()}
+
+
+def ne_map(types, **kwargs):
+    return {t: frozenset(kwargs.get(t, ())) for t in types}
+
+
+class TestTopologicalOrder:
+    def test_supertypes_come_first(self):
+        pe = pe_map(top=[], mid=["top"], bot=["mid", "top"])
+        order = topological_order(pe)
+        assert order.index("top") < order.index("mid") < order.index("bot")
+
+    def test_empty_graph(self):
+        assert topological_order({}) == ()
+
+    def test_cycle_detected(self):
+        pe = pe_map(a=["b"], b=["a"])
+        with pytest.raises(CycleError):
+            topological_order(pe)
+
+    def test_self_loop_detected(self):
+        with pytest.raises(CycleError):
+            topological_order(pe_map(a=["a"]))
+
+    def test_deterministic(self):
+        pe = pe_map(top=[], a=["top"], b=["top"], c=["a", "b"])
+        assert topological_order(pe) == topological_order(pe)
+
+    def test_dangling_references_ignored(self):
+        pe = pe_map(a=["ghost"], b=["a"])
+        order = topological_order(pe)
+        assert set(order) == {"a", "b"}
+
+
+class TestDerive:
+    def test_diamond_p_and_pl(self):
+        pe = pe_map(top=[], l=["top"], r=["top"], bot=["l", "r", "top"])
+        ne = ne_map(pe)
+        d = derive(pe, ne)
+        assert d.p["bot"] == {"l", "r"}  # top dominated
+        assert d.pl["bot"] == {"bot", "l", "r", "top"}
+
+    def test_property_flow(self):
+        p_top, p_l = prop("top.p"), prop("l.p")
+        pe = pe_map(top=[], l=["top"], bot=["l"])
+        ne = ne_map(pe, top=[p_top], l=[p_l], bot=[p_top])
+        d = derive(pe, ne)
+        assert d.n["top"] == {p_top}
+        assert d.h["l"] == {p_top}
+        assert d.n["l"] == {p_l}
+        # bot declares p_top essential but inherits it: not native.
+        assert d.n["bot"] == frozenset()
+        assert d.i["bot"] == {p_top, p_l}
+
+    def test_subtypes_inverse(self):
+        pe = pe_map(top=[], a=["top"], b=["top"])
+        d = derive(pe, ne_map(pe))
+        assert d.subtypes("top") == {"a", "b"}
+        assert d.all_subtypes("top") == {"a", "b"}
+
+    def test_fingerprint_stable(self):
+        pe = pe_map(top=[], a=["top"])
+        ne = ne_map(pe, a=[prop("a.p")])
+        assert derive(pe, ne).fingerprint() == derive(pe, ne).fingerprint()
+
+
+class TestAffectedDownset:
+    def test_descendants_are_affected(self):
+        pe = pe_map(top=[], mid=["top"], bot=["mid"], other=["top"])
+        affected = affected_downset(pe, {"mid"})
+        assert affected == {"mid", "bot"}
+
+    def test_dirty_not_in_graph_ignored(self):
+        pe = pe_map(a=[])
+        assert affected_downset(pe, {"ghost"}) == set()
+
+
+class TestDeriveIncremental:
+    def _random_like_lattice(self):
+        lat = TypeLattice(LatticePolicy.tigukat())
+        lat.add_type("a", properties=[prop("a.p")])
+        lat.add_type("b", supertypes=["a"], properties=[prop("b.p")])
+        lat.add_type("c", supertypes=["a"])
+        lat.add_type("d", supertypes=["b", "c"], properties=[prop("d.p")])
+        return lat
+
+    def test_matches_full_after_edge_change(self):
+        lat = self._random_like_lattice()
+        pe0, ne0 = lat._pe_view(), lat._ne_view()
+        before = derive(pe0, ne0)
+        # Simulate dropping b -> a and recomputing incrementally.
+        pe1 = dict(pe0)
+        pe1["b"] = frozenset(s for s in pe1["b"] if s != "a")
+        inc = derive_incremental(before, pe1, ne0, {"b"})
+        full = derive(pe1, ne0)
+        assert inc.fingerprint() == full.fingerprint()
+
+    def test_unaffected_types_reuse_previous_sets(self):
+        lat = self._random_like_lattice()
+        pe0, ne0 = lat._pe_view(), lat._ne_view()
+        before = derive(pe0, ne0)
+        ne1 = dict(ne0)
+        ne1["d"] = ne1["d"] | {prop("d.q")}
+        inc = derive_incremental(before, pe0, ne1, {"d"})
+        # 'a' is above the change: its frozensets are reused identically.
+        assert inc.i["a"] is before.i["a"]
+        assert inc.i["d"] != before.i["d"]
+
+    def test_new_type_is_auto_dirty(self):
+        lat = self._random_like_lattice()
+        pe0, ne0 = lat._pe_view(), lat._ne_view()
+        before = derive(pe0, ne0)
+        pe1 = dict(pe0)
+        pe1["e"] = frozenset({"d", "T_object"})
+        ne1 = dict(ne0)
+        ne1["e"] = frozenset()
+        inc = derive_incremental(before, pe1, ne1, set())
+        assert inc.p["e"] == {"d"}
+
+    def test_dropped_type_disappears(self):
+        lat = self._random_like_lattice()
+        pe0, ne0 = lat._pe_view(), lat._ne_view()
+        before = derive(pe0, ne0)
+        pe1 = {t: s for t, s in pe0.items() if t != "c"}
+        ne1 = {t: s for t, s in ne0.items() if t != "c"}
+        inc = derive_incremental(before, pe1, ne1, {"d", "T_null"})
+        full = derive(pe1, ne1)
+        assert inc.fingerprint() == full.fingerprint()
+        assert "c" not in inc.p

@@ -1,0 +1,100 @@
+"""Coverage for the error hierarchy and policy configuration edges."""
+
+import pytest
+
+from repro.core import (
+    AxiomViolationError,
+    CycleError,
+    DuplicateTypeError,
+    EssentialityDefault,
+    FrozenTypeError,
+    JournalError,
+    LatticePolicy,
+    OperationRejected,
+    PointednessViolationError,
+    RootViolationError,
+    SchemaError,
+    UnknownPropertyError,
+    UnknownTypeError,
+)
+from repro.core.axioms import Violation
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            UnknownTypeError("T_x"),
+            DuplicateTypeError("T_x"),
+            CycleError("T_a", "T_b"),
+            RootViolationError("nope"),
+            PointednessViolationError("nope"),
+            AxiomViolationError([Violation("Closure", "T_x", "detail")]),
+            OperationRejected("OP", "reason"),
+            UnknownPropertyError("p"),
+            FrozenTypeError("T_prim"),
+            JournalError("corrupt"),
+        ],
+        ids=lambda e: type(e).__name__,
+    )
+    def test_all_are_schema_errors(self, exc):
+        assert isinstance(exc, SchemaError)
+
+    def test_unknown_type_is_key_error_too(self):
+        # So dict-style callers can catch KeyError if they prefer.
+        assert isinstance(UnknownTypeError("T_x"), KeyError)
+        assert "T_x" in str(UnknownTypeError("T_x"))
+
+    def test_unknown_property_str(self):
+        assert "p.sem" in str(UnknownPropertyError("p.sem"))
+
+    def test_cycle_error_names_both_ends(self):
+        err = CycleError("T_sub", "T_super")
+        assert err.subtype == "T_sub"
+        assert err.supertype == "T_super"
+        assert "T_sub" in str(err) and "T_super" in str(err)
+
+    def test_operation_rejected_carries_code_and_reason(self):
+        err = OperationRejected("DF", "still implements a behavior")
+        assert err.operation == "DF"
+        assert "DF rejected" in str(err)
+
+    def test_axiom_violation_error_carries_structured_list(self):
+        violations = [
+            Violation("Closure", "T_a", "d1"),
+            Violation("Acyclicity", "T_b", "d2"),
+        ]
+        err = AxiomViolationError(violations)
+        assert err.violations == violations
+        assert "Closure" in str(err) and "Acyclicity" in str(err)
+
+    def test_frozen_type_error_names_the_type(self):
+        assert "T_prim" in str(FrozenTypeError("T_prim"))
+
+
+class TestPolicyFactories:
+    def test_tigukat(self):
+        policy = LatticePolicy.tigukat()
+        assert policy.rooted and policy.pointed
+        assert policy.root_name == "T_object"
+        assert policy.base_name == "T_null"
+
+    def test_orion(self):
+        policy = LatticePolicy.orion()
+        assert policy.rooted and not policy.pointed
+        assert policy.root_name == "OBJECT"
+
+    def test_forest(self):
+        policy = LatticePolicy.forest()
+        assert not policy.rooted and not policy.pointed
+
+    def test_policies_are_frozen(self):
+        with pytest.raises(Exception):
+            LatticePolicy.tigukat().rooted = False  # type: ignore[misc]
+
+    def test_essentiality_values(self):
+        assert EssentialityDefault("explicit") is EssentialityDefault.EXPLICIT
+        assert (
+            EssentialityDefault("all-inherited")
+            is EssentialityDefault.ALL_INHERITED
+        )

@@ -1,0 +1,74 @@
+"""Tests for the naive fixpoint engine: the unsimplified form of the
+axioms must agree with the topological derivation everywhere."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LatticeSpec, random_lattice
+from repro.core import CycleError, build_figure1_lattice, derive, derive_fixpoint
+
+
+def views(lattice):
+    return lattice._pe_view(), lattice._ne_view()
+
+
+class TestFixpointAgreement:
+    def test_on_figure1(self):
+        lattice = build_figure1_lattice()
+        pe, ne = views(lattice)
+        assert derive_fixpoint(pe, ne).fingerprint() == derive(pe, ne).fingerprint()
+
+    def test_on_empty(self):
+        assert derive_fixpoint({}, {}).types() == frozenset()
+
+    def test_on_single_root(self):
+        pe = {"r": frozenset()}
+        ne = {"r": frozenset()}
+        d = derive_fixpoint(pe, ne)
+        assert d.p["r"] == frozenset()
+        assert d.pl["r"] == {"r"}
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_on_random_lattices(self, seed):
+        lattice = random_lattice(LatticeSpec(n_types=15, seed=seed))
+        pe, ne = views(lattice)
+        assert (
+            derive_fixpoint(pe, ne).fingerprint()
+            == derive(pe, ne).fingerprint()
+        )
+
+    def test_convergence_bound_respected(self):
+        # A deep chain needs depth+1 rounds; the default bound admits it.
+        pe = {"t0": frozenset()}
+        ne = {"t0": frozenset()}
+        for i in range(1, 30):
+            pe[f"t{i}"] = frozenset({f"t{i-1}"})
+            ne[f"t{i}"] = frozenset()
+        d = derive_fixpoint(pe, ne)
+        assert len(d.pl["t29"]) == 30
+
+
+class TestFixpointCycleDetection:
+    def test_two_cycle(self):
+        pe = {"a": frozenset({"b"}), "b": frozenset({"a"})}
+        ne = {"a": frozenset(), "b": frozenset()}
+        with pytest.raises(CycleError):
+            derive_fixpoint(pe, ne)
+
+    def test_self_loop(self):
+        pe = {"a": frozenset({"a"})}
+        ne = {"a": frozenset()}
+        with pytest.raises(CycleError):
+            derive_fixpoint(pe, ne)
+
+    def test_cycle_below_valid_portion(self):
+        pe = {
+            "top": frozenset(),
+            "a": frozenset({"top", "b"}),
+            "b": frozenset({"a"}),
+        }
+        ne = {t: frozenset() for t in pe}
+        with pytest.raises(CycleError):
+            derive_fixpoint(pe, ne)

@@ -1,0 +1,146 @@
+"""Tests for the evolution journal (undo/redo/replay/serialization)."""
+
+import pytest
+
+from repro.core import (
+    AddEssentialProperty,
+    AddEssentialSupertype,
+    AddType,
+    DropEssentialSupertype,
+    DropType,
+    EvolutionJournal,
+    JournalError,
+    LatticePolicy,
+    build_figure1_lattice,
+    prop,
+)
+
+
+@pytest.fixture
+def journal():
+    return EvolutionJournal(verify_each_step=True)
+
+
+SCRIPT = [
+    AddType("T_person", properties=(prop("person.name", "name"),)),
+    AddType("T_student", ("T_person",)),
+    AddType("T_employee", ("T_person",), (prop("emp.salary", "salary"),)),
+    AddType("T_ta", ("T_student", "T_employee")),
+    AddEssentialProperty("T_ta", prop("ta.course", "course")),
+    DropEssentialSupertype("T_ta", "T_student"),
+]
+
+
+class TestApply:
+    def test_records_entries(self, journal):
+        journal.apply_all(SCRIPT)
+        assert len(journal) == len(SCRIPT)
+        assert [e.seq for e in journal.entries] == list(range(len(SCRIPT)))
+
+    def test_result_surfaced(self, journal):
+        result = journal.apply(SCRIPT[0])
+        assert result.changed
+        assert journal.entries[0].detail == result.detail
+
+    def test_verify_each_step_catches_corruption(self, journal):
+        journal.apply(SCRIPT[0])
+        # Corrupt behind the journal's back; the next op must detect it.
+        journal.lattice._pe["T_person"].add("T_ghost")
+        journal.lattice.invalidate_cache()
+        from repro.core import AxiomViolationError
+
+        with pytest.raises(AxiomViolationError):
+            journal.apply(SCRIPT[1])
+
+    def test_listeners_called(self, journal):
+        seen = []
+        journal.subscribe(seen.append)
+        journal.apply_all(SCRIPT[:2])
+        assert len(seen) == 2
+        assert seen[0].operation is SCRIPT[0]
+
+
+class TestUndoRedo:
+    def test_undo_reverts_last_operation(self, journal):
+        journal.apply_all(SCRIPT)
+        before = journal.lattice.state_fingerprint()
+        journal.apply(DropType("T_employee"))
+        journal.undo()
+        assert journal.lattice.state_fingerprint() == before
+
+    def test_undo_to_empty(self, journal):
+        journal.apply_all(SCRIPT[:2])
+        journal.undo()
+        journal.undo()
+        assert len(journal) == 0
+        assert journal.lattice.types() == {"T_object", "T_null"}
+
+    def test_undo_past_beginning_raises(self, journal):
+        with pytest.raises(JournalError):
+            journal.undo()
+
+    def test_redo_reapplies(self, journal):
+        journal.apply_all(SCRIPT)
+        after = journal.lattice.state_fingerprint()
+        journal.undo()
+        journal.redo()
+        assert journal.lattice.state_fingerprint() == after
+        assert len(journal) == len(SCRIPT)
+
+    def test_redo_without_undo_raises(self, journal):
+        journal.apply(SCRIPT[0])
+        with pytest.raises(JournalError):
+            journal.redo()
+
+    def test_new_apply_clears_redo(self, journal):
+        journal.apply_all(SCRIPT[:3])
+        journal.undo()
+        journal.apply(AddType("T_other"))
+        with pytest.raises(JournalError):
+            journal.redo()
+
+    def test_interleaved_undo_redo(self, journal):
+        journal.apply_all(SCRIPT)
+        fingerprints = [journal.lattice.state_fingerprint()]
+        journal.undo()
+        journal.undo()
+        journal.redo()
+        journal.redo()
+        assert journal.lattice.state_fingerprint() == fingerprints[0]
+
+
+class TestReplay:
+    def test_replay_reproduces_lattice(self, journal):
+        journal.apply_all(SCRIPT)
+        fresh = journal.replay()
+        assert fresh.state_fingerprint() == journal.lattice.state_fingerprint()
+        assert fresh is not journal.lattice
+
+    def test_replay_detects_divergence(self, journal):
+        journal.apply_all(SCRIPT[:2])
+        journal.lattice.add_type("T_out_of_band")  # not journalled
+        with pytest.raises(JournalError):
+            journal.replay()
+
+
+class TestSerialization:
+    def test_roundtrip_through_dicts(self, journal):
+        journal.apply_all(SCRIPT)
+        records = journal.to_dicts()
+        import json
+
+        records = json.loads(json.dumps(records))  # force plain data
+        restored = EvolutionJournal.from_dicts(
+            records, policy=LatticePolicy.tigukat()
+        )
+        assert (
+            restored.lattice.state_fingerprint()
+            == journal.lattice.state_fingerprint()
+        )
+        assert len(restored) == len(journal)
+
+    def test_wrapping_an_existing_lattice(self):
+        lat = build_figure1_lattice()
+        journal = EvolutionJournal(lattice=lat)
+        journal.apply(DropType("T_taxSource"))
+        assert "T_taxSource" not in lat

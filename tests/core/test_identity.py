@@ -1,0 +1,114 @@
+"""Tests for OIDs and the reference-to-identity indirection."""
+
+import threading
+
+import pytest
+
+from repro.core import Oid, OidGenerator, ReferenceMap
+
+
+class TestOid:
+    def test_equality_and_hash(self):
+        assert Oid("t", 1) == Oid("t", 1)
+        assert Oid("t", 1) != Oid("t", 2)
+        assert Oid("t", 1) != Oid("u", 1)
+        assert len({Oid("t", 1), Oid("t", 1), Oid("t", 2)}) == 2
+
+    def test_ordering_is_deterministic(self):
+        oids = [Oid("b", 2), Oid("a", 9), Oid("b", 1)]
+        assert sorted(oids) == [Oid("a", 9), Oid("b", 1), Oid("b", 2)]
+
+    def test_str(self):
+        assert str(Oid("obj", 7)) == "obj#7"
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            Oid("t", 1).serial = 5  # type: ignore[misc]
+
+
+class TestOidGenerator:
+    def test_allocates_fresh_identities(self):
+        gen = OidGenerator("x")
+        a, b = gen.allocate(), gen.allocate()
+        assert a != b
+        assert a.space == b.space == "x"
+
+    def test_allocate_many(self):
+        gen = OidGenerator()
+        oids = gen.allocate_many(100)
+        assert len(set(oids)) == 100
+
+    def test_allocate_many_negative(self):
+        with pytest.raises(ValueError):
+            OidGenerator().allocate_many(-1)
+
+    def test_thread_safety(self):
+        gen = OidGenerator()
+        results: list[Oid] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [gen.allocate() for _ in range(200)]
+            with lock:
+                results.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == len(results) == 1600
+
+
+class TestReferenceMap:
+    def test_bind_and_resolve(self):
+        refs = ReferenceMap()
+        oid = Oid("t", 1)
+        refs.bind("T_person", oid)
+        assert refs.resolve("T_person") == oid
+        assert "T_person" in refs
+        assert len(refs) == 1
+
+    def test_two_references_one_identity(self):
+        # Paper Section 5: "There may be two different references (with
+        # different names) that refer to the same object."
+        refs = ReferenceMap()
+        oid = Oid("t", 1)
+        refs.bind("T_employee", oid)
+        refs.bind("T_worker", oid)
+        assert refs.resolve("T_employee") == refs.resolve("T_worker")
+        assert refs.names_of(oid) == {"T_employee", "T_worker"}
+
+    def test_duplicate_bind_rejected(self):
+        refs = ReferenceMap()
+        refs.bind("a", Oid("t", 1))
+        with pytest.raises(ValueError):
+            refs.bind("a", Oid("t", 2))
+
+    def test_rebind_moves_reference(self):
+        refs = ReferenceMap()
+        refs.bind("a", Oid("t", 1))
+        refs.rebind("a", Oid("t", 2))
+        assert refs.resolve("a") == Oid("t", 2)
+        assert refs.names_of(Oid("t", 1)) == frozenset()
+
+    def test_unbind(self):
+        refs = ReferenceMap()
+        refs.bind("a", Oid("t", 1))
+        assert refs.unbind("a") == Oid("t", 1)
+        assert "a" not in refs
+        with pytest.raises(KeyError):
+            refs.unbind("a")
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError):
+            ReferenceMap().resolve("nope")
+
+    def test_drop_object_removes_all_names(self):
+        refs = ReferenceMap()
+        oid = Oid("t", 1)
+        refs.bind("a", oid)
+        refs.bind("b", oid)
+        removed = refs.drop_object(oid)
+        assert removed == {"a", "b"}
+        assert len(refs) == 0

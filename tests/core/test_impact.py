@@ -1,0 +1,92 @@
+"""Tests for schema impact analysis (dry-run)."""
+
+import pytest
+
+from repro.core import (
+    AddEssentialProperty,
+    AddEssentialSupertype,
+    AddType,
+    DropEssentialSupertype,
+    DropType,
+    analyze_impact,
+    build_figure1_lattice,
+    prop,
+)
+
+
+@pytest.fixture
+def lat():
+    return build_figure1_lattice()
+
+
+class TestAccepted:
+    def test_never_mutates(self, lat):
+        before = lat.state_fingerprint()
+        analyze_impact(lat, DropType("T_taxSource"))
+        analyze_impact(lat, AddType("T_new"))
+        assert lat.state_fingerprint() == before
+
+    def test_add_type(self, lat):
+        report = analyze_impact(lat, AddType("T_ra", ("T_student",)))
+        assert report.accepted
+        assert report.types_added == {"T_ra"}
+        # Pointedness: P(T_null) changes too (T_ra becomes a new leaf).
+        assert "T_null" in report.affected_types
+
+    def test_drop_supertype_shows_p_and_interface(self, lat):
+        report = analyze_impact(
+            lat, DropEssentialSupertype("T_teachingAssistant", "T_employee")
+        )
+        before, after = report.supertype_changes["T_teachingAssistant"]
+        assert before == {"T_student", "T_employee"}
+        assert after == {"T_student"}
+        gained, lost = report.interface_changes["T_teachingAssistant"]
+        assert prop("employee.salary") in lost
+        assert not gained
+
+    def test_drop_type_adoption_visible(self, lat):
+        report = analyze_impact(lat, DropType("T_taxSource"))
+        assert report.types_removed == {"T_taxSource"}
+        gained, lost = report.interface_changes["T_employee"]
+        assert prop("taxSource.name") in lost
+        assert prop("taxSource.taxBracket") not in lost  # adopted, stays
+
+    def test_noop_detected(self, lat):
+        # Declaring an already-inherited property essential changes Ne
+        # but no derived term.
+        report = analyze_impact(
+            lat,
+            AddEssentialProperty("T_student", prop("person.name")),
+        )
+        assert report.accepted
+        assert report.is_noop
+        assert report.summary() == "no derived change"
+
+    def test_affected_types_cover_subtypes(self, lat):
+        report = analyze_impact(
+            lat, AddEssentialProperty("T_person", prop("person.age"))
+        )
+        assert {"T_person", "T_student", "T_employee",
+                "T_teachingAssistant"} <= report.affected_types
+
+    def test_summary_mentions_changes(self, lat):
+        report = analyze_impact(
+            lat, DropEssentialSupertype("T_teachingAssistant", "T_student")
+        )
+        text = report.summary()
+        assert "P(T_teachingAssistant)" in text
+
+
+class TestRejected:
+    def test_rejection_reported_not_raised(self, lat):
+        report = analyze_impact(
+            lat, AddEssentialSupertype("T_person", "T_teachingAssistant")
+        )
+        assert not report.accepted
+        assert "cycle" in report.rejection
+        assert "REJECTED" in report.summary()
+
+    def test_rejection_never_mutates(self, lat):
+        before = lat.state_fingerprint()
+        analyze_impact(lat, DropType("T_object"))
+        assert lat.state_fingerprint() == before

@@ -1,0 +1,87 @@
+"""Property test: impact analysis predicts reality exactly.
+
+For any operation the dry-run accepts, applying it for real must change
+exactly the derived entries the report predicted — no more, no less.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LatticeSpec, random_lattice
+from repro.core import (
+    AddEssentialProperty,
+    AddEssentialSupertype,
+    AddType,
+    DropEssentialProperty,
+    DropEssentialSupertype,
+    DropType,
+    SchemaError,
+    analyze_impact,
+    prop,
+)
+
+TYPES = [f"T_{i:04d}" for i in range(12)]
+PROPS = [prop(f"T_{i:04d}.p0") for i in range(12)]
+
+
+@st.composite
+def operations(draw):
+    kind = draw(st.sampled_from(
+        ["at", "dt", "asr", "dsr", "ab", "db"]
+    ))
+    t = draw(st.sampled_from(TYPES))
+    s = draw(st.sampled_from(TYPES))
+    p = draw(st.sampled_from(PROPS))
+    if kind == "at":
+        return AddType("T_fresh", (t,))
+    if kind == "dt":
+        return DropType(t)
+    if kind == "asr":
+        return AddEssentialSupertype(t, s)
+    if kind == "dsr":
+        return DropEssentialSupertype(t, s)
+    if kind == "ab":
+        return AddEssentialProperty(t, p)
+    return DropEssentialProperty(t, p)
+
+
+def actually_changed(before, after) -> set[str]:
+    """Types whose derived entries differ between two derivations
+    (present-in-one-only counts as changed)."""
+    changed: set[str] = set()
+    all_types = set(before.p) | set(after.p)
+    for t in all_types:
+        if t not in before.p or t not in after.p:
+            changed.add(t)
+            continue
+        if (
+            before.p[t] != after.p[t]
+            or before.i[t] != after.i[t]
+        ):
+            changed.add(t)
+    return changed
+
+
+@given(seed=st.integers(min_value=0, max_value=100), op=operations())
+@settings(max_examples=80, deadline=None)
+def test_impact_prediction_matches_reality(seed, op):
+    lattice = random_lattice(
+        LatticeSpec(n_types=12, seed=seed, extra_essential_prob=0.3)
+    )
+    before = lattice.derivation
+    report = analyze_impact(lattice, op)
+
+    if not report.accepted:
+        # A rejected prediction must reject identically for real.
+        with pytest.raises(SchemaError):
+            op.apply(lattice)
+        return
+
+    op.apply(lattice)
+    after = lattice.derivation
+    assert report.affected_types == actually_changed(before, after), (
+        op, report.summary()
+    )

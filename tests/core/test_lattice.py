@@ -1,0 +1,289 @@
+"""Tests for TypeLattice mutation, policies, and derived accessors."""
+
+import pytest
+
+from repro.core import (
+    CycleError,
+    DuplicateTypeError,
+    EssentialityDefault,
+    FrozenTypeError,
+    LatticePolicy,
+    PointednessViolationError,
+    RootViolationError,
+    TypeLattice,
+    UnknownTypeError,
+    prop,
+)
+
+
+class TestConstruction:
+    def test_tigukat_policy_creates_root_and_base(self):
+        lat = TypeLattice()
+        assert "T_object" in lat
+        assert "T_null" in lat
+        assert lat.root == "T_object"
+        assert lat.base == "T_null"
+        assert lat.is_frozen("T_object")
+        assert lat.is_frozen("T_null")
+
+    def test_base_is_below_root(self):
+        lat = TypeLattice()
+        assert lat.pl("T_null") == {"T_null", "T_object"}
+
+    def test_orion_policy_has_no_base(self):
+        lat = TypeLattice(LatticePolicy.orion())
+        assert lat.root == "OBJECT"
+        assert lat.base is None
+        assert len(lat) == 1
+
+    def test_forest_policy_is_empty(self):
+        lat = TypeLattice(LatticePolicy.forest())
+        assert len(lat) == 0
+        assert lat.root is None and lat.base is None
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            LatticePolicy(rooted=True, root_name="")
+        with pytest.raises(ValueError):
+            LatticePolicy(pointed=True, base_name="")
+        with pytest.raises(ValueError):
+            LatticePolicy(root_name="X", base_name="X")
+
+
+class TestAddType:
+    def test_defaults_to_root_supertype(self, empty_tigukat):
+        # AT: "If no supertypes are specified, T_object is assumed."
+        empty_tigukat.add_type("T_a")
+        assert empty_tigukat.p("T_a") == {"T_object"}
+
+    def test_new_type_joins_base_pe(self, empty_tigukat):
+        # AT: "the new type t is added to Pe(T_null)".
+        empty_tigukat.add_type("T_a")
+        assert "T_a" in empty_tigukat.pe("T_null")
+        assert empty_tigukat.p("T_null") == {"T_a"}
+
+    def test_duplicate_rejected(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        with pytest.raises(DuplicateTypeError):
+            empty_tigukat.add_type("T_a")
+
+    def test_unknown_supertype_rejected(self, empty_tigukat):
+        with pytest.raises(UnknownTypeError):
+            empty_tigukat.add_type("T_a", supertypes=["T_missing"])
+
+    def test_base_cannot_be_supertype(self, empty_tigukat):
+        with pytest.raises(PointednessViolationError):
+            empty_tigukat.add_type("T_a", supertypes=["T_null"])
+
+    def test_empty_name_rejected(self, empty_tigukat):
+        with pytest.raises(ValueError):
+            empty_tigukat.add_type("")
+
+    def test_properties_are_interned(self, empty_tigukat):
+        p = prop("a.x", "x", domain="int")
+        empty_tigukat.add_type("T_a", properties=[p])
+        assert empty_tigukat.universe.get("a.x").domain == "int"
+
+    def test_all_inherited_essentiality(self):
+        policy = LatticePolicy(
+            essentiality=EssentialityDefault.ALL_INHERITED
+        )
+        lat = TypeLattice(policy)
+        lat.add_type("T_a", properties=[prop("a.x")])
+        lat.add_type("T_b", supertypes=["T_a"], properties=[prop("b.y")])
+        # T_b recorded both the inherited property and all ancestors as
+        # essential at declaration time.
+        assert prop("a.x") in lat.ne("T_b")
+        assert lat.pe("T_b") >= {"T_a", "T_object"}
+
+
+class TestDropType:
+    def test_removed_from_dependents(self, figure1):
+        dependents = figure1.drop_type("T_taxSource")
+        assert "T_employee" in dependents
+        assert "T_taxSource" not in figure1
+        assert "T_taxSource" not in figure1.pe("T_employee")
+
+    def test_root_and_base_protected(self, empty_tigukat):
+        with pytest.raises(FrozenTypeError):
+            empty_tigukat.drop_type("T_object")
+        with pytest.raises(FrozenTypeError):
+            empty_tigukat.drop_type("T_null")
+
+    def test_frozen_type_protected(self, empty_tigukat):
+        empty_tigukat.add_type("T_prim", frozen=True)
+        with pytest.raises(FrozenTypeError):
+            empty_tigukat.drop_type("T_prim")
+
+    def test_unknown_type(self, empty_tigukat):
+        with pytest.raises(UnknownTypeError):
+            empty_tigukat.drop_type("T_missing")
+
+    def test_orphan_falls_back_to_root(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        empty_tigukat.add_type("T_b", supertypes=["T_a"])
+        empty_tigukat.drop_type("T_a")
+        # T_b keeps its implicit essential link to the root.
+        assert empty_tigukat.p("T_b") == {"T_object"}
+
+
+class TestSupertypeEdges:
+    def test_add_and_drop_roundtrip(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        empty_tigukat.add_type("T_b")
+        assert empty_tigukat.add_essential_supertype("T_b", "T_a")
+        assert empty_tigukat.p("T_b") == {"T_a"}
+        assert empty_tigukat.drop_essential_supertype("T_b", "T_a")
+        assert empty_tigukat.p("T_b") == {"T_object"}
+
+    def test_add_is_idempotent(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        empty_tigukat.add_type("T_b", supertypes=["T_a"])
+        assert empty_tigukat.add_essential_supertype("T_b", "T_a") is False
+
+    def test_drop_missing_edge_is_noop(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        empty_tigukat.add_type("T_b")
+        assert empty_tigukat.drop_essential_supertype("T_b", "T_a") is False
+
+    def test_self_cycle_rejected(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        with pytest.raises(CycleError):
+            empty_tigukat.add_essential_supertype("T_a", "T_a")
+
+    def test_two_cycle_rejected(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        empty_tigukat.add_type("T_b", supertypes=["T_a"])
+        with pytest.raises(CycleError):
+            empty_tigukat.add_essential_supertype("T_a", "T_b")
+
+    def test_long_cycle_rejected(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        empty_tigukat.add_type("T_b", supertypes=["T_a"])
+        empty_tigukat.add_type("T_c", supertypes=["T_b"])
+        empty_tigukat.add_type("T_d", supertypes=["T_c"])
+        with pytest.raises(CycleError):
+            empty_tigukat.add_essential_supertype("T_a", "T_d")
+
+    def test_root_link_cannot_be_dropped(self, empty_tigukat):
+        # "a subtype relationship to T_object cannot be dropped."
+        empty_tigukat.add_type("T_a")
+        with pytest.raises(RootViolationError):
+            empty_tigukat.drop_essential_supertype("T_a", "T_object")
+
+    def test_base_cannot_become_supertype(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        with pytest.raises(PointednessViolationError):
+            empty_tigukat.add_essential_supertype("T_a", "T_null")
+
+    def test_root_cannot_gain_supertypes(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        with pytest.raises(RootViolationError):
+            empty_tigukat.add_essential_supertype("T_object", "T_a")
+
+    def test_forest_allows_multiple_roots(self, forest):
+        forest.add_type("r1")
+        forest.add_type("r2")
+        forest.add_type("c", supertypes=["r1", "r2"])
+        assert forest.p("r1") == frozenset()
+        assert forest.p("r2") == frozenset()
+        assert forest.p("c") == {"r1", "r2"}
+
+
+class TestProperties:
+    def test_add_and_drop_essential_property(self, empty_tigukat):
+        empty_tigukat.add_type("T_a")
+        p = prop("a.x")
+        assert empty_tigukat.add_essential_property("T_a", p)
+        assert p in empty_tigukat.n("T_a")
+        assert empty_tigukat.add_essential_property("T_a", p) is False
+        assert empty_tigukat.drop_essential_property("T_a", p)
+        assert p not in empty_tigukat.interface("T_a")
+        assert empty_tigukat.drop_essential_property("T_a", p) is False
+
+    def test_inherited_essential_is_not_native(self, empty_tigukat):
+        # "defining an already inherited property on a type would not
+        # include the property in N, but would include it in Ne."
+        p = prop("a.x")
+        empty_tigukat.add_type("T_a", properties=[p])
+        empty_tigukat.add_type("T_b", supertypes=["T_a"])
+        empty_tigukat.add_essential_property("T_b", p)
+        assert p in empty_tigukat.ne("T_b")
+        assert p not in empty_tigukat.n("T_b")
+        assert p in empty_tigukat.h("T_b")
+
+    def test_drop_property_everywhere(self, empty_tigukat):
+        p = prop("shared.x")
+        empty_tigukat.add_type("T_a", properties=[p])
+        empty_tigukat.add_type("T_b", properties=[p])
+        touched = empty_tigukat.drop_property_everywhere(p)
+        assert touched == {"T_a", "T_b"}
+        assert p not in empty_tigukat.interface("T_a")
+        assert p not in empty_tigukat.interface("T_b")
+        assert p not in empty_tigukat.universe
+
+    def test_native_and_inherited_disjoint(self, figure1):
+        # "The native and inherited properties are disjoint."
+        for t in figure1.types():
+            assert not (figure1.n(t) & figure1.h(t))
+
+    def test_defining_types(self, figure1):
+        [salary] = [p for p in figure1.universe if p.name == "salary"]
+        assert figure1.defining_types(salary) == {"T_employee"}
+
+
+class TestDerivedAccessors:
+    def test_subtypes_is_inverse_of_p(self, figure1):
+        assert figure1.subtypes("T_person") == {"T_student", "T_employee"}
+        assert figure1.subtypes("T_student") == {"T_teachingAssistant"}
+
+    def test_all_subtypes(self, figure1):
+        assert figure1.all_subtypes("T_person") == {
+            "T_student", "T_employee", "T_teachingAssistant", "T_null"
+        }
+
+    def test_is_subtype_reflexive_and_transitive(self, figure1):
+        assert figure1.is_subtype("T_employee", "T_employee")
+        assert figure1.is_subtype("T_teachingAssistant", "T_taxSource")
+        assert not figure1.is_subtype("T_person", "T_student")
+
+    def test_unknown_type_raises_everywhere(self, figure1):
+        for accessor in (
+            figure1.p, figure1.pl, figure1.n, figure1.h,
+            figure1.interface, figure1.pe, figure1.ne,
+            figure1.subtypes, figure1.all_subtypes,
+            figure1.essential_subtypes,
+        ):
+            with pytest.raises(UnknownTypeError):
+                accessor("T_missing")
+
+
+class TestCopyAndFingerprints:
+    def test_copy_is_independent(self, figure1):
+        clone = figure1.copy()
+        clone.add_type("T_new")
+        assert "T_new" not in figure1
+        assert figure1.state_fingerprint() != clone.state_fingerprint()
+
+    def test_copy_preserves_state(self, figure1):
+        clone = figure1.copy()
+        assert clone.state_fingerprint() == figure1.state_fingerprint()
+        assert clone.derived_fingerprint() == figure1.derived_fingerprint()
+
+    def test_cache_invalidation(self, figure1):
+        before = figure1.p("T_teachingAssistant")
+        figure1.drop_essential_supertype("T_teachingAssistant", "T_student")
+        after = figure1.p("T_teachingAssistant")
+        assert before != after
+
+    def test_incremental_matches_full(self, figure1):
+        figure1.derived_fingerprint()  # warm the cache
+        figure1.drop_essential_supertype("T_teachingAssistant", "T_student")
+        incremental = figure1.derived_fingerprint()
+        figure1.invalidate_cache()
+        full = figure1.derived_fingerprint()
+        assert incremental == full
+        assert figure1.stats["incremental_derivations"] >= 1
+
+    def test_repr(self, figure1):
+        assert "TypeLattice" in repr(figure1)

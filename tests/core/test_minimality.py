@@ -1,0 +1,119 @@
+"""Tests for transitive reduction, edge counts, and lattice diff."""
+
+from repro.core import (
+    build_figure1_lattice,
+    diff_lattices,
+    essential_edge_count,
+    is_reduced,
+    minimal_edge_count,
+    transitive_closure,
+    transitive_reduction,
+)
+
+
+def edges(**kwargs):
+    return {k: frozenset(v) for k, v in kwargs.items()}
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        closure = transitive_closure(edges(a=["b"], b=["c"], c=[]))
+        assert closure["a"] == {"b", "c"}
+        assert closure["b"] == {"c"}
+        assert closure["c"] == frozenset()
+
+    def test_diamond(self):
+        closure = transitive_closure(
+            edges(bot=["l", "r"], l=["top"], r=["top"], top=[])
+        )
+        assert closure["bot"] == {"l", "r", "top"}
+
+    def test_dangling_successor_treated_as_sink(self):
+        closure = transitive_closure(edges(a=["ghost"]))
+        assert closure["a"] == {"ghost"}
+
+
+class TestTransitiveReduction:
+    def test_removes_implied_edge(self):
+        g = edges(a=["b", "c"], b=["c"], c=[])
+        reduced = transitive_reduction(g)
+        assert reduced["a"] == {"b"}  # a->c implied via b
+
+    def test_keeps_diamond_edges(self):
+        g = edges(bot=["l", "r"], l=["top"], r=["top"], top=[])
+        reduced = transitive_reduction(g)
+        assert reduced["bot"] == {"l", "r"}
+
+    def test_already_reduced_is_fixed_point(self):
+        g = edges(a=["b"], b=["c"], c=[])
+        assert transitive_reduction(g) == g
+        assert is_reduced(g)
+
+    def test_is_reduced_detects_redundancy(self):
+        assert not is_reduced(edges(a=["b", "c"], b=["c"], c=[]))
+
+    def test_reduction_preserves_reachability(self):
+        g = edges(a=["b", "c", "d"], b=["c", "d"], c=["d"], d=[])
+        reduced = transitive_reduction(g)
+        assert transitive_closure(reduced) == transitive_closure(g)
+
+    def test_p_matches_reduction_of_pe(self, figure1):
+        # Axiom 5 computes exactly the per-node transitive reduction of Pe.
+        pe = {t: figure1.pe(t) for t in figure1.types()}
+        reduced = transitive_reduction(pe)
+        for t in figure1.types():
+            assert figure1.p(t) == reduced[t], t
+
+
+class TestEdgeCounts:
+    def test_minimal_never_exceeds_essential(self, figure1):
+        assert minimal_edge_count(figure1) <= essential_edge_count(figure1)
+
+    def test_figure1_counts(self, figure1):
+        # Pe(T_teachingAssistant) has 4 entries but P only 2; Pe(T_null)
+        # lists every type while P(T_null) lists only the leaves.
+        assert essential_edge_count(figure1) > minimal_edge_count(figure1)
+        assert len(figure1.pe("T_null")) == 6
+        assert figure1.p("T_null") == {"T_teachingAssistant"}
+
+
+class TestDiff:
+    def test_identical_lattices(self, figure1):
+        diff = diff_lattices(figure1, figure1.copy())
+        assert diff.identical
+        assert str(diff) == "lattices are identical"
+
+    def test_type_set_difference(self, figure1):
+        other = figure1.copy()
+        other.add_type("T_new")
+        diff = diff_lattices(figure1, other)
+        assert diff.only_right == {"T_new"}
+        assert not diff.identical
+
+    def test_edge_difference(self, figure1):
+        other = figure1.copy()
+        other.drop_essential_supertype("T_teachingAssistant", "T_student")
+        diff = diff_lattices(figure1, other)
+        assert "T_teachingAssistant" in diff.edge_changes
+        assert "P(T_teachingAssistant)" in str(diff)
+
+    def test_interface_difference(self, figure1):
+        from repro.core import prop
+
+        other = figure1.copy()
+        other.add_essential_property("T_person", prop("person.age"))
+        diff = diff_lattices(figure1, other)
+        affected = set(diff.interface_changes)
+        # Interface change propagates to all subtypes of T_person.
+        assert "T_person" in affected
+        assert "T_teachingAssistant" in affected
+
+    def test_diff_of_same_drops_different_order(self):
+        # TIGUKAT order-independence, previewing the Section 5 experiment.
+        a = build_figure1_lattice()
+        b = build_figure1_lattice()
+        a.drop_essential_supertype("T_teachingAssistant", "T_student")
+        a.drop_essential_supertype("T_teachingAssistant", "T_employee")
+        b.drop_essential_supertype("T_teachingAssistant", "T_employee")
+        b.drop_essential_supertype("T_teachingAssistant", "T_student")
+        assert diff_lattices(a, b).identical

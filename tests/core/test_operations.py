@@ -1,0 +1,173 @@
+"""Tests for the schema-evolution command objects and their inverses."""
+
+import pytest
+
+from repro.core import (
+    AddEssentialProperty,
+    AddEssentialSupertype,
+    AddType,
+    DropEssentialProperty,
+    DropEssentialSupertype,
+    DropPropertyEverywhere,
+    DropType,
+    DuplicateTypeError,
+    OPERATION_CODES,
+    OperationRejected,
+    UnknownTypeError,
+    operation_from_dict,
+    prop,
+)
+
+
+class TestAddType:
+    def test_apply(self, empty_tigukat):
+        result = AddType("T_a", properties=(prop("a.p"),)).apply(empty_tigukat)
+        assert result.changed
+        assert "T_a" in empty_tigukat
+        assert prop("a.p") in empty_tigukat.n("T_a")
+
+    def test_validate_duplicate(self, figure1):
+        with pytest.raises(DuplicateTypeError):
+            AddType("T_person").validate(figure1)
+
+    def test_validate_unknown_supertype(self, empty_tigukat):
+        with pytest.raises(UnknownTypeError):
+            AddType("T_a", supertypes=("T_ghost",)).validate(empty_tigukat)
+
+    def test_validate_base_supertype_rejected(self, empty_tigukat):
+        with pytest.raises(OperationRejected):
+            AddType("T_a", supertypes=("T_null",)).validate(empty_tigukat)
+
+    def test_inverse_restores_state(self, empty_tigukat):
+        before = empty_tigukat.state_fingerprint()
+        result = AddType("T_a").apply(empty_tigukat)
+        for op in result.inverse:
+            op.apply(empty_tigukat)
+        assert empty_tigukat.state_fingerprint() == before
+
+
+class TestDropType:
+    def test_apply(self, figure1):
+        result = DropType("T_taxSource").apply(figure1)
+        assert result.changed
+        assert "T_taxSource" not in figure1
+
+    def test_rejects_primitive(self, figure1):
+        with pytest.raises(OperationRejected):
+            DropType("T_object").apply(figure1)
+
+    def test_inverse_restores_state_and_derivation(self, figure1):
+        before_state = figure1.state_fingerprint()
+        before_derived = figure1.derived_fingerprint()
+        result = DropType("T_taxSource").apply(figure1)
+        for op in result.inverse:
+            op.apply(figure1)
+        assert figure1.state_fingerprint() == before_state
+        assert figure1.derived_fingerprint() == before_derived
+
+    def test_inverse_restores_interior_type(self, figure1):
+        # Dropping a type in the middle of the lattice: the inverse must
+        # restore both its own Pe/Ne and its membership in subtype Pe sets.
+        before = figure1.state_fingerprint()
+        result = DropType("T_employee").apply(figure1)
+        assert "T_employee" not in figure1.pe("T_teachingAssistant")
+        for op in result.inverse:
+            op.apply(figure1)
+        assert figure1.state_fingerprint() == before
+
+
+class TestEdgeOperations:
+    def test_asr_and_dsr(self, figure1):
+        r1 = DropEssentialSupertype(
+            "T_teachingAssistant", "T_student"
+        ).apply(figure1)
+        assert r1.changed
+        assert figure1.p("T_teachingAssistant") == {"T_employee"}
+        r2 = AddEssentialSupertype(
+            "T_teachingAssistant", "T_student"
+        ).apply(figure1)
+        assert r2.changed
+        assert figure1.p("T_teachingAssistant") == {"T_student", "T_employee"}
+
+    def test_noop_has_empty_inverse(self, figure1):
+        result = AddEssentialSupertype(
+            "T_teachingAssistant", "T_student"
+        ).apply(figure1)
+        assert not result.changed
+        assert result.inverse == []
+
+    def test_validate_does_not_mutate(self, figure1):
+        before = figure1.state_fingerprint()
+        AddEssentialSupertype("T_student", "T_taxSource").validate(figure1)
+        assert figure1.state_fingerprint() == before
+
+    def test_validate_detects_cycle(self, figure1):
+        from repro.core import CycleError
+
+        with pytest.raises(CycleError):
+            AddEssentialSupertype(
+                "T_person", "T_teachingAssistant"
+            ).validate(figure1)
+
+
+class TestPropertyOperations:
+    def test_ab_and_db(self, figure1):
+        age = prop("person.age", "age")
+        r1 = AddEssentialProperty("T_person", age).apply(figure1)
+        assert r1.changed
+        assert age in figure1.interface("T_teachingAssistant")
+        r2 = DropEssentialProperty("T_person", age).apply(figure1)
+        assert r2.changed
+        assert age not in figure1.interface("T_person")
+
+    def test_drop_property_everywhere(self, figure1):
+        tb = prop("taxSource.taxBracket")
+        result = DropPropertyEverywhere(tb).apply(figure1)
+        assert result.changed
+        assert tb not in figure1.interface("T_employee")
+        # Inverse restores both essential declarations.
+        for op in result.inverse:
+            op.apply(figure1)
+        assert tb in figure1.ne("T_taxSource")
+        assert tb in figure1.ne("T_employee")
+
+    def test_drop_everywhere_on_unknown_is_noop(self, figure1):
+        result = DropPropertyEverywhere(prop("ghost.p")).apply(figure1)
+        assert not result.changed
+
+    def test_primitive_type_rejected(self, figure1):
+        with pytest.raises(OperationRejected):
+            AddEssentialProperty("T_object", prop("x")).apply(figure1)
+
+
+class TestSerialization:
+    def test_registry_covers_all_codes(self):
+        assert set(OPERATION_CODES) == {
+            "AT", "DT", "MT-ASR", "MT-DSR", "MT-AB", "MT-DB", "DB"
+        }
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            AddType("T_x", ("T_person",), (prop("x.p", "p", domain="int"),)),
+            DropType("T_x"),
+            AddEssentialSupertype("T_a", "T_b"),
+            DropEssentialSupertype("T_a", "T_b"),
+            AddEssentialProperty("T_a", prop("a.p")),
+            DropEssentialProperty("T_a", prop("a.p")),
+            DropPropertyEverywhere(prop("a.p")),
+        ],
+    )
+    def test_roundtrip(self, op):
+        restored = operation_from_dict(op.to_dict())
+        assert type(restored) is type(op)
+        assert restored.to_dict() == op.to_dict()
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            operation_from_dict({"code": "NOPE"})
+
+    def test_describe_and_repr(self):
+        op = AddType("T_x")
+        assert "T_x" in op.describe()
+        assert "AT" in repr(op)

@@ -1,0 +1,71 @@
+"""Tests for the executable Theorem 2.1/2.2 proof traces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LatticeSpec, random_lattice
+from repro.core import build_figure1_lattice, prove
+
+
+class TestFigure1Proof:
+    def test_qed(self, figure1):
+        trace = prove(figure1)
+        assert trace.qed
+        assert trace.first_failure is None
+        assert "QED" in trace.summary()
+
+    def test_obligation_count(self, figure1):
+        # 7 types × 5 terms.
+        trace = prove(figure1)
+        assert len(trace.obligations) == 35
+
+    def test_strata_match_induction_variable(self, figure1):
+        trace = prove(figure1)
+        # Figure 1: ⊤ / {person, taxSource} / {student, employee} / {TA} / {⊥}.
+        assert trace.strata_sizes == [1, 2, 2, 1, 1]
+
+    def test_base_case_covers_the_root(self, figure1):
+        trace = prove(figure1)
+        stratum0 = [o for o in trace.obligations if o.stratum == 0]
+        assert {o.type_name for o in stratum0} == {"T_object"}
+
+
+class TestFailureLocalization:
+    def test_corruption_localized_to_first_broken_stratum(self, figure1):
+        deriv = figure1.derivation
+        # Break an interface in stratum 2 (T_employee).
+        deriv.i["T_employee"] = frozenset()
+        trace = prove(figure1)
+        assert not trace.qed
+        head = trace.first_failure
+        assert head.stratum == 2
+        assert head.type_name == "T_employee"
+        assert "FAILED" in trace.summary()
+        assert "INCOMPLETE" in str(head)
+
+    def test_unsound_vs_incomplete_distinguished(self, figure1):
+        from repro.core import prop
+
+        deriv = figure1.derivation
+        deriv.n["T_person"] = deriv.n["T_person"] | {prop("fake.p")}
+        trace = prove(figure1)
+        failed = trace.failures()
+        assert failed
+        assert not failed[0].sound
+        assert failed[0].complete
+        assert "UNSOUND" in str(failed[0])
+
+
+class TestProofsOnRandomLattices:
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_induction_holds_everywhere(self, seed):
+        lattice = random_lattice(LatticeSpec(n_types=15, seed=seed))
+        trace = prove(lattice)
+        assert trace.qed, trace.summary()
+
+    def test_after_evolution(self, figure1):
+        figure1.drop_essential_supertype("T_teachingAssistant", "T_student")
+        figure1.drop_type("T_taxSource")
+        assert prove(figure1).qed

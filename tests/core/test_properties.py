@@ -1,0 +1,95 @@
+"""Tests for semantics-identified properties and the universe registry."""
+
+import pytest
+
+from repro.core import Property, PropertyUniverse, UnknownPropertyError, prop
+
+
+class TestProperty:
+    def test_identity_is_semantics(self):
+        # Two same-named properties with different semantics are distinct
+        # (the paper's two native "name" properties on T_person and
+        # T_taxSource).
+        a = prop("person.name", "name")
+        b = prop("taxSource.name", "name")
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_same_semantics_equal_regardless_of_name(self):
+        assert prop("x.p", "foo") == prop("x.p", "bar")
+        assert hash(prop("x.p", "foo")) == hash(prop("x.p", "bar"))
+
+    def test_default_name_is_semantics(self):
+        assert prop("salary").name == "salary"
+
+    def test_empty_semantics_rejected(self):
+        with pytest.raises(ValueError):
+            Property("")
+
+    def test_renamed_is_same_property(self):
+        p = prop("x.p", "old")
+        q = p.renamed("new")
+        assert p == q
+        assert q.name == "new"
+
+    def test_domain_not_part_of_identity(self):
+        assert prop("x.p", domain="int") == prop("x.p", domain="str")
+
+    def test_str_forms(self):
+        assert str(prop("salary")) == "salary"
+        assert str(prop("emp.salary", "salary")) == "salary<emp.salary>"
+
+    def test_sortable(self):
+        props = [prop("c"), prop("a"), prop("b")]
+        assert [p.semantics for p in sorted(props)] == ["a", "b", "c"]
+
+    def test_set_operations_resolve_conflicts(self):
+        # "simple set operations can be used to resolve conflicts"
+        shared = prop("common.id")
+        left = {shared, prop("l.x")}
+        right = {shared, prop("r.y")}
+        assert left & right == {shared}
+        assert len(left | right) == 3
+
+
+class TestPropertyUniverse:
+    def test_intern_returns_canonical(self):
+        uni = PropertyUniverse()
+        a = uni.intern(prop("x.p", "first", domain="int"))
+        b = uni.intern(prop("x.p", "second"))
+        assert b is a  # the first interned wins
+        assert len(uni) == 1
+
+    def test_get_and_require(self):
+        uni = PropertyUniverse([prop("x.p")])
+        assert uni.get("x.p") == prop("x.p")
+        assert uni.get("missing") is None
+        assert uni.require("x.p") == prop("x.p")
+        with pytest.raises(UnknownPropertyError):
+            uni.require("missing")
+
+    def test_by_name_groups_conflicts(self):
+        uni = PropertyUniverse(
+            [prop("person.name", "name"), prop("taxSource.name", "name"),
+             prop("emp.salary", "salary")]
+        )
+        assert len(uni.by_name("name")) == 2
+        assert len(uni.by_name("salary")) == 1
+        assert uni.by_name("nothing") == frozenset()
+
+    def test_contains_property_and_key(self):
+        uni = PropertyUniverse([prop("x.p")])
+        assert prop("x.p") in uni
+        assert "x.p" in uni
+        assert "y.q" not in uni
+
+    def test_discard(self):
+        uni = PropertyUniverse([prop("x.p")])
+        uni.discard("x.p")
+        assert "x.p" not in uni
+        uni.discard("x.p")  # idempotent
+
+    def test_iteration(self):
+        items = [prop("a"), prop("b")]
+        uni = PropertyUniverse(items)
+        assert sorted(uni) == items

@@ -1,0 +1,151 @@
+"""Property-based tests: the axioms hold under arbitrary accepted
+operation sequences, and core structural invariants never break.
+
+Strategy: generate a random program of schema-evolution operations over a
+bounded name pool.  Operations whose preconditions fail (cycles, unknown
+types, root violations, ...) are *expected* to raise a SchemaError and
+leave the lattice unchanged; accepted operations must preserve all nine
+axioms and agree with the soundness/completeness oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LatticePolicy,
+    SchemaError,
+    TypeLattice,
+    check_all,
+    prop,
+    verify,
+)
+
+TYPE_POOL = [f"T_{i}" for i in range(8)]
+PROP_POOL = [prop(f"p{i}") for i in range(6)]
+
+
+@st.composite
+def programs(draw):
+    """A random sequence of (op_kind, args) tuples over the pools."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for _ in range(n):
+        kind = draw(
+            st.sampled_from(
+                ["add_type", "drop_type", "add_edge", "drop_edge",
+                 "add_prop", "drop_prop"]
+            )
+        )
+        t = draw(st.sampled_from(TYPE_POOL))
+        s = draw(st.sampled_from(TYPE_POOL))
+        p = draw(st.sampled_from(PROP_POOL))
+        supers = draw(st.lists(st.sampled_from(TYPE_POOL), max_size=3))
+        ops.append((kind, t, s, p, tuple(supers)))
+    return ops
+
+
+def run_program(lat: TypeLattice, program) -> int:
+    """Execute the program, ignoring rejected operations; returns the
+    number of accepted operations."""
+    accepted = 0
+    for kind, t, s, p, supers in program:
+        before = lat.state_fingerprint()
+        try:
+            if kind == "add_type":
+                lat.add_type(t, supertypes=[x for x in supers if x in lat],
+                             properties=[p])
+            elif kind == "drop_type":
+                lat.drop_type(t)
+            elif kind == "add_edge":
+                lat.add_essential_supertype(t, s)
+            elif kind == "drop_edge":
+                lat.drop_essential_supertype(t, s)
+            elif kind == "add_prop":
+                lat.add_essential_property(t, p)
+            elif kind == "drop_prop":
+                lat.drop_essential_property(t, p)
+            accepted += 1
+        except SchemaError:
+            # Rejected operations must leave the lattice untouched.
+            assert lat.state_fingerprint() == before
+    return accepted
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [LatticePolicy.tigukat(), LatticePolicy.orion(), LatticePolicy.forest()],
+    ids=["tigukat", "orion", "forest"],
+)
+@given(program=programs())
+@settings(max_examples=60, deadline=None)
+def test_axioms_hold_after_any_accepted_program(policy, program):
+    lat = TypeLattice(policy)
+    run_program(lat, program)
+    assert check_all(lat) == []
+
+
+@given(program=programs())
+@settings(max_examples=60, deadline=None)
+def test_oracle_agrees_after_any_accepted_program(program):
+    lat = TypeLattice(LatticePolicy.tigukat())
+    run_program(lat, program)
+    assert verify(lat).ok
+
+
+@given(program=programs())
+@settings(max_examples=60, deadline=None)
+def test_structural_invariants(program):
+    lat = TypeLattice(LatticePolicy.tigukat())
+    run_program(lat, program)
+    for t in lat.types():
+        # P(t) ⊆ Pe(t) ("immediate supertypes are essential").
+        assert lat.p(t) <= lat.pe(t)
+        # N(t) ⊆ Ne(t) and N ∩ H = ∅.
+        assert lat.n(t) <= lat.ne(t)
+        assert not (lat.n(t) & lat.h(t))
+        # I = N ∪ H.
+        assert lat.interface(t) == lat.n(t) | lat.h(t)
+        # t ∈ PL(t).
+        assert t in lat.pl(t)
+        # PL is upward closed over P.
+        for s in lat.p(t):
+            assert lat.pl(s) <= lat.pl(t) - {t} | lat.pl(s)
+
+
+@given(program=programs())
+@settings(max_examples=40, deadline=None)
+def test_incremental_derivation_equals_full(program):
+    lat = TypeLattice(LatticePolicy.tigukat())
+    lat.derivation  # warm the cache so mutations take the incremental path
+    run_program(lat, program)
+    incremental = lat.derived_fingerprint()
+    lat.invalidate_cache()
+    full = lat.derived_fingerprint()
+    assert incremental == full
+
+
+@given(program=programs())
+@settings(max_examples=40, deadline=None)
+def test_derivation_is_deterministic(program):
+    a = TypeLattice(LatticePolicy.tigukat())
+    b = TypeLattice(LatticePolicy.tigukat())
+    run_program(a, program)
+    run_program(b, program)
+    assert a.derived_fingerprint() == b.derived_fingerprint()
+
+
+@given(program=programs())
+@settings(max_examples=40, deadline=None)
+def test_final_state_depends_only_on_final_essentials(program):
+    """The TIGUKAT uniformity claim at its most general: the derived
+    lattice is a pure function of the final Pe/Ne state, independent of
+    the path taken to reach it."""
+    lat = TypeLattice(LatticePolicy.tigukat())
+    run_program(lat, program)
+    # Rebuild a second lattice directly from the final designer state.
+    clone = lat.copy()
+    clone.invalidate_cache()
+    assert clone.derived_fingerprint() == lat.derived_fingerprint()

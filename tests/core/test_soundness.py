@@ -1,0 +1,98 @@
+"""Tests for the soundness/completeness oracle (Theorems 2.1 / 2.2)."""
+
+import pytest
+
+from repro.core import (
+    LatticePolicy,
+    Oracle,
+    TypeLattice,
+    assert_sound_and_complete,
+    prop,
+    verify,
+)
+
+
+class TestOracle:
+    def test_pl_is_reachability(self, figure1):
+        oracle = Oracle(figure1)
+        assert oracle.pl("T_employee") == {
+            "T_employee", "T_person", "T_taxSource", "T_object"
+        }
+
+    def test_p_is_minimal_elements(self, figure1):
+        oracle = Oracle(figure1)
+        assert oracle.p("T_teachingAssistant") == {"T_student", "T_employee"}
+
+    def test_strata_by_path_length(self, figure1):
+        # The induction variable of the proofs: stratum 0 = root only.
+        strata = Oracle(figure1).strata()
+        assert strata[0] == ["T_object"]
+        assert set(strata[1]) == {"T_person", "T_taxSource"}
+        # T_null has the longest maximal path to the top.
+        assert "T_null" in strata[-1]
+
+    def test_property_resolution(self, figure1):
+        oracle = Oracle(figure1)
+        assert prop("employee.salary") in oracle.n("T_employee")
+        assert prop("person.name") in oracle.h("T_employee")
+        assert oracle.i("T_employee") == (
+            oracle.n("T_employee") | oracle.h("T_employee")
+        )
+
+
+class TestVerify:
+    def test_figure1_is_sound_and_complete(self, figure1):
+        report = verify(figure1)
+        assert report.ok and report.is_sound and report.is_complete
+        assert "sound and complete" in str(report)
+
+    def test_after_heavy_evolution(self, figure1):
+        figure1.add_type("T_ra", supertypes=["T_student", "T_employee"])
+        figure1.drop_essential_supertype("T_teachingAssistant", "T_student")
+        figure1.drop_type("T_taxSource")
+        figure1.add_essential_property("T_person", prop("person.age", "age"))
+        assert verify(figure1).ok
+
+    def test_assert_passes_on_valid(self, figure1):
+        assert_sound_and_complete(figure1)
+
+    def test_detects_unsound_engine_output(self, figure1):
+        # Inject a spurious member into a derived set: soundness fails.
+        deriv = figure1.derivation
+        deriv.pl["T_student"] = deriv.pl["T_student"] | {"T_taxSource"}
+        report = verify(figure1)
+        assert not report.ok
+        assert not report.is_sound
+        assert report.is_complete
+        with pytest.raises(AssertionError):
+            assert_sound_and_complete(figure1)
+
+    def test_detects_incomplete_engine_output(self, figure1):
+        # Remove a required member: completeness fails.
+        deriv = figure1.derivation
+        deriv.h["T_employee"] = frozenset()
+        report = verify(figure1)
+        assert not report.is_complete
+        assert report.is_sound
+
+    def test_discrepancy_str_names_term_and_type(self, figure1):
+        deriv = figure1.derivation
+        deriv.h["T_employee"] = frozenset()
+        report = verify(figure1)
+        text = str(report)
+        assert "H(T_employee)" in text and "missing" in text
+
+
+class TestPolicies:
+    def test_forest_verifies(self):
+        lat = TypeLattice(LatticePolicy.forest())
+        lat.add_type("r1", properties=[prop("r1.p")])
+        lat.add_type("r2")
+        lat.add_type("c", supertypes=["r1", "r2"])
+        assert verify(lat).ok
+
+    def test_orion_policy_verifies(self):
+        lat = TypeLattice(LatticePolicy.orion())
+        lat.add_type("C1", properties=[prop("c1.p")])
+        lat.add_type("C2", supertypes=["C1"])
+        assert verify(lat).ok

@@ -1,0 +1,96 @@
+"""Tests for subschema extraction (the extraction theorem)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LatticeSpec, random_lattice
+from repro.core import (
+    UnknownTypeError,
+    build_figure1_lattice,
+    check_all,
+    extract_subschema,
+    upward_closure,
+    verify,
+)
+
+
+class TestUpwardClosure:
+    def test_seed_and_ancestors(self, figure1):
+        closure = upward_closure(figure1, ["T_employee"])
+        assert closure == {
+            "T_employee", "T_person", "T_taxSource", "T_object"
+        }
+
+    def test_multiple_seeds_union(self, figure1):
+        closure = upward_closure(figure1, ["T_student", "T_taxSource"])
+        assert closure == {
+            "T_student", "T_person", "T_taxSource", "T_object"
+        }
+
+    def test_unknown_seed(self, figure1):
+        with pytest.raises(UnknownTypeError):
+            upward_closure(figure1, ["T_ghost"])
+
+    def test_empty_seeds(self, figure1):
+        assert upward_closure(figure1, []) == frozenset()
+
+
+class TestExtraction:
+    def test_extract_is_valid_lattice(self, figure1):
+        sub = extract_subschema(figure1, ["T_teachingAssistant"])
+        assert check_all(sub) == []
+        assert verify(sub).ok
+
+    def test_extraction_theorem_on_figure1(self, figure1):
+        """Derived terms of extracted types equal the source's."""
+        sub = extract_subschema(figure1, ["T_employee"])
+        for t in sub.types() - {sub.base}:
+            assert sub.p(t) == figure1.p(t), t
+            assert sub.pl(t) == figure1.pl(t), t
+            assert sub.interface(t) == figure1.interface(t), t
+            assert sub.n(t) == figure1.n(t), t
+
+    def test_unrelated_branches_excluded(self, figure1):
+        sub = extract_subschema(figure1, ["T_student"])
+        assert "T_employee" not in sub
+        assert "T_taxSource" not in sub
+
+    def test_base_is_repointed(self, figure1):
+        sub = extract_subschema(figure1, ["T_student"])
+        # The extract's base covers exactly the extracted types.
+        assert sub.pl("T_null") == sub.types()
+
+    def test_essential_declarations_preserved(self, figure1):
+        sub = extract_subschema(figure1, ["T_teachingAssistant"])
+        assert sub.pe("T_teachingAssistant") == figure1.pe(
+            "T_teachingAssistant"
+        )
+
+    def test_frozen_marks_preserved(self, figure1):
+        figure1.add_type("T_prim", supertypes=["T_person"], frozen=True)
+        sub = extract_subschema(figure1, ["T_prim"])
+        assert sub.is_frozen("T_prim")
+
+    def test_source_untouched(self, figure1):
+        before = figure1.state_fingerprint()
+        extract_subschema(figure1, ["T_employee"])
+        assert figure1.state_fingerprint() == before
+
+    @given(seed=st.integers(min_value=0, max_value=80))
+    @settings(max_examples=15, deadline=None)
+    def test_extraction_theorem_on_random_lattices(self, seed):
+        lat = random_lattice(
+            LatticeSpec(n_types=14, seed=seed, extra_essential_prob=0.4)
+        )
+        types = sorted(
+            t for t in lat.types() if t not in (lat.root, lat.base)
+        )
+        if not types:
+            return
+        seeds = types[: max(1, len(types) // 4)]
+        sub = extract_subschema(lat, seeds)
+        assert check_all(sub) == []
+        for t in sub.types() - {sub.base}:
+            assert sub.interface(t) == lat.interface(t), t
+            assert sub.pl(t) == lat.pl(t), t

@@ -1,0 +1,145 @@
+"""Tests for atomic schema-change transactions."""
+
+import pytest
+
+from repro.core import (
+    AddEssentialSupertype,
+    AddType,
+    AxiomViolationError,
+    DropEssentialSupertype,
+    DropType,
+    DuplicateTypeError,
+    EvolutionJournal,
+    SchemaTransaction,
+    TransactionError,
+    build_figure1_lattice,
+)
+
+
+@pytest.fixture
+def journal():
+    return EvolutionJournal(lattice=build_figure1_lattice())
+
+
+class TestCommit:
+    def test_compound_change_applies_atomically(self, journal):
+        with SchemaTransaction(journal) as txn:
+            txn.apply(DropEssentialSupertype("T_teachingAssistant",
+                                             "T_employee"))
+            txn.apply(AddType("T_grader", ("T_student",)))
+        assert txn.state == "committed"
+        assert "T_grader" in journal.lattice
+        assert "T_employee" not in journal.lattice.pe("T_teachingAssistant")
+        assert len(txn) == 2
+
+    def test_operations_see_earlier_effects(self, journal):
+        with SchemaTransaction(journal) as txn:
+            txn.apply(AddType("T_a"))
+            txn.apply(AddType("T_b", ("T_a",)))  # depends on the first
+        assert journal.lattice.p("T_b") == {"T_a"}
+
+    def test_committed_ops_are_journalled_individually(self, journal):
+        before = len(journal)
+        with SchemaTransaction(journal) as txn:
+            txn.apply(AddType("T_a"))
+            txn.apply(AddType("T_b"))
+        assert len(journal) == before + 2
+        # Undo still works op-by-op after commit.
+        journal.undo()
+        assert "T_b" not in journal.lattice
+        assert "T_a" in journal.lattice
+
+
+class TestRollback:
+    def test_error_inside_with_block_rolls_back(self, journal):
+        before = journal.lattice.state_fingerprint()
+        with pytest.raises(DuplicateTypeError):
+            with SchemaTransaction(journal) as txn:
+                txn.apply(AddType("T_a"))
+                txn.apply(AddType("T_person"))  # duplicate: raises
+        assert txn.state == "rolled-back"
+        assert journal.lattice.state_fingerprint() == before
+        assert "T_a" not in journal.lattice
+
+    def test_explicit_rollback(self, journal):
+        before = journal.lattice.state_fingerprint()
+        txn = SchemaTransaction(journal).begin()
+        txn.apply(DropType("T_taxSource"))
+        txn.apply(AddType("T_x"))
+        txn.rollback()
+        assert journal.lattice.state_fingerprint() == before
+        assert "T_taxSource" in journal.lattice
+
+    def test_rollback_restores_journal_length(self, journal):
+        before_len = len(journal)
+        txn = SchemaTransaction(journal).begin()
+        txn.apply(AddType("T_a"))
+        txn.rollback()
+        assert len(journal) == before_len
+
+    def test_caller_may_continue_after_a_rejected_op(self, journal):
+        with SchemaTransaction(journal) as txn:
+            txn.apply(AddType("T_a"))
+            with pytest.raises(DuplicateTypeError):
+                txn.apply(AddType("T_a"))
+            txn.apply(AddType("T_b"))  # transaction still usable
+        assert "T_a" in journal.lattice and "T_b" in journal.lattice
+
+
+class TestVerifyOnCommit:
+    def test_axiom_violation_rolls_back(self, journal):
+        before = journal.lattice.state_fingerprint()
+        txn = SchemaTransaction(journal, verify_on_commit=True).begin()
+        txn.apply(AddType("T_a"))
+        # Corrupt behind the journal's back so commit-time check fails.
+        journal.lattice._pe["T_a"].add("T_ghost")
+        journal.lattice.invalidate_cache()
+        with pytest.raises(AxiomViolationError):
+            txn.commit()
+        assert txn.state == "rolled-back"
+        assert journal.lattice.state_fingerprint() == before
+
+    def test_verification_can_be_disabled(self, journal):
+        with SchemaTransaction(journal, verify_on_commit=False) as txn:
+            txn.apply(AddType("T_a"))
+        assert txn.state == "committed"
+
+
+class TestLifecycleErrors:
+    def test_apply_before_begin(self, journal):
+        txn = SchemaTransaction(journal)
+        with pytest.raises(TransactionError):
+            txn.apply(AddType("T_a"))
+
+    def test_double_begin(self, journal):
+        txn = SchemaTransaction(journal).begin()
+        with pytest.raises(TransactionError):
+            txn.begin()
+
+    def test_commit_twice(self, journal):
+        txn = SchemaTransaction(journal).begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.commit()
+
+    def test_rollback_after_commit(self, journal):
+        txn = SchemaTransaction(journal).begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.rollback()
+
+    def test_explicit_resolution_inside_with_is_respected(self, journal):
+        with SchemaTransaction(journal) as txn:
+            txn.apply(AddType("T_a"))
+            txn.rollback()  # resolved inside the block
+        assert txn.state == "rolled-back"
+        assert "T_a" not in journal.lattice
+
+    def test_operations_listing(self, journal):
+        txn = SchemaTransaction(journal).begin()
+        op1 = AddType("T_a")
+        op2 = AddEssentialSupertype("T_a", "T_person")
+        txn.apply(op1)
+        txn.apply(op2)
+        assert txn.operations() == [op1, op2]
+        txn.commit()

@@ -1,0 +1,143 @@
+"""Machine-checked reproduction of every claim in the paper's Section 2
+worked example (the Figure 1 lattice)."""
+
+import pytest
+
+from repro.core import build_figure1_lattice, check_all, prop, verify
+
+
+@pytest.fixture
+def lat():
+    return build_figure1_lattice()
+
+
+class TestFigure1Structure:
+    def test_all_seven_types_present(self, lat):
+        assert lat.types() == {
+            "T_object", "T_person", "T_taxSource", "T_student",
+            "T_employee", "T_teachingAssistant", "T_null",
+        }
+
+    def test_immediate_supertypes_of_teaching_assistant(self, lat):
+        # "P(T_teachingAssistant) = {T_student, T_employee}."
+        assert lat.p("T_teachingAssistant") == {"T_student", "T_employee"}
+
+    def test_person_reached_transitively_not_immediate(self, lat):
+        # "The other supertypes ... can be reached through T_student or
+        # T_employee" — T_person is essential but dominated.
+        assert "T_person" in lat.pe("T_teachingAssistant")
+        assert "T_person" not in lat.p("T_teachingAssistant")
+
+    def test_supertype_lattice_of_employee(self, lat):
+        # "PL(T_employee) = {T_employee, T_person, T_taxSource, T_object}."
+        assert lat.pl("T_employee") == {
+            "T_employee", "T_person", "T_taxSource", "T_object"
+        }
+
+    def test_axiom3_holds_at_t_object(self, lat):
+        # "Axiom 3 holds when ⊤ = T_object."
+        for t in lat.types():
+            assert "T_object" in lat.pl(t)
+        assert lat.p("T_object") == frozenset()
+
+    def test_axiom4_holds_at_t_null(self, lat):
+        # "Axiom 4 holds when ⊥ = T_null."
+        assert lat.pl("T_null") == lat.types()
+
+    def test_all_axioms_hold(self, lat):
+        assert check_all(lat) == []
+
+    def test_sound_and_complete(self, lat):
+        assert verify(lat).ok
+
+
+class TestFigure1Properties:
+    def test_two_distinct_name_properties(self, lat):
+        # "T_person and T_taxSource may both have native 'name' properties."
+        assert len(lat.universe.by_name("name")) == 2
+        assert prop("person.name") in lat.n("T_person")
+        assert prop("taxSource.name") in lat.n("T_taxSource")
+
+    def test_salary_native_on_employee(self, lat):
+        # "the type T_employee may have a native 'salary' property that is
+        # not defined on any of its supertypes."
+        assert prop("employee.salary") in lat.n("T_employee")
+        for s in lat.pl("T_employee") - {"T_employee"}:
+            assert prop("employee.salary") not in lat.interface(s)
+
+    def test_employee_inherits_both_names(self, lat):
+        # "the inherited properties of T_employee is the union of the
+        # properties defined on T_person, T_taxSource, and T_object."
+        expected = lat.n("T_person") | lat.n("T_taxSource") | lat.n("T_object")
+        assert lat.h("T_employee") == expected
+
+    def test_tax_bracket_inherited_not_native_in_employee(self, lat):
+        # taxBracket is declared essential on T_employee but is inherited
+        # from T_taxSource, so it is in Ne but not in N.
+        tb = prop("taxSource.taxBracket")
+        assert tb in lat.ne("T_employee")
+        assert tb in lat.h("T_employee")
+        assert tb not in lat.n("T_employee")
+
+
+class TestWorkedDrops:
+    def test_drop_student_leaves_employee_immediate(self, lat):
+        # "if T_student is dropped from Pe(T_teachingAssistant), then the
+        # new instantiation of the immediate supertypes would only include
+        # T_employee."
+        lat.drop_essential_supertype("T_teachingAssistant", "T_student")
+        assert lat.p("T_teachingAssistant") == {"T_employee"}
+
+    def test_drop_both_reestablishes_person(self, lat):
+        # "if T_employee is dropped as an essential supertype, then Axiom 5
+        # instantiates {T_person} as the only immediate supertype."
+        lat.drop_essential_supertype("T_teachingAssistant", "T_student")
+        lat.drop_essential_supertype("T_teachingAssistant", "T_employee")
+        assert lat.p("T_teachingAssistant") == {"T_person"}
+
+    def test_tax_source_lost_because_not_essential(self, lat):
+        # "T_taxSource would be lost as a supertype because it was not
+        # declared as essential."
+        lat.drop_essential_supertype("T_teachingAssistant", "T_student")
+        lat.drop_essential_supertype("T_teachingAssistant", "T_employee")
+        assert "T_taxSource" not in lat.pl("T_teachingAssistant")
+        assert "T_employee" not in lat.pl("T_teachingAssistant")
+
+    def test_employee_properties_lost_after_drop(self, lat):
+        # "The properties of T_employee and T_taxSource are lost in
+        # T_teachingAssistant (except for the essential properties)."
+        lat.drop_essential_supertype("T_teachingAssistant", "T_student")
+        lat.drop_essential_supertype("T_teachingAssistant", "T_employee")
+        iface = lat.interface("T_teachingAssistant")
+        assert prop("employee.salary") not in iface
+        assert prop("taxSource.taxBracket") not in iface
+        assert prop("taxSource.name") not in iface
+        assert prop("person.name") in iface  # still via T_person
+
+    def test_axioms_hold_after_every_drop(self, lat):
+        lat.drop_essential_supertype("T_teachingAssistant", "T_student")
+        assert check_all(lat) == [] and verify(lat).ok
+        lat.drop_essential_supertype("T_teachingAssistant", "T_employee")
+        assert check_all(lat) == [] and verify(lat).ok
+
+
+class TestTaxBracketAdoption:
+    def test_adoption_on_tax_source_deletion(self, lat):
+        # "assume there is a 'taxBracket' property defined on T_taxSource
+        # that is declared as essential in T_employee ... if T_taxSource
+        # were deleted, then the 'taxBracket' property would be adopted by
+        # T_employee as a native property."
+        tb = prop("taxSource.taxBracket")
+        assert tb not in lat.n("T_employee")
+        lat.drop_type("T_taxSource")
+        assert tb in lat.n("T_employee")
+        assert tb in lat.interface("T_employee")
+        # The non-essential inherited name property of T_taxSource is lost.
+        assert prop("taxSource.name") not in lat.interface("T_employee")
+        assert check_all(lat) == [] and verify(lat).ok
+
+    def test_adoption_propagates_to_subtypes(self, lat):
+        lat.drop_type("T_taxSource")
+        assert prop("taxSource.taxBracket") in lat.interface(
+            "T_teachingAssistant"
+        )

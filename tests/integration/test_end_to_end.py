@@ -1,0 +1,203 @@
+"""End-to-end scenarios spanning the whole stack: objectbase + axioms +
+evolution + propagation + persistence + cross-system comparison."""
+
+import pytest
+
+from repro.core import (
+    EvolutionJournal,
+    build_figure1_lattice,
+    check_all,
+    verify,
+)
+from repro.propagation import ScreeningStrategy, TemporalSchema
+from repro.storage import DurableLattice, save_lattice, load_lattice
+from repro.tigukat import Objectbase, SchemaManager, schema_sets
+
+
+class TestEngineeringDesignScenario:
+    """The paper's motivating domain: 'in an engineering design
+    application many components of an overall design may go through
+    several modifications before a final product design is achieved.'"""
+
+    @pytest.fixture
+    def design_base(self):
+        store = Objectbase()
+        mgr = SchemaManager(store)
+        for semantics, name, rtype in [
+            ("component.id", "id", "T_string"),
+            ("component.mass", "mass", "T_real"),
+            ("electrical.voltage", "voltage", "T_real"),
+            ("mechanical.torque", "torque", "T_real"),
+            ("thermal.rating", "rating", "T_real"),
+        ]:
+            store.define_stored_behavior(semantics, name, rtype)
+        mgr.at("T_component", behaviors=("component.id", "component.mass"),
+               with_class=True)
+        mgr.at("T_electrical", ("T_component",), ("electrical.voltage",),
+               with_class=True)
+        mgr.at("T_mechanical", ("T_component",), ("mechanical.torque",),
+               with_class=True)
+        mgr.at("T_actuator", ("T_electrical", "T_mechanical"),
+               with_class=True)
+        return store, mgr
+
+    def test_design_iteration_cycle(self, design_base):
+        store, mgr = design_base
+        temporal = TemporalSchema(store.lattice)
+        screening = ScreeningStrategy(store)
+
+        actuator = store.create_object(
+            "T_actuator", id="ACT-1", mass=1.2, voltage=24.0, torque=0.8
+        )
+
+        # Design iteration 1: actuators gain a thermal rating.
+        store.define_stored_behavior("thermal.maxTemp", "maxTemp", "T_real")
+        mgr.mt_ab("T_actuator", "thermal.maxTemp")
+        temporal.commit("iteration 1: thermal rating")
+        store.apply(actuator, "maxTemp", 85.0)
+
+        # Design iteration 2: mechanical aspect dropped from actuators.
+        mgr.mt_dsr("T_actuator", "T_mechanical")
+        screening.on_schema_change(
+            frozenset({"T_actuator"})
+        )
+        temporal.commit("iteration 2: electrical-only actuators")
+
+        # The torque slot is stranded and screened away on access.
+        assert screening.read_slot(actuator, "mechanical.torque") is None
+        assert screening.read_slot(actuator, "electrical.voltage") == 24.0
+
+        # Full consistency after every iteration.
+        assert check_all(store.lattice) == []
+        assert verify(store.lattice).ok
+
+        # The temporal history answers design-review questions.
+        assert len(temporal) == 3
+        v1 = {p.name for p in temporal.interface_at("T_actuator", 1)}
+        v2 = {p.name for p in temporal.interface_at("T_actuator", 2)}
+        assert "torque" in v1 and "torque" not in v2
+
+    def test_schema_sets_track_the_design(self, design_base):
+        store, __ = design_base
+        sets = schema_sets(store)
+        assert "T_actuator" in sets.tso
+        assert "electrical.voltage" in sets.bso
+        assert sets.invariants_ok(store)
+
+
+class TestDurabilityScenario:
+    def test_schema_survives_crash_and_restart(self, tmp_path):
+        from repro.core import (
+            AddEssentialProperty,
+            AddEssentialSupertype,
+            AddType,
+            DropType,
+            prop,
+        )
+
+        path = tmp_path / "schema.wal"
+        durable = DurableLattice(path)
+        durable.apply(AddType("T_doc", properties=(prop("doc.title"),)))
+        durable.apply(AddType("T_memo", ("T_doc",)))
+        durable.apply(AddEssentialProperty("T_memo", prop("memo.to")))
+        durable.checkpoint()
+        durable.apply(AddType("T_report", ("T_doc",)))
+        durable.apply(DropType("T_memo"))
+
+        # "Crash": forget everything in memory; reopen from disk.
+        reopened = DurableLattice.reopen(path)
+        assert reopened.lattice.state_fingerprint() == (
+            durable.lattice.state_fingerprint()
+        )
+        assert "T_memo" not in reopened.lattice
+        assert "T_report" in reopened.lattice
+        assert check_all(reopened.lattice) == []
+
+    def test_snapshot_and_journal_agree(self, tmp_path):
+        lat = build_figure1_lattice()
+        journal = EvolutionJournal(lattice=lat)
+        from repro.core import AddType, DropEssentialSupertype
+
+        journal.apply(AddType("T_ra", ("T_student",)))
+        journal.apply(
+            DropEssentialSupertype("T_teachingAssistant", "T_student")
+        )
+        snap_path = save_lattice(lat, tmp_path / "snap.json")
+        loaded = load_lattice(snap_path)
+        assert loaded.state_fingerprint() == lat.state_fingerprint()
+        # Undoing through the journal matches a fresh Figure-1 lattice
+        # (journal inverses compose with snapshots).
+        journal.undo()
+        journal.undo()
+        assert (
+            lat.state_fingerprint()
+            == build_figure1_lattice().state_fingerprint()
+        )
+
+
+class TestUniformityScenario:
+    """The Section 5 uniformity claim, end to end: a stored 'attribute'
+    can be silently replaced by a computed 'method' — callers never
+    notice, because both are behaviors."""
+
+    def test_stored_to_computed_swap_is_transparent(self):
+        store = Objectbase()
+        mgr = SchemaManager(store)
+        store.define_stored_behavior("circle.radius", "radius", "T_real")
+        store.define_stored_behavior("circle.area", "area", "T_real")
+        mgr.at("T_circle", behaviors=("circle.radius", "circle.area"),
+               with_class=True)
+        c = store.create_object("T_circle", radius=2.0, area=12.56)
+        assert store.apply(c, "area") == 12.56
+
+        # MB-CA: swap the stored area for a computed one.
+        from repro.tigukat import FunctionKind
+
+        computed = store.define_function(
+            "area_from_radius", FunctionKind.COMPUTED,
+            body=lambda s, r: 3.14159 * s.apply(r, "radius") ** 2,
+        )
+        mgr.mb_ca("circle.area", "T_circle", computed)
+        assert store.apply(c, "area") == pytest.approx(12.56636)
+        # The schema itself (BSO) is unchanged: same behavior, new impl.
+        assert "circle.area" in schema_sets(store).bso
+
+
+class TestCrossSystemScenario:
+    def test_same_history_three_systems(self):
+        """Drive the same conceptual evolution through TIGUKAT, Orion and
+        GemStone, then compare their reductions in the common model."""
+        from repro.orion import OrionOps, OrionProperty, ReducedOrion
+        from repro.systems import GemStoneSchema
+
+        # TIGUKAT
+        store = Objectbase()
+        mgr = SchemaManager(store)
+        store.define_stored_behavior("p.name", "name", "T_string")
+        mgr.at("T_P", behaviors=("p.name",))
+        mgr.at("T_S", ("T_P",))
+
+        # Orion (native + reduced)
+        orion = OrionOps()
+        reduced = ReducedOrion()
+        for target in (orion, reduced):
+            target.op6("P")
+            target.op1("P", OrionProperty("name", "STRING"))
+            target.op6("S", "P")
+
+        # GemStone
+        gs = GemStoneSchema()
+        gs.define_class("P")
+        gs.add_instance_variable("P", "name", "String")
+        gs.define_class("S", "P")
+
+        # All three reductions satisfy the axioms and agree on the
+        # subtype relationship and the inherited property name.
+        for lattice, sub, sup in [
+            (store.lattice, "T_S", "T_P"),
+            (reduced.lattice, "S", "P"),
+            (gs.to_axiomatic(), "S", "P"),
+        ]:
+            assert check_all(lattice) == []
+            assert lattice.is_subtype(sub, sup)
+            assert {p.name for p in lattice.h(sub)} == {"name"}

@@ -1,0 +1,132 @@
+"""Tests for the native Orion model and conflict resolution."""
+
+import pytest
+
+from repro.core import CycleError, DuplicateTypeError, UnknownTypeError
+from repro.orion import (
+    ROOT_CLASS,
+    OrionDatabase,
+    OrionProperty,
+    resolve_interface,
+    visible_property,
+)
+from repro.orion.conflict import inherited_of
+
+
+@pytest.fixture
+def db():
+    d = OrionDatabase()
+    d.add_class("PERSON")
+    d.add_class("STUDENT", ["PERSON"])
+    d.add_class("EMPLOYEE", ["PERSON"])
+    d.add_class("TA", ["STUDENT", "EMPLOYEE"])
+    return d
+
+
+class TestStructure:
+    def test_root_always_exists(self):
+        assert ROOT_CLASS in OrionDatabase()
+
+    def test_add_class_default_root(self):
+        db = OrionDatabase()
+        db.add_class("A")
+        assert db.get("A").superclasses == [ROOT_CLASS]
+
+    def test_duplicate_and_unknown(self, db):
+        with pytest.raises(DuplicateTypeError):
+            db.add_class("PERSON")
+        with pytest.raises(UnknownTypeError):
+            db.add_class("X", ["GHOST"])
+        with pytest.raises(UnknownTypeError):
+            db.get("GHOST")
+
+    def test_subclasses_and_ancestors(self, db):
+        assert db.subclasses_of("PERSON") == {"STUDENT", "EMPLOYEE"}
+        assert db.ancestors_of("TA") == {
+            "STUDENT", "EMPLOYEE", "PERSON", ROOT_CLASS
+        }
+
+    def test_add_edge_preserves_order(self, db):
+        db.add_class("X")
+        db.add_edge("X", "STUDENT")
+        db.add_edge("X", "EMPLOYEE")
+        assert db.get("X").superclasses == [ROOT_CLASS, "STUDENT", "EMPLOYEE"]
+
+    def test_add_edge_rejects_cycles(self, db):
+        with pytest.raises(CycleError):
+            db.add_edge("PERSON", "TA")
+        with pytest.raises(CycleError):
+            db.add_edge("PERSON", "PERSON")
+
+    def test_add_edge_idempotent(self, db):
+        db.add_edge("TA", "STUDENT")
+        assert db.get("TA").superclasses.count("STUDENT") == 1
+
+    def test_is_dag(self, db):
+        assert db.is_dag()
+        db.get("PERSON").superclasses.append("TA")  # corrupt directly
+        assert not db.is_dag()
+
+    def test_copy_is_independent(self, db):
+        clone = db.copy()
+        clone.add_class("NEW")
+        assert "NEW" not in db
+        assert db.fingerprint() != clone.fingerprint()
+
+    def test_rename(self, db):
+        db.get("STUDENT").define(OrionProperty("gpa", "REAL"))
+        db.rename_class("STUDENT", "PUPIL")
+        assert "STUDENT" not in db
+        assert "PUPIL" in db
+        assert db.get("TA").superclasses == ["PUPIL", "EMPLOYEE"]
+        assert db.get("PUPIL").local["gpa"].origin == "PUPIL"
+
+
+class TestConflictResolution:
+    def test_local_precedence(self, db):
+        db.get("PERSON").define(OrionProperty("name", "STRING"))
+        db.get("STUDENT").define(OrionProperty("name", "STRING"))
+        winner = visible_property(db, "STUDENT", "name")
+        assert winner.origin == "STUDENT"
+
+    def test_superclass_order_precedence(self, db):
+        db.get("STUDENT").define(OrionProperty("id", "NAT"))
+        db.get("EMPLOYEE").define(OrionProperty("id", "STRING"))
+        # TA's order is [STUDENT, EMPLOYEE]: STUDENT's id wins.
+        assert visible_property(db, "TA", "id").origin == "STUDENT"
+
+    def test_reordering_flips_the_winner(self, db):
+        db.get("STUDENT").define(OrionProperty("id", "NAT"))
+        db.get("EMPLOYEE").define(OrionProperty("id", "STRING"))
+        db.get("TA").superclasses = ["EMPLOYEE", "STUDENT"]
+        assert visible_property(db, "TA", "id").origin == "EMPLOYEE"
+
+    def test_single_origin_no_self_conflict(self, db):
+        # PERSON's name reaches TA via both STUDENT and EMPLOYEE: once.
+        db.get("PERSON").define(OrionProperty("name", "STRING"))
+        iface = resolve_interface(db, "TA")
+        assert iface["name"].origin == "PERSON"
+
+    def test_full_interface_accumulates(self, db):
+        db.get("PERSON").define(OrionProperty("name", "STRING"))
+        db.get("STUDENT").define(OrionProperty("gpa", "REAL"))
+        db.get("EMPLOYEE").define(OrionProperty("salary", "REAL"))
+        db.get("TA").define(OrionProperty("course", "STRING"))
+        assert set(resolve_interface(db, "TA")) == {
+            "name", "gpa", "salary", "course"
+        }
+
+    def test_inherited_excludes_local(self, db):
+        # "Inherited properties of a class C in Orion is equivalent to
+        # I(C) − Ne(C) in the axiomatic model."
+        db.get("PERSON").define(OrionProperty("name", "STRING"))
+        db.get("STUDENT").define(OrionProperty("gpa", "REAL"))
+        inh = inherited_of(db, "STUDENT")
+        assert set(inh) == {"name"}
+
+    def test_methods_and_attributes_uniform_at_this_level(self, db):
+        # "The same operation is performed whether v is an attribute or a
+        # method" — resolution does not discriminate.
+        db.get("PERSON").define(OrionProperty("describe", is_method=True))
+        db.get("STUDENT").define(OrionProperty("describe", is_method=True))
+        assert visible_property(db, "STUDENT", "describe").origin == "STUDENT"

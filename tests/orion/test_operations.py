@@ -1,0 +1,171 @@
+"""Tests for Orion's eight fundamental operations (native semantics)."""
+
+import pytest
+
+from repro.core import CycleError, OperationRejected, UnknownTypeError
+from repro.orion import ROOT_CLASS, OrionOps, OrionProperty, check_invariants
+
+
+@pytest.fixture
+def ops():
+    o = OrionOps()
+    o.op6("PERSON")
+    o.op6("STUDENT", "PERSON")
+    o.op6("EMPLOYEE", "PERSON")
+    o.op6("TA", "STUDENT")
+    o.op3("TA", "EMPLOYEE")
+    return o
+
+
+class TestOp1Op2:
+    def test_op1_defines_property(self, ops):
+        ops.op1("PERSON", OrionProperty("name", "STRING"))
+        assert "name" in ops.db.get("PERSON").local
+        assert ops.db.get("PERSON").local["name"].origin == "PERSON"
+
+    def test_op1_attribute_and_method_same_path(self, ops):
+        ops.op1("PERSON", OrionProperty("walk", is_method=True))
+        ops.op1("PERSON", OrionProperty("age", "NAT"))
+        assert set(ops.db.get("PERSON").local) == {"walk", "age"}
+
+    def test_op1_redefinition_must_specialize_domain(self, ops):
+        ops.op6("GRAD", "STUDENT")
+        ops.op1("PERSON", OrionProperty("advisor", "PERSON"))
+        # Specializing PERSON -> STUDENT is fine:
+        ops.op1("STUDENT", OrionProperty("advisor", "PERSON"))
+        ops.op1("GRAD", OrionProperty("advisor", "STUDENT"))
+        # Generalizing STUDENT -> OBJECT is rejected (rule R5):
+        with pytest.raises(OperationRejected):
+            ops.op1("TA", OrionProperty("advisor", ROOT_CLASS))
+
+    def test_op2_drops_local(self, ops):
+        ops.op1("PERSON", OrionProperty("name", "STRING"))
+        ops.op2("PERSON", "name")
+        assert "name" not in ops.db.get("PERSON").local
+
+    def test_op2_rejects_inherited(self, ops):
+        ops.op1("PERSON", OrionProperty("name", "STRING"))
+        with pytest.raises(OperationRejected):
+            ops.op2("STUDENT", "name")  # inherited, not local
+
+
+class TestOp3Op4Op5:
+    def test_op3_appends_in_order(self, ops):
+        ops.op6("X")
+        ops.op3("X", "STUDENT")
+        assert ops.db.get("X").superclasses == [ROOT_CLASS, "STUDENT"]
+
+    def test_op3_rejects_cycles(self, ops):
+        with pytest.raises(CycleError):
+            ops.op3("PERSON", "TA")
+
+    def test_op4_simple_removal(self, ops):
+        ops.op4("TA", "EMPLOYEE")
+        assert ops.db.get("TA").superclasses == ["STUDENT"]
+
+    def test_op4_last_edge_rewires_to_superclasses(self, ops):
+        # Drop STUDENT then EMPLOYEE: TA's last edge goes; it is linked to
+        # EMPLOYEE's superclasses (PERSON).
+        ops.op4("TA", "STUDENT")
+        ops.op4("TA", "EMPLOYEE")
+        assert ops.db.get("TA").superclasses == ["PERSON"]
+
+    def test_op4_last_edge_to_object_rejected(self, ops):
+        ops.op6("LONER")
+        with pytest.raises(OperationRejected):
+            ops.op4("LONER", ROOT_CLASS)
+
+    def test_op4_object_edge_droppable_when_not_last(self, ops):
+        ops.op6("X")
+        ops.op3("X", "PERSON")
+        ops.op4("X", ROOT_CLASS)
+        assert ops.db.get("X").superclasses == ["PERSON"]
+
+    def test_op4_unknown_edge_rejected(self, ops):
+        with pytest.raises(OperationRejected):
+            ops.op4("STUDENT", "EMPLOYEE")
+
+    def test_op5_reorders(self, ops):
+        ops.op5("TA", ["EMPLOYEE", "STUDENT"])
+        assert ops.db.get("TA").superclasses == ["EMPLOYEE", "STUDENT"]
+
+    def test_op5_requires_permutation(self, ops):
+        with pytest.raises(OperationRejected):
+            ops.op5("TA", ["STUDENT"])
+        with pytest.raises(OperationRejected):
+            ops.op5("TA", ["STUDENT", "PERSON"])
+
+
+class TestOp6Op7Op8:
+    def test_op6_default_superclass_is_object(self, ops):
+        ops.op6("FREE")
+        assert ops.db.get("FREE").superclasses == [ROOT_CLASS]
+
+    def test_op7_uses_op4_per_subclass(self, ops):
+        # Dropping STUDENT: TA loses STUDENT but keeps EMPLOYEE (simple
+        # removal, no rewiring since EMPLOYEE remains).
+        ops.op7("STUDENT")
+        assert "STUDENT" not in ops.db
+        assert ops.db.get("TA").superclasses == ["EMPLOYEE"]
+
+    def test_op7_rewires_only_children(self, ops):
+        ops.op4("TA", "EMPLOYEE")  # TA's only superclass is STUDENT now
+        ops.op7("STUDENT")
+        # TA's last edge dropped -> linked to STUDENT's superclasses.
+        assert ops.db.get("TA").superclasses == ["PERSON"]
+
+    def test_op7_object_protected(self, ops):
+        with pytest.raises(OperationRejected):
+            ops.op7(ROOT_CLASS)
+
+    def test_op7_unknown(self, ops):
+        with pytest.raises(UnknownTypeError):
+            ops.op7("GHOST")
+
+    def test_op8_renames_everywhere(self, ops):
+        ops.op1("STUDENT", OrionProperty("gpa", "REAL"))
+        ops.op8("STUDENT", "PUPIL")
+        assert "PUPIL" in ops.db and "STUDENT" not in ops.db
+        assert "PUPIL" in ops.db.get("TA").superclasses
+
+    def test_op8_object_protected(self, ops):
+        with pytest.raises(OperationRejected):
+            ops.op8(ROOT_CLASS, "THING")
+
+
+class TestInvariantsUnderOps:
+    def test_invariants_hold_after_each_operation(self, ops):
+        assert check_invariants(ops.db) == []
+        ops.op1("PERSON", OrionProperty("name", "STRING"))
+        assert check_invariants(ops.db) == []
+        ops.op4("TA", "STUDENT")
+        assert check_invariants(ops.db) == []
+        ops.op7("EMPLOYEE")
+        assert check_invariants(ops.db) == []
+        ops.op8("PERSON", "HUMAN")
+        assert check_invariants(ops.db) == []
+
+    def test_violations_detected_on_corruption(self, ops):
+        ops.db.get("TA").superclasses.clear()
+        violations = check_invariants(ops.db)
+        assert any(v.invariant == "class-lattice" for v in violations)
+
+    def test_cycle_detected(self, ops):
+        ops.db.get("PERSON").superclasses.append("TA")
+        violations = check_invariants(ops.db)
+        assert any("cycle" in v.detail for v in violations)
+
+    def test_foreign_origin_detected(self, ops):
+        from dataclasses import replace
+
+        cls = ops.db.get("PERSON")
+        cls.define(OrionProperty("name", "STRING"))
+        cls.local["name"] = replace(cls.local["name"], origin="ELSEWHERE")
+        violations = check_invariants(ops.db)
+        assert any(v.invariant == "distinct-origin" for v in violations)
+
+    def test_twelve_rules_documented(self):
+        from repro.orion import ORION_RULES
+
+        assert len(ORION_RULES) == 12
+        assert all(code.startswith("R") for code, __, __ in ORION_RULES)

@@ -1,0 +1,200 @@
+"""Tests for the Orion → axiomatic reduction (the Section 4 theorem).
+
+Includes the differential property test: any random OP1-OP8 stream keeps
+the native database and the reduction equivalent.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SchemaError, check_all, verify
+from repro.orion import (
+    ROOT_CLASS,
+    OrionOps,
+    OrionProperty,
+    ReducedOrion,
+    check_equivalent,
+    assert_equivalent,
+    reverse_reduction_counterexample,
+)
+
+
+def lockstep():
+    return OrionOps(), ReducedOrion()
+
+
+def build_university(native: OrionOps, reduced: ReducedOrion):
+    for name, sup in [
+        ("PERSON", None), ("STUDENT", "PERSON"),
+        ("EMPLOYEE", "PERSON"), ("TA", "STUDENT"),
+    ]:
+        native.op6(name, sup)
+        reduced.op6(name, sup)
+    native.op3("TA", "EMPLOYEE")
+    reduced.op3("TA", "EMPLOYEE")
+
+
+class TestScriptedEquivalence:
+    def test_construction(self):
+        native, reduced = lockstep()
+        build_university(native, reduced)
+        assert_equivalent(native.db, reduced)
+
+    def test_properties_and_conflicts(self):
+        native, reduced = lockstep()
+        build_university(native, reduced)
+        for target in (native, reduced):
+            target.op1("PERSON", OrionProperty("name", "STRING"))
+            target.op1("STUDENT", OrionProperty("id", "NAT"))
+            target.op1("EMPLOYEE", OrionProperty("id", "STRING"))
+        assert_equivalent(native.db, reduced)
+        # Conflict winner for TA's "id" comes through STUDENT in both.
+        assert reduced.resolved_interface("TA")["id"] == "STUDENT.id"
+
+    def test_op5_reorder_changes_winner_in_both(self):
+        native, reduced = lockstep()
+        build_university(native, reduced)
+        for target in (native, reduced):
+            target.op1("STUDENT", OrionProperty("id", "NAT"))
+            target.op1("EMPLOYEE", OrionProperty("id", "STRING"))
+            target.op5("TA", ["EMPLOYEE", "STUDENT"])
+        assert_equivalent(native.db, reduced)
+        assert reduced.resolved_interface("TA")["id"] == "EMPLOYEE.id"
+
+    def test_op4_rewiring(self):
+        native, reduced = lockstep()
+        build_university(native, reduced)
+        for target in (native, reduced):
+            target.op4("TA", "STUDENT")
+            target.op4("TA", "EMPLOYEE")  # last edge: rewires to PERSON
+        assert_equivalent(native.db, reduced)
+        assert reduced.ordered_pe["TA"] == ["PERSON"]
+
+    def test_op7_drop_class(self):
+        native, reduced = lockstep()
+        build_university(native, reduced)
+        for target in (native, reduced):
+            target.op1("EMPLOYEE", OrionProperty("salary", "REAL"))
+            target.op7("EMPLOYEE")
+        assert_equivalent(native.db, reduced)
+
+    def test_op8_rename(self):
+        native, reduced = lockstep()
+        build_university(native, reduced)
+        for target in (native, reduced):
+            target.op1("STUDENT", OrionProperty("gpa", "REAL"))
+            target.op8("STUDENT", "PUPIL")
+        assert_equivalent(native.db, reduced)
+        assert reduced.resolved_interface("PUPIL")["gpa"] == "PUPIL.gpa"
+
+    def test_reduction_lattice_satisfies_axioms(self):
+        native, reduced = lockstep()
+        build_university(native, reduced)
+        native.op4("TA", "STUDENT")
+        reduced.op4("TA", "STUDENT")
+        assert check_all(reduced.lattice) == []
+        assert verify(reduced.lattice).ok
+
+    def test_rejections_match(self):
+        native, reduced = lockstep()
+        build_university(native, reduced)
+        for target in (native, reduced):
+            with pytest.raises(SchemaError):
+                target.op3("PERSON", "TA")  # cycle
+            with pytest.raises(SchemaError):
+                target.op2("STUDENT", "ghost")  # not local
+            with pytest.raises(SchemaError):
+                target.op7(ROOT_CLASS)
+        assert_equivalent(native.db, reduced)
+
+
+# ----------------------------------------------------------------------
+# Differential property test over random OP streams
+# ----------------------------------------------------------------------
+
+CLASS_POOL = [f"C{i}" for i in range(6)]
+PROP_POOL = ["alpha", "beta", "gamma"]
+
+
+@st.composite
+def op_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    stream = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["op1", "op2", "op3", "op4", "op5", "op6", "op7", "op8"]
+        ))
+        c = draw(st.sampled_from(CLASS_POOL))
+        s = draw(st.sampled_from(CLASS_POOL + [ROOT_CLASS]))
+        p = draw(st.sampled_from(PROP_POOL))
+        shuffle_seed = draw(st.integers(min_value=0, max_value=7))
+        stream.append((kind, c, s, p, shuffle_seed))
+    return stream
+
+
+@given(stream=op_streams())
+@settings(max_examples=60, deadline=None)
+def test_random_streams_stay_equivalent(stream):
+    native, reduced = lockstep()
+    for kind, c, s, p, shuffle_seed in stream:
+        native_args = _args(native, kind, c, s, p, shuffle_seed)
+        if native_args is None:
+            continue
+        native_error = reduced_error = None
+        try:
+            getattr(native, kind)(*native_args)
+        except SchemaError as exc:
+            native_error = type(exc)
+        try:
+            getattr(reduced, kind)(*native_args)
+        except SchemaError as exc:
+            reduced_error = type(exc)
+        # Both sides must accept or both must reject.
+        assert (native_error is None) == (reduced_error is None), (
+            kind, c, s, p, native_error, reduced_error
+        )
+    report = check_equivalent(native.db, reduced)
+    assert report.equivalent, str(report)
+
+
+def _args(native, kind, c, s, p, shuffle_seed):
+    """Concrete arguments for one op; None skips an inapplicable draw."""
+    import random
+
+    if kind == "op1":
+        return (c, OrionProperty(p, "OBJECT"))
+    if kind == "op2":
+        return (c, p)
+    if kind in ("op3", "op4"):
+        return (c, s)
+    if kind == "op5":
+        if c not in native.db:
+            return (c, [])
+        order = list(native.db.get(c).superclasses)
+        random.Random(shuffle_seed).shuffle(order)
+        return (c, order)
+    if kind == "op6":
+        return (c, None if s == ROOT_CLASS else s)
+    if kind == "op7":
+        return (c,)
+    if kind == "op8":
+        if s == ROOT_CLASS or s == c:
+            return None  # renaming onto OBJECT/self: skip the draw
+        return (c, s + "_renamed") if s + "_renamed" not in native.db else None
+    raise AssertionError(kind)
+
+
+class TestReverseDirection:
+    def test_counterexample_witnesses_nonreducibility(self):
+        cx = reverse_reduction_counterexample()
+        # Before the drop the two types are Orion-indistinguishable ...
+        assert cx["identical_p_before"]
+        # ... and after it the axiomatic model separates them.
+        assert cx["diverged"]
+        assert cx["p_A_after"] == {"T_top"}
+        assert cx["p_B_after"] == {"OBJECT"}
+
+    def test_counterexample_lattice_is_valid(self):
+        cx = reverse_reduction_counterexample()
+        assert check_all(cx["lattice"]) == []

@@ -1,0 +1,80 @@
+"""Tests for automatic change propagation (AutoPropagator)."""
+
+import pytest
+
+from repro.propagation import (
+    AutoPropagator,
+    ConversionStrategy,
+    ScreeningStrategy,
+    check_full_conformance,
+)
+from repro.tigukat import Objectbase, SchemaManager
+
+
+@pytest.fixture
+def setup():
+    store = Objectbase()
+    mgr = SchemaManager(store)
+    store.define_stored_behavior("d.a", "a")
+    store.define_stored_behavior("d.b", "b")
+    mgr.at("T_doc", behaviors=("d.a", "d.b"), with_class=True)
+    mgr.at("T_memo", ("T_doc",), with_class=True)
+    objs = [store.create_object("T_doc", a=1, b=2),
+            store.create_object("T_memo", a=3, b=4)]
+    return store, mgr, objs
+
+
+class TestAutoConversion:
+    def test_mt_db_converts_immediately(self, setup):
+        store, mgr, objs = setup
+        strategy = ConversionStrategy(store)
+        auto = AutoPropagator(mgr, strategy)
+        mgr.mt_db("T_doc", "d.b")
+        assert auto.notifications == 1
+        assert strategy.coerced_count == 2  # T_doc and its subtype T_memo
+        assert check_full_conformance(store) == []
+
+    def test_non_interface_ops_do_not_notify(self, setup):
+        store, mgr, __ = setup
+        strategy = ConversionStrategy(store)
+        auto = AutoPropagator(mgr, strategy)
+        mgr.al("stuff")
+        mgr.dl("stuff")
+        assert auto.notifications == 0
+
+    def test_dt_notifies_conservatively(self, setup):
+        store, mgr, objs = setup
+        strategy = ConversionStrategy(store)
+        auto = AutoPropagator(mgr, strategy)
+        mgr.dt("T_memo")
+        assert auto.notifications == 1
+        assert check_full_conformance(store) == []
+
+
+class TestAutoScreening:
+    def test_mt_dsr_marks_subtypes_stale(self, setup):
+        store, mgr, objs = setup
+        strategy = ScreeningStrategy(store)
+        AutoPropagator(mgr, strategy)
+        mgr.mt_dsr("T_memo", "T_doc")
+        assert strategy.pending_count() >= 1
+        # The memo instance screens clean on first access.
+        assert strategy.read_slot(objs[1], "d.a") is None  # stranded: cut
+        assert strategy.coerced_count == 1
+
+    def test_at_notifies_but_nothing_to_coerce(self, setup):
+        store, mgr, __ = setup
+        strategy = ScreeningStrategy(store)
+        auto = AutoPropagator(mgr, strategy)
+        mgr.at("T_report", ("T_doc",), with_class=True)
+        assert auto.notifications == 1
+        assert strategy.pending_count() == 0  # no instances yet
+
+    def test_multiple_operations_accumulate_versions(self, setup):
+        store, mgr, __ = setup
+        strategy = ScreeningStrategy(store)
+        AutoPropagator(mgr, strategy)
+        mgr.mt_db("T_doc", "d.b")
+        store.define_stored_behavior("d.c", "c")
+        mgr.mt_ab("T_doc", "d.c")
+        assert strategy.schema_version == 2

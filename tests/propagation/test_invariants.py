@@ -1,0 +1,83 @@
+"""Tests for the propagation invariants (the §6 future-work contract)."""
+
+import pytest
+
+from repro.propagation import (
+    ConversionStrategy,
+    FilteringStrategy,
+    Migrator,
+    ScreeningStrategy,
+    check_filtered_visibility,
+    check_full_conformance,
+    check_membership,
+    check_screened_conformance,
+)
+from repro.tigukat import Objectbase, SchemaManager
+
+
+@pytest.fixture
+def setup():
+    store = Objectbase()
+    mgr = SchemaManager(store)
+    store.define_stored_behavior("w.a", "a")
+    store.define_stored_behavior("w.b", "b")
+    mgr.at("T_widget", behaviors=("w.a", "w.b"), with_class=True)
+    mgr.at("T_gadget", ("T_widget",), with_class=True)
+    objs = [store.create_object("T_widget", a=i, b=i) for i in range(4)]
+    objs.append(store.create_object("T_gadget", a=9, b=9))
+    return store, mgr, objs
+
+
+class TestMembership:
+    def test_holds_normally(self, setup):
+        store, __, __ = setup
+        assert check_membership(store) == []
+
+    def test_holds_after_migration(self, setup):
+        store, __, objs = setup
+        Migrator(store).migrate_object(objs[0].oid, "T_gadget")
+        assert check_membership(store) == []
+
+    def test_detects_cross_class_corruption(self, setup):
+        store, __, objs = setup
+        # Force an instance into the wrong extent, behind the API's back.
+        store.class_of("T_gadget").insert(objs[0].oid)
+        violations = check_membership(store)
+        assert any("held by the class" in v.detail for v in violations)
+
+    def test_detects_dangling_member(self, setup):
+        store, __, objs = setup
+        del store._objects[objs[1].oid]  # corrupt: member without object
+        violations = check_membership(store)
+        assert any("does not exist" in v.detail for v in violations)
+
+
+class TestConformance:
+    def test_conversion_restores_full_conformance(self, setup):
+        store, mgr, __ = setup
+        mgr.mt_db("T_widget", "w.b")
+        assert check_full_conformance(store)  # stranded slots exist
+        ConversionStrategy(store).convert_everything()
+        assert check_full_conformance(store) == []
+
+    def test_screening_contract(self, setup):
+        store, mgr, objs = setup
+        strategy = ScreeningStrategy(store)
+        mgr.mt_db("T_widget", "w.b")
+        strategy.on_schema_change(frozenset({"T_widget", "T_gadget"}))
+        # Nothing accessed yet: contract trivially satisfied.
+        assert check_screened_conformance(store, strategy) == []
+        strategy.read_slot(objs[0], "w.a")
+        assert check_screened_conformance(store, strategy) == []
+        # Corrupt: mark an unscreened object clean.
+        strategy._clean_at[objs[1].oid] = strategy.schema_version
+        violations = check_screened_conformance(store, strategy)
+        assert violations and violations[0].subject == str(objs[1].oid)
+
+    def test_filtering_contract(self, setup):
+        store, mgr, __ = setup
+        strategy = FilteringStrategy(store)
+        mgr.mt_db("T_widget", "w.b")
+        assert check_filtered_visibility(store, strategy) == []
+        # Even though physical state still holds the dropped slot:
+        assert check_full_conformance(store) != []

@@ -1,0 +1,87 @@
+"""Tests for object migration (identity-preserving type moves)."""
+
+import pytest
+
+from repro.core import OperationRejected, UnknownTypeError
+from repro.propagation import Migrator
+from repro.tigukat import Objectbase, SchemaManager
+
+
+@pytest.fixture
+def setup():
+    store = Objectbase()
+    mgr = SchemaManager(store)
+    store.define_stored_behavior("person.name", "name", "T_string")
+    store.define_stored_behavior("student.gpa", "gpa", "T_real")
+    mgr.at("T_person", behaviors=("person.name",), with_class=True)
+    mgr.at("T_student", ("T_person",), ("student.gpa",), with_class=True)
+    return store, mgr
+
+
+class TestMigrateObject:
+    def test_identity_preserved(self, setup):
+        store, __ = setup
+        obj = store.create_object("T_student", name="Ada", gpa=4.0)
+        oid = obj.oid
+        Migrator(store).migrate_object(oid, "T_person")
+        migrated = store.get(oid)
+        assert migrated.oid == oid
+        assert migrated.type_name == "T_person"
+
+    def test_extent_membership_moves(self, setup):
+        store, __ = setup
+        obj = store.create_object("T_student")
+        Migrator(store).migrate_object(obj.oid, "T_person")
+        assert obj.oid in store.class_of("T_person").members()
+        assert obj.oid not in store.class_of("T_student").members()
+
+    def test_state_coerced_to_target_interface(self, setup):
+        store, __ = setup
+        obj = store.create_object("T_student", name="Ada", gpa=4.0)
+        Migrator(store).migrate_object(obj.oid, "T_person")
+        assert store.apply(obj, "name") == "Ada"     # kept: in target I
+        assert obj._get_slot("student.gpa") is None  # cut: stranded
+
+    def test_target_needs_class(self, setup):
+        store, mgr = setup
+        mgr.at("T_classless")
+        obj = store.create_object("T_person")
+        with pytest.raises(OperationRejected):
+            Migrator(store).migrate_object(obj.oid, "T_classless")
+
+    def test_unknown_target(self, setup):
+        store, __ = setup
+        obj = store.create_object("T_person")
+        with pytest.raises(UnknownTypeError):
+            Migrator(store).migrate_object(obj.oid, "T_ghost")
+
+    def test_non_instances_rejected(self, setup):
+        store, __ = setup
+        t = store.type_object("T_person")
+        with pytest.raises(OperationRejected):
+            Migrator(store).migrate_object(t.oid, "T_person")
+
+
+class TestMigrateExtent:
+    def test_whole_extent_moves(self, setup):
+        store, __ = setup
+        oids = [store.create_object("T_student").oid for _ in range(4)]
+        moved = Migrator(store).migrate_extent("T_student", "T_person")
+        assert moved == 4
+        for oid in oids:
+            assert store.get(oid).type_name == "T_person"
+
+    def test_counts_accumulate(self, setup):
+        store, __ = setup
+        store.create_object("T_student")
+        migrator = Migrator(store)
+        migrator.migrate_extent("T_student", "T_person")
+        assert migrator.migrated_count == 1
+
+    def test_migration_via_dt(self, setup):
+        # The DT integration: drop the type, port the instances.
+        store, mgr = setup
+        oid = store.create_object("T_student", name="Ada").oid
+        mgr.dt("T_student", migrate_to="T_person")
+        assert store.get(oid).type_name == "T_person"
+        assert store.apply(oid, "name") == "Ada"

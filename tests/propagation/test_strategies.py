@@ -1,0 +1,159 @@
+"""Tests for screening, conversion, and filtering coercion strategies."""
+
+import pytest
+
+from repro.propagation import (
+    ConversionStrategy,
+    FilteringStrategy,
+    ScreeningStrategy,
+    stranded_slots,
+    visible_slots,
+)
+from repro.tigukat import Objectbase, SchemaManager
+
+
+@pytest.fixture
+def setup():
+    store = Objectbase()
+    mgr = SchemaManager(store)
+    store.define_stored_behavior("doc.title", "title", "T_string")
+    store.define_stored_behavior("doc.pages", "pages", "T_natural")
+    mgr.at("T_document", behaviors=("doc.title", "doc.pages"),
+           with_class=True)
+    docs = [
+        store.create_object("T_document", title=f"d{i}", pages=i)
+        for i in range(5)
+    ]
+    return store, mgr, docs
+
+
+class TestVisibility:
+    def test_visible_slots_track_interface(self, setup):
+        store, mgr, docs = setup
+        assert visible_slots(store, docs[0]) == {"doc.title", "doc.pages"}
+        mgr.mt_db("T_document", "doc.pages")
+        assert visible_slots(store, docs[0]) == {"doc.title"}
+
+    def test_stranded_after_drop(self, setup):
+        store, mgr, docs = setup
+        assert stranded_slots(store, docs[0]) == frozenset()
+        mgr.mt_db("T_document", "doc.pages")
+        assert stranded_slots(store, docs[0]) == {"doc.pages"}
+
+
+class TestConversion:
+    def test_eager_rewrite(self, setup):
+        store, mgr, docs = setup
+        strategy = ConversionStrategy(store)
+        mgr.mt_db("T_document", "doc.pages")
+        strategy.on_schema_change(frozenset({"T_document"}))
+        assert strategy.coerced_count == 5
+        for doc in docs:
+            assert doc._slots() == {"doc.title"}
+            assert strategy.conforms(doc)
+
+    def test_reads_are_raw_after_conversion(self, setup):
+        store, mgr, docs = setup
+        strategy = ConversionStrategy(store)
+        assert strategy.read_slot(docs[1], "doc.pages") == 1
+
+    def test_convert_everything_sweep(self, setup):
+        store, mgr, docs = setup
+        strategy = ConversionStrategy(store)
+        mgr.mt_db("T_document", "doc.pages")
+        assert strategy.convert_everything() == 5
+        assert strategy.convert_everything() == 0  # idempotent
+
+    def test_untouched_instances_not_counted(self, setup):
+        store, mgr, docs = setup
+        strategy = ConversionStrategy(store)
+        strategy.on_schema_change(frozenset({"T_document"}))
+        assert strategy.coerced_count == 0  # nothing was stranded
+
+
+class TestScreening:
+    def test_change_time_is_constant(self, setup):
+        store, mgr, docs = setup
+        strategy = ScreeningStrategy(store)
+        mgr.mt_db("T_document", "doc.pages")
+        strategy.on_schema_change(frozenset({"T_document"}))
+        assert strategy.coerced_count == 0          # nothing rewritten yet
+        assert strategy.pending_count() == 5
+
+    def test_coercion_on_first_access_only(self, setup):
+        store, mgr, docs = setup
+        strategy = ScreeningStrategy(store)
+        mgr.mt_db("T_document", "doc.pages")
+        strategy.on_schema_change(frozenset({"T_document"}))
+        assert strategy.read_slot(docs[0], "doc.pages") is None
+        assert strategy.coerced_count == 1
+        # Second access: already clean, no second coercion.
+        strategy.read_slot(docs[0], "doc.title")
+        assert strategy.coerced_count == 1
+        assert strategy.pending_count() == 4
+
+    def test_unaccessed_instances_never_pay(self, setup):
+        store, mgr, docs = setup
+        strategy = ScreeningStrategy(store)
+        mgr.mt_db("T_document", "doc.pages")
+        strategy.on_schema_change(frozenset({"T_document"}))
+        strategy.read_slot(docs[0], "doc.title")
+        assert docs[1]._slots() == {"doc.title", "doc.pages"}  # untouched
+
+    def test_version_counter(self, setup):
+        store, mgr, docs = setup
+        strategy = ScreeningStrategy(store)
+        assert strategy.schema_version == 0
+        strategy.on_schema_change(frozenset({"T_document"}))
+        strategy.on_schema_change(frozenset({"T_document"}))
+        assert strategy.schema_version == 2
+
+
+class TestFiltering:
+    def test_masks_without_mutation(self, setup):
+        store, mgr, docs = setup
+        strategy = FilteringStrategy(store)
+        mgr.mt_db("T_document", "doc.pages")
+        strategy.on_schema_change(frozenset({"T_document"}))
+        assert strategy.read_slot(docs[2], "doc.pages") is None
+        # Physically retained:
+        assert docs[2]._get_slot("doc.pages") == 2
+        assert strategy.coerced_count == 0
+
+    def test_filtered_and_hidden_state(self, setup):
+        store, mgr, docs = setup
+        strategy = FilteringStrategy(store)
+        mgr.mt_db("T_document", "doc.pages")
+        assert strategy.filtered_state(docs[2]) == {"doc.title": "d2"}
+        assert strategy.hidden_state(docs[2]) == {"doc.pages": 2}
+
+    def test_reversibility(self, setup):
+        # The filtering payoff: undoing the schema change restores access
+        # to the old values because nothing was destroyed.
+        store, mgr, docs = setup
+        strategy = FilteringStrategy(store)
+        mgr.mt_db("T_document", "doc.pages")
+        assert strategy.read_slot(docs[2], "doc.pages") is None
+        mgr.mt_ab("T_document", "doc.pages")
+        assert strategy.read_slot(docs[2], "doc.pages") == 2
+
+
+class TestStrategyEquivalence:
+    def test_all_strategies_agree_on_visible_reads(self, setup):
+        store, mgr, docs = setup
+        strategies = [
+            ConversionStrategy(store),
+            ScreeningStrategy(store),
+            FilteringStrategy(store),
+        ]
+        mgr.mt_db("T_document", "doc.pages")
+        for s in strategies:
+            s.on_schema_change(frozenset({"T_document"}))
+        # Filtering first (it must see masked values even though the
+        # others may physically coerce the object afterwards).
+        assert strategies[2].read_slot(docs[3], "doc.pages") is None
+        assert strategies[1].read_slot(docs[3], "doc.pages") is None
+        assert strategies[0].read_slot(docs[3], "doc.pages") is None
+        assert all(
+            s.read_slot(docs[3], "doc.title") == "d3" for s in strategies
+        )

@@ -1,0 +1,84 @@
+"""Tests for temporal schema versioning."""
+
+import pytest
+
+from repro.core import build_figure1_lattice, prop
+from repro.propagation import TemporalSchema
+
+
+@pytest.fixture
+def temporal():
+    return TemporalSchema(build_figure1_lattice())
+
+
+class TestVersions:
+    def test_initial_version_exists(self, temporal):
+        assert len(temporal) == 1
+        assert temporal.current.number == 0
+        assert temporal.current.label == "initial"
+
+    def test_commit_snapshots_current_state(self, temporal):
+        temporal.lattice.add_type("T_course")
+        v = temporal.commit("added course")
+        assert v.number == 1
+        assert "T_course" in v.types()
+        assert "T_course" not in temporal.version(0).types()
+
+    def test_snapshots_immutable_under_later_changes(self, temporal):
+        temporal.commit("v1")
+        frozen_iface = temporal.version(1).interface("T_employee")
+        temporal.lattice.add_essential_property(
+            "T_employee", prop("employee.badge")
+        )
+        temporal.commit("v2")
+        assert temporal.version(1).interface("T_employee") == frozen_iface
+        assert prop("employee.badge") in temporal.current.derivation.i[
+            "T_employee"
+        ]
+
+
+class TestHistoricalQueries:
+    def test_interface_at(self, temporal):
+        temporal.lattice.add_essential_property(
+            "T_person", prop("person.age")
+        )
+        temporal.commit()
+        old = temporal.interface_at("T_person", 0)
+        new = temporal.interface_at("T_person", 1)
+        assert prop("person.age") not in old
+        assert prop("person.age") in new
+
+    def test_lifespan(self, temporal):
+        temporal.lattice.add_type("T_temp")
+        temporal.commit()
+        temporal.lattice.drop_type("T_temp")
+        temporal.commit()
+        assert temporal.lifespan("T_temp") == (1, 1)
+        assert temporal.lifespan("T_person") == (0, None)  # still alive
+        with pytest.raises(KeyError):
+            temporal.lifespan("T_never")
+
+    def test_interface_history_records_changes_only(self, temporal):
+        temporal.commit("no change")  # interface identical: no new entry
+        temporal.lattice.add_essential_property("T_person", prop("p.a"))
+        temporal.commit("changed")
+        history = temporal.interface_history("T_person")
+        assert len(history) == 2
+        assert history[0][0] == 0
+        assert history[1][0] == 2
+
+    def test_diff(self, temporal):
+        temporal.lattice.add_type("T_new")
+        temporal.lattice.drop_type("T_taxSource")
+        temporal.lattice.add_essential_property("T_person", prop("p.a"))
+        temporal.commit()
+        diff = temporal.diff(0, 1)
+        assert diff["T_new"] == "added"
+        assert diff["T_taxSource"] == "dropped"
+        assert "interface" in diff["T_person"]
+        # Dropping T_taxSource changed T_employee's supertypes+interface.
+        assert "supertypes" in diff["T_employee"]
+
+    def test_diff_no_changes(self, temporal):
+        temporal.commit()
+        assert temporal.diff(0, 1) == {}

@@ -1,0 +1,231 @@
+"""Tests for behavioral extent queries and reflective schema queries."""
+
+import pytest
+
+from repro.core import UnknownTypeError
+from repro.query import B, from_collection, schema_query, select
+from repro.tigukat import FunctionKind, Objectbase, SchemaManager
+
+
+@pytest.fixture
+def base():
+    store = Objectbase()
+    mgr = SchemaManager(store)
+    for semantics, name, rtype in [
+        ("person.name", "name", "T_string"),
+        ("person.age", "age", "T_natural"),
+        ("employee.salary", "salary", "T_real"),
+        ("student.gpa", "gpa", "T_real"),
+    ]:
+        store.define_stored_behavior(semantics, name, rtype)
+    mgr.at("T_person", behaviors=("person.name", "person.age"),
+           with_class=True)
+    mgr.at("T_student", ("T_person",), ("student.gpa",), with_class=True)
+    mgr.at("T_employee", ("T_person",), ("employee.salary",),
+           with_class=True)
+    people = [
+        store.create_object("T_person", name="Ada", age=36),
+        store.create_object("T_student", name="Bob", age=20, gpa=3.2),
+        store.create_object("T_student", name="Cyd", age=24, gpa=3.9),
+        store.create_object("T_employee", name="Dee", age=44, salary=900.0),
+        store.create_object("T_employee", name="Eli", age=51, salary=1500.0),
+    ]
+    return store, mgr, people
+
+
+class TestExtentQueries:
+    def test_select_whole_extent(self, base):
+        store, __, people = base
+        assert select(store, "T_person").count() == 5
+        assert select(store, "T_person", deep=False).count() == 1
+        assert select(store, "T_student").count() == 2
+
+    def test_where_comparison(self, base):
+        store, __, __ = base
+        rich = select(store, "T_employee").where(B("salary") > 1000).all()
+        assert [store.apply(o, "name") for o in rich] == ["Eli"]
+
+    def test_where_chaining_is_and(self, base):
+        store, __, __ = base
+        q = (
+            select(store, "T_person")
+            .where(B("age") >= 21)
+            .where(B("age") < 50)
+        )
+        names = sorted(store.apply(o, "name") for o in q)
+        assert names == ["Ada", "Cyd", "Dee"]
+
+    def test_predicate_combinators(self, base):
+        store, __, __ = base
+        young_or_rich = (B("age") < 21) | (B("salary") > 1000)
+        names = sorted(
+            store.apply(o, "name")
+            for o in select(store, "T_person").where(young_or_rich)
+        )
+        assert names == ["Bob", "Eli"]
+        not_young = ~(B("age") < 30)
+        assert select(store, "T_person").where(not_young).count() == 3
+
+    def test_missing_behavior_filters_not_crashes(self, base):
+        store, __, __ = base
+        # 'salary' is not in T_person/T_student interfaces: they simply
+        # do not match.
+        assert select(store, "T_person").where(B("salary") > 0).count() == 2
+
+    def test_defined_and_is_null(self, base):
+        store, __, __ = base
+        assert select(store, "T_person").where(
+            B("gpa").defined()
+        ).count() == 2
+        ghost = store.create_object("T_student")  # nothing set
+        assert select(store, "T_student").where(
+            B("gpa").is_null()
+        ).count() == 1
+        store.delete_object(ghost.oid)
+
+    def test_values_projection(self, base):
+        store, __, __ = base
+        gpas = select(store, "T_student").where(B("gpa") > 0).values("gpa")
+        assert sorted(gpas) == [3.2, 3.9]
+
+    def test_first_and_exists(self, base):
+        store, __, __ = base
+        assert select(store, "T_employee").where(B("salary") > 9999).first() is None
+        assert not select(store, "T_employee").where(B("salary") > 9999).exists()
+        assert select(store, "T_employee").exists()
+
+    def test_where_does_not_mutate_original(self, base):
+        store, __, __ = base
+        q = select(store, "T_person")
+        q.where(B("age") > 100)
+        assert q.count() == 5  # original unfiltered
+
+    def test_unknown_type_rejected(self, base):
+        store, __, __ = base
+        with pytest.raises(UnknownTypeError):
+            select(store, "T_ghost")
+
+    def test_collection_query(self, base):
+        store, __, people = base
+        c = store.add_collection("panel")
+        c.insert(people[0].oid)
+        c.insert(people[4].oid)
+        names = sorted(
+            store.apply(o, "name") for o in from_collection(store, "panel")
+        )
+        assert names == ["Ada", "Eli"]
+        old = from_collection(store, "panel").where(B("age") > 40)
+        assert old.count() == 1
+
+    def test_type_comparison_predicate(self, base):
+        store, __, __ = base
+        # Queries observe computed implementations (late binding), not
+        # just stored state.
+        double = store.define_function(
+            "double_age", FunctionKind.COMPUTED,
+            body=lambda s, r: 2 * (r._get_slot("person.age") or 0),
+        )
+        store.implement("person.age", "T_student", double)
+        ages = select(store, "T_student").values("age")
+        assert sorted(ages) == [40, 48]
+
+
+class TestSchemaQueries:
+    def test_types_defining_vs_understanding(self, base):
+        store, __, __ = base
+        q = schema_query(store)
+        assert q.types_defining("salary") == {"T_employee"}
+        assert q.types_understanding("salary") >= {"T_employee", "T_null"}
+        assert "T_person" not in q.types_understanding("salary")
+
+    def test_subtypes(self, base):
+        store, __, __ = base
+        q = schema_query(store)
+        assert q.subtypes_of("T_person", transitive=False) == {
+            "T_student", "T_employee"
+        }
+        assert "T_null" in q.subtypes_of("T_person")
+
+    def test_common_and_least_common_supertypes(self, base):
+        store, __, __ = base
+        q = schema_query(store)
+        common = q.common_supertypes("T_student", "T_employee")
+        assert "T_person" in common and "T_object" in common
+        assert q.least_common_supertypes("T_student", "T_employee") == {
+            "T_person"
+        }
+        assert q.least_common_supertypes() == frozenset()
+
+    def test_types_without_extent(self, base):
+        store, mgr, __ = base
+        mgr.at("T_abstract")
+        assert "T_abstract" in schema_query(store).types_without_extent()
+        assert "T_person" not in schema_query(store).types_without_extent()
+
+    def test_types_where(self, base):
+        store, __, __ = base
+        metas = schema_query(store).types_where(lambda t: t.endswith("-class"))
+        assert metas == {"T_type-class", "T_class-class", "T_collection-class"}
+
+    def test_name_conflicts(self, base):
+        store, mgr, __ = base
+        store.define_stored_behavior("employee.name", "name", "T_string")
+        mgr.mt_ab("T_employee", "employee.name")
+        conflicts = schema_query(store).name_conflicts("T_employee")
+        assert set(conflicts) == {"name"}
+        assert conflicts["name"] == {"person.name", "employee.name"}
+
+    def test_unimplemented_behaviors(self, base):
+        store, __, __ = base
+        q = schema_query(store)
+        assert q.unimplemented_behaviors("T_employee") == frozenset()
+        # Sever an implementation by hand and detect the gap.
+        behavior = store.behavior("employee.salary")
+        behavior.dissociate("T_employee")
+        gaps = q.unimplemented_behaviors("T_employee")
+        assert {p.semantics for p in gaps} == {"employee.salary"}
+
+    def test_overriding_types(self, base):
+        store, __, __ = base
+        q = schema_query(store)
+        assert "T_person" in q.overriding_types("person.age")
+
+
+class TestAggregation:
+    def test_aggregate_sum(self, base):
+        store, __, __ = base
+        total = select(store, "T_employee").aggregate("salary", sum)
+        assert total == 2400.0
+
+    def test_aggregate_skips_none(self, base):
+        store, __, __ = base
+        ghost = store.create_object("T_employee")  # salary unset
+        total = select(store, "T_employee").aggregate("salary", sum)
+        assert total == 2400.0
+        store.delete_object(ghost.oid)
+
+    def test_aggregate_custom_fn(self, base):
+        store, __, __ = base
+        oldest = select(store, "T_person").aggregate("age", max)
+        assert oldest == 51
+
+    def test_group_by(self, base):
+        store, __, __ = base
+        groups = select(store, "T_person").group_by("age")
+        assert len(groups[36]) == 1
+        assert sum(len(v) for v in groups.values()) == 5
+
+    def test_group_counts_histogram(self, base):
+        store, __, __ = base
+        counts = (
+            select(store, "T_person")
+            .where(B("age") >= 40)
+            .group_counts("age")
+        )
+        assert counts == {44: 1, 51: 1}
+
+    def test_group_by_unresolvable_is_none(self, base):
+        store, __, __ = base
+        groups = select(store, "T_person").group_by("gpa")
+        # Three people have no 'gpa' in their interface at all.
+        assert len(groups[None]) == 3

@@ -1,0 +1,125 @@
+"""Tests for the durable objectbase (snapshot + schema WAL)."""
+
+import json
+
+import pytest
+
+from repro.core import JournalError, check_all
+from repro.storage import DurableObjectbase
+
+
+def build(durable: DurableObjectbase) -> None:
+    durable.execute("define_stored_behavior", "p.name", "name", "T_string")
+    durable.execute("define_stored_behavior", "s.gpa", "gpa", "T_real")
+    durable.execute("at", "T_person", (), ("p.name",), True)
+    durable.execute("at", "T_student", ("T_person",), ("s.gpa",), True)
+
+
+class TestDurability:
+    def test_schema_survives_restart_without_checkpoint(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        reopened = DurableObjectbase.reopen(tmp_path / "db")
+        assert (
+            reopened.store.lattice.state_fingerprint()
+            == durable.store.lattice.state_fingerprint()
+        )
+        assert reopened.store.class_of("T_student") is not None
+        assert check_all(reopened.store.lattice) == []
+
+    def test_behaviors_usable_after_recovery(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        reopened = DurableObjectbase.reopen(tmp_path / "db")
+        obj = reopened.store.create_object("T_student", name="Ada", gpa=4.0)
+        assert reopened.store.apply(obj, "name") == "Ada"
+
+    def test_instances_survive_via_checkpoint(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        obj = durable.store.create_object("T_person", name="Eve")
+        durable.checkpoint()
+        reopened = DurableObjectbase.reopen(tmp_path / "db")
+        assert reopened.store.apply(obj.oid, "name") == "Eve"
+
+    def test_instances_without_checkpoint_are_lost_but_schema_kept(
+        self, tmp_path
+    ):
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        durable.checkpoint()
+        durable.store.create_object("T_person", name="Gone")
+        durable.execute("at", "T_extra", ("T_person",), (), False)
+        reopened = DurableObjectbase.reopen(tmp_path / "db")
+        # Data rolls back to the checkpoint (empty extent) ...
+        assert reopened.store.extent("T_person", deep=False) == frozenset()
+        # ... while the schema is continuously durable.
+        assert "T_extra" in reopened.store.lattice
+
+    def test_checkpoint_then_wal_tail(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        durable.checkpoint()
+        durable.execute("mt_dsr", "T_student", "T_person")
+        durable.execute("dt", "T_person", None)
+        reopened = DurableObjectbase.reopen(tmp_path / "db")
+        assert "T_person" not in reopened.store.lattice
+        assert (
+            reopened.store.lattice.state_fingerprint()
+            == durable.store.lattice.state_fingerprint()
+        )
+
+    def test_collections_through_wal(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        durable.execute("al", "panel", "T_person")
+        reopened = DurableObjectbase.reopen(tmp_path / "db")
+        assert reopened.store.collection("panel").member_type == "T_person"
+
+
+class TestFailureModes:
+    def test_rejected_operation_not_logged(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        from repro.core import SchemaError
+
+        with pytest.raises(SchemaError):
+            durable.execute("at", "T_person", (), (), False)  # duplicate
+        reopened = DurableObjectbase.reopen(tmp_path / "db")  # replays clean
+        assert check_all(reopened.store.lattice) == []
+
+    def test_non_replayable_method_rejected(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        with pytest.raises(JournalError):
+            durable.execute("mb_ca", "x", "y", None)
+
+    def test_torn_wal_tail_tolerated(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        with durable.wal_path.open("a") as fh:
+            fh.write('{"method": "at", "args"')  # crash mid-append
+        reopened = DurableObjectbase.reopen(tmp_path / "db")
+        assert "T_student" in reopened.store.lattice
+
+    def test_interior_wal_corruption_raises(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        lines = durable.wal_path.read_text().splitlines()
+        lines.insert(1, "NOT JSON")
+        durable.wal_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError):
+            DurableObjectbase.reopen(tmp_path / "db")
+
+    def test_unknown_wal_method_raises(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        durable.wal_path.write_text(
+            json.dumps({"method": "evil", "args": {}}) + "\n"
+        )
+        with pytest.raises(JournalError):
+            DurableObjectbase.reopen(tmp_path / "db")
+
+    def test_unloggable_kwarg_rejected_before_mutation(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        with pytest.raises(JournalError):
+            durable.execute("at", name="T_x", bogus=True)
+        assert "T_x" not in durable.store.lattice

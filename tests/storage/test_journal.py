@@ -1,0 +1,134 @@
+"""Tests for the write-ahead journal and crash recovery."""
+
+import pytest
+
+from repro.core import (
+    AddEssentialProperty,
+    AddEssentialSupertype,
+    AddType,
+    DropType,
+    JournalError,
+    prop,
+)
+from repro.storage import DurableLattice, JournalFile
+
+SCRIPT = [
+    AddType("T_person", properties=(prop("person.name", "name"),)),
+    AddType("T_student", ("T_person",)),
+    AddEssentialProperty("T_student", prop("student.gpa", "gpa")),
+    AddType("T_employee", ("T_person",)),
+    AddEssentialSupertype("T_student", "T_employee"),
+]
+
+
+class TestJournalFile:
+    def test_append_and_read_back(self, tmp_path):
+        jf = JournalFile(tmp_path / "wal.jsonl")
+        for op in SCRIPT:
+            jf.append(op)
+        ops = jf.operations()
+        assert [o.to_dict() for o in ops] == [o.to_dict() for o in SCRIPT]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert JournalFile(tmp_path / "none.jsonl").operations() == []
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        jf = JournalFile(tmp_path / "wal.jsonl")
+        for op in SCRIPT[:2]:
+            jf.append(op)
+        with jf.path.open("a") as fh:
+            fh.write('{"code": "AT", "nam')  # crash mid-write
+        assert len(jf.operations()) == 2
+
+    def test_interior_corruption_rejected(self, tmp_path):
+        jf = JournalFile(tmp_path / "wal.jsonl")
+        jf.append(SCRIPT[0])
+        with jf.path.open("a") as fh:
+            fh.write("GARBAGE\n")
+        jf.append(SCRIPT[1])
+        with pytest.raises(JournalError):
+            jf.operations()
+
+    def test_recover_replays(self, tmp_path):
+        jf = JournalFile(tmp_path / "wal.jsonl")
+        for op in SCRIPT:
+            jf.append(op)
+        lat = jf.recover()
+        assert "T_student" in lat
+        assert "T_employee" in lat.pe("T_student")
+
+    def test_checkpoint_truncates_log(self, tmp_path):
+        jf = JournalFile(tmp_path / "wal.jsonl")
+        lat = jf.recover()
+        for op in SCRIPT:
+            op.apply(lat)
+            jf.append(op)
+        jf.checkpoint(lat)
+        assert jf.operations() == []
+        recovered = jf.recover()
+        assert recovered.state_fingerprint() == lat.state_fingerprint()
+
+    def test_checkpoint_plus_tail(self, tmp_path):
+        jf = JournalFile(tmp_path / "wal.jsonl")
+        lat = jf.recover()
+        for op in SCRIPT[:3]:
+            op.apply(lat)
+            jf.append(op)
+        jf.checkpoint(lat)
+        for op in SCRIPT[3:]:
+            op.apply(lat)
+            jf.append(op)
+        recovered = jf.recover()
+        assert recovered.state_fingerprint() == lat.state_fingerprint()
+
+
+class TestDurableLattice:
+    def test_write_ahead_then_reopen(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        durable = DurableLattice(path)
+        for op in SCRIPT:
+            durable.apply(op)
+        reopened = DurableLattice.reopen(path)
+        assert (
+            reopened.lattice.state_fingerprint()
+            == durable.lattice.state_fingerprint()
+        )
+
+    def test_rejected_op_not_logged(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        durable = DurableLattice(path)
+        durable.apply(SCRIPT[0])
+        with pytest.raises(Exception):
+            durable.apply(AddType("T_person"))  # duplicate: rejected
+        # Recovery must not trip over a logged-but-invalid record.
+        reopened = DurableLattice.reopen(path)
+        assert (
+            reopened.lattice.state_fingerprint()
+            == durable.lattice.state_fingerprint()
+        )
+
+    def test_checkpoint_then_more_ops(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        durable = DurableLattice(path)
+        for op in SCRIPT[:2]:
+            durable.apply(op)
+        durable.checkpoint()
+        durable.apply(SCRIPT[2])
+        reopened = DurableLattice.reopen(path)
+        assert (
+            reopened.lattice.state_fingerprint()
+            == durable.lattice.state_fingerprint()
+        )
+
+    def test_drop_type_round_trip(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        durable = DurableLattice(path)
+        for op in SCRIPT:
+            durable.apply(op)
+        durable.apply(DropType("T_employee"))
+        reopened = DurableLattice.reopen(path)
+        assert "T_employee" not in reopened.lattice
+        assert (
+            reopened.lattice.state_fingerprint()
+            == durable.lattice.state_fingerprint()
+        )

@@ -1,0 +1,152 @@
+"""Tests for whole-objectbase snapshots."""
+
+import json
+
+import pytest
+
+from repro.core import JournalError
+from repro.storage import (
+    load_objectbase,
+    objectbase_from_dict,
+    objectbase_to_dict,
+    save_objectbase,
+)
+from repro.tigukat import FunctionKind, Objectbase, SchemaManager, schema_sets
+
+
+@pytest.fixture
+def store():
+    store = Objectbase()
+    mgr = SchemaManager(store)
+    store.define_stored_behavior("person.name", "name", "T_string")
+    store.define_stored_behavior("person.age", "age", "T_natural")
+    store.define_stored_behavior("emp.salary", "salary", "T_real")
+    mgr.at("T_person", behaviors=("person.name", "person.age"),
+           with_class=True)
+    mgr.at("T_employee", ("T_person",), ("emp.salary",), with_class=True)
+    # One computed implementation (to exercise the code contract).
+    doubler = store.define_function(
+        "double_salary", FunctionKind.COMPUTED,
+        body=lambda s, r: 2 * (r._get_slot("emp.salary") or 0),
+    )
+    mgr.mb_ca("emp.salary", "T_employee", doubler)
+    store.create_object("T_person", name="Ada", age=36)
+    store.create_object("T_employee", name="Eli")
+    emp = store.create_object("T_employee", name="Dee")
+    emp._set_slot("emp.salary", 700.0)
+    c = store.add_collection("panel", member_type="T_person")
+    c.insert(emp.oid)
+    return store
+
+
+BODIES = {
+    "double_salary": lambda s, r: 2 * (r._get_slot("emp.salary") or 0),
+}
+
+
+class TestRoundtrip:
+    def test_schema_identical(self, store):
+        back = objectbase_from_dict(objectbase_to_dict(store), BODIES)
+        assert (
+            back.lattice.state_fingerprint()
+            == store.lattice.state_fingerprint()
+        )
+
+    def test_schema_sets_identical(self, store):
+        back = objectbase_from_dict(objectbase_to_dict(store), BODIES)
+        a, b = schema_sets(store), schema_sets(back)
+        assert a.tso == b.tso
+        assert a.bso == b.bso
+        assert len(a.fso) == len(b.fso)
+        assert len(a.cso) == len(b.cso)
+
+    def test_instances_preserve_identity_and_state(self, store):
+        back = objectbase_from_dict(objectbase_to_dict(store), BODIES)
+        originals = {
+            oid: store.get(oid)
+            for oid in store.extent("T_person", deep=True)
+        }
+        assert len(back.extent("T_person", deep=True)) == len(originals)
+        for oid, obj in originals.items():
+            restored = back.get(oid)
+            assert restored.type_name == obj.type_name
+            assert restored._slots() == obj._slots()
+
+    def test_behavior_application_still_works(self, store):
+        back = objectbase_from_dict(objectbase_to_dict(store), BODIES)
+        [ada] = [
+            back.get(o) for o in back.extent("T_person", deep=False)
+        ]
+        assert back.apply(ada, "name") == "Ada"
+        assert back.apply(ada, "age") == 36
+
+    def test_computed_function_rebinds(self, store):
+        back = objectbase_from_dict(objectbase_to_dict(store), BODIES)
+        dee = next(
+            back.get(o) for o in back.extent("T_employee", deep=False)
+            if back.get(o)._get_slot("person.name") == "Dee"
+        )
+        assert back.apply(dee, "salary") == 1400.0  # computed: 2 × 700
+
+    def test_unregistered_computed_function_is_poisoned(self, store):
+        back = objectbase_from_dict(objectbase_to_dict(store))  # no bodies
+        dee = next(
+            back.get(o) for o in back.extent("T_employee", deep=False)
+            if back.get(o)._get_slot("person.name") == "Dee"
+        )
+        with pytest.raises(JournalError):
+            back.apply(dee, "salary")
+
+    def test_collections_roundtrip(self, store):
+        back = objectbase_from_dict(objectbase_to_dict(store), BODIES)
+        panel = back.collection("panel")
+        assert len(panel) == 1
+        assert panel.member_type == "T_person"
+
+    def test_file_roundtrip(self, store, tmp_path):
+        path = save_objectbase(store, tmp_path / "ob.json")
+        back = load_objectbase(path, BODIES)
+        assert (
+            back.lattice.state_fingerprint()
+            == store.lattice.state_fingerprint()
+        )
+
+    def test_snapshot_is_json(self, store):
+        json.dumps(objectbase_to_dict(store))  # must not raise
+
+    def test_fresh_oids_do_not_collide(self, store):
+        back = objectbase_from_dict(objectbase_to_dict(store), BODIES)
+        existing = set(back._objects)
+        fresh = back.create_object("T_person", name="New")
+        assert fresh.oid not in existing - {fresh.oid}
+
+    def test_restored_store_can_keep_evolving(self, store):
+        back = objectbase_from_dict(objectbase_to_dict(store), BODIES)
+        mgr = SchemaManager(back)
+        mgr.at("T_manager", ("T_employee",), with_class=True)
+        obj = back.create_object("T_manager", name="Mia")
+        assert back.apply(obj, "name") == "Mia"
+        from repro.core import check_all
+
+        assert check_all(back.lattice) == []
+
+
+class TestRejections:
+    def test_unknown_format(self):
+        with pytest.raises(JournalError):
+            objectbase_from_dict({"format": 999})
+
+    def test_unserializable_state_value(self, store):
+        obj = store.create_object("T_person")
+        obj._set_slot("person.name", object())
+        with pytest.raises(JournalError):
+            objectbase_to_dict(store)
+
+    def test_object_reference_values_roundtrip(self, store):
+        # Object-valued slots serialize as OID references.
+        people = sorted(store.extent("T_person", deep=False))
+        emp = next(iter(sorted(store.extent("T_employee", deep=False))))
+        store.get(emp)._set_slot("person.name", store.get(people[0]))
+        back = objectbase_from_dict(objectbase_to_dict(store), BODIES)
+        value = back.get(emp)._get_slot("person.name")
+        assert value == back.get(people[0])

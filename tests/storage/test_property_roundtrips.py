@@ -1,0 +1,104 @@
+"""Property-based persistence invariants: snapshots and journals
+round-trip arbitrary lattices and arbitrary operation histories."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import LatticeSpec, random_lattice
+from repro.core import (
+    AddEssentialProperty,
+    AddEssentialSupertype,
+    AddType,
+    DropEssentialProperty,
+    DropEssentialSupertype,
+    DropType,
+    EvolutionJournal,
+    SchemaError,
+    prop,
+)
+from repro.storage import lattice_from_dict, lattice_to_dict
+
+TYPE_POOL = [f"T_{i}" for i in range(6)]
+PROP_POOL = [prop(f"p{i}") for i in range(4)]
+
+
+@given(seed=st.integers(min_value=0, max_value=200))
+@settings(max_examples=25, deadline=None)
+def test_snapshot_roundtrips_random_lattices(seed):
+    lattice = random_lattice(LatticeSpec(n_types=15, seed=seed))
+    back = lattice_from_dict(lattice_to_dict(lattice))
+    assert back.state_fingerprint() == lattice.state_fingerprint()
+    assert back.derived_fingerprint() == lattice.derived_fingerprint()
+
+
+@st.composite
+def op_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=20))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["at", "dt", "asr", "dsr", "ab", "db"]))
+        t = draw(st.sampled_from(TYPE_POOL))
+        s = draw(st.sampled_from(TYPE_POOL))
+        p = draw(st.sampled_from(PROP_POOL))
+        if kind == "at":
+            ops.append(AddType(t))
+        elif kind == "dt":
+            ops.append(DropType(t))
+        elif kind == "asr":
+            ops.append(AddEssentialSupertype(t, s))
+        elif kind == "dsr":
+            ops.append(DropEssentialSupertype(t, s))
+        elif kind == "ab":
+            ops.append(AddEssentialProperty(t, p))
+        elif kind == "db":
+            ops.append(DropEssentialProperty(t, p))
+    return ops
+
+
+@given(ops=op_sequences())
+@settings(max_examples=40, deadline=None)
+def test_journal_undo_reverses_any_accepted_history(ops):
+    journal = EvolutionJournal()
+    fingerprints = [journal.lattice.state_fingerprint()]
+    applied = 0
+    for op in ops:
+        try:
+            journal.apply(op)
+            applied += 1
+            fingerprints.append(journal.lattice.state_fingerprint())
+        except SchemaError:
+            continue
+    # Unwind the full history; each undo must restore the prior state.
+    for expected in reversed(fingerprints[:-1]):
+        journal.undo()
+        assert journal.lattice.state_fingerprint() == expected
+    assert len(journal) == 0
+
+
+@given(ops=op_sequences())
+@settings(max_examples=40, deadline=None)
+def test_journal_serialization_replays_identically(ops):
+    journal = EvolutionJournal()
+    for op in ops:
+        try:
+            journal.apply(op)
+        except SchemaError:
+            continue
+    restored = EvolutionJournal.from_dicts(journal.to_dicts())
+    assert (
+        restored.lattice.state_fingerprint()
+        == journal.lattice.state_fingerprint()
+    )
+
+
+@given(ops=op_sequences(), seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=25, deadline=None)
+def test_snapshot_after_history_equals_live(ops, seed):
+    journal = EvolutionJournal()
+    for op in ops:
+        try:
+            journal.apply(op)
+        except SchemaError:
+            continue
+    back = lattice_from_dict(lattice_to_dict(journal.lattice))
+    assert back.state_fingerprint() == journal.lattice.state_fingerprint()

@@ -1,0 +1,83 @@
+"""Tests for schema snapshots (JSON persistence)."""
+
+import json
+
+import pytest
+
+from repro.core import JournalError, LatticePolicy, TypeLattice, prop
+from repro.core import build_figure1_lattice
+from repro.storage import (
+    lattice_from_dict,
+    lattice_to_dict,
+    load_lattice,
+    save_lattice,
+)
+from repro.tigukat import Objectbase
+
+
+class TestRoundtrip:
+    def test_figure1_roundtrips(self):
+        lat = build_figure1_lattice()
+        back = lattice_from_dict(lattice_to_dict(lat))
+        assert back.state_fingerprint() == lat.state_fingerprint()
+        assert back.derived_fingerprint() == lat.derived_fingerprint()
+
+    def test_policy_preserved(self):
+        lat = TypeLattice(LatticePolicy.orion())
+        lat.add_type("C1", properties=[prop("c1.x", "x", domain="int")])
+        back = lattice_from_dict(lattice_to_dict(lat))
+        assert back.policy == lat.policy
+        assert back.universe.get("c1.x").domain == "int"
+
+    def test_forest_roundtrips(self):
+        lat = TypeLattice(LatticePolicy.forest())
+        lat.add_type("r1")
+        lat.add_type("r2")
+        lat.add_type("c", supertypes=["r1", "r2"])
+        back = lattice_from_dict(lattice_to_dict(lat))
+        assert back.state_fingerprint() == lat.state_fingerprint()
+
+    def test_frozen_marks_survive(self):
+        lat = TypeLattice()
+        lat.add_type("T_prim", frozen=True)
+        back = lattice_from_dict(lattice_to_dict(lat))
+        assert back.is_frozen("T_prim")
+
+    def test_tigukat_bootstrap_roundtrips(self):
+        store = Objectbase()
+        lat = store.lattice
+        back = lattice_from_dict(lattice_to_dict(lat))
+        assert back.state_fingerprint() == lat.state_fingerprint()
+
+    def test_file_roundtrip(self, tmp_path):
+        lat = build_figure1_lattice()
+        path = save_lattice(lat, tmp_path / "schema.json")
+        back = load_lattice(path)
+        assert back.state_fingerprint() == lat.state_fingerprint()
+
+    def test_json_is_plain_data(self):
+        data = lattice_to_dict(build_figure1_lattice())
+        json.dumps(data)  # must not raise
+
+
+class TestCorruptionHandling:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(JournalError):
+            lattice_from_dict({"format": 999, "policy": {}, "types": []})
+
+    def test_dangling_reference_rejected(self):
+        data = lattice_to_dict(build_figure1_lattice())
+        data["types"][2]["pe"].append("T_ghost")
+        with pytest.raises(JournalError):
+            lattice_from_dict(data)
+
+    def test_cyclic_snapshot_rejected(self):
+        lat = TypeLattice(LatticePolicy.forest())
+        lat.add_type("a")
+        lat.add_type("b", supertypes=["a"])
+        data = lattice_to_dict(lat)
+        for record in data["types"]:
+            if record["name"] == "a":
+                record["pe"].append("b")
+        with pytest.raises(JournalError):
+            lattice_from_dict(data)

@@ -1,0 +1,89 @@
+"""Tests for the cross-system comparison framework (Section 5)."""
+
+from repro.core import check_all
+from repro.systems import (
+    EncoreSchema,
+    GemStoneSchema,
+    OrionSystem,
+    SherpaSchema,
+    TigukatSystem,
+    compare_systems,
+)
+
+
+def all_systems():
+    return [
+        TigukatSystem(),
+        OrionSystem(),
+        GemStoneSchema(),
+        EncoreSchema(),
+        SherpaSchema(),
+    ]
+
+
+class TestCompareSystems:
+    def test_table_covers_all_systems(self):
+        table = compare_systems(*all_systems())
+        names = {"TIGUKAT", "Orion", "GemStone", "Encore", "Sherpa"}
+        for row in table.values():
+            assert set(row) == names
+
+    def test_only_tigukat_is_bidirectional(self):
+        # "TIGUKAT and the axiomatic model are reducible in both
+        # directions while only the reduction from Orion to the axiomatic
+        # model is possible."
+        table = compare_systems(*all_systems())
+        row = table["axioms_reducible_to_it"]
+        assert row == {
+            "TIGUKAT": True, "Orion": False, "GemStone": False,
+            "Encore": False, "Sherpa": False,
+        }
+
+    def test_everything_reduces_to_axioms(self):
+        # The paper's central claim for all five surveyed systems.
+        table = compare_systems(*all_systems())
+        assert all(table["reducible_to_axioms"].values())
+
+    def test_minimality_is_tigukat_only(self):
+        table = compare_systems(*all_systems())
+        assert table["minimal_supertypes"]["TIGUKAT"]
+        assert not any(
+            v for k, v in table["minimal_supertypes"].items()
+            if k != "TIGUKAT"
+        )
+
+    def test_order_independence_flags(self):
+        # Orion and Sherpa (Orion's OP4 inside) are order dependent.
+        table = compare_systems(*all_systems())
+        dep = {k for k, v in table["drop_order_independent"].items() if not v}
+        assert dep == {"Orion", "Sherpa"}
+
+    def test_every_reduction_satisfies_the_axioms(self):
+        for system in all_systems():
+            lattice = system.to_axiomatic()
+            assert check_all(lattice) == [], system.profile.name
+
+
+class TestTigukatReverseReduction:
+    def test_roundtrip_through_lattice(self):
+        from repro.core import build_figure1_lattice
+
+        source = build_figure1_lattice()
+        system = TigukatSystem()
+        rebuilt_store = system.from_axiomatic(source)
+        rebuilt = rebuilt_store.lattice
+        # Same designer state (the reverse reduction's contract).
+        for t in source.types():
+            assert rebuilt.pe(t) == source.pe(t), t
+            assert {p.semantics for p in rebuilt.ne(t)} == {
+                p.semantics for p in source.ne(t)
+            }, t
+
+    def test_rebuilt_store_is_usable(self):
+        from repro.core import build_figure1_lattice
+
+        store = TigukatSystem().from_axiomatic(build_figure1_lattice())
+        store.add_class("T_employee")
+        emp = store.create_object("T_employee")
+        store.apply(emp, "employee.salary", 100.0)
+        assert store.apply(emp, "employee.salary") == 100.0

@@ -1,0 +1,110 @@
+"""Tests for Encore type versioning and its reduction."""
+
+import pytest
+
+from repro.core import OperationRejected, UnknownTypeError, check_all, verify
+from repro.systems import EncoreSchema
+
+
+@pytest.fixture
+def enc():
+    e = EncoreSchema()
+    e.define_type("Part", {"id", "weight"})
+    return e
+
+
+class TestVersioning:
+    def test_changes_create_versions_not_mutations(self, enc):
+        v2 = enc.add_property("Part", "cost")
+        vs = enc.version_set("Part")
+        assert v2.number == 2
+        assert len(vs.versions) == 2
+        # v1 is untouched:
+        assert vs.versions[0].properties == {"id", "weight"}
+        assert vs.current.properties == {"id", "weight", "cost"}
+
+    def test_drop_creates_version_too(self, enc):
+        enc.drop_property("Part", "weight")
+        vs = enc.version_set("Part")
+        assert vs.current.properties == {"id"}
+        assert vs.versions[0].properties == {"id", "weight"}
+
+    def test_version_set_interface_is_union(self, enc):
+        enc.add_property("Part", "cost")
+        enc.drop_property("Part", "weight")
+        assert enc.version_set("Part").interface() == {
+            "id", "weight", "cost"
+        }
+
+    def test_duplicate_and_invalid_changes_rejected(self, enc):
+        with pytest.raises(OperationRejected):
+            enc.add_property("Part", "id")
+        with pytest.raises(OperationRejected):
+            enc.drop_property("Part", "ghost")
+        with pytest.raises(OperationRejected):
+            enc.define_type("Part")
+        with pytest.raises(UnknownTypeError):
+            enc.version_set("Ghost")
+
+
+class TestInstancesAndHandlers:
+    def test_instances_bind_to_creation_version(self, enc):
+        old = enc.create_instance("Part", id=1, weight=2.5)
+        enc.add_property("Part", "cost")
+        new = enc.create_instance("Part", id=2, cost=9.0)
+        assert enc.bound_version(old) == 1
+        assert enc.bound_version(new) == 2
+
+    def test_read_own_version_property(self, enc):
+        oid = enc.create_instance("Part", id=1)
+        assert enc.read(oid, "id") == 1
+        assert enc.read(oid, "weight") is None  # defined, never written
+
+    def test_cross_version_read_needs_handler(self, enc):
+        oid = enc.create_instance("Part", id=1, weight=2.0)
+        enc.add_property("Part", "cost")
+        with pytest.raises(OperationRejected):
+            enc.read(oid, "cost")
+        enc.install_handler(
+            "Part", "cost", 2, lambda state: state["weight"] * 10
+        )
+        assert enc.read(oid, "cost") == 20.0
+
+    def test_read_outside_version_set_interface(self, enc):
+        oid = enc.create_instance("Part", id=1)
+        with pytest.raises(OperationRejected):
+            enc.read(oid, "color")
+
+    def test_create_with_unknown_property(self, enc):
+        with pytest.raises(OperationRejected):
+            enc.create_instance("Part", color="red")
+
+    def test_handler_version_validated(self, enc):
+        with pytest.raises(OperationRejected):
+            enc.install_handler("Part", "id", 9, lambda s: None)
+
+
+class TestReduction:
+    def test_versions_become_types(self, enc):
+        enc.add_property("Part", "cost")
+        lattice = enc.to_axiomatic()
+        assert "Part@v1" in lattice
+        assert "Part@v2" in lattice
+        assert lattice.p("Part@v2") == {"Part@v1"}
+
+    def test_reduction_satisfies_axioms(self, enc):
+        enc.add_property("Part", "cost")
+        enc.drop_property("Part", "weight")
+        lattice = enc.to_axiomatic()
+        assert check_all(lattice) == []
+        assert verify(lattice).ok
+
+    def test_version_interface_preserved(self, enc):
+        enc.add_property("Part", "cost")
+        lattice = enc.to_axiomatic()
+        v2_names = {p.name for p in lattice.n("Part@v2")}
+        assert v2_names == {"id", "weight", "cost"}
+
+    def test_profile(self, enc):
+        assert enc.profile.type_versioning
+        assert enc.profile.reducible_to_axioms

@@ -1,0 +1,174 @@
+"""Tests for the GemStone model and its reduction."""
+
+import pytest
+
+from repro.core import (
+    CycleError,
+    DuplicateTypeError,
+    OperationRejected,
+    UnknownTypeError,
+    check_all,
+    verify,
+)
+from repro.systems import GemStoneSchema
+
+
+@pytest.fixture
+def gs():
+    g = GemStoneSchema()
+    g.define_class("Person")
+    g.define_class("Student", "Person")
+    g.define_class("Employee", "Person")
+    g.add_instance_variable("Person", "name", "String")
+    g.add_instance_variable("Student", "gpa", "Float")
+    return g
+
+
+class TestSingleInheritance:
+    def test_one_superclass_only(self, gs):
+        assert gs.superclass_of("Student") == "Person"
+        assert gs.ancestors_of("Student") == ("Person", "Object")
+
+    def test_no_multiple_inheritance_api_exists(self, gs):
+        # The model offers no way to add a second superclass: the
+        # restriction is structural, matching the paper's description.
+        assert not hasattr(gs, "add_edge")
+        assert not hasattr(gs, "op3")
+
+    def test_duplicate_and_unknown(self, gs):
+        with pytest.raises(DuplicateTypeError):
+            gs.define_class("Person")
+        with pytest.raises(UnknownTypeError):
+            gs.define_class("X", "Ghost")
+
+    def test_variable_resolution_nearest_wins(self, gs):
+        gs.define_class("Grad", "Student")
+        # Single inheritance: no conflicts possible; shadowing forbidden.
+        assert gs.all_instance_variables("Grad") == {
+            "name": "String", "gpa": "Float"
+        }
+
+    def test_shadowing_forbidden(self, gs):
+        with pytest.raises(OperationRejected):
+            gs.add_instance_variable("Student", "name", "Symbol")
+
+    def test_remove_variable_local_only(self, gs):
+        with pytest.raises(OperationRejected):
+            gs.remove_instance_variable("Student", "name")  # inherited
+        gs.remove_instance_variable("Student", "gpa")
+        assert "gpa" not in gs.all_instance_variables("Student")
+
+
+class TestReparentingAndRemoval:
+    def test_change_superclass(self, gs):
+        gs.define_class("Contractor")
+        gs.change_superclass("Contractor", "Employee")
+        assert gs.superclass_of("Contractor") == "Employee"
+
+    def test_change_superclass_cycle_rejected(self, gs):
+        with pytest.raises(CycleError):
+            gs.change_superclass("Person", "Student")
+
+    def test_change_superclass_shadow_rejected(self, gs):
+        gs.define_class("Named")
+        gs.add_instance_variable("Named", "name", "String")
+        with pytest.raises(OperationRejected):
+            gs.change_superclass("Named", "Person")  # both define "name"
+
+    def test_remove_class_reparents_subclasses(self, gs):
+        gs.define_class("Grad", "Student")
+        gs.remove_class("Student")
+        assert gs.superclass_of("Grad") == "Person"
+        assert "Student" not in gs.classes()
+
+    def test_object_protected(self, gs):
+        with pytest.raises(OperationRejected):
+            gs.remove_class("Object")
+        with pytest.raises(OperationRejected):
+            gs.change_superclass("Object", "Person")
+
+
+class TestReduction:
+    def test_reduction_satisfies_axioms(self, gs):
+        lattice = gs.to_axiomatic()
+        assert check_all(lattice) == []
+        assert verify(lattice).ok
+
+    def test_reduction_preserves_structure(self, gs):
+        lattice = gs.to_axiomatic()
+        assert lattice.p("Student") == {"Person"}
+        assert lattice.pl("Student") == {"Student", "Person", "Object"}
+
+    def test_reduction_preserves_variables(self, gs):
+        lattice = gs.to_axiomatic()
+        names = {p.name for p in lattice.interface("Student")}
+        assert names == {"name", "gpa"}
+        assert {p.name for p in lattice.n("Student")} == {"gpa"}
+
+    def test_profile(self, gs):
+        profile = gs.profile
+        assert not profile.multiple_inheritance
+        assert not profile.explicit_deletion
+        assert profile.reducible_to_axioms
+        assert not profile.axioms_reducible_to_it
+
+
+class TestLazyInstanceMigration:
+    """Penney & Stein's mechanism: class modifications invalidate
+    instances, which migrate lazily on first access."""
+
+    @pytest.fixture
+    def populated(self, gs):
+        oid = gs.create_instance("Student", name="Ada", gpa=3.9)
+        return gs, oid
+
+    def test_create_validates_variables(self, gs):
+        with pytest.raises(OperationRejected):
+            gs.create_instance("Student", salary=1)
+        with pytest.raises(UnknownTypeError):
+            gs.create_instance("Ghost")
+
+    def test_read_write_roundtrip(self, populated):
+        gs, oid = populated
+        assert gs.read(oid, "name") == "Ada"
+        gs.write(oid, "gpa", 4.0)
+        assert gs.read(oid, "gpa") == 4.0
+
+    def test_modification_strands_instances(self, populated):
+        gs, oid = populated
+        v0 = gs.instance_version(oid)
+        gs.remove_instance_variable("Student", "gpa")
+        assert gs.stale_instances() == 1
+        assert gs.instance_version(oid) == v0  # untouched until access
+
+    def test_lazy_migration_on_access(self, populated):
+        gs, oid = populated
+        gs.remove_instance_variable("Student", "gpa")
+        assert gs.read(oid, "name") == "Ada"  # triggers migration
+        assert gs.lazy_migrations == 1
+        assert gs.stale_instances() == 0
+        with pytest.raises(OperationRejected):
+            gs.read(oid, "gpa")
+
+    def test_subclass_instances_invalidated_by_superclass_change(self, gs):
+        gs.define_class("Grad", "Student")
+        oid = gs.create_instance("Grad", name="Bob")
+        gs.add_instance_variable("Person", "email", "String")
+        assert gs.stale_instances() == 1
+        gs.write(oid, "email", "bob@uni.edu")
+        assert gs.read(oid, "email") == "bob@uni.edu"
+
+    def test_class_removal_migrates_instances_to_parent(self, gs):
+        oid = gs.create_instance("Student", name="Cyd", gpa=3.0)
+        gs.remove_class("Student")
+        # Instance survives as a Person; the gpa slot migrates away lazily.
+        assert gs.read(oid, "name") == "Cyd"
+        with pytest.raises(OperationRejected):
+            gs.read(oid, "gpa")
+
+    def test_write_to_stale_instance_migrates_first(self, populated):
+        gs, oid = populated
+        gs.remove_instance_variable("Student", "gpa")
+        gs.write(oid, "name", "Ada L.")
+        assert gs.lazy_migrations == 1
+        assert gs.read(oid, "name") == "Ada L."

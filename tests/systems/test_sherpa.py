@@ -1,0 +1,85 @@
+"""Tests for the Sherpa model (Orion changes + propagation modes)."""
+
+import pytest
+
+from repro.core import check_all, verify
+from repro.orion import OrionProperty, check_equivalent
+from repro.systems import PropagationMode, SherpaSchema
+
+
+@pytest.fixture
+def sherpa():
+    s = SherpaSchema()
+    s.add_class("PERSON")
+    s.add_class("STUDENT", "PERSON")
+    s.add_property("PERSON", OrionProperty("name", "STRING"))
+    s.add_property("STUDENT", OrionProperty("gpa", "REAL"))
+    return s
+
+
+class TestChangesFollowOrion:
+    def test_mirror_stays_equivalent(self, sherpa):
+        sherpa.add_class("EMPLOYEE", "PERSON")
+        sherpa.add_edge("STUDENT", "EMPLOYEE")
+        sherpa.drop_edge("STUDENT", "EMPLOYEE")
+        sherpa.drop_property("PERSON", "name")
+        report = check_equivalent(sherpa.db, sherpa._mirror)
+        assert report.equivalent, str(report)
+
+    def test_reduction_satisfies_axioms(self, sherpa):
+        lattice = sherpa.to_axiomatic()
+        assert check_all(lattice) == []
+        assert verify(lattice).ok
+
+
+class TestPropagationModes:
+    def test_immediate_converts_now(self, sherpa):
+        oid = sherpa.create_instance("STUDENT", name="Ada", gpa=3.9)
+        sherpa.drop_property("PERSON", "name", PropagationMode.IMMEDIATE)
+        assert sherpa.converted == 1
+        assert sherpa.pending() == 0
+        assert sherpa.read(oid, "name") is None
+        assert sherpa.read(oid, "gpa") == 3.9
+
+    def test_deferred_screens_on_access(self, sherpa):
+        oid = sherpa.create_instance("STUDENT", name="Ada", gpa=3.9)
+        sherpa.drop_property("PERSON", "name", PropagationMode.DEFERRED)
+        assert sherpa.converted == 0
+        assert sherpa.pending() == 1
+        # The stale value is still physically present until first access.
+        assert sherpa._instances[oid].state.get("name") == "Ada"
+        assert sherpa.read(oid, "name") is None  # screened now
+        assert sherpa.screened == 1
+        assert sherpa.pending() == 0
+
+    def test_immediate_only_touches_affected_instances(self, sherpa):
+        sherpa.add_class("THING")
+        sherpa.add_property("THING", OrionProperty("tag", "STRING"))
+        s_oid = sherpa.create_instance("STUDENT", gpa=3.0)
+        t_oid = sherpa.create_instance("THING", tag="x")
+        sherpa.drop_property("STUDENT", "gpa", PropagationMode.IMMEDIATE)
+        assert sherpa.converted == 1  # only the student instance
+        assert sherpa.read(t_oid, "tag") == "x"
+        assert sherpa.read(s_oid, "gpa") is None
+
+    def test_equal_support_both_modes_same_final_state(self):
+        """Sherpa's selling point: either mode ends at the same state."""
+        results = {}
+        for mode in PropagationMode:
+            s = SherpaSchema()
+            s.add_class("A")
+            s.add_property("A", OrionProperty("x", "NAT"))
+            oid = s.create_instance("A", x=1)
+            s.drop_property("A", "x", mode)
+            results[mode] = s.read(oid, "x")
+        assert results[PropagationMode.IMMEDIATE] == results[
+            PropagationMode.DEFERRED
+        ] is None
+
+    def test_create_rejects_unknown_props(self, sherpa):
+        with pytest.raises(KeyError):
+            sherpa.create_instance("STUDENT", salary=10)
+
+    def test_profile(self, sherpa):
+        assert not sherpa.profile.drop_order_independent  # Orion OP4 inside
+        assert sherpa.profile.reducible_to_axioms

@@ -1,0 +1,179 @@
+"""Tests for the command-line schema tool."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "schema.wal")
+
+
+def run(db, *args, capsys=None):
+    code = main(["--db", db, *args])
+    return code
+
+
+class TestLifecycle:
+    def test_init(self, db, capsys):
+        assert run(db, "init") == 0
+        out = capsys.readouterr().out
+        assert "T_object" in out and "T_null" in out
+
+    def test_add_show_drop(self, db, capsys):
+        assert run(db, "add-type", "T_person", "-p", "person.name") == 0
+        assert run(db, "add-type", "T_student", "-s", "T_person") == 0
+        assert run(db, "show", "T_student") == 0
+        out = capsys.readouterr().out
+        assert "T_person" in out
+        assert run(db, "drop-type", "T_student") == 0
+
+    def test_edges_and_props(self, db, capsys):
+        run(db, "add-type", "T_a")
+        run(db, "add-type", "T_b")
+        assert run(db, "add-edge", "T_b", "T_a") == 0
+        assert "P = ['T_a']" in capsys.readouterr().out
+        assert run(db, "drop-edge", "T_b", "T_a") == 0
+        assert run(db, "add-prop", "T_a", "a.x", "--name", "x") == 0
+        assert run(db, "drop-prop", "T_a", "a.x") == 0
+
+    def test_state_is_durable_across_invocations(self, db, capsys):
+        run(db, "add-type", "T_persisted")
+        assert run(db, "show") == 0
+        assert "T_persisted" in capsys.readouterr().out
+
+    def test_checkpoint(self, db, capsys):
+        run(db, "add-type", "T_a")
+        assert run(db, "checkpoint") == 0
+        assert run(db, "show") == 0
+        assert "T_a" in capsys.readouterr().out
+
+
+class TestChecksAndRendering:
+    def test_check_ok(self, db, capsys):
+        run(db, "add-type", "T_a")
+        assert run(db, "check") == 0
+        out = capsys.readouterr().out
+        assert "axioms: ok" in out and "oracle: ok" in out
+
+    def test_render(self, db, capsys):
+        run(db, "add-type", "T_a")
+        assert run(db, "render") == 0
+        assert "T_a" in capsys.readouterr().out
+
+    def test_dot_views(self, db, capsys):
+        run(db, "add-type", "T_a")
+        run(db, "add-type", "T_b", "-s", "T_a")
+        assert run(db, "dot") == 0
+        minimal = capsys.readouterr().out
+        assert run(db, "dot", "--essential") == 0
+        essential = capsys.readouterr().out
+        assert '"T_b" -> "T_a"' in minimal
+        # The essential view additionally draws the implicit root edge.
+        assert essential.count("->") >= minimal.count("->")
+
+    def test_tables(self, db, capsys):
+        run(db, "init")
+        assert run(db, "tables") == 0
+        out = capsys.readouterr().out
+        assert "Apply-all operation" in out
+        assert "Axiom" in out
+        assert "**subtyping**" in out
+
+
+class TestRejections:
+    def test_duplicate_type_rejected(self, db, capsys):
+        run(db, "add-type", "T_a")
+        assert run(db, "add-type", "T_a") == 1
+        assert "rejected" in capsys.readouterr().err
+
+    def test_cycle_rejected(self, db, capsys):
+        run(db, "add-type", "T_a")
+        run(db, "add-type", "T_b", "-s", "T_a")
+        assert run(db, "add-edge", "T_a", "T_b") == 1
+
+    def test_root_edge_drop_rejected(self, db, capsys):
+        run(db, "add-type", "T_a")
+        assert run(db, "drop-edge", "T_a", "T_object") == 1
+
+    def test_rejected_op_not_persisted(self, db, capsys):
+        run(db, "add-type", "T_a")
+        run(db, "add-type", "T_a")  # rejected
+        assert run(db, "check") == 0  # recovery still clean
+
+
+class TestLint:
+    def test_lint_reports_findings(self, db, capsys):
+        run(db, "add-type", "T_a", "-p", "a.p")
+        run(db, "add-type", "T_b", "-s", "T_a")
+        run(db, "add-edge", "T_b", "T_a")  # no-op, already essential
+        run(db, "add-type", "T_c", "-s", "T_b")
+        run(db, "add-edge", "T_c", "T_a")  # redundant (via T_b)
+        capsys.readouterr()
+        assert run(db, "lint") == 0
+        out = capsys.readouterr().out
+        assert "redundant-essential-supertype" in out
+        assert "finding(s)" in out
+
+    def test_lint_clean_schema(self, db, capsys):
+        run(db, "add-type", "T_a", "-p", "a.p")
+        capsys.readouterr()
+        assert run(db, "lint") == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+
+class TestImpactNormalizeHistory:
+    def test_impact_drop_type(self, db, capsys):
+        run(db, "add-type", "T_a", "-p", "a.p")
+        run(db, "add-type", "T_b", "-s", "T_a")
+        capsys.readouterr()
+        assert run(db, "impact", "drop-type", "T_a") == 0
+        out = capsys.readouterr().out
+        assert "removes types: ['T_a']" in out
+        # Dry-run: nothing actually changed.
+        assert run(db, "show", "T_a") == 0
+
+    def test_impact_drop_edge(self, db, capsys):
+        run(db, "add-type", "T_a")
+        run(db, "add-type", "T_b", "-s", "T_a")
+        capsys.readouterr()
+        assert run(db, "impact", "drop-edge", "T_b", "T_a") == 0
+        assert "P(T_b)" in capsys.readouterr().out
+
+    def test_history_lists_operations(self, db, capsys):
+        run(db, "add-type", "T_a")
+        run(db, "add-type", "T_b", "-s", "T_a")
+        capsys.readouterr()
+        assert run(db, "history") == 0
+        out = capsys.readouterr().out
+        assert "AT" in out and "T_b" in out
+
+    def test_history_survives_restart(self, db, capsys):
+        run(db, "add-type", "T_a")
+        capsys.readouterr()
+        # Each CLI call reopens the WAL: history is rebuilt from disk.
+        assert run(db, "history") == 0
+        assert "T_a" in capsys.readouterr().out
+
+    def test_history_empty_after_checkpoint(self, db, capsys):
+        run(db, "add-type", "T_a")
+        run(db, "checkpoint")
+        capsys.readouterr()
+        assert run(db, "history") == 0
+        assert "no journaled operations" in capsys.readouterr().out
+
+    def test_normalize_command(self, db, capsys):
+        run(db, "add-type", "T_a", "-p", "a.p")
+        run(db, "add-type", "T_b", "-s", "T_a", "-p", "b.p")
+        run(db, "add-type", "T_c", "-s", "T_b", "-p", "c.p")
+        run(db, "add-edge", "T_c", "T_a")  # redundant declaration
+        capsys.readouterr()
+        assert run(db, "normalize") == 0
+        out = capsys.readouterr().out
+        assert "dropped 1 supertype" in out
+        # Durable: the normalized state survives reopen.
+        assert run(db, "lint") == 0
+        out = capsys.readouterr().out
+        assert "redundant" not in out
+        assert "0 finding(s)" in out

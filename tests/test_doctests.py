@@ -1,0 +1,23 @@
+"""Run the executable examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.applyall
+import repro.core.lattice
+import repro.core.properties
+
+DOCTESTED_MODULES = [
+    repro.core.applyall,
+    repro.core.lattice,
+    repro.core.properties,
+]
+
+
+@pytest.mark.parametrize(
+    "module", DOCTESTED_MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"

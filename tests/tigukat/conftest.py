@@ -1,0 +1,39 @@
+"""TIGUKAT test fixtures."""
+
+import pytest
+
+from repro.tigukat import Objectbase, SchemaManager
+
+
+@pytest.fixture
+def store() -> Objectbase:
+    return Objectbase()
+
+
+@pytest.fixture
+def manager(store) -> SchemaManager:
+    return SchemaManager(store)
+
+
+@pytest.fixture
+def university(store, manager):
+    """A small application schema: person/student/employee/TA with
+    behaviors and classes, mirroring the paper's running example."""
+    store.define_stored_behavior("person.name", "name", "T_string")
+    store.define_stored_behavior("person.age", "age", "T_natural")
+    store.define_stored_behavior("taxSource.name", "name", "T_string")
+    store.define_stored_behavior("taxSource.taxBracket", "taxBracket", "T_natural")
+    store.define_stored_behavior("employee.salary", "salary", "T_real")
+    store.define_stored_behavior("student.gpa", "gpa", "T_real")
+
+    manager.at("T_person", behaviors=("person.name", "person.age"),
+               with_class=True)
+    manager.at("T_taxSource",
+               behaviors=("taxSource.name", "taxSource.taxBracket"),
+               with_class=False)
+    manager.at("T_student", ("T_person",), ("student.gpa",), with_class=True)
+    manager.at("T_employee", ("T_person", "T_taxSource"),
+               ("employee.salary", "taxSource.taxBracket"), with_class=True)
+    manager.at("T_teachingAssistant", ("T_student", "T_employee"),
+               with_class=True)
+    return store

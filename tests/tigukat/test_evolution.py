@@ -1,0 +1,222 @@
+"""Tests for the Section 3.3 schema-evolution operations and Table 3."""
+
+import pytest
+
+from repro.core import (
+    CycleError,
+    OperationRejected,
+    RootViolationError,
+    check_all,
+    verify,
+)
+from repro.tigukat import (
+    FunctionKind,
+    OPERATION_TABLE,
+    SchemaManager,
+    schema_evolution_codes,
+    schema_sets,
+)
+
+
+@pytest.fixture
+def mgr(university):
+    return SchemaManager(university)
+
+
+class TestMtAbDb:
+    def test_mt_ab_adds_to_bso(self, university, mgr):
+        university.define_stored_behavior("person.email", "email", "T_string")
+        before = schema_sets(university)
+        assert "person.email" not in before.bso
+        mgr.mt_ab("T_person", "person.email")
+        after = schema_sets(university)
+        assert "person.email" in after.bso
+        # And it is immediately usable on instances of subtypes.
+        ta = university.create_object("T_teachingAssistant")
+        university.apply(ta, "email", "ta@uni.edu")
+        assert university.apply(ta, "email") == "ta@uni.edu"
+
+    def test_mt_db_may_leave_behavior_inherited(self, university, mgr):
+        # taxBracket is essential on T_employee but inherited from
+        # T_taxSource: MT-DB on the employee does not remove it from I.
+        gone = mgr.mt_db("T_employee", "taxSource.taxBracket")
+        assert gone is False
+        iface = {p.semantics for p in university.lattice.interface("T_employee")}
+        assert "taxSource.taxBracket" in iface
+
+    def test_mt_db_removes_when_not_inherited(self, university, mgr):
+        gone = mgr.mt_db("T_employee", "employee.salary")
+        assert gone is True
+        iface = {p.semantics for p in university.lattice.interface("T_employee")}
+        assert "employee.salary" not in iface
+
+    def test_axioms_hold_after_each(self, university, mgr):
+        university.define_stored_behavior("x.b", "b")
+        mgr.mt_ab("T_student", "x.b")
+        assert check_all(university.lattice) == []
+        mgr.mt_db("T_student", "x.b")
+        assert check_all(university.lattice) == []
+
+
+class TestMtAsrDsr:
+    def test_asr_rejects_cycles(self, university, mgr):
+        with pytest.raises(CycleError):
+            mgr.mt_asr("T_person", "T_teachingAssistant")
+
+    def test_dsr_root_link_protected(self, university, mgr):
+        with pytest.raises(RootViolationError):
+            mgr.mt_dsr("T_person", "T_object")
+
+    def test_asr_dsr_roundtrip(self, university, mgr):
+        assert mgr.mt_asr("T_student", "T_taxSource")
+        assert "T_taxSource" in university.lattice.p("T_student")
+        assert mgr.mt_dsr("T_student", "T_taxSource")
+        assert "T_taxSource" not in university.lattice.pl("T_student")
+
+
+class TestAtDt:
+    def test_at_with_class(self, university, mgr):
+        mgr.at("T_course", with_class=True)
+        assert "T_course" in university.lattice
+        assert university.class_of("T_course") is not None
+        # Pointedness: the new type joined Pe(T_null).
+        assert "T_course" in university.lattice.pe("T_null")
+
+    def test_dt_drops_class_and_extent(self, university, mgr):
+        obj = university.create_object("T_student")
+        mgr.dt("T_student")
+        assert "T_student" not in university.lattice
+        assert obj.oid not in university
+
+    def test_dt_with_migration_preserves_instances(self, university, mgr):
+        obj = university.create_object("T_student")
+        mgr.dt("T_student", migrate_to="T_person")
+        assert obj.oid in university
+        assert university.get(obj.oid).type_name == "T_person"
+        assert obj.oid in university.class_of("T_person").members()
+
+    def test_dt_cleans_subtype_pe(self, university, mgr):
+        mgr.dt("T_taxSource")
+        assert "T_taxSource" not in university.lattice.pe("T_employee")
+        assert check_all(university.lattice) == []
+        assert verify(university.lattice).ok
+
+    def test_dt_adopts_essential_inherited_properties(self, university, mgr):
+        # The taxBracket adoption scenario, end-to-end on the objectbase.
+        mgr.dt("T_taxSource")
+        native = {p.semantics for p in university.lattice.n("T_employee")}
+        assert "taxSource.taxBracket" in native
+        emp = university.create_object("T_employee")
+        university.apply(emp, "taxBracket", 3)
+        assert university.apply(emp, "taxBracket") == 3
+
+
+class TestAcDc:
+    def test_ac_unique_per_type(self, university, mgr):
+        with pytest.raises(OperationRejected):
+            mgr.ac("T_person")  # already has a class
+
+    def test_ac_enables_creation(self, university, mgr):
+        with pytest.raises(OperationRejected):
+            university.create_object("T_taxSource")
+        mgr.ac("T_taxSource")
+        assert university.create_object("T_taxSource") is not None
+
+    def test_dc_drops_extent(self, university, mgr):
+        obj = university.create_object("T_person")
+        mgr.dc("T_person")
+        assert obj.oid not in university
+        assert university.class_of("T_person") is None
+
+    def test_dc_without_class_rejected(self, university, mgr):
+        with pytest.raises(OperationRejected):
+            mgr.dc("T_taxSource")
+
+
+class TestDbMbCaDf:
+    def test_db_drops_from_all_types(self, university, mgr):
+        # taxSource.taxBracket is essential on both T_taxSource and
+        # T_employee.
+        touched = mgr.db("taxSource.taxBracket")
+        assert touched == {"T_taxSource", "T_employee"}
+        for t in ("T_taxSource", "T_employee", "T_teachingAssistant"):
+            iface = {p.semantics for p in university.lattice.interface(t)}
+            assert "taxSource.taxBracket" not in iface
+        sets = schema_sets(university)
+        assert "taxSource.taxBracket" not in sets.bso
+
+    def test_mb_ca_changes_association(self, university, mgr):
+        fn = university.define_function(
+            "const_age", FunctionKind.COMPUTED, body=lambda s, r: 7
+        )
+        old = mgr.mb_ca("person.age", "T_person", fn)
+        assert old is not None
+        person = university.create_object("T_person")
+        assert university.apply(person, "age") == 7
+
+    def test_df_rejected_when_type_has_class(self, university, mgr):
+        behavior = university.behavior("person.age")
+        f_oid = behavior.implementation_for("T_person")
+        with pytest.raises(OperationRejected):
+            mgr.df(f_oid)  # T_person has an associated class
+
+    def test_df_allowed_without_class(self, university, mgr):
+        # taxSource behaviors implement a type WITHOUT a class: droppable.
+        behavior = university.behavior("taxSource.name")
+        f_oid = behavior.implementation_for("T_taxSource")
+        mgr.df(f_oid)
+        assert behavior.implementation_for("T_taxSource") is None
+
+    def test_df_unknown_function(self, university, mgr):
+        from repro.core import Oid
+
+        with pytest.raises(OperationRejected):
+            mgr.df(Oid("tgk", 999999))
+
+
+class TestAlDl:
+    def test_al_dl_members_survive(self, university, mgr):
+        mgr.al("committee", member_type="T_person")
+        obj = university.create_object("T_person")
+        university.collection("committee").insert(obj.oid)
+        survivors = mgr.dl("committee")
+        assert survivors == {obj.oid}
+        assert obj.oid in university  # "does not drop its members"
+
+    def test_al_duplicate_rejected(self, university, mgr):
+        mgr.al("c1")
+        with pytest.raises(OperationRejected):
+            mgr.al("c1")
+
+
+class TestTable3:
+    def test_shape_is_6_categories_by_3_kinds(self):
+        categories = {e.category for e in OPERATION_TABLE}
+        kinds = {e.kind for e in OPERATION_TABLE}
+        assert categories == {
+            "Type", "Class", "Behavior", "Function", "Collection", "Other"
+        }
+        assert kinds == {"Add", "Drop", "Modify"}
+
+    def test_bold_entries_match_paper(self):
+        # The paper's bold entries: all Type ops, class add/drop, behavior
+        # drop + change association, function drop, collection add/drop.
+        assert schema_evolution_codes() == {
+            "AT", "DT", "MT-AB", "MT-DB", "MT-ASR", "MT-DSR",
+            "AC", "DC", "DB", "MB-CA", "DF", "AL", "DL",
+        }
+
+    def test_non_schema_entries(self):
+        # "Defining a new behavior (operation AB) does not affect the
+        # schema ... Defining a new function (operation AF) does not
+        # affect the schema ... Modifying a function (MF) does not."
+        non_schema = {
+            e.code for e in OPERATION_TABLE if not e.is_schema_change
+        }
+        assert non_schema == {"AB", "AF", "MF", "MC", "ML", "AO", "DO", "MO"}
+
+    def test_log_records_operations(self, university, mgr):
+        mgr.at("T_x")
+        mgr.mt_asr("T_x", "T_person")
+        assert [r.code for r in mgr.log] == ["AT", "MT-ASR"]
+        assert mgr.log[0].arguments["name"] == "T_x"

@@ -1,0 +1,138 @@
+"""Tests for objectbase impact analysis and signature refinement."""
+
+import pytest
+
+from repro.core import DropEssentialSupertype, DropType
+from repro.tigukat import (
+    FunctionKind,
+    Signature,
+    analyze_objectbase_impact,
+    check_refinement,
+    safe_implement,
+)
+
+
+class TestObjectbaseImpact:
+    def test_exposed_instance_counts(self, university):
+        for __ in range(3):
+            university.create_object("T_teachingAssistant")
+        university.create_object("T_student")
+        report = analyze_objectbase_impact(
+            university,
+            DropEssentialSupertype("T_teachingAssistant", "T_employee"),
+        )
+        assert report.schema.accepted
+        assert report.exposed_instances == {"T_teachingAssistant": 3}
+        assert report.total_exposed == 3
+
+    def test_instances_at_risk_for_dt(self, university):
+        for __ in range(2):
+            university.create_object("T_student")
+        report = analyze_objectbase_impact(university, DropType("T_student"))
+        assert report.instances_at_risk == 2
+        assert "at risk" in report.summary()
+
+    def test_dt_without_class_has_no_risk(self, university):
+        report = analyze_objectbase_impact(
+            university, DropType("T_taxSource")
+        )
+        assert report.instances_at_risk == 0
+        # ... but subtypes with instances are exposed.
+        university.create_object("T_employee")
+        report = analyze_objectbase_impact(
+            university, DropType("T_taxSource")
+        )
+        assert "T_employee" in report.exposed_instances
+
+    def test_rejected_operation_reports_cleanly(self, university):
+        report = analyze_objectbase_impact(university, DropType("T_object"))
+        assert not report.schema.accepted
+        assert report.total_exposed == 0
+
+    def test_dry_run_never_mutates_store(self, university):
+        before = university.lattice.state_fingerprint()
+        count = university.object_count()
+        analyze_objectbase_impact(university, DropType("T_student"))
+        assert university.lattice.state_fingerprint() == before
+        assert university.object_count() == count
+
+
+class TestSignatureRefinement:
+    def test_identical_signature_is_safe(self, university):
+        base = Signature("pay", ("T_person",), "T_person")
+        assert check_refinement(university, base, base) == []
+
+    def test_covariant_result_ok(self, university):
+        base = Signature("boss", (), "T_person")
+        refined = Signature("boss", (), "T_employee")
+        assert check_refinement(university, base, refined) == []
+
+    def test_result_generalization_rejected(self, university):
+        base = Signature("boss", (), "T_employee")
+        refined = Signature("boss", (), "T_person")
+        issues = check_refinement(university, base, refined)
+        assert [i.kind for i in issues] == ["result"]
+
+    def test_contravariant_argument_ok(self, university):
+        base = Signature("assign", ("T_employee",), "T_object")
+        refined = Signature("assign", ("T_person",), "T_object")
+        assert check_refinement(university, base, refined) == []
+
+    def test_argument_specialization_rejected(self, university):
+        base = Signature("assign", ("T_person",), "T_object")
+        refined = Signature("assign", ("T_employee",), "T_object")
+        issues = check_refinement(university, base, refined)
+        assert issues[0].kind == "argument"
+        assert issues[0].position == 0
+
+    def test_arity_mismatch_rejected(self, university):
+        base = Signature("f", ("T_person",))
+        refined = Signature("f", ())
+        issues = check_refinement(university, base, refined)
+        assert issues[0].kind == "arity"
+
+    def test_multiple_issues_reported(self, university):
+        base = Signature("f", ("T_person",), "T_employee")
+        refined = Signature("f", ("T_employee",), "T_person")
+        issues = check_refinement(university, base, refined)
+        assert {i.kind for i in issues} == {"result", "argument"}
+
+    def test_t_object_result_accepts_anything(self, university):
+        base = Signature("f", (), "T_object")
+        refined = Signature("f", (), "T_person")
+        assert check_refinement(university, base, refined) == []
+
+
+class TestSafeImplement:
+    def test_safe_override_installed(self, university):
+        fn = university.define_function(
+            "zero", FunctionKind.COMPUTED, body=lambda s, r: 0
+        )
+        safe_implement(
+            university, "person.age", "T_student", fn,
+            refined_signature=Signature("age", (), "T_natural"),
+        )
+        student = university.create_object("T_student")
+        assert university.apply(student, "age") == 0
+
+    def test_unsafe_override_rejected_before_installation(self, university):
+        fn = university.define_function(
+            "bad", FunctionKind.COMPUTED, body=lambda s, r: object()
+        )
+        behavior = university.behavior("person.age")
+        before = behavior.implementation_for("T_student")
+        with pytest.raises(TypeError) as exc:
+            safe_implement(
+                university, "person.age", "T_student", fn,
+                refined_signature=Signature("age", ("T_person",), "T_natural"),
+            )
+        assert "arity" in str(exc.value)
+        assert behavior.implementation_for("T_student") == before
+
+    def test_default_signature_is_trivially_safe(self, university):
+        fn = university.define_function(
+            "one", FunctionKind.COMPUTED, body=lambda s, r: 1
+        )
+        safe_implement(university, "person.age", "T_employee", fn)
+        emp = university.create_object("T_employee")
+        assert university.apply(emp, "age") == 1

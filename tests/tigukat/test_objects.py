@@ -1,0 +1,144 @@
+"""Tests for uniform objects, behaviors, functions, classes, collections."""
+
+import pytest
+
+from repro.core import Oid
+from repro.tigukat import (
+    Behavior,
+    ClassObject,
+    CollectionObject,
+    Function,
+    FunctionKind,
+    Signature,
+    TigukatObject,
+)
+
+
+class TestTigukatObject:
+    def test_identity_equality(self):
+        a = TigukatObject(Oid("t", 1), "T_person")
+        b = TigukatObject(Oid("t", 1), "T_person")
+        c = TigukatObject(Oid("t", 2), "T_person")
+        assert a == b
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_state_is_encapsulated(self):
+        obj = TigukatObject(Oid("t", 1), "T_person")
+        obj._set_slot("person.name", "David")
+        assert obj._get_slot("person.name") == "David"
+        assert obj._slots() == {"person.name"}
+        obj._drop_slot("person.name")
+        assert obj._get_slot("person.name") is None
+
+    def test_migrate_changes_type(self):
+        obj = TigukatObject(Oid("t", 1), "T_person")
+        obj._migrate("T_employee")
+        assert obj.type_name == "T_employee"
+        assert obj.oid == Oid("t", 1)  # identity immutable
+
+
+class TestSignature:
+    def test_arity_and_str(self):
+        sig = Signature("pay", ("T_real",), "T_boolean")
+        assert sig.arity == 1
+        assert str(sig) == "pay(T_real) -> T_boolean"
+
+    def test_name_required(self):
+        with pytest.raises(ValueError):
+            Signature("")
+
+
+class TestBehavior:
+    def test_semantics_required(self):
+        with pytest.raises(ValueError):
+            Behavior(Oid("t", 1), "", Signature("x"))
+
+    def test_as_property_uses_semantics(self):
+        b = Behavior(Oid("t", 1), "person.name", Signature("name"))
+        p = b.as_property()
+        assert p.semantics == "person.name"
+        assert p.name == "name"
+
+    def test_association_lifecycle(self):
+        b = Behavior(Oid("t", 1), "x.b", Signature("b"))
+        f1, f2 = Oid("f", 1), Oid("f", 2)
+        assert b.associate("T_a", f1) is None
+        assert b.implementation_for("T_a") == f1
+        assert b.associate("T_a", f2) == f1  # MB-CA returns the old one
+        assert b.implementing_types() == {"T_a"}
+        assert b.implementation_oids() == {f2}
+        assert b.dissociate("T_a") == f2
+        assert b.dissociate("T_a") is None
+
+
+class TestFunction:
+    def test_stored_requires_slot(self):
+        with pytest.raises(ValueError):
+            Function(Oid("f", 1), "f", FunctionKind.STORED)
+
+    def test_computed_requires_body(self):
+        with pytest.raises(ValueError):
+            Function(Oid("f", 1), "f", FunctionKind.COMPUTED)
+
+    def test_stored_getter_setter(self):
+        f = Function(Oid("f", 1), "name", FunctionKind.STORED, slot="x.name")
+        obj = TigukatObject(Oid("t", 1), "T_a")
+        assert f.invoke(None, obj) is None
+        assert f.invoke(None, obj, "David") == "David"
+        assert f.invoke(None, obj) == "David"
+
+    def test_stored_rejects_extra_args(self):
+        f = Function(Oid("f", 1), "name", FunctionKind.STORED, slot="x")
+        with pytest.raises(TypeError):
+            f.invoke(None, TigukatObject(Oid("t", 1), "T_a"), 1, 2)
+
+    def test_computed_invocation(self):
+        f = Function(
+            Oid("f", 1), "double", FunctionKind.COMPUTED,
+            body=lambda store, recv, x: x * 2,
+        )
+        assert f.invoke(None, TigukatObject(Oid("t", 1), "T_a"), 21) == 42
+
+    def test_replace_body_only_for_computed(self):
+        stored = Function(Oid("f", 1), "s", FunctionKind.STORED, slot="x")
+        with pytest.raises(TypeError):
+            stored.replace_body(lambda *a: None)
+        computed = Function(
+            Oid("f", 2), "c", FunctionKind.COMPUTED, body=lambda s, r: 1
+        )
+        computed.replace_body(lambda s, r: 2)
+        assert computed.invoke(None, TigukatObject(Oid("t", 1), "T_a")) == 2
+
+
+class TestCollections:
+    def test_insert_remove_members(self):
+        c = CollectionObject(Oid("l", 1), "mixed")
+        assert c.insert(Oid("o", 1))
+        assert not c.insert(Oid("o", 1))
+        assert len(c) == 1
+        assert Oid("o", 1) in c
+        assert c.remove(Oid("o", 1))
+        assert not c.remove(Oid("o", 1))
+
+    def test_member_type_is_advisory(self):
+        c = CollectionObject(Oid("l", 1), "ps", member_type="T_person")
+        c.set_member_type("T_employee")
+        assert c.member_type == "T_employee"
+
+    def test_iteration_is_sorted(self):
+        c = CollectionObject(Oid("l", 1), "x")
+        c.insert(Oid("o", 2))
+        c.insert(Oid("o", 1))
+        assert list(c) == [Oid("o", 1), Oid("o", 2)]
+
+    def test_class_is_a_collection(self):
+        cls = ClassObject(Oid("c", 1), "C_person", of_type="T_person")
+        assert isinstance(cls, CollectionObject)
+        assert cls.of_type == "T_person"
+        assert cls.member_type == "T_person"
+
+    def test_class_member_type_fixed(self):
+        cls = ClassObject(Oid("c", 1), "C_person", of_type="T_person")
+        with pytest.raises(TypeError):
+            cls.set_member_type("T_employee")

@@ -1,0 +1,104 @@
+"""Tests reproducing Figure 2: the primitive type system of TIGUKAT."""
+
+import pytest
+
+from repro.core import FrozenTypeError, check_all, verify
+from repro.tigukat import PRIMITIVE_TYPES, Objectbase
+
+
+@pytest.fixture
+def store():
+    return Objectbase()
+
+
+class TestFigure2Structure:
+    def test_all_primitive_types_present(self, store):
+        expected = {name for name, __ in PRIMITIVE_TYPES}
+        expected |= {"T_object", "T_null"}
+        assert expected <= store.lattice.types()
+
+    def test_rooted_at_t_object(self, store):
+        # "The type T_object is the root of the type system."
+        for t in store.lattice.types():
+            assert "T_object" in store.lattice.pl(t)
+
+    def test_pointed_at_t_null(self, store):
+        # "... and T_null is the base."
+        assert store.lattice.pl("T_null") == store.lattice.types()
+
+    def test_class_under_collection(self, store):
+        # Classes are special collections in Figure 2.
+        assert store.lattice.p("T_class") == {"T_collection"}
+
+    def test_meta_types_under_class(self, store):
+        # "The types T_class-class, T_type-class, and T_collection-class
+        # are part of the extended meta type system."
+        for meta in ("T_type-class", "T_class-class", "T_collection-class"):
+            assert store.lattice.p(meta) == {"T_class"}
+
+    def test_atomic_chain(self, store):
+        # T_real -> T_integer -> T_natural chain of Figure 2.
+        assert store.lattice.p("T_integer") == {"T_real"}
+        assert store.lattice.p("T_natural") == {"T_integer"}
+        assert store.lattice.p("T_real") == {"T_atomic"}
+        assert store.lattice.p("T_string") == {"T_atomic"}
+
+    def test_axioms_hold_on_bootstrap(self, store):
+        assert check_all(store.lattice) == []
+        assert verify(store.lattice).ok
+
+    def test_primitive_types_cannot_be_dropped(self, store):
+        # "the primitive types of the model ... cannot be dropped."
+        for name, __ in PRIMITIVE_TYPES:
+            with pytest.raises(FrozenTypeError):
+                store.lattice.drop_type(name)
+
+
+class TestPrimitiveBehaviors:
+    """The uniform B_* behaviors: schema queried by applying behaviors to
+    type objects (Section 3.1)."""
+
+    @pytest.fixture
+    def app(self, store):
+        store.define_stored_behavior("person.name", "name", "T_string")
+        store.add_type("T_person", behaviors=("person.name",))
+        store.add_type("T_student", supertypes=("T_person",))
+        return store
+
+    def test_b_supertypes(self, app):
+        t = app.type_object("T_student")
+        assert app.apply(t, "supertypes") == {"T_person"}
+
+    def test_b_super_lattice_is_ordered(self, app):
+        t = app.type_object("T_student")
+        chain = app.apply(t, "super-lattice")
+        assert set(chain) == {"T_object", "T_person", "T_student"}
+        assert chain.index("T_object") < chain.index("T_person") < chain.index("T_student")
+
+    def test_b_interface_native_inherited(self, app):
+        t = app.type_object("T_student")
+        interface = app.apply(t, "interface")
+        native = app.apply(t, "native")
+        inherited = app.apply(t, "inherited")
+        assert interface == native | inherited
+        assert not native  # nothing defined natively on T_student
+        assert {p.semantics for p in inherited} == {"person.name"}
+
+    def test_b_subtypes(self, app):
+        t = app.type_object("T_person")
+        assert app.apply(t, "subtypes") == {"T_student"}
+
+    def test_b_new_creates_type(self, app):
+        t_type = app.type_object("T_type")
+        created = app.apply(t_type, "new", ("T_person",), ())
+        assert created.name in app.lattice
+        assert app.lattice.p(created.name) == {"T_person"}
+
+    def test_behaviors_equal_axiomatic_terms(self, app):
+        # The reduction, structurally: B_* results ARE the derived terms.
+        t = app.type_object("T_student")
+        assert t.b_supertypes() == app.lattice.p("T_student")
+        assert t.b_interface() == app.lattice.interface("T_student")
+        assert t.b_native() == app.lattice.n("T_student")
+        assert t.b_inherited() == app.lattice.h("T_student")
+        assert set(t.b_super_lattice()) == set(app.lattice.pl("T_student"))

@@ -1,0 +1,86 @@
+"""Tests for Definitions 3.1 / 3.2: the schema-object sets."""
+
+import pytest
+
+from repro.tigukat import SchemaManager, schema_oids, schema_sets
+
+
+class TestDefinitions:
+    def test_tso_equals_lattice_types(self, university):
+        sets = schema_sets(university)
+        assert sets.tso == university.lattice.types()
+
+    def test_bso_is_union_of_interfaces(self, university):
+        sets = schema_sets(university)
+        expected = set()
+        for t in university.lattice.types():
+            expected.update(
+                p.semantics for p in university.lattice.interface(t)
+            )
+        assert sets.bso == expected
+
+    def test_bso_subset_of_c_behavior(self, university):
+        # "Only those behaviors defined in the interface of some type are
+        # considered to be behavior schema objects" — an AB-defined but
+        # unattached behavior is in C_behavior yet not in BSO.
+        university.define_stored_behavior("floating.b", "b")
+        sets = schema_sets(university)
+        assert "floating.b" not in sets.bso
+        assert "floating.b" in {
+            b.semantics for b in university.behaviors()
+        }
+        assert sets.invariants_ok(university)
+
+    def test_fso_subset_of_c_function(self, university):
+        # An AF-defined but unassociated function is not in FSO.
+        from repro.tigukat import FunctionKind
+
+        orphan = university.define_function(
+            "orphan", FunctionKind.COMPUTED, body=lambda s, r: None
+        )
+        sets = schema_sets(university)
+        assert orphan.oid not in sets.fso
+        assert orphan.oid in {f.oid for f in university.functions()}
+
+    def test_cso_subset_of_lso(self, university):
+        sets = schema_sets(university)
+        assert sets.cso <= sets.lso
+
+    def test_collections_enter_lso(self, university):
+        before = schema_sets(university)
+        c = university.add_collection("projects")
+        after = schema_sets(university)
+        assert c.oid in after.lso
+        assert c.oid not in before.lso
+
+    def test_invariants_hold(self, university):
+        assert schema_sets(university).invariants_ok(university)
+
+
+class TestSchemaUnion:
+    def test_schema_oids_covers_all_sets(self, university):
+        sets = schema_sets(university)
+        oids = schema_oids(university)
+        for name in sets.tso:
+            assert university.type_object(name).oid in oids
+        for semantics in sets.bso:
+            assert university.behavior(semantics).oid in oids
+        assert sets.fso <= oids
+        assert sets.lso <= oids
+
+    def test_application_instances_are_not_schema(self, university):
+        obj = university.create_object("T_person", name="Ada")
+        assert obj.oid not in schema_oids(university)
+
+    def test_schema_size_changes_only_on_schema_ops(self, university):
+        mgr = SchemaManager(university)
+        size0 = schema_sets(university).schema_size
+        # AO (instance creation) is not schema evolution:
+        university.create_object("T_person")
+        assert schema_sets(university).schema_size == size0
+        # AB alone is not schema evolution:
+        university.define_stored_behavior("p.extra", "extra")
+        assert schema_sets(university).schema_size == size0
+        # ... but MT-AB is:
+        mgr.mt_ab("T_person", "p.extra")
+        assert schema_sets(university).schema_size > size0

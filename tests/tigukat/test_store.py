@@ -1,0 +1,172 @@
+"""Tests for the objectbase: creation, dispatch, conformance, extents."""
+
+import pytest
+
+from repro.core import OperationRejected, UnknownTypeError
+from repro.tigukat import (
+    AmbiguousBehaviorError,
+    DispatchError,
+    FunctionKind,
+    Objectbase,
+    Signature,
+)
+
+
+class TestObjectCreation:
+    def test_requires_a_class(self, university):
+        # "Object creation occurs only through classes."
+        with pytest.raises(OperationRejected):
+            university.create_object("T_taxSource")  # no class was made
+
+    def test_create_and_read(self, university):
+        obj = university.create_object("T_person", name="Ada", age=36)
+        assert university.apply(obj, "name") == "Ada"
+        assert university.apply(obj, "age") == 36
+
+    def test_instance_joins_class_extent(self, university):
+        obj = university.create_object("T_student")
+        assert obj.oid in university.class_of("T_student").members()
+
+    def test_delete_object(self, university):
+        obj = university.create_object("T_person")
+        university.delete_object(obj.oid)
+        assert obj.oid not in university
+        assert obj.oid not in university.class_of("T_person").members()
+
+    def test_delete_rejects_modeling_constructs(self, university):
+        t = university.type_object("T_person")
+        with pytest.raises(OperationRejected):
+            university.delete_object(t.oid)
+
+
+class TestDispatch:
+    def test_inherited_behavior_dispatches(self, university):
+        ta = university.create_object("T_teachingAssistant")
+        university.apply(ta, "salary", 1200.0)
+        assert university.apply(ta, "salary") == 1200.0
+        university.apply(ta, "gpa", 3.9)
+        assert university.apply(ta, "gpa") == 3.9
+
+    def test_behavior_not_in_interface_rejected(self, university):
+        person = university.create_object("T_person")
+        with pytest.raises(DispatchError):
+            university.apply(person, "salary")
+
+    def test_ambiguous_name_raises(self, university):
+        # T_employee sees two distinct "name" behaviors (person.name and
+        # taxSource.name): the model surfaces the conflict.
+        emp = university.create_object("T_employee")
+        with pytest.raises(AmbiguousBehaviorError):
+            university.apply(emp, "name")
+        # Addressing by semantics key resolves it.
+        university.apply(emp, "person.name", "Grace")
+        assert university.apply(emp, "person.name") == "Grace"
+
+    def test_late_binding_most_specific_wins(self, university):
+        # Override 'age' on T_student with a computed implementation.
+        override = university.define_function(
+            "student_age", FunctionKind.COMPUTED,
+            body=lambda store, recv: 99,
+        )
+        university.implement("person.age", "T_student", override)
+        student = university.create_object("T_student")
+        person = university.create_object("T_person", age=20)
+        assert university.apply(student, "age") == 99   # overridden
+        assert university.apply(person, "age") == 20    # base untouched
+
+    def test_overriding_propagates_to_subtypes(self, university):
+        override = university.define_function(
+            "student_age", FunctionKind.COMPUTED,
+            body=lambda store, recv: 99,
+        )
+        university.implement("person.age", "T_student", override)
+        ta = university.create_object("T_teachingAssistant")
+        assert university.apply(ta, "age") == 99
+
+    def test_argument_conformance_checked(self, university):
+        university.define_behavior(
+            "employee.raise", Signature("raise", ("T_real",), "T_real")
+        )
+        fn = university.define_function(
+            "raise_impl", FunctionKind.COMPUTED,
+            body=lambda store, recv, amount: amount * 2,
+        )
+        university.lattice.add_essential_property(
+            "T_employee", university.behavior("employee.raise").as_property()
+        )
+        university.implement("employee.raise", "T_employee", fn)
+        emp = university.create_object("T_employee")
+        assert university.apply(emp, "raise", 100.0) == 200.0
+        with pytest.raises(DispatchError):
+            university.apply(emp, "raise", "not-a-number")
+
+    def test_wrong_arity_rejected(self, university):
+        university.define_behavior(
+            "employee.transfer", Signature("transfer", ("T_string", "T_real"))
+        )
+        fn = university.define_function(
+            "tr", FunctionKind.COMPUTED, body=lambda s, r, a, b: (a, b)
+        )
+        university.lattice.add_essential_property(
+            "T_employee",
+            university.behavior("employee.transfer").as_property(),
+        )
+        university.implement("employee.transfer", "T_employee", fn)
+        emp = university.create_object("T_employee")
+        with pytest.raises(DispatchError):
+            university.apply(emp, "transfer", "HR")
+
+    def test_apply_accepts_oid(self, university):
+        obj = university.create_object("T_person", name="Ada")
+        assert university.apply(obj.oid, "name") == "Ada"
+
+
+class TestConformance:
+    def test_object_conformance_uses_subtyping(self, university):
+        ta = university.create_object("T_teachingAssistant")
+        assert university.conforms_value(ta, "T_person")
+        assert university.conforms_value(ta, "T_taxSource")
+        person = university.create_object("T_person")
+        assert not university.conforms_value(person, "T_student")
+
+    @pytest.mark.parametrize(
+        "value,type_name,ok",
+        [
+            ("hi", "T_string", True),
+            (3, "T_string", False),
+            (3, "T_natural", True),
+            (-3, "T_natural", False),
+            (-3, "T_integer", True),
+            (2.5, "T_integer", False),
+            (2.5, "T_real", True),
+            (True, "T_boolean", True),
+            (True, "T_integer", False),  # bool is not an integer here
+            ("x", "T_atomic", True),
+            (object(), "T_object", True),
+        ],
+    )
+    def test_atomic_conformance(self, university, value, type_name, ok):
+        assert university.conforms_value(value, type_name) is ok
+
+
+class TestExtents:
+    def test_shallow_vs_deep(self, university):
+        university.create_object("T_person")
+        university.create_object("T_student")
+        university.create_object("T_teachingAssistant")
+        assert len(university.extent("T_person", deep=False)) == 1
+        assert len(university.extent("T_person", deep=True)) == 3
+        assert len(university.extent("T_student", deep=True)) == 2
+
+    def test_extent_of_unknown_type(self, university):
+        with pytest.raises(UnknownTypeError):
+            university.extent("T_ghost")
+
+    def test_collections_are_user_managed(self, university):
+        c = university.add_collection("favorites", member_type="T_person")
+        obj = university.create_object("T_person")
+        c.insert(obj.oid)
+        assert obj.oid in university.collection("favorites")
+        # Dropping the collection does not drop its members.
+        university.drop_collection("favorites")
+        assert obj.oid in university

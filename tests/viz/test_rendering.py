@@ -1,0 +1,133 @@
+"""Tests for lattice rendering and table regeneration."""
+
+from repro.core import build_figure1_lattice
+from repro.systems import GemStoneSchema, OrionSystem, TigukatSystem
+from repro.tigukat import Objectbase
+from repro.viz import (
+    format_table,
+    render_comparison,
+    render_lattice,
+    render_levels,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_type_card,
+    to_dot,
+)
+
+
+class TestLatticeRendering:
+    def test_figure1_tree_contains_all_types(self, figure1):
+        text = render_lattice(figure1)
+        for t in figure1.types():
+            assert t in text
+
+    def test_shared_subtrees_marked(self, figure1):
+        text = render_lattice(figure1)
+        assert "(…)" in text  # T_teachingAssistant appears twice
+
+    def test_essential_view_differs(self, figure1):
+        minimal = render_lattice(figure1)
+        essential = render_lattice(figure1, use_essential=True)
+        assert minimal != essential
+
+    def test_empty_lattice(self):
+        from repro.core import LatticePolicy, TypeLattice
+
+        assert "(empty" in render_lattice(TypeLattice(LatticePolicy.forest()))
+
+    def test_levels_layout(self, figure1):
+        text = render_levels(figure1)
+        lines = text.splitlines()
+        assert "T_object" in lines[0]
+        assert "T_null" in lines[-1]
+
+    def test_type_card_shows_all_terms(self, figure1):
+        card = render_type_card(figure1, "T_employee")
+        for term in ("Pe(t)", "P(t)", "PL(t)", "Ne(t)", "N(t)", "H(t)", "I(t)"):
+            assert term in card
+
+
+class TestDot:
+    def test_dot_structure(self, figure1):
+        dot = to_dot(figure1)
+        assert dot.startswith("digraph")
+        assert '"T_teachingAssistant" -> "T_student";' in dot
+        # Minimal view: the dominated Pe edge to T_person is not drawn.
+        assert '"T_teachingAssistant" -> "T_person";' not in dot
+
+    def test_dot_essential_view_draws_dominated_edges(self, figure1):
+        dot = to_dot(figure1, use_essential=True)
+        assert '"T_teachingAssistant" -> "T_person";' in dot
+
+    def test_highlight(self, figure1):
+        dot = to_dot(figure1, highlight={"T_employee"})
+        assert 'fillcolor="lightgrey"' in dot
+
+
+class TestTables:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].count("-") >= 3
+
+    def test_table1_lists_all_terms(self):
+        text = render_table1()
+        for term in ("P(t)", "Pe(t)", "PL(t)", "N(t)", "H(t)", "Ne(t)", "I(t)"):
+            assert term in text
+
+    def test_table1_with_example(self, figure1):
+        text = render_table1(figure1, "T_employee")
+        assert "T_employee" in text
+        assert "T_taxSource" in text  # PL value rendered
+
+    def test_table2_formulas_and_status(self, figure1):
+        text = render_table2(figure1)
+        assert "Supertype Lattice" in text
+        assert text.count("holds") == 9
+
+    def test_table2_reports_violations(self, figure1):
+        figure1._pe["T_student"].add("T_ghost")
+        figure1.invalidate_cache()
+        assert "violation" in render_table2(figure1)
+
+    def test_table3_shape_and_typography(self):
+        text = render_table3()
+        assert "**subtyping**" in text            # bold: schema change
+        assert "**type deletion**" in text
+        assert "instance creation" in text        # emphasized: plain
+        assert "**instance creation**" not in text
+        for category in ("Type (T)", "Class (C)", "Behavior (B)",
+                         "Function (F)", "Collection (L)", "Other (O)"):
+            assert category in text
+
+    def test_comparison_table(self):
+        text = render_comparison(
+            TigukatSystem(Objectbase()), OrionSystem(), GemStoneSchema()
+        )
+        assert "TIGUKAT" in text and "Orion" in text and "GemStone" in text
+        assert "minimal_supertypes" in text
+
+
+class TestDiffRendering:
+    def test_identical(self, figure1):
+        from repro.core import diff_lattices
+        from repro.viz import render_diff
+
+        assert render_diff(diff_lattices(figure1, figure1.copy())) == (
+            "(no differences)"
+        )
+
+    def test_markers(self, figure1):
+        from repro.core import diff_lattices
+        from repro.viz import render_diff
+
+        other = figure1.copy()
+        other.drop_type("T_taxSource")
+        other.add_type("T_new")
+        text = render_diff(diff_lattices(figure1, other))
+        assert "- type T_taxSource" in text
+        assert "+ type T_new" in text
+        assert "T_employee: - supertype T_taxSource" in text
+        assert "- behavior" in text
