@@ -6,7 +6,6 @@ entries constitute dynamic schema evolution.  Each bold operation is
 timed against a mid-sized TIGUKAT objectbase.
 """
 
-import pytest
 
 from repro.tigukat import (
     FunctionKind,

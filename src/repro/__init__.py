@@ -20,6 +20,9 @@ Subpackages
     temporal versions) — the companion problem the paper defers.
 ``repro.analysis``
     Workload generation, order-independence experiments, complexity study.
+``repro.staticcheck``
+    Static analysis: symbolic plan dry-runs, pluggable diagnostics
+    registry, Orion-vs-TIGUKAT order-dependence detection, SARIF output.
 ``repro.storage``
     Snapshot and write-ahead journal persistence.
 ``repro.viz``
@@ -32,6 +35,7 @@ from . import (
     orion,
     propagation,
     query,
+    staticcheck,
     storage,
     systems,
     tigukat,
@@ -57,6 +61,7 @@ __all__ = [
     "propagation",
     "query",
     "analysis",
+    "staticcheck",
     "storage",
     "viz",
     "TypeLattice",

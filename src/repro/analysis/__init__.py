@@ -24,6 +24,7 @@ from .workload import (
     random_evolution_program,
     random_lattice,
     random_orion_pair,
+    random_plan,
 )
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "random_orion_pair",
     "droppable_edges",
     "random_evolution_program",
+    "random_plan",
     "run_order_experiment",
     "OrderExperimentResult",
     "TrialResult",

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from ..core.errors import SchemaError
 from ..core.lattice import TypeLattice
-from ..orion.model import OrionDatabase, ROOT_CLASS
+from ..orion.model import OrionDatabase
 from ..orion.operations import OrionOps
 from .workload import LatticeSpec, droppable_edges, random_lattice, random_orion_pair
 

@@ -184,8 +184,6 @@ def measure_propagation_crossover(
     instance once, with no per-read version check).  The crossover point
     is the series' shape target.
     """
-    from ..propagation.conversion import ConversionStrategy
-    from ..propagation.screening import ScreeningStrategy
     from ..tigukat.evolution import SchemaManager
     from ..tigukat.store import Objectbase
 

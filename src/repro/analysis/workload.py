@@ -24,6 +24,7 @@ __all__ = [
     "random_orion_pair",
     "droppable_edges",
     "random_evolution_program",
+    "random_plan",
 ]
 
 
@@ -172,3 +173,41 @@ def random_evolution_program(
                 ("drop_prop", rng.choice(types), rng.choice(props))
             )
     return program
+
+
+def random_plan(lattice: TypeLattice, n_ops: int, seed: int):
+    """A seeded evolution plan over an existing lattice, as operation
+    command objects (:mod:`repro.core.operations`).
+
+    The workhorse of the static-analyzer benchmarks and tests: the same
+    mixed mutation stream as :func:`random_evolution_program`, but
+    packaged for :func:`repro.staticcheck.analyze` — including the
+    operations a live system would reject, since flagging those ahead
+    of execution is the analyzer's job.
+    """
+    from ..core.operations import (
+        AddEssentialProperty,
+        AddEssentialSupertype,
+        AddType,
+        DropEssentialProperty,
+        DropEssentialSupertype,
+        DropType,
+        SchemaOperation,
+    )
+
+    ops: list[SchemaOperation] = []
+    for step in random_evolution_program(lattice, n_ops, seed):
+        kind, args = step[0], step[1:]
+        if kind == "add_type":
+            ops.append(AddType(args[0], tuple(args[1])))
+        elif kind == "drop_type":
+            ops.append(DropType(args[0]))
+        elif kind == "add_edge":
+            ops.append(AddEssentialSupertype(args[0], args[1]))
+        elif kind == "drop_edge":
+            ops.append(DropEssentialSupertype(args[0], args[1]))
+        elif kind == "add_prop":
+            ops.append(AddEssentialProperty(args[0], args[1]))
+        elif kind == "drop_prop":
+            ops.append(DropEssentialProperty(args[0], args[1]))
+    return ops

@@ -13,6 +13,8 @@ subcommand is one of the paper's operations or inspections::
     python -m repro --db schema.wal drop-type T_student
     python -m repro --db schema.wal show [T_student]
     python -m repro --db schema.wal check       # axioms + oracle
+    python -m repro --db schema.wal lint        # static analysis (schema)
+    python -m repro --db schema.wal lint --plan plan.json --format sarif
     python -m repro --db schema.wal render      # ASCII lattice
     python -m repro --db schema.wal dot         # Graphviz output
     python -m repro --db schema.wal tables      # Tables 1-3
@@ -96,8 +98,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("type", nargs="?", help="one type (default: list all)")
 
     sub.add_parser("check", help="verify the nine axioms and the oracle")
-    sub.add_parser("lint", help="advisory findings (redundant essentials, "
-                                "shadowed names, ...)")
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: schema findings, and whole evolution plans "
+             "dry-run symbolically (never mutates the schema or WAL)",
+    )
+    p.add_argument(
+        "--plan", metavar="FILE",
+        help="analyze an evolution plan (JSON / JSONL / a WAL journal) "
+             "against the schema without executing it",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (sarif = SARIF 2.1.0 for CI annotation)",
+    )
+    p.add_argument(
+        "--fail-on", choices=("error", "warning", "info", "never"),
+        default="error",
+        help="exit 1 when a finding at or above this severity exists "
+             "(default: error)",
+    )
+    p.add_argument(
+        "--select", action="append", metavar="RULE",
+        help="run only rules matching this id/prefix (repeatable)",
+    )
+    p.add_argument(
+        "--ignore", action="append", metavar="RULE",
+        help="skip rules matching this id/prefix (repeatable)",
+    )
     sub.add_parser("normalize", help="rewrite Pe/Ne to the minimal "
                                      "declarations (drops the insurance!)")
     sub.add_parser("history", help="show the journaled operations")
@@ -175,12 +204,37 @@ def main(argv: Sequence[str] | None = None) -> int:
             if violations or not report.ok:
                 return 1
         elif args.command == "lint":
-            from .core import lint_lattice
+            from .staticcheck import (
+                Severity,
+                analyze,
+                load_plan,
+                render_json,
+                render_sarif,
+                render_text,
+            )
 
-            findings = lint_lattice(lattice)
-            for f in findings:
-                print(f)
-            print(f"{len(findings)} finding(s)")
+            plan = load_plan(args.plan) if args.plan else None
+            try:
+                report = analyze(
+                    lattice, plan, select=args.select, ignore=args.ignore
+                )
+            except KeyError as exc:
+                print(f"error: {exc.args[0]}", file=sys.stderr)
+                return 2
+            if args.format == "json":
+                print(render_json(report))
+            elif args.format == "sarif":
+                print(render_sarif(
+                    report,
+                    plan_uri=args.plan or "",
+                    schema_uri=args.db,
+                ))
+            else:
+                print(render_text(report, show_fixits=False))
+            if args.fail_on != "never":
+                threshold = Severity.from_name(args.fail_on)
+                if report.at_least(threshold):
+                    return 1
         elif args.command == "normalize":
             from .core import normalize
 

@@ -41,6 +41,7 @@ from .errors import (
     FrozenTypeError,
     JournalError,
     OperationRejected,
+    PlanError,
     PointednessViolationError,
     RootViolationError,
     SchemaError,
@@ -181,6 +182,7 @@ __all__ = [
     "RootViolationError",
     "PointednessViolationError",
     "AxiomViolationError",
+    "PlanError",
     "OperationRejected",
     "UnknownPropertyError",
     "FrozenTypeError",

@@ -20,6 +20,7 @@ __all__ = [
     "UnknownPropertyError",
     "FrozenTypeError",
     "JournalError",
+    "PlanError",
 ]
 
 
@@ -123,3 +124,7 @@ class FrozenTypeError(SchemaError):
 
 class JournalError(SchemaError):
     """The operation journal is corrupt or a replay failed."""
+
+
+class PlanError(SchemaError):
+    """An evolution plan file is unreadable or malformed."""

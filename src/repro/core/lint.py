@@ -1,43 +1,47 @@
 """Schema linting: advisory findings about a lattice's designer state.
 
-The axioms keep the schema *consistent*; the linter flags state that is
-consistent but questionable — exactly the hygiene the paper's minimality
-discussion motivates (Section 5).  Findings are advisory: none of them
-block operations.
+.. deprecated-ish:: the linter is now a thin compatibility shim over the
+   static-analysis subsystem :mod:`repro.staticcheck`, where these five
+   checks live as *schema-scope* rules in the pluggable diagnostics
+   registry (alongside the plan-scope rules, severities, fix-its, and
+   the SARIF emitter).  Existing callers of :func:`lint_lattice` /
+   :data:`LINT_RULES` keep working unchanged.
 
-Findings
---------
+The five historic findings
+--------------------------
 ``redundant-essential-supertype``
     ``s ∈ Pe(t)`` is dominated (reachable through another essential
-    supertype).  Perfectly legal — that is what essentiality is *for* —
-    but worth knowing: each one is a place where a future drop will
-    re-establish a link the designer may have forgotten declaring.
+    supertype).
 ``redundant-essential-property``
-    ``p ∈ Ne(t)`` is inherited, so it is not native; dropping the
-    defining supertype will silently adopt it.
+    ``p ∈ Ne(t)`` is inherited, so it is not native.
 ``shadowed-name``
-    two distinct properties share a display name in one interface (the
-    conflict the axiomatic model surfaces and Orion resolves by order).
+    two distinct properties share a display name in one interface.
 ``empty-interface``
-    a non-root type whose interface is empty — structurally fine,
-    usually a modeling gap.
+    a non-root type whose interface is empty.
 ``single-subtype-chain``
-    a type whose only role is to sit between one supertype and one
-    subtype while adding nothing to the interface (a candidate for
-    collapsing).
+    a pass-through type adding nothing to the interface.
+
+See ``docs/staticcheck.md`` for the full (larger) rule catalogue.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
-
-from ..orion.conflict import find_name_conflicts_minimal
+from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover
     from .lattice import TypeLattice
 
 __all__ = ["LintFinding", "lint_lattice", "LINT_RULES"]
+
+#: The historic rule names, now ids in ``repro.staticcheck.REGISTRY``.
+_RULE_IDS = (
+    "redundant-essential-supertype",
+    "redundant-essential-property",
+    "shadowed-name",
+    "empty-interface",
+    "single-subtype-chain",
+)
 
 
 @dataclass(frozen=True)
@@ -50,107 +54,34 @@ class LintFinding:
         return f"{self.rule}: {self.type_name}: {self.detail}"
 
 
-def _redundant_supertypes(lattice: "TypeLattice") -> list[LintFinding]:
-    out: list[LintFinding] = []
-    base = lattice.base
-    for t in sorted(lattice.types()):
-        if t == base:
-            continue  # Pe(⊥) is total by the pointedness policy
-        dominated = lattice.pe(t) - lattice.p(t)
-        root = lattice.root
-        for s in sorted(dominated):
-            if s == root:
-                continue  # the implicit root declaration is policy
-            out.append(
-                LintFinding(
-                    "redundant-essential-supertype", t,
-                    f"{s!r} is reachable through another essential "
-                    f"supertype (will be re-established on drops)",
-                )
-            )
-    return out
-
-
-def _redundant_properties(lattice: "TypeLattice") -> list[LintFinding]:
-    out: list[LintFinding] = []
-    for t in sorted(lattice.types()):
-        inherited_essentials = lattice.ne(t) - lattice.n(t)
-        for p in sorted(inherited_essentials):
-            out.append(
-                LintFinding(
-                    "redundant-essential-property", t,
-                    f"{p} is inherited; it will be adopted as native if "
-                    f"its defining supertype disappears",
-                )
-            )
-    return out
-
-
-def _shadowed_names(lattice: "TypeLattice") -> list[LintFinding]:
-    out: list[LintFinding] = []
-    for t in sorted(lattice.types()):
-        for name, keys in sorted(
-            find_name_conflicts_minimal(lattice, t).items()
-        ):
-            out.append(
-                LintFinding(
-                    "shadowed-name", t,
-                    f"name {name!r} denotes {sorted(keys)} in I({t})",
-                )
-            )
-    return out
-
-
-def _empty_interfaces(lattice: "TypeLattice") -> list[LintFinding]:
-    out: list[LintFinding] = []
-    for t in sorted(lattice.types()):
-        if t in (lattice.root, lattice.base):
-            continue
-        if not lattice.interface(t):
-            out.append(
-                LintFinding("empty-interface", t, "interface is empty")
-            )
-    return out
-
-
-def _single_subtype_chains(lattice: "TypeLattice") -> list[LintFinding]:
-    out: list[LintFinding] = []
-    base = lattice.base
-    for t in sorted(lattice.types()):
-        if t in (lattice.root, base):
-            continue
-        subtypes = lattice.subtypes(t) - ({base} if base else set())
-        if (
-            len(lattice.p(t)) == 1
-            and len(subtypes) == 1
-            and not lattice.n(t)
-        ):
-            out.append(
-                LintFinding(
-                    "single-subtype-chain", t,
-                    "adds nothing to the interface between "
-                    f"{next(iter(lattice.p(t)))!r} and "
-                    f"{next(iter(subtypes))!r}",
-                )
-            )
-    return out
-
-
-LINT_RULES = {
-    "redundant-essential-supertype": _redundant_supertypes,
-    "redundant-essential-property": _redundant_properties,
-    "shadowed-name": _shadowed_names,
-    "empty-interface": _empty_interfaces,
-    "single-subtype-chain": _single_subtype_chains,
-}
-
-
 def lint_lattice(
     lattice: "TypeLattice", rules: tuple[str, ...] | None = None
 ) -> list[LintFinding]:
-    """Run all (or the named) lint rules over a lattice."""
-    selected = rules if rules is not None else tuple(LINT_RULES)
-    out: list[LintFinding] = []
+    """Run all (or the named) schema-scope analyzer rules over a lattice."""
+    # Imported lazily: staticcheck depends on core, not the reverse.
+    from ..staticcheck import analyze_schema
+
+    selected = rules if rules is not None else _RULE_IDS
     for rule in selected:
-        out.extend(LINT_RULES[rule](lattice))
-    return out
+        if rule not in _RULE_IDS:
+            raise KeyError(rule)
+    findings: list[LintFinding] = []
+    for rule in selected:
+        findings.extend(
+            LintFinding(d.rule_id, d.subject, d.message)
+            for d in analyze_schema(lattice, select=(rule,))
+        )
+    return findings
+
+
+def _runner(rule_id: str) -> Callable[["TypeLattice"], list[LintFinding]]:
+    def run(lattice: "TypeLattice") -> list[LintFinding]:
+        return lint_lattice(lattice, rules=(rule_id,))
+
+    return run
+
+
+#: name -> callable(lattice) -> findings, kept for API compatibility.
+LINT_RULES: dict[str, Callable[["TypeLattice"], list[LintFinding]]] = {
+    rule_id: _runner(rule_id) for rule_id in _RULE_IDS
+}

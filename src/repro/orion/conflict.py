@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Mapping
 
-from .model import OrionClass, OrionDatabase, OrionProperty
+from .model import OrionDatabase, OrionProperty
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.lattice import TypeLattice

@@ -1,0 +1,169 @@
+"""Diagnostic emitters: human text, machine JSON, and SARIF 2.1.0.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is what CI
+systems and code hosts ingest to annotate findings inline; the emitter
+targets the 2.1.0 schema.  Plan-scope findings anchor to the plan file
+with the step's line number (plans are one-operation-per-line in the
+WAL/JSONL form, so ``startLine = step + 1`` lands on the operation);
+schema-scope findings anchor to the schema artifact, with the subject
+type carried as a SARIF logical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from .registry import REGISTRY, RuleRegistry, Severity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .analyzer import AnalysisReport
+
+__all__ = ["render_text", "render_json", "render_sarif", "sarif_dict"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_INFO_URI = "https://github.com/example/repro"
+
+
+def render_text(report: "AnalysisReport", *, show_fixits: bool = True) -> str:
+    """The human-readable listing, one finding per line plus a summary."""
+    lines: list[str] = []
+    for d in report.diagnostics:
+        lines.append(str(d))
+        if show_fixits and d.fixit:
+            lines.append(f"    fix: {d.fixit}")
+    if report.trace is not None:
+        lines.append(
+            f"plan: {len(report.trace)} step(s), "
+            f"{len(report.trace.doomed)} doomed"
+        )
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: "AnalysisReport") -> str:
+    """A stable machine-readable JSON document."""
+    doc = {
+        "version": 1,
+        "rules_run": list(report.rules_run),
+        "findings": [
+            {
+                "rule": d.rule_id,
+                "severity": str(d.severity),
+                "category": d.category,
+                "subject": d.subject,
+                "step": d.step,
+                "message": d.message,
+                "fixit": d.fixit or None,
+            }
+            for d in report.diagnostics
+        ],
+        "summary": {
+            "total": len(report.diagnostics),
+            "error": report.counts[Severity.ERROR],
+            "warning": report.counts[Severity.WARNING],
+            "info": report.counts[Severity.INFO],
+        },
+    }
+    if report.trace is not None:
+        doc["plan"] = {
+            "steps": len(report.trace),
+            "doomed": len(report.trace.doomed),
+        }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def sarif_dict(
+    report: "AnalysisReport",
+    *,
+    plan_uri: str = "",
+    schema_uri: str = "",
+    registry: RuleRegistry | None = None,
+) -> dict:
+    """The SARIF 2.1.0 log as a plain dictionary."""
+    registry = registry if registry is not None else REGISTRY
+    from .. import __version__
+
+    rule_ids = list(report.rules_run)
+    rules_meta = []
+    for rid in rule_ids:
+        r = registry.get(rid)
+        meta: dict = {
+            "id": r.rule_id,
+            "shortDescription": {"text": r.summary},
+            "defaultConfiguration": {"level": r.severity.sarif_level},
+            "properties": {"category": r.category, "scope": r.scope},
+        }
+        if r.fixit:
+            meta["help"] = {"text": f"fix: {r.fixit}"}
+        rules_meta.append(meta)
+    index_of = {rid: i for i, rid in enumerate(rule_ids)}
+
+    results = []
+    for d in report.diagnostics:
+        uri = plan_uri if d.step is not None else schema_uri
+        location: dict = {}
+        if uri:
+            location["physicalLocation"] = {
+                "artifactLocation": {"uri": uri},
+                "region": {
+                    "startLine": (d.step + 1) if d.step is not None else 1
+                },
+            }
+        if d.subject:
+            location["logicalLocations"] = [
+                {"name": d.subject, "kind": "type"}
+            ]
+        result: dict = {
+            "ruleId": d.rule_id,
+            "level": d.severity.sarif_level,
+            "message": {"text": str(d)},
+        }
+        if d.rule_id in index_of:
+            result["ruleIndex"] = index_of[d.rule_id]
+        if location:
+            result["locations"] = [location]
+        if d.fixit:
+            result.setdefault("properties", {})["fixit"] = d.fixit
+        results.append(result)
+
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-staticcheck",
+                        "version": __version__,
+                        "informationUri": _INFO_URI,
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    report: "AnalysisReport",
+    *,
+    plan_uri: str = "",
+    schema_uri: str = "",
+    registry: RuleRegistry | None = None,
+) -> str:
+    """The SARIF 2.1.0 log, serialized."""
+    return json.dumps(
+        sarif_dict(
+            report,
+            plan_uri=plan_uri,
+            schema_uri=schema_uri,
+            registry=registry,
+        ),
+        indent=2,
+        sort_keys=True,
+    )

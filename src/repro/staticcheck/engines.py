@@ -1,0 +1,174 @@
+"""Policy-parameterized symbolic replay: Orion vs. TIGUKAT semantics.
+
+Section 5's headline hazard: "Dropping a series of edges in Orion can
+produce a different lattice depending on the order in which the edges
+are dropped.  In TIGUKAT, the ordering is irrelevant."  The culprit is
+Orion's OP4 rewiring — dropping a class's *last* superclass links it to
+that superclass's superclasses *as they are at drop time*.
+
+This module lets the analyzer detect the hazard in a concrete plan
+without executing it: the plan's edge drops are replayed symbolically
+under both engine policies — natively through Orion's OP4 on a mirrored
+:class:`~repro.orion.model.OrionDatabase`, and axiomatically through
+MT-DSR on a lattice copy — in the plan order and in sampled
+permutations, and the sets of distinct final lattices are diffed.  A
+plan whose drops produce more than one Orion outcome is order-dependent
+under Orion while (provably, and checked here) order-independent under
+TIGUKAT.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..core.derivation import topological_order
+from ..core.errors import SchemaError
+from ..orion.model import ROOT_CLASS, OrionDatabase
+from ..orion.operations import OrionOps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.lattice import TypeLattice
+
+__all__ = ["OrderHazard", "mirror_to_orion", "find_order_hazard"]
+
+
+@dataclass(frozen=True)
+class OrderHazard:
+    """Evidence that a plan's edge drops are order-dependent under Orion."""
+
+    drops: tuple[tuple[str, str], ...]
+    orders_tried: int
+    orion_distinct: int
+    tigukat_distinct: int
+
+    @property
+    def diverges(self) -> bool:
+        return self.orion_distinct > 1
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{t}-/->{s}" for t, s in self.drops)
+        return (
+            f"dropping {{{pairs}}} yields {self.orion_distinct} distinct "
+            f"lattices under Orion OP4 rewiring across {self.orders_tried} "
+            f"orders, but {self.tigukat_distinct} under TIGUKAT MT-DSR"
+        )
+
+
+def mirror_to_orion(lattice: "TypeLattice") -> OrionDatabase:
+    """An Orion-policy mirror of the lattice's essential structure.
+
+    Types map to classes (the root maps to ``OBJECT``; the base, which
+    Orion's relaxed pointedness has no counterpart for, is elided) and
+    the *minimal* immediate supertypes ``P(t)`` map to the ordered
+    superclass list, alphabetically ordered — the canonical order the
+    reduction uses ("The Pe set can easily be ordered for this
+    purpose").  ``P`` rather than raw ``Pe`` because an Orion class only
+    carries its direct edges — the paper notes Orion cannot represent
+    dominated essential declarations at all — and it is exactly the
+    direct-edge structure that OP4's last-superclass rewiring acts on.
+    Properties are irrelevant to edge-drop rewiring and not mirrored.
+    """
+    db = OrionDatabase()
+    root, base = lattice.root, lattice.base
+
+    def as_class(name: str) -> str:
+        return ROOT_CLASS if name == root else name
+
+    pe_map = {
+        t: frozenset(s for s in lattice.p(t) if s != base)
+        for t in lattice.types()
+        if t != base
+    }
+    for t in topological_order(pe_map):
+        if t == root:
+            continue
+        supers = [as_class(s) for s in sorted(pe_map[t])] or [ROOT_CLASS]
+        db.add_class(as_class(t), supers)
+    return db
+
+
+def _orion_outcome(
+    db: OrionDatabase, drops: list[tuple[str, str]]
+) -> tuple:
+    ops = OrionOps(db.copy())
+    for c, s in drops:
+        if c not in ops.db or s not in ops.db.get(c).superclasses:
+            continue
+        try:
+            ops.op4(c, s)
+        except SchemaError:
+            continue
+    return ops.db.fingerprint()
+
+
+def _tigukat_outcome(
+    lattice: "TypeLattice", drops: list[tuple[str, str]]
+) -> tuple:
+    lat = lattice.copy()
+    for t, s in drops:
+        if t not in lat or s not in lat:
+            continue
+        try:
+            lat.drop_essential_supertype(t, s)
+        except SchemaError:
+            continue
+    return lat.derived_fingerprint()
+
+
+def _orders(
+    drops: list[tuple[str, str]], n_orders: int, seed: int
+) -> list[list[tuple[str, str]]]:
+    """The plan order plus up to ``n_orders - 1`` other permutations."""
+    if len(drops) <= 4:
+        perms = [list(p) for p in itertools.permutations(drops)]
+        return perms[:max(n_orders, 1)]
+    rng = random.Random(seed)
+    orders = [list(drops)]
+    seen = {tuple(drops)}
+    attempts = 0
+    while len(orders) < n_orders and attempts < n_orders * 10:
+        attempts += 1
+        perm = drops[:]
+        rng.shuffle(perm)
+        if tuple(perm) not in seen:
+            seen.add(tuple(perm))
+            orders.append(perm)
+    return orders
+
+
+def find_order_hazard(
+    lattice: "TypeLattice",
+    drops: list[tuple[str, str]],
+    n_orders: int = 12,
+    seed: int = 0,
+) -> OrderHazard | None:
+    """Replay ``drops`` under both policies and report any divergence.
+
+    ``drops`` are ``(subtype, supertype)`` pairs in plan order.  Returns
+    ``None`` when fewer than two drops (no ordering to vary).
+    """
+    if len(drops) < 2:
+        return None
+    root = lattice.root
+
+    def as_class(pair: tuple[str, str]) -> tuple[str, str]:
+        t, s = pair
+        return (t, ROOT_CLASS if s == root else s)
+
+    db = mirror_to_orion(lattice)
+    orders = _orders(list(drops), n_orders, seed)
+    orion_outcomes = {
+        _orion_outcome(db, [as_class(p) for p in order]) for order in orders
+    }
+    tigukat_outcomes = {
+        _tigukat_outcome(lattice, order) for order in orders
+    }
+    return OrderHazard(
+        drops=tuple(drops),
+        orders_tried=len(orders),
+        orion_distinct=len(orion_outcomes),
+        tigukat_distinct=len(tigukat_outcomes),
+    )

@@ -1,0 +1,146 @@
+"""Evolution plans: ordered operation sequences to analyze before running.
+
+A plan is just a sequence of the paper's schema operations, serialized
+in the same dictionary form the write-ahead journal already uses
+(:meth:`repro.core.operations.SchemaOperation.to_dict`).  Three on-disk
+shapes are accepted, auto-detected by :func:`load_plan`:
+
+* a JSON object ``{"name": ..., "operations": [op, ...]}``;
+* a bare JSON array ``[op, ...]``;
+* JSON lines, one operation per line — which is byte-compatible with a
+  WAL journal file, so an existing journal *is* a valid plan (analyze
+  yesterday's migration against today's schema).
+
+:func:`plan_from_journal` loads through
+:class:`repro.storage.journal.JournalFile` instead, inheriting its
+torn-tail tolerance and reading only the operations since the last
+checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..core.errors import PlanError
+from ..core.operations import SchemaOperation, operation_from_dict
+
+__all__ = ["EvolutionPlan", "load_plan", "plan_from_journal"]
+
+
+class EvolutionPlan:
+    """An immutable, ordered sequence of schema operations."""
+
+    def __init__(
+        self,
+        operations: Iterable[SchemaOperation],
+        name: str = "",
+        source: str = "",
+    ) -> None:
+        self.operations: tuple[SchemaOperation, ...] = tuple(operations)
+        self.name = name
+        self.source = source
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self):
+        return iter(self.operations)
+
+    def __getitem__(self, index: int) -> SchemaOperation:
+        return self.operations[index]
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "operations": [op.to_dict() for op in self.operations],
+        }
+
+    def to_jsonl(self) -> str:
+        """The WAL-compatible one-operation-per-line serialization."""
+        return "\n".join(
+            json.dumps(op.to_dict(), sort_keys=True) for op in self.operations
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"EvolutionPlan({len(self.operations)} ops{label})"
+
+
+def _ops_from_dicts(records: Iterable[dict], source: str) -> list[SchemaOperation]:
+    ops: list[SchemaOperation] = []
+    for i, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise PlanError(
+                f"{source}: operation {i} is not an object: {record!r}"
+            )
+        try:
+            ops.append(operation_from_dict(record))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise PlanError(f"{source}: bad operation {i}: {exc}") from exc
+    return ops
+
+
+def load_plan(path: str | Path) -> EvolutionPlan:
+    """Load a plan file, auto-detecting its shape (see module docstring)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise PlanError(f"cannot read plan {path}: {exc}") from exc
+    stripped = text.strip()
+    if not stripped:
+        return EvolutionPlan((), name=path.stem, source=str(path))
+
+    # A whole-document JSON object or array?
+    if stripped.startswith(("{", "[")):
+        try:
+            doc = json.loads(stripped)
+        except json.JSONDecodeError:
+            doc = None  # fall through to JSONL (objects, one per line)
+        if isinstance(doc, dict):
+            records = doc.get("operations")
+            if not isinstance(records, list):
+                raise PlanError(
+                    f"{path}: plan object must carry an 'operations' array"
+                )
+            return EvolutionPlan(
+                _ops_from_dicts(records, str(path)),
+                name=str(doc.get("name") or path.stem),
+                source=str(path),
+            )
+        if isinstance(doc, list):
+            return EvolutionPlan(
+                _ops_from_dicts(doc, str(path)),
+                name=path.stem,
+                source=str(path),
+            )
+
+    # JSON lines (the WAL journal format).
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise PlanError(f"{path}:{lineno}: not JSON: {exc}") from exc
+    return EvolutionPlan(
+        _ops_from_dicts(records, str(path)), name=path.stem, source=str(path)
+    )
+
+
+def plan_from_journal(path: str | Path) -> EvolutionPlan:
+    """A plan made of a WAL journal's logged operations (post-checkpoint).
+
+    The journal is opened read-only; analyzing it never mutates the WAL.
+    """
+    from ..storage.journal import JournalFile
+
+    path = Path(path)
+    try:
+        operations = JournalFile(path).operations()
+    except Exception as exc:  # JournalError and I/O problems alike
+        raise PlanError(f"cannot load journal {path}: {exc}") from exc
+    return EvolutionPlan(operations, name=path.stem, source=str(path))

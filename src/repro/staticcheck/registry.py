@@ -1,0 +1,243 @@
+"""The pluggable diagnostics registry of the static analyzer.
+
+Every check the analyzer can perform is a :class:`Rule`: an identifier,
+a category, a default :class:`Severity`, a scope (``schema`` rules look
+at one lattice state; ``plan`` rules look at a symbolic execution
+trace), documentation strings used to generate the rule catalogue in
+``docs/staticcheck.md``, and a checker callable.  Rules register
+themselves into a :class:`RuleRegistry` — the default global one via the
+:func:`rule` decorator — and callers narrow the active set with
+ruff-style ``select``/``ignore`` lists (exact ids or prefixes, ignore
+wins).
+
+The registry is deliberately open: downstream code can register custom
+rules at import time and they flow through the same CLI/SARIF pipeline
+as the built-ins.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .analyzer import AnalysisContext
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "Rule",
+    "RuleRegistry",
+    "REGISTRY",
+    "rule",
+]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severities, ordered so that comparisons read naturally:
+    ``Severity.ERROR > Severity.WARNING > Severity.INFO``."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def from_name(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity: {name!r}") from None
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` this severity maps to."""
+        return {
+            Severity.ERROR: "error",
+            Severity.WARNING: "warning",
+            Severity.INFO: "note",
+        }[self]
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule firing at a subject (and optionally a step).
+
+    ``step`` is the 0-based index into the analyzed plan for plan-scope
+    findings, or ``None`` for schema-state findings.  ``fixit`` carries
+    an optional human-readable suggested remediation.
+    """
+
+    rule_id: str
+    severity: Severity
+    category: str
+    message: str
+    subject: str = ""
+    step: int | None = None
+    fixit: str = ""
+
+    def __str__(self) -> str:
+        where = f" [step {self.step}]" if self.step is not None else ""
+        subject = f"{self.subject}: " if self.subject else ""
+        return f"{self.severity}: {self.rule_id}: {subject}{self.message}{where}"
+
+
+#: Checker signature: receives the analysis context, yields diagnostics.
+#: A checker may leave ``rule_id``/``category`` empty and ``severity`` at
+#: the rule default — the runner fills them in.
+Checker = Callable[["AnalysisContext"], Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered analyzer rule (see the module docstring)."""
+
+    rule_id: str
+    scope: str  # "schema" | "plan"
+    severity: Severity
+    category: str
+    summary: str
+    check: Checker
+    example: str = ""
+    fixit: str = ""
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("schema", "plan"):
+            raise ValueError(f"unknown rule scope: {self.scope!r}")
+
+    def diagnostic(
+        self,
+        message: str,
+        subject: str = "",
+        step: int | None = None,
+        severity: Severity | None = None,
+        fixit: str | None = None,
+    ) -> Diagnostic:
+        """A diagnostic pre-filled with this rule's id/category/defaults."""
+        return Diagnostic(
+            rule_id=self.rule_id,
+            severity=self.severity if severity is None else severity,
+            category=self.category,
+            message=message,
+            subject=subject,
+            step=step,
+            fixit=self.fixit if fixit is None else fixit,
+        )
+
+
+class RuleRegistry:
+    """An ordered collection of rules with ruff-style selection."""
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self._rules: dict[str, Rule] = {}
+        for r in rules:
+            self.register(r)
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.rule_id in self._rules:
+            raise ValueError(f"rule already registered: {rule.rule_id!r}")
+        self._rules[rule.rule_id] = rule
+        return rule
+
+    def unregister(self, rule_id: str) -> None:
+        self._rules.pop(rule_id, None)
+
+    def get(self, rule_id: str) -> Rule:
+        rule = self._rules.get(rule_id)
+        if rule is None:
+            raise KeyError(f"unknown rule: {rule_id!r}")
+        return rule
+
+    def ids(self) -> tuple[str, ...]:
+        return tuple(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def select(
+        self,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> tuple[Rule, ...]:
+        """The active rules under ``select``/``ignore`` narrowing.
+
+        Entries match a rule when equal to its id or a prefix of it
+        (``--select redundant`` picks both redundancy rules).  An
+        unknown selector that matches nothing raises ``KeyError`` so
+        typos fail loudly rather than silently de-selecting.  ``ignore``
+        is applied after ``select`` and wins.
+        """
+        chosen = list(self._rules.values())
+        if select is not None:
+            wanted = tuple(select)
+            for entry in wanted:
+                if not any(r.rule_id.startswith(entry) for r in chosen):
+                    raise KeyError(f"--select matched no rule: {entry!r}")
+            chosen = [
+                r for r in chosen
+                if any(r.rule_id.startswith(entry) for entry in wanted)
+            ]
+        if ignore is not None:
+            dropped = tuple(ignore)
+            chosen = [
+                r for r in chosen
+                if not any(r.rule_id.startswith(entry) for entry in dropped)
+            ]
+        return tuple(chosen)
+
+
+#: The default global registry; built-in rules live in
+#: :mod:`repro.staticcheck.rules`.
+REGISTRY = RuleRegistry()
+
+
+def rule(
+    rule_id: str,
+    *,
+    scope: str,
+    severity: Severity,
+    category: str,
+    summary: str,
+    example: str = "",
+    fixit: str = "",
+    registry: RuleRegistry | None = None,
+) -> Callable[[Checker], Checker]:
+    """Decorator: register ``fn`` as a rule checker in the registry."""
+
+    def deco(fn: Checker) -> Checker:
+        (registry if registry is not None else REGISTRY).register(
+            Rule(
+                rule_id=rule_id,
+                scope=scope,
+                severity=severity,
+                category=category,
+                summary=summary,
+                check=fn,
+                example=example,
+                fixit=fixit,
+            )
+        )
+        return fn
+
+    return deco
+
+
+def normalize_diagnostic(rule: Rule, diag: Diagnostic) -> Diagnostic:
+    """Fill in registry-owned fields a checker left blank."""
+    updates: dict = {}
+    if not diag.rule_id:
+        updates["rule_id"] = rule.rule_id
+    if not diag.category:
+        updates["category"] = rule.category
+    if not diag.fixit and rule.fixit:
+        updates["fixit"] = rule.fixit
+    return replace(diag, **updates) if updates else diag

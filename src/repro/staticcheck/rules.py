@@ -1,0 +1,470 @@
+"""The built-in rule catalogue of the schema-evolution static analyzer.
+
+Two rule scopes:
+
+* **schema** rules look at one lattice state (the final symbolic state
+  when a plan is analyzed).  The five of them are the historic
+  ``repro.core.lint`` advisory checks, migrated into the registry.
+* **plan** rules look at the whole symbolic execution trace and flag
+  hazards no single-state check can see: doomed operations, conflicts a
+  later step introduces, Orion-vs-TIGUKAT order-dependence divergence
+  (the paper's Section 5 hazard), lossy drops, redundancy creep,
+  drop/re-add churn, duplicate and no-op steps, and instance-migration
+  impact estimates.
+
+Every rule carries an example trigger and a fix-it suggestion; the rule
+catalogue in ``docs/staticcheck.md`` is written from these fields.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterator
+
+from ..core.operations import (
+    AddType,
+    DropEssentialProperty,
+    DropEssentialSupertype,
+    DropPropertyEverywhere,
+    DropType,
+)
+from ..orion.conflict import find_name_conflicts_minimal
+from .engines import find_order_hazard
+from .registry import REGISTRY, Diagnostic, Severity, rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.lattice import TypeLattice
+    from .analyzer import AnalysisContext
+
+__all__ = ["SCHEMA_RULE_IDS", "PLAN_RULE_IDS"]
+
+#: The migrated ``core.lint`` rules, in their historic order.
+SCHEMA_RULE_IDS = (
+    "redundant-essential-supertype",
+    "redundant-essential-property",
+    "shadowed-name",
+    "empty-interface",
+    "single-subtype-chain",
+)
+
+PLAN_RULE_IDS = (
+    "doomed-operation",
+    "order-dependence-hazard",
+    "late-name-conflict",
+    "lossy-property-drop",
+    "drop-readd-churn",
+    "redundancy-introduced",
+    "migration-impact",
+    "duplicate-step",
+    "no-op-step",
+)
+
+_DESTRUCTIVE = (
+    DropType,
+    DropEssentialSupertype,
+    DropEssentialProperty,
+    DropPropertyEverywhere,
+)
+
+
+# ----------------------------------------------------------------------
+# Schema-state rules (migrated from repro.core.lint)
+# ----------------------------------------------------------------------
+
+
+@rule(
+    "redundant-essential-supertype",
+    scope="schema",
+    severity=Severity.INFO,
+    category="redundancy",
+    summary="an essential supertype is dominated (reachable through "
+            "another essential supertype)",
+    example="Pe(T_ta) = {T_student, T_person} with T_student ⊑ T_person",
+    fixit="drop the dominated declaration, or run `normalize` to rewrite "
+          "Pe to the minimal form",
+)
+def _redundant_supertypes(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    lattice = ctx.schema
+    base, root = lattice.base, lattice.root
+    for t in sorted(lattice.types()):
+        if t == base:
+            continue  # Pe(⊥) is total by the pointedness policy
+        for s in sorted(lattice.pe(t) - lattice.p(t)):
+            if s == root:
+                continue  # the implicit root declaration is policy
+            yield Diagnostic(
+                "", Severity.INFO, "", subject=t,
+                message=f"{s!r} is reachable through another essential "
+                        f"supertype (will be re-established on drops)",
+            )
+
+
+@rule(
+    "redundant-essential-property",
+    scope="schema",
+    severity=Severity.INFO,
+    category="redundancy",
+    summary="an essential property is inherited, so it is not native",
+    example="taxBracket ∈ Ne(T_employee) while already in H(T_employee)",
+    fixit="drop the declaration unless the adopt-on-drop insurance is "
+          "intended",
+)
+def _redundant_properties(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    lattice = ctx.schema
+    for t in sorted(lattice.types()):
+        for p in sorted(lattice.ne(t) - lattice.n(t)):
+            yield Diagnostic(
+                "", Severity.INFO, "", subject=t,
+                message=f"{p} is inherited; it will be adopted as native if "
+                        f"its defining supertype disappears",
+            )
+
+
+@rule(
+    "shadowed-name",
+    scope="schema",
+    severity=Severity.WARNING,
+    category="conflict",
+    summary="two distinct properties share a display name in one interface",
+    example="person.name and taxSource.name both visible in I(T_employee)",
+    fixit="rename one property, or rely on Orion-style order resolution "
+          "explicitly",
+)
+def _shadowed_names(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    lattice = ctx.schema
+    for t in sorted(lattice.types()):
+        for name, keys in sorted(
+            find_name_conflicts_minimal(lattice, t).items()
+        ):
+            yield Diagnostic(
+                "", Severity.WARNING, "", subject=t,
+                message=f"name {name!r} denotes {sorted(keys)} in I({t})",
+            )
+
+
+@rule(
+    "empty-interface",
+    scope="schema",
+    severity=Severity.INFO,
+    category="design",
+    summary="a non-root type whose interface is empty",
+    example="add-type T_bare with no properties and no supertypes",
+    fixit="add essential properties, or collapse the type",
+)
+def _empty_interfaces(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    lattice = ctx.schema
+    for t in sorted(lattice.types()):
+        if t in (lattice.root, lattice.base):
+            continue
+        if not lattice.interface(t):
+            yield Diagnostic(
+                "", Severity.INFO, "", subject=t,
+                message="interface is empty",
+            )
+
+
+@rule(
+    "single-subtype-chain",
+    scope="schema",
+    severity=Severity.INFO,
+    category="design",
+    summary="a pass-through type between one supertype and one subtype "
+            "adding nothing to the interface",
+    example="T_top -> T_mid -> T_bot with N(T_mid) = ∅",
+    fixit="collapse the chain: reparent the subtype and drop the middle "
+          "type",
+)
+def _single_subtype_chains(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    lattice = ctx.schema
+    base = lattice.base
+    for t in sorted(lattice.types()):
+        if t in (lattice.root, base):
+            continue
+        subtypes = lattice.subtypes(t) - ({base} if base else set())
+        if (
+            len(lattice.p(t)) == 1
+            and len(subtypes) == 1
+            and not lattice.n(t)
+        ):
+            yield Diagnostic(
+                "", Severity.INFO, "", subject=t,
+                message="adds nothing to the interface between "
+                        f"{next(iter(lattice.p(t)))!r} and "
+                        f"{next(iter(subtypes))!r}",
+            )
+
+
+# ----------------------------------------------------------------------
+# Plan-trace rules
+# ----------------------------------------------------------------------
+
+
+@rule(
+    "doomed-operation",
+    scope="plan",
+    severity=Severity.ERROR,
+    category="hazard",
+    summary="a plan step will be rejected by the axioms when executed",
+    example="add-edge T_a T_b when T_b ⊑ T_a (Axiom of Acyclicity), or "
+            "drop-edge T_x T_object (Axiom of Rootedness)",
+    fixit="remove the step, or reorder the plan so its preconditions hold",
+)
+def _doomed_operations(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    for step in ctx.trace:
+        if not step.accepted:
+            yield Diagnostic(
+                "", Severity.ERROR, "", step=step.index,
+                subject=getattr(
+                    step.operation, "name",
+                    getattr(step.operation, "subject", ""),
+                ),
+                message=f"{step.operation.describe()} would be rejected: "
+                        f"{step.rejection}",
+            )
+
+
+@rule(
+    "order-dependence-hazard",
+    scope="plan",
+    severity=Severity.WARNING,
+    category="hazard",
+    summary="the plan's edge drops are order-dependent under Orion "
+            "semantics (Section 5) though order-independent under TIGUKAT",
+    example="drop-edge T_c T_b; drop-edge T_b T_a — Orion's OP4 rewires "
+            "differently depending on which runs first",
+    fixit="run the plan on the axiomatic (TIGUKAT-policy) engine, or pin "
+          "a canonical drop order",
+)
+def _order_dependence(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    drop_steps = [
+        s for s in ctx.trace
+        if isinstance(s.operation, DropEssentialSupertype)
+    ]
+    drops = [
+        (s.operation.subject, s.operation.supertype) for s in drop_steps
+    ]
+    if not drops:
+        return
+    # Replay from the symbolic state just before the first drop, so the
+    # hazard is detected even when the plan bootstrapped the types itself.
+    hazard = find_order_hazard(drop_steps[0].before, drops)
+    if hazard is not None and hazard.diverges:
+        yield Diagnostic(
+            "", Severity.WARNING, "",
+            step=drop_steps[0].index,
+            subject=drop_steps[0].operation.subject,
+            message=hazard.describe(),
+        )
+
+
+def _conflicts(lattice: "TypeLattice") -> frozenset[tuple[str, str]]:
+    return frozenset(
+        (t, name)
+        for t in lattice.types()
+        for name in find_name_conflicts_minimal(lattice, t)
+    )
+
+
+@rule(
+    "late-name-conflict",
+    scope="plan",
+    severity=Severity.WARNING,
+    category="conflict",
+    summary="a plan step introduces a property-name conflict that did "
+            "not exist before it",
+    example="add-edge T_employee T_taxSource brings a second 'name' into "
+            "I(T_employee)",
+    fixit="rename one of the colliding properties before this step",
+)
+def _late_name_conflicts(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    before = _conflicts(ctx.trace.initial)
+    for step in ctx.trace:
+        if not step.changed:
+            continue
+        after = _conflicts(step.after)
+        for t, name in sorted(after - before):
+            yield Diagnostic(
+                "", Severity.WARNING, "", step=step.index, subject=t,
+                message=f"{step.operation.describe()} introduces a name "
+                        f"conflict: {name!r} becomes ambiguous in I({t})",
+            )
+        before = after
+
+
+@rule(
+    "lossy-property-drop",
+    scope="plan",
+    severity=Severity.WARNING,
+    category="migration",
+    summary="a step removes properties from surviving interfaces; stored "
+            "instance values become unreachable",
+    example="drop-type T_person loses 'name' from I(T_student)",
+    fixit="screen or convert affected instances first (see "
+          "repro.propagation), or re-home the property",
+)
+def _lossy_drops(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    for step in ctx.trace:
+        if not step.accepted:
+            continue
+        for t, (_gained, lost) in sorted(step.impact.interface_changes.items()):
+            if not lost:
+                continue
+            names = sorted(str(p) for p in lost)
+            yield Diagnostic(
+                "", Severity.WARNING, "", step=step.index, subject=t,
+                message=f"I({t}) loses {names}; instance values under "
+                        f"these properties become unreachable",
+            )
+
+
+@rule(
+    "drop-readd-churn",
+    scope="plan",
+    severity=Severity.WARNING,
+    category="migration",
+    summary="a type is dropped and later re-created in the same plan",
+    example="drop-type T_student ... add-type T_student",
+    fixit="replace the drop/re-add pair with in-place MT-* edits to keep "
+          "instance identity",
+)
+def _drop_readd(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    dropped_at: dict[str, int] = {}
+    for step in ctx.trace:
+        op = step.operation
+        if isinstance(op, DropType) and step.accepted:
+            dropped_at[op.name] = step.index
+        elif isinstance(op, AddType) and op.name in dropped_at:
+            yield Diagnostic(
+                "", Severity.WARNING, "", step=step.index, subject=op.name,
+                message=f"type {op.name!r} was dropped at step "
+                        f"{dropped_at[op.name]} and is re-created here; "
+                        f"its instances are discarded, not migrated",
+            )
+            dropped_at.pop(op.name)
+
+
+def _redundancies(lattice: "TypeLattice") -> frozenset[tuple]:
+    base, root = lattice.base, lattice.root
+    out: set[tuple] = set()
+    for t in lattice.types():
+        if t != base:
+            for s in lattice.pe(t) - lattice.p(t):
+                if s != root:
+                    out.add(("pe", t, s))
+        for p in lattice.ne(t) - lattice.n(t):
+            out.add(("ne", t, p.semantics))
+    return frozenset(out)
+
+
+@rule(
+    "redundancy-introduced",
+    scope="plan",
+    severity=Severity.INFO,
+    category="redundancy",
+    summary="a step turns an essential declaration redundant (dominated "
+            "supertype or inherited property)",
+    example="add-edge T_c T_a after T_c ⊑ T_b ⊑ T_a",
+    fixit="drop the now-dominated declaration, or plan a `normalize`",
+)
+def _redundancy_introduced(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    # Accepted steps, not derived-changed ones: adding a dominated edge
+    # alters Pe while leaving every derived term intact — a no-op by
+    # impact, but exactly the redundancy this rule exists to catch.
+    before = _redundancies(ctx.trace.initial)
+    for step in ctx.trace:
+        if not step.accepted:
+            continue
+        after = _redundancies(step.after)
+        for kind, t, what in sorted(
+            after - before, key=lambda e: (e[0], e[1], str(e[2]))
+        ):
+            term = "Pe" if kind == "pe" else "Ne"
+            yield Diagnostic(
+                "", Severity.INFO, "", step=step.index, subject=t,
+                message=f"{step.operation.describe()} makes {what!r} "
+                        f"redundant in {term}({t})",
+            )
+        before = after
+
+
+@rule(
+    "migration-impact",
+    scope="plan",
+    severity=Severity.INFO,
+    category="migration",
+    summary="estimated blast radius of a destructive step: how many "
+            "types' derived terms change",
+    example="drop-type T_person touches every subtype's P and I",
+    fixit="",
+)
+def _migration_impact(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    for step in ctx.trace:
+        if not step.accepted or not isinstance(step.operation, _DESTRUCTIVE):
+            continue
+        affected = step.impact.affected_types
+        if not affected:
+            continue
+        n_iface = len(step.impact.interface_changes)
+        yield Diagnostic(
+            "", Severity.INFO, "", step=step.index,
+            subject=getattr(
+                step.operation, "name",
+                getattr(step.operation, "subject", ""),
+            ),
+            message=f"affects {len(affected)} type(s) "
+                    f"({n_iface} interface change(s)): "
+                    f"{sorted(affected)[:8]}",
+        )
+
+
+@rule(
+    "duplicate-step",
+    scope="plan",
+    severity=Severity.INFO,
+    category="hygiene",
+    summary="the identical operation appears more than once in the plan",
+    example="two identical add-edge T_b T_a steps",
+    fixit="delete the repeated step",
+)
+def _duplicate_steps(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    seen: dict[str, int] = {}
+    for step in ctx.trace:
+        key = json.dumps(step.operation.to_dict(), sort_keys=True)
+        if key in seen:
+            yield Diagnostic(
+                "", Severity.INFO, "", step=step.index,
+                message=f"identical to step {seen[key]} "
+                        f"({step.operation.describe()})",
+            )
+        else:
+            seen[key] = step.index
+
+
+@rule(
+    "no-op-step",
+    scope="plan",
+    severity=Severity.INFO,
+    category="hygiene",
+    summary="an accepted step that changes no derived state",
+    example="add-edge T_b T_a when T_a is already essential in T_b",
+    fixit="delete the step",
+)
+def _noop_steps(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    for step in ctx.trace:
+        if step.accepted and step.impact.is_noop:
+            yield Diagnostic(
+                "", Severity.INFO, "", step=step.index,
+                message=f"{step.operation.describe()} changes nothing in "
+                        f"the schema state at this point",
+            )
+
+
+def _selfcheck() -> None:
+    registered = set(REGISTRY.ids())
+    expected = set(SCHEMA_RULE_IDS) | set(PLAN_RULE_IDS)
+    missing = expected - registered
+    if missing:  # pragma: no cover - import-time invariant
+        raise RuntimeError(f"rules not registered: {sorted(missing)}")
+
+
+_selfcheck()

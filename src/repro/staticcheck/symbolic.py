@@ -1,0 +1,113 @@
+"""Symbolic (dry-run) execution of an evolution plan.
+
+The evaluator abstract-interprets a plan against a *copy* of the input
+lattice: each step is first dry-run through
+:func:`repro.core.impact.analyze_impact` (same engine, same axioms, so
+the abstraction is exact), then — if accepted — applied to the working
+copy.  A rejected step is recorded as *doomed* with its rejection reason
+and execution continues on the unchanged state, so one bad operation
+does not hide hazards further down the plan.
+
+The resulting :class:`PlanTrace` keeps, per step, the operation, its
+acceptance, the projected :class:`~repro.core.impact.ImpactReport`, and
+the full derived lattice state before and after (``P``/``PL``/``N``/
+``H``/``I`` all queryable through the snapshots).  Rules consume the
+trace; nothing here ever touches the caller's lattice, journal, or WAL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from ..core.impact import ImpactReport, analyze_impact
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.lattice import TypeLattice
+    from ..core.operations import SchemaOperation
+    from .plan import EvolutionPlan
+
+__all__ = ["StepOutcome", "PlanTrace", "symbolic_run"]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """One plan step under symbolic execution.
+
+    ``before``/``after`` are shared snapshots (a rejected step's
+    ``after`` *is* its ``before``); treat them as read-only.
+    """
+
+    index: int
+    operation: "SchemaOperation"
+    accepted: bool
+    rejection: str
+    impact: ImpactReport
+    before: "TypeLattice"
+    after: "TypeLattice"
+
+    @property
+    def changed(self) -> bool:
+        return self.accepted and not self.impact.is_noop
+
+    def describe(self) -> str:
+        status = "ok" if self.accepted else f"DOOMED ({self.rejection})"
+        return f"step {self.index}: {self.operation.describe()} -> {status}"
+
+
+@dataclass(frozen=True)
+class PlanTrace:
+    """The full symbolic execution: initial state, steps, final state."""
+
+    initial: "TypeLattice"
+    steps: tuple[StepOutcome, ...]
+    final: "TypeLattice"
+
+    def __iter__(self) -> Iterator[StepOutcome]:
+        return iter(self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def doomed(self) -> tuple[StepOutcome, ...]:
+        return tuple(s for s in self.steps if not s.accepted)
+
+    @property
+    def accepted(self) -> tuple[StepOutcome, ...]:
+        return tuple(s for s in self.steps if s.accepted)
+
+    def state_after(self, index: int) -> "TypeLattice":
+        """The symbolic lattice right after step ``index`` (read-only)."""
+        return self.steps[index].after
+
+
+def symbolic_run(lattice: "TypeLattice", plan: "EvolutionPlan") -> PlanTrace:
+    """Abstract-interpret ``plan`` against a copy of ``lattice``.
+
+    Never mutates ``lattice``.  Rejected steps do not stop the run; the
+    state simply carries over (the closest sound approximation of "the
+    migration driver skips or aborts here", and the one that lets later
+    rules keep reporting).
+    """
+    initial = lattice.copy()
+    work = initial
+    steps: list[StepOutcome] = []
+    for index, op in enumerate(plan):
+        impact = analyze_impact(work, op)
+        before = work
+        if impact.accepted:
+            work = work.copy()
+            op.apply(work)
+        steps.append(
+            StepOutcome(
+                index=index,
+                operation=op,
+                accepted=impact.accepted,
+                rejection=impact.rejection,
+                impact=impact,
+                before=before,
+                after=work,
+            )
+        )
+    return PlanTrace(initial=initial, steps=tuple(steps), final=work)

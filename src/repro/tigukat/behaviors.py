@@ -15,7 +15,7 @@ themselves are :class:`repro.tigukat.functions.Function` objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.identity import Oid
 from ..core.properties import Property

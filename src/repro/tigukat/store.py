@@ -26,7 +26,6 @@ from ..core.errors import (
 )
 from ..core.identity import Oid, OidGenerator
 from ..core.lattice import TypeLattice
-from ..core.properties import Property
 from .behaviors import Behavior, Signature
 from .collections_ import ClassObject, CollectionObject
 from .functions import Function, FunctionKind

@@ -1,6 +1,5 @@
 """Stress tests: long randomized full-stack sessions stay invariant-clean."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import (
     AddEssentialProperty,
-    AddEssentialSupertype,
     AddType,
     DropEssentialSupertype,
     DropType,

@@ -1,6 +1,5 @@
 """Tests for schema normalization (minimal essential declarations)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,11 +1,10 @@
 """Tests for the executable Theorem 2.1/2.2 proof traces."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import LatticeSpec, random_lattice
-from repro.core import build_figure1_lattice, prove
+from repro.core import prove
 
 
 class TestFigure1Proof:

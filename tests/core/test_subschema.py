@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.analysis import LatticeSpec, random_lattice
 from repro.core import (
     UnknownTypeError,
-    build_figure1_lattice,
     check_all,
     extract_subschema,
     upward_closure,

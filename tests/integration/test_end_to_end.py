@@ -89,7 +89,6 @@ class TestDurabilityScenario:
     def test_schema_survives_crash_and_restart(self, tmp_path):
         from repro.core import (
             AddEssentialProperty,
-            AddEssentialSupertype,
             AddType,
             DropType,
             prop,

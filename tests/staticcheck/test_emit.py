@@ -1,0 +1,115 @@
+"""The emitters: text, JSON, and SARIF 2.1.0 structure."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import AddEssentialSupertype, AddType, DropType
+from repro.staticcheck import (
+    EvolutionPlan,
+    analyze,
+    render_json,
+    render_sarif,
+    render_text,
+    sarif_dict,
+)
+
+
+@pytest.fixture
+def report(figure1):
+    plan = EvolutionPlan([
+        AddEssentialSupertype("T_person", "T_student"),  # doomed: cycle
+        DropType("T_teachingAssistant"),
+        AddType("T_bare"),
+    ])
+    return analyze(figure1, plan)
+
+
+class TestText:
+    def test_one_line_per_finding_plus_summary(self, report):
+        text = render_text(report, show_fixits=False)
+        lines = text.splitlines()
+        assert lines[-1] == report.summary()
+        assert "finding(s)" in lines[-1]
+        assert f"plan: 3 step(s), 1 doomed" in lines[-2]
+        assert not any(line.startswith("    fix:") for line in lines)
+
+    def test_fixits_shown_by_default(self, report):
+        text = render_text(report)
+        assert "    fix:" in text
+
+
+class TestJson:
+    def test_document_shape(self, report):
+        doc = json.loads(render_json(report))
+        assert doc["version"] == 1
+        assert doc["summary"]["total"] == len(report)
+        assert doc["summary"]["error"] >= 1
+        assert doc["plan"] == {"steps": 3, "doomed": 1}
+        assert set(doc["rules_run"]) == set(report.rules_run)
+        first = doc["findings"][0]
+        assert {"rule", "severity", "category", "subject",
+                "step", "message", "fixit"} <= set(first)
+
+
+class TestSarif:
+    def test_envelope(self, report):
+        doc = json.loads(render_sarif(report, plan_uri="plan.json",
+                                      schema_uri="schema.wal"))
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(doc["runs"]) == 1
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-staticcheck"
+        assert driver["version"]
+
+    def test_rules_metadata_matches_rules_run(self, report):
+        doc = sarif_dict(report)
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert [r["id"] for r in driver["rules"]] == list(report.rules_run)
+        for r in driver["rules"]:
+            assert r["defaultConfiguration"]["level"] in (
+                "error", "warning", "note"
+            )
+            assert r["shortDescription"]["text"]
+
+    def test_results_reference_rules_by_index(self, report):
+        doc = sarif_dict(report)
+        rules = [r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]]
+        for result in doc["runs"][0]["results"]:
+            assert result["level"] in ("error", "warning", "note")
+            assert result["message"]["text"]
+            assert rules[result["ruleIndex"]] == result["ruleId"]
+
+    def test_plan_findings_anchor_to_plan_lines(self, report):
+        doc = sarif_dict(report, plan_uri="plans/m.jsonl",
+                         schema_uri="schema.wal")
+        results = doc["runs"][0]["results"]
+        doomed = next(
+            r for r in results if r["ruleId"] == "doomed-operation"
+        )
+        loc = doomed["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "plans/m.jsonl"
+        assert loc["region"]["startLine"] == 1  # step 0 -> line 1
+        schema_hit = next(
+            r for r in results if r["ruleId"] == "empty-interface"
+        )
+        loc = schema_hit["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "schema.wal"
+
+    def test_subjects_become_logical_locations(self, report):
+        doc = sarif_dict(report)
+        hit = next(
+            r for r in doc["runs"][0]["results"]
+            if r["ruleId"] == "empty-interface"
+        )
+        logical = hit["locations"][0]["logicalLocations"][0]
+        assert logical == {"name": "T_bare", "kind": "type"}
+
+    def test_no_uris_no_physical_locations(self, report):
+        doc = sarif_dict(report)
+        for result in doc["runs"][0]["results"]:
+            for loc in result.get("locations", ()):
+                assert "physicalLocation" not in loc

@@ -1,0 +1,116 @@
+"""Pathological lattice shapes: deep chains, wide diamonds, frozen
+types, and the degenerate root+base-only schema."""
+
+from __future__ import annotations
+
+from repro.core import (
+    DropEssentialSupertype,
+    DropType,
+    LatticePolicy,
+    Property,
+    TypeLattice,
+)
+from repro.staticcheck import EvolutionPlan, analyze, analyze_schema
+
+
+def _deep_chain(depth: int) -> TypeLattice:
+    lat = TypeLattice(LatticePolicy.tigukat())
+    prev: list[str] = []
+    for i in range(depth):
+        name = f"T_d{i:03d}"
+        lat.add_type(name, supertypes=prev)
+        prev = [name]
+    return lat
+
+
+class TestDeepSingleSubtypeChain:
+    def test_every_link_is_flagged_as_pass_through(self):
+        lat = _deep_chain(40)
+        findings = analyze_schema(lat, select=("single-subtype-chain",))
+        # All but the last (which has no subtype) are propertyless
+        # pass-throughs; the first counts too (root above, one below).
+        flagged = {d.subject for d in findings}
+        assert f"T_d{20:03d}" in flagged
+        assert f"T_d{39:03d}" not in flagged
+        assert len(flagged) == 39
+
+    def test_chain_edge_drops_are_order_dependent(self):
+        """More than four drops exercises the sampled-permutation path
+        of the order-dependence engine."""
+        lat = _deep_chain(7)
+        plan = EvolutionPlan([
+            DropEssentialSupertype(f"T_d{i:03d}", f"T_d{i - 1:03d}")
+            for i in range(6, 0, -1)
+        ])
+        report = analyze(lat, plan, select=("order-dependence-hazard",))
+        hazards = report.by_rule("order-dependence-hazard")
+        assert len(hazards) == 1
+        assert "distinct" in hazards[0].message
+
+
+class TestWideDiamond:
+    def test_shared_display_names_conflict_at_the_join(self):
+        lat = TypeLattice(LatticePolicy.tigukat())
+        arms = [f"T_arm{i:02d}" for i in range(12)]
+        for i, arm in enumerate(arms):
+            lat.add_type(arm, properties=[Property(f"{arm}.v", "v")])
+        lat.add_type("T_join", supertypes=arms)
+        findings = analyze_schema(lat, select=("shadowed-name",))
+        joins = [d for d in findings if d.subject == "T_join"]
+        assert len(joins) == 1
+        assert "'v'" in joins[0].message
+
+    def test_dropping_the_join_is_clean(self):
+        lat = TypeLattice(LatticePolicy.tigukat())
+        arms = [f"T_arm{i:02d}" for i in range(8)]
+        for arm in arms:
+            lat.add_type(arm)
+        lat.add_type("T_join", supertypes=arms)
+        plan = EvolutionPlan([DropType("T_join")])
+        report = analyze(lat, plan, select=("doomed-operation",))
+        assert not report.by_rule("doomed-operation")
+
+
+class TestFrozenTypeEdges:
+    def test_dropping_the_root_is_doomed(self, figure1):
+        plan = EvolutionPlan([DropType("T_object")])
+        report = analyze(figure1, plan, select=("doomed-operation",))
+        assert report.by_rule("doomed-operation")
+        assert "T_object" in figure1  # untouched, of course
+
+    def test_dropping_a_user_frozen_primitive_is_doomed(self):
+        lat = TypeLattice(LatticePolicy.tigukat())
+        lat.add_type("T_real", frozen=True)
+        plan = EvolutionPlan([DropType("T_real")])
+        report = analyze(lat, plan, select=("doomed-operation",))
+        assert report.by_rule("doomed-operation")
+
+
+class TestEmptySchema:
+    def test_root_and_base_only_is_silent(self):
+        lat = TypeLattice(LatticePolicy.tigukat())
+        assert analyze_schema(lat) == ()
+
+    def test_empty_plan_on_empty_schema(self):
+        lat = TypeLattice(LatticePolicy.tigukat())
+        report = analyze(lat, EvolutionPlan(()))
+        assert len(report) == 0
+        assert report.max_severity is None
+        assert report.summary() == "0 finding(s)"
+
+    def test_plan_bootstraps_types_from_nothing(self):
+        """A plan may create its own types; schema rules then judge the
+        final symbolic state."""
+        from repro.core import AddType
+
+        lat = TypeLattice(LatticePolicy.tigukat())
+        plan = EvolutionPlan([
+            AddType("T_a"),
+            AddType("T_b", ("T_a",)),
+            AddType("T_c", ("T_b",)),
+        ])
+        report = analyze(lat, plan)
+        assert not report.by_rule("doomed-operation")
+        assert {"T_a", "T_b"} <= {
+            d.subject for d in report.by_rule("single-subtype-chain")
+        }

@@ -1,0 +1,119 @@
+"""Plan loading: the three on-disk shapes, WAL compatibility, errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import AddType, DropType, PlanError, Property
+from repro.core.operations import AddEssentialSupertype
+from repro.staticcheck import EvolutionPlan, load_plan, plan_from_journal
+from repro.storage import DurableLattice
+
+
+def _ops():
+    return [
+        AddType("T_a", (), (Property("a.p"),)),
+        AddType("T_b", ("T_a",)),
+        AddEssentialSupertype("T_b", "T_a"),
+        DropType("T_b"),
+    ]
+
+
+class TestLoadPlan:
+    def test_json_object(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "name": "demo",
+            "operations": [op.to_dict() for op in _ops()],
+        }))
+        plan = load_plan(path)
+        assert plan.name == "demo"
+        assert len(plan) == 4
+        assert [op.code for op in plan] == ["AT", "AT", "MT-ASR", "DT"]
+
+    def test_bare_json_array(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps([op.to_dict() for op in _ops()]))
+        plan = load_plan(path)
+        assert plan.name == "plan"  # falls back to the file stem
+        assert len(plan) == 4
+
+    def test_jsonl(self, tmp_path):
+        path = tmp_path / "plan.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(op.to_dict()) for op in _ops()) + "\n"
+        )
+        plan = load_plan(path)
+        assert len(plan) == 4
+        assert plan[0].name == "T_a"
+
+    def test_jsonl_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "plan.jsonl"
+        path.write_text(
+            "\n\n".join(json.dumps(op.to_dict()) for op in _ops())
+        )
+        assert len(load_plan(path)) == 4
+
+    def test_roundtrip_to_jsonl(self, tmp_path):
+        plan = EvolutionPlan(_ops(), name="rt")
+        path = tmp_path / "rt.jsonl"
+        path.write_text(plan.to_jsonl())
+        again = load_plan(path)
+        assert [op.to_dict() for op in again] == [
+            op.to_dict() for op in plan
+        ]
+
+    def test_wal_journal_is_a_valid_plan(self, tmp_path):
+        """A WAL file loads directly — yesterday's migration is a plan."""
+        db = tmp_path / "schema.wal"
+        durable = DurableLattice(db)
+        for op in _ops():
+            durable.apply(op)
+        plan = load_plan(db)
+        assert [op.code for op in plan] == ["AT", "AT", "MT-ASR", "DT"]
+        via_journal = plan_from_journal(db)
+        assert [op.to_dict() for op in via_journal] == [
+            op.to_dict() for op in plan
+        ]
+
+    def test_empty_file_is_an_empty_plan(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        assert len(load_plan(path)) == 0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PlanError, match="cannot read"):
+            load_plan(tmp_path / "nope.json")
+
+    def test_object_without_operations(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(PlanError, match="operations"):
+            load_plan(path)
+
+    def test_unknown_operation_code(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[{"code": "ZZ"}]')
+        with pytest.raises(PlanError, match="bad operation 0"):
+            load_plan(path)
+
+    def test_non_object_entry(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('[42]')
+        with pytest.raises(PlanError, match="not an object"):
+            load_plan(path)
+
+    def test_malformed_jsonl_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            json.dumps(_ops()[0].to_dict()) + "\n{oops\n"
+        )
+        with pytest.raises(PlanError, match="bad.jsonl:2"):
+            load_plan(path)
+
+    def test_plan_error_is_a_schema_error(self):
+        from repro.core import SchemaError
+
+        assert issubclass(PlanError, SchemaError)

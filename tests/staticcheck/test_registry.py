@@ -1,0 +1,153 @@
+"""The pluggable rule registry: selection, plugins, severities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.staticcheck import (
+    PLAN_RULE_IDS,
+    REGISTRY,
+    SCHEMA_RULE_IDS,
+    Diagnostic,
+    Severity,
+    analyze,
+)
+from repro.staticcheck.registry import Rule, RuleRegistry, rule
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_from_name(self):
+        assert Severity.from_name("error") is Severity.ERROR
+        assert Severity.from_name("WARNING") is Severity.WARNING
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.from_name("fatal")
+
+    def test_sarif_levels(self):
+        assert Severity.ERROR.sarif_level == "error"
+        assert Severity.WARNING.sarif_level == "warning"
+        assert Severity.INFO.sarif_level == "note"
+
+    def test_str(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestDiagnostic:
+    def test_str_with_step(self):
+        d = Diagnostic(
+            "some-rule", Severity.ERROR, "hazard",
+            message="bad", subject="T_x", step=3,
+        )
+        assert str(d) == "error: some-rule: T_x: bad [step 3]"
+
+    def test_str_without_subject_or_step(self):
+        d = Diagnostic("some-rule", Severity.INFO, "hygiene", message="meh")
+        assert str(d) == "info: some-rule: meh"
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for rule_id in SCHEMA_RULE_IDS + PLAN_RULE_IDS:
+            assert rule_id in REGISTRY
+
+    def test_duplicate_registration_rejected(self):
+        reg = RuleRegistry()
+        r = Rule(
+            "x-rule", scope="schema", severity=Severity.INFO,
+            category="c", summary="s", check=lambda ctx: (),
+        )
+        reg.register(r)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register(r)
+
+    def test_bad_scope_rejected(self):
+        with pytest.raises(ValueError, match="scope"):
+            Rule(
+                "x", scope="galaxy", severity=Severity.INFO,
+                category="c", summary="s", check=lambda ctx: (),
+            )
+
+    def test_select_exact(self):
+        chosen = REGISTRY.select(select=("empty-interface",))
+        assert [r.rule_id for r in chosen] == ["empty-interface"]
+
+    def test_select_prefix(self):
+        chosen = REGISTRY.select(select=("redundant",))
+        assert {r.rule_id for r in chosen} == {
+            "redundant-essential-supertype",
+            "redundant-essential-property",
+        }
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError, match="matched no rule"):
+            REGISTRY.select(select=("no-such-rule",))
+
+    def test_ignore_wins_over_select(self):
+        chosen = REGISTRY.select(
+            select=("redundant",), ignore=("redundant-essential-property",)
+        )
+        assert [r.rule_id for r in chosen] == [
+            "redundant-essential-supertype"
+        ]
+
+    def test_ignore_prefix(self):
+        chosen = REGISTRY.select(ignore=("redundant", "shadowed"))
+        ids = {r.rule_id for r in chosen}
+        assert "redundant-essential-supertype" not in ids
+        assert "shadowed-name" not in ids
+        assert "doomed-operation" in ids
+
+    def test_no_narrowing_returns_everything(self):
+        assert len(REGISTRY.select()) == len(REGISTRY)
+
+
+class TestCustomRulePlugin:
+    def test_custom_rule_flows_through_analyze(self, figure1):
+        """A downstream rule registered at import time joins the pipeline
+        exactly like a built-in."""
+        reg = RuleRegistry(iter(REGISTRY))
+
+        @rule(
+            "custom-type-count",
+            scope="schema",
+            severity=Severity.WARNING,
+            category="custom",
+            summary="flags schemas with more than five user types",
+            fixit="split the schema",
+            registry=reg,
+        )
+        def _too_many_types(ctx):
+            n = len(ctx.schema)
+            if n > 5:
+                yield Diagnostic(
+                    "", Severity.WARNING, "",
+                    message=f"{n} types",
+                )
+
+        report = analyze(
+            figure1, select=("custom-type-count",), registry=reg
+        )
+        assert len(report) == 1
+        d = report.diagnostics[0]
+        assert d.rule_id == "custom-type-count"   # normalized by the runner
+        assert d.category == "custom"
+        assert d.fixit == "split the schema"      # rule default filled in
+        assert "custom-type-count" not in REGISTRY  # global one untouched
+
+    def test_rule_diagnostic_helper_fills_defaults(self):
+        r = Rule(
+            "helper-rule", scope="plan", severity=Severity.WARNING,
+            category="hazard", summary="s", check=lambda ctx: (),
+            fixit="do the thing",
+        )
+        d = r.diagnostic("msg", subject="T_x", step=2)
+        assert d.rule_id == "helper-rule"
+        assert d.severity is Severity.WARNING
+        assert d.category == "hazard"
+        assert d.fixit == "do the thing"
+        assert d.step == 2
+        assert r.diagnostic("msg", severity=Severity.ERROR).severity is (
+            Severity.ERROR
+        )

@@ -1,0 +1,218 @@
+"""Every plan-scope rule, exercised by a minimal triggering plan."""
+
+from __future__ import annotations
+
+from repro.core import (
+    AddEssentialSupertype,
+    AddType,
+    DropEssentialSupertype,
+    DropType,
+    LatticePolicy,
+    Property,
+    TypeLattice,
+)
+from repro.staticcheck import EvolutionPlan, analyze
+
+
+def _chain():
+    """T_a <- T_b <- T_c, each edge essential, no properties."""
+    lat = TypeLattice(LatticePolicy.tigukat())
+    lat.add_type("T_a")
+    lat.add_type("T_b", supertypes=["T_a"])
+    lat.add_type("T_c", supertypes=["T_b"])
+    return lat
+
+
+class TestDoomedOperation:
+    def test_cycle_is_rejected_statically(self):
+        lat = _chain()
+        plan = EvolutionPlan([AddEssentialSupertype("T_a", "T_c")])
+        report = analyze(lat, plan)
+        doomed = report.by_rule("doomed-operation")
+        assert len(doomed) == 1
+        assert doomed[0].step == 0
+        assert "rejected" in doomed[0].message
+        # And the input schema is untouched.
+        assert "T_c" not in lat.pe("T_a")
+
+    def test_root_edge_drop_is_doomed(self, figure1):
+        plan = EvolutionPlan([
+            DropEssentialSupertype("T_student", "T_object"),
+        ])
+        report = analyze(figure1, plan)
+        assert report.by_rule("doomed-operation")
+
+    def test_clean_plan_has_no_doomed(self, figure1):
+        plan = EvolutionPlan([AddType("T_intern", ("T_person",))])
+        report = analyze(figure1, plan)
+        assert not report.by_rule("doomed-operation")
+
+
+class TestOrderDependenceHazard:
+    def test_chain_drops_diverge_under_orion(self):
+        """The Section 5 hazard: dropping both chain edges is
+        order-dependent under Orion OP4 rewiring."""
+        lat = _chain()
+        plan = EvolutionPlan([
+            DropEssentialSupertype("T_c", "T_b"),
+            DropEssentialSupertype("T_b", "T_a"),
+        ])
+        report = analyze(lat, plan, select=("order-dependence-hazard",))
+        hazards = report.by_rule("order-dependence-hazard")
+        assert len(hazards) == 1
+        assert "Orion" in hazards[0].message
+        assert "TIGUKAT" in hazards[0].message
+
+    def test_independent_drops_do_not_fire(self):
+        lat = TypeLattice(LatticePolicy.tigukat())
+        lat.add_type("T_a")
+        lat.add_type("T_b")
+        lat.add_type("T_x", supertypes=["T_a"])
+        lat.add_type("T_y", supertypes=["T_b"])
+        plan = EvolutionPlan([
+            DropEssentialSupertype("T_x", "T_a"),
+            DropEssentialSupertype("T_y", "T_b"),
+        ])
+        report = analyze(lat, plan, select=("order-dependence-hazard",))
+        assert not report.by_rule("order-dependence-hazard")
+
+    def test_single_drop_cannot_be_order_dependent(self):
+        lat = _chain()
+        plan = EvolutionPlan([DropEssentialSupertype("T_c", "T_b")])
+        report = analyze(lat, plan, select=("order-dependence-hazard",))
+        assert not report.by_rule("order-dependence-hazard")
+
+
+class TestLateNameConflict:
+    def test_added_edge_introduces_conflict(self):
+        lat = TypeLattice(LatticePolicy.tigukat())
+        lat.add_type("T_a", properties=[Property("a.v", "v")])
+        lat.add_type("T_b", properties=[Property("b.v", "v")])
+        lat.add_type("T_c", supertypes=["T_a"])
+        plan = EvolutionPlan([AddEssentialSupertype("T_c", "T_b")])
+        report = analyze(lat, plan, select=("late-name-conflict",))
+        findings = report.by_rule("late-name-conflict")
+        assert len(findings) == 1
+        assert findings[0].subject == "T_c"
+        assert "'v'" in findings[0].message
+
+    def test_preexisting_conflict_not_reported(self):
+        lat = TypeLattice(LatticePolicy.tigukat())
+        lat.add_type("T_a", properties=[Property("a.v", "v")])
+        lat.add_type("T_b", properties=[Property("b.v", "v")])
+        lat.add_type("T_c", supertypes=["T_a", "T_b"])  # conflict already
+        plan = EvolutionPlan([AddType("T_d", ("T_a",))])
+        report = analyze(lat, plan, select=("late-name-conflict",))
+        assert not report.by_rule("late-name-conflict")
+
+
+class TestLossyPropertyDrop:
+    def test_edge_drop_loses_inherited_interface(self, figure1):
+        plan = EvolutionPlan([
+            DropEssentialSupertype("T_student", "T_person"),
+        ])
+        report = analyze(figure1, plan, select=("lossy-property-drop",))
+        findings = report.by_rule("lossy-property-drop")
+        assert findings
+        assert any(d.subject == "T_student" for d in findings)
+        assert "unreachable" in findings[0].message
+
+    def test_pure_addition_is_not_lossy(self, figure1):
+        plan = EvolutionPlan([AddType("T_intern", ("T_person",))])
+        report = analyze(figure1, plan, select=("lossy-property-drop",))
+        assert not report.by_rule("lossy-property-drop")
+
+
+class TestDropReaddChurn:
+    def test_drop_then_readd(self, figure1):
+        plan = EvolutionPlan([
+            DropType("T_teachingAssistant"),
+            AddType("T_teachingAssistant", ("T_student",)),
+        ])
+        report = analyze(figure1, plan, select=("drop-readd-churn",))
+        findings = report.by_rule("drop-readd-churn")
+        assert len(findings) == 1
+        assert findings[0].step == 1
+        assert "step 0" in findings[0].message
+
+    def test_add_then_drop_is_not_churn(self, figure1):
+        plan = EvolutionPlan([
+            AddType("T_tmp", ("T_person",)),
+            DropType("T_tmp"),
+        ])
+        report = analyze(figure1, plan, select=("drop-readd-churn",))
+        assert not report.by_rule("drop-readd-churn")
+
+
+class TestRedundancyIntroduced:
+    def test_dominated_edge_added(self):
+        lat = _chain()
+        plan = EvolutionPlan([AddEssentialSupertype("T_c", "T_a")])
+        report = analyze(lat, plan, select=("redundancy-introduced",))
+        findings = report.by_rule("redundancy-introduced")
+        assert len(findings) == 1
+        assert findings[0].subject == "T_c"
+        assert "Pe(T_c)" in findings[0].message
+
+
+class TestMigrationImpact:
+    def test_drop_type_blast_radius(self, figure1):
+        plan = EvolutionPlan([DropType("T_person")])
+        report = analyze(figure1, plan, select=("migration-impact",))
+        findings = report.by_rule("migration-impact")
+        assert len(findings) == 1
+        assert "affects" in findings[0].message
+
+    def test_additions_have_no_migration_impact(self, figure1):
+        plan = EvolutionPlan([AddType("T_intern", ("T_person",))])
+        report = analyze(figure1, plan, select=("migration-impact",))
+        assert not report.by_rule("migration-impact")
+
+
+class TestHygieneRules:
+    def test_duplicate_step(self, figure1):
+        op = AddEssentialSupertype("T_student", "T_person")
+        plan = EvolutionPlan([op, op])
+        report = analyze(figure1, plan, select=("duplicate-step",))
+        findings = report.by_rule("duplicate-step")
+        assert len(findings) == 1
+        assert findings[0].step == 1
+
+    def test_noop_step(self, figure1):
+        plan = EvolutionPlan([
+            AddEssentialSupertype("T_student", "T_person"),  # already there
+        ])
+        report = analyze(figure1, plan, select=("no-op-step",))
+        findings = report.by_rule("no-op-step")
+        assert len(findings) == 1
+        assert "changes nothing" in findings[0].message
+
+
+class TestSchemaRulesOnFinalState:
+    def test_schema_rules_see_the_plan_outcome(self, figure1):
+        """With a plan, schema-scope rules run on the final symbolic
+        state: a type the plan creates can be flagged."""
+        plan = EvolutionPlan([AddType("T_bare", ("T_person",))])
+        report = analyze(figure1, plan, select=("empty-interface",))
+        # T_bare inherits person properties, so it is not empty; create
+        # a genuinely bare one instead.
+        plan = EvolutionPlan([AddType("T_bare")])
+        report = analyze(figure1, plan, select=("empty-interface",))
+        assert any(
+            d.subject == "T_bare"
+            for d in report.by_rule("empty-interface")
+        )
+        assert "T_bare" not in figure1
+
+    def test_report_ordering_plan_first(self, figure1):
+        plan = EvolutionPlan([
+            DropType("T_nope"),            # doomed (error, step 0)
+            AddType("T_bare"),             # empty interface in final state
+        ])
+        report = analyze(figure1, plan)
+        steps = [d.step for d in report.diagnostics]
+        plan_part = [s for s in steps if s is not None]
+        assert plan_part == sorted(plan_part)
+        # Schema-state findings (step None) come after all plan findings.
+        tail = steps[len(plan_part):]
+        assert all(s is None for s in tail)

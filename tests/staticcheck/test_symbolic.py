@@ -1,0 +1,101 @@
+"""The symbolic evaluator: exactness, doomed continuation, immutability."""
+
+from __future__ import annotations
+
+from repro.core import (
+    AddEssentialSupertype,
+    AddType,
+    DropEssentialSupertype,
+    DropType,
+    Property,
+)
+from repro.staticcheck import EvolutionPlan, symbolic_run
+
+
+class TestSymbolicRun:
+    def test_never_mutates_the_input(self, figure1):
+        snapshot = figure1.derived_fingerprint()
+        plan = EvolutionPlan([
+            DropType("T_teachingAssistant"),
+            DropType("T_student"),
+            AddType("T_intern", ("T_person",)),
+        ])
+        trace = symbolic_run(figure1, plan)
+        assert figure1.derived_fingerprint() == snapshot
+        assert "T_student" not in trace.final
+        assert "T_intern" in trace.final
+        assert "T_student" in figure1
+
+    def test_trace_matches_real_execution(self, figure1):
+        """The abstraction is exact: the final symbolic state equals the
+        state a real executor reaches."""
+        plan = EvolutionPlan([
+            AddType("T_intern", ("T_student",), (Property("intern.desk"),)),
+            AddEssentialSupertype("T_intern", "T_employee"),
+            DropEssentialSupertype("T_teachingAssistant", "T_student"),
+        ])
+        trace = symbolic_run(figure1, plan)
+        real = figure1.copy()
+        for op in plan:
+            op.apply(real)
+        assert trace.final.derived_fingerprint() == real.derived_fingerprint()
+
+    def test_doomed_step_does_not_stop_the_run(self, figure1):
+        plan = EvolutionPlan([
+            AddEssentialSupertype("T_person", "T_student"),  # cycle: doomed
+            AddType("T_intern", ("T_person",)),              # still analyzed
+        ])
+        trace = symbolic_run(figure1, plan)
+        assert not trace.steps[0].accepted
+        assert trace.steps[0].rejection
+        assert trace.steps[1].accepted
+        assert "T_intern" in trace.final
+        assert len(trace.doomed) == 1
+        assert len(trace.accepted) == 1
+
+    def test_rejected_step_state_carries_over(self, figure1):
+        plan = EvolutionPlan([
+            DropType("T_not_there"),
+        ])
+        trace = symbolic_run(figure1, plan)
+        step = trace.steps[0]
+        assert step.after is step.before  # shared snapshot, no copy made
+        assert trace.final.derived_fingerprint() == (
+            trace.initial.derived_fingerprint()
+        )
+
+    def test_per_step_states_are_independent_snapshots(self, figure1):
+        plan = EvolutionPlan([
+            AddType("T_a1", ("T_person",)),
+            AddType("T_a2", ("T_a1",)),
+        ])
+        trace = symbolic_run(figure1, plan)
+        assert "T_a1" not in trace.initial
+        assert "T_a1" in trace.state_after(0)
+        assert "T_a2" not in trace.state_after(0)
+        assert "T_a2" in trace.state_after(1)
+
+    def test_changed_flag(self, figure1):
+        plan = EvolutionPlan([
+            # Re-declaring an existing essential edge: accepted but no-op.
+            AddEssentialSupertype("T_student", "T_person"),
+            AddType("T_fresh", ("T_person",)),
+        ])
+        trace = symbolic_run(figure1, plan)
+        assert trace.steps[0].accepted
+        assert not trace.steps[0].changed
+        assert trace.steps[1].changed
+
+    def test_describe(self, figure1):
+        plan = EvolutionPlan([DropType("T_nope")])
+        trace = symbolic_run(figure1, plan)
+        text = trace.steps[0].describe()
+        assert "step 0" in text
+        assert "DOOMED" in text
+
+    def test_empty_plan(self, figure1):
+        trace = symbolic_run(figure1, EvolutionPlan(()))
+        assert len(trace) == 0
+        assert trace.final.derived_fingerprint() == (
+            figure1.derived_fingerprint()
+        )

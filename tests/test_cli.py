@@ -1,5 +1,8 @@
 """Tests for the command-line schema tool."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -121,6 +124,134 @@ class TestLint:
         capsys.readouterr()
         assert run(db, "lint") == 0
         assert "0 finding(s)" in capsys.readouterr().out
+
+
+class TestLintPlan:
+    """Static analysis of whole evolution plans through the CLI."""
+
+    @pytest.fixture
+    def chain_db(self, db):
+        run(db, "add-type", "T_a")
+        run(db, "add-type", "T_b", "-s", "T_a")
+        run(db, "add-type", "T_c", "-s", "T_b")
+        return db
+
+    def _write_plan(self, tmp_path, ops, name="plan.json"):
+        path = tmp_path / name
+        path.write_text(json.dumps({"operations": ops}))
+        return str(path)
+
+    def test_cycle_plan_statically_rejected(
+        self, chain_db, tmp_path, capsys
+    ):
+        plan = self._write_plan(tmp_path, [
+            {"code": "MT-ASR", "subject": "T_a", "supertype": "T_c"},
+        ])
+        wal_before = Path(chain_db).read_bytes()
+        assert run(chain_db, "lint", "--plan", plan) == 1
+        out = capsys.readouterr().out
+        assert "doomed-operation" in out
+        assert "error" in out
+        # Dry-run: neither the schema nor the WAL was touched.
+        assert Path(chain_db).read_bytes() == wal_before
+        capsys.readouterr()
+        assert run(chain_db, "check") == 0
+
+    def test_order_hazard_flagged(self, chain_db, tmp_path, capsys):
+        plan = self._write_plan(tmp_path, [
+            {"code": "MT-DSR", "subject": "T_c", "supertype": "T_b"},
+            {"code": "MT-DSR", "subject": "T_b", "supertype": "T_a"},
+        ])
+        assert run(chain_db, "lint", "--plan", plan) == 0  # warnings only
+        out = capsys.readouterr().out
+        assert "order-dependence-hazard" in out
+        assert "Orion" in out
+
+    def test_fail_on_warning(self, chain_db, tmp_path, capsys):
+        plan = self._write_plan(tmp_path, [
+            {"code": "MT-DSR", "subject": "T_c", "supertype": "T_b"},
+            {"code": "MT-DSR", "subject": "T_b", "supertype": "T_a"},
+        ])
+        assert run(
+            chain_db, "lint", "--plan", plan, "--fail-on", "warning"
+        ) == 1
+
+    def test_fail_on_never(self, chain_db, tmp_path, capsys):
+        plan = self._write_plan(tmp_path, [
+            {"code": "MT-ASR", "subject": "T_a", "supertype": "T_c"},
+        ])
+        assert run(
+            chain_db, "lint", "--plan", plan, "--fail-on", "never"
+        ) == 0
+
+    def test_sarif_output_is_valid(self, chain_db, tmp_path, capsys):
+        plan = self._write_plan(tmp_path, [
+            {"code": "MT-ASR", "subject": "T_a", "supertype": "T_c"},
+        ])
+        assert run(
+            chain_db, "lint", "--plan", plan, "--format", "sarif",
+            "--fail-on", "never",
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        results = doc["runs"][0]["results"]
+        assert any(r["ruleId"] == "doomed-operation" for r in results)
+        doomed = next(
+            r for r in results if r["ruleId"] == "doomed-operation"
+        )
+        loc = doomed["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == plan
+
+    def test_json_output(self, chain_db, tmp_path, capsys):
+        plan = self._write_plan(tmp_path, [
+            {"code": "AT", "name": "T_d", "supertypes": ["T_c"]},
+        ])
+        assert run(
+            chain_db, "lint", "--plan", plan, "--format", "json"
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["plan"]["steps"] == 1
+
+    def test_select_and_ignore(self, chain_db, tmp_path, capsys):
+        plan = self._write_plan(tmp_path, [
+            {"code": "MT-ASR", "subject": "T_a", "supertype": "T_c"},
+            {"code": "MT-ASR", "subject": "T_a", "supertype": "T_c"},
+        ])
+        assert run(
+            chain_db, "lint", "--plan", plan,
+            "--select", "duplicate-step",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "duplicate-step" in out
+        assert "doomed-operation" not in out
+        assert run(
+            chain_db, "lint", "--plan", plan,
+            "--ignore", "doomed-operation", "--ignore", "duplicate-step",
+        ) == 0
+        assert "doomed-operation" not in capsys.readouterr().out
+
+    def test_unknown_select_exits_2(self, chain_db, capsys):
+        assert run(chain_db, "lint", "--select", "no-such-rule") == 2
+        assert "no rule" in capsys.readouterr().err
+
+    def test_malformed_plan_exits_1(self, chain_db, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}')
+        assert run(chain_db, "lint", "--plan", str(path)) == 1
+        assert "rejected" in capsys.readouterr().err
+
+    def test_wal_journal_as_plan(self, chain_db, tmp_path, capsys):
+        """A WAL from one schema can be linted as a plan against another."""
+        other = str(tmp_path / "other.wal")
+        run(other, "init")
+        capsys.readouterr()
+        assert run(
+            other, "lint", "--plan", chain_db, "--fail-on", "never"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "plan: 3 step(s)" in out
 
 
 class TestImpactNormalizeHistory:

@@ -1,6 +1,5 @@
 """Tests for Definitions 3.1 / 3.2: the schema-object sets."""
 
-import pytest
 
 from repro.tigukat import SchemaManager, schema_oids, schema_sets
 

@@ -7,7 +7,6 @@ from repro.tigukat import (
     AmbiguousBehaviorError,
     DispatchError,
     FunctionKind,
-    Objectbase,
     Signature,
 )
 

@@ -1,6 +1,5 @@
 """Tests for lattice rendering and table regeneration."""
 
-from repro.core import build_figure1_lattice
 from repro.systems import GemStoneSchema, OrionSystem, TigukatSystem
 from repro.tigukat import Objectbase
 from repro.viz import (
