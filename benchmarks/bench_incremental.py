@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Benchmark: incremental derived-term maintenance vs whole-cache invalidation.
+
+Two workloads, both over :mod:`repro.analysis.workload` random lattices:
+
+* **single-op mutation** — one designer-term change on a large lattice.
+  Baseline re-derives the whole schema (the whole-cache-invalidation
+  behavior: ``invalidate_cache()`` + derived-term access); the incremental
+  engine propagates through the affected cone only.
+* **journal replay** — re-opening a WAL with a long operation tail.
+  Baseline pays one full derivation per journaled operation (O(plan ×
+  schema)); batched replay applies the whole tail and derives once
+  (O(plan + schema)).
+
+Run as a script (the CI smoke job uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py \
+        --out BENCH_incremental.json --check
+
+``--check`` asserts the acceptance thresholds (>=10x full size, >=5x
+quick) and that the incremental result is byte-identical to a
+from-scratch derivation, then exits non-zero on any miss.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.workload import LatticeSpec, random_lattice, random_plan
+from repro.core import SchemaError, derive
+from repro.core.lattice import TypeLattice
+from repro.core.operations import AddType
+from repro.core.properties import prop
+from repro.storage.journal import DurableLattice
+
+
+def median_time(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def pick_leaf(lattice: TypeLattice) -> str:
+    """A type with no essential subtypes besides the base: minimal cone."""
+    base = lattice.base
+    for t in reversed(lattice.derivation.order):
+        if t in (base, lattice.root):
+            continue
+        if not (lattice.essential_subtypes(t) - {base}):
+            return t
+    raise AssertionError("no leaf type found")  # pragma: no cover
+
+
+def bench_single_op(n_types: int, repeats: int, seed: int = 7) -> dict:
+    """One MT-AB/MT-DB toggle on an ``n_types`` lattice, both engines."""
+    lattice = random_lattice(LatticeSpec(n_types=n_types, seed=seed))
+    lattice.derivation  # prime the cache
+    target = pick_leaf(lattice)
+    flip = prop("bench.flip")
+    state = {"present": False}
+
+    def mutate() -> None:
+        if state["present"]:
+            lattice.drop_essential_property(target, flip)
+        else:
+            lattice.add_essential_property(target, flip)
+        state["present"] = not state["present"]
+
+    def whole_cache() -> None:
+        mutate()
+        lattice.invalidate_cache()
+        lattice.derivation
+
+    def incremental() -> None:
+        mutate()
+        lattice.derivation
+
+    t_full = median_time(whole_cache, repeats)
+    # Measure the cone once (the derivation right after an incremental pass).
+    mutate()
+    cone = len(lattice.derivation.recomputed)
+    t_inc = median_time(incremental, repeats)
+
+    # Correctness: the incrementally maintained state == from scratch.
+    live = lattice.derivation
+    scratch = derive(lattice._pe_view(), lattice._ne_view())
+    assert live.p == scratch.p and live.i == scratch.i
+
+    return {
+        "n_types": len(lattice),
+        "cone_size": cone,
+        "whole_cache_ms": t_full * 1e3,
+        "incremental_ms": t_inc * 1e3,
+        "speedup": t_full / t_inc,
+    }
+
+
+def build_wal(path: Path, n_ops: int, seed: int = 13) -> list:
+    """A WAL whose tail is ~``n_ops`` operations (AT bootstrap + mutations)."""
+    durable = DurableLattice(path)
+    n_bootstrap = max(10, (2 * n_ops) // 3)
+    scaffold = random_lattice(LatticeSpec(n_types=n_bootstrap, seed=seed))
+    for t in scaffold.derivation.order:
+        if t in (scaffold.root, scaffold.base):
+            continue
+        durable.apply(AddType(
+            t,
+            tuple(sorted(s for s in scaffold.pe(t) if s != scaffold.root)),
+            tuple(sorted(scaffold.ne(t), key=lambda p: p.semantics)),
+        ))
+    for op in random_plan(durable.lattice, n_ops - n_bootstrap, seed + 1):
+        try:
+            durable.apply(op)
+        except SchemaError:
+            pass
+    return durable.file.operations()
+
+
+def bench_replay(n_ops: int, repeats: int) -> dict:
+    """Reopen a WAL: per-op whole-cache replay vs batched replay."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.wal"
+        ops = build_wal(path, n_ops)
+
+        def whole_cache_replay() -> TypeLattice:
+            lat = TypeLattice()
+            for op in ops:
+                try:
+                    op.apply(lat)
+                except SchemaError:
+                    pass
+                lat.invalidate_cache()
+                lat.derivation  # every op pays a full re-derivation
+            return lat
+
+        def batched_replay() -> TypeLattice:
+            lat = DurableLattice(path).lattice
+            lat.derivation  # one pass for the whole tail
+            return lat
+
+        t_full = median_time(whole_cache_replay, repeats)
+        t_batch = median_time(batched_replay, repeats)
+
+        final_full = whole_cache_replay()
+        final_batch = batched_replay()
+        assert (
+            final_full.derived_fingerprint()
+            == final_batch.derived_fingerprint()
+        )
+
+        return {
+            "n_ops": len(ops),
+            "final_schema_size": len(final_batch),
+            "whole_cache_ms": t_full * 1e3,
+            "batched_ms": t_batch * 1e3,
+            "speedup": t_full / t_batch,
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sizes for CI smoke (threshold 5x instead of 10x)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_incremental.json",
+        help="where to write the JSON artifact",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the speedup thresholds are met",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_types, n_ops, repeats, threshold = 200, 120, 3, 5.0
+    else:
+        n_types, n_ops, repeats, threshold = 1000, 500, 5, 10.0
+
+    single = bench_single_op(n_types, repeats)
+    replay = bench_replay(n_ops, repeats)
+
+    result = {
+        "benchmark": "incremental derived-term maintenance",
+        "mode": "quick" if args.quick else "full",
+        "threshold_speedup": threshold,
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "single_op": single,
+        "replay": replay,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"single-op mutation on {single['n_types']}-type lattice:")
+    print(f"  whole-cache  {single['whole_cache_ms']:9.3f} ms")
+    print(f"  incremental  {single['incremental_ms']:9.3f} ms  "
+          f"(cone: {single['cone_size']} of {single['n_types']} types)")
+    print(f"  speedup      {single['speedup']:9.1f}x")
+    print(f"journal replay of {replay['n_ops']} ops "
+          f"(final schema: {replay['final_schema_size']} types):")
+    print(f"  whole-cache  {replay['whole_cache_ms']:9.3f} ms")
+    print(f"  batched      {replay['batched_ms']:9.3f} ms")
+    print(f"  speedup      {replay['speedup']:9.1f}x")
+    print(f"artifact: {args.out}")
+
+    if args.check:
+        failures = [
+            name for name, r in (("single_op", single), ("replay", replay))
+            if r["speedup"] < threshold
+        ]
+        if failures:
+            print(f"FAIL: below {threshold}x speedup: {failures}",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: both workloads beat the {threshold}x threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,6 +3,10 @@ Evolution in Objectbases" (ICDE 1995).
 
 Subpackages
 -----------
+``repro.api``
+    The stable facade: :class:`repro.api.Objectbase` — open/in-memory
+    construction, the eight evolution operations, batched transactions,
+    axiom checks, impact analysis, normalization, term-card queries.
 ``repro.core``
     The axiomatic model: type lattice, the nine axioms, derivation engine,
     soundness/completeness oracle, evolution operations, journal.
@@ -31,6 +35,7 @@ Subpackages
 
 from . import (
     analysis,
+    api,
     core,
     orion,
     propagation,
@@ -41,6 +46,7 @@ from . import (
     tigukat,
     viz,
 )
+from .api import Objectbase
 from .core import (
     LatticePolicy,
     Property,
@@ -54,6 +60,8 @@ from .core import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "api",
+    "Objectbase",
     "core",
     "tigukat",
     "orion",

@@ -1,0 +1,324 @@
+"""The stable library facade: :class:`Objectbase`.
+
+One import, one object, the whole evolution surface::
+
+    from repro.api import Objectbase
+
+    ob = Objectbase.open("schema.wal")        # durable (WAL-backed)
+    ob = Objectbase.in_memory()               # or ephemeral
+
+    ob.add_type("T_person", properties=["person.name"])
+    ob.add_type("T_student", supertypes=["T_person"])
+    ob.card("T_student").p                    # {'T_person'}
+
+    with ob.batch():                          # atomic + one propagation pass
+        ob.drop_supertype("T_ta", "T_student")
+        ob.add_supertype("T_ta", "T_person")
+
+Everything the scattered entry points offered (``core.operations``
+command objects, ``storage.journal.DurableLattice``, the CLI's
+plumbing) is reachable from here; the old entry points keep working but
+new code should not need them.
+
+Design notes
+------------
+* **One execution path.**  Every mutation — method call, raw
+  :class:`~repro.core.operations.SchemaOperation` via :meth:`apply`,
+  batch member, or :meth:`normalize` — funnels through the same journal
+  (and WAL when durable), so history, undo, and replay see a complete
+  record.
+* **Batches are transactions.**  :meth:`batch` wraps
+  :class:`~repro.core.transactions.SchemaTransaction`: all-or-nothing,
+  verified against the nine axioms at commit.  Because operations only
+  touch the designer terms ``Pe``/``Ne``, the lattice's incremental
+  engine coalesces the whole batch into a single delta-propagation pass
+  at the first derived-term access (commit-time verification or the
+  caller's next query).
+* **Queries are term cards.**  :meth:`card` returns every Table-1 term
+  of one type (``Pe``/``Ne`` designer inputs, ``P``/``PL``/``N``/``H``/``I``
+  derived) as one immutable snapshot.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .core.axioms import Violation, check_all
+from .core.config import LatticePolicy
+from .core.history import EvolutionJournal, JournalEntry
+from .core.impact import ImpactReport, analyze_impact
+from .core.lattice import TypeLattice
+from .core.normalize import NormalizationReport, normalization_operations
+from .core.operations import (
+    AddEssentialProperty,
+    AddEssentialSupertype,
+    AddType,
+    DropEssentialProperty,
+    DropEssentialSupertype,
+    DropPropertyEverywhere,
+    DropType,
+    OperationResult,
+    SchemaOperation,
+)
+from .core.properties import Property
+from .core.soundness import SoundnessReport, verify
+from .core.transactions import SchemaTransaction, TransactionError
+from .storage.journal import DurableLattice
+
+__all__ = ["Objectbase", "TermCard"]
+
+
+@dataclass(frozen=True)
+class TermCard:
+    """Every Table-1 term of one type, as an immutable snapshot."""
+
+    name: str
+    #: designer-managed terms
+    pe: frozenset[str]
+    ne: frozenset[Property]
+    #: derived terms (Axioms 5-9)
+    p: frozenset[str]
+    pl: frozenset[str]
+    n: frozenset[Property]
+    h: frozenset[Property]
+    i: frozenset[Property]
+
+    def as_dict(self) -> dict:
+        """JSON-friendly form (property semantics keys, sorted)."""
+        return {
+            "name": self.name,
+            "Pe": sorted(self.pe),
+            "Ne": sorted(pr.semantics for pr in self.ne),
+            "P": sorted(self.p),
+            "PL": sorted(self.pl),
+            "N": sorted(pr.semantics for pr in self.n),
+            "H": sorted(pr.semantics for pr in self.h),
+            "I": sorted(pr.semantics for pr in self.i),
+        }
+
+
+def _coerce_prop(p: Property | str, name: str = "") -> Property:
+    return p if isinstance(p, Property) else Property(p, name)
+
+
+class Objectbase:
+    """The unified schema-evolution facade.
+
+    Construct through :meth:`open` (durable, WAL-backed) or
+    :meth:`in_memory` (ephemeral); wrapping an existing
+    :class:`TypeLattice`, :class:`EvolutionJournal`, or
+    :class:`DurableLattice` also works via the constructor.
+    """
+
+    def __init__(
+        self,
+        backend: TypeLattice | EvolutionJournal | DurableLattice | None = None,
+        policy: LatticePolicy | None = None,
+    ) -> None:
+        if backend is None:
+            backend = EvolutionJournal(policy=policy)
+        elif isinstance(backend, TypeLattice):
+            backend = EvolutionJournal(lattice=backend)
+        # EvolutionJournal and DurableLattice share the execution protocol
+        # SchemaTransaction relies on: apply / undo / __len__ / .lattice.
+        self._journal = backend
+        self._txn: SchemaTransaction | None = None
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, path: str | Path, policy: LatticePolicy | None = None
+    ) -> "Objectbase":
+        """Open (or create) a durable objectbase backed by a WAL file.
+
+        Recovery replays the journal in batch mode: the first query after
+        opening pays one derivation pass, regardless of the plan length.
+        """
+        return cls(DurableLattice(path, policy))
+
+    @classmethod
+    def in_memory(cls, policy: LatticePolicy | None = None) -> "Objectbase":
+        """A fresh, non-durable objectbase (TIGUKAT policy by default)."""
+        return cls(policy=policy)
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def lattice(self) -> TypeLattice:
+        """The underlying type lattice (read it freely; mutate via ops)."""
+        return self._journal.lattice
+
+    @property
+    def durable(self) -> bool:
+        return isinstance(self._journal, DurableLattice)
+
+    def types(self) -> frozenset[str]:
+        return self.lattice.types()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.lattice
+
+    def __len__(self) -> int:
+        return len(self.lattice)
+
+    def card(self, name: str) -> TermCard:
+        """All Table-1 terms of ``name`` in one snapshot."""
+        lat = self.lattice
+        return TermCard(
+            name=name,
+            pe=lat.pe(name),
+            ne=lat.ne(name),
+            p=lat.p(name),
+            pl=lat.pl(name),
+            n=lat.n(name),
+            h=lat.h(name),
+            i=lat.interface(name),
+        )
+
+    def cards(self) -> Iterator[TermCard]:
+        """Term cards for every type, in name order."""
+        for t in sorted(self.types()):
+            yield self.card(t)
+
+    # -- the eight evolution operations ---------------------------------
+
+    def apply(self, operation: SchemaOperation) -> OperationResult:
+        """Apply a raw operation object (routes through an active batch)."""
+        if self._txn is not None:
+            return self._txn.apply(operation)
+        return self._journal.apply(operation)
+
+    def add_type(
+        self,
+        name: str,
+        supertypes: Iterable[str] = (),
+        properties: Iterable[Property | str] = (),
+    ) -> OperationResult:
+        """AT: create a type with essential supertypes/properties."""
+        return self.apply(AddType(
+            name,
+            tuple(supertypes),
+            tuple(_coerce_prop(p) for p in properties),
+        ))
+
+    def drop_type(self, name: str) -> OperationResult:
+        """DT: drop a type; it leaves every ``Pe`` that listed it."""
+        return self.apply(DropType(name))
+
+    def add_supertype(self, subtype: str, supertype: str) -> OperationResult:
+        """MT-ASR: add an essential supertype."""
+        return self.apply(AddEssentialSupertype(subtype, supertype))
+
+    def drop_supertype(self, subtype: str, supertype: str) -> OperationResult:
+        """MT-DSR: drop an essential supertype."""
+        return self.apply(DropEssentialSupertype(subtype, supertype))
+
+    def add_property(
+        self, type_name: str, p: Property | str, display_name: str = ""
+    ) -> OperationResult:
+        """MT-AB: add an essential property (semantics key or Property)."""
+        return self.apply(
+            AddEssentialProperty(type_name, _coerce_prop(p, display_name))
+        )
+
+    def drop_property(
+        self, type_name: str, p: Property | str
+    ) -> OperationResult:
+        """MT-DB: drop an essential property from one type."""
+        return self.apply(DropEssentialProperty(type_name, _coerce_prop(p)))
+
+    def drop_property_everywhere(self, p: Property | str) -> OperationResult:
+        """DB: drop a property from every ``Ne`` that lists it."""
+        return self.apply(DropPropertyEverywhere(_coerce_prop(p)))
+
+    # -- batched transactions -------------------------------------------
+
+    @contextmanager
+    def batch(
+        self, verify_on_commit: bool = True
+    ) -> Iterator[SchemaTransaction]:
+        """Group operations atomically, with one propagation pass.
+
+        All facade mutations inside the ``with`` block join the
+        transaction: either every operation commits (verified against the
+        nine axioms by default) or the whole group rolls back through the
+        recorded inverses.  Invalidation is coalesced — the entire batch
+        costs a single incremental derivation pass.
+        """
+        if self._txn is not None:
+            raise TransactionError("a batch is already active")
+        txn = SchemaTransaction(self._journal, verify_on_commit=verify_on_commit)
+        self._txn = txn
+        try:
+            with txn:
+                yield txn
+        finally:
+            self._txn = None
+
+    # -- checks, analysis, maintenance ----------------------------------
+
+    def check(self) -> list[Violation]:
+        """Check the nine axioms; an empty list means the schema is sound."""
+        return check_all(self.lattice)
+
+    def verify(self) -> SoundnessReport:
+        """Run the soundness/completeness oracle (Theorems 2.1/2.2)."""
+        return verify(self.lattice)
+
+    def impact(self, operation: SchemaOperation) -> ImpactReport:
+        """Dry-run ``operation``; never mutates the objectbase."""
+        return analyze_impact(self.lattice, operation)
+
+    def normalize(self) -> NormalizationReport:
+        """Rewrite ``Pe``/``Ne`` to the minimal declarations, journaled.
+
+        The rewrite is expressed as ordinary MT-DSR/MT-DB operations and
+        executed through the journal (and the WAL when durable), so
+        normalization is replayable, undoable, and visible in
+        :meth:`history` — and its invalidations coalesce like any batch.
+        Normalization preserves the derived lattice by construction, so
+        the batch skips commit-time re-verification.
+        """
+        ops = normalization_operations(self.lattice)
+        dropped_supers = sum(
+            1 for op in ops if isinstance(op, DropEssentialSupertype)
+        )
+        dropped_props = len(ops) - dropped_supers
+        if ops:
+            if self._txn is not None:
+                for op in ops:
+                    self._txn.apply(op)
+            else:
+                with self.batch(verify_on_commit=False) as txn:
+                    txn.apply_all(ops)
+        return NormalizationReport(dropped_supers, dropped_props)
+
+    # -- history and durability -----------------------------------------
+
+    def history(self) -> tuple[JournalEntry, ...]:
+        """The journaled operations (since the last checkpoint, when
+        durable)."""
+        return self._journal.journal.entries if self.durable \
+            else self._journal.entries
+
+    def undo(self) -> JournalEntry:
+        """Revert the most recent operation via its recorded inverse."""
+        if self._txn is not None:
+            raise TransactionError("cannot undo inside a batch")
+        return self._journal.undo()
+
+    def checkpoint(self) -> None:
+        """Fold the WAL into a snapshot (durable objectbases only)."""
+        if not self.durable:
+            raise TransactionError(
+                "checkpoint requires a durable objectbase (use Objectbase.open)"
+            )
+        self._journal.checkpoint()
+
+    def __repr__(self) -> str:
+        kind = "durable" if self.durable else "in-memory"
+        return f"Objectbase({kind}, |T|={len(self.lattice)})"

@@ -1,6 +1,7 @@
-"""Command-line schema-evolution tool over a durable lattice.
+"""Command-line schema-evolution tool over a durable objectbase.
 
-A thin operational surface for the library: schema state lives in a
+A thin operational surface for the library, built on the
+:class:`repro.api.Objectbase` facade: schema state lives in a
 write-ahead journal file (see :mod:`repro.storage.journal`) and every
 subcommand is one of the paper's operations or inspections::
 
@@ -20,7 +21,14 @@ subcommand is one of the paper's operations or inspections::
     python -m repro --db schema.wal tables      # Tables 1-3
     python -m repro --db schema.wal checkpoint  # WAL -> snapshot
 
-Exit status: 0 on success, 1 on a rejected operation or failed check.
+Opening the database replays the WAL in batch mode: one derivation pass
+per invocation, however long the journal tail is.
+
+Exit status follows the unified error taxonomy (:mod:`repro.core.errors`):
+0 on success, 1 when the engine rejects the request or a check/lint gate
+fails (every :class:`~repro.core.errors.EvolutionError`, reported with
+its machine-readable code), 2 when the invocation itself is unusable
+(e.g. an unknown lint rule id).
 """
 
 from __future__ import annotations
@@ -29,19 +37,14 @@ import argparse
 import sys
 from typing import Sequence
 
+from .api import Objectbase
 from .core import (
-    AddEssentialProperty,
-    AddEssentialSupertype,
-    AddType,
-    DropEssentialProperty,
     DropEssentialSupertype,
     DropType,
-    Property,
-    SchemaError,
-    check_all,
-    verify,
+    EvolutionError,
+    error_code,
+    exit_code_for,
 )
-from .storage import DurableLattice
 from .viz import (
     render_lattice,
     render_table1,
@@ -149,54 +152,49 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        durable = DurableLattice(args.db)
-    except SchemaError as exc:
-        print(f"error: cannot open {args.db}: {exc}", file=sys.stderr)
-        return 1
-    lattice = durable.lattice
+        ob = Objectbase.open(args.db)
+    except EvolutionError as exc:
+        print(
+            f"error [{error_code(exc)}]: cannot open {args.db}: {exc}",
+            file=sys.stderr,
+        )
+        return exit_code_for(exc)
+    lattice = ob.lattice
 
     try:
         if args.command == "init":
             print(f"initialized schema at {args.db}: "
-                  f"{sorted(lattice.types())}")
+                  f"{sorted(ob.types())}")
         elif args.command == "add-type":
-            durable.apply(AddType(
-                args.name,
-                tuple(args.supertype),
-                tuple(Property(s) for s in args.prop),
-            ))
+            ob.add_type(args.name, tuple(args.supertype), tuple(args.prop))
             print(f"added {args.name}; P = {sorted(lattice.p(args.name))}")
         elif args.command == "drop-type":
-            durable.apply(DropType(args.name))
+            ob.drop_type(args.name)
             print(f"dropped {args.name}")
         elif args.command == "add-edge":
-            durable.apply(AddEssentialSupertype(args.subtype, args.supertype))
+            ob.add_supertype(args.subtype, args.supertype)
             print(f"Pe({args.subtype}) += {args.supertype}; "
                   f"P = {sorted(lattice.p(args.subtype))}")
         elif args.command == "drop-edge":
-            durable.apply(DropEssentialSupertype(args.subtype, args.supertype))
+            ob.drop_supertype(args.subtype, args.supertype)
             print(f"Pe({args.subtype}) -= {args.supertype}; "
                   f"P = {sorted(lattice.p(args.subtype))}")
         elif args.command == "add-prop":
-            durable.apply(AddEssentialProperty(
-                args.type, Property(args.semantics, args.name)
-            ))
+            ob.add_property(args.type, args.semantics, args.name)
             print(f"Ne({args.type}) += {args.semantics}")
         elif args.command == "drop-prop":
-            durable.apply(DropEssentialProperty(
-                args.type, Property(args.semantics)
-            ))
+            ob.drop_property(args.type, args.semantics)
             print(f"Ne({args.type}) -= {args.semantics}")
         elif args.command == "show":
             if args.type:
                 print(render_type_card(lattice, args.type))
             else:
-                for t in sorted(lattice.types()):
+                for t in sorted(ob.types()):
                     print(f"{t}: P={sorted(lattice.p(t))} "
                           f"|I|={len(lattice.interface(t))}")
         elif args.command == "check":
-            violations = check_all(lattice)
-            report = verify(lattice)
+            violations = ob.check()
+            report = ob.verify()
             for v in violations:
                 print(f"VIOLATION: {v}")
             print(f"axioms: {'ok' if not violations else 'FAILED'}; "
@@ -236,32 +234,28 @@ def main(argv: Sequence[str] | None = None) -> int:
                 if report.at_least(threshold):
                     return 1
         elif args.command == "normalize":
-            from .core import normalize
-
-            report = normalize(lattice)
-            durable.checkpoint()  # the rewrite bypasses the op log
+            # Journaled through the facade: the rewrite is ordinary
+            # MT-DSR/MT-DB operations in the WAL, so it replays on
+            # reopen — no out-of-band checkpoint needed.
+            report = ob.normalize()
             print(
                 f"dropped {report.dropped_supertype_declarations} supertype "
                 f"and {report.dropped_property_declarations} property "
-                f"declaration(s); checkpointed"
+                f"declaration(s); journaled"
             )
         elif args.command == "history":
-            entries = durable.journal.entries
+            entries = ob.history()
             if not entries:
                 print("(no journaled operations since the last checkpoint)")
             for entry in entries:
                 print(f"{entry.seq:4d}  {entry.operation.code:<7} "
                       f"{entry.operation.describe()}")
         elif args.command == "impact":
-            from .core import DropEssentialSupertype as DES
-            from .core import DropType as DTOp
-            from .core import analyze_impact
-
             if args.what == "drop-type":
-                op = DTOp(args.args[0])
+                op = DropType(args.args[0])
             else:
-                op = DES(args.args[0], args.args[1])
-            print(analyze_impact(lattice, op).summary())
+                op = DropEssentialSupertype(args.args[0], args.args[1])
+            print(ob.impact(op).summary())
         elif args.command == "render":
             print(render_lattice(lattice))
         elif args.command == "dot":
@@ -273,11 +267,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             print()
             print(render_table3())
         elif args.command == "checkpoint":
-            durable.checkpoint()
+            ob.checkpoint()
             print(f"checkpointed {len(lattice)} types; WAL truncated")
-    except SchemaError as exc:
-        print(f"rejected: {exc}", file=sys.stderr)
-        return 1
+    except EvolutionError as exc:
+        print(f"rejected [{error_code(exc)}]: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
     return 0
 
 

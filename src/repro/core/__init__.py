@@ -31,13 +31,22 @@ from .algebra import (
     meet_unique,
     upper_bounds,
 )
-from .derivation import Derivation, derive, derive_incremental, topological_order
+from .derivation import (
+    Derivation,
+    affected_downset,
+    derive,
+    derive_incremental,
+    local_topological_order,
+    topological_order,
+)
 from .fixpoint import derive_fixpoint
 from .transactions import SchemaTransaction, TransactionError
 from .errors import (
+    ERROR_CODES,
     AxiomViolationError,
     CycleError,
     DuplicateTypeError,
+    EvolutionError,
     FrozenTypeError,
     JournalError,
     OperationRejected,
@@ -47,6 +56,8 @@ from .errors import (
     SchemaError,
     UnknownPropertyError,
     UnknownTypeError,
+    error_code,
+    exit_code_for,
 )
 from .history import EvolutionJournal, JournalEntry
 from .impact import ImpactReport, analyze_impact
@@ -102,6 +113,8 @@ __all__ = [
     "derive",
     "derive_incremental",
     "topological_order",
+    "local_topological_order",
+    "affected_downset",
     # properties & identity
     "Property",
     "PropertyUniverse",
@@ -175,6 +188,10 @@ __all__ = [
     "extract_subschema",
     "upward_closure",
     # errors
+    "EvolutionError",
+    "ERROR_CODES",
+    "error_code",
+    "exit_code_for",
     "SchemaError",
     "UnknownTypeError",
     "DuplicateTypeError",

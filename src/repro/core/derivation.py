@@ -18,6 +18,15 @@ Two entry points are provided:
   set of types, recompute only the affected downset and reuse the previous
   derivation for the rest (one of the "optimizations ... to the way in
   which the axioms generate their results").
+
+The incremental path is a true *delta propagation*: it never walks the
+whole lattice.  The affected cone is discovered by BFS over the inverse
+``Pe`` graph (callers that maintain an inverse index — see
+``TypeLattice._subs`` — pass it in, making discovery O(cone)), the cone
+is ordered by a Kahn pass restricted to the cone, and the new topological
+order is spliced as ``[surviving unaffected types, in their previous
+relative order] + [cone, in local order]`` — valid because no unaffected
+type can depend on an affected one (it would be in the cone).
 """
 
 from __future__ import annotations
@@ -30,10 +39,19 @@ from .applyall import union_apply_all
 from .errors import CycleError
 from .properties import Property
 
-__all__ = ["Derivation", "derive", "derive_incremental", "topological_order"]
+__all__ = [
+    "Derivation",
+    "derive",
+    "derive_incremental",
+    "topological_order",
+    "local_topological_order",
+    "affected_downset",
+]
 
-PeMap = Mapping[str, frozenset[str]]
-NeMap = Mapping[str, frozenset[Property]]
+# Values may be any set type: the engine reads, never retains, them (the
+# lattice passes its raw mutable sets to avoid per-access view rebuilds).
+PeMap = Mapping[str, "frozenset[str] | set[str]"]
+NeMap = Mapping[str, "frozenset[Property] | set[Property]"]
 
 
 @dataclass(frozen=True)
@@ -51,6 +69,10 @@ class Derivation:
     h: dict[str, frozenset[Property]]
     i: dict[str, frozenset[Property]]
     order: tuple[str, ...] = field(default=())
+    #: the types actually recomputed by the pass that built this snapshot
+    #: (everything, for a full derivation) — the observable cost of the
+    #: incremental engine, asserted on by tests and benchmarks.
+    recomputed: frozenset[str] = field(default=frozenset(), compare=False)
 
     def types(self) -> frozenset[str]:
         return frozenset(self.p)
@@ -179,59 +201,186 @@ def derive(pe: PeMap, ne: NeMap) -> Derivation:
     i: dict[str, frozenset[Property]] = {}
     for t in order:
         p[t], pl[t], n[t], h[t], i[t] = _derive_one(t, pe, ne, pl, i)
-    return Derivation(p=p, pl=pl, n=n, h=h, i=i, order=order)
+    return Derivation(
+        p=p, pl=pl, n=n, h=h, i=i, order=order, recomputed=frozenset(order)
+    )
 
 
-def affected_downset(pe: PeMap, dirty: Iterable[str]) -> set[str]:
+def affected_downset(
+    pe: PeMap,
+    dirty: Iterable[str],
+    inverse: Mapping[str, Iterable[str]] | None = None,
+) -> set[str]:
     """All types whose derived terms may change after ``dirty`` changed.
 
     A type is affected when it *is* dirty or can reach a dirty type through
     essential-supertype edges (its derivation reads the dirty type's
     ``PL``/``I``).  Computed by BFS over the inverse Pe-graph.
+
+    ``inverse`` is an optional prebuilt inverse index (supertype -> types
+    listing it in their ``Pe``).  With it, the BFS only ever touches the
+    cone — O(cone edges); without it, the inverse graph is rebuilt from
+    ``pe`` first — O(all edges).
     """
-    inverse: dict[str, list[str]] = {t: [] for t in pe}
-    for t, supers in pe.items():
-        for s in supers:
-            if s in inverse:
-                inverse[s].append(t)
-    affected: set[str] = set()
-    frontier = deque(t for t in dirty if t in pe)
-    affected.update(frontier)
+    if inverse is None:
+        built: dict[str, list[str]] = {t: [] for t in pe}
+        for t, supers in pe.items():
+            for s in supers:
+                if s in built:
+                    built[s].append(t)
+        inverse = built
+    affected: set[str] = set(t for t in dirty if t in pe)
+    frontier = deque(affected)
     while frontier:
         s = frontier.popleft()
-        for t in inverse[s]:
-            if t not in affected:
+        for t in inverse.get(s, ()):
+            if t not in affected and t in pe:
                 affected.add(t)
                 frontier.append(t)
     return affected
 
 
+def local_topological_order(pe: PeMap, affected: set[str]) -> tuple[str, ...]:
+    """Topological order of ``affected`` under ``pe`` restricted to it.
+
+    Dependencies outside the cone are already satisfied (their derived
+    terms are reused from the previous snapshot), so only intra-cone edges
+    constrain the order.  An unsatisfiable cone means the Pe-graph gained a
+    cycle — and any new cycle is *entirely* inside the cone, because every
+    node on it both reaches and is reached from the touched edge — reported
+    as :class:`CycleError` exactly like the full pass would.
+    """
+    remaining: dict[str, set[str]] = {
+        t: {s for s in pe[t] if s in affected} for t in affected
+    }
+    dependents: dict[str, list[str]] = {t: [] for t in affected}
+    for t, supers in remaining.items():
+        for s in supers:
+            dependents[s].append(t)
+    ready = deque(sorted(t for t, supers in remaining.items() if not supers))
+    order: list[str] = []
+    while ready:
+        s = ready.popleft()
+        order.append(s)
+        for t in dependents[s]:
+            deps = remaining[t]
+            deps.discard(s)
+            if not deps:
+                ready.append(t)
+    if len(order) != len(affected):
+        stuck = sorted(t for t, deps in remaining.items() if deps)
+        t = stuck[0]
+        raise CycleError(t, sorted(remaining[t])[0])
+    return tuple(order)
+
+
 def derive_incremental(
-    previous: Derivation, pe: PeMap, ne: NeMap, dirty: Iterable[str]
+    previous: Derivation,
+    pe: PeMap,
+    ne: NeMap,
+    dirty: Iterable[str],
+    inverse: Mapping[str, Iterable[str]] | None = None,
 ) -> Derivation:
     """Re-derive only the downset affected by ``dirty``; reuse the rest.
 
     ``previous`` must be a derivation of the same lattice before the
     change.  Types present in ``previous`` but no longer in ``pe`` are
-    dropped; new types are treated as dirty automatically.
-    """
-    dirty_set = set(dirty)
-    dirty_set.update(t for t in pe if t not in previous.p)
-    affected = affected_downset(pe, dirty_set)
+    dropped; new types are treated as dirty automatically.  The result is
+    a fresh snapshot — ``previous`` (and every frozenset it holds) is
+    never mutated, so snapshots taken before the change stay valid.
 
-    order = topological_order(pe)
-    p: dict[str, frozenset[str]] = {}
-    pl: dict[str, frozenset[str]] = {}
-    n: dict[str, frozenset[Property]] = {}
-    h: dict[str, frozenset[Property]] = {}
-    i: dict[str, frozenset[Property]] = {}
-    for t in order:
-        if t not in affected:
-            p[t] = previous.p[t]
-            pl[t] = previous.pl[t]
-            n[t] = previous.n[t]
-            h[t] = previous.h[t]
-            i[t] = previous.i[t]
-        else:
+    Cost: O(cone) set work plus O(|T|) pointer copies for the reused maps
+    — never a full re-derivation, never a full topological sort.
+    """
+    dirty_set = {t for t in dirty if t in pe}
+    dirty_set.update(t for t in pe if t not in previous.p)
+    affected = affected_downset(pe, dirty_set, inverse)
+    removed = [t for t in previous.p if t not in pe]
+    if not affected and not removed:
+        return Derivation(
+            p=previous.p, pl=previous.pl, n=previous.n, h=previous.h,
+            i=previous.i, order=previous.order, recomputed=frozenset(),
+        )
+
+    local_order = local_topological_order(pe, affected)
+    p = dict(previous.p)
+    pl = dict(previous.pl)
+    n = dict(previous.n)
+    h = dict(previous.h)
+    i = dict(previous.i)
+    removed_set = set(removed)
+    for t in removed:
+        del p[t], pl[t], n[t], h[t], i[t]
+
+    # Types whose PL / I rows differ from ``previous`` after this pass.
+    # Supertypes outside the cone are untouched, and intra-cone edges are
+    # processed in topological order, so when a type is reached every
+    # change among its supertypes is already recorded here.
+    pl_changed: set[str] = set()
+    i_changed: set[str] = set()
+    pass_changed: set[str] = set()
+    for t in local_order:
+        has_prev = t in previous.p
+        full = (
+            t in dirty_set
+            or not has_prev
+            or bool(removed_set) and not removed_set.isdisjoint(pe[t])
+        )
+        touched: list[str] = []
+        if not full:
+            pe_t_raw = pe[t]
+            touched = [x for x in pass_changed if x in pe_t_raw]
+            full = any(x in pl_changed for x in touched)
+        if full:
             p[t], pl[t], n[t], h[t], i[t] = _derive_one(t, pe, ne, pl, i)
-    return Derivation(p=p, pl=pl, n=n, h=h, i=i, order=order)
+            if not has_prev or pl[t] != previous.pl[t]:
+                pl_changed.add(t)
+                pass_changed.add(t)
+            if not has_prev or i[t] != previous.i[t]:
+                i_changed.add(t)
+                pass_changed.add(t)
+            continue
+        # Delta fast path.  ``Pe(t)``/``Ne(t)`` are unchanged (t is not
+        # dirty) and every changed supertype kept its PL row, so the
+        # domination structure is intact: P(t) and PL(t) carry over
+        # (Axioms 5, 6).  Only the inherited behaviour H(t) = ⋃ I(x)
+        # over P(t) needs reconciling (Axioms 9, 8, 7) — and only the
+        # contributions of the supertypes that changed this pass.  This
+        # keeps high-fan-in sinks (the base type lists every type in its
+        # Pe) out of the O(|Pe|) recomputation on behavioural changes.
+        p_t = previous.p[t]
+        contributors = [x for x in touched if x in p_t]
+        if not contributors:
+            continue  # rows identical to previous; nothing propagates
+        added: set = set()
+        lost: set = set()
+        for x in contributors:
+            new_i, old_i = i[x], previous.i[x]
+            added.update(new_i - old_i)
+            lost.update(old_i - new_i)
+        lost -= added
+        if lost:
+            # A property one contributor dropped may still be inherited
+            # through another supertype — re-verify before evicting.
+            lost = {q for q in lost if not any(q in i[y] for y in p_t)}
+        h_t = frozenset((previous.h[t] | added) - lost)
+        if h_t == previous.h[t]:
+            continue
+        h[t] = h_t
+        n[t] = frozenset(ne[t]) - h_t
+        i[t] = n[t] | h_t
+        if i[t] != previous.i[t]:
+            i_changed.add(t)
+            pass_changed.add(t)
+
+    # Splice the order: surviving unaffected types keep their previous
+    # relative order (their edges did not change), then the cone in local
+    # order.  No unaffected type depends on an affected one, so the result
+    # is a valid topological order of the new graph.
+    order = (
+        tuple(t for t in previous.order if t in pe and t not in affected)
+        + local_order
+    )
+    return Derivation(
+        p=p, pl=pl, n=n, h=h, i=i, order=order, recomputed=frozenset(local_order)
+    )

@@ -1,14 +1,45 @@
 """Exception hierarchy for the axiomatic schema-evolution model.
 
-Every error raised by :mod:`repro.core` derives from :class:`SchemaError`,
-so callers can catch the whole family with a single ``except`` clause while
-still being able to discriminate the individual failure modes the paper
-calls out (cycle introduction, dropping the root link, unknown types, ...).
+Every error raised by :mod:`repro.core` derives from
+:class:`EvolutionError`, so callers can catch the whole family with a
+single ``except`` clause while still being able to discriminate the
+individual failure modes the paper calls out (cycle introduction,
+dropping the root link, unknown types, ...).
+
+Machine-readable codes
+----------------------
+Every class carries a stable kebab-case ``code`` (mirroring the
+:mod:`repro.staticcheck` rule-id convention: the static analyzer's
+``doomed-operation`` findings cite the same codes the live engine would
+raise).  ``ERROR_CODES`` maps code -> class, and :func:`error_code`
+extracts the code of any caught exception.  The CLI maps codes to exit
+status through :func:`exit_code_for`:
+
+=============  =============================================
+exit status    meaning
+=============  =============================================
+0              success
+1              the engine rejected the request (any
+               :class:`EvolutionError`: cycle, root-violation,
+               frozen-type, corrupt journal, malformed plan,
+               ...) or a check/lint gate failed
+2              the invocation itself is unusable (unknown
+               rule id, bad arguments) — errors *about the
+               request*, not about the schema
+=============  =============================================
+
+:class:`SchemaError` remains as the historic family name (it *is*
+:class:`EvolutionError`'s immediate subclass and the ancestor of every
+concrete error), so existing ``except SchemaError`` call sites keep
+working unchanged.
 """
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 __all__ = [
+    "EvolutionError",
     "SchemaError",
     "UnknownTypeError",
     "DuplicateTypeError",
@@ -21,15 +52,47 @@ __all__ = [
     "FrozenTypeError",
     "JournalError",
     "PlanError",
+    "ERROR_CODES",
+    "error_code",
+    "exit_code_for",
 ]
 
+#: CLI exit statuses (see module docstring).
+EXIT_OK = 0
+EXIT_REJECTED = 1
+EXIT_UNUSABLE = 2
 
-class SchemaError(Exception):
-    """Base class for all schema-evolution errors."""
+
+class EvolutionError(Exception):
+    """Base class for every schema-evolution error.
+
+    Attributes
+    ----------
+    code:
+        Stable machine-readable identifier (kebab-case, shared naming
+        convention with the staticcheck rule ids).
+    exit_code:
+        The CLI exit status this error maps to.
+    """
+
+    code: ClassVar[str] = "evolution-error"
+    exit_code: ClassVar[int] = EXIT_REJECTED
+
+    def as_dict(self) -> dict:
+        """Structured form for JSON surfaces (CLI, SARIF, logs)."""
+        return {"code": self.code, "message": str(self)}
+
+
+class SchemaError(EvolutionError):
+    """Historic family name: every concrete error derives from it."""
+
+    code: ClassVar[str] = "schema-error"
 
 
 class UnknownTypeError(SchemaError, KeyError):
     """A referenced type is not a member of the lattice ``T``."""
+
+    code: ClassVar[str] = "unknown-type"
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
@@ -41,6 +104,8 @@ class UnknownTypeError(SchemaError, KeyError):
 
 class DuplicateTypeError(SchemaError):
     """A type with the same identity already exists in the lattice."""
+
+    code: ClassVar[str] = "duplicate-type"
 
     def __init__(self, name: str) -> None:
         super().__init__(f"type already exists: {name!r}")
@@ -54,6 +119,8 @@ class CycleError(SchemaError):
     addition of a type as a supertype of another type is rejected if it
     introduces a cycle into the lattice."
     """
+
+    code: ClassVar[str] = "cycle"
 
     def __init__(self, subtype: str, supertype: str) -> None:
         super().__init__(
@@ -71,13 +138,19 @@ class RootViolationError(SchemaError):
     be dropped" and the root type itself cannot be dropped.
     """
 
+    code: ClassVar[str] = "root-violation"
+
 
 class PointednessViolationError(SchemaError):
     """Axiom of Pointedness: the change would break the base type ``⊥``."""
 
+    code: ClassVar[str] = "pointedness-violation"
+
 
 class AxiomViolationError(SchemaError):
     """An axiom check failed; carries the structured violation list."""
+
+    code: ClassVar[str] = "axiom-violation"
 
     def __init__(self, violations: list) -> None:
         lines = "; ".join(str(v) for v in violations)
@@ -93,6 +166,8 @@ class OperationRejected(SchemaError):
     a behavior of a type with an associated class).
     """
 
+    code: ClassVar[str] = "operation-rejected"
+
     def __init__(self, operation: str, reason: str) -> None:
         super().__init__(f"{operation} rejected: {reason}")
         self.operation = operation
@@ -101,6 +176,8 @@ class OperationRejected(SchemaError):
 
 class UnknownPropertyError(SchemaError, KeyError):
     """A referenced property is not known to the schema."""
+
+    code: ClassVar[str] = "unknown-property"
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
@@ -117,6 +194,8 @@ class FrozenTypeError(SchemaError):
     being dropped.
     """
 
+    code: ClassVar[str] = "frozen-type"
+
     def __init__(self, name: str) -> None:
         super().__init__(f"primitive type cannot be modified or dropped: {name!r}")
         self.name = name
@@ -125,6 +204,44 @@ class FrozenTypeError(SchemaError):
 class JournalError(SchemaError):
     """The operation journal is corrupt or a replay failed."""
 
+    code: ClassVar[str] = "journal-corrupt"
+
 
 class PlanError(SchemaError):
     """An evolution plan file is unreadable or malformed."""
+
+    code: ClassVar[str] = "plan-malformed"
+
+
+def _collect_codes() -> dict[str, type]:
+    registry: dict[str, type] = {}
+    stack: list[type] = [EvolutionError]
+    while stack:
+        cls = stack.pop()
+        registry.setdefault(cls.code, cls)
+        stack.extend(cls.__subclasses__())
+    return registry
+
+
+#: code -> exception class, for every error defined in this module.  Late
+#: subclasses (e.g. ``TransactionError``) register themselves on import via
+#: :func:`register_error`.
+ERROR_CODES: dict[str, type] = _collect_codes()
+
+
+def register_error(cls: type) -> type:
+    """Class decorator: add an :class:`EvolutionError` subclass defined
+    outside this module (e.g. ``TransactionError``) to ``ERROR_CODES``."""
+    ERROR_CODES.setdefault(cls.code, cls)
+    return cls
+
+
+def error_code(exc: BaseException) -> str:
+    """The machine-readable code of any exception (``"internal"`` when it
+    is not part of the evolution taxonomy)."""
+    return getattr(exc, "code", "internal")
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit status for ``exc`` (see the module docstring table)."""
+    return getattr(exc, "exit_code", EXIT_REJECTED)

@@ -27,13 +27,27 @@ from .properties import Property
 __all__ = ["derive_fixpoint"]
 
 
-def derive_fixpoint(pe: PeMap, ne: NeMap, max_rounds: int | None = None) -> Derivation:
+def derive_fixpoint(
+    pe: PeMap,
+    ne: NeMap,
+    max_rounds: int | None = None,
+    initial: Derivation | None = None,
+) -> Derivation:
     """Iterate Axioms 5-9 to their least fixpoint.
 
     ``max_rounds`` defaults to ``|T| + 2`` — on an acyclic graph the
     fixpoint is reached within ``depth + 1 ≤ |T|`` rounds; exceeding the
     bound means the Pe graph is cyclic and derivation cannot converge
     (reported as :class:`CycleError`, mirroring Axiom 2).
+
+    ``initial`` warm-starts the iteration from a previous derivation
+    (semi-naive style): after a small ``Pe``/``Ne`` change, most equations
+    are already satisfied and the loop converges in a couple of rounds
+    instead of ``depth + 1``.  Correct for *any* seed on an acyclic graph:
+    the system has a unique fixpoint (each type's equations read only
+    strictly-higher types, so every assignment is forced top-down by
+    induction on depth), hence a change-free round certifies the answer
+    regardless of where the iteration started.
     """
     types = [t for t in pe]
     pe_clean: dict[str, frozenset[str]] = {
@@ -41,11 +55,17 @@ def derive_fixpoint(pe: PeMap, ne: NeMap, max_rounds: int | None = None) -> Deri
     }
     limit = max_rounds if max_rounds is not None else len(types) + 2
 
-    p: dict[str, frozenset[str]] = {t: frozenset() for t in types}
-    pl: dict[str, frozenset[str]] = {t: frozenset({t}) for t in types}
-    n: dict[str, frozenset[Property]] = {t: frozenset() for t in types}
-    h: dict[str, frozenset[Property]] = {t: frozenset() for t in types}
-    i: dict[str, frozenset[Property]] = {t: frozenset() for t in types}
+    def seed(term: str, default):
+        prior = getattr(initial, term) if initial is not None else {}
+        return {
+            t: prior[t] if t in prior else default(t) for t in types
+        }
+
+    p: dict[str, frozenset[str]] = seed("p", lambda t: frozenset())
+    pl: dict[str, frozenset[str]] = seed("pl", lambda t: frozenset({t}))
+    n: dict[str, frozenset[Property]] = seed("n", lambda t: frozenset())
+    h: dict[str, frozenset[Property]] = seed("h", lambda t: frozenset())
+    i: dict[str, frozenset[Property]] = seed("i", lambda t: frozenset())
 
     for _round in range(limit):
         changed = False

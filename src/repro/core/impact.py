@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from .errors import SchemaError
+from .errors import SchemaError, error_code
 from .minimality import diff_lattices
 from .operations import SchemaOperation
 
@@ -34,6 +34,9 @@ class ImpactReport:
     operation: SchemaOperation
     accepted: bool
     rejection: str = ""
+    #: machine-readable code of the rejection (see ``core.errors``), empty
+    #: when accepted.
+    rejection_code: str = ""
     types_added: frozenset[str] = frozenset()
     types_removed: frozenset[str] = frozenset()
     #: type -> (P before, P after)
@@ -95,7 +98,12 @@ def analyze_impact(
     try:
         operation.apply(trial)
     except SchemaError as exc:
-        return ImpactReport(operation, accepted=False, rejection=str(exc))
+        return ImpactReport(
+            operation,
+            accepted=False,
+            rejection=str(exc),
+            rejection_code=error_code(exc),
+        )
 
     diff = diff_lattices(lattice, trial)
     interface_changes: dict[str, tuple[frozenset, frozenset]] = {}

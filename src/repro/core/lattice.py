@@ -6,7 +6,20 @@ terms — the essential supertypes ``Pe(t)`` and essential properties
 ``Ne(t)`` of every type — plus a :class:`~repro.core.config.LatticePolicy`
 selecting which of the relaxable axioms (rootedness, pointedness) are in
 force.  Everything else (``P``, ``PL``, ``N``, ``H``, ``I``) is *derived*
-through the axioms, cached, and invalidated on mutation.
+through the axioms, cached, and maintained **incrementally**: every
+mutation records the touched types in a dirty set, and the next derived
+-term access propagates only through the affected cone (the touched types
+plus their descendants in the inverse ``Pe`` graph), reusing every clean
+entry live.  Consecutive mutations coalesce — a batch of operations costs
+one propagation pass, not one per operation.
+
+To make the cone walk O(cone) instead of O(schema), the lattice maintains
+an inverse essential-supertype index (``supertype -> types listing it``)
+alongside ``Pe`` itself; :meth:`essential_subtypes` is a dictionary lookup
+rather than a scan, and :meth:`copy` carries the derived-term cache into
+the clone (snapshots are immutable, so sharing is safe) — which is what
+lets dry-run engines (impact analysis, the symbolic plan evaluator) ride
+the same incremental kernel instead of re-deriving per step.
 
 The mutation API enforces at change time exactly the rejections the paper
 specifies: cycle-introducing supertype additions (Axiom of Acyclicity),
@@ -57,20 +70,26 @@ class TypeLattice:
         self._policy = policy if policy is not None else LatticePolicy.tigukat()
         self._pe: dict[str, set[str]] = {}
         self._ne: dict[str, set[Property]] = {}
+        #: inverse Pe index: supertype -> types listing it as essential.
+        self._subs: dict[str, set[str]] = {}
         self._frozen: set[str] = set()
         self._universe = PropertyUniverse()
         self._derivation: Derivation | None = None
         self._dirty: set[str] = set()
         self._full_recompute = True
         self._generation = 0
-        self.stats = {"full_derivations": 0, "incremental_derivations": 0}
+        self.stats = {
+            "full_derivations": 0,
+            "incremental_derivations": 0,
+            "types_recomputed": 0,
+        }
 
         if self._policy.rooted:
             self._install_type(self._policy.root_name, frozen=True)
         if self._policy.pointed:
             self._install_type(self._policy.base_name, frozen=True)
             if self._policy.rooted:
-                self._pe[self._policy.base_name].add(self._policy.root_name)
+                self._link(self._policy.base_name, self._policy.root_name)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -127,17 +146,28 @@ class TypeLattice:
 
     @property
     def derivation(self) -> Derivation:
-        """The current instantiation of all derived terms (cached)."""
+        """The current instantiation of all derived terms.
+
+        Cached and maintained incrementally: a full pass only ever runs on
+        first access or after :meth:`invalidate_cache`; mutations mark
+        their cone dirty and this accessor propagates the accumulated
+        delta.  The returned snapshot is immutable and survives later
+        mutation (each propagation builds a new snapshot).
+        """
         if self._derivation is None or self._full_recompute:
-            self._derivation = derive(self._pe_view(), self._ne_view())
+            self._resync_subs()
+            self._derivation = derive(self._pe, self._ne)
             self.stats["full_derivations"] += 1
+            self.stats["types_recomputed"] += len(self._pe)
             self._full_recompute = False
             self._dirty.clear()
         elif self._dirty:
             self._derivation = derive_incremental(
-                self._derivation, self._pe_view(), self._ne_view(), self._dirty
+                self._derivation, self._pe, self._ne, self._dirty,
+                inverse=self._subs,
             )
             self.stats["incremental_derivations"] += 1
+            self.stats["types_recomputed"] += len(self._derivation.recomputed)
             self._dirty.clear()
         return self._derivation
 
@@ -177,9 +207,12 @@ class TypeLattice:
         return self.derivation.all_subtypes(name)
 
     def essential_subtypes(self, name: str) -> frozenset[str]:
-        """Types that list ``name`` among their essential supertypes."""
+        """Types that list ``name`` among their essential supertypes.
+
+        O(1): served from the maintained inverse index, not a scan.
+        """
         self._require(name)
-        return frozenset(t for t, supers in self._pe.items() if name in supers)
+        return frozenset(self._subs.get(name, ()))
 
     def is_subtype(self, sub: str, sup: str) -> bool:
         """Whether ``sub ⊑ sup`` in the derived lattice (reflexive)."""
@@ -224,27 +257,30 @@ class TypeLattice:
                     f"the base type {s!r} cannot be a supertype"
                 )
         self._install_type(name, frozen=frozen)
-        pe = self._pe[name]
-        pe.update(supertypes)
+        for s in supertypes:
+            self._link(name, s)
         if self._policy.rooted and name != self._policy.root_name:
-            pe.add(self._policy.root_name)
+            self._link(name, self._policy.root_name)
         if self._policy.essentiality is EssentialityDefault.ALL_INHERITED:
             # Everything reachable at declaration time becomes essential.
             reachable: set[str] = set()
-            for s in list(pe):
+            for s in list(self._pe[name]):
                 reachable.update(self._pe_closure(s))
-            pe.update(reachable - {name})
+            for s in reachable - {name}:
+                self._link(name, s)
         for p in properties:
             self._ne[name].add(self._universe.intern(p))
         if self._policy.essentiality is EssentialityDefault.ALL_INHERITED:
             # Inherited properties present at declaration time become
             # essential too ("all supertypes and properties (including
-            # inherited properties) are essential").
-            inherited = derive(self._pe_view(), self._ne_view())
-            for s in pe:
+            # inherited properties) are essential").  Rides the incremental
+            # cache: only the new type's cone is derived, not the schema.
+            self._dirty.add(name)
+            inherited = self.derivation
+            for s in self._pe[name]:
                 self._ne[name].update(inherited.i[s])
         if self._policy.pointed and name != self._policy.base_name:
-            self._pe[self._policy.base_name].add(name)
+            self._link(self._policy.base_name, name)
         self._invalidate(name, self._policy.base_name if self._policy.pointed else None)
         return name
 
@@ -265,9 +301,12 @@ class TypeLattice:
             raise PointednessViolationError("the base type cannot be dropped")
         dependents = self.essential_subtypes(name)
         for t in dependents:
-            self._pe[t].discard(name)
+            self._unlink(t, name)
+        for s in self._pe[name]:
+            self._subs.get(s, set()).discard(name)
         del self._pe[name]
         del self._ne[name]
+        self._subs.pop(name, None)
         self._frozen.discard(name)
         self._invalidate(*dependents)
         return dependents
@@ -293,7 +332,7 @@ class TypeLattice:
             raise CycleError(name, supertype)
         if supertype in self._pe[name]:
             return False
-        self._pe[name].add(supertype)
+        self._link(name, supertype)
         self._invalidate(name)
         return True
 
@@ -318,7 +357,7 @@ class TypeLattice:
             )
         if supertype not in self._pe[name]:
             return False
-        self._pe[name].discard(supertype)
+        self._unlink(name, supertype)
         self._invalidate(name)
         return True
 
@@ -382,18 +421,31 @@ class TypeLattice:
     # ------------------------------------------------------------------
 
     def copy(self) -> "TypeLattice":
-        """An independent deep copy with the same state and policy."""
+        """An independent deep copy with the same state and policy.
+
+        The derived-term cache travels with the clone: snapshots are
+        immutable, so the clone shares the current :class:`Derivation`
+        (and the pending dirty set) and its first derived-term access
+        after further mutation is an incremental cone pass, not a full
+        re-derivation.  This is what makes dry-run engines (impact
+        analysis, symbolic plan execution) O(cone) per step.
+        """
         clone = TypeLattice.__new__(TypeLattice)
         clone._policy = self._policy
         clone._pe = {t: set(s) for t, s in self._pe.items()}
         clone._ne = {t: set(p) for t, p in self._ne.items()}
+        clone._subs = {t: set(s) for t, s in self._subs.items()}
         clone._frozen = set(self._frozen)
         clone._universe = PropertyUniverse(self._universe)
-        clone._derivation = None
-        clone._dirty = set()
-        clone._full_recompute = True
-        clone._generation = 0
-        clone.stats = {"full_derivations": 0, "incremental_derivations": 0}
+        clone._derivation = self._derivation
+        clone._dirty = set(self._dirty)
+        clone._full_recompute = self._full_recompute
+        clone._generation = self._generation
+        clone.stats = {
+            "full_derivations": 0,
+            "incremental_derivations": 0,
+            "types_recomputed": 0,
+        }
         return clone
 
     def state_fingerprint(self) -> tuple:
@@ -422,10 +474,28 @@ class TypeLattice:
         return self._generation
 
     def invalidate_cache(self) -> None:
-        """Force the next derived-term access to recompute from scratch."""
+        """Force the next derived-term access to recompute from scratch.
+
+        This is the escape hatch for callers that mutate ``_pe``/``_ne``
+        behind the lattice's back (corruption tests, snapshot loaders):
+        it also resynchronizes the inverse index.  Ordinary mutation never
+        needs it — use :meth:`invalidate_types` to invalidate a known cone.
+        """
         self._generation += 1
         self._full_recompute = True
         self._dirty.clear()
+        self._resync_subs()
+
+    def invalidate_types(self, *names: str) -> None:
+        """Targeted invalidation: mark ``names`` (and implicitly their
+        descendant cones) for incremental recomputation.
+
+        The cheap counterpart of :meth:`invalidate_cache` for callers that
+        rewrite declarations in place and know exactly which types they
+        touched (e.g. :func:`repro.core.normalize.normalize`): the next
+        derived-term access propagates through the named cones only.
+        """
+        self._invalidate(*names)
 
     # ------------------------------------------------------------------
     # Internals
@@ -436,8 +506,28 @@ class TypeLattice:
             raise ValueError("type names must be non-empty")
         self._pe[name] = set()
         self._ne[name] = set()
+        self._subs.setdefault(name, set())
         if frozen:
             self._frozen.add(name)
+
+    def _link(self, t: str, s: str) -> None:
+        """Add ``s`` to ``Pe(t)``, maintaining the inverse index."""
+        self._pe[t].add(s)
+        self._subs.setdefault(s, set()).add(t)
+
+    def _unlink(self, t: str, s: str) -> None:
+        """Remove ``s`` from ``Pe(t)``, maintaining the inverse index."""
+        self._pe[t].discard(s)
+        self._subs.get(s, set()).discard(t)
+
+    def _resync_subs(self) -> None:
+        """Rebuild the inverse index from ``Pe`` (after direct mutation)."""
+        subs: dict[str, set[str]] = {t: set() for t in self._pe}
+        for t, supers in self._pe.items():
+            for s in supers:
+                if s in subs:
+                    subs[s].add(t)
+        self._subs = subs
 
     def _require(self, name: str) -> None:
         if name not in self._pe:

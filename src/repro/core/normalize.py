@@ -33,7 +33,13 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from .lattice import TypeLattice
 
-__all__ = ["NormalizationReport", "normalize", "normalized_copy", "is_normalized"]
+__all__ = [
+    "NormalizationReport",
+    "normalize",
+    "normalization_operations",
+    "normalized_copy",
+    "is_normalized",
+]
 
 
 @dataclass(frozen=True)
@@ -70,16 +76,39 @@ def normalize(lattice: "TypeLattice") -> NormalizationReport:
         if root is not None:
             keep_supers.add(root)
         for s in sorted(lattice.pe(t) - keep_supers):
-            lattice._pe[t].discard(s)
-            dropped_supers += 1
+            if lattice.drop_essential_supertype(t, s):
+                dropped_supers += 1
         keep_props = deriv.n[t]
         for p in sorted(lattice.ne(t) - keep_props):
-            lattice._ne[t].discard(p)
-            dropped_props += 1
-        if lattice.pe(t) != keep_supers or lattice.ne(t) != keep_props:
-            pass  # pragma: no cover - defensive; sets now match by construction
-    lattice.invalidate_cache()
+            if lattice.drop_essential_property(t, p):
+                dropped_props += 1
     return NormalizationReport(dropped_supers, dropped_props)
+
+
+def normalization_operations(lattice: "TypeLattice") -> list:
+    """The normalization rewrite as journalable MT-DSR/MT-DB operations.
+
+    Returns the exact drop operations :func:`normalize` would perform, in
+    deterministic order, without mutating anything.  Callers that own a
+    journal (the facade, the CLI) execute these through it so the rewrite
+    is replayable and undoable instead of bypassing the op log.
+    """
+    from .operations import DropEssentialProperty, DropEssentialSupertype
+
+    deriv = lattice.derivation
+    root, base = lattice.root, lattice.base
+    ops: list = []
+    for t in sorted(lattice.types()):
+        if lattice.is_frozen(t) or t == base:
+            continue
+        keep_supers = set(deriv.p[t])
+        if root is not None:
+            keep_supers.add(root)
+        for s in sorted(lattice.pe(t) - keep_supers):
+            ops.append(DropEssentialSupertype(t, s))
+        for p in sorted(lattice.ne(t) - deriv.n[t]):
+            ops.append(DropEssentialProperty(t, p))
+    return ops
 
 
 def normalized_copy(lattice: "TypeLattice") -> "TypeLattice":

@@ -26,8 +26,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from typing import ClassVar, Iterable
+
 from .axioms import check_all
-from .errors import AxiomViolationError, SchemaError
+from .errors import AxiomViolationError, SchemaError, register_error
 from .history import EvolutionJournal
 from .operations import OperationResult, SchemaOperation
 
@@ -37,8 +39,11 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["TransactionError", "SchemaTransaction"]
 
 
+@register_error
 class TransactionError(SchemaError):
     """The transaction is not in a state that allows the request."""
+
+    code: ClassVar[str] = "transaction-state"
 
 
 class SchemaTransaction:
@@ -88,6 +93,18 @@ class SchemaTransaction:
         result = self._journal.apply(operation)
         self._applied.append(result)
         return result
+
+    def apply_all(self, operations: Iterable[SchemaOperation]) -> list[OperationResult]:
+        """Apply a sequence of operations inside the transaction.
+
+        This is the batched-replay workhorse: the operations mutate only
+        the designer state (``Pe``/``Ne``), their invalidations coalesce
+        in the lattice's dirty set, and the first derived-term access
+        after the batch (commit-time verification, or the caller's next
+        query) pays a single delta-propagation pass instead of one per
+        operation.
+        """
+        return [self.apply(op) for op in operations]
 
     def commit(self) -> None:
         """Make the group permanent (optionally verifying the axioms)."""

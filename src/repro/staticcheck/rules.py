@@ -218,7 +218,8 @@ def _doomed_operations(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
                     step.operation, "name",
                     getattr(step.operation, "subject", ""),
                 ),
-                message=f"{step.operation.describe()} would be rejected: "
+                message=f"{step.operation.describe()} would be rejected "
+                        f"[{step.rejection_code or 'operation-rejected'}]: "
                         f"{step.rejection}",
             )
 

@@ -45,6 +45,9 @@ class StepOutcome:
     impact: ImpactReport
     before: "TypeLattice"
     after: "TypeLattice"
+    #: machine-readable code of the rejection (the same taxonomy the live
+    #: engine raises — see ``repro.core.errors``); empty when accepted.
+    rejection_code: str = ""
 
     @property
     def changed(self) -> bool:
@@ -108,6 +111,7 @@ def symbolic_run(lattice: "TypeLattice", plan: "EvolutionPlan") -> PlanTrace:
                 impact=impact,
                 before=before,
                 after=work,
+                rejection_code=impact.rejection_code,
             )
         )
     return PlanTrace(initial=initial, steps=tuple(steps), final=work)

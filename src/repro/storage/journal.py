@@ -95,6 +95,18 @@ class DurableLattice:
     Every applied operation is logged *before* the in-memory journal
     records it as done (write-ahead), so recovery never misses an applied
     change.
+
+    Replay is *batched*: recovery applies the whole WAL tail without ever
+    touching a derived term, so the lattice's invalidations coalesce in
+    its dirty set and the first post-open query pays a single derivation
+    pass — reopening a database costs O(plan), not O(plan × schema).
+
+    The full :class:`~repro.core.transactions.SchemaTransaction` protocol
+    is supported (``apply``/``undo``/``__len__``/``lattice``), so atomic
+    batches work directly against durable storage::
+
+        with SchemaTransaction(durable) as txn:
+            txn.apply(...)
     """
 
     def __init__(
@@ -123,11 +135,33 @@ class DurableLattice:
     def lattice(self) -> TypeLattice:
         return self.journal.lattice
 
+    def __len__(self) -> int:
+        return len(self.journal)
+
     def apply(self, operation: SchemaOperation):
         """Validate, log (write-ahead), then apply."""
         operation.validate(self.lattice)
         self.file.append(operation)
         return self.journal.apply(operation)
+
+    def apply_all(self, operations):
+        """Apply a batch; invalidations coalesce into one later pass."""
+        return [self.apply(op) for op in operations]
+
+    def undo(self):
+        """Undo the last operation, keeping the WAL replay-consistent.
+
+        The recorded inverse operations are appended to the log *before*
+        the in-memory undo (write-ahead, like ``apply``): a replay then
+        re-executes the original operation followed by its inverses and
+        lands in the same state.
+        """
+        if not len(self.journal):
+            raise JournalError("nothing to undo")
+        entry = self.journal.entries[-1]
+        for op in entry.inverse:
+            self.file.append(op)
+        return self.journal.undo()
 
     def checkpoint(self) -> None:
         self.file.checkpoint(self.lattice)

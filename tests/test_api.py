@@ -1,0 +1,254 @@
+"""Tests for the repro.api.Objectbase facade and the unified error taxonomy."""
+
+import warnings
+
+import pytest
+
+from repro.api import Objectbase, TermCard
+from repro.core import (
+    ERROR_CODES,
+    AddEssentialSupertype,
+    CycleError,
+    DropType,
+    DuplicateTypeError,
+    EvolutionError,
+    RootViolationError,
+    SchemaError,
+    TransactionError,
+    UnknownTypeError,
+    error_code,
+    exit_code_for,
+)
+
+
+@pytest.fixture
+def ob():
+    ob = Objectbase.in_memory()
+    ob.add_type("T_person", properties=["person.name"])
+    ob.add_type("T_student", ["T_person"])
+    ob.add_type("T_employee", ["T_person"], ["employee.salary"])
+    ob.add_type("T_ta", ["T_student", "T_employee"])
+    return ob
+
+
+class TestFacadeBasics:
+    def test_in_memory_has_policy_types(self):
+        ob = Objectbase.in_memory()
+        assert "T_object" in ob and "T_null" in ob
+        assert not ob.durable
+
+    def test_eight_operations(self, ob):
+        assert "T_ta" in ob
+        ob.add_property("T_student", "student.gpa", "gpa")
+        assert any(p.semantics == "student.gpa" for p in ob.card("T_student").ne)
+        ob.drop_property("T_student", "student.gpa")
+        ob.add_supertype("T_ta", "T_person")  # redundant but legal
+        ob.drop_supertype("T_ta", "T_person")
+        ob.drop_property_everywhere("employee.salary")
+        assert not any(
+            p.semantics == "employee.salary" for p in ob.card("T_employee").ne
+        )
+        ob.drop_type("T_ta")
+        assert "T_ta" not in ob
+
+    def test_card_terms_are_consistent(self, ob):
+        card = ob.card("T_ta")
+        assert isinstance(card, TermCard)
+        assert card.p == frozenset({"T_student", "T_employee"})
+        assert card.i == card.n | card.h
+        assert "T_object" in card.pl
+        d = card.as_dict()
+        assert d["P"] == ["T_employee", "T_student"]
+
+    def test_cards_cover_all_types(self, ob):
+        names = [c.name for c in ob.cards()]
+        assert names == sorted(ob.types())
+
+    def test_check_verify_impact(self, ob):
+        assert ob.check() == []
+        assert ob.verify().ok
+        report = ob.impact(DropType("T_person"))
+        assert report.accepted and "T_person" in report.types_removed
+        assert "T_person" in ob  # dry-run
+
+    def test_impact_rejection_carries_code(self, ob):
+        report = ob.impact(AddEssentialSupertype("T_person", "T_ta"))
+        assert not report.accepted
+        assert report.rejection_code == "cycle"
+
+    def test_history_and_undo(self, ob):
+        n = len(ob.history())
+        ob.add_type("T_tmp", ["T_person"])
+        assert len(ob.history()) == n + 1
+        ob.undo()
+        assert "T_tmp" not in ob
+        assert len(ob.history()) == n
+
+
+class TestBatch:
+    def test_batch_commits_atomically(self, ob):
+        with ob.batch():
+            ob.drop_supertype("T_ta", "T_student")
+            ob.add_supertype("T_ta", "T_person")
+        card = ob.card("T_ta")
+        # T_person is essential again but dominated by T_employee (Axiom 5).
+        assert "T_person" in card.pe
+        assert card.p == frozenset({"T_employee"})
+
+    def test_batch_rolls_back_on_error(self, ob):
+        before = ob.lattice.state_fingerprint()
+        with pytest.raises(CycleError):
+            with ob.batch():
+                ob.add_type("T_x", ["T_person"])
+                ob.add_supertype("T_person", "T_ta")  # cycle -> rejected
+        assert ob.lattice.state_fingerprint() == before
+        assert "T_x" not in ob
+
+    def test_batch_coalesces_invalidation(self, ob):
+        ob.lattice.derivation  # prime
+        inc_before = ob.lattice.stats["incremental_derivations"]
+        with ob.batch():
+            for k in range(8):
+                ob.add_type(f"T_b{k}", ["T_person"])
+        # one pass for the commit-time verification, not one per op
+        assert (
+            ob.lattice.stats["incremental_derivations"] == inc_before + 1
+        )
+        assert ob.lattice.stats["full_derivations"] <= 1
+
+    def test_nested_batch_rejected(self, ob):
+        with pytest.raises(TransactionError):
+            with ob.batch():
+                with ob.batch():
+                    pass  # pragma: no cover
+
+    def test_undo_inside_batch_rejected(self, ob):
+        with pytest.raises(TransactionError):
+            with ob.batch():
+                ob.undo()
+
+
+class TestDurable:
+    def test_open_apply_reopen(self, tmp_path):
+        path = tmp_path / "s.wal"
+        ob = Objectbase.open(path)
+        assert ob.durable
+        ob.add_type("T_a", properties=["a.p"])
+        ob.add_type("T_b", ["T_a"])
+
+        again = Objectbase.open(path)
+        assert again.card("T_b").p == frozenset({"T_a"})
+        assert [e.operation.code for e in again.history()] == ["AT", "AT"]
+
+    def test_batch_over_wal(self, tmp_path):
+        ob = Objectbase.open(tmp_path / "s.wal")
+        with ob.batch():
+            ob.add_type("T_a")
+            ob.add_type("T_b", ["T_a"])
+        again = Objectbase.open(tmp_path / "s.wal")
+        assert "T_b" in again
+
+    def test_durable_undo_survives_reopen(self, tmp_path):
+        ob = Objectbase.open(tmp_path / "s.wal")
+        ob.add_type("T_a")
+        ob.add_type("T_b", ["T_a"])
+        ob.undo()
+        assert "T_b" not in ob
+        again = Objectbase.open(tmp_path / "s.wal")
+        assert "T_b" not in again and "T_a" in again
+
+    def test_normalize_is_journaled(self, tmp_path):
+        ob = Objectbase.open(tmp_path / "s.wal")
+        ob.add_type("T_a")
+        ob.add_type("T_b", ["T_a"])
+        ob.add_type("T_c", ["T_b"])
+        ob.add_supertype("T_c", "T_a")  # redundant declaration
+        report = ob.normalize()
+        assert report.dropped_supertype_declarations == 1
+        assert any(e.operation.code == "MT-DSR" for e in ob.history())
+        again = Objectbase.open(tmp_path / "s.wal")
+        assert "T_a" not in again.card("T_c").pe
+
+    def test_checkpoint_requires_durable(self):
+        with pytest.raises(TransactionError):
+            Objectbase.in_memory().checkpoint()
+
+
+class TestNormalizeInMemory:
+    def test_normalize_preserves_derived_lattice(self, ob):
+        ob.add_supertype("T_ta", "T_person")  # redundant
+        before = ob.lattice.derived_fingerprint()
+        report = ob.normalize()
+        assert report.dropped_supertype_declarations >= 1
+        assert ob.lattice.derived_fingerprint() == before
+
+    def test_normalize_noop(self):
+        ob = Objectbase.in_memory()
+        ob.add_type("T_a")
+        report = ob.normalize()
+        assert not report.changed
+        assert [e for e in ob.history()][-1].operation.code == "AT"
+
+
+class TestErrorTaxonomy:
+    def test_every_code_is_an_evolution_error(self):
+        for code, cls in ERROR_CODES.items():
+            assert issubclass(cls, EvolutionError)
+            assert cls.code == code
+
+    def test_known_codes_present(self):
+        for code in (
+            "cycle", "root-violation", "unknown-type", "duplicate-type",
+            "frozen-type", "journal-corrupt", "plan-malformed",
+            "operation-rejected", "transaction-state",
+        ):
+            assert code in ERROR_CODES, code
+
+    def test_error_code_extraction(self, ob):
+        with pytest.raises(DuplicateTypeError) as exc:
+            ob.add_type("T_person")
+        assert error_code(exc.value) == "duplicate-type"
+        with pytest.raises(UnknownTypeError) as exc:
+            ob.drop_type("T_nope")
+        assert error_code(exc.value) == "unknown-type"
+        with pytest.raises(RootViolationError) as exc:
+            ob.drop_supertype("T_person", "T_object")
+        assert error_code(exc.value) == "root-violation"
+
+    def test_exit_codes(self):
+        assert exit_code_for(CycleError("a", "b")) == 1
+        assert exit_code_for(UnknownTypeError("x")) == 1
+        assert exit_code_for(RuntimeError("boom")) == 1  # default: rejection
+
+    def test_schema_error_family_intact(self, ob):
+        """Historic `except SchemaError` call sites keep working."""
+        with pytest.raises(SchemaError):
+            ob.add_supertype("T_person", "T_ta")
+        assert issubclass(CycleError, SchemaError)
+        assert issubclass(SchemaError, EvolutionError)
+
+    def test_as_dict(self):
+        d = CycleError("T_a", "T_b").as_dict()
+        assert d["code"] == "cycle" and "T_a" in d["message"]
+
+
+class TestDeprecationShims:
+    def test_storage_toplevel_warns_but_works(self, tmp_path):
+        import repro.storage as storage
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            cls = storage.DurableLattice
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        from repro.storage.journal import DurableLattice as canonical
+
+        assert cls is canonical
+        # ...and the engine-internal path stays silent.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            canonical(tmp_path / "s.wal")
+        assert not any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
