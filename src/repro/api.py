@@ -41,6 +41,7 @@ Design notes
 
 from __future__ import annotations
 
+import logging
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -66,9 +67,12 @@ from .core.operations import (
 from .core.properties import Property
 from .core.soundness import SoundnessReport, verify
 from .core.transactions import SchemaTransaction, TransactionError
+from .obs.tracing import trace
 from .storage.journal import DurableLattice
 
 __all__ = ["Objectbase", "TermCard"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -187,10 +191,19 @@ class Objectbase:
     # -- the eight evolution operations ---------------------------------
 
     def apply(self, operation: SchemaOperation) -> OperationResult:
-        """Apply a raw operation object (routes through an active batch)."""
-        if self._txn is not None:
-            return self._txn.apply(operation)
-        return self._journal.apply(operation)
+        """Apply a raw operation object (routes through an active batch).
+
+        Produces one ``apply`` trace span (a child of the ``batch`` span
+        when inside :meth:`batch`) carrying the operation code and the
+        counter deltas the operation caused.
+        """
+        with trace.span("apply", op=operation.code) as span:
+            if self._txn is not None:
+                result = self._txn.apply(operation)
+            else:
+                result = self._journal.apply(operation)
+            span.set_attr("changed", result.changed)
+            return result
 
     def add_type(
         self,
@@ -254,8 +267,10 @@ class Objectbase:
         txn = SchemaTransaction(self._journal, verify_on_commit=verify_on_commit)
         self._txn = txn
         try:
-            with txn:
-                yield txn
+            with trace.span("batch", verify=verify_on_commit) as span:
+                with txn:
+                    yield txn
+                span.set_attr("operations", len(txn))
         finally:
             self._txn = None
 
@@ -283,19 +298,25 @@ class Objectbase:
         Normalization preserves the derived lattice by construction, so
         the batch skips commit-time re-verification.
         """
-        ops = normalization_operations(self.lattice)
-        dropped_supers = sum(
-            1 for op in ops if isinstance(op, DropEssentialSupertype)
-        )
-        dropped_props = len(ops) - dropped_supers
-        if ops:
-            if self._txn is not None:
-                for op in ops:
-                    self._txn.apply(op)
-            else:
-                with self.batch(verify_on_commit=False) as txn:
-                    txn.apply_all(ops)
-        return NormalizationReport(dropped_supers, dropped_props)
+        with trace.span("normalize") as span:
+            ops = normalization_operations(self.lattice)
+            dropped_supers = sum(
+                1 for op in ops if isinstance(op, DropEssentialSupertype)
+            )
+            dropped_props = len(ops) - dropped_supers
+            if ops:
+                if self._txn is not None:
+                    for op in ops:
+                        self._txn.apply(op)
+                else:
+                    with self.batch(verify_on_commit=False) as txn:
+                        txn.apply_all(ops)
+            span.set_attr("operations", len(ops))
+            logger.debug(
+                "normalize dropped %d supertype and %d property "
+                "declaration(s)", dropped_supers, dropped_props,
+            )
+            return NormalizationReport(dropped_supers, dropped_props)
 
     # -- history and durability -----------------------------------------
 
@@ -309,7 +330,10 @@ class Objectbase:
         """Revert the most recent operation via its recorded inverse."""
         if self._txn is not None:
             raise TransactionError("cannot undo inside a batch")
-        return self._journal.undo()
+        with trace.span("undo") as span:
+            entry = self._journal.undo()
+            span.set_attr("op", entry.operation.code)
+            return entry
 
     def checkpoint(self) -> None:
         """Fold the WAL into a snapshot (durable objectbases only)."""

@@ -20,9 +20,20 @@ subcommand is one of the paper's operations or inspections::
     python -m repro --db schema.wal dot         # Graphviz output
     python -m repro --db schema.wal tables      # Tables 1-3
     python -m repro --db schema.wal checkpoint  # WAL -> snapshot
+    python -m repro --db schema.wal stats --plan plan.json --format prom
+    python -m repro --db schema.wal trace --plan plan.json --out trace.jsonl
 
 Opening the database replays the WAL in batch mode: one derivation pass
 per invocation, however long the journal tail is.
+
+Observability (see ``docs/observability.md``): ``stats`` dry-runs an
+evolution plan on an in-memory copy of the schema and prints the metrics
+registry (text, JSON, or Prometheus exposition format); ``trace`` runs
+the same dry-run with a JSONL span sink attached, emitting one root span
+per operation plus a final ``verify`` span and a trailing summary record
+holding the full registry.  Both leave the WAL untouched.  ``--verbose``
+(repeatable) and ``--quiet`` configure stdlib logging for every
+subcommand; library code never touches handlers itself.
 
 Exit status follows the unified error taxonomy (:mod:`repro.core.errors`):
 0 on success, 1 when the engine rejects the request or a check/lint gate
@@ -34,6 +45,7 @@ its machine-readable code), 2 when the invocation itself is unusable
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Sequence
 
@@ -45,6 +57,7 @@ from .core import (
     error_code,
     exit_code_for,
 )
+from .obs import REGISTRY, JsonlSink, configure_logging, trace as _trace
 from .viz import (
     render_lattice,
     render_table1,
@@ -65,6 +78,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--db", required=True,
         help="path to the write-ahead journal file (created when missing)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log more (-v: INFO, -vv: DEBUG); applies to every subcommand",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="log only errors (overrides --verbose)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -146,11 +167,72 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("tables", help="regenerate the paper's Tables 1-3")
     sub.add_parser("checkpoint", help="fold the WAL into a snapshot")
+
+    p = sub.add_parser(
+        "stats",
+        help="observability: dry-run a plan on an in-memory copy and "
+             "print the metrics registry (never mutates the WAL)",
+    )
+    p.add_argument(
+        "--plan", metavar="FILE",
+        help="evolution plan to execute (JSON / JSONL / a WAL journal); "
+             "without it, the registry reflects opening the database",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json", "prom"), default="text",
+        help="output format (prom = Prometheus text exposition)",
+    )
+
+    p = sub.add_parser(
+        "trace",
+        help="observability: dry-run a plan with a JSONL span sink "
+             "attached; spans carry per-operation metric deltas",
+    )
+    p.add_argument(
+        "--plan", metavar="FILE", required=True,
+        help="evolution plan to execute (JSON / JSONL / a WAL journal)",
+    )
+    p.add_argument(
+        "--out", metavar="FILE", default="-",
+        help="where to write the JSONL spans (default: stdout)",
+    )
     return parser
+
+
+def _run_plan_observed(ob: Objectbase, plan) -> tuple[Objectbase, int, int]:
+    """Execute ``plan`` on an in-memory copy of ``ob``'s schema.
+
+    The shared engine of ``stats`` and ``trace``: prime the copy's
+    derivation cache (so the run itself exercises the incremental path),
+    zero the registry, apply every operation through the facade (one
+    ``apply`` span each), and close with an axiom check inside a
+    ``verify`` span.  Every metric increment therefore lands inside some
+    root span, which is what makes the trace's aggregated deltas equal
+    the registry totals.  Rejected operations are counted and skipped —
+    observing a doomed plan is precisely the point.
+
+    Returns ``(dry_ob, rejected, violations)``.
+    """
+    dry = Objectbase(ob.lattice.copy())
+    dry.lattice.derivation  # prime outside the measured window
+    REGISTRY.reset()
+    rejected = 0
+    for op in plan:
+        try:
+            dry.apply(op)
+        except EvolutionError as exc:
+            rejected += 1
+            logging.getLogger(__name__).info(
+                "plan operation rejected [%s]: %s", error_code(exc), exc
+            )
+    with _trace.span("verify"):
+        violations = len(dry.check())
+    return dry, rejected, violations
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
     try:
         ob = Objectbase.open(args.db)
     except EvolutionError as exc:
@@ -269,6 +351,55 @@ def main(argv: Sequence[str] | None = None) -> int:
         elif args.command == "checkpoint":
             ob.checkpoint()
             print(f"checkpointed {len(lattice)} types; WAL truncated")
+        elif args.command == "stats":
+            if args.plan:
+                from .staticcheck import load_plan
+
+                plan = load_plan(args.plan)
+                _, rejected, violations = _run_plan_observed(ob, plan)
+                if rejected:
+                    print(
+                        f"note: {rejected} operation(s) rejected "
+                        f"(counted in repro_rejections_total)",
+                        file=sys.stderr,
+                    )
+                if violations:
+                    print(
+                        f"note: final state has {violations} axiom "
+                        f"violation(s)", file=sys.stderr,
+                    )
+            if args.format == "json":
+                print(REGISTRY.render_json())
+            elif args.format == "prom":
+                print(REGISTRY.render_prometheus(), end="")
+            else:
+                print(REGISTRY.render_text())
+        elif args.command == "trace":
+            from .staticcheck import load_plan
+
+            plan = load_plan(args.plan)
+            to_stdout = args.out == "-"
+            sink = JsonlSink(sys.stdout if to_stdout else args.out)
+            previous_sink = _trace.set_sink(sink)
+            try:
+                _, rejected, violations = _run_plan_observed(ob, plan)
+                sink.emit({
+                    "type": "summary",
+                    "plan": plan.name,
+                    "operations": len(plan),
+                    "rejected": rejected,
+                    "axiom_violations": violations,
+                    "metrics": REGISTRY.collect(),
+                })
+            finally:
+                _trace.set_sink(previous_sink)
+                sink.close()  # flush; only closes files the sink opened
+            print(
+                f"traced {len(plan)} operation(s): {sink.emitted} "
+                f"record(s)"
+                + ("" if to_stdout else f" -> {args.out}"),
+                file=sys.stderr if to_stdout else sys.stdout,
+            )
     except EvolutionError as exc:
         print(f"rejected [{error_code(exc)}]: {exc}", file=sys.stderr)
         return exit_code_for(exc)

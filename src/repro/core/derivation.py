@@ -35,9 +35,19 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from ..obs.metrics import REGISTRY
 from .applyall import union_apply_all
 from .errors import CycleError
 from .properties import Property
+
+_FAST_PATH = REGISTRY.counter(
+    "repro_delta_fast_path_total",
+    "Cone members served by the delta fast path (hit) vs fully "
+    "recomputed (recompute) during incremental derivation",
+    ("result",),
+)
+_FAST_PATH_HIT = _FAST_PATH.labels(result="hit")
+_FAST_PATH_RECOMPUTE = _FAST_PATH.labels(result="recompute")
 
 __all__ = [
     "Derivation",
@@ -319,6 +329,8 @@ def derive_incremental(
     pl_changed: set[str] = set()
     i_changed: set[str] = set()
     pass_changed: set[str] = set()
+    full_recomputes = 0
+    fast_hits = 0
     for t in local_order:
         has_prev = t in previous.p
         full = (
@@ -332,6 +344,7 @@ def derive_incremental(
             touched = [x for x in pass_changed if x in pe_t_raw]
             full = any(x in pl_changed for x in touched)
         if full:
+            full_recomputes += 1
             p[t], pl[t], n[t], h[t], i[t] = _derive_one(t, pe, ne, pl, i)
             if not has_prev or pl[t] != previous.pl[t]:
                 pl_changed.add(t)
@@ -348,6 +361,7 @@ def derive_incremental(
         # contributions of the supertypes that changed this pass.  This
         # keeps high-fan-in sinks (the base type lists every type in its
         # Pe) out of the O(|Pe|) recomputation on behavioural changes.
+        fast_hits += 1
         p_t = previous.p[t]
         contributors = [x for x in touched if x in p_t]
         if not contributors:
@@ -372,6 +386,14 @@ def derive_incremental(
         if i[t] != previous.i[t]:
             i_changed.add(t)
             pass_changed.add(t)
+
+    if _FAST_PATH.enabled:
+        # Inlined Counter.inc bodies: this flush runs once per incremental
+        # pass, on the engine's hottest path.
+        if fast_hits:
+            _FAST_PATH_HIT._value += fast_hits
+        if full_recomputes:
+            _FAST_PATH_RECOMPUTE._value += full_recomputes
 
     # Splice the order: surviving unaffected types keep their previous
     # relative order (their edges did not change), then the cone in local

@@ -16,12 +16,15 @@ schema change.  :class:`EvolutionJournal` wraps a
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Iterable
 
+from ..obs.metrics import REGISTRY
 from .axioms import assert_all
 from .config import LatticePolicy
-from .errors import JournalError
+from .errors import EvolutionError, JournalError, error_code
 from .lattice import TypeLattice
 from .operations import (
     OperationResult,
@@ -30,6 +33,28 @@ from .operations import (
 )
 
 __all__ = ["JournalEntry", "EvolutionJournal"]
+
+logger = logging.getLogger(__name__)
+
+_OPS_APPLIED = REGISTRY.counter(
+    "repro_ops_applied_total",
+    "Schema-evolution operations applied, by paper operation code",
+    ("op",),
+)
+_OP_SECONDS = REGISTRY.histogram(
+    "repro_op_latency_seconds",
+    "Latency of one applied operation (designer-term mutation only; "
+    "derivation is lazy and accounted separately)",
+    ("op",),
+)
+_REJECTIONS = REGISTRY.counter(
+    "repro_rejections_total",
+    "Operations the engine rejected, by operation and error code",
+    ("op", "code"),
+)
+_UNDOS = REGISTRY.counter(
+    "repro_undos_total", "Operations reverted through recorded inverses"
+)
 
 
 @dataclass
@@ -109,9 +134,23 @@ class EvolutionJournal:
 
     def apply(self, operation: SchemaOperation) -> OperationResult:
         """Apply one operation, record it, and clear the redo stack."""
-        result = operation.apply(self._lattice)
-        if self._verify:
-            assert_all(self._lattice)
+        started = perf_counter()
+        try:
+            result = operation.apply(self._lattice)
+            if self._verify:
+                assert_all(self._lattice)
+        except EvolutionError as exc:
+            _REJECTIONS.labels(op=operation.code, code=error_code(exc)).inc()
+            logger.info(
+                "rejected %s [%s]: %s",
+                operation.describe(), error_code(exc), exc,
+            )
+            raise
+        _OPS_APPLIED.labels(op=operation.code).inc()
+        _OP_SECONDS.labels(op=operation.code).observe(
+            perf_counter() - started
+        )
+        logger.debug("applied %s", operation.describe())
         entry = JournalEntry(
             seq=len(self._entries),
             operation=operation,
@@ -145,6 +184,8 @@ class EvolutionJournal:
         if self._verify:
             assert_all(self._lattice)
         self._redo_stack.append(entry.operation)
+        _UNDOS.inc()
+        logger.debug("undid %s", entry.operation.describe())
         return entry
 
     def redo(self) -> OperationResult:

@@ -29,8 +29,12 @@ changes to frozen (primitive) types.
 
 from __future__ import annotations
 
+import logging
+from bisect import bisect_left
+from time import perf_counter
 from typing import Iterable, Iterator
 
+from ..obs.metrics import REGISTRY, SIZE_BUCKETS
 from .config import EssentialityDefault, LatticePolicy
 from .derivation import Derivation, derive, derive_incremental
 from .errors import (
@@ -44,6 +48,41 @@ from .errors import (
 from .properties import Property, PropertyUniverse
 
 __all__ = ["TypeLattice", "build_figure1_lattice"]
+
+logger = logging.getLogger(__name__)
+
+_DERIVATIONS = REGISTRY.counter(
+    "repro_derivations_total",
+    "Derivation passes by mode (full re-derivation vs incremental cone)",
+    ("mode",),
+)
+_FULL_PASSES = _DERIVATIONS.labels(mode="full")
+_INCREMENTAL_PASSES = _DERIVATIONS.labels(mode="incremental")
+_DERIVATION_SECONDS = REGISTRY.histogram(
+    "repro_derivation_seconds",
+    "Wall time of one derivation pass",
+    ("mode",),
+)
+_FULL_SECONDS = _DERIVATION_SECONDS.labels(mode="full")
+_INCREMENTAL_SECONDS = _DERIVATION_SECONDS.labels(mode="incremental")
+_CONE_TYPES = REGISTRY.counter(
+    "repro_derivation_cone_types_total",
+    "Types recomputed across all derivation passes",
+)
+_CONE_SIZE = REGISTRY.histogram(
+    "repro_derivation_cone_size_types",
+    "Dirty-cone size (types recomputed) per derivation pass",
+    buckets=SIZE_BUCKETS,
+)
+_SCHEMA_TYPES = REGISTRY.gauge(
+    "repro_schema_types",
+    "Types in the most recently derived lattice",
+)
+# Raw sample handles for the incremental branch's inlined updates (the
+# unlabeled families above proxy through a default child per call).
+_CONE_TYPES_SAMPLE = _CONE_TYPES._require_default()
+_CONE_SIZE_SAMPLE = _CONE_SIZE._require_default()
+_SCHEMA_TYPES_SAMPLE = _SCHEMA_TYPES._require_default()
 
 
 class TypeLattice:
@@ -156,19 +195,52 @@ class TypeLattice:
         """
         if self._derivation is None or self._full_recompute:
             self._resync_subs()
+            obs = _FULL_PASSES.enabled
+            started = perf_counter() if obs else 0.0
             self._derivation = derive(self._pe, self._ne)
             self.stats["full_derivations"] += 1
             self.stats["types_recomputed"] += len(self._pe)
             self._full_recompute = False
             self._dirty.clear()
+            if obs:
+                _FULL_SECONDS.observe(perf_counter() - started)
+                _FULL_PASSES.inc()
+                _CONE_TYPES.inc(len(self._pe))
+                _CONE_SIZE.observe(len(self._pe))
+                _SCHEMA_TYPES.set(len(self._pe))
+                logger.debug(
+                    "full derivation pass over %d types", len(self._pe)
+                )
         elif self._dirty:
+            obs = _INCREMENTAL_PASSES.enabled
+            started = perf_counter() if obs else 0.0
             self._derivation = derive_incremental(
                 self._derivation, self._pe, self._ne, self._dirty,
                 inverse=self._subs,
             )
             self.stats["incremental_derivations"] += 1
-            self.stats["types_recomputed"] += len(self._derivation.recomputed)
+            cone = len(self._derivation.recomputed)
+            self.stats["types_recomputed"] += cone
             self._dirty.clear()
+            if obs:
+                # Hot path: inlined sample updates (the Histogram.observe /
+                # Counter.inc bodies, minus the call overhead — six method
+                # calls here are measurable against a two-type cone) and no
+                # per-pass logging.  ``obs`` already carries the enabled
+                # check; reset() zeroes samples in place so these handles
+                # stay valid.
+                elapsed = perf_counter() - started
+                _INCREMENTAL_SECONDS._counts[
+                    bisect_left(_INCREMENTAL_SECONDS.bounds, elapsed)
+                ] += 1
+                _INCREMENTAL_SECONDS._sum += elapsed
+                _INCREMENTAL_PASSES._value += 1
+                _CONE_TYPES_SAMPLE._value += cone
+                _CONE_SIZE_SAMPLE._counts[
+                    bisect_left(_CONE_SIZE_SAMPLE.bounds, cone)
+                ] += 1
+                _CONE_SIZE_SAMPLE._sum += cone
+                _SCHEMA_TYPES_SAMPLE._value = len(self._pe)
         return self._derivation
 
     def p(self, name: str) -> frozenset[str]:

@@ -24,10 +24,12 @@ Use it as a context manager::
 
 from __future__ import annotations
 
+import logging
 from typing import TYPE_CHECKING
 
 from typing import ClassVar, Iterable
 
+from ..obs.metrics import REGISTRY, SIZE_BUCKETS
 from .axioms import check_all
 from .errors import AxiomViolationError, SchemaError, register_error
 from .history import EvolutionJournal
@@ -37,6 +39,25 @@ if TYPE_CHECKING:  # pragma: no cover
     from .lattice import TypeLattice
 
 __all__ = ["TransactionError", "SchemaTransaction"]
+
+logger = logging.getLogger(__name__)
+
+_TXN_COMMITS = REGISTRY.counter(
+    "repro_txn_commits_total", "Committed schema transactions"
+)
+_TXN_ROLLBACKS = REGISTRY.counter(
+    "repro_txn_rollbacks_total", "Rolled-back schema transactions"
+)
+_TXN_OPS = REGISTRY.histogram(
+    "repro_txn_operations",
+    "Operations per committed transaction (the coalescing batch size)",
+    buckets=SIZE_BUCKETS,
+)
+_REJECTIONS = REGISTRY.counter(
+    "repro_rejections_total",
+    "Operations the engine rejected, by operation and error code",
+    ("op", "code"),
+)
 
 
 @register_error
@@ -114,8 +135,19 @@ class SchemaTransaction:
             violations = check_all(self.lattice)
             if violations:
                 self.rollback()
+                _REJECTIONS.labels(
+                    op="commit", code=AxiomViolationError.code
+                ).inc()
+                logger.info(
+                    "commit rejected: %d axiom violation(s)", len(violations)
+                )
                 raise AxiomViolationError(violations)
         self._state = "committed"
+        _TXN_COMMITS.inc()
+        _TXN_OPS.observe(len(self._applied))
+        logger.debug(
+            "committed transaction of %d operation(s)", len(self._applied)
+        )
 
     def rollback(self) -> None:
         """Undo everything applied inside this transaction."""
@@ -126,6 +158,10 @@ class SchemaTransaction:
         while len(self._journal) > self._journal_len_before:
             self._journal.undo()
         self._state = "rolled-back"
+        _TXN_ROLLBACKS.inc()
+        logger.info(
+            "rolled back transaction of %d operation(s)", len(self._applied)
+        )
         after = self.lattice.state_fingerprint()
         if after != self._before_fingerprint:  # pragma: no cover - guard
             raise TransactionError(

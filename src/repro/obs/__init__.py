@@ -1,0 +1,103 @@
+"""Observability for the derivation engine: metrics, tracing, logging.
+
+Three zero-dependency layers (see ``docs/observability.md``):
+
+* :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges, and fixed-bucket histograms, exportable as JSON and
+  Prometheus text.  The core engine, storage, and static analyzer are
+  instrumented against :data:`~repro.obs.metrics.REGISTRY`.
+* :mod:`repro.obs.tracing` — hierarchical spans
+  (``with trace.span("apply", op=...)``) carrying wall-time and the
+  counter deltas observed inside each span, emitted as JSONL through a
+  pluggable sink.  No sink installed (the default) means near-zero
+  cost.
+* :func:`configure_logging` — the one place handlers/levels are set.
+  Library modules only ever call ``logging.getLogger(__name__)``; the
+  CLI's ``--verbose``/``--quiet`` flags route here.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    REGISTRY,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    get_registry,
+    sample_name,
+)
+from .tracing import (
+    SPAN_SCHEMA_KEYS,
+    JsonlSink,
+    ListSink,
+    NullSpan,
+    Span,
+    Tracer,
+    trace,
+)
+
+__all__ = [
+    "REGISTRY",
+    "get_registry",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "sample_name",
+    "trace",
+    "Tracer",
+    "Span",
+    "NullSpan",
+    "JsonlSink",
+    "ListSink",
+    "SPAN_SCHEMA_KEYS",
+    "configure_logging",
+]
+
+#: Marker attribute identifying handlers installed by configure_logging,
+#: so repeat calls replace rather than stack them.
+_HANDLER_MARK = "_repro_obs_handler"
+
+
+def configure_logging(
+    verbose: int = 0, quiet: bool = False, stream=None
+) -> int:
+    """Configure the ``repro`` logger tree for an application run.
+
+    ``verbose`` counts ``-v`` flags (0 → WARNING, 1 → INFO, ≥2 →
+    DEBUG); ``quiet`` wins and raises the bar to ERROR.  Idempotent:
+    calling again replaces the previously installed handler instead of
+    stacking duplicates.  Returns the effective level.
+
+    This is the *only* place in the package that touches handlers —
+    library modules follow the stdlib convention of
+    ``logging.getLogger(__name__)`` plus silence by default.
+    """
+    if quiet:
+        level = logging.ERROR
+    else:
+        level = (logging.WARNING, logging.INFO, logging.DEBUG)[
+            min(verbose, 2)
+        ]
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _HANDLER_MARK, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return level

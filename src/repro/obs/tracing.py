@@ -1,0 +1,234 @@
+"""Structured tracing: hierarchical spans with per-span metric deltas.
+
+A *span* brackets one engine activity (``apply``, ``batch``,
+``normalize``, ``undo``, ``verify``) with wall-clock timing and the
+counter deltas the activity produced::
+
+    from repro.obs import trace
+
+    with trace.span("apply", op="MT-ASR"):
+        journal.apply(operation)
+
+Spans nest: a facade ``apply`` inside a ``batch`` block becomes a child
+of the batch span.  Each finished span is emitted to the installed
+*sink* as one JSON-friendly dict (see :data:`SPAN_SCHEMA_KEYS`); a
+parent's metric deltas include its children's, so summing the deltas of
+**root** spans (``parent_id is None``) reproduces the registry totals
+for the traced window — the invariant ``repro trace`` / ``repro stats``
+are tested against.
+
+When no sink is installed (the default), :meth:`Tracer.span` yields a
+shared no-op span and does **no other work** — no id allocation, no
+counter snapshot, no timestamps — so always-on instrumentation in the
+facade costs nothing on untraced runs.
+
+Sinks are pluggable: anything with ``emit(record: dict)`` works.
+:class:`JsonlSink` appends JSON lines to a path or file object;
+:class:`ListSink` collects records in memory (tests, aggregation).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+from .metrics import REGISTRY, MetricsRegistry
+
+__all__ = [
+    "Span",
+    "NullSpan",
+    "Tracer",
+    "JsonlSink",
+    "ListSink",
+    "trace",
+    "SPAN_SCHEMA_KEYS",
+]
+
+#: Keys every emitted span record carries (the JSONL span schema,
+#: validated by the obs-smoke CI job and ``docs/observability.md``).
+SPAN_SCHEMA_KEYS = frozenset(
+    {
+        "type", "trace_id", "span_id", "parent_id", "name",
+        "start_unix", "duration_ms", "status", "attrs", "metrics",
+    }
+)
+
+
+class Span:
+    """One live span; becomes an emitted record when it finishes."""
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "attrs",
+        "status", "_start_unix", "_start_perf", "_counters_before",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+        attrs: dict,
+        counters_before: dict[str, int | float],
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.status = "ok"
+        self._start_unix = time.time()
+        self._start_perf = time.perf_counter()
+        self._counters_before = counters_before
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach one JSON-serializable attribute to the span."""
+        self.attrs[key] = value
+
+    def _finish(self, registry: MetricsRegistry) -> dict:
+        duration = time.perf_counter() - self._start_perf
+        after = registry.counter_samples()
+        before = self._counters_before
+        deltas = {
+            key: value - before.get(key, 0)
+            for key, value in after.items()
+            if value != before.get(key, 0)
+        }
+        return {
+            "type": "span",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_unix": self._start_unix,
+            "duration_ms": duration * 1e3,
+            "status": self.status,
+            "attrs": self.attrs,
+            "metrics": deltas,
+        }
+
+
+class NullSpan:
+    """The shared do-nothing span yielded when no sink is installed."""
+
+    __slots__ = ()
+
+    def set_attr(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Span factory bound to a metrics registry and an optional sink."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self._registry = registry if registry is not None else REGISTRY
+        self._sink = None
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._next_trace = 1
+
+    @property
+    def sink(self):
+        return self._sink
+
+    def set_sink(self, sink):
+        """Install ``sink`` (or ``None`` to disable); returns the old one."""
+        old, self._sink = self._sink, sink
+        return old
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost live span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span | NullSpan]:
+        """Bracket an activity; emits one record when the block exits.
+
+        The record is emitted even when the block raises (with
+        ``status="error"`` and the exception's evolution-error code in
+        ``attrs["error"]``), and the exception propagates.
+        """
+        if self._sink is None:
+            yield _NULL_SPAN
+            return
+        parent = self._stack[-1] if self._stack else None
+        if parent is None:
+            trace_id = self._next_trace
+            self._next_trace += 1
+        else:
+            trace_id = parent.trace_id
+        span = Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=dict(attrs),
+            counters_before=self._registry.counter_samples(),
+        )
+        self._next_id += 1
+        self._stack.append(span)
+        try:
+            yield span
+        except BaseException as exc:
+            span.status = "error"
+            span.attrs.setdefault(
+                "error", getattr(exc, "code", type(exc).__name__)
+            )
+            raise
+        finally:
+            self._stack.pop()
+            sink = self._sink
+            if sink is not None:
+                sink.emit(span._finish(self._registry))
+
+
+class JsonlSink:
+    """Append span records as JSON lines to a path or file object."""
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self._fh: IO[str] = Path(target).open("w")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.emitted = 0
+
+    def emit(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ListSink:
+    """Collect span records in memory (tests, in-process aggregation)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def roots(self) -> list[dict]:
+        return [r for r in self.records if r.get("parent_id") is None]
+
+
+#: The process-wide tracer the facade and the CLI share.
+trace = Tracer()

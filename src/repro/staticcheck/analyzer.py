@@ -16,9 +16,12 @@ the tests share.  Given a lattice (the current schema) and optionally an
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Iterable
 
+from ..obs.metrics import REGISTRY as _METRICS
 from .registry import (
     REGISTRY,
     Diagnostic,
@@ -34,6 +37,24 @@ if TYPE_CHECKING:  # pragma: no cover
     from .plan import EvolutionPlan
 
 __all__ = ["AnalysisContext", "AnalysisReport", "analyze", "analyze_schema"]
+
+logger = logging.getLogger(__name__)
+
+_ANALYZE_RUNS = _METRICS.counter(
+    "repro_staticcheck_runs_total", "Static-analyzer invocations"
+)
+_PLANS_SCANNED = _METRICS.counter(
+    "repro_staticcheck_plans_total",
+    "Evolution plans symbolically dry-run by the analyzer",
+)
+_RULES_FIRED = _METRICS.counter(
+    "repro_staticcheck_rules_fired_total",
+    "Diagnostics produced, by rule id",
+    ("rule",),
+)
+_ANALYZE_SECONDS = _METRICS.histogram(
+    "repro_staticcheck_seconds", "Wall time of one analyzer run"
+)
 
 
 @dataclass
@@ -134,6 +155,7 @@ def analyze(
     """
     registry = registry if registry is not None else REGISTRY
     active = registry.select(select, ignore)
+    started = perf_counter()
     trace = symbolic_run(lattice, plan) if plan is not None else None
     ctx = AnalysisContext(lattice=lattice, plan=plan, trace=trace)
 
@@ -142,6 +164,17 @@ def analyze(
     )
     diagnostics += _run_rules(
         (r for r in active if r.scope == "schema"), ctx
+    )
+    _ANALYZE_RUNS.inc()
+    if plan is not None:
+        _PLANS_SCANNED.inc()
+    for d in diagnostics:
+        _RULES_FIRED.labels(rule=d.rule_id).inc()
+    _ANALYZE_SECONDS.observe(perf_counter() - started)
+    logger.info(
+        "analyzed %s with %d rule(s): %d finding(s)",
+        f"plan {plan.name!r}" if plan is not None else "schema",
+        len(active), len(diagnostics),
     )
     return AnalysisReport(
         diagnostics=tuple(sorted(diagnostics, key=_sort_key)),

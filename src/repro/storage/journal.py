@@ -14,16 +14,43 @@ checkpoint).
 from __future__ import annotations
 
 import json
+import logging
 from pathlib import Path
+from time import perf_counter
 
 from ..core.config import LatticePolicy
 from ..core.errors import JournalError
 from ..core.history import EvolutionJournal
 from ..core.lattice import TypeLattice
 from ..core.operations import SchemaOperation, operation_from_dict
+from ..obs.metrics import REGISTRY, SIZE_BUCKETS
 from .snapshot import lattice_from_dict, lattice_to_dict
 
 __all__ = ["JournalFile", "DurableLattice"]
+
+logger = logging.getLogger(__name__)
+
+_WAL_APPENDS = REGISTRY.counter(
+    "repro_wal_appends_total", "Operation records appended to the WAL"
+)
+_WAL_APPEND_SECONDS = REGISTRY.histogram(
+    "repro_wal_append_seconds", "Latency of one WAL append"
+)
+_WAL_REPLAY_OPS = REGISTRY.counter(
+    "repro_wal_replayed_ops_total", "Operations replayed from WAL tails"
+)
+_WAL_REPLAY_SECONDS = REGISTRY.histogram(
+    "repro_wal_replay_seconds",
+    "Wall time to replay one WAL tail through the in-memory journal",
+)
+_WAL_COALESCED = REGISTRY.histogram(
+    "repro_wal_replay_coalesced_ops",
+    "Operations coalesced into one derivation pass per replayed tail",
+    buckets=SIZE_BUCKETS,
+)
+_WAL_CHECKPOINTS = REGISTRY.counter(
+    "repro_wal_checkpoints_total", "WAL-to-snapshot checkpoint folds"
+)
 
 
 class JournalFile:
@@ -38,8 +65,11 @@ class JournalFile:
     def append(self, operation: SchemaOperation) -> None:
         """Append one operation record (fsync-free; tests exercise crash
         semantics at record granularity)."""
+        started = perf_counter()
         with self.path.open("a") as fh:
             fh.write(json.dumps(operation.to_dict(), sort_keys=True) + "\n")
+        _WAL_APPENDS.inc()
+        _WAL_APPEND_SECONDS.observe(perf_counter() - started)
 
     def operations(self) -> list[SchemaOperation]:
         """All logged operations, in order.  Torn trailing writes (a
@@ -68,6 +98,11 @@ class JournalFile:
             json.dumps(lattice_to_dict(lattice), sort_keys=True)
         )
         self.path.write_text("")
+        _WAL_CHECKPOINTS.inc()
+        logger.info(
+            "checkpointed %d types to %s; WAL truncated",
+            len(lattice), self.checkpoint_path,
+        )
 
     def recover(
         self, policy: LatticePolicy | None = None
@@ -128,8 +163,19 @@ class DurableLattice:
         else:
             base = TypeLattice(policy)
         self.journal = EvolutionJournal(lattice=base)
+        started = perf_counter()
+        replayed = 0
         for op in self.file.operations():
             self.journal.apply(op)
+            replayed += 1
+        if replayed:
+            _WAL_REPLAY_OPS.inc(replayed)
+            _WAL_COALESCED.observe(replayed)
+            _WAL_REPLAY_SECONDS.observe(perf_counter() - started)
+            logger.info(
+                "replayed %d WAL operation(s) from %s (coalesced into one "
+                "deferred derivation pass)", replayed, self.file.path,
+            )
 
     @property
     def lattice(self) -> TypeLattice:

@@ -1,0 +1,23 @@
+"""Obs-suite fixtures: keep the process-wide registry/tracer pristine.
+
+The instrumented modules bind handles against the global
+:data:`repro.obs.metrics.REGISTRY` and the global tracer, so these tests
+reset (never replace) them around every test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import REGISTRY, trace
+
+
+@pytest.fixture(autouse=True)
+def clean_registry_and_tracer():
+    REGISTRY.set_enabled(True)
+    REGISTRY.reset()
+    previous_sink = trace.set_sink(None)
+    yield
+    trace.set_sink(previous_sink)
+    REGISTRY.set_enabled(True)
+    REGISTRY.reset()

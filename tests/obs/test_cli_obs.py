@@ -1,0 +1,182 @@
+"""CLI observability: ``repro stats`` / ``repro trace`` and facade spans.
+
+Includes the acceptance invariant: the aggregated per-root-span metric
+deltas of ``repro trace`` equal the counter totals ``repro stats``
+prints for the same plan (both run the shared dry-run engine after a
+registry reset, so the two independent runs must agree exactly).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Objectbase
+from repro.cli import main
+from repro.obs import ListSink, SPAN_SCHEMA_KEYS, trace
+
+PLANS = Path(__file__).resolve().parents[2] / "examples" / "plans"
+
+
+def flat_counters(collected: dict) -> dict[str, float]:
+    """``{sample_name: value}`` for non-zero counters of a collect() dump."""
+    from repro.obs.metrics import sample_name
+
+    out: dict[str, float] = {}
+    for name, family in collected.items():
+        if family["type"] != "counter":
+            continue
+        for sample in family["values"]:
+            if sample["value"]:
+                out[sample_name(name, sample["labels"])] = sample["value"]
+    return out
+
+
+class TestStats:
+    def test_stats_without_plan(self, tmp_path, capsys):
+        db = str(tmp_path / "s.wal")
+        assert main(["--db", db, "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_derivations_total" in out
+
+    def test_stats_json_counts_plan_ops(self, tmp_path, capsys):
+        db = str(tmp_path / "s.wal")
+        plan = str(PLANS / "university_migration.json")
+        assert main(["--db", db, "stats", "--plan", plan,
+                     "--format", "json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        counters = flat_counters(data)
+        applied = sum(
+            v for k, v in counters.items()
+            if k.startswith("repro_ops_applied_total")
+        )
+        assert applied > 0
+        # the dry run is primed: everything rides the incremental path
+        assert 'repro_derivations_total{mode="full"}' not in counters
+
+    def test_stats_prometheus_format(self, tmp_path, capsys):
+        db = str(tmp_path / "s.wal")
+        plan = str(PLANS / "university_migration.json")
+        assert main(["--db", db, "stats", "--plan", plan,
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_derivations_total counter" in out
+        assert "repro_derivation_seconds_bucket" in out
+
+    def test_stats_notes_rejections(self, tmp_path, capsys):
+        db = str(tmp_path / "s.wal")
+        plan = str(PLANS / "doomed_cycle.json")
+        assert main(["--db", db, "stats", "--plan", plan]) == 0
+        captured = capsys.readouterr()
+        assert "rejected" in captured.err
+        assert "repro_rejections_total" in captured.out
+
+
+class TestTrace:
+    def run_trace(self, tmp_path, plan_name: str, capsys) -> list[dict]:
+        db = str(tmp_path / "t.wal")
+        out = tmp_path / "trace.jsonl"
+        plan = str(PLANS / plan_name)
+        assert main(["--db", db, "trace", "--plan", plan,
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        return [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+
+    def test_spans_are_schema_valid(self, tmp_path, capsys):
+        records = self.run_trace(tmp_path, "university_migration.json", capsys)
+        spans = [r for r in records if r["type"] == "span"]
+        assert spans, "trace produced no spans"
+        for record in spans:
+            assert set(record) == SPAN_SCHEMA_KEYS
+        # one root apply span per plan operation, plus the verify span
+        roots = [r for r in spans if r["parent_id"] is None]
+        assert [r["name"] for r in roots].count("verify") == 1
+        plan_doc = json.loads((PLANS / "university_migration.json").read_text())
+        assert len(roots) == len(plan_doc["operations"]) + 1
+
+    def test_summary_record_trails(self, tmp_path, capsys):
+        records = self.run_trace(tmp_path, "university_migration.json", capsys)
+        summary = records[-1]
+        assert summary["type"] == "summary"
+        assert summary["plan"] == "university-migration"
+        assert summary["rejected"] == 0
+        assert summary["axiom_violations"] == 0
+        assert "repro_derivations_total" in summary["metrics"]
+
+    def test_rejected_op_becomes_error_span(self, tmp_path, capsys):
+        records = self.run_trace(tmp_path, "doomed_cycle.json", capsys)
+        errors = [
+            r for r in records
+            if r["type"] == "span" and r["status"] == "error"
+        ]
+        assert len(errors) == 1
+        assert errors[0]["attrs"]["error"] == "cycle"
+        assert records[-1]["rejected"] == 1
+
+    def test_trace_to_stdout(self, tmp_path, capsys):
+        db = str(tmp_path / "t.wal")
+        plan = str(PLANS / "doomed_cycle.json")
+        assert main(["--db", db, "trace", "--plan", plan]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert all(json.loads(line) for line in lines)
+        assert "traced" in captured.err
+
+    @pytest.mark.parametrize(
+        "plan_name",
+        ["university_migration.json", "doomed_cycle.json",
+         "order_hazard.json"],
+    )
+    def test_trace_aggregation_equals_stats(
+        self, tmp_path, capsys, plan_name
+    ):
+        """Acceptance: summed root-span deltas == stats counter totals."""
+        records = self.run_trace(tmp_path, plan_name, capsys)
+        aggregated: dict[str, float] = {}
+        for r in records:
+            if r["type"] == "span" and r["parent_id"] is None:
+                for key, delta in r["metrics"].items():
+                    aggregated[key] = aggregated.get(key, 0) + delta
+
+        db = str(tmp_path / "s.wal")
+        assert main(["--db", db, "stats", "--plan", str(PLANS / plan_name),
+                     "--format", "json"]) == 0
+        stats = flat_counters(json.loads(capsys.readouterr().out))
+        assert aggregated == stats
+
+
+class TestFacadeSpans:
+    def test_apply_batch_normalize_undo_spans(self):
+        sink = ListSink()
+        trace.set_sink(sink)
+        try:
+            ob = Objectbase.in_memory()
+            ob.add_type("T_a", properties=["a.p"])
+            with ob.batch():
+                ob.add_type("T_b", supertypes=["T_a"])
+                # T_a is redundant next to T_b: normalize can drop it
+                ob.add_type("T_c", supertypes=["T_a", "T_b"])
+            ob.add_property("T_c", "c.p")
+            ob.undo()
+            ob.normalize()
+        finally:
+            trace.set_sink(None)
+        names = [r["name"] for r in sink.records]
+        assert names.count("apply") >= 3
+        assert "batch" in names and "undo" in names and "normalize" in names
+        batch = next(r for r in sink.records if r["name"] == "batch")
+        children = [
+            r for r in sink.records if r["parent_id"] == batch["span_id"]
+        ]
+        assert children and all(r["name"] == "apply" for r in children)
+        assert batch["attrs"]["operations"] == 2
+
+    def test_no_sink_costs_no_records(self):
+        ob = Objectbase.in_memory()
+        ob.add_type("T_a")
+        assert trace.sink is None
+        assert trace.active is None

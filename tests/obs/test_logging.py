@@ -1,0 +1,89 @@
+"""configure_logging: levels, idempotence, and library silence."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import configure_logging
+
+REPRO_LOGGER = logging.getLogger("repro")
+
+
+@pytest.fixture(autouse=True)
+def restore_repro_logger():
+    handlers = list(REPRO_LOGGER.handlers)
+    level = REPRO_LOGGER.level
+    propagate = REPRO_LOGGER.propagate
+    yield
+    REPRO_LOGGER.handlers[:] = handlers
+    REPRO_LOGGER.setLevel(level)
+    REPRO_LOGGER.propagate = propagate
+
+
+def marked_handlers():
+    return [
+        h for h in REPRO_LOGGER.handlers
+        if getattr(h, "_repro_obs_handler", False)
+    ]
+
+
+class TestLevels:
+    def test_default_is_warning(self):
+        assert configure_logging() == logging.WARNING
+
+    def test_verbose_steps(self):
+        assert configure_logging(verbose=1) == logging.INFO
+        assert configure_logging(verbose=2) == logging.DEBUG
+        assert configure_logging(verbose=9) == logging.DEBUG
+
+    def test_quiet_wins(self):
+        assert configure_logging(verbose=2, quiet=True) == logging.ERROR
+
+
+class TestHandlers:
+    def test_idempotent_reconfiguration(self):
+        configure_logging(verbose=1)
+        configure_logging(verbose=2)
+        configure_logging()
+        assert len(marked_handlers()) == 1
+
+    def test_output_format_and_filtering(self):
+        stream = io.StringIO()
+        configure_logging(verbose=1, stream=stream)
+        log = logging.getLogger("repro.core.history")
+        log.info("applied %s", "AT(T_a)")
+        log.debug("invisible at INFO")
+        out = stream.getvalue()
+        assert "INFO repro.core.history: applied AT(T_a)" in out
+        assert "invisible" not in out
+
+    def test_does_not_propagate_to_root(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        assert REPRO_LOGGER.propagate is False
+
+
+class TestLibraryConventions:
+    def test_library_modules_use_module_loggers(self):
+        # every instrumented module binds logging.getLogger(__name__)
+        import repro.core.history as history
+        import repro.core.lattice as lattice
+        import repro.core.transactions as transactions
+        import repro.staticcheck.analyzer as analyzer
+        import repro.storage.journal as journal
+
+        for mod in (lattice, history, transactions, journal, analyzer):
+            assert isinstance(mod.logger, logging.Logger)
+            assert mod.logger.name == mod.__name__
+
+    def test_library_installs_no_root_handlers_on_import(self):
+        # importing the package must never configure logging by itself
+        import repro  # noqa: F401
+
+        root = logging.getLogger()
+        assert not any(
+            getattr(h, "_repro_obs_handler", False) for h in root.handlers
+        )

@@ -1,0 +1,101 @@
+"""Differential test: engine metrics vs an independent oracle.
+
+For every example plan, replay it operation by operation on a primed
+in-memory objectbase and check, per operation, that
+
+* the incremental path never falls back to a full re-derivation
+  (``repro_derivations_total{mode="full"}`` stays zero), and
+* the cone-size counter advanced by exactly the affected downset an
+  *independent* recomputation predicts from the designer-term diff
+  (BFS over the inverse Pe-graph via :func:`affected_downset`, fed with
+  the observed Pe/Ne changes rather than the engine's own dirty set).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import Objectbase
+from repro.core import EvolutionError
+from repro.core.derivation import affected_downset
+from repro.obs.metrics import REGISTRY
+from repro.staticcheck import load_plan
+
+PLANS = sorted(
+    (Path(__file__).resolve().parents[2] / "examples" / "plans").glob(
+        "*.json"
+    )
+)
+
+
+def designer_snapshot(lattice) -> tuple[dict, dict]:
+    types = lattice.types()
+    return (
+        {t: lattice.pe(t) for t in types},
+        {t: lattice.ne(t) for t in types},
+    )
+
+
+def oracle_cone(pre_pe, pre_ne, post_pe, post_ne) -> set[str]:
+    """Affected downset recomputed from scratch off the designer diff."""
+    dirty = {
+        t for t in set(pre_pe) | set(post_pe)
+        if pre_pe.get(t) != post_pe.get(t)
+        or pre_ne.get(t) != post_ne.get(t)
+    }
+    return affected_downset(post_pe, dirty)
+
+
+def counter(name: str) -> float:
+    return REGISTRY.counter_samples().get(name, 0)
+
+
+@pytest.mark.parametrize("plan_path", PLANS, ids=lambda p: p.stem)
+def test_cone_counters_match_oracle(plan_path):
+    plan = load_plan(plan_path)
+    ob = Objectbase.in_memory()
+    ob.lattice.derivation  # prime: everything after this is incremental
+    REGISTRY.reset()
+
+    full = 'repro_derivations_total{mode="full"}'
+    incremental = 'repro_derivations_total{mode="incremental"}'
+    cone_total = "repro_derivation_cone_types_total"
+
+    applied = 0
+    for op in plan:
+        pre_pe, pre_ne = designer_snapshot(ob.lattice)
+        cone_before = counter(cone_total)
+        passes_before = counter(incremental)
+        try:
+            ob.apply(op)
+        except EvolutionError:
+            # Rejected: designer terms untouched, no new pass may charge
+            # cone types.
+            ob.lattice.derivation
+            assert counter(cone_total) == cone_before
+            continue
+        applied += 1
+        ob.lattice.derivation  # force the propagation pass for THIS op
+        post_pe, post_ne = designer_snapshot(ob.lattice)
+        expected = oracle_cone(pre_pe, pre_ne, post_pe, post_ne)
+        assert counter(cone_total) - cone_before == len(expected)
+        if expected:
+            assert counter(incremental) - passes_before == 1
+
+    assert applied > 0
+    assert counter(full) == 0, "incremental path fell back to a full pass"
+    assert counter(incremental) <= applied
+
+
+def test_oracle_detects_divergence(diamond):
+    """The oracle itself is sensitive: a wrong dirty set changes it."""
+    pre_pe, pre_ne = designer_snapshot(diamond)
+    diamond.add_type("d", supertypes=["c"])
+    post_pe, post_ne = designer_snapshot(diamond)
+    cone = oracle_cone(pre_pe, pre_ne, post_pe, post_ne)
+    assert "d" in cone
+    # adding a leaf only affects the leaf and essential-subtype chains
+    # below it, never its ancestors
+    assert "a" not in cone and "c" not in cone

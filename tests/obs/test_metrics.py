@@ -1,0 +1,178 @@
+"""Unit tests for the zero-dependency metrics registry."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+    sample_name,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestSamples:
+    def test_counter_goes_up_only(self, registry):
+        c = registry.counter("c_total", "help")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_freely(self, registry):
+        g = registry.gauge("g")
+        g.set(10)
+        g.dec(3)
+        g.inc()
+        assert g.value == 8
+
+    def test_histogram_buckets_are_cumulative(self, registry):
+        h = registry.histogram("h_seconds", buckets=(1.0, 5.0, 10.0))
+        for v in (0.5, 0.5, 3.0, 7.0, 100.0):
+            h.observe(v)
+        sample = h._require_default()
+        assert sample.count == 5
+        assert sample.sum == pytest.approx(111.0)
+        buckets = dict(sample.cumulative_buckets())
+        assert buckets[1.0] == 2
+        assert buckets[5.0] == 3
+        assert buckets[10.0] == 4
+        assert buckets[math.inf] == 5
+
+    def test_histogram_bound_is_inclusive(self, registry):
+        # Prometheus ``le`` semantics: an observation equal to a bound
+        # lands in that bound's bucket.
+        h = registry.histogram("h2", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert dict(h._require_default().cumulative_buckets())[1.0] == 1
+
+
+class TestFamilies:
+    def test_labels_cached_and_independent(self, registry):
+        fam = registry.counter("ops_total", labelnames=("op",))
+        at = fam.labels(op="AT")
+        dt = fam.labels(op="DT")
+        at.inc(2)
+        dt.inc()
+        assert fam.labels(op="AT") is at
+        assert at.value == 2 and dt.value == 1
+
+    def test_wrong_labelnames_raise(self, registry):
+        fam = registry.counter("ops_total", labelnames=("op",))
+        with pytest.raises(ValueError):
+            fam.labels(kind="AT")
+
+    def test_labeled_family_rejects_direct_sample_api(self, registry):
+        fam = registry.counter("ops_total", labelnames=("op",))
+        with pytest.raises(ValueError):
+            fam.inc()
+
+    def test_unlabeled_family_proxies_sample_api(self, registry):
+        fam = registry.counter("plain_total")
+        fam.inc(3)
+        assert fam.value == 3
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self, registry):
+        a = registry.counter("x_total", "h", labelnames=("op",))
+        b = registry.counter("x_total", "h", labelnames=("op",))
+        assert a is b
+
+    def test_conflicting_registration_raises(self, registry):
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labelnames=("op",))
+
+    def test_reset_zeroes_in_place_and_handles_survive(self, registry):
+        fam = registry.counter("x_total", labelnames=("op",))
+        child = fam.labels(op="AT")
+        child.inc(7)
+        registry.reset()
+        assert child.value == 0
+        child.inc()
+        assert fam.labels(op="AT").value == 1
+
+    def test_set_enabled_false_makes_samples_noop(self, registry):
+        c = registry.counter("x_total")
+        h = registry.histogram("h_seconds")
+        registry.set_enabled(False)
+        c.inc()
+        h.observe(0.5)
+        assert c.value == 0
+        assert h._require_default().count == 0
+        registry.set_enabled(True)
+        c.inc()
+        assert c.value == 1
+
+    def test_disabled_registry_disables_future_samples(self, registry):
+        registry.set_enabled(False)
+        c = registry.counter("later_total")
+        c.inc()
+        assert c.value == 0
+
+    def test_counter_samples_flat_snapshot(self, registry):
+        fam = registry.counter("ops_total", labelnames=("op",))
+        fam.labels(op="AT").inc(2)
+        registry.gauge("g").set(9)  # gauges excluded
+        registry.histogram("h").observe(1)  # histograms excluded
+        snap = registry.counter_samples()
+        assert snap == {'ops_total{op="AT"}': 2}
+
+    def test_contains_and_get(self, registry):
+        registry.counter("x_total")
+        assert "x_total" in registry
+        assert registry.get("x_total").name == "x_total"
+        assert registry.get("missing") is None
+
+
+class TestExport:
+    def test_sample_name_escaping(self):
+        assert sample_name("m", {}) == "m"
+        assert (
+            sample_name("m", {"a": 'v"1', "b": "x\ny"})
+            == 'm{a="v\\"1",b="x\\ny"}'
+        )
+
+    def test_render_json_roundtrips(self, registry):
+        registry.counter("x_total", "help").inc(3)
+        data = json.loads(registry.render_json())
+        assert data["x_total"]["type"] == "counter"
+        assert data["x_total"]["values"][0]["value"] == 3
+
+    def test_render_prometheus_format(self, registry):
+        fam = registry.counter("ops_total", "Ops applied", ("op",))
+        fam.labels(op="AT").inc(2)
+        registry.histogram("lat_seconds", buckets=(1.0,)).observe(0.5)
+        text = registry.render_prometheus()
+        assert "# HELP ops_total Ops applied" in text
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{op="AT"} 2' in text
+        assert 'lat_seconds_bucket{le="1.0"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.5" in text
+        assert "lat_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_render_text_lists_every_sample(self, registry):
+        registry.counter("x_total").inc()
+        registry.histogram("h").observe(2)
+        text = registry.render_text()
+        assert "x_total  1" in text
+        assert "h  count=1" in text
+
+    def test_default_buckets_sorted(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert list(SIZE_BUCKETS) == sorted(SIZE_BUCKETS)

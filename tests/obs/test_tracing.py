@@ -1,0 +1,157 @@
+"""Unit tests for structured tracing: spans, deltas, sinks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    SPAN_SCHEMA_KEYS,
+    JsonlSink,
+    ListSink,
+    NullSpan,
+    Tracer,
+)
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def tracer(registry) -> Tracer:
+    return Tracer(registry)
+
+
+class TestNoSink:
+    def test_span_yields_shared_null_span(self, tracer):
+        with tracer.span("apply") as a:
+            with tracer.span("inner") as b:
+                pass
+        assert isinstance(a, NullSpan)
+        assert a is b  # one shared instance, no allocation per span
+        assert tracer.active is None
+
+    def test_null_span_swallows_attrs(self, tracer):
+        with tracer.span("apply") as span:
+            span.set_attr("op", "AT")  # must not raise
+
+
+class TestSpans:
+    def test_record_schema_and_status(self, tracer):
+        sink = ListSink()
+        tracer.set_sink(sink)
+        with tracer.span("apply", op="AT") as span:
+            span.set_attr("changed", True)
+        (record,) = sink.records
+        assert set(record) == SPAN_SCHEMA_KEYS
+        assert record["type"] == "span"
+        assert record["name"] == "apply"
+        assert record["status"] == "ok"
+        assert record["attrs"] == {"op": "AT", "changed": True}
+        assert record["parent_id"] is None
+        assert record["duration_ms"] >= 0
+
+    def test_nesting_shares_trace_id(self, tracer):
+        sink = ListSink()
+        tracer.set_sink(sink)
+        with tracer.span("batch"):
+            with tracer.span("apply"):
+                pass
+            with tracer.span("apply"):
+                pass
+        inner_a, inner_b, outer = sink.records
+        assert outer["name"] == "batch" and outer["parent_id"] is None
+        assert inner_a["parent_id"] == outer["span_id"]
+        assert inner_b["parent_id"] == outer["span_id"]
+        assert {r["trace_id"] for r in sink.records} == {outer["trace_id"]}
+        assert sink.roots() == [outer]
+
+    def test_separate_roots_get_separate_traces(self, tracer):
+        sink = ListSink()
+        tracer.set_sink(sink)
+        with tracer.span("apply"):
+            pass
+        with tracer.span("apply"):
+            pass
+        a, b = sink.records
+        assert a["trace_id"] != b["trace_id"]
+        assert a["span_id"] != b["span_id"]
+
+    def test_counter_deltas_nest(self, registry, tracer):
+        c = registry.counter("work_total")
+        sink = ListSink()
+        tracer.set_sink(sink)
+        with tracer.span("outer"):
+            c.inc()
+            with tracer.span("inner"):
+                c.inc(2)
+        inner, outer = sink.records
+        assert inner["metrics"] == {"work_total": 2}
+        # the parent's delta includes the child's increments
+        assert outer["metrics"] == {"work_total": 3}
+
+    def test_unchanged_counters_are_omitted(self, registry, tracer):
+        registry.counter("quiet_total").inc()  # before the span
+        sink = ListSink()
+        tracer.set_sink(sink)
+        with tracer.span("apply"):
+            pass
+        assert sink.records[0]["metrics"] == {}
+
+    def test_error_status_and_code(self, tracer):
+        sink = ListSink()
+        tracer.set_sink(sink)
+
+        class Boom(RuntimeError):
+            code = "cycle"
+
+        with pytest.raises(Boom):
+            with tracer.span("apply"):
+                raise Boom()
+        (record,) = sink.records
+        assert record["status"] == "error"
+        assert record["attrs"]["error"] == "cycle"
+
+    def test_error_without_code_uses_type_name(self, tracer):
+        sink = ListSink()
+        tracer.set_sink(sink)
+        with pytest.raises(ValueError):
+            with tracer.span("apply"):
+                raise ValueError("nope")
+        assert sink.records[0]["attrs"]["error"] == "ValueError"
+
+    def test_set_sink_returns_previous(self, tracer):
+        a, b = ListSink(), ListSink()
+        assert tracer.set_sink(a) is None
+        assert tracer.set_sink(b) is a
+        assert tracer.sink is b
+
+
+class TestSinks:
+    def test_jsonl_sink_owns_path(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        sink = JsonlSink(out)
+        sink.emit({"type": "span", "n": 1})
+        sink.emit({"type": "summary"})
+        sink.close()
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2 and sink.emitted == 2
+        assert json.loads(lines[0])["n"] == 1
+
+    def test_jsonl_sink_borrows_file_object(self, tmp_path):
+        out = tmp_path / "t.jsonl"
+        with out.open("w") as fh:
+            with JsonlSink(fh) as sink:
+                sink.emit({"a": 1})
+            assert not fh.closed  # borrowed handles are not closed
+        assert json.loads(out.read_text()) == {"a": 1}
+
+    def test_list_sink_roots(self):
+        sink = ListSink()
+        sink.emit({"parent_id": None, "name": "root"})
+        sink.emit({"parent_id": 1, "name": "child"})
+        assert [r["name"] for r in sink.roots()] == ["root"]

@@ -1,0 +1,68 @@
+"""The repro.storage deprecation shims: warn once per access, delegate.
+
+``DurableLattice`` and ``JournalFile`` moved behind the
+:class:`repro.api.Objectbase` facade; the legacy ``repro.storage``
+attributes keep working through a module ``__getattr__`` shim that emits
+one :class:`DeprecationWarning` per access and returns the canonical
+class from :mod:`repro.storage.journal`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro.storage as storage
+from repro.storage import journal as canonical
+
+
+@pytest.mark.parametrize("name", ["DurableLattice", "JournalFile"])
+class TestShim:
+    def test_emits_exactly_one_deprecation_warning(self, name):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            getattr(storage, name)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert name in message
+        assert "Objectbase.open" in message
+
+    def test_delegates_to_canonical_class(self, name):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shimmed = getattr(storage, name)
+        assert shimmed is getattr(canonical, name)
+
+    def test_listed_in_all(self, name):
+        assert name in storage.__all__
+
+
+class TestShimBehaviour:
+    def test_shimmed_class_is_functional(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cls = storage.DurableLattice
+        durable = cls(tmp_path / "s.wal")
+        from repro.core.operations import AddType
+
+        durable.apply(AddType("T_a", (), ()))
+        assert "T_a" in durable.lattice
+        reopened = cls.reopen(tmp_path / "s.wal")
+        assert "T_a" in reopened.lattice
+
+    def test_canonical_import_path_stays_silent(self, tmp_path):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            canonical.DurableLattice(tmp_path / "q.wal")
+            canonical.JournalFile(tmp_path / "r.wal")
+        assert not any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            storage.NoSuchThing
