@@ -68,9 +68,10 @@ from .core.properties import Property
 from .core.soundness import SoundnessReport, verify
 from .core.transactions import SchemaTransaction, TransactionError
 from .obs.tracing import trace
+from .storage.framing import DurabilityPolicy, SalvageReport
 from .storage.journal import DurableLattice
 
-__all__ = ["Objectbase", "TermCard"]
+__all__ = ["Objectbase", "TermCard", "DurabilityPolicy"]
 
 logger = logging.getLogger(__name__)
 
@@ -135,14 +136,31 @@ class Objectbase:
 
     @classmethod
     def open(
-        cls, path: str | Path, policy: LatticePolicy | None = None
+        cls,
+        path: str | Path,
+        policy: LatticePolicy | None = None,
+        *,
+        durability: DurabilityPolicy | None = None,
+        recovery: str = "strict",
     ) -> "Objectbase":
         """Open (or create) a durable objectbase backed by a WAL file.
 
         Recovery replays the journal in batch mode: the first query after
         opening pays one derivation pass, regardless of the plan length.
+
+        ``durability`` selects the fsync and auto-checkpoint policy
+        (:class:`~repro.storage.framing.DurabilityPolicy`); ``recovery``
+        chooses how on-disk damage is met — ``"strict"`` raises a typed
+        :class:`~repro.core.errors.CorruptRecordError`, ``"salvage"``
+        truncates to the last valid record and quarantines the rest (see
+        ``docs/durability.md``).  :attr:`recovery_report` records the
+        outcome.
         """
-        return cls(DurableLattice(path, policy))
+        return cls(
+            DurableLattice(
+                path, policy, durability=durability, recovery=recovery
+            )
+        )
 
     @classmethod
     def in_memory(cls, policy: LatticePolicy | None = None) -> "Objectbase":
@@ -159,6 +177,11 @@ class Objectbase:
     @property
     def durable(self) -> bool:
         return isinstance(self._journal, DurableLattice)
+
+    @property
+    def recovery_report(self) -> SalvageReport | None:
+        """What opening recovered/salvaged (durable objectbases only)."""
+        return getattr(self._journal, "recovery_report", None)
 
     def types(self) -> frozenset[str]:
         return self.lattice.types()
@@ -342,6 +365,19 @@ class Objectbase:
                 "checkpoint requires a durable objectbase (use Objectbase.open)"
             )
         self._journal.checkpoint()
+
+    def sync(self) -> None:
+        """Force WAL records to stable storage (durable objectbases only).
+
+        The explicit commit point under ``DurabilityPolicy(fsync="batch")``
+        — a no-op risk window closer; with ``fsync="always"`` every apply
+        already synced.
+        """
+        if not self.durable:
+            raise TransactionError(
+                "sync requires a durable objectbase (use Objectbase.open)"
+            )
+        self._journal.sync()
 
     def __repr__(self) -> str:
         kind = "durable" if self.durable else "in-memory"

@@ -20,11 +20,17 @@ subcommand is one of the paper's operations or inspections::
     python -m repro --db schema.wal dot         # Graphviz output
     python -m repro --db schema.wal tables      # Tables 1-3
     python -m repro --db schema.wal checkpoint  # WAL -> snapshot
+    python -m repro --db schema.wal recover --mode salvage
     python -m repro --db schema.wal stats --plan plan.json --format prom
     python -m repro --db schema.wal trace --plan plan.json --out trace.jsonl
 
 Opening the database replays the WAL in batch mode: one derivation pass
-per invocation, however long the journal tail is.
+per invocation, however long the journal tail is.  The global
+``--fsync {always,batch,never}`` and ``--checkpoint-every N`` flags
+select the :class:`~repro.storage.framing.DurabilityPolicy` for the
+mutation subcommands; ``recover`` heals a damaged WAL (``--mode strict``
+only diagnoses, ``--mode salvage`` truncates torn tails and quarantines
+corrupt records into a ``.corrupt`` sidecar — see ``docs/durability.md``).
 
 Observability (see ``docs/observability.md``): ``stats`` dry-runs an
 evolution plan on an in-memory copy of the schema and prints the metrics
@@ -49,7 +55,7 @@ import logging
 import sys
 from typing import Sequence
 
-from .api import Objectbase
+from .api import DurabilityPolicy, Objectbase
 from .core import (
     DropEssentialSupertype,
     DropType,
@@ -86,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="log only errors (overrides --verbose)",
+    )
+    parser.add_argument(
+        "--fsync", choices=("always", "batch", "never"), default=None,
+        help="WAL fsync policy: always = fsync every record (crash-safe), "
+             "batch = fsync at checkpoints and close (default), "
+             "never = leave flushing to the OS",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, metavar="N", default=None,
+        help="auto-checkpoint after N journaled operations",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -169,6 +185,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("checkpoint", help="fold the WAL into a snapshot")
 
     p = sub.add_parser(
+        "recover",
+        help="heal a damaged WAL: truncate torn tails, quarantine corrupt "
+             "records (salvage), then verify the log replays",
+    )
+    p.add_argument(
+        "--mode", choices=("strict", "salvage"), default="salvage",
+        help="strict = diagnose only, fail on any corruption; salvage = "
+             "keep every valid record, quarantine the rest (default)",
+    )
+
+    p = sub.add_parser(
         "stats",
         help="observability: dry-run a plan on an in-memory copy and "
              "print the metrics registry (never mutates the WAL)",
@@ -230,11 +257,46 @@ def _run_plan_observed(ob: Objectbase, plan) -> tuple[Objectbase, int, int]:
     return dry, rejected, violations
 
 
+def _cmd_recover(args) -> int:
+    """Heal ``--db`` in place, then prove the healed log replays.
+
+    Runs before (and instead of) the normal open so a corrupt WAL —
+    which strict open refuses to touch — can still be salvaged.
+    """
+    from .storage.journal import JournalFile
+
+    try:
+        report = JournalFile(args.db).repair(mode=args.mode)
+    except EvolutionError as exc:
+        print(f"error [{error_code(exc)}]: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+    print(report.summary())
+    try:
+        ob = Objectbase.open(args.db)
+    except EvolutionError as exc:
+        print(
+            f"error [{error_code(exc)}]: WAL repaired but replay still "
+            f"fails: {exc}",
+            file=sys.stderr,
+        )
+        return exit_code_for(exc)
+    print(f"replay verified: {len(ob.lattice)} type(s)")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(verbose=args.verbose, quiet=args.quiet)
+    if args.command == "recover":
+        return _cmd_recover(args)
+    durability = None
+    if args.fsync is not None or args.checkpoint_every is not None:
+        durability = DurabilityPolicy(
+            fsync=args.fsync or "batch",
+            checkpoint_every=args.checkpoint_every,
+        )
     try:
-        ob = Objectbase.open(args.db)
+        ob = Objectbase.open(args.db, durability=durability)
     except EvolutionError as exc:
         print(
             f"error [{error_code(exc)}]: cannot open {args.db}: {exc}",

@@ -44,6 +44,7 @@ from .transactions import SchemaTransaction, TransactionError
 from .errors import (
     ERROR_CODES,
     AxiomViolationError,
+    CorruptRecordError,
     CycleError,
     DuplicateTypeError,
     EvolutionError,
@@ -204,4 +205,5 @@ __all__ = [
     "UnknownPropertyError",
     "FrozenTypeError",
     "JournalError",
+    "CorruptRecordError",
 ]

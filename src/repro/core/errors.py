@@ -51,6 +51,7 @@ __all__ = [
     "UnknownPropertyError",
     "FrozenTypeError",
     "JournalError",
+    "CorruptRecordError",
     "PlanError",
     "ERROR_CODES",
     "error_code",
@@ -205,6 +206,19 @@ class JournalError(SchemaError):
     """The operation journal is corrupt or a replay failed."""
 
     code: ClassVar[str] = "journal-corrupt"
+
+
+class CorruptRecordError(JournalError):
+    """A WAL record is structurally damaged (bad frame, length, or CRC).
+
+    Raised by strict-mode recovery when damage cannot be explained by a
+    torn trailing write — a bit flip, an interior truncation, a record
+    that passes its checksum but decodes to no known operation.  Salvage
+    mode (``repro recover --mode salvage``) turns the same damage into a
+    quarantined ``.corrupt`` sidecar instead.
+    """
+
+    code: ClassVar[str] = "wal-corrupt-record"
 
 
 class PlanError(SchemaError):

@@ -21,6 +21,7 @@ from __future__ import annotations
 import logging
 
 from .metrics import (
+    FSYNC_BUCKETS,
     LATENCY_BUCKETS,
     REGISTRY,
     SIZE_BUCKETS,
@@ -50,6 +51,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "FSYNC_BUCKETS",
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
     "sample_name",

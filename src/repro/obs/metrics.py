@@ -48,6 +48,7 @@ __all__ = [
     "get_registry",
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
+    "FSYNC_BUCKETS",
 ]
 
 #: Default bucket upper bounds for latency histograms, in seconds
@@ -61,6 +62,16 @@ LATENCY_BUCKETS: tuple[float, ...] = (
 #: lengths): roughly logarithmic up to many-thousand-type schemas.
 SIZE_BUCKETS: tuple[float, ...] = (
     1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+)
+
+#: Bucket upper bounds for fsync latency, in seconds.  Finer than
+#: :data:`LATENCY_BUCKETS` at the low end (a flush to a local SSD is
+#: tens of microseconds) and topping out at the quarter second a busy
+#: spinning disk can take — the knob ``DurabilityPolicy.fsync`` trades
+#: against, so the histogram must resolve both regimes.
+FSYNC_BUCKETS: tuple[float, ...] = (
+    0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25,
 )
 
 

@@ -7,9 +7,13 @@ shapes are accepted, auto-detected by :func:`load_plan`:
 
 * a JSON object ``{"name": ..., "operations": [op, ...]}``;
 * a bare JSON array ``[op, ...]``;
-* JSON lines, one operation per line — which is byte-compatible with a
-  WAL journal file, so an existing journal *is* a valid plan (analyze
-  yesterday's migration against today's schema).
+* JSON lines, one operation per line — compatible with a WAL journal
+  file, so an existing journal *is* a valid plan (analyze yesterday's
+  migration against today's schema).  Checksummed framed WAL lines
+  (``#W1 ...``, see :mod:`repro.storage.framing`) and legacy bare-JSONL
+  lines both parse, and a torn trailing write (an unterminated final
+  line — a live WAL's normal crash residue) is skipped rather than
+  rejected.
 
 :func:`plan_from_journal` loads through
 :class:`repro.storage.journal.JournalFile` instead, inheriting its
@@ -23,8 +27,9 @@ import json
 from pathlib import Path
 from typing import Iterable
 
-from ..core.errors import PlanError
+from ..core.errors import CorruptRecordError, PlanError
 from ..core.operations import SchemaOperation, operation_from_dict
+from ..storage.framing import frame_payload
 
 __all__ = ["EvolutionPlan", "load_plan", "plan_from_journal"]
 
@@ -117,15 +122,29 @@ def load_plan(path: str | Path) -> EvolutionPlan:
                 source=str(path),
             )
 
-    # JSON lines (the WAL journal format).
+    # JSON lines (the WAL journal format, framed or legacy).
+    lines = text.splitlines()
     records = []
-    for lineno, line in enumerate(text.splitlines(), start=1):
+    for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
-        try:
-            records.append(json.loads(line))
-        except json.JSONDecodeError as exc:
-            raise PlanError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        torn_candidate = lineno == len(lines) and not text.endswith("\n")
+        if line.startswith("#W"):
+            try:
+                records.append(frame_payload(line))
+            except CorruptRecordError as exc:
+                if torn_candidate:
+                    break  # torn tail of a live WAL: skip, not an error
+                raise PlanError(f"{path}:{lineno}: {exc}") from exc
+        else:
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if torn_candidate:
+                    break
+                raise PlanError(
+                    f"{path}:{lineno}: not JSON: {exc}"
+                ) from exc
     return EvolutionPlan(
         _ops_from_dicts(records, str(path)), name=path.stem, source=str(path)
     )

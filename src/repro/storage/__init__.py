@@ -13,6 +13,8 @@
 import warnings
 
 from .durable_store import DurableObjectbase
+from .faults import CrashPoint, FaultyFS, RealFS, StorageFS
+from .framing import DurabilityPolicy, SalvageReport
 from .objectbase_snapshot import (
     load_objectbase,
     objectbase_from_dict,
@@ -28,6 +30,12 @@ from .snapshot import (
 
 __all__ = [
     "DurableObjectbase",
+    "DurabilityPolicy",
+    "SalvageReport",
+    "CrashPoint",
+    "FaultyFS",
+    "RealFS",
+    "StorageFS",
     "objectbase_to_dict",
     "objectbase_from_dict",
     "save_objectbase",

@@ -6,12 +6,24 @@ is the classic one:
 
 * **snapshot** — the complete objectbase (schema, behaviors, functions,
   classes, collections, instances) via
-  :mod:`repro.storage.objectbase_snapshot`;
+  :mod:`repro.storage.objectbase_snapshot`, written atomically with a
+  checkpoint generation (see :mod:`repro.storage.framing`);
 * **WAL** — between snapshots, every schema-evolution operation executed
-  through the manager is appended as a JSON record (the §3.3 operations
-  are all replayable: the log stores the manager method and arguments);
-* **recovery** — load the latest snapshot, replay the WAL tail through a
-  fresh :class:`SchemaManager`.
+  through the manager is appended as a framed, checksummed record (the
+  §3.3 operations are all replayable: the log stores the manager method
+  and arguments) *before* it mutates the in-memory store — genuine
+  write-ahead logging;
+* **recovery** — load the latest snapshot, replay the live (unfenced)
+  WAL tail through a fresh :class:`SchemaManager`.
+
+Because the log is written ahead of the mutation, a record can be on
+disk for an operation that never applied: (a) the method was *rejected*
+in memory — an ``__abort__`` marker is appended so replay skips the
+record deterministically; (b) the process crashed between append and
+apply — then the record is necessarily the *final* one, and replay
+treats a rejected final record as the logged-but-unapplied tail (skips
+it, with a counter) rather than corruption.  Any mid-log replay failure
+is still a hard error: something other than a crash broke the log.
 
 Instance mutations (AO/MO/DO) are *not* WAL-logged — like most object
 stores, data durability rides on snapshots (call :meth:`checkpoint`),
@@ -23,15 +35,35 @@ checkpoint.
 from __future__ import annotations
 
 import json
+import logging
 from pathlib import Path
 from typing import Any, Callable
 
 from ..core.errors import JournalError, SchemaError
+from ..obs.metrics import REGISTRY
 from ..tigukat.evolution import SchemaManager
 from ..tigukat.store import Objectbase
+from .faults import RealFS, StorageFS
+from .framing import (
+    DurabilityPolicy,
+    SalvageReport,
+    encode_frame,
+    fence_records,
+    load_checkpoint,
+    read_log,
+    timed_fsync,
+    write_checkpoint,
+)
 from .objectbase_snapshot import objectbase_from_dict, objectbase_to_dict
 
 __all__ = ["DurableObjectbase"]
+
+logger = logging.getLogger(__name__)
+
+_UNAPPLIED_TAIL = REGISTRY.counter(
+    "repro_wal_unapplied_tail_total",
+    "Logged-but-unapplied tail records skipped during replay",
+)
 
 #: manager methods that are WAL-replayable, with their argument names
 _REPLAYABLE = {
@@ -49,6 +81,21 @@ _REPLAYABLE = {
     "define_stored_behavior": ("semantics", "name", "result_type"),
 }
 
+#: WAL marker for a record whose in-memory application was rejected.
+_ABORT = "__abort__"
+
+
+def _decode_wal_record(record: dict) -> dict:
+    """Semantic validation for the shared framed-record reader."""
+    method = record.get("method")
+    if not isinstance(method, str):
+        raise ValueError(f"record has no method: {record!r}")
+    if method != _ABORT and method not in _REPLAYABLE:
+        raise ValueError(f"unknown WAL method {method!r}")
+    if not isinstance(record.get("args"), dict):
+        raise ValueError(f"record has no args object: {record!r}")
+    return record
+
 
 class DurableObjectbase:
     """An objectbase whose schema evolution is write-ahead durable."""
@@ -57,21 +104,30 @@ class DurableObjectbase:
         self,
         directory: str | Path,
         computed_bodies: dict[str, Callable[..., Any]] | None = None,
+        *,
+        durability: DurabilityPolicy | None = None,
+        recovery: str = "strict",
+        fs: StorageFS | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.snapshot_path = self.directory / "objectbase.json"
         self.wal_path = self.directory / "schema.wal"
         self._bodies = computed_bodies or {}
+        self.durability = durability or DurabilityPolicy()
+        self.fs = fs or RealFS()
 
-        if self.snapshot_path.exists():
-            self.store = objectbase_from_dict(
-                json.loads(self.snapshot_path.read_text()), self._bodies
-            )
+        state, self._generation = load_checkpoint(
+            self.snapshot_path, fs=self.fs
+        )
+        if state is not None:
+            self.store = objectbase_from_dict(state, self._bodies)
         else:
             self.store = Objectbase()
         self.manager = SchemaManager(self.store)
-        self._replay_wal()
+        self._seq = 0
+        self._since_checkpoint = 0
+        self.recovery_report = self._replay_wal(recovery)
 
     # -- the durable operation surface -------------------------------------
 
@@ -79,13 +135,13 @@ class DurableObjectbase:
         """Run one schema-evolution method durably (write-ahead logged).
 
         ``method`` is a :class:`SchemaManager` method name (or the
-        behavior-definition helper).  The record is logged only after
-        the operation succeeds in memory *on a validation basis*: the
-        method runs first, and on success the record is appended — an
-        operation that raises leaves neither state nor log entry.
-        (Schema ops are single in-memory mutations; the crash window
-        between apply and append loses at most the latest operation,
-        which the recovery contract tolerates and the tests pin down.)
+        behavior-definition helper).  The record is appended to the WAL
+        *before* the method touches the store — write-ahead, matching
+        :meth:`DurableLattice.apply` — so no applied mutation can be
+        lost.  If the method is then rejected in memory, an ``__abort__``
+        marker is appended so replay skips the record; a crash between
+        append and apply leaves the record as the final one, which
+        replay treats as an unapplied tail (see the module docstring).
         """
         spec = _REPLAYABLE.get(method)
         if spec is None:
@@ -98,11 +154,26 @@ class DurableObjectbase:
             else getattr(self.store, method)
         )
         record_args = self._bind(spec, args, kwargs)
-        result = target(*args, **kwargs)
-        with self.wal_path.open("a") as fh:
-            fh.write(json.dumps({"method": method, "args": record_args},
-                                sort_keys=True) + "\n")
+        self._seq += 1
+        self._append(
+            {"method": method, "args": record_args, "seq": self._seq}
+        )
+        try:
+            result = target(*args, **kwargs)
+        except SchemaError:
+            self._append({"method": _ABORT, "args": {"seq": self._seq}})
+            raise
+        self._since_checkpoint += 1
+        self._maybe_auto_checkpoint()
         return result
+
+    def _append(self, record: dict) -> None:
+        payload = json.dumps(record, sort_keys=True)
+        self.fs.append_bytes(
+            self.wal_path, encode_frame(payload, self._generation)
+        )
+        if self.durability.sync_appends:
+            timed_fsync(self.fs, self.wal_path)
 
     def _bind(self, spec: tuple[str, ...], args: tuple, kwargs: dict) -> dict:
         bound: dict[str, Any] = {}
@@ -119,55 +190,113 @@ class DurableObjectbase:
                 ) else list(value)
         return bound
 
-    def _replay_wal(self) -> None:
-        if not self.wal_path.exists():
-            return
-        lines = self.wal_path.read_text().splitlines()
-        for i, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                if i == len(lines) - 1:
-                    break  # torn tail: tolerated
-                raise JournalError(
-                    f"objectbase WAL corrupt at line {i + 1}"
-                ) from exc
-            method = record["method"]
-            spec = _REPLAYABLE.get(method)
-            if spec is None:
-                raise JournalError(f"unknown WAL method {method!r}")
+    def _replay_wal(self, mode: str) -> SalvageReport:
+        records, report = read_log(
+            self.wal_path, fs=self.fs, mode=mode,
+            decode=_decode_wal_record, repair=True,
+        )
+        live, report.records_fenced = fence_records(
+            records, self._generation
+        )
+        aborted = {
+            r.payload["args"].get("seq")
+            for r in live
+            if r.payload["method"] == _ABORT
+        }
+        self._seq = max(
+            (
+                r.payload.get("seq", 0) for r in live
+                if isinstance(r.payload.get("seq"), int)
+            ),
+            default=0,
+        )
+        replayable = [
+            r for r in live
+            if r.payload["method"] != _ABORT
+            and r.payload.get("seq") not in aborted
+        ]
+        for r in replayable:
+            method = r.payload["method"]
             target = (
                 getattr(self.manager, method)
                 if hasattr(self.manager, method)
                 else getattr(self.store, method)
             )
-            kwargs = dict(record["args"])
+            kwargs = dict(r.payload["args"])
             for key in ("supertypes", "behaviors"):
                 if key in kwargs and isinstance(kwargs[key], list):
                     kwargs[key] = tuple(kwargs[key])
             try:
                 target(**kwargs)
             except SchemaError as exc:
+                if r is live[-1]:
+                    # Write-ahead tail: logged, crashed before applying.
+                    _UNAPPLIED_TAIL.inc()
+                    logger.info(
+                        "skipping logged-but-unapplied tail record "
+                        "(line %d, method %s): %s",
+                        r.lineno, method, exc,
+                    )
+                    continue
                 raise JournalError(
-                    f"WAL replay failed at line {i + 1}: {exc}"
+                    f"WAL replay failed at line {r.lineno}: {exc}"
                 ) from exc
+            self._since_checkpoint += 1
+        if not report.clean:
+            logger.warning("recovery(%s): %s", mode, report.summary())
+        return report
 
     # -- snapshots ------------------------------------------------------------
 
     def checkpoint(self) -> None:
-        """Snapshot the whole store (schema AND instances); truncate WAL."""
-        self.snapshot_path.write_text(
-            json.dumps(objectbase_to_dict(self.store), sort_keys=True)
+        """Snapshot the whole store (schema AND instances); truncate WAL.
+
+        Atomic and fenced exactly like :meth:`JournalFile.checkpoint`:
+        temp file + fsync + rename + directory fsync, generation bumped
+        before the WAL truncate so a crash in between cannot replay the
+        stale tail on top of the snapshot.
+        """
+        new_generation = self._generation + 1
+        sync = self.durability.sync_checkpoints
+        write_checkpoint(
+            self.snapshot_path,
+            objectbase_to_dict(self.store),
+            new_generation,
+            fs=self.fs,
+            sync=sync,
         )
-        self.wal_path.write_text("")
+        self._generation = new_generation
+        self.fs.write_bytes(self.wal_path, b"")
+        if sync:
+            timed_fsync(self.fs, self.wal_path)
+        self._since_checkpoint = 0
+
+    def _maybe_auto_checkpoint(self) -> None:
+        every = self.durability.checkpoint_every
+        if every is not None and self._since_checkpoint >= every:
+            logger.info(
+                "auto-checkpoint after %d record(s) (policy: every %d)",
+                self._since_checkpoint, every,
+            )
+            self.checkpoint()
+
+    def sync(self) -> None:
+        """Flush appended WAL records (the batch-policy commit point)."""
+        if self.fs.exists(self.wal_path):
+            timed_fsync(self.fs, self.wal_path)
 
     @classmethod
     def reopen(
         cls,
         directory: str | Path,
         computed_bodies: dict[str, Callable[..., Any]] | None = None,
+        *,
+        durability: DurabilityPolicy | None = None,
+        recovery: str = "strict",
+        fs: StorageFS | None = None,
     ) -> "DurableObjectbase":
         """Simulated restart: rebuild purely from durable state."""
-        return cls(directory, computed_bodies)
+        return cls(
+            directory, computed_bodies,
+            durability=durability, recovery=recovery, fs=fs,
+        )

@@ -1,0 +1,220 @@
+"""Deterministic fault injection for the durability path.
+
+The storage layer performs every mutating filesystem operation through a
+:class:`StorageFS` object.  :class:`RealFS` is the production
+implementation (thin wrappers over :mod:`os` / :mod:`pathlib`);
+:class:`FaultyFS` wraps one and injects the three failure families the
+crash-matrix suite exercises:
+
+* **crash-at-boundary** — every mutating primitive exposes numbered
+  *injection points* (before the effect, mid-write, ...).  Points are
+  counted process-wide per ``FaultyFS`` instance; when the running count
+  reaches ``crash_at``, the point's partial effect is applied and
+  :class:`CrashPoint` is raised.  Once crashed, every later call raises
+  immediately — the "process" is dead, exactly like a power failure.
+* **short writes** — the mid-write point of ``append_bytes`` /
+  ``write_bytes`` persists only the first half of the payload before
+  crashing, producing the torn records the framed-WAL reader must
+  detect.
+* **fsync failures** — with ``fail_fsync=True`` every file fsync raises
+  :class:`OSError` *without* crashing, modeling an EIO from the kernel
+  (the journal surfaces it as a typed :class:`~repro.core.errors.JournalError`).
+
+The crash-matrix driver iterates ``crash_at`` from 0 upward until a full
+workload completes without crashing (``total_points`` many boundaries),
+recovering and checking prefix consistency after each simulated failure.
+Reads are never injection points: crashing a reader is just a process
+restart, which the recovery tests cover directly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["CrashPoint", "StorageFS", "RealFS", "FaultyFS"]
+
+
+class CrashPoint(Exception):
+    """A simulated power failure at one I/O boundary.
+
+    Deliberately *outside* the :class:`~repro.core.errors.EvolutionError`
+    taxonomy: storage code must never catch it, the same way it cannot
+    catch a real power cut.
+    """
+
+
+class StorageFS:
+    """The filesystem primitives the durability path is allowed to use."""
+
+    def exists(self, path: Path) -> bool:
+        raise NotImplementedError
+
+    def read_bytes(self, path: Path) -> bytes:
+        raise NotImplementedError
+
+    def append_bytes(self, path: Path, data: bytes) -> None:
+        raise NotImplementedError
+
+    def write_bytes(self, path: Path, data: bytes) -> None:
+        raise NotImplementedError
+
+    def replace(self, src: Path, dst: Path) -> None:
+        raise NotImplementedError
+
+    def truncate(self, path: Path, size: int) -> None:
+        raise NotImplementedError
+
+    def unlink(self, path: Path) -> None:
+        raise NotImplementedError
+
+    def fsync_file(self, path: Path) -> None:
+        raise NotImplementedError
+
+    def fsync_dir(self, path: Path) -> None:
+        raise NotImplementedError
+
+
+class RealFS(StorageFS):
+    """Production filesystem access (POSIX semantics assumed)."""
+
+    def exists(self, path: Path) -> bool:
+        return Path(path).exists()
+
+    def read_bytes(self, path: Path) -> bytes:
+        return Path(path).read_bytes()
+
+    def append_bytes(self, path: Path, data: bytes) -> None:
+        with open(path, "ab") as fh:
+            fh.write(data)
+            fh.flush()
+
+    def write_bytes(self, path: Path, data: bytes) -> None:
+        with open(path, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+
+    def replace(self, src: Path, dst: Path) -> None:
+        os.replace(src, dst)
+
+    def truncate(self, path: Path, size: int) -> None:
+        os.truncate(path, size)
+
+    def unlink(self, path: Path) -> None:
+        Path(path).unlink(missing_ok=True)
+
+    def fsync_file(self, path: Path) -> None:
+        fd = os.open(path, os.O_RDWR)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def fsync_dir(self, path: Path) -> None:
+        # Durability of a rename needs the directory entry flushed too;
+        # best effort where the platform cannot fsync a directory.
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+
+class FaultyFS(StorageFS):
+    """A :class:`StorageFS` that fails on purpose (see module docstring).
+
+    Parameters
+    ----------
+    crash_at:
+        Zero-based index of the injection point at which to crash, or
+        ``None`` to never crash (useful to count a workload's points).
+    fail_fsync:
+        When true, :meth:`fsync_file` raises :class:`OSError` instead of
+        syncing (the process survives; callers must surface the error).
+    base:
+        The real filesystem to delegate surviving operations to.
+    """
+
+    def __init__(
+        self,
+        crash_at: int | None = None,
+        fail_fsync: bool = False,
+        base: StorageFS | None = None,
+    ) -> None:
+        self.base = base or RealFS()
+        self.crash_at = crash_at
+        self.fail_fsync = fail_fsync
+        self.points = 0
+        self.crashed = False
+        self.trace: list[str] = []
+
+    def _point(self, label: str) -> bool:
+        """Count one injection point; True means crash *here* (the caller
+        applies the point's partial effect first, then raises)."""
+        if self.crashed:
+            raise CrashPoint(f"process already dead (at {label})")
+        index = self.points
+        self.points += 1
+        self.trace.append(label)
+        if self.crash_at is not None and index == self.crash_at:
+            self.crashed = True
+            return True
+        return False
+
+    # -- reads are never injected --------------------------------------
+
+    def exists(self, path: Path) -> bool:
+        return self.base.exists(path)
+
+    def read_bytes(self, path: Path) -> bytes:
+        return self.base.read_bytes(path)
+
+    # -- mutating primitives -------------------------------------------
+
+    def append_bytes(self, path: Path, data: bytes) -> None:
+        if self._point(f"append-pre:{Path(path).name}"):
+            raise CrashPoint(f"crash before append to {path}")
+        if len(data) > 1 and self._point(f"append-short:{Path(path).name}"):
+            self.base.append_bytes(path, data[: len(data) // 2])
+            raise CrashPoint(f"short write appending to {path}")
+        self.base.append_bytes(path, data)
+
+    def write_bytes(self, path: Path, data: bytes) -> None:
+        if self._point(f"write-pre:{Path(path).name}"):
+            raise CrashPoint(f"crash before write of {path}")
+        if len(data) > 1 and self._point(f"write-short:{Path(path).name}"):
+            self.base.write_bytes(path, data[: len(data) // 2])
+            raise CrashPoint(f"short write of {path}")
+        self.base.write_bytes(path, data)
+
+    def replace(self, src: Path, dst: Path) -> None:
+        if self._point(f"replace-pre:{Path(dst).name}"):
+            raise CrashPoint(f"crash before replacing {dst}")
+        self.base.replace(src, dst)
+
+    def truncate(self, path: Path, size: int) -> None:
+        if self._point(f"truncate-pre:{Path(path).name}"):
+            raise CrashPoint(f"crash before truncating {path}")
+        self.base.truncate(path, size)
+
+    def unlink(self, path: Path) -> None:
+        if self._point(f"unlink-pre:{Path(path).name}"):
+            raise CrashPoint(f"crash before unlinking {path}")
+        self.base.unlink(path)
+
+    def fsync_file(self, path: Path) -> None:
+        if self._point(f"fsync-pre:{Path(path).name}"):
+            raise CrashPoint(f"crash before fsync of {path}")
+        if self.fail_fsync:
+            raise OSError(5, f"injected fsync failure for {path}")
+        self.base.fsync_file(path)
+
+    def fsync_dir(self, path: Path) -> None:
+        if self._point(f"fsyncdir-pre:{Path(path).name}"):
+            raise CrashPoint(f"crash before directory fsync of {path}")
+        self.base.fsync_dir(path)

@@ -1,14 +1,22 @@
 """Write-ahead journal: durable, replayable operation log.
 
 The durability counterpart of :mod:`repro.storage.snapshot`: instead of
-persisting state, persist the *operations* (which are already serializable
-command objects) as JSON lines and recover by replay.  The recovery
+persisting state, persist the *operations* (which are already
+serializable command objects) and recover by replay.  The recovery
 contract is the journal-replay property tested in the core suite: a
 replayed lattice is state-identical to the lost one.
 
-Layout: one JSONL file, one record per applied operation, plus an
-optional snapshot checkpoint that truncates the log (classic WAL +
-checkpoint).
+Layout: one record per applied operation in a checksummed, framed log
+(see :mod:`repro.storage.framing` for the frame grammar, the torn/
+corrupt damage taxonomy, and checkpoint generation fencing), plus an
+atomically-replaced snapshot checkpoint that truncates the log (classic
+WAL + checkpoint).  Legacy unframed JSONL journals read transparently.
+
+Durability is governed by a :class:`~repro.storage.framing.DurabilityPolicy`
+(fsync per append / per checkpoint / never, plus the auto-checkpoint
+thresholds) and recovery by a mode — ``strict`` raises on corruption,
+``salvage`` quarantines it — both surfaced through
+:meth:`DurableLattice.reopen` and the ``repro recover`` CLI.
 """
 
 from __future__ import annotations
@@ -24,6 +32,17 @@ from ..core.history import EvolutionJournal
 from ..core.lattice import TypeLattice
 from ..core.operations import SchemaOperation, operation_from_dict
 from ..obs.metrics import REGISTRY, SIZE_BUCKETS
+from .faults import RealFS, StorageFS
+from .framing import (
+    DurabilityPolicy,
+    SalvageReport,
+    encode_frame,
+    fence_records,
+    load_checkpoint,
+    read_log,
+    timed_fsync,
+    write_checkpoint,
+)
 from .snapshot import lattice_from_dict, lattice_to_dict
 
 __all__ = ["JournalFile", "DurableLattice"]
@@ -51,77 +70,152 @@ _WAL_COALESCED = REGISTRY.histogram(
 _WAL_CHECKPOINTS = REGISTRY.counter(
     "repro_wal_checkpoints_total", "WAL-to-snapshot checkpoint folds"
 )
+_WAL_AUTO_CHECKPOINTS = REGISTRY.counter(
+    "repro_wal_auto_checkpoints_total",
+    "Checkpoints triggered automatically by the durability policy",
+    labelnames=("reason",),
+)
 
 
 class JournalFile:
-    """An append-only JSONL operation log with checkpointing."""
+    """An append-only, checksummed operation log with checkpointing."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        durability: DurabilityPolicy | None = None,
+        fs: StorageFS | None = None,
+    ) -> None:
         self.path = Path(path)
         self.checkpoint_path = self.path.with_suffix(
             self.path.suffix + ".checkpoint"
         )
+        self.durability = durability or DurabilityPolicy()
+        self.fs = fs or RealFS()
+        self._generation: int | None = None
+        self._tail_checked = False
+
+    @property
+    def generation(self) -> int:
+        """The current checkpoint generation new appends are stamped with."""
+        if self._generation is None:
+            _, self._generation = load_checkpoint(
+                self.checkpoint_path, fs=self.fs
+            )
+        return self._generation
+
+    def _ensure_clean_tail(self) -> None:
+        """Heal a torn tail before the first append of this process.
+
+        Appending after an unterminated final line would concatenate the
+        new record onto the crash residue and corrupt *both*; repair
+        first (strict: a damaged interior should fail loudly here, not
+        be buried under fresh appends).
+        """
+        if self._tail_checked:
+            return
+        self._tail_checked = True
+        if self.fs.exists(self.path):
+            data = self.fs.read_bytes(self.path)
+            if data and not data.endswith(b"\n"):
+                self.repair("strict")
 
     def append(self, operation: SchemaOperation) -> None:
-        """Append one operation record (fsync-free; tests exercise crash
-        semantics at record granularity)."""
+        """Append one framed operation record (fsync per policy)."""
         started = perf_counter()
-        with self.path.open("a") as fh:
-            fh.write(json.dumps(operation.to_dict(), sort_keys=True) + "\n")
+        self._ensure_clean_tail()
+        payload = json.dumps(operation.to_dict(), sort_keys=True)
+        self.fs.append_bytes(
+            self.path, encode_frame(payload, self.generation)
+        )
+        if self.durability.sync_appends:
+            timed_fsync(self.fs, self.path)
         _WAL_APPENDS.inc()
         _WAL_APPEND_SECONDS.observe(perf_counter() - started)
 
-    def operations(self) -> list[SchemaOperation]:
-        """All logged operations, in order.  Torn trailing writes (a
-        truncated final line) are tolerated; corruption elsewhere is not."""
-        if not self.path.exists():
-            return []
-        ops: list[SchemaOperation] = []
-        lines = self.path.read_text().splitlines()
-        for i, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                ops.append(operation_from_dict(json.loads(line)))
-            except (json.JSONDecodeError, ValueError, KeyError) as exc:
-                if i == len(lines) - 1:
-                    break  # torn tail from a crash mid-append: discard
-                raise JournalError(
-                    f"journal corrupt at line {i + 1}: {exc}"
-                ) from exc
-        return ops
+    def operations(self, mode: str = "strict") -> list[SchemaOperation]:
+        """The live logged operations, in order (read-only).
+
+        Torn trailing writes are tolerated and records fenced off by the
+        checkpoint generation are skipped; structural corruption raises
+        :class:`~repro.core.errors.CorruptRecordError` in strict mode.
+        A final record that parses but decodes to no valid operation is
+        *schema* corruption, not a torn write, and is treated as corrupt
+        no matter where it sits.
+        """
+        records, _ = read_log(
+            self.path, fs=self.fs, mode=mode, decode=operation_from_dict
+        )
+        live, _ = fence_records(records, self.generation)
+        return [r.decoded for r in live]
+
+    def repair(self, mode: str = "strict") -> SalvageReport:
+        """Heal the log in place (truncate torn tails; in salvage mode,
+        quarantine corruption into a ``.corrupt`` sidecar)."""
+        records, report = read_log(
+            self.path, fs=self.fs, mode=mode,
+            decode=operation_from_dict, repair=True,
+        )
+        _, report.records_fenced = fence_records(records, self.generation)
+        if not report.clean:
+            logger.warning("repair(%s): %s", mode, report.summary())
+        return report
 
     def checkpoint(self, lattice: TypeLattice) -> None:
-        """Write a snapshot and truncate the log (applied ops are now
-        baked into the checkpoint)."""
-        self.checkpoint_path.write_text(
-            json.dumps(lattice_to_dict(lattice), sort_keys=True)
+        """Fold the applied operations into an atomic snapshot.
+
+        The checkpoint is written to a temp file, fsynced, renamed into
+        place and the directory fsynced; only then is the WAL truncated.
+        Records appended before the checkpoint carry an older generation
+        than the one stamped into it, so a crash *between* the rename
+        and the truncate cannot double-apply the tail on recovery — the
+        fence skips it.
+        """
+        new_generation = self.generation + 1
+        sync = self.durability.sync_checkpoints
+        write_checkpoint(
+            self.checkpoint_path,
+            lattice_to_dict(lattice),
+            new_generation,
+            fs=self.fs,
+            sync=sync,
         )
-        self.path.write_text("")
+        self._generation = new_generation
+        self.fs.write_bytes(self.path, b"")
+        if sync:
+            timed_fsync(self.fs, self.path)
         _WAL_CHECKPOINTS.inc()
         logger.info(
-            "checkpointed %d types to %s; WAL truncated",
-            len(lattice), self.checkpoint_path,
+            "checkpointed %d types to %s (generation %d); WAL truncated",
+            len(lattice), self.checkpoint_path, new_generation,
         )
 
     def recover(
-        self, policy: LatticePolicy | None = None
+        self, policy: LatticePolicy | None = None, mode: str = "strict"
     ) -> TypeLattice:
         """Rebuild the lattice: load the checkpoint (if any), then replay
-        the tail of the log."""
-        if self.checkpoint_path.exists():
-            lattice = lattice_from_dict(
-                json.loads(self.checkpoint_path.read_text())
-            )
-        else:
-            lattice = TypeLattice(policy)
-        for op in self.operations():
+        the live tail of the log."""
+        state, self._generation = load_checkpoint(
+            self.checkpoint_path, fs=self.fs
+        )
+        lattice = (
+            lattice_from_dict(state) if state is not None
+            else TypeLattice(policy)
+        )
+        for op in self.operations(mode):
             op.apply(lattice)
         return lattice
 
+    def sync(self) -> None:
+        """Force the appended records to stable storage (batch policy)."""
+        if self.fs.exists(self.path):
+            timed_fsync(self.fs, self.path)
+
     def clear(self) -> None:
-        self.path.unlink(missing_ok=True)
-        self.checkpoint_path.unlink(missing_ok=True)
+        self.fs.unlink(self.path)
+        self.fs.unlink(self.checkpoint_path)
+        self._generation = 0
 
 
 class DurableLattice:
@@ -136,6 +230,11 @@ class DurableLattice:
     its dirty set and the first post-open query pays a single derivation
     pass — reopening a database costs O(plan), not O(plan × schema).
 
+    ``durability`` selects the fsync/auto-checkpoint policy and
+    ``recovery`` the damage response (``"strict"`` raises on corruption,
+    ``"salvage"`` quarantines it); the outcome of opening is recorded in
+    :attr:`recovery_report`.
+
     The full :class:`~repro.core.transactions.SchemaTransaction` protocol
     is supported (``apply``/``undo``/``__len__``/``lattice``), so atomic
     batches work directly against durable storage::
@@ -148,34 +247,49 @@ class DurableLattice:
         self,
         path: str | Path,
         policy: LatticePolicy | None = None,
+        *,
+        durability: DurabilityPolicy | None = None,
+        recovery: str = "strict",
+        fs: StorageFS | None = None,
     ) -> None:
-        self.file = JournalFile(path)
-        # Recover the checkpoint state, then replay the WAL tail *through*
-        # the in-memory journal so history (and undo) survive a restart.
-        if self.file.checkpoint_path.exists():
-            import json
-
-            from .snapshot import lattice_from_dict
-
-            base = lattice_from_dict(
-                json.loads(self.file.checkpoint_path.read_text())
-            )
-        else:
-            base = TypeLattice(policy)
+        self.file = JournalFile(path, durability=durability, fs=fs)
+        # Opening is the mutating entry point, so heal crash residue now
+        # (a torn tail must not swallow the next append).
+        self.recovery_report = self.file.repair(recovery)
+        state, generation = load_checkpoint(
+            self.file.checkpoint_path, fs=self.file.fs
+        )
+        self.file._generation = generation
+        base = (
+            lattice_from_dict(state) if state is not None
+            else TypeLattice(policy)
+        )
+        # Replay the WAL tail *through* the in-memory journal so history
+        # (and undo) survive a restart.
         self.journal = EvolutionJournal(lattice=base)
         started = perf_counter()
         replayed = 0
-        for op in self.file.operations():
+        for op in self.file.operations(recovery):
             self.journal.apply(op)
             replayed += 1
+        elapsed = perf_counter() - started
+        self._since_checkpoint = replayed
         if replayed:
             _WAL_REPLAY_OPS.inc(replayed)
             _WAL_COALESCED.observe(replayed)
-            _WAL_REPLAY_SECONDS.observe(perf_counter() - started)
+            _WAL_REPLAY_SECONDS.observe(elapsed)
             logger.info(
                 "replayed %d WAL operation(s) from %s (coalesced into one "
                 "deferred derivation pass)", replayed, self.file.path,
             )
+        budget = self.file.durability.replay_budget_seconds
+        if replayed and budget is not None and elapsed > budget:
+            logger.info(
+                "replay took %.3fs (budget %.3fs): auto-checkpointing",
+                elapsed, budget,
+            )
+            self.checkpoint()
+            _WAL_AUTO_CHECKPOINTS.labels(reason="replay-budget").inc()
 
     @property
     def lattice(self) -> TypeLattice:
@@ -188,7 +302,10 @@ class DurableLattice:
         """Validate, log (write-ahead), then apply."""
         operation.validate(self.lattice)
         self.file.append(operation)
-        return self.journal.apply(operation)
+        result = self.journal.apply(operation)
+        self._since_checkpoint += 1
+        self._maybe_auto_checkpoint()
+        return result
 
     def apply_all(self, operations):
         """Apply a batch; invalidations coalesce into one later pass."""
@@ -207,14 +324,40 @@ class DurableLattice:
         entry = self.journal.entries[-1]
         for op in entry.inverse:
             self.file.append(op)
-        return self.journal.undo()
+            self._since_checkpoint += 1
+        result = self.journal.undo()
+        self._maybe_auto_checkpoint()
+        return result
+
+    def _maybe_auto_checkpoint(self) -> None:
+        every = self.file.durability.checkpoint_every
+        if every is not None and self._since_checkpoint >= every:
+            logger.info(
+                "auto-checkpoint after %d record(s) (policy: every %d)",
+                self._since_checkpoint, every,
+            )
+            self.checkpoint()
+            _WAL_AUTO_CHECKPOINTS.labels(reason="interval").inc()
 
     def checkpoint(self) -> None:
         self.file.checkpoint(self.lattice)
+        self._since_checkpoint = 0
+
+    def sync(self) -> None:
+        """Flush appended records to disk (the batch-policy commit point)."""
+        self.file.sync()
 
     @classmethod
     def reopen(
-        cls, path: str | Path, policy: LatticePolicy | None = None
+        cls,
+        path: str | Path,
+        policy: LatticePolicy | None = None,
+        *,
+        durability: DurabilityPolicy | None = None,
+        recovery: str = "strict",
+        fs: StorageFS | None = None,
     ) -> "DurableLattice":
         """Simulated restart: rebuild purely from durable state."""
-        return cls(path, policy)
+        return cls(
+            path, policy, durability=durability, recovery=recovery, fs=fs
+        )

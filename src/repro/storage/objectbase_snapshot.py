@@ -16,6 +16,7 @@ that raises on first invocation, so the gap is loud, not silent.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Callable
 
@@ -255,10 +256,13 @@ def objectbase_from_dict(
 
 
 def save_objectbase(store: Objectbase, path: str | Path) -> Path:
+    """Write a whole-store snapshot atomically (temp file + rename)."""
     path = Path(path)
-    path.write_text(
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(
         json.dumps(objectbase_to_dict(store), indent=2, sort_keys=True)
     )
+    os.replace(tmp, path)
     return path
 
 

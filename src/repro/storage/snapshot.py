@@ -11,6 +11,7 @@ and a consistency hazard).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -134,11 +135,17 @@ def lattice_from_dict(data: dict[str, Any]) -> TypeLattice:
 
 
 def save_lattice(lattice: TypeLattice, path: str | Path) -> Path:
-    """Write a snapshot file; returns the path."""
+    """Write a snapshot file atomically; returns the path.
+
+    The snapshot lands via temp-file + rename so a crash mid-save leaves
+    the previous snapshot intact instead of a torn JSON document.
+    """
     path = Path(path)
-    path.write_text(
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(
         json.dumps(lattice_to_dict(lattice), indent=2, sort_keys=True)
     )
+    os.replace(tmp, path)
     return path
 
 

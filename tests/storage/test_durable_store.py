@@ -123,3 +123,104 @@ class TestFailureModes:
         with pytest.raises(JournalError):
             durable.execute("at", name="T_x", bogus=True)
         assert "T_x" not in durable.store.lattice
+
+
+def wal_append(durable: DurableObjectbase, record: dict) -> None:
+    """Append a framed record exactly as execute() would have."""
+    from repro.storage.framing import encode_frame
+
+    with durable.wal_path.open("ab") as fh:
+        fh.write(
+            encode_frame(
+                json.dumps(record, sort_keys=True), durable._generation
+            )
+        )
+
+
+class TestWriteAhead:
+    def test_record_hits_wal_before_rejection(self, tmp_path):
+        """Genuine write-ahead: even a rejected operation was logged
+        first, and its ``__abort__`` marker keeps replay deterministic."""
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        from repro.core import SchemaError
+
+        with pytest.raises(SchemaError):
+            durable.execute("at", "T_person", (), (), False)  # duplicate
+        text = durable.wal_path.read_text()
+        records = [
+            json.loads(line.split(" ", 4)[4])
+            for line in text.splitlines()
+            if line.startswith("#W1 ")
+        ]
+        rejected = [r for r in records if r.get("args", {}).get("name")
+                    == "T_person" and r["method"] == "at"]
+        aborts = [r for r in records if r["method"] == "__abort__"]
+        assert len(rejected) == 2  # the build's + the rejected duplicate
+        assert len(aborts) == 1
+        assert aborts[0]["args"]["seq"] == records[-2]["seq"]
+
+    def test_crash_between_append_and_abort_marker(self, tmp_path):
+        """A doomed record at the very tail (crash before the abort
+        marker landed) replays as a logged-but-unapplied tail, not as
+        corruption."""
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        wal_append(
+            durable,
+            {"method": "at", "args": {"name": "T_person",
+                                      "supertypes": [],
+                                      "behaviors": [],
+                                      "with_class": False},
+             "seq": durable._seq + 1},
+        )
+        reopened = DurableObjectbase.reopen(tmp_path / "db")
+        assert (
+            reopened.store.lattice.state_fingerprint()
+            == durable.store.lattice.state_fingerprint()
+        )
+
+    def test_doomed_record_mid_log_still_raises(self, tmp_path):
+        """The unapplied-tail tolerance is for the *final* record only;
+        a mid-log replay failure is real corruption."""
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        wal_append(
+            durable,
+            {"method": "at", "args": {"name": "T_person",
+                                      "supertypes": [],
+                                      "behaviors": [],
+                                      "with_class": False},
+             "seq": durable._seq + 1},
+        )
+        wal_append(
+            durable,
+            {"method": "al", "args": {"name": "panel",
+                                      "member_type": "T_person"},
+             "seq": durable._seq + 2},
+        )
+        with pytest.raises(JournalError, match="replay failed"):
+            DurableObjectbase.reopen(tmp_path / "db")
+
+    def test_logged_but_unapplied_valid_tail_is_applied(self, tmp_path):
+        """Crash after append, before apply, of a *valid* operation: the
+        record is durable, so recovery applies it (write-ahead pays off)."""
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        wal_append(
+            durable,
+            {"method": "al", "args": {"name": "panel",
+                                      "member_type": "T_person"},
+             "seq": durable._seq + 1},
+        )
+        reopened = DurableObjectbase.reopen(tmp_path / "db")
+        assert reopened.store.collection("panel").member_type == "T_person"
+
+    def test_seq_survives_reopen(self, tmp_path):
+        durable = DurableObjectbase(tmp_path / "db")
+        build(durable)
+        seq = durable._seq
+        reopened = DurableObjectbase.reopen(tmp_path / "db")
+        assert reopened._seq == seq
+        reopened.execute("al", "panel", "T_person")
+        assert reopened._seq == seq + 1

@@ -49,6 +49,31 @@ class TestJournalFile:
         with pytest.raises(JournalError):
             jf.operations()
 
+    def test_semantically_invalid_final_record_raises(self, tmp_path):
+        # Regression: a final record that parses as JSON but decodes to
+        # no valid operation used to be silently discarded as if it were
+        # a torn write.  It is schema corruption and must raise.
+        jf = JournalFile(tmp_path / "wal.jsonl")
+        jf.append(SCRIPT[0])
+        with jf.path.open("a") as fh:
+            fh.write('{"code": "NOPE", "name": "T_x"}')  # even unterminated
+        with pytest.raises(JournalError):
+            jf.operations()
+
+    def test_append_after_torn_tail_heals_first(self, tmp_path):
+        # Appending onto crash residue would corrupt both records; the
+        # journal repairs its tail before the first append.
+        jf = JournalFile(tmp_path / "wal.jsonl")
+        jf.append(SCRIPT[0])
+        with jf.path.open("a") as fh:
+            fh.write('{"code": "AT", "nam')
+        jf2 = JournalFile(tmp_path / "wal.jsonl")
+        jf2.append(SCRIPT[1])
+        ops = jf2.operations()
+        assert [o.to_dict() for o in ops] == [
+            o.to_dict() for o in SCRIPT[:2]
+        ]
+
     def test_recover_replays(self, tmp_path):
         jf = JournalFile(tmp_path / "wal.jsonl")
         for op in SCRIPT:

@@ -308,3 +308,62 @@ class TestImpactNormalizeHistory:
         out = capsys.readouterr().out
         assert "redundant" not in out
         assert "0 finding(s)" in out
+
+
+class TestRecoverCommand:
+    def corrupt(self, db):
+        with open(db, "ab") as fh:
+            fh.write(b"#W1 0 9 00000000 junkjunk\n")
+
+    def test_recover_clean_db(self, db, capsys):
+        run(db, "add-type", "T_a")
+        capsys.readouterr()
+        assert run(db, "recover") == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "replay verified" in out
+
+    def test_strict_mode_diagnoses_and_fails(self, db, capsys):
+        run(db, "add-type", "T_a")
+        self.corrupt(db)
+        capsys.readouterr()
+        assert run(db, "recover", "--mode", "strict") == 1
+        err = capsys.readouterr().err
+        assert "wal-corrupt-record" in err
+        # Diagnosis only: the damage is still there.
+        assert b"junkjunk" in Path(db).read_bytes()
+
+    def test_salvage_mode_heals_and_verifies(self, db, capsys):
+        run(db, "add-type", "T_a")
+        self.corrupt(db)
+        capsys.readouterr()
+        assert run(db, "recover") == 0  # salvage is the default
+        out = capsys.readouterr().out
+        assert "quarantined" in out and "replay verified" in out
+        assert Path(db + ".corrupt").exists()
+        assert b"junkjunk" not in Path(db).read_bytes()
+        # The healed database opens normally again.
+        assert run(db, "show") == 0
+        assert "T_a" in capsys.readouterr().out
+
+    def test_open_refuses_corrupt_db_with_hint(self, db, capsys):
+        run(db, "add-type", "T_a")
+        self.corrupt(db)
+        capsys.readouterr()
+        assert run(db, "show") == 1
+        assert "salvage" in capsys.readouterr().err
+
+
+class TestDurabilityFlags:
+    def test_fsync_always(self, db, capsys):
+        assert main(["--db", db, "--fsync", "always",
+                     "add-type", "T_a"]) == 0
+        assert run(db, "show") == 0
+        assert "T_a" in capsys.readouterr().out
+
+    def test_checkpoint_every_triggers_auto_checkpoint(self, db, capsys):
+        assert main(["--db", db, "--checkpoint-every", "1",
+                     "add-type", "T_a"]) == 0
+        assert Path(db).read_bytes() == b""  # WAL folded into checkpoint
+        assert Path(db + ".checkpoint").exists()
+        assert run(db, "show") == 0
+        assert "T_a" in capsys.readouterr().out
