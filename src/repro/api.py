@@ -68,8 +68,10 @@ from .core.properties import Property
 from .core.soundness import SoundnessReport, verify
 from .core.transactions import SchemaTransaction, TransactionError
 from .obs.tracing import trace
+from .storage.faults import StorageFS
 from .storage.framing import DurabilityPolicy, SalvageReport
 from .storage.journal import DurableLattice
+from .storage.reliability import RetryPolicy
 
 __all__ = ["Objectbase", "TermCard", "DurabilityPolicy"]
 
@@ -142,6 +144,8 @@ class Objectbase:
         *,
         durability: DurabilityPolicy | None = None,
         recovery: str = "strict",
+        retry: RetryPolicy | None = None,
+        fs: StorageFS | None = None,
     ) -> "Objectbase":
         """Open (or create) a durable objectbase backed by a WAL file.
 
@@ -154,11 +158,17 @@ class Objectbase:
         :class:`~repro.core.errors.CorruptRecordError`, ``"salvage"``
         truncates to the last valid record and quarantines the rest (see
         ``docs/durability.md``).  :attr:`recovery_report` records the
-        outcome.
+        outcome.  ``retry`` governs how transient storage faults on the
+        WAL append path are absorbed
+        (:class:`~repro.storage.reliability.RetryPolicy`); when the
+        budget is exhausted the store latches read-only (see
+        :attr:`degraded`).  ``fs`` swaps the filesystem seam (fault
+        injection in tests).
         """
         return cls(
             DurableLattice(
-                path, policy, durability=durability, recovery=recovery
+                path, policy, durability=durability, recovery=recovery,
+                retry=retry, fs=fs,
             )
         )
 
@@ -177,6 +187,18 @@ class Objectbase:
     @property
     def durable(self) -> bool:
         return isinstance(self._journal, DurableLattice)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the store is latched read-only after storage failure.
+
+        Always ``False`` for in-memory objectbases.  While ``True``,
+        every mutation raises a typed
+        :class:`~repro.core.errors.DegradedModeError`; reads keep
+        serving the last consistent state.  ``repro recover`` (or
+        reopening) restores service.
+        """
+        return bool(getattr(self._journal, "degraded", False))
 
     @property
     def recovery_report(self) -> SalvageReport | None:

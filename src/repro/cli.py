@@ -23,6 +23,7 @@ subcommand is one of the paper's operations or inspections::
     python -m repro --db schema.wal recover --mode salvage
     python -m repro --db schema.wal stats --plan plan.json --format prom
     python -m repro --db schema.wal trace --plan plan.json --out trace.jsonl
+    python -m repro --db schema.wal serve --port 8787   # HTTP/JSON service
 
 Opening the database replays the WAL in batch mode: one derivation pass
 per invocation, however long the journal tail is.  The global
@@ -223,6 +224,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", default="-",
         help="where to write the JSONL spans (default: stdout)",
     )
+    p.add_argument(
+        "--sample-rate", type=float, default=1.0, metavar="R",
+        help="keep this fraction of traces (deterministic per trace id; "
+             "summary records are always kept)",
+    )
+
+    p = sub.add_parser(
+        "serve",
+        help="HTTP/JSON service over the objectbase: lock-free reads, "
+             "fair single-writer mutation, /healthz /readyz /metrics",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8787,
+                   help="bind port (default: 8787; 0 picks a free port)")
+    p.add_argument(
+        "--lock-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="how long a write waits for the single-writer lock before "
+             "failing with lock-timeout (HTTP 503 + Retry-After)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="write-admission bound: further writes are shed with 429",
+    )
+    p.add_argument(
+        "--trace-out", metavar="FILE",
+        help="attach an always-on JSONL span sink (one root span per "
+             "request)",
+    )
+    p.add_argument(
+        "--trace-sample-rate", type=float, default=1.0, metavar="R",
+        help="keep this fraction of traces (with --trace-out)",
+    )
+    p.add_argument(
+        "--trace-max-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate the trace file at this size (with --trace-out)",
+    )
+    p.add_argument(
+        "--trace-keep", type=int, default=3, metavar="N",
+        help="rotated trace generations to retain (default: 3)",
+    )
     return parser
 
 
@@ -284,6 +326,39 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _cmd_serve(args, durability) -> int:
+    """Run the HTTP/JSON service until interrupted (``repro serve``)."""
+    from .concurrent import ConcurrentObjectbase
+    from .server import serve
+
+    try:
+        store = ConcurrentObjectbase.open(
+            args.db, durability=durability, lock_timeout=args.lock_timeout
+        )
+    except EvolutionError as exc:
+        print(
+            f"error [{error_code(exc)}]: cannot open {args.db}: {exc}",
+            file=sys.stderr,
+        )
+        return exit_code_for(exc)
+    sink = None
+    if args.trace_out:
+        sink = JsonlSink(
+            args.trace_out,
+            max_bytes=args.trace_max_bytes,
+            keep=args.trace_keep,
+            sample_rate=args.trace_sample_rate,
+        )
+        _trace.set_sink(sink)
+    try:
+        serve(store, args.host, args.port, max_inflight=args.max_inflight)
+    finally:
+        if sink is not None:
+            _trace.set_sink(None)
+            sink.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(verbose=args.verbose, quiet=args.quiet)
@@ -295,6 +370,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             fsync=args.fsync or "batch",
             checkpoint_every=args.checkpoint_every,
         )
+    if args.command == "serve":
+        return _cmd_serve(args, durability)
     try:
         ob = Objectbase.open(args.db, durability=durability)
     except EvolutionError as exc:
@@ -441,7 +518,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             plan = load_plan(args.plan)
             to_stdout = args.out == "-"
-            sink = JsonlSink(sys.stdout if to_stdout else args.out)
+            sink = JsonlSink(
+                sys.stdout if to_stdout else args.out,
+                sample_rate=args.sample_rate,
+            )
             previous_sink = _trace.set_sink(sink)
             try:
                 _, rejected, violations = _run_plan_observed(ob, plan)

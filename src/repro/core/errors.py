@@ -53,6 +53,8 @@ __all__ = [
     "JournalError",
     "CorruptRecordError",
     "PlanError",
+    "LockTimeoutError",
+    "DegradedModeError",
     "ERROR_CODES",
     "error_code",
     "exit_code_for",
@@ -225,6 +227,47 @@ class PlanError(SchemaError):
     """An evolution plan file is unreadable or malformed."""
 
     code: ClassVar[str] = "plan-malformed"
+
+
+class LockTimeoutError(SchemaError):
+    """The single-writer lock could not be acquired within the timeout.
+
+    Raised by the concurrency layer (:mod:`repro.concurrent`) when a
+    writer waits longer than its configured bound.  The request was never
+    admitted — no partial effect exists — so the caller can safely retry;
+    the HTTP service maps this to ``503`` with a ``Retry-After`` hint.
+    """
+
+    code: ClassVar[str] = "lock-timeout"
+
+    def __init__(self, timeout: float, waiters: int = 0) -> None:
+        super().__init__(
+            f"write lock not acquired within {timeout:.3f}s "
+            f"({waiters} writer(s) queued ahead)"
+        )
+        self.timeout = timeout
+        self.waiters = waiters
+
+
+class DegradedModeError(SchemaError):
+    """The store is read-only because durable appends stopped working.
+
+    After a WAL append exhausts its retry budget the store latches into
+    degraded mode rather than risk a corrupt or silently truncated log:
+    reads keep serving from the last consistent state, every write is
+    rejected with this error, and the ``repro_degraded_mode`` gauge is
+    raised.  ``repro recover`` (or the service's recover endpoint) heals
+    the log and clears the latch.
+    """
+
+    code: ClassVar[str] = "degraded-mode"
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(
+            f"store is in read-only degraded mode: {reason} "
+            f"(run `repro recover` to restore service)"
+        )
+        self.reason = reason
 
 
 def _collect_codes() -> dict[str, type]:

@@ -28,13 +28,23 @@ Naming follows the Prometheus conventions: ``repro_<noun>_total`` for
 counters, ``_seconds`` for latency histograms.  The full catalogue lives
 in ``docs/observability.md``.
 
-The registry is not synchronized; like the lattice itself it assumes one
-mutating thread (sharded/sampled registries are a ROADMAP item).
+Thread safety
+-------------
+The registry is safe for concurrent use: sample updates
+(``inc``/``dec``/``set``/``observe``) and ``reset`` take a per-sample
+lock, child creation and registration are guarded, and every export
+walks a point-in-time snapshot of the family/sample maps.  The lock is
+acquired only when the sample is enabled, so the disabled path (the
+overhead benchmark's baseline) stays a single attribute check.  The
+derivation engine's *inlined* sample updates (see
+``core/lattice.py``) intentionally bypass the locks — they run on the
+single-writer path that :mod:`repro.concurrent` serializes.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from bisect import bisect_left
 from typing import Iterator, Mapping
 
@@ -49,7 +59,12 @@ __all__ = [
     "LATENCY_BUCKETS",
     "SIZE_BUCKETS",
     "FSYNC_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
 ]
+
+#: The content type a Prometheus scraper expects from a pull endpoint
+#: serving :meth:`MetricsRegistry.render_prometheus` output.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Default bucket upper bounds for latency histograms, in seconds
 #: (100 µs .. 2.5 s — schema operations and derivation passes).
@@ -102,26 +117,29 @@ class Counter:
     """A monotonically increasing sample."""
 
     kind = "counter"
-    __slots__ = ("name", "labels", "enabled", "_value")
+    __slots__ = ("name", "labels", "enabled", "_value", "_lock")
 
     def __init__(self, name: str, labels: dict[str, str], enabled: bool) -> None:
         self.name = name
         self.labels = labels
         self.enabled = enabled
         self._value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         if self.enabled:
             if amount < 0:
                 raise ValueError("counters only go up")
-            self._value += amount
+            with self._lock:
+                self._value += amount
 
     @property
     def value(self) -> int | float:
         return self._value
 
     def _reset(self) -> None:
-        self._value = 0
+        with self._lock:
+            self._value = 0
 
     def _export(self) -> dict:
         return {"labels": dict(self.labels), "value": self._value}
@@ -131,32 +149,37 @@ class Gauge:
     """A sample that can go up and down (e.g. live schema size)."""
 
     kind = "gauge"
-    __slots__ = ("name", "labels", "enabled", "_value")
+    __slots__ = ("name", "labels", "enabled", "_value", "_lock")
 
     def __init__(self, name: str, labels: dict[str, str], enabled: bool) -> None:
         self.name = name
         self.labels = labels
         self.enabled = enabled
         self._value = 0
+        self._lock = threading.Lock()
 
     def set(self, value: int | float) -> None:
         if self.enabled:
-            self._value = value
+            with self._lock:
+                self._value = value
 
     def inc(self, amount: int | float = 1) -> None:
         if self.enabled:
-            self._value += amount
+            with self._lock:
+                self._value += amount
 
     def dec(self, amount: int | float = 1) -> None:
         if self.enabled:
-            self._value -= amount
+            with self._lock:
+                self._value -= amount
 
     @property
     def value(self) -> int | float:
         return self._value
 
     def _reset(self) -> None:
-        self._value = 0
+        with self._lock:
+            self._value = 0
 
     def _export(self) -> dict:
         return {"labels": dict(self.labels), "value": self._value}
@@ -166,7 +189,9 @@ class Histogram:
     """Observations bucketed into fixed, cumulative upper bounds."""
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "enabled", "bounds", "_counts", "_sum")
+    __slots__ = (
+        "name", "labels", "enabled", "bounds", "_counts", "_sum", "_lock",
+    )
 
     def __init__(
         self,
@@ -182,11 +207,13 @@ class Histogram:
         # one slot per finite bound plus the +Inf overflow slot
         self._counts = [0] * (len(bounds) + 1)
         self._sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: int | float) -> None:
         if self.enabled:
-            self._counts[bisect_left(self.bounds, value)] += 1
-            self._sum += value
+            with self._lock:
+                self._counts[bisect_left(self.bounds, value)] += 1
+                self._sum += value
 
     @property
     def count(self) -> int:
@@ -198,17 +225,20 @@ class Histogram:
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
+        with self._lock:
+            counts = list(self._counts)
         out: list[tuple[float, int]] = []
         running = 0
-        for bound, n in zip(self.bounds, self._counts):
+        for bound, n in zip(self.bounds, counts):
             running += n
             out.append((bound, running))
-        out.append((float("inf"), running + self._counts[-1]))
+        out.append((float("inf"), running + counts[-1]))
         return out
 
     def _reset(self) -> None:
-        self._counts = [0] * (len(self.bounds) + 1)
-        self._sum = 0.0
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
 
     def _export(self) -> dict:
         return {
@@ -241,6 +271,7 @@ class MetricFamily:
         self._enabled = enabled
         self._kwargs = kwargs
         self._children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
         if not labelnames:
             self._default = self._make_child(())
         else:
@@ -268,7 +299,12 @@ class MetricFamily:
         key = tuple(str(labelvalues[k]) for k in self.labelnames)
         child = self._children.get(key)
         if child is None:
-            child = self._make_child(key)
+            # Double-checked under the family lock: two threads racing on
+            # a new label combination must share one sample.
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child(key)
         return child
 
     # -- unlabeled families proxy the sample API ------------------------
@@ -301,8 +337,12 @@ class MetricFamily:
         return self._enabled
 
     def samples(self) -> Iterator[Counter | Gauge | Histogram]:
-        """Children in insertion order (deterministic export)."""
-        return iter(self._children.values())
+        """Children in insertion order (deterministic export).
+
+        Iterates a point-in-time snapshot, so exports are safe against a
+        concurrent thread creating a new label combination.
+        """
+        return iter(list(self._children.values()))
 
     def _set_enabled(self, enabled: bool) -> None:
         self._enabled = enabled
@@ -326,6 +366,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._families: dict[str, MetricFamily] = {}
         self._enabled = True
+        self._lock = threading.RLock()
 
     # -- registration ---------------------------------------------------
 
@@ -333,19 +374,23 @@ class MetricsRegistry:
         self, name: str, help: str, kind: type,
         labelnames: tuple[str, ...], **kwargs,
     ) -> MetricFamily:
-        existing = self._families.get(name)
-        if existing is not None:
-            if existing._kind is not kind or existing.labelnames != labelnames:
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind} with labels {existing.labelnames}"
-                )
-            return existing
-        family = MetricFamily(
-            name, help, kind, labelnames, self._enabled, **kwargs
-        )
-        self._families[name] = family
-        return family
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if (
+                    existing._kind is not kind
+                    or existing.labelnames != labelnames
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            family = MetricFamily(
+                name, help, kind, labelnames, self._enabled, **kwargs
+            )
+            self._families[name] = family
+            return family
 
     def counter(
         self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
@@ -377,19 +422,22 @@ class MetricsRegistry:
 
     def set_enabled(self, enabled: bool) -> None:
         """Flip every sample (and future samples) to/from no-op mode."""
-        self._enabled = enabled
-        for family in self._families.values():
-            family._set_enabled(enabled)
+        with self._lock:
+            self._enabled = enabled
+            for family in list(self._families.values()):
+                family._set_enabled(enabled)
 
     def reset(self) -> None:
         """Zero every sample in place; registrations and handles survive."""
-        for family in self._families.values():
-            family._reset()
+        with self._lock:
+            for family in list(self._families.values()):
+                family._reset()
 
     # -- introspection and export --------------------------------------
 
     def __iter__(self) -> Iterator[MetricFamily]:
-        return iter(self._families.values())
+        with self._lock:
+            return iter(list(self._families.values()))
 
     def __contains__(self, name: str) -> bool:
         return name in self._families
@@ -405,7 +453,7 @@ class MetricsRegistry:
         cheap to copy, keyed exactly like the Prometheus export.
         """
         out: dict[str, int | float] = {}
-        for family in self._families.values():
+        for family in iter(self):
             if family.kind != "counter":
                 continue
             for child in family.samples():
@@ -420,18 +468,27 @@ class MetricsRegistry:
                 "help": family.help,
                 "values": [child._export() for child in family.samples()],
             }
-            for family in self._families.values()
+            for family in iter(self)
         }
 
     def render_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.collect(), indent=indent, sort_keys=True)
 
     def render_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        Serve with content type ``text/plain; version=0.0.4`` (the
+        server's ``/metrics`` endpoint does).  Label values are escaped
+        per the exposition spec (backslash, quote, newline — see
+        :func:`sample_name`), and so are HELP strings (backslash,
+        newline).
+        """
         lines: list[str] = []
-        for family in self._families.values():
+        for family in iter(self):
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                help_text = family.help.replace("\\", "\\\\") \
+                    .replace("\n", "\\n")
+                lines.append(f"# HELP {family.name} {help_text}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             for child in family.samples():
                 if family.kind == "histogram":
@@ -461,7 +518,7 @@ class MetricsRegistry:
     def render_text(self) -> str:
         """Compact human-readable dump (the CLI's default stats format)."""
         lines: list[str] = []
-        for family in self._families.values():
+        for family in iter(self):
             for child in family.samples():
                 name = sample_name(family.name, child.labels)
                 if family.kind == "histogram":

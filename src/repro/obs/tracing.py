@@ -23,14 +23,30 @@ counter snapshot, no timestamps — so always-on instrumentation in the
 facade costs nothing on untraced runs.
 
 Sinks are pluggable: anything with ``emit(record: dict)`` works.
-:class:`JsonlSink` appends JSON lines to a path or file object;
-:class:`ListSink` collects records in memory (tests, aggregation).
+:class:`JsonlSink` appends JSON lines to a path or file object — with
+optional size-based rotation (``max_bytes``/``keep``) and deterministic
+head sampling (``sample_rate``) so always-on tracing in a long-running
+server stays bounded; :class:`ListSink` collects records in memory
+(tests, aggregation).
+
+Thread safety: the span stack is **thread-local** — each thread nests
+its own spans, so one server request produces one root span regardless
+of what other request threads are doing.  Span ids are allocated from a
+shared atomic counter and :class:`JsonlSink` serializes its writes, so
+concurrent roots interleave whole records, never bytes.  Counter deltas
+on a span are computed from the shared registry and therefore include
+activity from concurrently-running threads; under the single-writer
+lock of :mod:`repro.concurrent` mutation deltas stay exact, read-path
+spans are best-effort.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import threading
 import time
+import zlib
 from contextlib import contextmanager
 from pathlib import Path
 from typing import IO, Iterator
@@ -124,14 +140,26 @@ _NULL_SPAN = NullSpan()
 
 
 class Tracer:
-    """Span factory bound to a metrics registry and an optional sink."""
+    """Span factory bound to a metrics registry and an optional sink.
+
+    The stack of live spans is per-thread (:class:`threading.local`), so
+    spans nest within a thread and concurrent threads each produce their
+    own root spans; ids come from shared atomic counters.
+    """
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._registry = registry if registry is not None else REGISTRY
         self._sink = None
-        self._stack: list[Span] = []
-        self._next_id = 1
-        self._next_trace = 1
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @property
     def sink(self):
@@ -144,8 +172,9 @@ class Tracer:
 
     @property
     def active(self) -> Span | None:
-        """The innermost live span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost live span of the calling thread, if any."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span | NullSpan]:
@@ -158,22 +187,21 @@ class Tracer:
         if self._sink is None:
             yield _NULL_SPAN
             return
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = stack[-1] if stack else None
         if parent is None:
-            trace_id = self._next_trace
-            self._next_trace += 1
+            trace_id = next(self._trace_ids)
         else:
             trace_id = parent.trace_id
         span = Span(
             name=name,
             trace_id=trace_id,
-            span_id=self._next_id,
+            span_id=next(self._ids),
             parent_id=parent.span_id if parent is not None else None,
             attrs=dict(attrs),
             counters_before=self._registry.counter_samples(),
         )
-        self._next_id += 1
-        self._stack.append(span)
+        stack.append(span)
         try:
             yield span
         except BaseException as exc:
@@ -183,32 +211,113 @@ class Tracer:
             )
             raise
         finally:
-            self._stack.pop()
+            stack.pop()
             sink = self._sink
             if sink is not None:
                 sink.emit(span._finish(self._registry))
 
 
 class JsonlSink:
-    """Append span records as JSON lines to a path or file object."""
+    """Append span records as JSON lines to a path or file object.
 
-    def __init__(self, target: str | Path | IO[str]) -> None:
+    Hardened for always-on use in a long-running server:
+
+    * **Rotation** — with ``max_bytes`` set (and a path target), the
+      file is rotated once a write would push it past the limit:
+      ``trace.jsonl`` becomes ``trace.jsonl.1``, older generations shift
+      up, and at most ``keep`` rotated files are retained.
+    * **Head sampling** — ``sample_rate`` keeps that fraction of traces.
+      The decision is made once per ``trace_id`` (deterministically, by
+      hashing the id), so a kept trace keeps *all* of its spans and a
+      dropped trace drops all of them — never a parentless child.
+      Records without a ``trace_id`` (e.g. the trailing ``summary``) are
+      always written.
+    * **Thread safety** — writes are serialized, so concurrent request
+      threads interleave whole records.
+    """
+
+    def __init__(
+        self,
+        target: str | Path | IO[str],
+        *,
+        max_bytes: int | None = None,
+        keep: int = 3,
+        sample_rate: float = 1.0,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be within [0, 1]")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
+        if keep < 1:
+            raise ValueError("keep must be at least 1")
         if isinstance(target, (str, Path)):
-            self._fh: IO[str] = Path(target).open("w")
+            self._path: Path | None = Path(target)
+            self._fh: IO[str] = self._path.open("w")
             self._owns = True
         else:
+            self._path = None
             self._fh = target
             self._owns = False
+        self.max_bytes = max_bytes if self._path is not None else None
+        self.keep = keep
+        self.sample_rate = sample_rate
         self.emitted = 0
+        self.sampled_out = 0
+        self.rotations = 0
+        self._written = 0
+        self._lock = threading.Lock()
+
+    def _keep_trace(self, trace_id) -> bool:
+        if self.sample_rate >= 1.0:
+            return True
+        if self.sample_rate <= 0.0:
+            return False
+        # Deterministic per-trace coin flip: stable across threads,
+        # processes, and replays of the same trace ids.
+        h = zlib.crc32(str(trace_id).encode("utf-8")) & 0xFFFFFFFF
+        return h / 2**32 < self.sample_rate
+
+    def _maybe_rotate(self, pending: int) -> None:
+        if (
+            self.max_bytes is None
+            or self._path is None
+            or self._written == 0
+            or self._written + pending <= self.max_bytes
+        ):
+            return
+        self._fh.close()
+        for n in range(self.keep, 0, -1):
+            older = self._path.with_name(f"{self._path.name}.{n}")
+            if n == self.keep:
+                older.unlink(missing_ok=True)
+                continue
+            if older.exists():
+                older.rename(
+                    self._path.with_name(f"{self._path.name}.{n + 1}")
+                )
+        self._path.rename(self._path.with_name(f"{self._path.name}.1"))
+        self._fh = self._path.open("w")
+        self._written = 0
+        self.rotations += 1
 
     def emit(self, record: dict) -> None:
-        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-        self.emitted += 1
+        trace_id = record.get("trace_id")
+        if trace_id is not None and not self._keep_trace(trace_id):
+            with self._lock:
+                self.sampled_out += 1
+            return
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            self._maybe_rotate(len(line))
+            self._fh.write(line)
+            self._written += len(line)
+            self.emitted += 1
 
     def close(self) -> None:
-        self._fh.flush()
-        if self._owns:
-            self._fh.close()
+        with self._lock:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
 
     def __enter__(self) -> "JsonlSink":
         return self

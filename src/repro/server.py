@@ -1,0 +1,391 @@
+"""A stdlib-only HTTP/JSON service over :class:`ConcurrentObjectbase`.
+
+``repro serve`` (or :func:`serve`) turns one objectbase into a small,
+operable network service — :class:`~http.server.ThreadingHTTPServer`
+(one thread per connection), no dependencies beyond the standard
+library.  The contract:
+
+==========================  =============================================
+endpoint                    semantics
+==========================  =============================================
+``GET /healthz``            liveness: 200 while the process serves at all
+``GET /readyz``             readiness: 503 while the store is in
+                            read-only degraded mode, else 200
+``GET /metrics``            Prometheus text exposition 0.0.4
+``GET /v1/types``           all type names (from the current snapshot)
+``GET /v1/types/<name>``    one type's full Table-1 term card
+``POST /v1/apply``          one operation: ``{"op": {"code": "AT", ...}}``
+``POST /v1/batch``          atomic group: ``{"operations": [...],
+                            "verify": true}``
+``POST /v1/undo``           revert the most recent operation
+``POST /v1/recover``        heal the WAL, leave degraded mode
+==========================  =============================================
+
+Reads are lock-free (served from the published snapshot); writes
+serialize through the store's fair single-writer lock.  Failure modes
+map to status codes via the machine-readable error taxonomy:
+
+* ``lock-timeout`` → **503** with ``Retry-After`` (safe to retry:
+  the request was never admitted);
+* ``degraded-mode`` → **503** (the store is read-only; ``/readyz``
+  reports not-ready until ``POST /v1/recover`` or ``repro recover``);
+* ``unknown-type`` / ``unknown-property`` → **404**;
+* malformed JSON / unknown operation code → **400**;
+* any other :class:`~repro.core.errors.EvolutionError` (cycle,
+  root-violation, axiom failure at commit, ...) → **409** — the request
+  was well-formed, the schema rejected it;
+* write admission beyond ``max_inflight`` queued writers → **429**
+  (load shed before touching the lock).
+
+Every response carries ``{"error": {"code": ..., "message": ...}}`` on
+failure, so clients branch on the same codes the CLI exits with.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+
+from .concurrent import ConcurrentObjectbase
+from .core.errors import (
+    DegradedModeError,
+    EvolutionError,
+    LockTimeoutError,
+    UnknownPropertyError,
+    UnknownTypeError,
+    error_code,
+)
+from .core.operations import operation_from_dict
+from .obs.metrics import PROMETHEUS_CONTENT_TYPE, REGISTRY
+from .obs.tracing import trace
+
+__all__ = ["ObjectbaseService", "make_server", "serve"]
+
+logger = logging.getLogger(__name__)
+
+_HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by method, route template, and status",
+    labelnames=("method", "route", "status"),
+)
+_HTTP_SECONDS = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "HTTP request latency by route template",
+    labelnames=("route",),
+)
+_HTTP_INFLIGHT = REGISTRY.gauge(
+    "repro_http_inflight_writes",
+    "Write requests currently admitted (holding an admission slot)",
+)
+_HTTP_SHED = REGISTRY.counter(
+    "repro_http_shed_total",
+    "Requests shed by write admission control (HTTP 429)",
+)
+
+
+def status_for(exc: BaseException) -> int:
+    """The HTTP status an error maps to (see the module docstring)."""
+    if isinstance(exc, (LockTimeoutError, DegradedModeError)):
+        return 503
+    if isinstance(exc, (UnknownTypeError, UnknownPropertyError)):
+        return 404
+    if isinstance(exc, EvolutionError):
+        return 409
+    if isinstance(exc, (ValueError, TypeError, KeyError)):
+        return 400
+    return 500
+
+
+class ObjectbaseService:
+    """The store plus the service policy (admission control, timeouts)."""
+
+    def __init__(
+        self,
+        store: ConcurrentObjectbase,
+        *,
+        max_inflight: int = 8,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.store = store
+        self.max_inflight = max_inflight
+        self._admission = threading.Semaphore(max_inflight)
+
+    # -- write admission --------------------------------------------------
+
+    def admit(self) -> bool:
+        """Claim one write slot without blocking; False sheds the request."""
+        admitted = self._admission.acquire(blocking=False)
+        if admitted:
+            _HTTP_INFLIGHT.inc()
+        else:
+            _HTTP_SHED.inc()
+        return admitted
+
+    def release(self) -> None:
+        _HTTP_INFLIGHT.dec()
+        self._admission.release()
+
+    # -- request handlers (return (status, body_dict[, headers])) ---------
+
+    def healthz(self) -> tuple[int, dict]:
+        return 200, {"status": "ok"}
+
+    def readyz(self) -> tuple[int, dict]:
+        if self.store.degraded:
+            return 503, {
+                "ready": False,
+                "reason": "store is in read-only degraded mode",
+            }
+        return 200, {"ready": True}
+
+    def list_types(self) -> tuple[int, dict]:
+        snap = self.store.snapshot
+        return 200, {
+            "types": sorted(snap.types()),
+            "generation": snap.generation,
+        }
+
+    def get_type(self, name: str) -> tuple[int, dict]:
+        return 200, self.store.card(name).as_dict()
+
+    def apply(self, body: dict) -> tuple[int, dict]:
+        op = operation_from_dict(body.get("op", body))
+        result = self.store.apply(op)
+        return 200, {"applied": op.code, "changed": result.changed}
+
+    def batch(self, body: dict) -> tuple[int, dict]:
+        raw = body.get("operations")
+        if not isinstance(raw, list):
+            raise ValueError('"operations" must be a list of operations')
+        ops = [operation_from_dict(d) for d in raw]
+        results = self.store.apply_batch(
+            ops, verify_on_commit=bool(body.get("verify", True))
+        )
+        return 200, {
+            "applied": len(results),
+            "changed": sum(1 for r in results if r.changed),
+        }
+
+    def undo(self) -> tuple[int, dict]:
+        entry = self.store.undo()
+        return 200, {"undone": entry.operation.code}
+
+    def recover(self) -> tuple[int, dict]:
+        report = self.store.recover()
+        return 200, {
+            "degraded": self.store.degraded,
+            "recovery": report.summary() if report is not None else None,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the :class:`ObjectbaseService` on the server."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro"
+
+    # -- plumbing ---------------------------------------------------------
+
+    @property
+    def service(self) -> ObjectbaseService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send(status, body, headers=headers)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        decoded = json.loads(raw.decode("utf-8")) if raw.strip() else {}
+        if not isinstance(decoded, dict):
+            raise ValueError("request body must be a JSON object")
+        return decoded
+
+    # -- routing ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("PUT")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("DELETE")
+
+    def _route(self) -> tuple[str, str | None]:
+        """(route template, path parameter) for metric labels/dispatch."""
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path.startswith("/v1/types/"):
+            return "/v1/types/{name}", path[len("/v1/types/"):]
+        return path, None
+
+    def _dispatch(self, method: str) -> None:
+        route, param = self._route()
+        started = perf_counter()
+        status = 500
+        try:
+            with trace.span("http", method=method, route=route) as span:
+                status = self._handle(method, route, param)
+                span.set_attr("status", status)
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        finally:
+            _HTTP_REQUESTS.labels(
+                method=method, route=route, status=str(status)
+            ).inc()
+            _HTTP_SECONDS.labels(route=route).observe(
+                perf_counter() - started
+            )
+
+    def _handle(self, method: str, route: str, param: str | None) -> int:
+        service = self.service
+        try:
+            if method == "GET":
+                if route == "/metrics":
+                    body = REGISTRY.render_prometheus().encode("utf-8")
+                    self._send(200, body, content_type=PROMETHEUS_CONTENT_TYPE)
+                    return 200
+                handler = {
+                    "/healthz": service.healthz,
+                    "/readyz": service.readyz,
+                    "/v1/types": service.list_types,
+                }.get(route)
+                if handler is not None:
+                    status, payload = handler()
+                elif route == "/v1/types/{name}":
+                    status, payload = service.get_type(param or "")
+                else:
+                    status, payload = 404, _error_body("not-found", route)
+                self._send_json(status, payload)
+                return status
+            if method == "POST":
+                writer = {
+                    "/v1/apply": lambda body: service.apply(body),
+                    "/v1/batch": lambda body: service.batch(body),
+                    "/v1/undo": lambda body: service.undo(),
+                    "/v1/recover": lambda body: service.recover(),
+                }.get(route)
+                if writer is None:
+                    self._send_json(404, _error_body("not-found", route))
+                    return 404
+                if not service.admit():
+                    self._send_json(
+                        429,
+                        _error_body(
+                            "write-shed",
+                            f"more than {service.max_inflight} writes "
+                            f"in flight; retry later",
+                        ),
+                        headers={"Retry-After": "1"},
+                    )
+                    return 429
+                try:
+                    body = self._read_body()
+                    status, payload = writer(body)
+                finally:
+                    service.release()
+                self._send_json(status, payload)
+                return status
+            self._send_json(
+                405, _error_body("method-not-allowed", method)
+            )
+            return 405
+        except json.JSONDecodeError as exc:
+            self._send_json(400, _error_body("bad-json", str(exc)))
+            return 400
+        except Exception as exc:  # noqa: BLE001 - mapped to taxonomy codes
+            status = status_for(exc)
+            if status == 500:
+                logger.exception("unhandled error on %s %s", method, route)
+            headers = (
+                {"Retry-After": "1"}
+                if isinstance(exc, LockTimeoutError) else None
+            )
+            self._send_json(
+                status, _error_body(error_code(exc), str(exc)), headers
+            )
+            return status
+
+
+def _error_body(code: str, message: str) -> dict:
+    return {"error": {"code": code, "message": message}}
+
+
+class ObjectbaseHTTPServer(ThreadingHTTPServer):
+    """One service, many connection threads, clean-shutdown drain.
+
+    ``daemon_threads`` stays ``False`` so :meth:`shutdown` waits for
+    in-flight requests — an acknowledged write is durable before the
+    process exits.
+    """
+
+    daemon_threads = False
+    allow_reuse_address = True
+
+    def __init__(self, address, service: ObjectbaseService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def make_server(
+    service: ObjectbaseService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ObjectbaseHTTPServer:
+    """Bind (port 0 picks a free one) without starting the accept loop."""
+    return ObjectbaseHTTPServer((host, port), service)
+
+
+def serve(
+    store: ConcurrentObjectbase,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+    *,
+    max_inflight: int = 8,
+) -> None:
+    """Serve ``store`` until interrupted (the ``repro serve`` body)."""
+    service = ObjectbaseService(store, max_inflight=max_inflight)
+    server = make_server(service, host, port)
+    logger.info(
+        "serving objectbase on http://%s:%d (lock timeout %.3fs, "
+        "max inflight %d)",
+        *server.server_address[:2], store.lock_timeout, max_inflight,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()

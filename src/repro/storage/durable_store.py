@@ -55,6 +55,7 @@ from .framing import (
     write_checkpoint,
 )
 from .objectbase_snapshot import objectbase_from_dict, objectbase_to_dict
+from .reliability import DegradedLatch, RetryPolicy, append_record
 
 __all__ = ["DurableObjectbase"]
 
@@ -108,6 +109,7 @@ class DurableObjectbase:
         durability: DurabilityPolicy | None = None,
         recovery: str = "strict",
         fs: StorageFS | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -116,6 +118,8 @@ class DurableObjectbase:
         self._bodies = computed_bodies or {}
         self.durability = durability or DurabilityPolicy()
         self.fs = fs or RealFS()
+        self.retry = retry or RetryPolicy()
+        self.latch = DegradedLatch(store=str(self.wal_path))
 
         state, self._generation = load_checkpoint(
             self.snapshot_path, fs=self.fs
@@ -167,13 +171,24 @@ class DurableObjectbase:
         self._maybe_auto_checkpoint()
         return result
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the store is latched read-only after append failure."""
+        return self.latch.degraded
+
     def _append(self, record: dict) -> None:
         payload = json.dumps(record, sort_keys=True)
-        self.fs.append_bytes(
-            self.wal_path, encode_frame(payload, self._generation)
+        append_record(
+            self.fs,
+            self.wal_path,
+            encode_frame(payload, self._generation),
+            retry=self.retry,
+            latch=self.latch,
+            sync=(
+                (lambda: timed_fsync(self.fs, self.wal_path))
+                if self.durability.sync_appends else None
+            ),
         )
-        if self.durability.sync_appends:
-            timed_fsync(self.fs, self.wal_path)
 
     def _bind(self, spec: tuple[str, ...], args: tuple, kwargs: dict) -> dict:
         bound: dict[str, Any] = {}
@@ -294,9 +309,10 @@ class DurableObjectbase:
         durability: DurabilityPolicy | None = None,
         recovery: str = "strict",
         fs: StorageFS | None = None,
+        retry: RetryPolicy | None = None,
     ) -> "DurableObjectbase":
         """Simulated restart: rebuild purely from durable state."""
         return cls(
             directory, computed_bodies,
-            durability=durability, recovery=recovery, fs=fs,
+            durability=durability, recovery=recovery, fs=fs, retry=retry,
         )

@@ -19,6 +19,14 @@ crash-matrix suite exercises:
 * **fsync failures** — with ``fail_fsync=True`` every file fsync raises
   :class:`OSError` *without* crashing, modeling an EIO from the kernel
   (the journal surfaces it as a typed :class:`~repro.core.errors.JournalError`).
+* **transient faults** — ``transient_fsync_failures=N`` /
+  ``transient_append_failures=N`` fail the first N fsyncs/appends with
+  :class:`OSError` and then recover, modeling the recoverable EIO and
+  short-write blips the storage retry layer
+  (:mod:`repro.storage.reliability`) must absorb.  A transient append
+  persists only the first half of the payload before failing, so the
+  retry path must also roll the partial write back.  Transient faults do
+  **not** consume crash injection points — the two dimensions compose.
 
 The crash-matrix driver iterates ``crash_at`` from 0 upward until a full
 workload completes without crashing (``total_points`` many boundaries),
@@ -48,6 +56,9 @@ class StorageFS:
     """The filesystem primitives the durability path is allowed to use."""
 
     def exists(self, path: Path) -> bool:
+        raise NotImplementedError
+
+    def size(self, path: Path) -> int:
         raise NotImplementedError
 
     def read_bytes(self, path: Path) -> bytes:
@@ -80,6 +91,9 @@ class RealFS(StorageFS):
 
     def exists(self, path: Path) -> bool:
         return Path(path).exists()
+
+    def size(self, path: Path) -> int:
+        return os.path.getsize(path)
 
     def read_bytes(self, path: Path) -> bytes:
         return Path(path).read_bytes()
@@ -136,6 +150,13 @@ class FaultyFS(StorageFS):
     fail_fsync:
         When true, :meth:`fsync_file` raises :class:`OSError` instead of
         syncing (the process survives; callers must surface the error).
+    transient_fsync_failures:
+        Fail the first N file fsyncs with :class:`OSError`, then behave
+        normally — the recoverable-EIO case the retry layer absorbs.
+    transient_append_failures:
+        Fail the first N appends: persist half the payload, then raise
+        :class:`OSError` (a recoverable short write).  The retry layer
+        must truncate the partial bytes away before re-appending.
     base:
         The real filesystem to delegate surviving operations to.
     """
@@ -145,10 +166,14 @@ class FaultyFS(StorageFS):
         crash_at: int | None = None,
         fail_fsync: bool = False,
         base: StorageFS | None = None,
+        transient_fsync_failures: int = 0,
+        transient_append_failures: int = 0,
     ) -> None:
         self.base = base or RealFS()
         self.crash_at = crash_at
         self.fail_fsync = fail_fsync
+        self.transient_fsync_failures = transient_fsync_failures
+        self.transient_append_failures = transient_append_failures
         self.points = 0
         self.crashed = False
         self.trace: list[str] = []
@@ -171,12 +196,20 @@ class FaultyFS(StorageFS):
     def exists(self, path: Path) -> bool:
         return self.base.exists(path)
 
+    def size(self, path: Path) -> int:
+        return self.base.size(path)
+
     def read_bytes(self, path: Path) -> bytes:
         return self.base.read_bytes(path)
 
     # -- mutating primitives -------------------------------------------
 
     def append_bytes(self, path: Path, data: bytes) -> None:
+        if self.transient_append_failures > 0:
+            self.transient_append_failures -= 1
+            if len(data) > 1:
+                self.base.append_bytes(path, data[: len(data) // 2])
+            raise OSError(5, f"injected transient short write to {path}")
         if self._point(f"append-pre:{Path(path).name}"):
             raise CrashPoint(f"crash before append to {path}")
         if len(data) > 1 and self._point(f"append-short:{Path(path).name}"):
@@ -208,6 +241,9 @@ class FaultyFS(StorageFS):
         self.base.unlink(path)
 
     def fsync_file(self, path: Path) -> None:
+        if self.transient_fsync_failures > 0:
+            self.transient_fsync_failures -= 1
+            raise OSError(5, f"injected transient fsync failure for {path}")
         if self._point(f"fsync-pre:{Path(path).name}"):
             raise CrashPoint(f"crash before fsync of {path}")
         if self.fail_fsync:

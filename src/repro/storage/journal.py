@@ -43,6 +43,7 @@ from .framing import (
     timed_fsync,
     write_checkpoint,
 )
+from .reliability import DegradedLatch, RetryPolicy, append_record
 from .snapshot import lattice_from_dict, lattice_to_dict
 
 __all__ = ["JournalFile", "DurableLattice"]
@@ -86,6 +87,7 @@ class JournalFile:
         *,
         durability: DurabilityPolicy | None = None,
         fs: StorageFS | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.path = Path(path)
         self.checkpoint_path = self.path.with_suffix(
@@ -93,8 +95,15 @@ class JournalFile:
         )
         self.durability = durability or DurabilityPolicy()
         self.fs = fs or RealFS()
+        self.retry = retry or RetryPolicy()
+        self.latch = DegradedLatch(store=str(self.path))
         self._generation: int | None = None
         self._tail_checked = False
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the log is latched read-only after append failure."""
+        return self.latch.degraded
 
     @property
     def generation(self) -> int:
@@ -122,15 +131,29 @@ class JournalFile:
                 self.repair("strict")
 
     def append(self, operation: SchemaOperation) -> None:
-        """Append one framed operation record (fsync per policy)."""
+        """Append one framed operation record (fsync per policy).
+
+        Transient storage faults (an fsync EIO, a short write) are
+        retried with rollback per :attr:`retry`; exhausted retries trip
+        the degraded-mode latch and raise a typed
+        :class:`~repro.core.errors.DegradedModeError` — the log is never
+        left with a half-appended record in front of a whole one.
+        """
         started = perf_counter()
+        self.latch.check_writable()
         self._ensure_clean_tail()
         payload = json.dumps(operation.to_dict(), sort_keys=True)
-        self.fs.append_bytes(
-            self.path, encode_frame(payload, self.generation)
+        append_record(
+            self.fs,
+            self.path,
+            encode_frame(payload, self.generation),
+            retry=self.retry,
+            latch=self.latch,
+            sync=(
+                (lambda: timed_fsync(self.fs, self.path))
+                if self.durability.sync_appends else None
+            ),
         )
-        if self.durability.sync_appends:
-            timed_fsync(self.fs, self.path)
         _WAL_APPENDS.inc()
         _WAL_APPEND_SECONDS.observe(perf_counter() - started)
 
@@ -251,8 +274,11 @@ class DurableLattice:
         durability: DurabilityPolicy | None = None,
         recovery: str = "strict",
         fs: StorageFS | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
-        self.file = JournalFile(path, durability=durability, fs=fs)
+        self.file = JournalFile(
+            path, durability=durability, fs=fs, retry=retry
+        )
         # Opening is the mutating entry point, so heal crash residue now
         # (a torn tail must not swallow the next append).
         self.recovery_report = self.file.repair(recovery)
@@ -294,6 +320,11 @@ class DurableLattice:
     @property
     def lattice(self) -> TypeLattice:
         return self.journal.lattice
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the store is latched read-only (see :class:`JournalFile`)."""
+        return self.file.degraded
 
     def __len__(self) -> int:
         return len(self.journal)
@@ -356,8 +387,10 @@ class DurableLattice:
         durability: DurabilityPolicy | None = None,
         recovery: str = "strict",
         fs: StorageFS | None = None,
+        retry: RetryPolicy | None = None,
     ) -> "DurableLattice":
         """Simulated restart: rebuild purely from durable state."""
         return cls(
-            path, policy, durability=durability, recovery=recovery, fs=fs
+            path, policy, durability=durability, recovery=recovery,
+            fs=fs, retry=retry,
         )

@@ -1,0 +1,117 @@
+"""FairLock unit tests: FIFO order, timeouts, hand-off semantics."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrent import FairLock
+from repro.core.errors import LockTimeoutError
+
+
+class TestBasics:
+    def test_uncontended_acquire_release(self):
+        lock = FairLock()
+        lock.acquire()
+        assert lock.locked
+        lock.release()
+        assert not lock.locked
+
+    def test_context_manager(self):
+        lock = FairLock()
+        with lock:
+            assert lock.locked
+        assert not lock.locked
+
+    def test_release_of_unheld_lock_raises(self):
+        with pytest.raises(RuntimeError, match="unheld"):
+            FairLock().release()
+
+
+class TestTimeout:
+    def test_timeout_raises_typed_error(self):
+        lock = FairLock()
+        lock.acquire()
+        with pytest.raises(LockTimeoutError) as excinfo:
+            lock.acquire(timeout=0.02)
+        assert excinfo.value.code == "lock-timeout"
+        assert excinfo.value.timeout == pytest.approx(0.02)
+        lock.release()
+        # The timed-out waiter really removed itself: release left the
+        # lock free rather than handing it to a ghost.
+        assert not lock.locked
+        lock.acquire(timeout=0.02)  # and it is reacquirable
+        lock.release()
+
+    def test_timeout_does_not_starve_later_waiters(self):
+        lock = FairLock()
+        lock.acquire()
+        acquired = threading.Event()
+
+        def patient():
+            lock.acquire(timeout=5.0)
+            acquired.set()
+            lock.release()
+
+        def impatient():
+            with pytest.raises(LockTimeoutError):
+                lock.acquire(timeout=0.01)
+
+        hasty = threading.Thread(target=impatient)
+        hasty.start()
+        hasty.join()
+        waiter = threading.Thread(target=patient)
+        waiter.start()
+        lock.release()
+        assert acquired.wait(5.0)
+        waiter.join()
+
+
+class TestFairness:
+    def test_fifo_grant_order(self):
+        lock = FairLock()
+        order: list[int] = []
+        lock.acquire()
+
+        def worker(i: int):
+            lock.acquire(timeout=10.0)
+            order.append(i)
+            lock.release()
+
+        threads = []
+        for i in range(6):
+            t = threading.Thread(target=worker, args=(i,))
+            t.start()
+            # Let each waiter enqueue before the next arrives, so the
+            # arrival order is deterministic.
+            time.sleep(0.02)
+            threads.append(t)
+        lock.release()
+        for t in threads:
+            t.join()
+        assert order == list(range(6))
+
+    def test_handoff_keeps_lock_held(self):
+        """Release with waiters transfers ownership, never unlocks."""
+        lock = FairLock()
+        lock.acquire()
+        entered = threading.Event()
+        proceed = threading.Event()
+
+        def worker():
+            lock.acquire(timeout=10.0)
+            entered.set()
+            proceed.wait(5.0)
+            lock.release()
+
+        t = threading.Thread(target=worker)
+        t.start()
+        time.sleep(0.05)  # let the worker enqueue
+        lock.release()
+        assert entered.wait(5.0)
+        assert lock.locked  # handed off, not dropped
+        proceed.set()
+        t.join()
+        assert not lock.locked

@@ -1,0 +1,111 @@
+"""Thread safety of the metrics registry and exposition correctness."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsRegistry,
+)
+
+
+class TestThreadSafety:
+    THREADS = 8
+    ITERS = 2_000
+
+    def test_concurrent_counter_incs_sum_exactly(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+
+        def work():
+            for _ in range(self.ITERS):
+                counter.inc()
+
+        threads = [
+            threading.Thread(target=work) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == self.THREADS * self.ITERS
+
+    def test_concurrent_labeled_children(self):
+        registry = MetricsRegistry()
+        family = registry.counter("ops_total", labelnames=("op",))
+
+        def work(op: str):
+            for _ in range(self.ITERS):
+                family.labels(op=op).inc()
+
+        threads = [
+            threading.Thread(target=work, args=(f"op{i % 2}",))
+            for i in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        samples = registry.counter_samples()
+        assert samples['ops_total{op="op0"}'] == self.THREADS // 2 * self.ITERS
+        assert samples['ops_total{op="op1"}'] == self.THREADS // 2 * self.ITERS
+
+    def test_concurrent_histogram_observations(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", buckets=(0.5, 1.0))
+
+        def work():
+            for i in range(self.ITERS):
+                hist.observe(0.25 if i % 2 else 0.75)
+
+        threads = [
+            threading.Thread(target=work) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = self.THREADS * self.ITERS
+        sample = next(iter(hist.samples()))
+        assert sample.count == total
+        buckets = dict(sample.cumulative_buckets())
+        assert buckets[0.5] == total // 2
+        assert buckets[float("inf")] == total
+
+    def test_registration_races_resolve_to_one_family(self):
+        registry = MetricsRegistry()
+        results = []
+
+        def register():
+            results.append(registry.counter("shared_total", "help"))
+
+        threads = [
+            threading.Thread(target=register) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(fam is results[0] for fam in results)
+
+
+class TestExposition:
+    def test_content_type_constant(self):
+        assert PROMETHEUS_CONTENT_TYPE == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+
+    def test_help_text_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nback\\slash").inc()
+        text = registry.render_prometheus()
+        assert "# HELP c_total line one\\nback\\\\slash" in text
+        assert "\nline one" not in text  # no raw newline leaks into HELP
+
+    def test_label_value_escaping_in_exposition(self):
+        registry = MetricsRegistry()
+        fam = registry.counter("c_total", labelnames=("path",))
+        fam.labels(path='a"b\nc\\d').inc()
+        text = registry.render_prometheus()
+        assert 'c_total{path="a\\"b\\nc\\\\d"} 1' in text

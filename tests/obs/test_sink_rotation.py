@@ -1,0 +1,147 @@
+"""JsonlSink hardening: rotation, head sampling, thread safety."""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import zlib
+
+import pytest
+
+from repro.obs.tracing import JsonlSink
+
+
+def record(i: int, trace_id: int = 1) -> dict:
+    return {"kind": "span", "trace_id": trace_id, "span_id": i}
+
+
+class TestRotation:
+    def test_rotates_at_size_limit(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path, max_bytes=120, keep=2) as sink:
+            for i in range(12):
+                sink.emit(record(i))
+        assert sink.rotations >= 1
+        generations = [path] + [
+            path.with_name(f"trace.jsonl.{n}") for n in (1, 2)
+        ]
+        assert all(p.exists() for p in generations)
+        # No generation beyond keep is retained.
+        assert not path.with_name("trace.jsonl.3").exists()
+        # Every retained line is a whole JSON record, and together the
+        # retained generations hold the newest records in order.
+        kept = []
+        for p in reversed(generations):
+            kept.extend(
+                json.loads(line) for line in p.read_text().splitlines()
+            )
+        ids = [r["span_id"] for r in kept]
+        assert ids == sorted(ids)
+        assert ids[-1] == 11
+
+    def test_no_rotation_under_limit(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path, max_bytes=10_000) as sink:
+            for i in range(5):
+                sink.emit(record(i))
+        assert sink.rotations == 0
+        assert not path.with_name("trace.jsonl.1").exists()
+        assert len(path.read_text().splitlines()) == 5
+
+    def test_oversized_single_record_still_lands(self, tmp_path):
+        """A record bigger than max_bytes is written, not dropped: the
+        empty-file guard prevents rotating forever without progress."""
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path, max_bytes=16) as sink:
+            sink.emit({"kind": "span", "trace_id": 1, "blob": "x" * 100})
+        assert json.loads(path.read_text())["blob"] == "x" * 100
+
+    def test_file_object_target_never_rotates(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf, max_bytes=8)
+        assert sink.max_bytes is None  # forced off for borrowed handles
+        for i in range(5):
+            sink.emit(record(i))
+        sink.close()
+        assert sink.rotations == 0
+        assert len(buf.getvalue().splitlines()) == 5
+
+
+class TestSampling:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", sample_rate=1.5)
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", max_bytes=0)
+        with pytest.raises(ValueError):
+            JsonlSink(tmp_path / "t.jsonl", keep=0)
+
+    def test_sampling_is_per_trace_and_deterministic(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        rate = 0.5
+        with JsonlSink(path, sample_rate=rate) as sink:
+            for trace_id in range(200):
+                for span_id in range(3):
+                    sink.emit(record(span_id, trace_id=trace_id))
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        kept_ids = {r["trace_id"] for r in lines}
+        # The same decision the sink made, recomputed independently.
+        expected = {
+            t for t in range(200)
+            if (zlib.crc32(str(t).encode()) & 0xFFFFFFFF) / 2**32 < rate
+        }
+        assert kept_ids == expected
+        # All-or-nothing per trace: a kept trace keeps all three spans.
+        for t in kept_ids:
+            assert sum(1 for r in lines if r["trace_id"] == t) == 3
+        assert sink.sampled_out == 3 * (200 - len(expected))
+        assert sink.emitted == 3 * len(expected)
+
+    def test_records_without_trace_id_always_kept(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path, sample_rate=0.0) as sink:
+            sink.emit(record(1, trace_id=7))
+            sink.emit({"kind": "summary", "spans": 1})
+        lines = [json.loads(x) for x in path.read_text().splitlines()]
+        assert [r["kind"] for r in lines] == ["summary"]
+
+    def test_rate_one_keeps_everything(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlSink(path, sample_rate=1.0) as sink:
+            for t in range(20):
+                sink.emit(record(0, trace_id=t))
+        assert sink.sampled_out == 0
+        assert len(path.read_text().splitlines()) == 20
+
+
+class TestThreadSafety:
+    def test_concurrent_emit_interleaves_whole_records(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, max_bytes=4096, keep=8)
+        per_thread = 200
+
+        def emitter(tid: int):
+            for i in range(per_thread):
+                sink.emit({"kind": "span", "trace_id": tid, "i": i})
+
+        threads = [
+            threading.Thread(target=emitter, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        sink.close()
+        seen = []
+        for p in [path] + [
+            path.with_name(f"trace.jsonl.{n}") for n in range(1, 9)
+        ]:
+            if p.exists():
+                for line in p.read_text().splitlines():
+                    seen.append(json.loads(line))  # whole records only
+        assert sink.emitted == 4 * per_thread
+        # Rotation may discard the oldest generation; whatever survived
+        # must be valid and account for the newest records.
+        assert len(seen) <= 4 * per_thread
+        assert {r["trace_id"] for r in seen} <= {0, 1, 2, 3}

@@ -14,6 +14,8 @@ state must be *prefix-consistent*:
   exactly what checkpoint generation fencing prevents).
 """
 
+import threading
+
 import pytest
 
 from repro.core import (
@@ -200,16 +202,44 @@ class TestDurableObjectbaseCrashMatrix:
 
 
 class TestFsyncFailure:
-    def test_append_fsync_failure_is_typed_and_survivable(self, tmp_path):
-        from repro.core import JournalError
+    def test_append_fsync_failure_latches_degraded_mode(self, tmp_path):
+        """A permanent fsync failure exhausts retries and latches the store.
+
+        The append is rolled back (the WAL holds exactly the acknowledged
+        prefix — an unacknowledged record must not reappear on replay),
+        the typed ``degraded-mode`` error is raised, and further writes
+        are rejected without touching storage.
+        """
+        from repro.core.errors import DegradedModeError
+        from repro.storage.reliability import RetryPolicy
 
         fs = FaultyFS(fail_fsync=True)
         durable = DurableLattice(
-            tmp_path / "wal", durability=ALWAYS, fs=fs
+            tmp_path / "wal", durability=ALWAYS, fs=fs,
+            retry=RetryPolicy(attempts=3, sleep=lambda _: None),
         )
-        with pytest.raises(JournalError, match="fsync"):
+        with pytest.raises(DegradedModeError, match="degraded"):
             durable.apply(SCRIPT[0])
-        # The record reached the OS cache; a clean reopen still sees it.
+        assert durable.degraded
+        # The rejected write was rolled back: replay sees only the
+        # acknowledged (empty) prefix, not a phantom record.
+        reopened = DurableLattice.reopen(tmp_path / "wal")
+        assert "T_person" not in reopened.lattice
+        # Subsequent writes are rejected by the latch.
+        with pytest.raises(DegradedModeError):
+            durable.apply(SCRIPT[0])
+
+    def test_transient_fsync_failures_are_absorbed(self, tmp_path):
+        """Recoverable fsync blips retry to success; the write lands."""
+        from repro.storage.reliability import RetryPolicy
+
+        fs = FaultyFS(transient_fsync_failures=2)
+        durable = DurableLattice(
+            tmp_path / "wal", durability=ALWAYS, fs=fs,
+            retry=RetryPolicy(attempts=3, sleep=lambda _: None),
+        )
+        durable.apply(SCRIPT[0])
+        assert not durable.degraded
         reopened = DurableLattice.reopen(tmp_path / "wal")
         assert "T_person" in reopened.lattice
 
@@ -225,6 +255,86 @@ class TestFsyncFailure:
 
         with pytest.raises(JournalError, match="fsync"):
             durable.sync()
+
+
+class TestConcurrentWritersCrashMatrix:
+    """The crash matrix under concurrent load (the tentpole guarantee).
+
+    Four writer threads race through the single-writer lock while the
+    filesystem crashes at every injection point in turn.  After each
+    simulated power failure the store is reopened with the real
+    filesystem and every *acknowledged* write (``apply`` returned) must
+    have survived — regardless of which thread issued it or how the
+    arrivals interleaved — and nothing that was never applied may
+    appear.
+    """
+
+    THREADS = 4
+    OPS_PER_THREAD = 3
+
+    def test_acknowledged_writes_survive(self, tmp_path):
+        from repro.concurrent import ConcurrentObjectbase
+
+        all_names = {
+            f"T_w{w}_{j}"
+            for w in range(self.THREADS)
+            for j in range(self.OPS_PER_THREAD)
+        }
+        crash_at = 0
+        scenarios = 0
+        while crash_at < 400:
+            scenarios += 1
+            directory = tmp_path / f"crash-{crash_at}"
+            directory.mkdir()
+            fs = FaultyFS(crash_at=crash_at)
+            store = ConcurrentObjectbase.open(
+                directory / "wal", durability=ALWAYS, fs=fs,
+                lock_timeout=30.0,
+            )
+            acknowledged: list[str] = []
+            ack_lock = threading.Lock()
+
+            def writer(w, store=store, acknowledged=acknowledged):
+                for j in range(self.OPS_PER_THREAD):
+                    name = f"T_w{w}_{j}"
+                    try:
+                        store.apply(AddType(name))
+                    except CrashPoint:
+                        return
+                    with ack_lock:
+                        acknowledged.append(name)
+
+            threads = [
+                threading.Thread(target=writer, args=(w,))
+                for w in range(self.THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            completed = not fs.crashed
+
+            for mode in ("strict", "salvage"):
+                reopened = DurableLattice.reopen(
+                    directory / "wal", recovery=mode
+                )
+                recovered = reopened.lattice.types()
+                missing = set(acknowledged) - recovered
+                assert not missing, (
+                    f"crash at point {crash_at}: acknowledged write(s) "
+                    f"{sorted(missing)} lost (mode {mode})"
+                )
+                phantom = (recovered - all_names) - {"T_object", "T_null"}
+                assert not phantom, (
+                    f"crash at point {crash_at}: phantom type(s) "
+                    f"{sorted(phantom)} recovered (mode {mode})"
+                )
+            if completed:
+                assert len(acknowledged) == len(all_names)
+                assert scenarios > 10
+                return
+            crash_at += 1
+        raise AssertionError("workload still crashing after 400 points")
 
 
 class TestSalvageCrashMatrix:
