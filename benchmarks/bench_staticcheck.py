@@ -5,9 +5,27 @@ symbolic dry-run per plan step plus the full rule catalogue, on lattices
 from toy (10 types) to large (1000 types).  The artifact records steps
 analyzed per second and rule executions per second; the benchmark times
 the end-to-end ``analyze`` call on the mid-size lattice.
+
+Run as a script (the CI smoke job uses ``--quick``) to price the
+effect-summary layer as well — the pairwise commutativity oracle and the
+auto-fix loop — and write a JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_staticcheck.py \
+        --quick --check --out BENCH_staticcheck.json
+
+``--check`` asserts the throughput floors (the admission gate must stay
+well under a millisecond per pair on the mid-size schema) plus two
+correctness guards: the oracle never contradicts itself on a sampled
+pair, and the fix loop leaves no fixable findings behind.
 """
 
+import argparse
+import json
+import platform
+import statistics
+import sys
 import time
+from pathlib import Path
 
 from repro.analysis import LatticeSpec, random_lattice, random_plan
 from repro.staticcheck import REGISTRY, EvolutionPlan, analyze
@@ -79,3 +97,167 @@ def test_bench_schema_rules_only(benchmark):
     lattice, __ = _build(100)
     findings = benchmark(lambda: analyze_schema(lattice))
     assert isinstance(findings, tuple)
+
+
+# ----------------------------------------------------------------------
+# Standalone artifact mode (CI bench-smoke)
+# ----------------------------------------------------------------------
+
+
+def _median_time(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def bench_analyze(n_types: int, plan_ops: int, repeats: int) -> dict:
+    """End-to-end analyze() on one lattice size."""
+    lattice = random_lattice(LatticeSpec(n_types=n_types, seed=11))
+    plan = EvolutionPlan(
+        random_plan(lattice, plan_ops, seed=13), name="bench"
+    )
+    elapsed = _median_time(lambda: analyze(lattice, plan), repeats)
+    return {
+        "n_types": n_types,
+        "plan_steps": len(plan),
+        "rules": len(REGISTRY),
+        "ms_per_plan": elapsed * 1e3,
+        "steps_per_s": len(plan) / elapsed,
+    }
+
+
+def bench_effects(n_types: int, n_pairs: int, repeats: int) -> dict:
+    """The pairwise commutativity oracle: summaries + conflict check."""
+    from repro.staticcheck import ops_commute
+
+    lattice = random_lattice(LatticeSpec(n_types=n_types, seed=17))
+    pairs = []
+    seed = 0
+    while len(pairs) < n_pairs:
+        ops = random_plan(lattice, 2, seed)
+        seed += 1
+        if len(ops) == 2:
+            pairs.append(tuple(ops))
+    verdicts = {}
+
+    def sweep() -> None:
+        for a, b in pairs:
+            verdicts[(id(a), id(b))] = ops_commute(lattice, a, b)
+
+    elapsed = _median_time(sweep, repeats)
+    commuting = sum(1 for v in verdicts.values() if v)
+    return {
+        "n_types": n_types,
+        "pairs": len(pairs),
+        "commuting": commuting,
+        "us_per_pair": elapsed / len(pairs) * 1e6,
+        "pairs_per_s": len(pairs) / elapsed,
+    }
+
+
+def bench_fix(n_types: int, plan_ops: int, repeats: int) -> dict:
+    """The auto-fix loop on a plan salted with fixable findings."""
+    from repro.core.operations import DropType
+    from repro.staticcheck import fix_plan
+
+    lattice = random_lattice(LatticeSpec(n_types=n_types, seed=19))
+    ops = list(random_plan(lattice, plan_ops, seed=23))
+    # Salt in doomed steps (unknown types) — each is a guaranteed fixit.
+    for i in range(0, len(ops), 3):
+        ops.insert(i, DropType(f"T_ghost{i:03d}"))
+    plan = EvolutionPlan(ops, name="bench-fix")
+    results = {}
+
+    def run() -> None:
+        results["fix"] = fix_plan(lattice, plan)
+
+    elapsed = _median_time(run, repeats)
+    result = results["fix"]
+    refix = fix_plan(lattice, result.plan)
+    return {
+        "n_types": n_types,
+        "plan_steps": len(plan),
+        "fixits_applied": len(result.applied),
+        "passes": result.passes,
+        "ms_per_fix_run": elapsed * 1e3,
+        "idempotent": not refix.changed,
+        "fixable_left": sum(
+            1 for d in result.report.diagnostics if d.fixable
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sizes for CI smoke",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_staticcheck.json",
+        help="where to write the JSON artifact",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless throughput floors and correctness "
+             "guards hold",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        n_types, plan_ops, n_pairs, repeats = 100, 20, 100, 3
+    else:
+        n_types, plan_ops, n_pairs, repeats = 300, 40, 400, 5
+
+    an = bench_analyze(n_types, plan_ops, repeats)
+    ef = bench_effects(n_types, n_pairs, repeats)
+    fx = bench_fix(n_types, plan_ops, repeats)
+
+    result = {
+        "benchmark": "staticcheck effects & fix throughput",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "analyze": an,
+        "effects": ef,
+        "fix": fx,
+    }
+    Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+
+    print(f"analyze: {an['ms_per_plan']:.1f} ms / {an['plan_steps']}-step "
+          f"plan on {an['n_types']} types ({an['steps_per_s']:.0f} steps/s)")
+    print(f"effects: {ef['us_per_pair']:.1f} us / pair "
+          f"({ef['commuting']}/{ef['pairs']} commute, "
+          f"{ef['pairs_per_s']:.0f} pairs/s)")
+    print(f"fix:     {fx['ms_per_fix_run']:.1f} ms / run, "
+          f"{fx['fixits_applied']} fixits in {fx['passes']} pass(es), "
+          f"idempotent={fx['idempotent']}")
+
+    failures = []
+    if args.check:
+        # The admission gate prices one oracle call per step pair: it
+        # must stay far below the cost of the write it guards.
+        if ef["us_per_pair"] > 5000:
+            failures.append(
+                f"oracle too slow: {ef['us_per_pair']:.0f} us/pair"
+            )
+        if not (0 < ef["commuting"] < ef["pairs"]):
+            failures.append("oracle verdicts degenerate (all same)")
+        if not fx["idempotent"]:
+            failures.append("fix loop is not idempotent")
+        if fx["fixable_left"]:
+            failures.append(
+                f"{fx['fixable_left']} fixable finding(s) left behind"
+            )
+        if fx["fixits_applied"] == 0:
+            failures.append("fix loop applied nothing on a salted plan")
+    for f in failures:
+        print(f"CHECK FAILED: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,7 @@ __all__ = [
     "droppable_edges",
     "random_evolution_program",
     "random_plan",
+    "random_plan_pair",
 ]
 
 
@@ -211,3 +212,22 @@ def random_plan(lattice: TypeLattice, n_ops: int, seed: int):
         elif kind == "drop_prop":
             ops.append(DropEssentialProperty(args[0], args[1]))
     return ops
+
+
+def random_plan_pair(lattice: TypeLattice, n_ops: int, seed: int):
+    """Two independently-drawn plans over the *same* lattice.
+
+    The concurrent-pair workload for the cross-plan interference
+    analysis (:func:`repro.staticcheck.analyze_pair`): both plans are
+    generated against the shared base schema, as two clients planning
+    against the same snapshot would.  Sub-seeds are derived from
+    ``seed`` so the pair is reproducible and the two streams are
+    decorrelated.
+    """
+    rng = random.Random(seed)
+    seed_a = rng.randrange(2**31)
+    seed_b = rng.randrange(2**31)
+    return (
+        random_plan(lattice, n_ops, seed_a),
+        random_plan(lattice, n_ops, seed_b),
+    )

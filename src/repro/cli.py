@@ -168,6 +168,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore", action="append", metavar="RULE",
         help="skip rules matching this id/prefix (repeatable)",
     )
+    p.add_argument(
+        "--fix", action="store_true",
+        help="apply machine-applicable fixes (typed plan edits) and "
+             "rewrite the plan file in place; re-analyzes until clean "
+             "and is idempotent",
+    )
+    p.add_argument(
+        "--diff", action="store_true",
+        help="with --fix: print the unified diff instead of writing the "
+             "plan file (dry run)",
+    )
+    p.add_argument(
+        "--baseline", choices=("write", "check"),
+        help="write = record every current finding as accepted; "
+             "check = suppress recorded findings so only new ones gate",
+    )
+    p.add_argument(
+        "--baseline-file", metavar="FILE",
+        help="baseline location (default: <plan>.lint-baseline.json)",
+    )
     sub.add_parser("normalize", help="rewrite Pe/Ne to the minimal "
                                      "declarations (drops the insurance!)")
     sub.add_parser("history", help="show the journaled operations")
@@ -247,6 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--max-inflight", type=int, default=8, metavar="N",
         help="write-admission bound: further writes are shed with 429",
+    )
+    p.add_argument(
+        "--lint", choices=("off", "warn", "error"), default="off",
+        help="admission-time lint gate: statically analyze every write "
+             "under the lock and reject (409 + diagnostics) at this "
+             "severity threshold (default: off)",
     )
     p.add_argument(
         "--trace-out", metavar="FILE",
@@ -351,7 +377,10 @@ def _cmd_serve(args, durability) -> int:
         )
         _trace.set_sink(sink)
     try:
-        serve(store, args.host, args.port, max_inflight=args.max_inflight)
+        serve(
+            store, args.host, args.port,
+            max_inflight=args.max_inflight, lint=args.lint,
+        )
     finally:
         if sink is not None:
             _trace.set_sink(None)
@@ -426,21 +455,64 @@ def main(argv: Sequence[str] | None = None) -> int:
             from .staticcheck import (
                 Severity,
                 analyze,
+                apply_baseline,
+                fix_plan,
                 load_plan,
+                plan_diff,
                 render_json,
                 render_sarif,
                 render_text,
+                write_baseline,
+            )
+
+            if args.fix and not args.plan:
+                print("error: --fix requires --plan", file=sys.stderr)
+                return 2
+            if args.diff and not args.fix:
+                print("error: --diff only makes sense with --fix",
+                      file=sys.stderr)
+                return 2
+            if args.baseline and not args.plan:
+                print("error: --baseline requires --plan", file=sys.stderr)
+                return 2
+            baseline_file = args.baseline_file or (
+                f"{args.plan}.lint-baseline.json" if args.plan else ""
             )
 
             plan = load_plan(args.plan) if args.plan else None
             try:
-                report = analyze(
-                    lattice, plan, select=args.select, ignore=args.ignore
-                )
+                if args.fix:
+                    result = fix_plan(
+                        lattice, plan, select=args.select, ignore=args.ignore
+                    )
+                    report = result.report
+                    if args.diff:
+                        diff = plan_diff(plan, result.plan, args.plan)
+                        if diff:
+                            print(diff, end="")
+                    elif result.changed:
+                        result.plan.save(args.plan)
+                    print(result.summary(), file=sys.stderr)
+                else:
+                    report = analyze(
+                        lattice, plan, select=args.select, ignore=args.ignore
+                    )
             except KeyError as exc:
                 print(f"error: {exc.args[0]}", file=sys.stderr)
                 return 2
-            if args.format == "json":
+            if args.baseline == "write":
+                count = write_baseline(baseline_file, report)
+                print(f"baseline: recorded {count} finding(s) in "
+                      f"{baseline_file}")
+                return 0
+            if args.baseline == "check":
+                report, suppressed = apply_baseline(report, baseline_file)
+                if suppressed:
+                    print(f"baseline: suppressed {suppressed} known "
+                          f"finding(s)", file=sys.stderr)
+            if args.diff:
+                pass  # dry run: the unified diff *is* the output
+            elif args.format == "json":
                 print(render_json(report))
             elif args.format == "sarif":
                 print(render_sarif(

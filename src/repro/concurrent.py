@@ -395,10 +395,27 @@ class ConcurrentObjectbase:
             self._lock.release()
 
     def apply(
-        self, operation: SchemaOperation, *, timeout: float | None = None
+        self,
+        operation: SchemaOperation,
+        *,
+        timeout: float | None = None,
+        gate: Callable[[TypeLattice], None] | None = None,
     ) -> OperationResult:
-        """Apply one operation under the write lock; publish on success."""
-        return self._write(lambda: self._ob.apply(operation), timeout)
+        """Apply one operation under the write lock; publish on success.
+
+        ``gate``, if given, runs *under the lock* against the live
+        lattice before anything is mutated; raising from it aborts the
+        write atomically (the service's admission-time lint gate rides
+        on this — the schema it analyzes is exactly the schema the
+        operation would execute against).
+        """
+
+        def run() -> OperationResult:
+            if gate is not None:
+                gate(self._ob.lattice)
+            return self._ob.apply(operation)
+
+        return self._write(run, timeout)
 
     def apply_batch(
         self,
@@ -406,14 +423,19 @@ class ConcurrentObjectbase:
         *,
         verify_on_commit: bool = True,
         timeout: float | None = None,
+        gate: Callable[[TypeLattice], None] | None = None,
     ) -> list[OperationResult]:
         """Apply a whole batch atomically (one lock hold, one publish).
 
         Readers never observe an intermediate state: the snapshot is
         republished only after the transaction commits (or rolls back).
+        ``gate`` behaves as in :meth:`apply`: pre-mutation veto under
+        the lock.
         """
 
         def run() -> list[OperationResult]:
+            if gate is not None:
+                gate(self._ob.lattice)
             with self._ob.batch(verify_on_commit=verify_on_commit) as txn:
                 return [txn.apply(op) for op in operations]
 

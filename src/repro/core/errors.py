@@ -55,6 +55,8 @@ __all__ = [
     "PlanError",
     "LockTimeoutError",
     "DegradedModeError",
+    "LintRejectedError",
+    "PlanInterferenceError",
     "ERROR_CODES",
     "error_code",
     "exit_code_for",
@@ -268,6 +270,41 @@ class DegradedModeError(SchemaError):
             f"(run `repro recover` to restore service)"
         )
         self.reason = reason
+
+
+class LintRejectedError(SchemaError):
+    """A write was vetoed by the service's admission-time lint gate.
+
+    The offending plan is well-formed and might even execute, but the
+    static analyzer found findings at or above the service's configured
+    threshold (``repro serve --lint warn|error``).  Carries the
+    diagnostics (as plain dictionaries) so the HTTP layer can return
+    them in the 409 response body.
+    """
+
+    code: ClassVar[str] = "lint-rejected"
+
+    def __init__(self, message: str, diagnostics: list | tuple = ()) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics)
+
+    def as_dict(self) -> dict:
+        doc = super().as_dict()
+        doc["diagnostics"] = self.diagnostics
+        return doc
+
+
+class PlanInterferenceError(LintRejectedError):
+    """A write conflicts with a plan committed since the client's read.
+
+    Raised by the service's interference check when a batch declares the
+    schema generation it was planned against (``expect_generation``) and
+    the effect summaries of operations committed since then overlap with
+    the incoming batch — the optimistic-concurrency counterpart of the
+    static ``cross-plan-interference`` rule.
+    """
+
+    code: ClassVar[str] = "plan-interference"
 
 
 def _collect_codes() -> dict[str, type]:

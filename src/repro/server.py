@@ -34,11 +34,26 @@ map to status codes via the machine-readable error taxonomy:
 * any other :class:`~repro.core.errors.EvolutionError` (cycle,
   root-violation, axiom failure at commit, ...) → **409** — the request
   was well-formed, the schema rejected it;
+* ``lint-rejected`` / ``plan-interference`` → **409** with the analyzer
+  diagnostics under ``error.diagnostics`` (see below);
 * write admission beyond ``max_inflight`` queued writers → **429**
   (load shed before touching the lock).
 
 Every response carries ``{"error": {"code": ..., "message": ...}}`` on
 failure, so clients branch on the same codes the CLI exits with.
+
+**Admission-time lint gate.**  With ``lint="warn"`` or ``"error"``
+(``repro serve --lint``), every write is statically analyzed *under the
+write lock* against exactly the schema it would execute against, before
+anything is mutated.  Plan-scope findings at or above the configured
+threshold veto the write with ``409 lint-rejected`` and the diagnostics
+in the body.  A batch may additionally declare ``"expect_generation"``:
+the snapshot generation the client planned against.  The service keeps
+the effect summaries of recently committed writes; if any write
+committed at or after that generation has effects overlapping the
+incoming operations', the request is rejected with ``409
+plan-interference`` — the optimistic-concurrency twin of the static
+``cross-plan-interference`` rule (:func:`repro.staticcheck.analyze_pair`).
 """
 
 from __future__ import annotations
@@ -49,11 +64,15 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
 
+from collections import deque
+
 from .concurrent import ConcurrentObjectbase
 from .core.errors import (
     DegradedModeError,
     EvolutionError,
+    LintRejectedError,
     LockTimeoutError,
+    PlanInterferenceError,
     UnknownPropertyError,
     UnknownTypeError,
     error_code,
@@ -61,6 +80,10 @@ from .core.errors import (
 from .core.operations import operation_from_dict
 from .obs.metrics import PROMETHEUS_CONTENT_TYPE, REGISTRY
 from .obs.tracing import trace
+from .staticcheck.analyzer import analyze
+from .staticcheck.effects import conflict_witness, plan_summaries
+from .staticcheck.plan import EvolutionPlan
+from .staticcheck.registry import Severity
 
 __all__ = ["ObjectbaseService", "make_server", "serve"]
 
@@ -84,6 +107,20 @@ _HTTP_SHED = REGISTRY.counter(
     "repro_http_shed_total",
     "Requests shed by write admission control (HTTP 429)",
 )
+_LINT_GATE_RUNS = REGISTRY.counter(
+    "repro_lint_gate_runs_total",
+    "Writes analyzed by the admission-time lint gate",
+)
+_LINT_GATE_REJECTIONS = REGISTRY.counter(
+    "repro_lint_gate_rejections_total",
+    "Writes vetoed by the lint gate (HTTP 409 lint-rejected), by mode",
+    labelnames=("mode",),
+)
+_INTERFERENCE_REJECTIONS = REGISTRY.counter(
+    "repro_lint_interference_rejections_total",
+    "Writes vetoed by the effect-summary interference check "
+    "(HTTP 409 plan-interference)",
+)
 
 
 def status_for(exc: BaseException) -> int:
@@ -99,20 +136,149 @@ def status_for(exc: BaseException) -> int:
     return 500
 
 
+#: Valid settings of the admission-time lint gate.
+LINT_MODES = ("off", "warn", "error")
+
+
 class ObjectbaseService:
-    """The store plus the service policy (admission control, timeouts)."""
+    """The store plus the service policy (admission control, timeouts,
+    and the optional admission-time lint gate).
+
+    ``lint`` sets the gate threshold: ``"off"`` (default) admits
+    everything, ``"error"`` vetoes writes with plan-scope ERROR
+    findings, ``"warn"`` vetoes at WARNING and above.
+    ``interference_history`` bounds how many committed writes' effect
+    summaries are retained for the ``expect_generation`` interference
+    check.
+    """
 
     def __init__(
         self,
         store: ConcurrentObjectbase,
         *,
         max_inflight: int = 8,
+        lint: str = "off",
+        interference_history: int = 64,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
+        if lint not in LINT_MODES:
+            raise ValueError(f"lint must be one of {LINT_MODES}, not {lint!r}")
         self.store = store
         self.max_inflight = max_inflight
+        self.lint = lint
         self._admission = threading.Semaphore(max_inflight)
+        #: (base generation, effect summaries) of recently committed
+        #: gated writes, oldest first.  Appended after a successful
+        #: commit; read inside the gate (under the write lock).
+        self._recent: deque = deque(maxlen=max(1, interference_history))
+
+    # -- the admission-time lint gate -------------------------------------
+
+    def _make_gate(self, ops: list, expect) -> tuple:
+        """(gate callable or None, record-on-commit callable).
+
+        The gate runs under the store's write lock against the live
+        lattice; ``record()`` must be called by the handler *after* the
+        write committed, so failed writes leave no history entry.
+        """
+        if expect is not None and (
+            isinstance(expect, bool) or not isinstance(expect, int)
+        ):
+            raise ValueError('"expect_generation" must be an integer')
+        if self.lint == "off" and expect is None:
+            return None, lambda: None
+        pending: list[tuple[int, list]] = []
+
+        def gate(lattice) -> None:
+            _LINT_GATE_RUNS.inc()
+            summaries = plan_summaries(lattice, ops)
+            if expect is not None:
+                self._check_interference(lattice, summaries, expect)
+            if self.lint != "off":
+                self._check_lint(lattice, ops)
+            pending.append((lattice.generation, summaries))
+
+        def record() -> None:
+            if pending:
+                self._recent.append(pending[0])
+
+        return gate, record
+
+    def _check_lint(self, lattice, ops: list) -> None:
+        """Veto when plan-scope findings reach the configured threshold.
+
+        Only *plan* findings gate: pre-existing schema-state advisories
+        (a shadowed name that was already there) must not block every
+        subsequent write.
+        """
+        report = analyze(lattice, EvolutionPlan(ops, name="request"))
+        threshold = (
+            Severity.ERROR if self.lint == "error" else Severity.WARNING
+        )
+        offending = [
+            d for d in report.diagnostics
+            if d.step is not None and d.severity >= threshold
+        ]
+        if not offending:
+            return
+        _LINT_GATE_REJECTIONS.labels(mode=self.lint).inc()
+        raise LintRejectedError(
+            f"rejected by the lint gate (--lint {self.lint}): "
+            f"{len(offending)} finding(s) at or above {threshold}",
+            [_diag_dict(d) for d in offending],
+        )
+
+    def _check_interference(self, lattice, summaries: list, expect: int) -> None:
+        """Veto when effects overlap a write committed since ``expect``."""
+        if expect < 0 or expect > lattice.generation:
+            raise ValueError(
+                f'"expect_generation" {expect} is not a generation this '
+                f"store has published (current: {lattice.generation})"
+            )
+        entries = list(self._recent)
+        if (
+            entries
+            and len(entries) == self._recent.maxlen
+            and expect < entries[0][0]
+        ):
+            _INTERFERENCE_REJECTIONS.inc()
+            raise PlanInterferenceError(
+                f"expect_generation {expect} predates the retained "
+                f"interference history (floor {entries[0][0]}); re-read "
+                f"the schema and rebase the plan"
+            )
+        conflicts: list[dict] = []
+        for base_gen, prior in entries:
+            if base_gen < expect:
+                continue  # committed before the client's read: visible
+            for i, sa in enumerate(prior):
+                for j, sb in enumerate(summaries):
+                    witness = conflict_witness(sa, sb)
+                    if witness:
+                        conflicts.append({
+                            "rule": "cross-plan-interference",
+                            "severity": "error",
+                            "step": j,
+                            "message": (
+                                f"operation {j} "
+                                f"({sb.operation.describe()}) conflicts "
+                                f"with operation {i} of the write "
+                                f"committed at generation {base_gen} on "
+                                + ", ".join(
+                                    "/".join(str(p) for p in c)
+                                    for c in sorted(witness)[:4]
+                                )
+                            ),
+                        })
+        if conflicts:
+            _INTERFERENCE_REJECTIONS.inc()
+            raise PlanInterferenceError(
+                f"{len(conflicts)} effect conflict(s) with writes "
+                f"committed since generation {expect}; re-read the "
+                f"schema and rebase the plan",
+                conflicts,
+            )
 
     # -- write admission --------------------------------------------------
 
@@ -154,7 +320,9 @@ class ObjectbaseService:
 
     def apply(self, body: dict) -> tuple[int, dict]:
         op = operation_from_dict(body.get("op", body))
-        result = self.store.apply(op)
+        gate, record = self._make_gate([op], body.get("expect_generation"))
+        result = self.store.apply(op, gate=gate)
+        record()
         return 200, {"applied": op.code, "changed": result.changed}
 
     def batch(self, body: dict) -> tuple[int, dict]:
@@ -162,9 +330,11 @@ class ObjectbaseService:
         if not isinstance(raw, list):
             raise ValueError('"operations" must be a list of operations')
         ops = [operation_from_dict(d) for d in raw]
+        gate, record = self._make_gate(ops, body.get("expect_generation"))
         results = self.store.apply_batch(
-            ops, verify_on_commit=bool(body.get("verify", True))
+            ops, verify_on_commit=bool(body.get("verify", True)), gate=gate
         )
+        record()
         return 200, {
             "applied": len(results),
             "changed": sum(1 for r in results if r.changed),
@@ -333,13 +503,36 @@ class _Handler(BaseHTTPRequestHandler):
                 if isinstance(exc, LockTimeoutError) else None
             )
             self._send_json(
-                status, _error_body(error_code(exc), str(exc)), headers
+                status,
+                _error_body(
+                    error_code(exc), str(exc),
+                    diagnostics=getattr(exc, "diagnostics", None),
+                ),
+                headers,
             )
             return status
 
 
-def _error_body(code: str, message: str) -> dict:
-    return {"error": {"code": code, "message": message}}
+def _diag_dict(d) -> dict:
+    """A Diagnostic as the wire shape used in 409 bodies."""
+    return {
+        "rule": d.rule_id,
+        "severity": str(d.severity),
+        "category": d.category,
+        "subject": d.subject,
+        "step": d.step,
+        "message": d.message,
+        "fixit": d.fixit or None,
+    }
+
+
+def _error_body(
+    code: str, message: str, diagnostics: list | None = None
+) -> dict:
+    body = {"error": {"code": code, "message": message}}
+    if diagnostics:
+        body["error"]["diagnostics"] = diagnostics
+    return body
 
 
 class ObjectbaseHTTPServer(ThreadingHTTPServer):
@@ -373,14 +566,15 @@ def serve(
     port: int = 8787,
     *,
     max_inflight: int = 8,
+    lint: str = "off",
 ) -> None:
     """Serve ``store`` until interrupted (the ``repro serve`` body)."""
-    service = ObjectbaseService(store, max_inflight=max_inflight)
+    service = ObjectbaseService(store, max_inflight=max_inflight, lint=lint)
     server = make_server(service, host, port)
     logger.info(
         "serving objectbase on http://%s:%d (lock timeout %.3fs, "
-        "max inflight %d)",
-        *server.server_address[:2], store.lock_timeout, max_inflight,
+        "max inflight %d, lint gate %s)",
+        *server.server_address[:2], store.lock_timeout, max_inflight, lint,
     )
     try:
         server.serve_forever()

@@ -24,8 +24,30 @@ Entry point::
 """
 
 from .analyzer import AnalysisContext, AnalysisReport, analyze, analyze_schema
+from .effects import (
+    EffectSummary,
+    analyze_pair,
+    conflict_witness,
+    effect_summary,
+    ops_commute,
+    plan_summaries,
+    summaries_conflict,
+)
 from .emit import render_json, render_sarif, render_text, sarif_dict
 from .engines import OrderHazard, find_order_hazard, mirror_to_orion
+from .fixes import (
+    DeleteStep,
+    FixResult,
+    InsertStep,
+    MoveStep,
+    PlanEdit,
+    ReplaceStep,
+    apply_baseline,
+    apply_edits,
+    fix_plan,
+    plan_diff,
+    write_baseline,
+)
 from .plan import EvolutionPlan, load_plan, plan_from_journal
 from .registry import (
     REGISTRY,
@@ -64,4 +86,22 @@ __all__ = [
     "render_json",
     "render_sarif",
     "sarif_dict",
+    "EffectSummary",
+    "effect_summary",
+    "plan_summaries",
+    "conflict_witness",
+    "summaries_conflict",
+    "ops_commute",
+    "analyze_pair",
+    "PlanEdit",
+    "DeleteStep",
+    "InsertStep",
+    "ReplaceStep",
+    "MoveStep",
+    "apply_edits",
+    "fix_plan",
+    "FixResult",
+    "plan_diff",
+    "write_baseline",
+    "apply_baseline",
 ]

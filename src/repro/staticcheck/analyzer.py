@@ -17,7 +17,7 @@ the tests share.  Given a lattice (the current schema) and optionally an
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import TYPE_CHECKING, Iterable
 
@@ -140,6 +140,24 @@ def _run_rules(
     return out
 
 
+def _attach_provenance(
+    diagnostics: list[Diagnostic], plan: "EvolutionPlan | None"
+) -> list[Diagnostic]:
+    """Fill ``source``/``line`` on plan-step findings from the plan's
+    file provenance (a no-op for plans built in memory)."""
+    if plan is None or not plan.source:
+        return diagnostics
+    out: list[Diagnostic] = []
+    for d in diagnostics:
+        if d.source or d.step is None:
+            out.append(d)
+            continue
+        out.append(
+            replace(d, source=plan.source, line=plan.line_of(d.step))
+        )
+    return out
+
+
 def analyze(
     lattice: "TypeLattice",
     plan: "EvolutionPlan | None" = None,
@@ -165,6 +183,7 @@ def analyze(
     diagnostics += _run_rules(
         (r for r in active if r.scope == "schema"), ctx
     )
+    diagnostics = _attach_provenance(diagnostics, plan)
     _ANALYZE_RUNS.inc()
     if plan is not None:
         _PLANS_SCANNED.inc()

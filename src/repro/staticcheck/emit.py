@@ -3,10 +3,12 @@
 SARIF (Static Analysis Results Interchange Format, OASIS) is what CI
 systems and code hosts ingest to annotate findings inline; the emitter
 targets the 2.1.0 schema.  Plan-scope findings anchor to the plan file
-with the step's line number (plans are one-operation-per-line in the
-WAL/JSONL form, so ``startLine = step + 1`` lands on the operation);
-schema-scope findings anchor to the schema artifact, with the subject
-type carried as a SARIF logical location.
+at the exact source line the offending operation starts on — real
+provenance threaded by :func:`~repro.staticcheck.plan.load_plan` for
+every on-disk shape, including framed-WAL journals — with ``step + 1``
+as the fallback for plans built in memory.  Schema-scope findings anchor
+to the schema artifact, with the subject type carried as a SARIF logical
+location.
 """
 
 from __future__ import annotations
@@ -58,6 +60,9 @@ def render_json(report: "AnalysisReport") -> str:
                 "step": d.step,
                 "message": d.message,
                 "fixit": d.fixit or None,
+                "source": d.source or None,
+                "line": d.line,
+                "edits": [e.to_dict() for e in d.edits] or None,
             }
             for d in report.diagnostics
         ],
@@ -105,13 +110,19 @@ def sarif_dict(
     results = []
     for d in report.diagnostics:
         uri = plan_uri if d.step is not None else schema_uri
+        if d.step is not None and d.source:
+            uri = uri or d.source
         location: dict = {}
         if uri:
+            if d.line is not None:
+                start_line = d.line
+            elif d.step is not None:
+                start_line = d.step + 1
+            else:
+                start_line = 1
             location["physicalLocation"] = {
                 "artifactLocation": {"uri": uri},
-                "region": {
-                    "startLine": (d.step + 1) if d.step is not None else 1
-                },
+                "region": {"startLine": start_line},
             }
         if d.subject:
             location["logicalLocations"] = [

@@ -1,0 +1,381 @@
+"""Typed plan edits, the ``repro lint --fix`` applier, and baselines.
+
+Advisory ``fixit`` strings tell a human what to do; this module gives
+rules a way to say it to a machine.  A rule attaches :class:`PlanEdit`
+values to its diagnostics (``Diagnostic.edits``) and the
+:func:`fix_plan` driver applies them: analyze, apply one non-conflicting
+batch of edits, re-analyze, repeat until no fixable finding remains.
+Because every built-in auto-fix deletes a step that is provably inert at
+its position (a rejected step, a no-op, an exact duplicate of an
+already-applied step), applying fixes never changes the plan's final
+schema — and the driver is idempotent: a second ``--fix`` run finds
+nothing left to do.  The idempotence is enforced by construction (the
+loop exits only when the fixable set is empty) and asserted in CI, which
+runs the applier twice over ``examples/plans/``.
+
+Edits reference *original* step indices of the plan they were computed
+against; :func:`apply_edits` resolves a whole batch against one snapshot
+so rules don't have to reason about index shifting.
+
+The baseline facility (``--baseline write|check``) adopts the analyzer
+incrementally on existing plans: ``write`` records fingerprints of every
+current finding; ``check`` suppresses exactly those, so only *new*
+findings gate.  Fingerprints hash the rule, subject, and the offending
+operation itself — not the message or the step index — so renumbering a
+plan does not invalidate a baseline.
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from ..core.errors import PlanError
+from ..core.operations import SchemaOperation
+from ..obs.metrics import REGISTRY as _METRICS
+from .analyzer import AnalysisReport, analyze
+from .plan import EvolutionPlan
+from .registry import Diagnostic, RuleRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.lattice import TypeLattice
+
+__all__ = [
+    "PlanEdit",
+    "DeleteStep",
+    "InsertStep",
+    "ReplaceStep",
+    "MoveStep",
+    "apply_edits",
+    "fixable",
+    "FixResult",
+    "fix_plan",
+    "plan_diff",
+    "baseline_fingerprints",
+    "write_baseline",
+    "apply_baseline",
+    "BASELINE_VERSION",
+]
+
+BASELINE_VERSION = 1
+
+_FIX_RUNS = _METRICS.counter(
+    "repro_staticcheck_fix_runs_total", "fix_plan / lint --fix invocations"
+)
+_FIXITS_APPLIED = _METRICS.counter(
+    "repro_staticcheck_fixits_applied_total",
+    "Typed plan edits applied by the fixer, by edit kind",
+    ("kind",),
+)
+
+
+@dataclass(frozen=True)
+class PlanEdit:
+    """Base of all typed plan edits; ``index`` is the 0-based step in the
+    plan the edit was computed against."""
+
+    index: int
+    kind = "edit"
+
+    def touches(self) -> frozenset[int]:
+        """Original step indices this edit consumes (for conflict checks)."""
+        return frozenset((self.index,))
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        return f"{self.kind} step {self.index}"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "index": self.index}
+
+
+@dataclass(frozen=True)
+class DeleteStep(PlanEdit):
+    """Remove the step entirely."""
+
+    kind = "delete"
+
+    def describe(self) -> str:
+        return f"delete step {self.index}"
+
+
+@dataclass(frozen=True)
+class InsertStep(PlanEdit):
+    """Insert ``operation`` *before* original step ``index`` (``index ==
+    len(plan)`` appends)."""
+
+    operation: SchemaOperation = None  # type: ignore[assignment]
+    kind = "insert"
+
+    def touches(self) -> frozenset[int]:
+        return frozenset()  # consumes no existing step
+
+    def describe(self) -> str:
+        return f"insert {self.operation.describe()} before step {self.index}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "index": self.index,
+            "operation": self.operation.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class ReplaceStep(PlanEdit):
+    """Replace the step with ``operation``."""
+
+    operation: SchemaOperation = None  # type: ignore[assignment]
+    kind = "replace"
+
+    def describe(self) -> str:
+        return f"replace step {self.index} with {self.operation.describe()}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "index": self.index,
+            "operation": self.operation.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class MoveStep(PlanEdit):
+    """Move the step so it lands *before* original step ``to_index``."""
+
+    to_index: int = 0
+    kind = "move"
+
+    def describe(self) -> str:
+        return f"move step {self.index} before step {self.to_index}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "index": self.index,
+            "to_index": self.to_index,
+        }
+
+
+def apply_edits(
+    plan: EvolutionPlan, edits: Iterable[PlanEdit]
+) -> EvolutionPlan:
+    """Apply a batch of edits, all indexed against ``plan`` as given.
+
+    Raises :class:`~repro.core.errors.PlanError` on an out-of-range index
+    or two edits consuming the same original step — a batch must be
+    internally consistent (``fix_plan`` guarantees this per pass).
+    """
+    ops = list(plan.operations)
+    n = len(ops)
+    deleted: set[int] = set()
+    replaced: dict[int, SchemaOperation] = {}
+    inserts: dict[int, list[SchemaOperation]] = defaultdict(list)
+    claimed: set[int] = set()
+    for e in edits:
+        touched = e.touches()
+        if touched & claimed:
+            raise PlanError(
+                f"conflicting edits: step {min(touched & claimed)} "
+                "consumed twice in one batch"
+            )
+        claimed |= touched
+        if isinstance(e, DeleteStep):
+            if not 0 <= e.index < n:
+                raise PlanError(f"delete: step {e.index} out of range")
+            deleted.add(e.index)
+        elif isinstance(e, ReplaceStep):
+            if not 0 <= e.index < n:
+                raise PlanError(f"replace: step {e.index} out of range")
+            replaced[e.index] = e.operation
+        elif isinstance(e, InsertStep):
+            if not 0 <= e.index <= n:
+                raise PlanError(f"insert: position {e.index} out of range")
+            inserts[e.index].append(e.operation)
+        elif isinstance(e, MoveStep):
+            if not 0 <= e.index < n:
+                raise PlanError(f"move: step {e.index} out of range")
+            if not 0 <= e.to_index <= n:
+                raise PlanError(f"move: position {e.to_index} out of range")
+            deleted.add(e.index)
+            inserts[e.to_index].append(ops[e.index])
+        else:
+            raise PlanError(f"unknown edit kind: {e!r}")
+    out: list[SchemaOperation] = []
+    for i in range(n + 1):
+        out.extend(inserts.get(i, ()))
+        if i < n and i not in deleted:
+            out.append(replaced.get(i, ops[i]))
+    return plan.with_operations(out)
+
+
+def fixable(report: AnalysisReport) -> tuple[Diagnostic, ...]:
+    """The findings in ``report`` that carry machine-applicable edits."""
+    return tuple(d for d in report.diagnostics if d.edits)
+
+
+@dataclass
+class FixResult:
+    """What :func:`fix_plan` did: the rewritten plan, the report of its
+    final (clean-of-fixables) analysis, and the fix log."""
+
+    plan: EvolutionPlan
+    report: AnalysisReport
+    passes: int
+    applied: tuple[Diagnostic, ...] = ()
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+    def summary(self) -> str:
+        n = sum(len(d.edits) for d in self.applied)
+        return (
+            f"applied {n} fix(es) in {self.passes} pass(es); "
+            f"{self.report.summary()} remain"
+        )
+
+
+def fix_plan(
+    lattice: "TypeLattice",
+    plan: EvolutionPlan,
+    *,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    registry: RuleRegistry | None = None,
+    max_passes: int = 8,
+) -> FixResult:
+    """Analyze ``plan`` and apply fixable diagnostics until none remain.
+
+    Each pass applies every finding whose edits don't collide with an
+    earlier finding's in the same pass (collisions wait for the next
+    analysis round, which recomputes them against fresh indices).  The
+    loop terminates when the fixable set is empty — which makes a second
+    invocation a no-op — or at ``max_passes`` as a hard backstop.
+    ``lattice`` is never mutated.
+    """
+    _FIX_RUNS.inc()
+    select = tuple(select) if select is not None else None
+    ignore = tuple(ignore) if ignore is not None else None
+    current = plan
+    applied: list[Diagnostic] = []
+    passes = 0
+    while True:
+        report = analyze(
+            lattice, current, select=select, ignore=ignore, registry=registry
+        )
+        todo = fixable(report)
+        if not todo or passes >= max_passes:
+            break
+        claimed: set[int] = set()
+        batch: list[PlanEdit] = []
+        batch_diags: list[Diagnostic] = []
+        for d in todo:
+            touched = frozenset().union(*(e.touches() for e in d.edits))
+            if touched & claimed:
+                continue
+            claimed |= touched
+            batch.extend(d.edits)
+            batch_diags.append(d)
+        if not batch:  # every remaining fix collided; let the loop end
+            break
+        current = apply_edits(current, batch)
+        applied.extend(batch_diags)
+        for e in batch:
+            _FIXITS_APPLIED.labels(kind=e.kind).inc()
+        passes += 1
+    return FixResult(
+        plan=current, report=report, passes=passes, applied=tuple(applied)
+    )
+
+
+def plan_diff(
+    original: EvolutionPlan, fixed: EvolutionPlan, path: str = ""
+) -> str:
+    """A unified diff of the two plans' on-disk serialization."""
+    label = path or original.source or original.name or "plan"
+    return "".join(
+        difflib.unified_diff(
+            original.dumps().splitlines(keepends=True),
+            fixed.dumps().splitlines(keepends=True),
+            fromfile=label,
+            tofile=label,
+        )
+    )
+
+
+def _fingerprint(d: Diagnostic, plan: EvolutionPlan | None) -> str:
+    """A stable identity for a finding: rule, subject, and the offending
+    operation (by value) — but never the message or the step index, so
+    reordering or renumbering a plan keeps the baseline valid."""
+    anchor = ""
+    if d.step is not None and plan is not None and 0 <= d.step < len(plan):
+        anchor = json.dumps(plan[d.step].to_dict(), sort_keys=True)
+    return f"{d.rule_id}::{d.subject}::{anchor}"
+
+
+def baseline_fingerprints(report: AnalysisReport) -> list[str]:
+    """Occurrence-counted fingerprints of every finding in ``report``."""
+    seen: dict[str, int] = defaultdict(int)
+    out: list[str] = []
+    for d in report.diagnostics:
+        fp = _fingerprint(d, report.plan)
+        seen[fp] += 1
+        out.append(f"{fp}#{seen[fp]}")
+    return out
+
+
+def write_baseline(path: str | Path, report: AnalysisReport) -> int:
+    """Record every current finding as accepted; returns the count."""
+    fingerprints = sorted(baseline_fingerprints(report))
+    Path(path).write_text(
+        json.dumps(
+            {
+                "version": BASELINE_VERSION,
+                "tool": "repro-staticcheck",
+                "fingerprints": fingerprints,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return len(fingerprints)
+
+
+def apply_baseline(
+    report: AnalysisReport, path: str | Path
+) -> tuple[AnalysisReport, int]:
+    """Suppress baselined findings; returns (filtered report, #suppressed).
+
+    Raises :class:`~repro.core.errors.PlanError` when the baseline file
+    is missing or unreadable — a CI check against a absent baseline is a
+    configuration error, not a clean run.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PlanError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise PlanError(f"{path}: unsupported baseline format")
+    accepted = set(doc.get("fingerprints", ()))
+    seen: dict[str, int] = defaultdict(int)
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for d in report.diagnostics:
+        fp = _fingerprint(d, report.plan)
+        seen[fp] += 1
+        if f"{fp}#{seen[fp]}" in accepted:
+            suppressed += 1
+        else:
+            kept.append(d)
+    filtered = AnalysisReport(
+        diagnostics=tuple(kept),
+        rules_run=report.rules_run,
+        plan=report.plan,
+        trace=report.trace,
+    )
+    return filtered, suppressed

@@ -35,17 +35,32 @@ __all__ = ["EvolutionPlan", "load_plan", "plan_from_journal"]
 
 
 class EvolutionPlan:
-    """An immutable, ordered sequence of schema operations."""
+    """An immutable, ordered sequence of schema operations.
+
+    ``lines`` is optional file provenance: the 1-based line number each
+    operation starts on in ``source`` (parallel to ``operations``), so
+    diagnostics and SARIF results can point at the exact offending step.
+    ``fmt`` remembers the on-disk shape (``"object"``, ``"array"`` or
+    ``"jsonl"``) so the ``--fix`` applier can rewrite the file in kind.
+    """
 
     def __init__(
         self,
         operations: Iterable[SchemaOperation],
         name: str = "",
         source: str = "",
+        lines: Iterable[int] | None = None,
+        fmt: str = "",
     ) -> None:
         self.operations: tuple[SchemaOperation, ...] = tuple(operations)
         self.name = name
         self.source = source
+        self.lines: tuple[int, ...] | None = (
+            tuple(lines) if lines is not None else None
+        )
+        if self.lines is not None and len(self.lines) != len(self.operations):
+            self.lines = None  # misaligned provenance is worse than none
+        self.fmt = fmt
 
     def __len__(self) -> int:
         return len(self.operations)
@@ -55,6 +70,21 @@ class EvolutionPlan:
 
     def __getitem__(self, index: int) -> SchemaOperation:
         return self.operations[index]
+
+    def line_of(self, index: int) -> int | None:
+        """The 1-based source line of step ``index``, if known."""
+        if self.lines is None or not 0 <= index < len(self.lines):
+            return None
+        return self.lines[index]
+
+    def with_operations(
+        self, operations: Iterable[SchemaOperation]
+    ) -> "EvolutionPlan":
+        """A copy with a different operation sequence (line provenance is
+        dropped — it no longer describes the new sequence)."""
+        return EvolutionPlan(
+            operations, name=self.name, source=self.source, fmt=self.fmt
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -68,9 +98,101 @@ class EvolutionPlan:
             json.dumps(op.to_dict(), sort_keys=True) for op in self.operations
         )
 
+    def dumps(self, fmt: str | None = None) -> str:
+        """Serialize in ``fmt`` (defaults to the shape it was loaded in)."""
+        fmt = fmt or self.fmt or "object"
+        if fmt == "jsonl":
+            text = self.to_jsonl()
+            return text + "\n" if text else ""
+        if fmt == "array":
+            body = json.dumps(
+                [op.to_dict() for op in self.operations], indent=2
+            )
+        else:
+            body = json.dumps(self.to_dict(), indent=2)
+        return body + "\n"
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Write the plan back to ``path`` (default: where it came from)."""
+        target = Path(path) if path is not None else Path(self.source)
+        if not str(target):
+            raise PlanError("plan has no source path to save to")
+        target.write_text(self.dumps())
+        return target
+
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""
         return f"EvolutionPlan({len(self.operations)} ops{label})"
+
+
+def _op_start_lines(text: str) -> list[int] | None:
+    """1-based start lines of each element of the operations array in a
+    whole-document JSON plan, found by a small syntax walk.  ``None``
+    when the document doesn't contain a recognizable operations array.
+    Only called on text :func:`json.loads` already accepted, so the walk
+    can trust JSON syntax.
+    """
+    stripped = text.lstrip()
+    if not stripped.startswith(("{", "[")):
+        return None
+    doc_is_array = stripped.startswith("[")
+    line = 1
+    in_string = escape = False
+    depth = 0
+    chunk: list[str] = []
+    last_string = ""  # the most recently completed string literal
+    in_ops = False
+    ops_depth = -1
+    expecting = False  # the next value starts an array element
+    out: list[int] = []
+
+    def element_starts() -> bool:
+        return in_ops and depth == ops_depth and expecting
+
+    for ch in text:
+        if ch == "\n":
+            line += 1
+            continue
+        if in_string:
+            if escape:
+                escape = False
+            elif ch == "\\":
+                escape = True
+            elif ch == '"':
+                in_string = False
+                last_string = "".join(chunk)
+            else:
+                chunk.append(ch)
+        elif ch == '"':
+            if element_starts():
+                out.append(line)
+                expecting = False
+            in_string = True
+            chunk = []
+        elif ch in "[{":
+            if element_starts():
+                out.append(line)
+                expecting = False
+            depth += 1
+            if ch == "[" and not in_ops and (
+                (doc_is_array and depth == 1)
+                or (not doc_is_array and depth == 2
+                    and last_string == "operations")
+            ):
+                in_ops = True
+                ops_depth = depth
+                expecting = True
+        elif ch in "]}":
+            if in_ops and depth == ops_depth and ch == "]":
+                return out
+            depth -= 1
+        elif ch == ",":
+            if in_ops and depth == ops_depth:
+                expecting = True
+        elif element_starts() and not ch.isspace():
+            out.append(line)  # a bare literal element (number/bool/null)
+            expecting = False
+    return out if in_ops or doc_is_array else None
 
 
 def _ops_from_dicts(records: Iterable[dict], source: str) -> list[SchemaOperation]:
@@ -114,17 +236,22 @@ def load_plan(path: str | Path) -> EvolutionPlan:
                 _ops_from_dicts(records, str(path)),
                 name=str(doc.get("name") or path.stem),
                 source=str(path),
+                lines=_op_start_lines(text),
+                fmt="object",
             )
         if isinstance(doc, list):
             return EvolutionPlan(
                 _ops_from_dicts(doc, str(path)),
                 name=path.stem,
                 source=str(path),
+                lines=_op_start_lines(text),
+                fmt="array",
             )
 
     # JSON lines (the WAL journal format, framed or legacy).
     lines = text.splitlines()
     records = []
+    line_numbers: list[int] = []
     for lineno, line in enumerate(lines, start=1):
         if not line.strip():
             continue
@@ -145,8 +272,13 @@ def load_plan(path: str | Path) -> EvolutionPlan:
                 raise PlanError(
                     f"{path}:{lineno}: not JSON: {exc}"
                 ) from exc
+        line_numbers.append(lineno)
     return EvolutionPlan(
-        _ops_from_dicts(records, str(path)), name=path.stem, source=str(path)
+        _ops_from_dicts(records, str(path)),
+        name=path.stem,
+        source=str(path),
+        lines=line_numbers,
+        fmt="jsonl",
     )
 
 
@@ -162,4 +294,6 @@ def plan_from_journal(path: str | Path) -> EvolutionPlan:
         operations = JournalFile(path).operations()
     except Exception as exc:  # JournalError and I/O problems alike
         raise PlanError(f"cannot load journal {path}: {exc}") from exc
-    return EvolutionPlan(operations, name=path.stem, source=str(path))
+    return EvolutionPlan(
+        operations, name=path.stem, source=str(path), fmt="jsonl"
+    )

@@ -68,7 +68,12 @@ class Diagnostic:
 
     ``step`` is the 0-based index into the analyzed plan for plan-scope
     findings, or ``None`` for schema-state findings.  ``fixit`` carries
-    an optional human-readable suggested remediation.
+    an optional human-readable suggested remediation; ``edits`` carries
+    machine-applicable typed plan edits (see
+    :mod:`repro.staticcheck.fixes`) the ``repro lint --fix`` applier can
+    execute.  ``source``/``line`` locate the finding in the plan file it
+    came from (filled in by the analyzer from plan provenance; ``line``
+    is 1-based, ``None`` when the plan has no file location).
     """
 
     rule_id: str
@@ -78,6 +83,14 @@ class Diagnostic:
     subject: str = ""
     step: int | None = None
     fixit: str = ""
+    edits: tuple = ()
+    source: str = ""
+    line: int | None = None
+
+    @property
+    def fixable(self) -> bool:
+        """Whether ``repro lint --fix`` can mechanically resolve this."""
+        return bool(self.edits)
 
     def __str__(self) -> str:
         where = f" [step {self.step}]" if self.step is not None else ""
@@ -115,6 +128,7 @@ class Rule:
         step: int | None = None,
         severity: Severity | None = None,
         fixit: str | None = None,
+        edits: tuple = (),
     ) -> Diagnostic:
         """A diagnostic pre-filled with this rule's id/category/defaults."""
         return Diagnostic(
@@ -125,6 +139,7 @@ class Rule:
             subject=subject,
             step=step,
             fixit=self.fixit if fixit is None else fixit,
+            edits=tuple(edits),
         )
 
 

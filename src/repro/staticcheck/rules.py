@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from typing import TYPE_CHECKING, Iterator
 
+from ..core.errors import SchemaError
 from ..core.operations import (
     AddType,
     DropEssentialProperty,
@@ -29,7 +30,9 @@ from ..core.operations import (
     DropType,
 )
 from ..orion.conflict import find_name_conflicts_minimal
+from .effects import effect_summary, summaries_conflict
 from .engines import find_order_hazard
+from .fixes import DeleteStep
 from .registry import REGISTRY, Diagnostic, Severity, rule
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -57,6 +60,9 @@ PLAN_RULE_IDS = (
     "migration-impact",
     "duplicate-step",
     "no-op-step",
+    "reorder-hazard",
+    "undo-unsafe-step",
+    "cross-plan-interference",
 )
 
 _DESTRUCTIVE = (
@@ -212,6 +218,8 @@ def _single_subtype_chains(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
 def _doomed_operations(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
     for step in ctx.trace:
         if not step.accepted:
+            # A rejected step never executes, so deleting it is always
+            # schema-preserving: safe to auto-fix.
             yield Diagnostic(
                 "", Severity.ERROR, "", step=step.index,
                 subject=getattr(
@@ -221,6 +229,7 @@ def _doomed_operations(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
                 message=f"{step.operation.describe()} would be rejected "
                         f"[{step.rejection_code or 'operation-rejected'}]: "
                         f"{step.rejection}",
+                edits=(DeleteStep(step.index),),
             )
 
 
@@ -436,6 +445,7 @@ def _duplicate_steps(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
                 "", Severity.INFO, "", step=step.index,
                 message=f"identical to step {seen[key]} "
                         f"({step.operation.describe()})",
+                edits=_delete_if_inert(step),
             )
         else:
             seen[key] = step.index
@@ -457,7 +467,156 @@ def _noop_steps(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
                 "", Severity.INFO, "", step=step.index,
                 message=f"{step.operation.describe()} changes nothing in "
                         f"the schema state at this point",
+                edits=_delete_if_inert(step),
             )
+
+
+def _delete_if_inert(step) -> tuple:
+    """A DeleteStep edit, but only when removing the step provably cannot
+    change the plan's outcome: the step is rejected (never executes) or
+    leaves the *designer* state untouched.  An impact-level no-op that
+    still edits ``Pe``/``Ne`` (e.g. declaring a dominated supertype) is
+    left to a human — that declaration changes how later drops behave.
+    """
+    inert = (
+        not step.accepted
+        or step.before.state_fingerprint() == step.after.state_fingerprint()
+    )
+    return (DeleteStep(step.index),) if inert else ()
+
+
+# ----------------------------------------------------------------------
+# Effect-summary rules (commutativity, undo-safety, interference)
+# ----------------------------------------------------------------------
+
+
+@rule(
+    "reorder-hazard",
+    scope="plan",
+    severity=Severity.WARNING,
+    category="hazard",
+    summary="adjacent steps with overlapping effects whose swap silently "
+            "changes the resulting schema",
+    example="add-edge T_c T_a; drop-type T_a — swapped, the edge add is "
+            "rejected and T_c silently keeps its old ancestry",
+    fixit="make the data dependency explicit (merge the steps or add a "
+          "comment), or separate the steps into different plans",
+)
+def _reorder_hazards(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    steps = ctx.trace.steps
+    for a, b in zip(steps, steps[1:]):
+        base = a.before
+        sa = effect_summary(base, a.operation)
+        sb = effect_summary(base, b.operation)
+        if not summaries_conflict(sa, sb):
+            continue  # certified commuting: swap-safe by the axioms
+        # Dual replay of the swapped order from the state before `a`.
+        swapped = base.copy()
+        ok = {}
+        for tag, op in (("b", b.operation), ("a", a.operation)):
+            try:
+                op.apply(swapped)
+                ok[tag] = True
+            except SchemaError:
+                ok[tag] = False
+        if ok["a"] != a.accepted or ok["b"] != b.accepted:
+            continue  # the dependency fails loudly when swapped: visible
+        if swapped.state_fingerprint() == b.after.state_fingerprint():
+            continue  # effects overlap but the orders converge anyway
+        yield Diagnostic(
+            "", Severity.WARNING, "", step=b.index,
+            subject=getattr(
+                b.operation, "name", getattr(b.operation, "subject", ""),
+            ),
+            message=f"swapping with step {a.index} "
+                    f"({a.operation.describe()}) is accepted but yields a "
+                    f"different schema — the order matters and nothing "
+                    f"would fail to say so",
+        )
+
+
+@rule(
+    "undo-unsafe-step",
+    scope="plan",
+    severity=Severity.WARNING,
+    category="migration",
+    summary="a step whose recorded inverse does not restore the schema "
+            "exactly (undo after this step is lossy or rejected)",
+    example="DB salary when one type's row carried a renamed display "
+            "name — the inverse re-adds the canonical payload",
+    fixit="prefer narrower MT-* edits whose inverses are exact, or "
+          "checkpoint before this step so recovery replays instead of "
+          "inverting",
+)
+def _undo_unsafe_steps(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    for step in ctx.trace:
+        if not step.accepted:
+            continue
+        before = step.before
+        work = before.copy()
+        try:
+            result = step.operation.apply(work)
+        except SchemaError:  # pragma: no cover - accepted implies applies
+            continue
+        if not result.changed:
+            continue  # no-op round-trips trivially
+        problem = ""
+        try:
+            for inv in result.inverse:
+                inv.apply(work)
+        except SchemaError as exc:
+            problem = f"the inverse is rejected ({exc})"
+        if not problem and (
+            work.state_fingerprint() != before.state_fingerprint()
+            or work.derived_fingerprint() != before.derived_fingerprint()
+        ):
+            problem = "the derived P/PL/N/H/I state is not restored"
+        if not problem and _payload_rows(work) != _payload_rows(before):
+            problem = (
+                "property payloads drift (display name or domain is "
+                "replaced by the inverse's canonical copy)"
+            )
+        if problem:
+            yield Diagnostic(
+                "", Severity.WARNING, "", step=step.index,
+                subject=getattr(
+                    step.operation, "name",
+                    getattr(step.operation, "subject", ""),
+                ),
+                message=f"undoing {step.operation.describe()} does not "
+                        f"round-trip: {problem}",
+            )
+
+
+def _payload_rows(lattice: "TypeLattice") -> frozenset[tuple]:
+    """Designer Ne rows *including* the payload fields that semantics-based
+    equality (and hence the fingerprints) cannot see."""
+    return frozenset(
+        (t, p.semantics, p.name, p.domain)
+        for t in lattice.types()
+        for p in lattice.ne(t)
+    )
+
+
+@rule(
+    "cross-plan-interference",
+    scope="plan",
+    severity=Severity.WARNING,
+    category="concurrency",
+    summary="steps of two concurrently submitted plans read/write "
+            "overlapping Pe edges, Ne rows, or derived state",
+    example="writer A drops T_person while writer B adds a subtype "
+            "under it",
+    fixit="serialize the plans through one writer, or rebase the later "
+          "plan onto the committed schema",
+)
+def _cross_plan_interference(ctx: "AnalysisContext") -> Iterator[Diagnostic]:
+    # This rule needs *two* plans, so it cannot fire from a single-plan
+    # analyze() pass; registering it here gives it catalogue/SARIF
+    # metadata and --select addressing.  Findings are produced by
+    # repro.staticcheck.effects.analyze_pair (and the server's admission
+    # gate, which calls it).
+    return iter(())
 
 
 def _selfcheck() -> None:

@@ -1,0 +1,230 @@
+"""The admission-time lint gate and the cross-plan interference check."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.concurrent import ConcurrentObjectbase
+from repro.server import ObjectbaseService, make_server
+
+
+class Client:
+    def __init__(self, server):
+        host, port = server.server_address[:2]
+        self.base = f"http://{host}:{port}"
+
+    def json(self, method: str, path: str, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(
+            self.base + path, data=data, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+
+def _serve(tmp_path, **service_kw):
+    store = ConcurrentObjectbase.open(
+        tmp_path / "schema.wal", lock_timeout=0.5
+    )
+    service = ObjectbaseService(store, max_inflight=4, **service_kw)
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return store, server, thread, Client(server)
+
+
+@pytest.fixture
+def gated(tmp_path):
+    store, server, thread, client = _serve(tmp_path, lint="error")
+    try:
+        yield store, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+@pytest.fixture
+def warn_gated(tmp_path):
+    store, server, thread, client = _serve(tmp_path, lint="warn")
+    try:
+        yield store, client
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def at(name: str, supers=()) -> dict:
+    return {
+        "code": "AT", "name": name,
+        "supertypes": list(supers), "properties": [],
+    }
+
+
+class TestLintGate:
+    def test_clean_write_passes(self, gated):
+        _, client = gated
+        status, body = client.json("POST", "/v1/apply", at("T_person"))
+        assert (status, body) == (200, {"applied": "AT", "changed": True})
+
+    def test_doomed_batch_is_rejected_with_diagnostics(self, gated):
+        _, client = gated
+        status, body = client.json(
+            "POST", "/v1/batch",
+            {"operations": [{"code": "DT", "name": "T_ghost"}]},
+        )
+        assert status == 409
+        err = body["error"]
+        assert err["code"] == "lint-rejected"
+        diags = err["diagnostics"]
+        assert diags and diags[0]["rule"] == "doomed-operation"
+        assert diags[0]["step"] == 0
+        assert "T_ghost" in diags[0]["message"]
+
+    def test_rejection_leaves_store_unchanged(self, gated):
+        store, client = gated
+        client.json("POST", "/v1/apply", at("T_person"))
+        gen = store.snapshot.generation
+        status, _ = client.json(
+            "POST", "/v1/batch",
+            {"operations": [at("T_emp", ["T_person"]),
+                            {"code": "DT", "name": "T_ghost"}]},
+        )
+        assert status == 409
+        # The whole batch was refused before any mutation.
+        assert store.snapshot.generation == gen
+        status, body = client.json("GET", "/v1/types")
+        assert "T_emp" not in body["types"]
+
+    def test_error_mode_lets_warnings_through(self, gated):
+        _, client = gated
+        client.json("POST", "/v1/apply", at("T_a"))
+        client.json("POST", "/v1/apply", at("T_b", ["T_a"]))
+        client.json("POST", "/v1/apply", at("T_c", ["T_b"]))
+        # Dropping both chain edges triggers the WARNING-severity
+        # order-dependence hazard; error mode must not block it.
+        status, _ = client.json(
+            "POST", "/v1/batch",
+            {"operations": [
+                {"code": "MT-DSR", "subject": "T_c", "supertype": "T_b"},
+                {"code": "MT-DSR", "subject": "T_b", "supertype": "T_a"},
+            ]},
+        )
+        assert status == 200
+
+    def test_warn_mode_blocks_warnings(self, warn_gated):
+        _, client = warn_gated
+        client.json("POST", "/v1/apply", at("T_a"))
+        client.json("POST", "/v1/apply", at("T_b", ["T_a"]))
+        client.json("POST", "/v1/apply", at("T_c", ["T_b"]))
+        status, body = client.json(
+            "POST", "/v1/batch",
+            {"operations": [
+                {"code": "MT-DSR", "subject": "T_c", "supertype": "T_b"},
+                {"code": "MT-DSR", "subject": "T_b", "supertype": "T_a"},
+            ]},
+        )
+        assert status == 409
+        assert body["error"]["code"] == "lint-rejected"
+
+    def test_off_mode_admits_doomed_writes(self, tmp_path):
+        store, server, thread, client = _serve(tmp_path, lint="off")
+        try:
+            status, body = client.json(
+                "POST", "/v1/batch",
+                {"operations": [{"code": "DT", "name": "T_ghost"}]},
+            )
+            # No gate: the engine itself rejects, mapped to its own code.
+            assert status != 409 or body["error"]["code"] != "lint-rejected"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_unknown_mode_is_rejected_at_construction(self, tmp_path):
+        store = ConcurrentObjectbase.open(
+            tmp_path / "s.wal", lock_timeout=0.5
+        )
+        with pytest.raises(ValueError):
+            ObjectbaseService(store, lint="loud")
+
+
+class TestInterference:
+    def test_conflicting_concurrent_write_is_rejected(self, gated):
+        store, client = gated
+        client.json("POST", "/v1/apply", at("T_person"))
+        planned_at = store.snapshot.generation
+        # Another writer lands a subtype under T_person...
+        client.json("POST", "/v1/apply", at("T_emp", ["T_person"]))
+        # ...so dropping T_person, planned against the old snapshot,
+        # interferes.
+        status, body = client.json(
+            "POST", "/v1/batch",
+            {"operations": [{"code": "DT", "name": "T_person"}],
+             "expect_generation": planned_at},
+        )
+        assert status == 409
+        err = body["error"]
+        assert err["code"] == "plan-interference"
+        assert err["diagnostics"]
+        assert "T_person" in err["diagnostics"][0]["message"]
+
+    def test_disjoint_concurrent_write_is_admitted(self, gated):
+        store, client = gated
+        client.json("POST", "/v1/apply", at("T_person"))
+        planned_at = store.snapshot.generation
+        client.json("POST", "/v1/apply", at("T_course"))
+        status, _ = client.json(
+            "POST", "/v1/batch",
+            {"operations": [at("T_emp", ["T_person"])],
+             "expect_generation": planned_at},
+        )
+        assert status == 200
+
+    def test_current_generation_never_interferes(self, gated):
+        store, client = gated
+        client.json("POST", "/v1/apply", at("T_person"))
+        status, _ = client.json(
+            "POST", "/v1/batch",
+            {"operations": [at("T_emp", ["T_person"])],
+             "expect_generation": store.snapshot.generation},
+        )
+        assert status == 200
+
+    def test_future_generation_is_a_client_error(self, gated):
+        _, client = gated
+        status, body = client.json(
+            "POST", "/v1/batch",
+            {"operations": [at("T_person")], "expect_generation": 999},
+        )
+        assert status == 400
+
+    def test_non_integer_generation_is_a_client_error(self, gated):
+        _, client = gated
+        status, _ = client.json(
+            "POST", "/v1/batch",
+            {"operations": [at("T_person")], "expect_generation": "old"},
+        )
+        assert status == 400
+
+    def test_metrics_count_rejections(self, gated):
+        _, client = gated
+        client.json(
+            "POST", "/v1/batch",
+            {"operations": [{"code": "DT", "name": "T_ghost"}]},
+        )
+        import urllib.request as u
+
+        raw = u.urlopen(client.base + "/metrics").read().decode()
+        assert "repro_lint_gate_runs_total" in raw
+        assert "repro_lint_gate_rejections_total" in raw

@@ -1,0 +1,250 @@
+"""Typed plan edits, the auto-fix loop, diffs, and baselines."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import (
+    AddEssentialSupertype,
+    AddType,
+    DropType,
+    LatticePolicy,
+    Property,
+    TypeLattice,
+)
+from repro.core.errors import PlanError
+from repro.staticcheck import (
+    DeleteStep,
+    EvolutionPlan,
+    InsertStep,
+    MoveStep,
+    ReplaceStep,
+    analyze,
+    apply_baseline,
+    apply_edits,
+    fix_plan,
+    load_plan,
+    plan_diff,
+    write_baseline,
+)
+import pytest
+
+
+def _family():
+    lat = TypeLattice(LatticePolicy.tigukat())
+    lat.add_type("T_person", properties=[Property("person.name")])
+    lat.add_type("T_student", supertypes=["T_person"])
+    return lat
+
+
+def _ops():
+    return [
+        AddType("T_a", ()),
+        AddType("T_b", ("T_a",)),
+        AddType("T_c", ("T_b",)),
+    ]
+
+
+class TestApplyEdits:
+    def test_delete(self):
+        plan = EvolutionPlan(_ops(), name="p")
+        out = apply_edits(plan, [DeleteStep(1)])
+        assert [o.name for o in out.operations] == ["T_a", "T_c"]
+        assert out.name == "p"
+
+    def test_insert_before_and_append(self):
+        plan = EvolutionPlan(_ops())
+        extra = AddType("T_x", ())
+        out = apply_edits(plan, [InsertStep(0, extra)])
+        assert out.operations[0].name == "T_x"
+        out = apply_edits(plan, [InsertStep(3, extra)])
+        assert out.operations[-1].name == "T_x"
+
+    def test_replace(self):
+        plan = EvolutionPlan(_ops())
+        out = apply_edits(plan, [ReplaceStep(2, DropType("T_b"))])
+        assert out.operations[2].code == "DT"
+
+    def test_move(self):
+        plan = EvolutionPlan(_ops())
+        out = apply_edits(plan, [MoveStep(2, to_index=0)])
+        assert [o.name for o in out.operations] == ["T_c", "T_a", "T_b"]
+
+    def test_indices_refer_to_original_plan(self):
+        plan = EvolutionPlan(_ops())
+        # Delete 0 and 2 together: 2 must mean the ORIGINAL step 2.
+        out = apply_edits(plan, [DeleteStep(0), DeleteStep(2)])
+        assert [o.name for o in out.operations] == ["T_b"]
+
+    def test_out_of_range_is_rejected(self):
+        plan = EvolutionPlan(_ops())
+        with pytest.raises(PlanError):
+            apply_edits(plan, [DeleteStep(7)])
+
+    def test_conflicting_edits_are_rejected(self):
+        plan = EvolutionPlan(_ops())
+        with pytest.raises(PlanError):
+            apply_edits(plan, [DeleteStep(1), ReplaceStep(1, DropType("T_a"))])
+
+
+class TestFixPlan:
+    def test_doomed_step_is_deleted(self):
+        lat = _family()
+        plan = EvolutionPlan([
+            AddType("T_emp", ("T_person",)),
+            DropType("T_ghost"),  # doomed: unknown type
+        ])
+        result = fix_plan(lat, plan)
+        assert result.changed
+        assert len(result.plan.operations) == 1
+        assert not result.report.by_rule("doomed-operation")
+
+    def test_fix_is_idempotent(self):
+        lat = _family()
+        plan = EvolutionPlan([
+            DropType("T_ghost"),
+            AddType("T_emp", ("T_person",)),
+            DropType("T_ghost2"),
+        ])
+        once = fix_plan(lat, plan)
+        again = fix_plan(lat, once.plan)
+        assert once.changed
+        assert not again.changed
+        assert again.passes == 0
+        assert [o.describe() for o in again.plan.operations] == \
+               [o.describe() for o in once.plan.operations]
+
+    def test_accepted_duplicate_is_not_deleted(self):
+        """A duplicate that *does* change state (because its first
+        occurrence was rejected) must survive the fixer."""
+        lat = _family()
+        plan = EvolutionPlan([
+            AddEssentialSupertype("T_student", "T_ghost"),  # rejected
+            AddType("T_ghost", ()),
+            AddEssentialSupertype("T_student", "T_ghost"),  # now works
+        ])
+        result = fix_plan(lat, plan, select=("duplicate-step",))
+        ops = result.plan.operations
+        assert sum(1 for o in ops if o.code == "MT-ASR") >= 1
+        # The accepted occurrence is still there.
+        trace_ops = [o.describe() for o in ops]
+        assert any("T_ghost" in d for d in trace_ops)
+
+    def test_fixed_plan_keeps_provenance_name(self):
+        lat = _family()
+        plan = EvolutionPlan([DropType("T_ghost")], name="migration-7")
+        result = fix_plan(lat, plan)
+        assert result.plan.name == "migration-7"
+
+    def test_summary_mentions_counts(self):
+        lat = _family()
+        result = fix_plan(lat, EvolutionPlan([DropType("T_ghost")]))
+        assert "1 fix" in result.summary()
+
+
+class TestPlanDiff:
+    def test_diff_shows_removed_step(self, tmp_path):
+        lat = _family()
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps({
+            "name": "p",
+            "operations": [
+                {"code": "AT", "name": "T_emp",
+                 "supertypes": ["T_person"], "properties": []},
+                {"code": "DT", "name": "T_ghost"},
+            ],
+        }))
+        plan = load_plan(path)
+        result = fix_plan(lat, plan)
+        diff = plan_diff(plan, result.plan, str(path))
+        assert diff.startswith("---")
+        assert "-" in diff and "T_ghost" in diff
+
+    def test_no_change_means_empty_diff(self):
+        lat = _family()
+        plan = EvolutionPlan([AddType("T_emp", ("T_person",))])
+        result = fix_plan(lat, plan)
+        assert plan_diff(plan, result.plan) == ""
+
+
+class TestSaveRoundTrip:
+    def test_fixed_plan_survives_save_and_reload(self, tmp_path):
+        lat = _family()
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps({
+            "operations": [
+                {"code": "DT", "name": "T_ghost"},
+                {"code": "AT", "name": "T_emp",
+                 "supertypes": ["T_person"], "properties": []},
+            ],
+        }))
+        plan = load_plan(path)
+        result = fix_plan(lat, plan)
+        result.plan.save(path)
+        reloaded = load_plan(path)
+        assert len(reloaded.operations) == 1
+        assert reloaded.operations[0].code == "AT"
+
+    def test_jsonl_format_is_preserved(self, tmp_path):
+        lat = _family()
+        path = tmp_path / "p.jsonl"
+        path.write_text(
+            '{"code": "DT", "name": "T_ghost"}\n'
+            '{"code": "AT", "name": "T_emp", "supertypes": ["T_person"], '
+            '"properties": []}\n'
+        )
+        plan = load_plan(path)
+        result = fix_plan(lat, plan)
+        result.plan.save(path)
+        lines = [ln for ln in path.read_text().splitlines() if ln.strip()]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["code"] == "AT"
+
+
+class TestBaseline:
+    def test_write_then_check_suppresses_known_findings(self, tmp_path):
+        lat = _family()
+        plan = EvolutionPlan([DropType("T_ghost")], name="p")
+        report = analyze(lat, plan)
+        base = tmp_path / "b.json"
+        count = write_baseline(base, report)
+        assert count == len(report.diagnostics)
+        filtered, suppressed = apply_baseline(report, base)
+        assert suppressed == count
+        assert not filtered.diagnostics
+
+    def test_new_findings_survive_the_baseline(self, tmp_path):
+        lat = _family()
+        old = analyze(lat, EvolutionPlan([DropType("T_ghost")]))
+        base = tmp_path / "b.json"
+        write_baseline(base, old)
+        new = analyze(lat, EvolutionPlan([
+            DropType("T_ghost"),
+            DropType("T_other_ghost"),  # not in the baseline
+        ]))
+        filtered, suppressed = apply_baseline(new, base)
+        assert suppressed >= 1
+        assert any(
+            "T_other_ghost" in d.message for d in filtered.diagnostics
+        )
+
+    def test_fingerprints_are_stable_under_renumbering(self, tmp_path):
+        """Inserting an unrelated step ahead of a finding must not
+        invalidate the baseline entry (no step index in the key)."""
+        lat = _family()
+        base = tmp_path / "b.json"
+        write_baseline(base, analyze(lat, EvolutionPlan(
+            [DropType("T_ghost")]
+        )))
+        shifted = analyze(lat, EvolutionPlan([
+            AddType("T_emp", ("T_person",)),
+            DropType("T_ghost"),
+        ]))
+        _, suppressed = apply_baseline(shifted, base)
+        assert suppressed >= 1
+
+    def test_missing_baseline_is_a_plan_error(self, tmp_path):
+        lat = _family()
+        report = analyze(lat, EvolutionPlan([DropType("T_ghost")]))
+        with pytest.raises(PlanError):
+            apply_baseline(report, tmp_path / "absent.json")

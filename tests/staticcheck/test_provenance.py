@@ -1,0 +1,137 @@
+"""Plan-file provenance: step line numbers into diagnostics and SARIF."""
+
+from __future__ import annotations
+
+from repro.core import LatticePolicy, TypeLattice
+from repro.staticcheck import analyze, load_plan, sarif_dict
+from repro.staticcheck.plan import _op_start_lines
+
+
+def _lat():
+    lat = TypeLattice(LatticePolicy.tigukat())
+    lat.add_type("T_person")
+    return lat
+
+
+OBJECT_DOC = """{
+  "name": "p",
+  "operations": [
+    {"code": "AT", "name": "T_emp",
+     "supertypes": ["T_person"], "properties": []},
+    {"code": "DT",
+     "name": "T_ghost"}
+  ]
+}
+"""
+
+ARRAY_DOC = """[
+  {"code": "AT", "name": "T_emp",
+   "supertypes": ["T_person"], "properties": []},
+  {"code": "DT", "name": "T_ghost"}
+]
+"""
+
+
+class TestLineScanner:
+    def test_object_document(self):
+        assert _op_start_lines(OBJECT_DOC) == [4, 6]
+
+    def test_array_document(self):
+        assert _op_start_lines(ARRAY_DOC) == [2, 4]
+
+    def test_braces_inside_strings_do_not_confuse_the_scanner(self):
+        doc = ('{"name": "tricky {\\" [", "operations": [\n'
+               '  {"code": "DT", "name": "T_x"}\n'
+               ']}\n')
+        assert _op_start_lines(doc) == [2]
+
+    def test_no_operations_array(self):
+        assert _op_start_lines('{"name": "p"}') is None
+
+
+class TestLoadPlanProvenance:
+    def test_object_plan_carries_lines(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(OBJECT_DOC)
+        plan = load_plan(path)
+        assert plan.source.endswith("p.json")
+        assert plan.line_of(0) == 4
+        assert plan.line_of(1) == 6
+
+    def test_jsonl_plan_carries_lines(self, tmp_path):
+        path = tmp_path / "p.jsonl"
+        path.write_text(
+            "\n"  # blank line: line numbers must account for it
+            '{"code": "AT", "name": "T_emp", "supertypes": ["T_person"], '
+            '"properties": []}\n'
+            "\n"
+            '{"code": "DT", "name": "T_ghost"}\n'
+        )
+        plan = load_plan(path)
+        assert plan.line_of(0) == 2
+        assert plan.line_of(1) == 4
+
+    def test_framed_wal_plan_carries_lines(self, tmp_path):
+        from repro.storage.framing import encode_frame
+
+        path = tmp_path / "journal.wal"
+        ops = (
+            '{"code": "AT", "name": "T_emp", "supertypes": ["T_person"], '
+            '"properties": []}',
+            '{"code": "DT", "name": "T_ghost"}',
+        )
+        with path.open("wb") as fh:
+            for gen, payload in enumerate(ops, start=1):
+                fh.write(encode_frame(payload, gen))
+        plan = load_plan(path)
+        assert len(plan.operations) == 2
+        assert plan.line_of(0) == 1
+        assert plan.line_of(1) == 2
+
+    def test_diagnostics_carry_source_and_line(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(OBJECT_DOC)
+        report = analyze(_lat(), load_plan(path))
+        doomed = report.by_rule("doomed-operation")
+        assert doomed
+        assert doomed[0].source.endswith("p.json")
+        assert doomed[0].line == 6
+
+    def test_schema_findings_have_no_plan_provenance(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(OBJECT_DOC)
+        report = analyze(_lat(), load_plan(path))
+        for d in report.diagnostics:
+            if d.step is None:
+                assert d.source == ""
+                assert d.line is None
+
+
+class TestSarifProvenance:
+    def test_start_line_is_the_real_plan_line(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text(OBJECT_DOC)
+        report = analyze(_lat(), load_plan(path))
+        doc = sarif_dict(report, plan_uri=str(path), schema_uri="db.wal")
+        results = doc["runs"][0]["results"]
+        doomed = [
+            r for r in results
+            if r["ruleId"] == "doomed-operation"
+        ]
+        assert doomed
+        loc = doomed[0]["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] == 6
+
+    def test_fallback_without_line_info(self):
+        from repro.core import DropType
+        from repro.staticcheck import EvolutionPlan
+
+        plan = EvolutionPlan([DropType("T_ghost")], name="inline")
+        report = analyze(_lat(), plan)
+        doc = sarif_dict(report, plan_uri="plan.json", schema_uri="db.wal")
+        doomed = [
+            r for r in doc["runs"][0]["results"]
+            if r["ruleId"] == "doomed-operation"
+        ]
+        loc = doomed[0]["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] == 1  # step 0 + 1 fallback

@@ -254,6 +254,91 @@ class TestLintPlan:
         assert "plan: 3 step(s)" in out
 
 
+class TestLintFix:
+    """The ``--fix`` applier, ``--diff`` dry-run, and baselines."""
+
+    @pytest.fixture
+    def chain_db(self, db):
+        run(db, "add-type", "T_a")
+        run(db, "add-type", "T_b", "-s", "T_a")
+        run(db, "add-type", "T_c", "-s", "T_b")
+        return db
+
+    def _doomed_plan(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"operations": [
+            {"code": "AT", "name": "T_d",
+             "supertypes": ["T_c"], "properties": []},
+            {"code": "DT", "name": "T_ghost"},
+        ]}))
+        return str(path)
+
+    def test_fix_rewrites_the_plan_in_place(
+        self, chain_db, tmp_path, capsys
+    ):
+        plan = self._doomed_plan(tmp_path)
+        assert run(chain_db, "lint", "--plan", plan, "--fix") == 0
+        assert "applied 1 fix" in capsys.readouterr().err
+        doc = json.loads(Path(plan).read_text())
+        assert len(doc["operations"]) == 1
+        assert doc["operations"][0]["code"] == "AT"
+
+    def test_fix_is_idempotent(self, chain_db, tmp_path, capsys):
+        plan = self._doomed_plan(tmp_path)
+        run(chain_db, "lint", "--plan", plan, "--fix")
+        first = Path(plan).read_text()
+        capsys.readouterr()
+        assert run(chain_db, "lint", "--plan", plan, "--fix") == 0
+        assert "applied 0 fix" in capsys.readouterr().err
+        assert Path(plan).read_text() == first
+
+    def test_diff_is_a_dry_run(self, chain_db, tmp_path, capsys):
+        plan = self._doomed_plan(tmp_path)
+        before = Path(plan).read_text()
+        assert run(
+            chain_db, "lint", "--plan", plan, "--fix", "--diff"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "T_ghost" in out and out.lstrip().startswith("---")
+        assert Path(plan).read_text() == before
+
+    def test_fix_requires_plan(self, chain_db, capsys):
+        assert run(chain_db, "lint", "--fix") == 2
+        assert "--plan" in capsys.readouterr().err
+
+    def test_diff_requires_fix(self, chain_db, tmp_path, capsys):
+        plan = self._doomed_plan(tmp_path)
+        assert run(chain_db, "lint", "--plan", plan, "--diff") == 2
+
+    def test_baseline_write_then_check(self, chain_db, tmp_path, capsys):
+        plan = self._doomed_plan(tmp_path)
+        assert run(
+            chain_db, "lint", "--plan", plan, "--baseline", "write"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert Path(plan + ".lint-baseline.json").exists()
+        # Known findings are suppressed, so the gate passes now.
+        assert run(
+            chain_db, "lint", "--plan", plan, "--baseline", "check"
+        ) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_baseline_check_still_fails_on_new_findings(
+        self, chain_db, tmp_path, capsys
+    ):
+        plan = self._doomed_plan(tmp_path)
+        run(chain_db, "lint", "--plan", plan, "--baseline", "write")
+        doc = json.loads(Path(plan).read_text())
+        doc["operations"].append({"code": "DT", "name": "T_new_ghost"})
+        Path(plan).write_text(json.dumps(doc))
+        capsys.readouterr()
+        assert run(
+            chain_db, "lint", "--plan", plan, "--baseline", "check"
+        ) == 1
+        assert "T_new_ghost" in capsys.readouterr().out
+
+
 class TestImpactNormalizeHistory:
     def test_impact_drop_type(self, db, capsys):
         run(db, "add-type", "T_a", "-p", "a.p")
