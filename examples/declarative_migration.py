@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Declarative migration: schema-as-code with the DDL differ.
+
+Declares the university schema as DDL text, lets the differ derive the
+minimal evolution plan, applies it through the lint gate, then evolves
+the objectbase twice more — a refactor (new supertype spliced into the
+lattice) and a lossy change that the gate refuses at the `warn`
+threshold. Throughout, migration is idempotent: re-applying a target
+is a no-op.
+
+Run:  python examples/declarative_migration.py
+"""
+
+from repro import Objectbase
+from repro.core.errors import LintRejectedError
+
+V1 = """
+schema university;
+
+type T_person {
+    ne person.name as name;
+    ne person.age as age;
+}
+type T_student : T_person {
+    ne student.gpa as gpa;
+}
+type T_employee : T_person {
+    ne employee.salary as salary;
+}
+type T_ta : T_student, T_employee;
+"""
+
+#: v2 splices T_member between T_person and its subtypes and adds a
+#: property — a multi-step refactor declared as the desired end state.
+V2 = """
+schema university;
+
+type T_person {
+    ne person.name as name;
+    ne person.age as age;
+}
+type T_member : T_person {
+    ne member.id as id;
+}
+type T_student : T_member {
+    ne student.gpa as gpa;
+}
+type T_employee : T_member {
+    ne employee.salary as salary;
+}
+type T_ta : T_student, T_employee;
+"""
+
+#: v3 drops the gpa property — lossy, so the `warn` gate refuses it.
+V3 = V2.replace("    ne student.gpa as gpa;\n", "")
+
+
+def show_plan(plan) -> None:
+    for i, op in enumerate(plan):
+        print(f"  {i}  {op.code:<7} {op.describe()}")
+
+
+def main() -> None:
+    print("=" * 70)
+    print("Declarative schema migration (repro.ddl)")
+    print("=" * 70)
+
+    ob = Objectbase.in_memory()
+
+    print("\n--- v1: empty objectbase -> declared schema ----------------")
+    result = ob.migrate_to(V1)
+    show_plan(result.plan)
+    print(result.summary())
+    assert result.applied
+
+    print("\nre-applying the same target is a no-op:")
+    again = ob.migrate_to(V1)
+    print(" ", again.summary())
+    assert not again.applied and len(again.plan) == 0
+
+    print("\n--- the live schema, exported as canonical DDL -------------")
+    print(ob.schema_ddl(name="university"), end="")
+
+    print("\n--- v2: splice T_member into the lattice -------------------")
+    print("the differ derives the minimal, safely ordered plan:")
+    result = ob.migrate_to(V2)
+    show_plan(result.plan)
+    print(result.summary())
+    assert "T_member" in ob.lattice.pe("T_student")
+    assert "T_person" not in ob.lattice.pe("T_student")
+
+    print("\n--- v3: lossy drop, refused by the lint gate ---------------")
+    try:
+        ob.migrate_to(V3, lint="warn")
+    except LintRejectedError as exc:
+        print(f"rejected [{exc.code}]: nothing was applied")
+        for d in exc.diagnostics:
+            print(f"  {d['severity']}: {d['rule']}: {d['message']}")
+    assert "T_student" in ob  # untouched
+
+    print("\nthe default gate (errors only) lets the lossy plan through:")
+    result = ob.migrate_to(V3)
+    print(" ", result.summary())
+    assert len(ob.diff_to(V3)) == 0  # converged
+
+    print("\nok")
+
+
+if __name__ == "__main__":
+    main()

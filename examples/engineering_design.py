@@ -28,7 +28,7 @@ from repro.propagation import (
     FilteringStrategy,
     TemporalSchema,
 )
-from repro.storage import DurableLattice
+from repro.storage.journal import DurableLattice
 from repro.tigukat import Objectbase, SchemaManager
 from repro.viz import render_lattice, render_type_card
 

@@ -6,7 +6,12 @@ Subpackages
 ``repro.api``
     The stable facade: :class:`repro.api.Objectbase` — open/in-memory
     construction, the eight evolution operations, batched transactions,
-    axiom checks, impact analysis, normalization, term-card queries.
+    axiom checks, impact analysis, normalization, term-card queries,
+    declarative migration (:meth:`~repro.api.Objectbase.migrate_to`).
+``repro.ddl``
+    Schema-as-code: a small text DDL for declaring target schemas, a
+    round-trip-stable pretty-printer, and the differ that compiles a
+    declared schema into a minimal evolution plan.
 ``repro.core``
     The axiomatic model: type lattice, the nine axioms, derivation engine,
     soundness/completeness oracle, evolution operations, journal.
@@ -37,6 +42,7 @@ from . import (
     analysis,
     api,
     core,
+    ddl,
     orion,
     propagation,
     query,
@@ -46,7 +52,8 @@ from . import (
     tigukat,
     viz,
 )
-from .api import Objectbase
+from .api import MigrationResult, Objectbase
+from .ddl import diff_schemas, parse_schema, print_schema, schema_from
 from .core import (
     LatticePolicy,
     Property,
@@ -62,7 +69,13 @@ __version__ = "1.0.0"
 __all__ = [
     "api",
     "Objectbase",
+    "MigrationResult",
     "core",
+    "ddl",
+    "parse_schema",
+    "print_schema",
+    "diff_schemas",
+    "schema_from",
     "tigukat",
     "orion",
     "systems",

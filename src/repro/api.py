@@ -15,6 +15,11 @@ One import, one object, the whole evolution surface::
         ob.drop_supertype("T_ta", "T_student")
         ob.add_supertype("T_ta", "T_person")
 
+    ob.migrate_to('''                         # or declare the target schema
+        type T_person { ne person.name as name; }
+        type T_student : T_person;
+    ''')                                      # differ + lint gate + batch
+
 Everything the scattered entry points offered (``core.operations``
 command objects, ``storage.journal.DurableLattice``, the CLI's
 plumbing) is reachable from here; the old entry points keep working but
@@ -45,10 +50,11 @@ import logging
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from .core.axioms import Violation, check_all
 from .core.config import LatticePolicy
+from .core.errors import LintRejectedError
 from .core.history import EvolutionJournal, JournalEntry
 from .core.impact import ImpactReport, analyze_impact
 from .core.lattice import TypeLattice
@@ -67,15 +73,40 @@ from .core.operations import (
 from .core.properties import Property
 from .core.soundness import SoundnessReport, verify
 from .core.transactions import SchemaTransaction, TransactionError
+from .ddl.differ import diff_schemas, schema_from
+from .ddl.printer import print_schema
+from .obs.metrics import REGISTRY
 from .obs.tracing import trace
+from .staticcheck.analyzer import AnalysisReport, analyze
+from .staticcheck.plan import EvolutionPlan
+from .staticcheck.registry import Severity
 from .storage.faults import StorageFS
 from .storage.framing import DurabilityPolicy, SalvageReport
 from .storage.journal import DurableLattice
 from .storage.reliability import RetryPolicy
 
-__all__ = ["Objectbase", "TermCard", "DurabilityPolicy"]
+if TYPE_CHECKING:  # pragma: no cover
+    from .ddl.ast import SchemaDecl
+
+__all__ = [
+    "Objectbase",
+    "TermCard",
+    "MigrationResult",
+    "DurabilityPolicy",
+    "run_lint_gate",
+    "MIGRATE_LINT_MODES",
+]
 
 logger = logging.getLogger(__name__)
+
+_MIGRATIONS = REGISTRY.counter(
+    "repro_ddl_migrations_total",
+    "Declarative migrations through Objectbase.migrate_to, by outcome",
+    labelnames=("outcome",),
+)
+
+#: Lint-gate thresholds accepted by :meth:`Objectbase.migrate_to`.
+MIGRATE_LINT_MODES = ("off", "info", "warn", "error")
 
 
 @dataclass(frozen=True)
@@ -107,8 +138,80 @@ class TermCard:
         }
 
 
+@dataclass(frozen=True)
+class MigrationResult:
+    """Everything one :meth:`Objectbase.migrate_to` call decided and did.
+
+    ``plan`` is the differ's delta (empty when the schemas already
+    agreed), ``report`` the lint-gate analysis it passed, ``applied``
+    whether the plan was executed (``False`` for dry runs and empty
+    plans), and ``results`` the per-operation outcomes of the applying
+    batch.
+    """
+
+    plan: EvolutionPlan
+    report: AnalysisReport
+    applied: bool
+    results: tuple[OperationResult, ...] = ()
+
+    @property
+    def changed(self) -> bool:
+        """Whether the objectbase was actually mutated."""
+        return self.applied and len(self.plan) > 0
+
+    def summary(self) -> str:
+        verb = "applied" if self.applied else "planned"
+        return (
+            f"{verb} {len(self.plan)} operation(s); "
+            f"lint: {self.report.summary()}"
+        )
+
+
 def _coerce_prop(p: Property | str, name: str = "") -> Property:
     return p if isinstance(p, Property) else Property(p, name)
+
+
+_LINT_THRESHOLDS = {
+    "info": Severity.INFO,
+    "warn": Severity.WARNING,
+    "error": Severity.ERROR,
+}
+
+
+def run_lint_gate(
+    lattice: TypeLattice, plan: EvolutionPlan, lint: str
+) -> AnalysisReport:
+    """Analyze ``plan`` against ``lattice`` and veto at the threshold.
+
+    The shared admission gate behind :meth:`Objectbase.migrate_to`, the
+    ``repro schema migrate`` CLI, and the server's ``POST /v1/migrate``.
+    Only *plan-scope* findings (``step is not None``) can veto: a
+    pre-existing schema-state advisory must not block every migration.
+    Raises :class:`~repro.core.errors.LintRejectedError` (the offending
+    plan rides on its ``.plan`` attribute) when findings reach the
+    ``lint`` threshold (``"off"``/``"info"``/``"warn"``/``"error"``).
+    """
+    if lint not in MIGRATE_LINT_MODES:
+        raise ValueError(
+            f"lint must be one of {MIGRATE_LINT_MODES}, not {lint!r}"
+        )
+    report = analyze(lattice, plan)
+    if lint == "off":
+        return report
+    threshold = _LINT_THRESHOLDS[lint]
+    offending = [
+        d for d in report.diagnostics
+        if d.step is not None and d.severity >= threshold
+    ]
+    if offending:
+        exc = LintRejectedError(
+            f"migration rejected by the lint gate (lint={lint}): "
+            f"{len(offending)} finding(s) at or above {threshold}",
+            [d.as_dict() for d in offending],
+        )
+        exc.plan = plan
+        raise exc
+    return report
 
 
 class Objectbase:
@@ -362,6 +465,82 @@ class Objectbase:
                 "declaration(s)", dropped_supers, dropped_props,
             )
             return NormalizationReport(dropped_supers, dropped_props)
+
+    # -- declarative schema (DDL) ---------------------------------------
+
+    def schema_ddl(self, name: str = "") -> str:
+        """The live schema as canonical DDL text (see ``docs/ddl.md``).
+
+        Round-trip stable: migrating to this text is always a no-op, and
+        the output is byte-identical for equal schemas regardless of the
+        operation history that produced them.
+        """
+        return print_schema(schema_from(self, name=name))
+
+    def schema_decl(self, name: str = "") -> "SchemaDecl":
+        """The live schema as a :class:`~repro.ddl.ast.SchemaDecl`."""
+        return schema_from(self, name=name)
+
+    def diff_to(
+        self, target: "SchemaDecl | str", *, name: str = ""
+    ) -> EvolutionPlan:
+        """The minimal plan evolving this objectbase to ``target``.
+
+        ``target`` is DDL text or a parsed
+        :class:`~repro.ddl.ast.SchemaDecl`.  Nothing is applied — feed
+        the plan to :meth:`migrate_to`, ``repro lint``, or
+        :meth:`~repro.staticcheck.plan.EvolutionPlan.save`.  An empty
+        plan means the schemas already agree.
+        """
+        return diff_schemas(self, target, name=name)
+
+    def migrate_to(
+        self,
+        target: "SchemaDecl | str",
+        *,
+        dry_run: bool = False,
+        verify_on_commit: bool = True,
+        lint: str = "error",
+        gate: "Callable[[TypeLattice, EvolutionPlan], None] | None" = None,
+    ) -> MigrationResult:
+        """Evolve the schema to match a declared target (diff + apply).
+
+        The declarative top of the API: diff the live schema against
+        ``target`` (DDL text or a parsed schema), run the resulting plan
+        through the staticcheck lint gate, and apply it as one verified
+        batch.  Idempotent — migrating twice to the same target is a
+        no-op the second time.
+
+        ``lint`` sets the gate threshold (``"off"``, ``"info"``,
+        ``"warn"``, ``"error"``): plan findings at or above it raise
+        :class:`~repro.core.errors.LintRejectedError` without touching
+        the objectbase.  ``dry_run=True`` stops after diff + lint and
+        returns the unapplied plan.  ``verify_on_commit`` is passed to
+        the applying :meth:`batch`.  ``gate``, if given, receives the
+        live lattice and the computed plan after the lint gate passed
+        and before anything is mutated; raising from it aborts the
+        migration (the server's interference check rides on this).
+        """
+        with trace.span("migrate", dry_run=dry_run, lint=lint) as span:
+            plan = self.diff_to(target)
+            span.set_attr("operations", len(plan))
+            try:
+                report = run_lint_gate(self.lattice, plan, lint)
+            except LintRejectedError:
+                _MIGRATIONS.labels(outcome="lint-rejected").inc()
+                raise
+            if gate is not None and not dry_run:
+                gate(self.lattice, plan)
+            if dry_run or not plan.operations:
+                outcome = "dry-run" if dry_run else "noop"
+                _MIGRATIONS.labels(outcome=outcome).inc()
+                return MigrationResult(plan, report, applied=False)
+            with self.batch(verify_on_commit=verify_on_commit) as txn:
+                results = txn.apply_all(plan.operations)
+            _MIGRATIONS.labels(outcome="applied").inc()
+            return MigrationResult(
+                plan, report, applied=True, results=tuple(results)
+            )
 
     # -- history and durability -----------------------------------------
 

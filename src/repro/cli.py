@@ -13,6 +13,9 @@ subcommand is one of the paper's operations or inspections::
     python -m repro --db schema.wal add-prop T_person person.age
     python -m repro --db schema.wal drop-type T_student
     python -m repro --db schema.wal show [T_student]
+    python -m repro --db schema.wal schema show            # live schema as DDL
+    python -m repro --db schema.wal schema diff target.ddl # minimal plan
+    python -m repro --db schema.wal schema migrate target.ddl [--dry-run]
     python -m repro --db schema.wal check       # axioms + oracle
     python -m repro --db schema.wal lint        # static analysis (schema)
     python -m repro --db schema.wal lint --plan plan.json --format sarif
@@ -54,6 +57,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .api import DurabilityPolicy, Objectbase
@@ -188,6 +192,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--baseline-file", metavar="FILE",
         help="baseline location (default: <plan>.lint-baseline.json)",
     )
+    p = sub.add_parser(
+        "schema",
+        help="declarative schema (DDL): show the live schema as text, "
+             "diff a declared target, or migrate to it",
+    )
+    ssub = p.add_subparsers(dest="schema_command", required=True)
+
+    ps = ssub.add_parser(
+        "show", help="print the live schema as canonical DDL text"
+    )
+    ps.add_argument("--name", default="", help="schema header name to emit")
+
+    ps = ssub.add_parser(
+        "diff",
+        help="print the minimal evolution plan from the live schema to a "
+             "declared target (never mutates the WAL)",
+    )
+    ps.add_argument(
+        "schema", metavar="FILE",
+        help="target schema DDL file ('-' reads stdin)",
+    )
+    ps.add_argument(
+        "--format", choices=("text", "json", "jsonl"), default="text",
+        help="text = one describe() line per operation; json/jsonl = "
+             "plan serializations ready for 'repro lint --plan'",
+    )
+    ps.add_argument(
+        "--plan-out", metavar="FILE",
+        help="also write the plan as JSON to this file",
+    )
+
+    ps = ssub.add_parser(
+        "migrate",
+        help="diff the live schema against a declared target, gate the "
+             "plan through the static analyzer, and apply it atomically",
+    )
+    ps.add_argument(
+        "schema", metavar="FILE",
+        help="target schema DDL file ('-' reads stdin)",
+    )
+    ps.add_argument(
+        "--dry-run", action="store_true",
+        help="diff + lint only; print the plan, mutate nothing",
+    )
+    ps.add_argument(
+        "--plan-out", metavar="FILE",
+        help="also write the computed plan as JSON to this file",
+    )
+    ps.add_argument(
+        "--fail-on", choices=("error", "warning", "info", "never"),
+        default="error",
+        help="reject the migration (exit 1 + diagnostics) when the plan "
+             "has findings at or above this severity (default: error)",
+    )
+    ps.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the commit-time axiom verification of the applying "
+             "batch",
+    )
+
     sub.add_parser("normalize", help="rewrite Pe/Ne to the minimal "
                                      "declarations (drops the insurance!)")
     sub.add_parser("history", help="show the journaled operations")
@@ -323,6 +387,66 @@ def _run_plan_observed(ob: Objectbase, plan) -> tuple[Objectbase, int, int]:
     with _trace.span("verify"):
         violations = len(dry.check())
     return dry, rejected, violations
+
+
+#: ``--fail-on`` severities to :meth:`Objectbase.migrate_to` lint modes.
+_FAIL_ON_TO_LINT = {
+    "error": "error",
+    "warning": "warn",
+    "info": "info",
+    "never": "off",
+}
+
+
+def _read_schema_arg(path: str) -> str:
+    """The target DDL text: a file, or stdin for ``-``."""
+    if path == "-":
+        return sys.stdin.read()
+    return Path(path).read_text()
+
+
+def _cmd_schema(ob: Objectbase, args) -> int:
+    """``repro schema show|diff|migrate`` (see ``docs/ddl.md``)."""
+    if args.schema_command == "show":
+        print(ob.schema_ddl(name=args.name), end="")
+        return 0
+
+    try:
+        target = _read_schema_arg(args.schema)
+    except OSError as exc:
+        print(
+            f"error: cannot read schema {args.schema}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.schema_command == "diff":
+        plan = ob.diff_to(target)
+        if args.plan_out:
+            plan.save(args.plan_out)
+        if args.format == "json":
+            print(plan.dumps("object"), end="")
+        elif args.format == "jsonl":
+            print(plan.dumps("jsonl"), end="")
+        else:
+            for i, op in enumerate(plan):
+                print(f"{i:4d}  {op.code:<7} {op.describe()}")
+            if not plan.operations:
+                print("(schemas agree; empty plan)")
+        return 0
+
+    # migrate
+    result = ob.migrate_to(
+        target,
+        dry_run=args.dry_run,
+        verify_on_commit=not args.no_verify,
+        lint=_FAIL_ON_TO_LINT[args.fail_on],
+    )
+    if args.plan_out:
+        result.plan.save(args.plan_out)
+    for i, op in enumerate(result.plan):
+        print(f"{i:4d}  {op.code:<7} {op.describe()}")
+    print(result.summary())
+    return 0
 
 
 def _cmd_recover(args) -> int:
@@ -526,6 +650,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 threshold = Severity.from_name(args.fail_on)
                 if report.at_least(threshold):
                     return 1
+        elif args.command == "schema":
+            return _cmd_schema(ob, args)
         elif args.command == "normalize":
             # Journaled through the facade: the rewrite is ordinary
             # MT-DSR/MT-DB operations in the WAL, so it replays on
@@ -616,6 +742,14 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
     except EvolutionError as exc:
         print(f"rejected [{error_code(exc)}]: {exc}", file=sys.stderr)
+        for diag in getattr(exc, "diagnostics", ()) or ():
+            step = diag.get("step")
+            where = f" [step {step}]" if step is not None else ""
+            print(
+                f"  {diag.get('severity', '?')}: {diag.get('rule', '?')}: "
+                f"{diag.get('message', '')}{where}",
+                file=sys.stderr,
+            )
         return exit_code_for(exc)
     return 0
 

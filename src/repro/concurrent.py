@@ -170,7 +170,9 @@ class SchemaSnapshot:
     Construct through :meth:`capture`.
     """
 
-    __slots__ = ("_pe", "_ne", "derivation", "generation")
+    __slots__ = (
+        "_pe", "_ne", "derivation", "generation", "root", "base", "frozen",
+    )
 
     def __init__(
         self,
@@ -178,11 +180,19 @@ class SchemaSnapshot:
         ne: dict[str, "frozenset[Property]"],
         derivation: Derivation,
         generation: int,
+        root: str | None = None,
+        base: str | None = None,
+        frozen: frozenset[str] = frozenset(),
     ) -> None:
         self._pe = pe
         self._ne = ne
         self.derivation = derivation
         self.generation = generation
+        #: Policy facts frozen into the snapshot so the DDL differ can
+        #: diff against it without touching the live lattice.
+        self.root = root
+        self.base = base
+        self.frozen = frozen
 
     @classmethod
     def capture(
@@ -221,7 +231,14 @@ class SchemaSnapshot:
                     pe[t] = lattice.pe(t)
                     ne[t] = lattice.ne(t)
         _SNAPSHOT_PUBLISHES.inc()
-        return cls(pe, ne, deriv, lattice.generation)
+        return cls(
+            pe, ne, deriv, lattice.generation,
+            root=lattice.root,
+            base=lattice.base,
+            frozen=frozenset(
+                t for t in lattice.types() if lattice.is_frozen(t)
+            ),
+        )
 
     # -- queries (all lock-free, all mutually consistent) ---------------
 
@@ -438,6 +455,56 @@ class ConcurrentObjectbase:
                 gate(self._ob.lattice)
             with self._ob.batch(verify_on_commit=verify_on_commit) as txn:
                 return [txn.apply(op) for op in operations]
+
+        return self._write(run, timeout)
+
+    # -- declarative schema (DDL) ---------------------------------------
+
+    def schema_ddl(self, name: str = "") -> str:
+        """The published schema as canonical DDL text (lock-free)."""
+        from .ddl.differ import schema_from
+        from .ddl.printer import print_schema
+
+        return print_schema(schema_from(self._snapshot, name=name))
+
+    def diff_to(self, target, *, name: str = ""):
+        """Diff the *published* snapshot against ``target`` (lock-free).
+
+        Advisory by nature: a writer may commit between this diff and a
+        later :meth:`migrate_to` (which re-diffs under the lock against
+        the live lattice).  Pair with ``snapshot.generation`` and the
+        service's ``expect_generation`` check to detect that race.
+        """
+        from .ddl.differ import diff_schemas
+
+        return diff_schemas(self._snapshot, target, name=name)
+
+    def migrate_to(
+        self,
+        target,
+        *,
+        dry_run: bool = False,
+        verify_on_commit: bool = True,
+        lint: str = "error",
+        gate=None,
+        timeout: float | None = None,
+    ):
+        """Declarative migration under the write lock (one publish).
+
+        Diff, lint gate, and apply all run while the lock is held, so
+        the delta is computed against exactly the schema it executes on
+        and readers only ever observe the before or after state.  See
+        :meth:`Objectbase.migrate_to` for the parameters.
+        """
+
+        def run():
+            return self._ob.migrate_to(
+                target,
+                dry_run=dry_run,
+                verify_on_commit=verify_on_commit,
+                lint=lint,
+                gate=gate,
+            )
 
         return self._write(run, timeout)
 

@@ -53,6 +53,9 @@ __all__ = [
     "JournalError",
     "CorruptRecordError",
     "PlanError",
+    "PlanFormatError",
+    "DDLError",
+    "DDLValidationError",
     "LockTimeoutError",
     "DegradedModeError",
     "LintRejectedError",
@@ -229,6 +232,60 @@ class PlanError(SchemaError):
     """An evolution plan file is unreadable or malformed."""
 
     code: ClassVar[str] = "plan-malformed"
+
+
+class PlanFormatError(PlanError):
+    """The file is not an evolution plan at all.
+
+    Raised by :func:`repro.staticcheck.load_plan` when the on-disk shape
+    is not one of the accepted plan formats (JSON object/array, JSONL,
+    framed WAL) — a schema DDL file, prose, or binary handed to
+    ``repro lint --plan`` by mistake.  Distinct from the parent
+    ``plan-malformed``, which covers files that *are* plans but carry a
+    broken operation.
+    """
+
+    code: ClassVar[str] = "plan-bad-format"
+
+
+class DDLError(SchemaError):
+    """A schema DDL text could not be tokenized or parsed.
+
+    Carries the 1-based ``line``/``column`` of the offending source when
+    known; the HTTP service maps this (and its subclass) to **400** —
+    the request text itself is unusable, unlike a well-formed schema the
+    engine rejects.
+    """
+
+    code: ClassVar[str] = "ddl-syntax"
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+    ) -> None:
+        where = ""
+        if line is not None:
+            where = f"line {line}"
+            if column is not None:
+                where += f", column {column}"
+            where = f" ({where})"
+        super().__init__(f"{message}{where}")
+        self.line = line
+        self.column = column
+
+
+class DDLValidationError(DDLError):
+    """A parsed schema declaration is semantically unusable.
+
+    The text tokenized and parsed, but the declared schema cannot be
+    diffed or applied: duplicate or policy-managed type declarations,
+    references to undeclared types, a declared supertype cycle, or
+    conflicting property payloads under one semantics key.
+    """
+
+    code: ClassVar[str] = "ddl-invalid"
 
 
 class LockTimeoutError(SchemaError):

@@ -1,0 +1,123 @@
+"""Tokenizer for the schema DDL (see :mod:`repro.ddl`).
+
+The surface is deliberately tiny: identifiers (which may contain dots,
+so property semantics keys like ``person.name`` are bare words), quoted
+strings for anything the identifier charset cannot spell, five
+punctuation marks, and ``#`` line comments.  Every token carries its
+1-based line and column so parse errors point at the offending source.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.errors import DDLError
+
+__all__ = ["Token", "tokenize", "NAME_RE", "is_bare_name"]
+
+#: What may appear as a bare (unquoted) name: type names (``T_person``)
+#: and property semantics keys (``person.name``).
+NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+_PUNCT = "{};:,"
+
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+
+
+def is_bare_name(text: str) -> bool:
+    """Whether ``text`` can be printed without quotes."""
+    return bool(text) and NAME_RE.fullmatch(text) is not None
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical unit: ``kind`` is ``name``, ``string``, ``punct`` or
+    ``eof``; ``value`` is the decoded payload (quotes and escapes already
+    resolved for strings)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def spell(self) -> str:
+        """How to mention this token in an error message."""
+        if self.kind == "eof":
+            return "end of input"
+        return repr(self.value)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize DDL source; raises :class:`DDLError` on lexical damage."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    line, col = 1, 1
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch in _PUNCT:
+            yield Token("punct", ch, line, col)
+            i += 1
+            col += 1
+            continue
+        if ch == '"':
+            value, consumed = _scan_string(text, i, line, col)
+            yield Token("string", value, line, col)
+            i += consumed
+            col += consumed
+            continue
+        match = NAME_RE.match(text, i)
+        if match is not None:
+            yield Token("name", match.group(), line, col)
+            col += match.end() - i
+            i = match.end()
+            continue
+        raise DDLError(
+            f"unexpected character {ch!r}", line=line, column=col
+        )
+    yield Token("eof", "", line, col)
+
+
+def _scan_string(text: str, start: int, line: int, col: int) -> tuple[str, int]:
+    """Decode a quoted string starting at ``text[start]`` (a ``"``).
+
+    Returns ``(decoded value, characters consumed)``.  Strings may not
+    span lines; ``\\n``, ``\\t``, ``\\"`` and ``\\\\`` escapes decode.
+    """
+    out: list[str] = []
+    i = start + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == '"':
+            return "".join(out), i + 1 - start
+        if ch == "\n":
+            break
+        if ch == "\\":
+            if i + 1 >= n or text[i + 1] not in _ESCAPES:
+                raise DDLError(
+                    "bad string escape", line=line, column=col + i - start
+                )
+            out.append(_ESCAPES[text[i + 1]])
+            i += 2
+            continue
+        out.append(ch)
+        i += 1
+    raise DDLError("unterminated string", line=line, column=col)

@@ -1,0 +1,163 @@
+"""Recursive-descent parser for the schema DDL.
+
+Grammar (``#`` starts a line comment; names may be quoted strings)::
+
+    schema      := [ "schema" name ";" ] { typedecl }
+    typedecl    := "type" name [ ":" name { "," name } ] ( body | ";" )
+    body        := "{" { stmt } "}"
+    stmt        := "pe" name ";"
+                 | "ne" name [ "as" name ] [ "domain" name ] ";"
+
+``type T_x : T_a, T_b`` and ``pe`` lines are equivalent ways to declare
+essential supertypes (``Pe``); ``ne`` lines declare native essential
+properties (``Ne``).  Keywords are contextual — a type literally named
+``type`` needs quotes.  Parsing normalizes everything through the AST
+(:mod:`repro.ddl.ast`): order and duplication never survive.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import DDLError
+from ..obs.metrics import REGISTRY
+from .ast import PropertyDecl, SchemaDecl, TypeDecl
+from .lexer import Token, tokenize
+
+__all__ = ["parse_schema"]
+
+#: Contextual keywords: usable as names only when quoted.  Rejecting the
+#: bare spellings keeps ``ne k as domain;`` unambiguous.
+_KEYWORDS = frozenset({"schema", "type", "pe", "ne", "as", "domain"})
+
+_PARSES = REGISTRY.counter(
+    "repro_ddl_parses_total",
+    "Schema DDL parse attempts, by outcome",
+    labelnames=("outcome",),
+)
+
+
+def parse_schema(text: str) -> SchemaDecl:
+    """Parse DDL source into a canonical :class:`SchemaDecl`.
+
+    Raises :class:`~repro.core.errors.DDLError` (code ``ddl-syntax``)
+    with line/column provenance on malformed input, and its subclass
+    :class:`~repro.core.errors.DDLValidationError` (``ddl-invalid``)
+    when the text parses but declares an unusable schema (duplicate
+    types, self-supertypes, conflicting property payloads).
+    """
+    try:
+        schema = _Parser(tokenize(text)).schema()
+    except DDLError:
+        _PARSES.labels(outcome="error").inc()
+        raise
+    _PARSES.labels(outcome="ok").inc()
+    return schema
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != "eof":
+            self._pos += 1
+        return tok
+
+    def _fail(self, expected: str) -> "DDLError":
+        tok = self._cur
+        return DDLError(
+            f"expected {expected}, found {tok.spell()}",
+            line=tok.line,
+            column=tok.column,
+        )
+
+    def _at_keyword(self, word: str) -> bool:
+        return self._cur.kind == "name" and self._cur.value == word
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._at_keyword(word):
+            raise self._fail(f"{word!r}")
+        self._advance()
+
+    def _expect_punct(self, mark: str) -> None:
+        if self._cur.kind != "punct" or self._cur.value != mark:
+            raise self._fail(f"{mark!r}")
+        self._advance()
+
+    def _at_punct(self, mark: str) -> bool:
+        return self._cur.kind == "punct" and self._cur.value == mark
+
+    def _name(self, what: str) -> str:
+        if self._cur.kind == "string":
+            return self._advance().value
+        if self._cur.kind == "name" and self._cur.value not in _KEYWORDS:
+            return self._advance().value
+        raise self._fail(
+            f"{what} (quote it if it spells a keyword)"
+            if self._cur.kind == "name" else what
+        )
+
+    # -- grammar --------------------------------------------------------
+
+    def schema(self) -> SchemaDecl:
+        name = ""
+        if self._at_keyword("schema"):
+            self._advance()
+            name = self._name("a schema name")
+            self._expect_punct(";")
+        types: list[TypeDecl] = []
+        while self._cur.kind != "eof":
+            types.append(self._typedecl())
+        return SchemaDecl(tuple(types), name=name)
+
+    def _typedecl(self) -> TypeDecl:
+        self._expect_keyword("type")
+        name = self._name("a type name")
+        supertypes: list[str] = []
+        properties: list[PropertyDecl] = []
+        if self._at_punct(":"):
+            self._advance()
+            supertypes.append(self._name("a supertype name"))
+            while self._at_punct(","):
+                self._advance()
+                supertypes.append(self._name("a supertype name"))
+        if self._at_punct(";"):
+            self._advance()
+        elif self._at_punct("{"):
+            self._advance()
+            while not self._at_punct("}"):
+                self._stmt(supertypes, properties)
+            self._advance()
+        else:
+            raise self._fail("';' or '{'")
+        return TypeDecl(name, tuple(supertypes), tuple(properties))
+
+    def _stmt(
+        self, supertypes: list[str], properties: list[PropertyDecl]
+    ) -> None:
+        if self._at_keyword("pe"):
+            self._advance()
+            supertypes.append(self._name("a supertype name"))
+            self._expect_punct(";")
+        elif self._at_keyword("ne"):
+            self._advance()
+            semantics = self._name("a property semantics key")
+            display = ""
+            domain: str | None = None
+            if self._at_keyword("as"):
+                self._advance()
+                display = self._name("a display name")
+            if self._at_keyword("domain"):
+                self._advance()
+                domain = self._name("a domain name")
+            self._expect_punct(";")
+            properties.append(PropertyDecl(semantics, display, domain))
+        else:
+            raise self._fail("'pe', 'ne', or '}'")

@@ -1,0 +1,59 @@
+"""Canonical pretty-printer for declared schemas.
+
+The printer emits exactly one text per schema: types sorted by name,
+supertypes in the ``:`` header (sorted), one ``ne`` line per property
+(sorted by semantics), four-space indentation.  Because the parser
+normalizes the same way, printing is round-trip stable —
+``parse_schema(print_schema(s)) == s`` for every :class:`SchemaDecl`,
+and ``print(parse(print(x))) == print(x)`` for every text ``x``.
+"""
+
+from __future__ import annotations
+
+from .ast import PropertyDecl, SchemaDecl, TypeDecl
+from .lexer import is_bare_name
+
+__all__ = ["print_schema"]
+
+_KEYWORDS = frozenset({"schema", "type", "pe", "ne", "as", "domain"})
+
+
+def _quote(name: str) -> str:
+    """Spell ``name`` as DDL: bare when possible, quoted otherwise."""
+    if is_bare_name(name) and name not in _KEYWORDS:
+        return name
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+    return f'"{escaped}"'
+
+
+def _property_line(p: PropertyDecl) -> str:
+    parts = ["ne", _quote(p.semantics)]
+    if p.name:
+        parts += ["as", _quote(p.name)]
+    if p.domain is not None:
+        parts += ["domain", _quote(p.domain)]
+    return "    " + " ".join(parts) + ";"
+
+
+def _type_block(t: TypeDecl) -> str:
+    head = f"type {_quote(t.name)}"
+    if t.supertypes:
+        head += " : " + ", ".join(_quote(s) for s in t.supertypes)
+    if not t.properties:
+        return head + ";"
+    lines = [head + " {"]
+    lines += [_property_line(p) for p in t.properties]
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_schema(schema: SchemaDecl) -> str:
+    """The canonical DDL text of ``schema`` (trailing newline included)."""
+    blocks: list[str] = []
+    if schema.name:
+        blocks.append(f"schema {_quote(schema.name)};")
+    blocks += [_type_block(t) for t in schema.types]
+    if not blocks:
+        return ""
+    return "\n\n".join(blocks) + "\n"

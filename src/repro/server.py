@@ -14,9 +14,15 @@ endpoint                    semantics
 ``GET /metrics``            Prometheus text exposition 0.0.4
 ``GET /v1/types``           all type names (from the current snapshot)
 ``GET /v1/types/<name>``    one type's full Table-1 term card
+``GET /v1/schema``          the schema as canonical DDL text
+                            (``text/plain``; generation in the
+                            ``X-Schema-Generation`` header)
 ``POST /v1/apply``          one operation: ``{"op": {"code": "AT", ...}}``
 ``POST /v1/batch``          atomic group: ``{"operations": [...],
                             "verify": true}``
+``POST /v1/migrate``        declarative migration: ``{"schema": "<DDL>",
+                            "dry_run": false}`` — differ + lint gate
+                            under the write lock
 ``POST /v1/undo``           revert the most recent operation
 ``POST /v1/recover``        heal the WAL, leave degraded mode
 ==========================  =============================================
@@ -30,7 +36,8 @@ map to status codes via the machine-readable error taxonomy:
 * ``degraded-mode`` → **503** (the store is read-only; ``/readyz``
   reports not-ready until ``POST /v1/recover`` or ``repro recover``);
 * ``unknown-type`` / ``unknown-property`` → **404**;
-* malformed JSON / unknown operation code → **400**;
+* malformed JSON / unknown operation code / malformed DDL text
+  (``ddl-syntax`` / ``ddl-invalid``) → **400**;
 * any other :class:`~repro.core.errors.EvolutionError` (cycle,
   root-violation, axiom failure at commit, ...) → **409** — the request
   was well-formed, the schema rejected it;
@@ -67,7 +74,9 @@ from time import perf_counter
 from collections import deque
 
 from .concurrent import ConcurrentObjectbase
+from .api import MIGRATE_LINT_MODES
 from .core.errors import (
+    DDLError,
     DegradedModeError,
     EvolutionError,
     LintRejectedError,
@@ -78,6 +87,7 @@ from .core.errors import (
     error_code,
 )
 from .core.operations import operation_from_dict
+from .ddl.parser import parse_schema
 from .obs.metrics import PROMETHEUS_CONTENT_TYPE, REGISTRY
 from .obs.tracing import trace
 from .staticcheck.analyzer import analyze
@@ -129,6 +139,10 @@ def status_for(exc: BaseException) -> int:
         return 503
     if isinstance(exc, (UnknownTypeError, UnknownPropertyError)):
         return 404
+    if isinstance(exc, DDLError):
+        # The request's schema text was malformed or self-inconsistent:
+        # a client error, not a schema conflict.
+        return 400
     if isinstance(exc, EvolutionError):
         return 409
     if isinstance(exc, (ValueError, TypeError, KeyError)):
@@ -340,6 +354,76 @@ class ObjectbaseService:
             "changed": sum(1 for r in results if r.changed),
         }
 
+    def schema(self) -> tuple[str, int]:
+        """(canonical DDL text, generation), from one snapshot."""
+        snap = self.store.snapshot
+        from .ddl.differ import schema_from
+        from .ddl.printer import print_schema
+
+        return print_schema(schema_from(snap)), snap.generation
+
+    def migrate(self, body: dict) -> tuple[int, dict]:
+        """Declarative migration: differ + lint gate under the write lock.
+
+        Body: ``{"schema": "<DDL text>", "dry_run": false, "lint":
+        "error", "expect_generation": <int>}`` — only ``schema`` is
+        required.  The differ and the lint gate run while the write lock
+        is held, so the computed delta executes against exactly the
+        schema it was diffed from; ``expect_generation`` additionally
+        rejects the migration when a write committed since the client's
+        read has overlapping effects (``409 plan-interference``).
+        """
+        schema_text = body.get("schema")
+        if not isinstance(schema_text, str):
+            raise ValueError('"schema" must be a string of DDL text')
+        target = parse_schema(schema_text)
+        dry_run = bool(body.get("dry_run", False))
+        # Migrations default to the strictest gate; the service-wide
+        # --lint mode only tightens ("warn" gates at WARNING).
+        lint = body.get("lint", "warn" if self.lint == "warn" else "error")
+        if lint not in MIGRATE_LINT_MODES:
+            raise ValueError(
+                f'"lint" must be one of {MIGRATE_LINT_MODES}, not {lint!r}'
+            )
+        gate, record = self._migrate_gate(body.get("expect_generation"))
+        result = self.store.migrate_to(
+            target, dry_run=dry_run, lint=lint, gate=gate
+        )
+        if result.applied:
+            record()
+        return 200, {
+            "applied": result.applied,
+            "operations": [op.to_dict() for op in result.plan],
+            "changed": sum(1 for r in result.results if r.changed),
+            "findings": result.report.summary(),
+            "generation": self.store.snapshot.generation,
+        }
+
+    def _migrate_gate(self, expect) -> tuple:
+        """The interference/effect-recording gate for :meth:`migrate`.
+
+        Unlike :meth:`_make_gate`, the operations are not known until
+        the differ has run under the lock — the gate receives the
+        computed plan from :meth:`~repro.api.Objectbase.migrate_to`.
+        """
+        if expect is not None and (
+            isinstance(expect, bool) or not isinstance(expect, int)
+        ):
+            raise ValueError('"expect_generation" must be an integer')
+        pending: list[tuple[int, list]] = []
+
+        def gate(lattice, plan) -> None:
+            summaries = plan_summaries(lattice, list(plan.operations))
+            if expect is not None:
+                self._check_interference(lattice, summaries, expect)
+            pending.append((lattice.generation, summaries))
+
+        def record() -> None:
+            if pending:
+                self._recent.append(pending[0])
+
+        return gate, record
+
     def undo(self) -> tuple[int, dict]:
         entry = self.store.undo()
         return 200, {"undone": entry.operation.code}
@@ -446,6 +530,15 @@ class _Handler(BaseHTTPRequestHandler):
                     body = REGISTRY.render_prometheus().encode("utf-8")
                     self._send(200, body, content_type=PROMETHEUS_CONTENT_TYPE)
                     return 200
+                if route == "/v1/schema":
+                    text, generation = service.schema()
+                    self._send(
+                        200,
+                        text.encode("utf-8"),
+                        content_type="text/plain; charset=utf-8",
+                        headers={"X-Schema-Generation": str(generation)},
+                    )
+                    return 200
                 handler = {
                     "/healthz": service.healthz,
                     "/readyz": service.readyz,
@@ -463,6 +556,7 @@ class _Handler(BaseHTTPRequestHandler):
                 writer = {
                     "/v1/apply": lambda body: service.apply(body),
                     "/v1/batch": lambda body: service.batch(body),
+                    "/v1/migrate": lambda body: service.migrate(body),
                     "/v1/undo": lambda body: service.undo(),
                     "/v1/recover": lambda body: service.recover(),
                 }.get(route)
@@ -515,15 +609,7 @@ class _Handler(BaseHTTPRequestHandler):
 
 def _diag_dict(d) -> dict:
     """A Diagnostic as the wire shape used in 409 bodies."""
-    return {
-        "rule": d.rule_id,
-        "severity": str(d.severity),
-        "category": d.category,
-        "subject": d.subject,
-        "step": d.step,
-        "message": d.message,
-        "fixit": d.fixit or None,
-    }
+    return d.as_dict()
 
 
 def _error_body(

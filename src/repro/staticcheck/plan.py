@@ -27,7 +27,7 @@ import json
 from pathlib import Path
 from typing import Iterable
 
-from ..core.errors import CorruptRecordError, PlanError
+from ..core.errors import CorruptRecordError, PlanError, PlanFormatError
 from ..core.operations import SchemaOperation, operation_from_dict
 from ..storage.framing import frame_payload
 
@@ -125,6 +125,19 @@ class EvolutionPlan:
         return f"EvolutionPlan({len(self.operations)} ops{label})"
 
 
+def _format_hint(text: str) -> str:
+    """A remediation hint when a non-plan text file was handed to the
+    plan loader — most commonly a schema DDL file."""
+    head = text.lstrip()
+    if head.startswith(("schema", "type")):
+        return (
+            " (this looks like schema DDL, not an evolution plan; plans "
+            "are JSON — produce one with 'repro schema diff FILE "
+            "--plan-out plan.json')"
+        )
+    return ""
+
+
 def _op_start_lines(text: str) -> list[int] | None:
     """1-based start lines of each element of the operations array in a
     whole-document JSON plan, found by a small syntax walk.  ``None``
@@ -199,7 +212,7 @@ def _ops_from_dicts(records: Iterable[dict], source: str) -> list[SchemaOperatio
     ops: list[SchemaOperation] = []
     for i, record in enumerate(records):
         if not isinstance(record, dict):
-            raise PlanError(
+            raise PlanFormatError(
                 f"{source}: operation {i} is not an object: {record!r}"
             )
         try:
@@ -216,6 +229,10 @@ def load_plan(path: str | Path) -> EvolutionPlan:
         text = path.read_text()
     except OSError as exc:
         raise PlanError(f"cannot read plan {path}: {exc}") from exc
+    except UnicodeDecodeError as exc:
+        raise PlanFormatError(
+            f"{path} is not a text plan file: {exc}"
+        ) from exc
     stripped = text.strip()
     if not stripped:
         return EvolutionPlan((), name=path.stem, source=str(path))
@@ -229,7 +246,7 @@ def load_plan(path: str | Path) -> EvolutionPlan:
         if isinstance(doc, dict):
             records = doc.get("operations")
             if not isinstance(records, list):
-                raise PlanError(
+                raise PlanFormatError(
                     f"{path}: plan object must carry an 'operations' array"
                 )
             return EvolutionPlan(
@@ -269,8 +286,8 @@ def load_plan(path: str | Path) -> EvolutionPlan:
             except json.JSONDecodeError as exc:
                 if torn_candidate:
                     break
-                raise PlanError(
-                    f"{path}:{lineno}: not JSON: {exc}"
+                raise PlanFormatError(
+                    f"{path}:{lineno}: not JSON: {exc}{_format_hint(text)}"
                 ) from exc
         line_numbers.append(lineno)
     return EvolutionPlan(

@@ -92,6 +92,18 @@ class Diagnostic:
         """Whether ``repro lint --fix`` can mechanically resolve this."""
         return bool(self.edits)
 
+    def as_dict(self) -> dict:
+        """The wire shape used in HTTP 409 bodies and CLI JSON output."""
+        return {
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "category": self.category,
+            "subject": self.subject,
+            "step": self.step,
+            "message": self.message,
+            "fixit": self.fixit or None,
+        }
+
     def __str__(self) -> str:
         where = f" [step {self.step}]" if self.step is not None else ""
         subject = f"{self.subject}: " if self.subject else ""

@@ -1,16 +1,12 @@
 """Persistence: schema snapshots and the write-ahead operation journal.
 
-.. deprecated::
-    Reaching for :class:`DurableLattice` / :class:`JournalFile` through
-    this package is deprecated for application code — open schemas with
-    :meth:`repro.api.Objectbase.open` instead, which wraps the same WAL
-    machinery behind the stable facade.  The names keep working (they
-    delegate to :mod:`repro.storage.journal`) but emit a
-    :class:`DeprecationWarning`.  Engine-internal code imports from
-    :mod:`repro.storage.journal` directly, which stays warning-free.
+Application code opens schemas with :meth:`repro.api.Objectbase.open`,
+which wraps the WAL machinery behind the stable facade.  Engine-internal
+code imports :class:`~repro.storage.journal.DurableLattice` /
+:class:`~repro.storage.journal.JournalFile` from
+:mod:`repro.storage.journal` directly (the deprecation shims that used
+to re-export them here were removed after one release).
 """
-
-import warnings
 
 from .durable_store import DurableObjectbase
 from .faults import CrashPoint, FaultyFS, RealFS, StorageFS
@@ -44,24 +40,4 @@ __all__ = [
     "lattice_from_dict",
     "save_lattice",
     "load_lattice",
-    "JournalFile",
-    "DurableLattice",
 ]
-
-#: legacy entry points that now live behind the repro.api facade
-_DEPRECATED_JOURNAL_NAMES = frozenset({"DurableLattice", "JournalFile"})
-
-
-def __getattr__(name: str):
-    if name in _DEPRECATED_JOURNAL_NAMES:
-        warnings.warn(
-            f"importing {name} from repro.storage is deprecated; "
-            f"use repro.api.Objectbase.open() (or, for engine internals, "
-            f"repro.storage.journal.{name})",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from . import journal
-
-        return getattr(journal, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

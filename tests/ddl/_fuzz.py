@@ -1,0 +1,45 @@
+"""Deterministic schema fuzzing shared by the DDL property tests.
+
+Every generator takes a seeded :class:`random.Random` so runs are
+reproducible; supertypes are only drawn from earlier types, which keeps
+every fuzzed schema acyclic by construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ddl import PropertyDecl, SchemaDecl, TypeDecl
+
+TYPE_POOL = [f"T_t{i}" for i in range(12)]
+PROP_POOL = [f"sem.p{i}" for i in range(8)]
+NAME_POOL = ["", "x", "display name", 'we"ird', "type", "a\nb"]
+DOMAIN_POOL = [None, "T_object", "T_t0"]
+
+
+def fuzz_property(rng: random.Random, semantics: str) -> PropertyDecl:
+    return PropertyDecl(
+        semantics,
+        rng.choice(NAME_POOL),
+        rng.choice(DOMAIN_POOL),
+    )
+
+
+def fuzz_schema(
+    rng: random.Random,
+    *,
+    max_types: int = 8,
+    max_supers: int = 3,
+    max_props: int = 4,
+) -> SchemaDecl:
+    """A random acyclic schema over the shared type/property pools."""
+    count = rng.randint(0, max_types)
+    names = rng.sample(TYPE_POOL, count)
+    types = []
+    for i, name in enumerate(names):
+        n_supers = min(rng.randint(0, max_supers), i)
+        supers = tuple(rng.sample(names[:i], n_supers))
+        semantics = rng.sample(PROP_POOL, rng.randint(0, max_props))
+        props = tuple(fuzz_property(rng, s) for s in semantics)
+        types.append(TypeDecl(name, supers, props))
+    return SchemaDecl(tuple(types), name=rng.choice(["", "fuzzed"]))

@@ -1,0 +1,170 @@
+"""DDL lexer/parser/printer: units plus the parse∘print fixpoint."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import DDLError, DDLValidationError
+from repro.ddl import (
+    PropertyDecl,
+    SchemaDecl,
+    TypeDecl,
+    parse_schema,
+    print_schema,
+    tokenize,
+)
+
+from ._fuzz import fuzz_schema
+
+
+class TestLexer:
+    def test_token_stream(self):
+        kinds = [t.kind for t in tokenize("type T_a : T_b { ne k; }")]
+        assert kinds == [
+            "name", "name", "punct", "name", "punct",
+            "name", "name", "punct", "punct", "eof",
+        ]
+
+    def test_comments_skipped(self):
+        toks = tokenize("# a comment\ntype T_a; # tail\n")
+        assert [t.value for t in toks[:-1]] == ["type", "T_a", ";"]
+
+    def test_quoted_names_and_escapes(self):
+        toks = tokenize(r'"we\"ird" "a\nb"')
+        assert toks[0].value == 'we"ird'
+        assert toks[1].value == "a\nb"
+
+    def test_line_and_column_tracked(self):
+        toks = tokenize("type T_a;\n  type T_b;")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[3].line, toks[3].column) == (2, 3)
+
+    def test_bad_character_raises_with_position(self):
+        with pytest.raises(DDLError) as exc:
+            tokenize("type T_a @")
+        assert exc.value.line == 1
+        assert exc.value.column == 10
+
+    def test_unterminated_string(self):
+        with pytest.raises(DDLError):
+            tokenize('type "T_a')
+
+
+class TestParser:
+    def test_empty_text_is_empty_schema(self):
+        assert parse_schema("") == SchemaDecl()
+        assert parse_schema("  # only a comment\n") == SchemaDecl()
+
+    def test_header_and_bodies(self):
+        s = parse_schema("""
+            schema uni;
+            type T_person {
+                ne person.name as name;
+                ne person.age domain T_object;
+            }
+            type T_student : T_person;
+        """)
+        assert s.name == "uni"
+        assert s.type_names() == {"T_person", "T_student"}
+        person = s.get("T_person")
+        assert person.properties == (
+            PropertyDecl("person.age", "", "T_object"),
+            PropertyDecl("person.name", "name"),
+        )
+        assert s.get("T_student").supertypes == ("T_person",)
+
+    def test_pe_lines_equal_header_supertypes(self):
+        a = parse_schema("type T_x : T_a, T_b;\ntype T_a;\ntype T_b;")
+        b = parse_schema(
+            "type T_x { pe T_a; pe T_b; }\ntype T_a;\ntype T_b;"
+        )
+        assert a == b
+
+    def test_declaration_order_is_insignificant(self):
+        a = parse_schema("type T_a;\ntype T_b : T_a;")
+        b = parse_schema("type T_b : T_a;\ntype T_a;")
+        assert a == b
+
+    def test_syntax_error_has_position(self):
+        with pytest.raises(DDLError) as exc:
+            parse_schema("type T_a :\n;")
+        assert exc.value.line == 2
+
+    @pytest.mark.parametrize("bad", [
+        "type T_a",                 # missing terminator
+        "type T_a {",               # unclosed body
+        "type T_a { pe }",          # pe needs a name
+        "type T_a { ne k }",        # missing semicolon
+        "nonsense",                 # not a declaration
+        "type T_a; junk",           # trailing junk
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(DDLError):
+            parse_schema(bad)
+
+    @pytest.mark.parametrize("bad", [
+        "type T_a; type T_a;",              # duplicate type
+        "type T_a : T_a;",                  # self-supertype
+        "type T_a { ne k as x; ne k as y; }",  # conflicting payloads
+    ])
+    def test_invalid_schema_rejected(self, bad):
+        with pytest.raises(DDLValidationError):
+            parse_schema(bad)
+
+    def test_keywords_need_quotes(self):
+        s = parse_schema('type "type";')
+        assert s.type_names() == {"type"}
+        with pytest.raises(DDLError):
+            parse_schema("type type;")
+
+
+class TestPrinter:
+    def test_canonical_form(self):
+        s = parse_schema(
+            "type T_b : T_a;\ntype T_a { ne z.k; ne a.k as nm; }"
+        )
+        assert print_schema(s) == (
+            "type T_a {\n"
+            "    ne a.k as nm;\n"
+            "    ne z.k;\n"
+            "}\n"
+            "\n"
+            "type T_b : T_a;\n"
+        )
+
+    def test_empty_schema_prints_empty(self):
+        assert print_schema(SchemaDecl()) == ""
+
+    def test_quotes_non_bare_and_keyword_names(self):
+        s = SchemaDecl((
+            TypeDecl("type", (), (PropertyDecl("a b", 'c"d'),)),
+        ))
+        text = print_schema(s)
+        assert '"type"' in text and '"a b"' in text and '"c\\"d"' in text
+        assert parse_schema(text) == s
+
+
+class TestRoundTrip:
+    """parse∘print is a fixpoint (satellite: property tests)."""
+
+    def test_fuzzed_ast_roundtrip(self):
+        rng = random.Random(0xDD1)
+        for _ in range(200):
+            schema = fuzz_schema(rng)
+            text = print_schema(schema)
+            assert parse_schema(text) == schema
+            # printing is idempotent on its own output
+            assert print_schema(parse_schema(text)) == text
+
+    def test_fuzzed_text_normalizes_once(self):
+        """print(parse(x)) is canonical: re-parsing never changes it."""
+        rng = random.Random(0xDD2)
+        for _ in range(50):
+            schema = fuzz_schema(rng)
+            # shuffle the declaration order to simulate messy input
+            types = list(schema.types)
+            rng.shuffle(types)
+            messy = SchemaDecl(tuple(types), name=schema.name)
+            assert parse_schema(print_schema(messy)) == schema

@@ -10,7 +10,8 @@ from repro.core import (
     verify,
 )
 from repro.propagation import ScreeningStrategy, TemporalSchema
-from repro.storage import DurableLattice, save_lattice, load_lattice
+from repro.storage import load_lattice, save_lattice
+from repro.storage.journal import DurableLattice
 from repro.tigukat import Objectbase, SchemaManager, schema_sets
 
 

@@ -9,7 +9,7 @@ import pytest
 from repro.core import AddType, DropType, PlanError, Property
 from repro.core.operations import AddEssentialSupertype
 from repro.staticcheck import EvolutionPlan, load_plan, plan_from_journal
-from repro.storage import DurableLattice
+from repro.storage.journal import DurableLattice
 
 
 def _ops():
@@ -117,3 +117,57 @@ class TestLoadPlan:
         from repro.core import SchemaError
 
         assert issubclass(PlanError, SchemaError)
+
+
+class TestPlanFormatError:
+    """Non-plan text files fail with the typed ``plan-bad-format`` code
+    (satellite: no raw traceback when a DDL file is handed to lint)."""
+
+    def test_ddl_file_gets_typed_error_and_hint(self, tmp_path):
+        from repro.core.errors import PlanFormatError, error_code
+
+        path = tmp_path / "schema.ddl"
+        path.write_text("type T_person {\n    ne person.name;\n}\n")
+        with pytest.raises(PlanFormatError) as exc:
+            load_plan(path)
+        assert error_code(exc.value) == "plan-bad-format"
+        assert "schema DDL" in str(exc.value)
+        assert "repro schema diff" in str(exc.value)
+
+    def test_binary_file_gets_typed_error(self, tmp_path):
+        from repro.core.errors import PlanFormatError
+
+        path = tmp_path / "blob.bin"
+        path.write_bytes(bytes([0xFF, 0xFE, 0x00, 0x81]))
+        with pytest.raises(PlanFormatError):
+            load_plan(path)
+
+    def test_structural_errors_use_the_subclass(self, tmp_path):
+        from repro.core.errors import PlanFormatError
+
+        no_ops = tmp_path / "noops.json"
+        no_ops.write_text('{"name": "x"}')
+        with pytest.raises(PlanFormatError):
+            load_plan(no_ops)
+
+        non_object = tmp_path / "nonobj.json"
+        non_object.write_text("[42]")
+        with pytest.raises(PlanFormatError):
+            load_plan(non_object)
+
+    def test_format_error_is_a_plan_error(self):
+        from repro.core.errors import PlanFormatError
+
+        assert issubclass(PlanFormatError, PlanError)
+
+    def test_cli_lint_reports_code_not_traceback(self, tmp_path, capsys):
+        from repro.cli import main
+
+        ddl = tmp_path / "schema.ddl"
+        ddl.write_text("type T_a;\n")
+        code = main([
+            "--db", str(tmp_path / "t.wal"), "lint", "--plan", str(ddl),
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "plan-bad-format" in err

@@ -10,7 +10,7 @@ from repro.core import (
     JournalError,
     prop,
 )
-from repro.storage import DurableLattice, JournalFile
+from repro.storage.journal import DurableLattice, JournalFile
 
 SCRIPT = [
     AddType("T_person", properties=(prop("person.name", "name"),)),

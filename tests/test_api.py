@@ -232,23 +232,20 @@ class TestErrorTaxonomy:
         assert d["code"] == "cycle" and "T_a" in d["message"]
 
 
-class TestDeprecationShims:
-    def test_storage_toplevel_warns_but_works(self, tmp_path):
+class TestStorageSurface:
+    def test_toplevel_shims_removed_journal_path_silent(self, tmp_path):
         import repro.storage as storage
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            cls = storage.DurableLattice
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        from repro.storage.journal import DurableLattice as canonical
+        # The one-release deprecation shims are gone for good.
+        with pytest.raises(AttributeError):
+            storage.DurableLattice
+        # The engine-internal import path is the supported one...
+        from repro.storage.journal import DurableLattice
 
-        assert cls is canonical
-        # ...and the engine-internal path stays silent.
+        # ...and stays warning-free.
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
-            canonical(tmp_path / "s.wal")
+            DurableLattice(tmp_path / "s.wal")
         assert not any(
             issubclass(w.category, DeprecationWarning) for w in caught
         )
