@@ -355,6 +355,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-keep", type=int, default=3, metavar="N",
         help="rotated trace generations to retain (default: 3)",
     )
+    p.add_argument(
+        "--replication-port", type=int, default=None, metavar="PORT",
+        help="serve as a replication primary: also listen for replicas "
+             "on this port (0 picks a free one), acquire the write "
+             "lease next to --db, and fence all writes on lease loss",
+    )
+    p.add_argument(
+        "--lease-ttl", type=float, default=5.0, metavar="SECONDS",
+        help="write-lease time-to-live (with --replication-port); a "
+             "background keeper renews it every ttl/3 (default: 5)",
+    )
+    p.add_argument(
+        "--replica-of", metavar="HOST:PORT", default=None,
+        help="serve as a read-only replica syncing from the primary's "
+             "replication listener; writes return 503 read-only-replica "
+             "naming the primary",
+    )
+    p.add_argument(
+        "--max-staleness", type=float, default=None, metavar="SECONDS",
+        help="with --replica-of: /readyz reports replica-too-stale once "
+             "the primary has been silent this long (default: no bound "
+             "— serve stale reads forever)",
+    )
     return parser
 
 
@@ -476,10 +499,86 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _parse_host_port(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` for ``--replica-of``."""
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
+
 def _cmd_serve(args, durability) -> int:
-    """Run the HTTP/JSON service until interrupted (``repro serve``)."""
+    """Run the HTTP/JSON service until interrupted (``repro serve``).
+
+    Three roles share the one command (see ``docs/replication.md``):
+
+    * standalone (default) — just the HTTP service;
+    * primary (``--replication-port``) — additionally acquire the
+      write lease, fence every write on it, and ship the WAL to
+      replicas;
+    * replica (``--replica-of``) — read-only HTTP surface over a
+      :class:`~repro.replication.replica.ReplicaStore` kept caught up
+      by a background sync thread.
+    """
+    if args.replica_of and args.replication_port is not None:
+        print(
+            "error: --replica-of and --replication-port are mutually "
+            "exclusive (a node is a primary or a replica, not both)",
+            file=sys.stderr,
+        )
+        return 2
+    sink = None
+    if args.trace_out:
+        sink = JsonlSink(
+            args.trace_out,
+            max_bytes=args.trace_max_bytes,
+            keep=args.trace_keep,
+            sample_rate=args.trace_sample_rate,
+        )
+        _trace.set_sink(sink)
+    try:
+        if args.replica_of:
+            return _serve_replica(args, durability)
+        return _serve_primary(args, durability)
+    finally:
+        if sink is not None:
+            _trace.set_sink(None)
+            sink.close()
+
+
+def _serve_replica(args, durability) -> int:
+    from .replication import ReplicaStore, ReplicationClient
+    from .server import ReplicaService, serve_service
+
+    try:
+        primary_host, primary_port = _parse_host_port(args.replica_of)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        store = ReplicaStore(args.db, durability=durability)
+    except EvolutionError as exc:
+        print(
+            f"error [{error_code(exc)}]: cannot open {args.db}: {exc}",
+            file=sys.stderr,
+        )
+        return exit_code_for(exc)
+    client = ReplicationClient(
+        store, primary_host, primary_port,
+        max_staleness=args.max_staleness,
+    )
+    client.start()
+    service = ReplicaService(store, client, max_inflight=args.max_inflight)
+    try:
+        serve_service(service, args.host, args.port)
+    finally:
+        client.stop()
+    return 0
+
+
+def _serve_primary(args, durability) -> int:
     from .concurrent import ConcurrentObjectbase
-    from .server import serve
+    from .server import ObjectbaseService, serve_service
 
     try:
         store = ConcurrentObjectbase.open(
@@ -491,24 +590,48 @@ def _cmd_serve(args, durability) -> int:
             file=sys.stderr,
         )
         return exit_code_for(exc)
-    sink = None
-    if args.trace_out:
-        sink = JsonlSink(
-            args.trace_out,
-            max_bytes=args.trace_max_bytes,
-            keep=args.trace_keep,
-            sample_rate=args.trace_sample_rate,
-        )
-        _trace.set_sink(sink)
+    service = ObjectbaseService(
+        store, max_inflight=args.max_inflight, lint=args.lint
+    )
+    if args.replication_port is None:
+        serve_service(service, args.host, args.port)
+        return 0
+
+    from .replication import (
+        FileLease,
+        LeaseKeeper,
+        ReplicationServer,
+        ReplicationSource,
+    )
+
+    db = Path(args.db)
+    lease = FileLease(
+        db.with_suffix(db.suffix + ".lease"), ttl=args.lease_ttl
+    )
     try:
-        serve(
-            store, args.host, args.port,
-            max_inflight=args.max_inflight, lint=args.lint,
-        )
+        lease.acquire()
+    except EvolutionError as exc:
+        print(f"error [{error_code(exc)}]: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+    # Every write now re-proves lease ownership before touching the
+    # WAL: a paused-and-resumed ex-primary fails with lease-lost (503)
+    # instead of silently extending a superseded history.
+    store.set_write_fence(lease.check)
+    keeper = LeaseKeeper(lease)
+    keeper.start()
+    hub = ReplicationServer(
+        ReplicationSource(args.db),
+        lease=lease,
+        host=args.host,
+        port=args.replication_port,
+    ).start()
+    service.replication = hub
+    try:
+        serve_service(service, args.host, args.port)
     finally:
-        if sink is not None:
-            _trace.set_sink(None)
-            sink.close()
+        hub.stop()
+        keeper.stop()
+        lease.release()
     return 0
 
 

@@ -315,6 +315,7 @@ class ConcurrentObjectbase:
         self._lock = FairLock()
         self.lock_timeout = lock_timeout
         self._reopen = _reopen
+        self._fence: Callable[[], None] | None = None
         self._snapshot = SchemaSnapshot.capture(objectbase.lattice)
 
     # -- constructors ---------------------------------------------------
@@ -520,6 +521,21 @@ class ConcurrentObjectbase:
     def sync(self) -> None:
         self._ob.sync()
 
+    def set_write_fence(self, fence: Callable[[], None] | None) -> None:
+        """Install (or clear, with ``None``) a write fence on the WAL.
+
+        The fence runs before every append and checkpoint; raising from
+        it aborts the write.  Replication installs the primary lease's
+        ``check`` here so an ex-primary that lost its lease is stopped
+        at the append boundary.  Survives :meth:`recover` (the fence is
+        reattached to the reopened backend).
+        """
+        jf = getattr(getattr(self._ob, "_journal", None), "file", None)
+        if jf is None:
+            raise ValueError("write fences require a durable store")
+        self._fence = fence
+        jf.fence = fence
+
     def recover(self, *, timeout: float | None = None) -> SalvageReport | None:
         """Heal the store and leave degraded mode (if it was entered).
 
@@ -544,6 +560,12 @@ class ConcurrentObjectbase:
                 )
                 if old_latch is not None:
                     old_latch.clear()
+                if self._fence is not None:
+                    new_file = getattr(
+                        getattr(self._ob, "_journal", None), "file", None
+                    )
+                    if new_file is not None:
+                        new_file.fence = self._fence
             return self._ob.recovery_report
 
         return self._write(run, timeout)

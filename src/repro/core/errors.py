@@ -60,6 +60,13 @@ __all__ = [
     "DegradedModeError",
     "LintRejectedError",
     "PlanInterferenceError",
+    "ReplicationError",
+    "ReplicaDivergedError",
+    "StaleEpochError",
+    "LeaseError",
+    "LeaseHeldError",
+    "LeaseLostError",
+    "ReadOnlyReplicaError",
     "ERROR_CODES",
     "error_code",
     "exit_code_for",
@@ -362,6 +369,111 @@ class PlanInterferenceError(LintRejectedError):
     """
 
     code: ClassVar[str] = "plan-interference"
+
+
+class ReplicationError(SchemaError):
+    """A replication stream violated the wire protocol or its checksums.
+
+    Covers truncated envelopes, checksum mismatches, out-of-order record
+    batches, and messages that do not decode — damage introduced by the
+    *channel*, not the WAL.  The replica's reaction is always the same:
+    quarantine the stream (drop the connection), re-handshake from its
+    last durable position, and keep serving the snapshot it already has.
+    """
+
+    code: ClassVar[str] = "replication-protocol"
+
+
+class ReplicaDivergedError(ReplicationError):
+    """A shipped record does not apply cleanly to the replica's state.
+
+    Every shipped record is a committed prefix of the primary's history,
+    so a record that the replica's engine rejects means the replica's
+    local state is not the prefix it claims to be (bit rot, operator
+    edit, mixed-up data directories).  The replica must discard its WAL
+    tail and resynchronize from a full checkpoint ship rather than apply
+    anything further.
+    """
+
+    code: ClassVar[str] = "replica-diverged"
+
+
+class StaleEpochError(ReplicationError):
+    """A primary presented a lease epoch older than one already seen.
+
+    Replicas remember the highest lease epoch they have ever synced from;
+    a handshake or heartbeat carrying a *lower* epoch identifies a
+    paused-and-resumed ex-primary that does not yet know it lost its
+    lease.  The connection is refused so the fenced node cannot roll the
+    replica back.
+    """
+
+    code: ClassVar[str] = "stale-epoch"
+
+    def __init__(self, seen: int, offered: int) -> None:
+        super().__init__(
+            f"refusing primary with lease epoch {offered}; "
+            f"already replicated from epoch {seen}"
+        )
+        self.seen = seen
+        self.offered = offered
+
+
+class LeaseError(SchemaError):
+    """Base class for write-lease protocol failures."""
+
+    code: ClassVar[str] = "lease-error"
+
+
+class LeaseHeldError(LeaseError):
+    """The primary lease is currently held by another live owner."""
+
+    code: ClassVar[str] = "lease-held"
+
+    def __init__(self, owner: str, expires_in: float) -> None:
+        super().__init__(
+            f"lease is held by {owner!r} for another {expires_in:.3f}s"
+        )
+        self.owner = owner
+        self.expires_in = expires_in
+
+
+class LeaseLostError(LeaseError):
+    """This node's write lease expired or was taken by a higher epoch.
+
+    Raised by the lease's write fence *before* a WAL append or a
+    replication handshake proceeds, so a paused-and-resumed ex-primary
+    can never extend the history a new primary has already diverged
+    from.  Latched: once lost, every subsequent check fails until the
+    lease is explicitly re-acquired (under a new, higher epoch).
+    """
+
+    code: ClassVar[str] = "lease-lost"
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(
+            f"write lease lost: {reason} (writes are fenced; "
+            f"re-acquire the lease to resume)"
+        )
+        self.reason = reason
+
+
+class ReadOnlyReplicaError(SchemaError):
+    """A write reached a node serving as a read-only replica.
+
+    The HTTP service maps this to ``503`` with a ``Retry-After`` hint;
+    the message names the primary so clients (and operators reading
+    logs) know where writes belong.
+    """
+
+    code: ClassVar[str] = "read-only-replica"
+
+    def __init__(self, primary: str) -> None:
+        super().__init__(
+            f"this node is a read-only replica; send writes to the "
+            f"primary at {primary}"
+        )
+        self.primary = primary
 
 
 def _collect_codes() -> dict[str, type]:

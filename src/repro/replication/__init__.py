@@ -1,0 +1,44 @@
+"""Replication: WAL shipping, lease-fenced failover, stale-read replicas.
+
+One primary owns writes; replicas mirror its durable WAL over a
+checksummed socket protocol and replay it into lock-free read-only
+snapshots.  The package is organized by role:
+
+* :mod:`~repro.replication.protocol` — the wire format and durable
+  :class:`~repro.replication.protocol.Position`;
+* :mod:`~repro.replication.channel` — socket channels and the
+  :class:`~repro.replication.channel.FaultyChannel` fault injector;
+* :mod:`~repro.replication.lease` — epoch-numbered write leases fencing
+  a paused-and-resumed ex-primary;
+* :mod:`~repro.replication.primary` — WAL tailing + the shipping server;
+* :mod:`~repro.replication.replica` — the durable replica store and its
+  reconnecting client.
+
+The invariant everything here defends: **a replica serves either a
+committed prefix of the primary's durable history, or reports itself
+unready — never a divergent or phantom snapshot** — and a primary that
+lost its lease can never append again.  ``docs/replication.md`` walks
+through the protocol, the lease safety argument, and the failover
+runbook.
+"""
+
+from .channel import Channel, ChannelClosed, FaultyChannel
+from .lease import FileLease, LeaseKeeper
+from .primary import ReplicationServer, ReplicationSource, SourceState
+from .protocol import PROTOCOL_VERSION, Position
+from .replica import ReplicaStore, ReplicationClient
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Position",
+    "Channel",
+    "ChannelClosed",
+    "FaultyChannel",
+    "FileLease",
+    "LeaseKeeper",
+    "ReplicationServer",
+    "ReplicationSource",
+    "SourceState",
+    "ReplicaStore",
+    "ReplicationClient",
+]

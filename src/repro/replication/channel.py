@@ -1,0 +1,196 @@
+"""Socket channels for the replication protocol, plus fault injection.
+
+:class:`Channel` is the one seam all replication traffic crosses: it
+frames outgoing messages (:func:`~repro.replication.protocol.encode_message`)
+and verifies incoming ones.  :class:`FaultyChannel` mirrors
+:class:`~repro.storage.faults.FaultyFS` one layer up — every message
+boundary is a numbered injection point, and the fault matrix iterates
+``fault_at`` from 0 upward until a workload survives the whole schedule,
+proving the replica copes at *every* boundary, not a lucky sample:
+
+* ``drop`` — hard-close the connection before the message moves (the
+  peer sees EOF; a dropped or reset connection).
+* ``truncate`` — send half the envelope, then close: the half-open /
+  dying-proxy case; the receiver must classify the stub as damage, not
+  block forever or misparse.
+* ``bitflip`` — flip one payload bit and deliver the rest faithfully;
+  only the envelope checksum stands between this and a corrupt replica.
+* ``reorder`` — hold this message and release it *after* the next one:
+  a buggy shipper's out-of-order catch-up batch.  TCP never does this;
+  the replica must still refuse to apply it.
+* ``stall`` — stop moving bytes without closing: the stalled-replica /
+  frozen-primary case; the peer's staleness clock, not the transport,
+  must notice.
+
+Faults are injected on the *sending* side (the receive path sees exactly
+the damaged bytes a real network would deliver).  After the fault fires
+once, the channel is dead (like a crashed process); reconnection builds
+a fresh, healthy one — matching how the crash matrix reopens a store
+after every simulated power cut.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Callable
+
+from ..core.errors import ReplicationError, register_error
+from .protocol import HEADER, MAX_MESSAGE_BYTES, decode_payload, encode_message
+
+__all__ = ["Channel", "FaultyChannel", "ChannelClosed", "FAULT_MODES"]
+
+FAULT_MODES = ("drop", "truncate", "bitflip", "reorder", "stall")
+
+
+@register_error
+class ChannelClosed(ReplicationError):
+    """The peer closed the connection cleanly (EOF between messages)."""
+
+    code = "replication-closed"
+
+
+class Channel:
+    """One replication connection: send/recv verified protocol messages."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        # Replication peers are long-lived but must never block forever;
+        # callers layer their own timeouts via settimeout().
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def settimeout(self, timeout: float | None) -> None:
+        self.sock.settimeout(timeout)
+
+    def send(self, message: dict) -> None:
+        self._send_bytes(encode_message(message))
+
+    def recv(self) -> dict:
+        """Receive one verified message.
+
+        Raises :class:`ChannelClosed` on a clean EOF at a message
+        boundary and :class:`ReplicationError` on anything torn or
+        corrupt — the caller's reaction to the latter is quarantine:
+        drop the stream and re-handshake.
+        """
+        header = self._recv_exactly(HEADER.size, eof_ok=True)
+        if header is None:
+            raise ChannelClosed("peer closed the replication stream")
+        length, crc = HEADER.unpack(header)
+        if length > MAX_MESSAGE_BYTES:
+            raise ReplicationError(
+                f"message header claims {length} bytes "
+                f"(limit {MAX_MESSAGE_BYTES}); stream is corrupt"
+            )
+        payload = self._recv_exactly(length, eof_ok=False)
+        assert payload is not None
+        return decode_payload(payload, crc)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best effort
+            pass
+
+    # -- byte transport (the FaultyChannel override seam) ---------------
+
+    def _send_bytes(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def _recv_exactly(self, count: int, *, eof_ok: bool) -> bytes | None:
+        chunks: list[bytes] = []
+        remaining = count
+        while remaining:
+            chunk = self.sock.recv(remaining)
+            if not chunk:
+                if eof_ok and remaining == count:
+                    return None
+                raise ReplicationError(
+                    f"stream truncated mid-message ({count - remaining} "
+                    f"of {count} bytes arrived)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+
+class FaultyChannel(Channel):
+    """A :class:`Channel` that injures message ``fault_at`` (see module
+    docstring for the modes).  ``fault_at=None`` never faults, which
+    lets a driver count a workload's boundaries first."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        *,
+        fault_at: int | None = None,
+        mode: str = "drop",
+        on_fault: Callable[[str], None] | None = None,
+    ) -> None:
+        super().__init__(sock)
+        if mode not in FAULT_MODES:
+            raise ValueError(
+                f"fault mode must be one of {FAULT_MODES}, not {mode!r}"
+            )
+        self.fault_at = fault_at
+        self.mode = mode
+        self.on_fault = on_fault
+        self.sends = 0
+        self.faulted = False
+        self._held: bytes | None = None
+
+    def _send_bytes(self, data: bytes) -> None:
+        if self.faulted:
+            if self.mode == "stall":
+                return  # the stream is frozen, not closed: bytes vanish
+            raise ReplicationError(
+                f"channel already faulted ({self.mode}); no further sends"
+            )
+        index = self.sends
+        self.sends += 1
+        if self._held is not None:
+            # The reorder fault released us out of order: deliver the
+            # current message first, then the held one.
+            held, self._held = self._held, None
+            super()._send_bytes(data)
+            super()._send_bytes(held)
+            return
+        if self.fault_at is None or index != self.fault_at:
+            super()._send_bytes(data)
+            return
+        self.faulted = True
+        if self.on_fault is not None:
+            self.on_fault(f"{self.mode}@{index}")
+        if self.mode == "drop":
+            self._abort()
+            raise ReplicationError(f"injected connection drop at send {index}")
+        if self.mode == "truncate":
+            super()._send_bytes(data[: max(1, len(data) // 2)])
+            self._abort()
+            raise ReplicationError(f"injected truncated send {index}")
+        if self.mode == "bitflip":
+            corrupt = bytearray(data)
+            corrupt[-1] ^= 0x40  # damage the payload, not the header
+            super()._send_bytes(bytes(corrupt))
+            # Deliverable damage: the sender does not know it misfired,
+            # so the channel stays "up" until the peer drops it.
+            self.faulted = False
+            return
+        if self.mode == "reorder":
+            self.faulted = False
+            self._held = data
+        # stall: swallow the message and everything after it, keeping
+        # the connection open — only timeouts can save the peer.
+
+    def _abort(self) -> None:
+        """Close hard (RST where the platform allows) — no FIN handshake."""
+        try:
+            # linger on, timeout 0: close() resets instead of draining
+            self.sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        except OSError:  # pragma: no cover - platform dependent
+            pass
+        self.close()

@@ -9,9 +9,13 @@ library.  The contract:
 endpoint                    semantics
 ==========================  =============================================
 ``GET /healthz``            liveness: 200 while the process serves at all
-``GET /readyz``             readiness: 503 while the store is in
-                            read-only degraded mode, else 200
+``GET /readyz``             readiness: 200 ``{"ready": true}``, or 503
+                            with structured ``reasons`` (degraded,
+                            draining, replica-too-stale, ...) and a
+                            ``Retry-After`` header
 ``GET /metrics``            Prometheus text exposition 0.0.4
+``GET /v1/replication``     replication role + status (standalone /
+                            primary / replica)
 ``GET /v1/types``           all type names (from the current snapshot)
 ``GET /v1/types/<name>``    one type's full Table-1 term card
 ``GET /v1/schema``          the schema as canonical DDL text
@@ -44,7 +48,20 @@ map to status codes via the machine-readable error taxonomy:
 * ``lint-rejected`` / ``plan-interference`` → **409** with the analyzer
   diagnostics under ``error.diagnostics`` (see below);
 * write admission beyond ``max_inflight`` queued writers → **429**
-  (load shed before touching the lock).
+  (load shed before touching the lock);
+* ``read-only-replica`` / ``lease-lost`` → **503** with ``Retry-After``
+  (this node cannot take writes; the body names the primary).
+
+Every 503, whatever produced it, carries a ``Retry-After`` header; GET
+responses carry the service's read headers (``X-Schema-Generation``,
+plus ``X-Replica-Lag`` on replicas), so a poller can watch catch-up
+without parsing bodies.
+
+**Replica mode.**  :class:`ReplicaService` serves the same read
+endpoints from a :class:`~repro.replication.replica.ReplicaStore`,
+refuses every write with ``503 read-only-replica`` pointing at the
+primary, and folds replication health (initial sync, staleness bound)
+into ``/readyz``.  See ``docs/replication.md``.
 
 Every response carries ``{"error": {"code": ..., "message": ...}}`` on
 failure, so clients branch on the same codes the CLI exits with.
@@ -70,8 +87,13 @@ import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from time import perf_counter
+from typing import TYPE_CHECKING
 
 from collections import deque
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import weight
+    from .replication.primary import ReplicationServer
+    from .replication.replica import ReplicaStore, ReplicationClient
 
 from .concurrent import ConcurrentObjectbase
 from .api import MIGRATE_LINT_MODES
@@ -79,9 +101,11 @@ from .core.errors import (
     DDLError,
     DegradedModeError,
     EvolutionError,
+    LeaseError,
     LintRejectedError,
     LockTimeoutError,
     PlanInterferenceError,
+    ReadOnlyReplicaError,
     UnknownPropertyError,
     UnknownTypeError,
     error_code,
@@ -95,7 +119,13 @@ from .staticcheck.effects import conflict_witness, plan_summaries
 from .staticcheck.plan import EvolutionPlan
 from .staticcheck.registry import Severity
 
-__all__ = ["ObjectbaseService", "make_server", "serve"]
+__all__ = [
+    "ObjectbaseService",
+    "ReplicaService",
+    "make_server",
+    "serve",
+    "serve_service",
+]
 
 logger = logging.getLogger(__name__)
 
@@ -135,7 +165,15 @@ _INTERFERENCE_REJECTIONS = REGISTRY.counter(
 
 def status_for(exc: BaseException) -> int:
     """The HTTP status an error maps to (see the module docstring)."""
-    if isinstance(exc, (LockTimeoutError, DegradedModeError)):
+    if isinstance(
+        exc,
+        (LockTimeoutError, DegradedModeError, ReadOnlyReplicaError,
+         LeaseError),
+    ):
+        # All four are "not here, not now" conditions: the request was
+        # never admitted, the state is intact, and a retry (possibly
+        # against a different node) is safe — so every one of them
+        # carries a Retry-After.
         return 503
     if isinstance(exc, (UnknownTypeError, UnknownPropertyError)):
         return 404
@@ -181,6 +219,13 @@ class ObjectbaseService:
         self.store = store
         self.max_inflight = max_inflight
         self.lint = lint
+        #: Set by :func:`serve_service` while the process shuts down, so
+        #: ``/readyz`` turns away new traffic before the listener closes.
+        self.draining = False
+        #: Attached by ``repro serve --replication-port``: the
+        #: :class:`~repro.replication.primary.ReplicationServer` whose
+        #: shippers :meth:`notify_commit` wakes after each write.
+        self.replication: ReplicationServer | None = None
         self._admission = threading.Semaphore(max_inflight)
         #: (base generation, effect summaries) of recently committed
         #: gated writes, oldest first.  Appended after a successful
@@ -314,13 +359,62 @@ class ObjectbaseService:
     def healthz(self) -> tuple[int, dict]:
         return 200, {"status": "ok"}
 
-    def readyz(self) -> tuple[int, dict]:
+    def ready_reasons(self) -> list[dict]:
+        """Structured unreadiness: ``[{"code", "message"}, ...]``.
+
+        Empty means ready.  Subclasses extend this (replicas add
+        sync/staleness reasons) rather than overriding :meth:`readyz`,
+        so the wire shape stays uniform.
+        """
+        reasons: list[dict] = []
+        if self.draining:
+            reasons.append({
+                "code": "draining",
+                "message": "server is draining before shutdown",
+            })
         if self.store.degraded:
+            reasons.append({
+                "code": "degraded",
+                "message": "store is in read-only degraded mode",
+            })
+        return reasons
+
+    def readyz(self) -> tuple[int, dict]:
+        reasons = self.ready_reasons()
+        if reasons:
+            # "reason" (the first message) predates the structured list
+            # and stays for old probes; new ones branch on the codes.
             return 503, {
                 "ready": False,
-                "reason": "store is in read-only degraded mode",
+                "reason": reasons[0]["message"],
+                "reasons": reasons,
             }
         return 200, {"ready": True}
+
+    def read_headers(self) -> dict[str, str]:
+        """Headers attached to every GET response (position telemetry)."""
+        return {
+            "X-Schema-Generation": str(self.store.snapshot.generation),
+        }
+
+    def replication_status(self) -> tuple[int, dict]:
+        if self.replication is None:
+            return 200, {"role": "standalone"}
+        hub = self.replication
+        host, port = hub.address
+        return 200, {
+            "role": "primary",
+            "epoch": hub.epoch,
+            "address": f"{host}:{port}",
+            "position": str(hub.source.state().position),
+            "connected_replicas": hub.connected_replicas,
+        }
+
+    def notify_commit(self) -> None:
+        """Wake replication shippers after a committed write (no-op when
+        replication is not attached)."""
+        if self.replication is not None:
+            self.replication.notify()
 
     def list_types(self) -> tuple[int, dict]:
         snap = self.store.snapshot
@@ -436,6 +530,116 @@ class ObjectbaseService:
         }
 
 
+class ReplicaService(ObjectbaseService):
+    """The read-only replica face of the same HTTP contract.
+
+    Reads serve from the :class:`ReplicaStore`'s published snapshot
+    exactly like the primary's; every write is refused with ``503
+    read-only-replica`` whose message names the primary.  ``/readyz``
+    additionally reports ``replica-syncing`` (fresh replica, no local
+    history yet) and ``replica-too-stale`` (the client's latched
+    staleness bound tripped) — a replica with durable local state keeps
+    serving stale reads rather than failing closed.
+    """
+
+    def __init__(
+        self,
+        store: ReplicaStore,
+        client: ReplicationClient,
+        *,
+        max_inflight: int = 8,
+    ) -> None:
+        # The lint gate and interference history are write-side policy;
+        # a replica has no writes, so the defaults are inert.
+        super().__init__(store, max_inflight=max_inflight)  # type: ignore[arg-type]
+        self.client = client
+
+    @property
+    def primary(self) -> str:
+        return self.client.describe()
+
+    def ready_reasons(self) -> list[dict]:
+        reasons = super().ready_reasons()
+        if self.client.stale:
+            staleness = self.client.staleness()
+            detail = (
+                "never heard from the primary"
+                if staleness == float("inf")
+                else f"last contact {staleness:.1f}s ago"
+            )
+            reasons.append({
+                "code": "replica-too-stale",
+                "message": (
+                    f"replica exceeded its staleness bound "
+                    f"({self.client.max_staleness:g}s): {detail}"
+                ),
+            })
+        elif not self.client.synced and not self._has_local_history():
+            reasons.append({
+                "code": "replica-syncing",
+                "message": (
+                    f"initial sync from {self.primary} has not completed"
+                ),
+            })
+        return reasons
+
+    def _has_local_history(self) -> bool:
+        # The durable position, not len(store): a fresh lattice already
+        # holds the base types, but 0:0 means no primary history yet.
+        return not self.store.position.zero
+
+    def read_headers(self) -> dict[str, str]:
+        # The durable position (not the in-memory snapshot counter) is
+        # what catch-up pollers compare across restarts and nodes.
+        lag = self.client.lag_records
+        return {
+            "X-Schema-Generation": str(self.store.position),
+            "X-Replica-Lag": "unknown" if lag is None else str(lag),
+        }
+
+    def replication_status(self) -> tuple[int, dict]:
+        client = self.client
+        staleness = client.staleness()
+        return 200, {
+            "role": "replica",
+            "primary": self.primary,
+            "position": str(self.store.position),
+            "primary_position": (
+                str(client.primary_position)
+                if client.primary_position is not None else None
+            ),
+            "lag_records": client.lag_records,
+            "staleness_seconds": (
+                None if staleness == float("inf") else staleness
+            ),
+            "stale": client.stale,
+            "synced": client.synced,
+            "connected": client.connected,
+            "seen_epoch": client.seen_epoch,
+            "last_error": client.last_error,
+        }
+
+    # -- writes are refused before admission ---------------------------
+
+    def _refuse_write(self) -> tuple[int, dict]:
+        raise ReadOnlyReplicaError(self.primary)
+
+    def apply(self, body: dict) -> tuple[int, dict]:
+        return self._refuse_write()
+
+    def batch(self, body: dict) -> tuple[int, dict]:
+        return self._refuse_write()
+
+    def migrate(self, body: dict) -> tuple[int, dict]:
+        return self._refuse_write()
+
+    def undo(self) -> tuple[int, dict]:
+        return self._refuse_write()
+
+    def recover(self) -> tuple[int, dict]:
+        return self._refuse_write()
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes requests to the :class:`ObjectbaseService` on the server."""
 
@@ -532,17 +736,23 @@ class _Handler(BaseHTTPRequestHandler):
                     return 200
                 if route == "/v1/schema":
                     text, generation = service.schema()
+                    headers = {"X-Schema-Generation": str(generation)}
+                    # A replica's read headers override the in-memory
+                    # generation with its durable position (comparable
+                    # across nodes) and add X-Replica-Lag.
+                    headers.update(service.read_headers())
                     self._send(
                         200,
                         text.encode("utf-8"),
                         content_type="text/plain; charset=utf-8",
-                        headers={"X-Schema-Generation": str(generation)},
+                        headers=headers,
                     )
                     return 200
                 handler = {
                     "/healthz": service.healthz,
                     "/readyz": service.readyz,
                     "/v1/types": service.list_types,
+                    "/v1/replication": service.replication_status,
                 }.get(route)
                 if handler is not None:
                     status, payload = handler()
@@ -550,7 +760,10 @@ class _Handler(BaseHTTPRequestHandler):
                     status, payload = service.get_type(param or "")
                 else:
                     status, payload = 404, _error_body("not-found", route)
-                self._send_json(status, payload)
+                headers = dict(service.read_headers())
+                if status == 503:
+                    headers["Retry-After"] = "1"
+                self._send_json(status, payload, headers=headers)
                 return status
             if method == "POST":
                 writer = {
@@ -579,6 +792,11 @@ class _Handler(BaseHTTPRequestHandler):
                     status, payload = writer(body)
                 finally:
                     service.release()
+                if status == 200:
+                    # Committed (or at least state-changing) write: wake
+                    # the replication shippers instead of letting them
+                    # find it on the next poll tick.
+                    service.notify_commit()
                 self._send_json(status, payload)
                 return status
             self._send_json(
@@ -592,10 +810,9 @@ class _Handler(BaseHTTPRequestHandler):
             status = status_for(exc)
             if status == 500:
                 logger.exception("unhandled error on %s %s", method, route)
-            headers = (
-                {"Retry-After": "1"}
-                if isinstance(exc, LockTimeoutError) else None
-            )
+            # Every 503 is retryable by definition here (the request
+            # was never admitted), so every one advertises it.
+            headers = {"Retry-After": "1"} if status == 503 else None
             self._send_json(
                 status,
                 _error_body(
@@ -646,6 +863,33 @@ def make_server(
     return ObjectbaseHTTPServer((host, port), service)
 
 
+def serve_service(
+    service: ObjectbaseService,
+    host: str = "127.0.0.1",
+    port: int = 8787,
+) -> None:
+    """Serve a prebuilt service until interrupted.
+
+    The seam ``repro serve`` uses for its replication roles: the CLI
+    wires up an :class:`ObjectbaseService` (plus lease and shipping
+    server) or a :class:`ReplicaService` and hands it here.  On the way
+    down the service is marked draining first, so ``/readyz`` turns
+    load balancers away while in-flight requests finish.
+    """
+    server = make_server(service, host, port)
+    logger.info(
+        "serving objectbase on http://%s:%d", *server.server_address[:2]
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.draining = True
+        server.shutdown()
+        server.server_close()
+
+
 def serve(
     store: ConcurrentObjectbase,
     host: str = "127.0.0.1",
@@ -656,16 +900,8 @@ def serve(
 ) -> None:
     """Serve ``store`` until interrupted (the ``repro serve`` body)."""
     service = ObjectbaseService(store, max_inflight=max_inflight, lint=lint)
-    server = make_server(service, host, port)
     logger.info(
-        "serving objectbase on http://%s:%d (lock timeout %.3fs, "
-        "max inflight %d, lint gate %s)",
-        *server.server_address[:2], store.lock_timeout, max_inflight, lint,
+        "service policy: lock timeout %.3fs, max inflight %d, lint gate %s",
+        store.lock_timeout, max_inflight, lint,
     )
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.shutdown()
-        server.server_close()
+    serve_service(service, host, port)

@@ -19,6 +19,21 @@ crash-matrix suite exercises:
 * **fsync failures** — with ``fail_fsync=True`` every file fsync raises
   :class:`OSError` *without* crashing, modeling an EIO from the kernel
   (the journal surfaces it as a typed :class:`~repro.core.errors.JournalError`).
+* **disk full** — ``enospc_appends=N`` / ``enospc_writes=N`` fail the
+  first N appends/whole-file writes with ``OSError(ENOSPC)`` after
+  persisting half the payload, modeling a volume running out of space
+  mid-write.  Unlike a crash the process survives and must cope: the
+  salvage quarantine path downgrades to best-effort, the checkpoint
+  writer surfaces a typed error with the old checkpoint intact, and the
+  WAL retry layer rolls back the partial bytes exactly as it does for
+  EIO.  Like transient faults, ENOSPC does not consume crash points.
+* **torn renames** — with ``torn_replace=True`` every ``replace`` gains
+  a second numbered point (``replace-torn:<dst>``) whose partial effect
+  is the nastiest crash state a rename can leave: the *new* content is
+  visible at the destination but the source (temp) file still exists —
+  a crash after the data blocks and destination entry reached disk but
+  before the source unlink did.  Recovery must prefer the destination
+  and treat the stale temp file as residue to ignore and remove.
 * **transient faults** — ``transient_fsync_failures=N`` /
   ``transient_append_failures=N`` fail the first N fsyncs/appends with
   :class:`OSError` and then recover, modeling the recoverable EIO and
@@ -37,6 +52,7 @@ restart, which the recovery tests cover directly.
 
 from __future__ import annotations
 
+import errno
 import os
 from pathlib import Path
 
@@ -157,6 +173,13 @@ class FaultyFS(StorageFS):
         Fail the first N appends: persist half the payload, then raise
         :class:`OSError` (a recoverable short write).  The retry layer
         must truncate the partial bytes away before re-appending.
+    enospc_appends / enospc_writes:
+        Fail the first N appends / whole-file writes with
+        ``OSError(ENOSPC)`` after persisting half the payload — the
+        disk-full family (see module docstring).
+    torn_replace:
+        Add the ``replace-torn`` injection point to every ``replace``:
+        new content visible at the destination, source left behind.
     base:
         The real filesystem to delegate surviving operations to.
     """
@@ -168,12 +191,18 @@ class FaultyFS(StorageFS):
         base: StorageFS | None = None,
         transient_fsync_failures: int = 0,
         transient_append_failures: int = 0,
+        enospc_appends: int = 0,
+        enospc_writes: int = 0,
+        torn_replace: bool = False,
     ) -> None:
         self.base = base or RealFS()
         self.crash_at = crash_at
         self.fail_fsync = fail_fsync
         self.transient_fsync_failures = transient_fsync_failures
         self.transient_append_failures = transient_append_failures
+        self.enospc_appends = enospc_appends
+        self.enospc_writes = enospc_writes
+        self.torn_replace = torn_replace
         self.points = 0
         self.crashed = False
         self.trace: list[str] = []
@@ -205,6 +234,13 @@ class FaultyFS(StorageFS):
     # -- mutating primitives -------------------------------------------
 
     def append_bytes(self, path: Path, data: bytes) -> None:
+        if self.enospc_appends > 0:
+            self.enospc_appends -= 1
+            if len(data) > 1:
+                self.base.append_bytes(path, data[: len(data) // 2])
+            raise OSError(
+                errno.ENOSPC, f"injected disk-full appending to {path}"
+            )
         if self.transient_append_failures > 0:
             self.transient_append_failures -= 1
             if len(data) > 1:
@@ -218,6 +254,13 @@ class FaultyFS(StorageFS):
         self.base.append_bytes(path, data)
 
     def write_bytes(self, path: Path, data: bytes) -> None:
+        if self.enospc_writes > 0:
+            self.enospc_writes -= 1
+            if len(data) > 1:
+                self.base.write_bytes(path, data[: len(data) // 2])
+            raise OSError(
+                errno.ENOSPC, f"injected disk-full writing {path}"
+            )
         if self._point(f"write-pre:{Path(path).name}"):
             raise CrashPoint(f"crash before write of {path}")
         if len(data) > 1 and self._point(f"write-short:{Path(path).name}"):
@@ -228,6 +271,13 @@ class FaultyFS(StorageFS):
     def replace(self, src: Path, dst: Path) -> None:
         if self._point(f"replace-pre:{Path(dst).name}"):
             raise CrashPoint(f"crash before replacing {dst}")
+        if self.torn_replace and self._point(f"replace-torn:{Path(dst).name}"):
+            # The torn-rename crash state: data blocks and destination
+            # entry durable, source unlink not (see module docstring).
+            self.base.write_bytes(dst, self.base.read_bytes(src))
+            raise CrashPoint(
+                f"torn rename: {dst} updated but {src} left behind"
+            )
         self.base.replace(src, dst)
 
     def truncate(self, path: Path, size: int) -> None:

@@ -126,6 +126,11 @@ _FENCED = REGISTRY.counter(
     "repro_wal_fenced_records_total",
     "Stale-generation WAL records skipped by checkpoint fencing",
 )
+_QUARANTINE_FAILURES = REGISTRY.counter(
+    "repro_wal_quarantine_failures_total",
+    "Quarantine sidecar writes that failed (e.g. disk full); the "
+    "damaged bytes were truncated without a preserved copy",
+)
 
 
 @dataclass(frozen=True)
@@ -215,6 +220,7 @@ class SalvageReport:
     torn_tail_bytes: int = 0
     bytes_quarantined: int = 0
     quarantine_path: str | None = None
+    quarantine_error: str | None = None  #: sidecar write failed (ENOSPC…)
     damage_reason: str | None = None
 
     @property
@@ -243,6 +249,11 @@ class SalvageReport:
             parts.append(
                 f"{self.records_dropped} record(s) / "
                 f"{self.bytes_quarantined} byte(s) quarantined{where}"
+            )
+        if self.quarantine_error:
+            parts.append(
+                f"quarantine sidecar failed ({self.quarantine_error}); "
+                f"damaged bytes discarded"
             )
         if self.damage_reason:
             parts.append(f"cause: {self.damage_reason}")
@@ -470,19 +481,38 @@ def _repair_in_place(
                 "reason": scan.damage.reason,
                 "bytes": len(condemned),
             }, sort_keys=True)
-            fs.append_bytes(
-                quarantine, b"#QUARANTINE " + header.encode() + b"\n"
-            )
-            fs.append_bytes(quarantine, condemned)
-            if not condemned.endswith(b"\n"):
-                fs.append_bytes(quarantine, b"\n")
-            report.bytes_quarantined = len(condemned)
-            report.quarantine_path = str(quarantine)
+            try:
+                fs.append_bytes(
+                    quarantine, b"#QUARANTINE " + header.encode() + b"\n"
+                )
+                fs.append_bytes(quarantine, condemned)
+                if not condemned.endswith(b"\n"):
+                    fs.append_bytes(quarantine, b"\n")
+            except OSError as exc:
+                # Best effort: quarantine preserves evidence, but the
+                # *repair* (truncating to the valid prefix) must succeed
+                # even on a full disk.  Drop the partial sidecar so a
+                # later salvage does not mistake it for a whole copy.
+                try:
+                    fs.unlink(quarantine)
+                except OSError:
+                    pass
+                report.quarantine_error = str(exc)
+                _QUARANTINE_FAILURES.inc()
+                logger.error(
+                    "%s: quarantine to %s failed (%s); truncating the "
+                    "damaged suffix without a preserved copy",
+                    path, quarantine, exc,
+                )
+            else:
+                report.bytes_quarantined = len(condemned)
+                report.quarantine_path = str(quarantine)
+                _QUARANTINED_BYTES.inc(len(condemned))
             _SALVAGED.inc(report.records_dropped)
-            _QUARANTINED_BYTES.inc(len(condemned))
             logger.warning(
-                "%s: quarantined %d byte(s) (%d record(s)) to %s",
-                path, len(condemned), report.records_dropped, quarantine,
+                "%s: salvaged around %d byte(s) (%d record(s)) at line %d",
+                path, len(condemned), report.records_dropped,
+                scan.damage.lineno,
             )
         fs.truncate(path, doomed_start)
     elif scan.needs_newline:
@@ -546,10 +576,26 @@ def write_checkpoint(
         "state": state,
     }
     tmp = path.with_suffix(path.suffix + ".tmp")
-    fs.write_bytes(tmp, json.dumps(doc, sort_keys=True).encode("utf-8"))
-    if sync:
-        timed_fsync(fs, tmp)
-    fs.replace(tmp, path)
+    try:
+        fs.write_bytes(tmp, json.dumps(doc, sort_keys=True).encode("utf-8"))
+        if sync:
+            timed_fsync(fs, tmp)
+        fs.replace(tmp, path)
+    except (OSError, JournalError) as exc:
+        # A failed temp write or fsync (disk full, EIO) never touched
+        # the real checkpoint: remove the partial temp so later
+        # recoveries see no residue, and surface a typed error with the
+        # old state intact.
+        try:
+            fs.unlink(tmp)
+        except OSError:
+            pass
+        if isinstance(exc, JournalError):
+            raise
+        raise JournalError(
+            f"checkpoint write to {path} failed; the previous "
+            f"checkpoint is intact: {exc}"
+        ) from exc
     if sync:
         fs.fsync_dir(path.parent if str(path.parent) else Path("."))
 

@@ -25,6 +25,7 @@ import json
 import logging
 from pathlib import Path
 from time import perf_counter
+from typing import Callable
 
 from ..core.config import LatticePolicy
 from ..core.errors import JournalError
@@ -97,6 +98,12 @@ class JournalFile:
         self.fs = fs or RealFS()
         self.retry = retry or RetryPolicy()
         self.latch = DegradedLatch(store=str(self.path))
+        #: Optional write fence, checked before every append and
+        #: checkpoint.  Replication installs the primary lease's
+        #: ``check`` here so a paused-and-resumed ex-primary raises
+        #: :class:`~repro.core.errors.LeaseLostError` instead of
+        #: extending a history the new primary has diverged from.
+        self.fence: Callable[[], None] | None = None
         self._generation: int | None = None
         self._tail_checked = False
 
@@ -141,6 +148,8 @@ class JournalFile:
         """
         started = perf_counter()
         self.latch.check_writable()
+        if self.fence is not None:
+            self.fence()
         self._ensure_clean_tail()
         payload = json.dumps(operation.to_dict(), sort_keys=True)
         append_record(
@@ -175,7 +184,23 @@ class JournalFile:
 
     def repair(self, mode: str = "strict") -> SalvageReport:
         """Heal the log in place (truncate torn tails; in salvage mode,
-        quarantine corruption into a ``.corrupt`` sidecar)."""
+        quarantine corruption into a ``.corrupt`` sidecar).
+
+        Also removes a stale checkpoint temp file — residue of a crash
+        (or torn rename) inside a checkpoint publish.  The real
+        checkpoint is authoritative either way; leaving the temp behind
+        would hand backup tooling and future publishes a plausible-
+        looking but unterminated snapshot.
+        """
+        stale_tmp = self.checkpoint_path.with_suffix(
+            self.checkpoint_path.suffix + ".tmp"
+        )
+        if self.fs.exists(stale_tmp):
+            logger.warning(
+                "removing stale checkpoint temp %s (crash residue from "
+                "an interrupted checkpoint publish)", stale_tmp,
+            )
+            self.fs.unlink(stale_tmp)
         records, report = read_log(
             self.path, fs=self.fs, mode=mode,
             decode=operation_from_dict, repair=True,
@@ -195,6 +220,8 @@ class JournalFile:
         and the truncate cannot double-apply the tail on recovery — the
         fence skips it.
         """
+        if self.fence is not None:
+            self.fence()
         new_generation = self.generation + 1
         sync = self.durability.sync_checkpoints
         write_checkpoint(

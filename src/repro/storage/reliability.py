@@ -31,6 +31,7 @@ exactly like a real one, and recovery — not retry — is the answer.
 from __future__ import annotations
 
 import logging
+import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -90,15 +91,23 @@ class RetryPolicy:
 
     ``attempts`` counts total tries (1 = no retries).  Waits grow from
     ``base_delay`` by ``multiplier`` per retry, capped at ``max_delay``.
-    ``sleep`` is injectable so tests pay no wall-clock cost.
+    ``jitter`` (0..1) randomizes each wait *downward* by up to that
+    fraction, de-synchronizing concurrent writers that hit the same
+    fault at the same moment (replication reconnect storms, lock-convoy
+    retries) — the cap is never exceeded.  ``sleep`` and ``rng`` are
+    injectable so tests pay no wall-clock cost and stay deterministic.
     """
 
     attempts: int = 3
     base_delay: float = 0.005
     max_delay: float = 0.25
     multiplier: float = 4.0
+    jitter: float = 0.0
     sleep: Callable[[float], None] = field(
         default=time.sleep, repr=False, compare=False
+    )
+    rng: Callable[[], float] = field(
+        default=random.random, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -106,12 +115,17 @@ class RetryPolicy:
             raise ValueError("attempts must be at least 1")
         if self.base_delay < 0 or self.max_delay < 0:
             raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
 
     def delays(self):
-        """The backoff waits between attempts, in order."""
+        """The backoff waits between attempts, in order (jitter applied)."""
         delay = self.base_delay
         for _ in range(self.attempts - 1):
-            yield min(delay, self.max_delay)
+            wait = min(delay, self.max_delay)
+            if self.jitter:
+                wait *= 1.0 - self.jitter * self.rng()
+            yield wait
             delay *= self.multiplier
 
     @classmethod

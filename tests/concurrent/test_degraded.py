@@ -69,6 +69,44 @@ class TestRetryPolicy:
             RetryPolicy(attempts=0)
         with pytest.raises(ValueError):
             RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestJitter:
+    """Jitter randomizes waits *downward* only: retries desynchronize
+    (no thundering herd against a recovering disk or primary) without
+    ever waiting longer than the deterministic schedule promises."""
+
+    BASE = dict(
+        attempts=4, base_delay=0.1, max_delay=1.0, multiplier=2.0,
+        sleep=lambda _: None,
+    )
+
+    def test_full_jitter_halves_every_wait(self):
+        policy = RetryPolicy(jitter=0.5, rng=lambda: 1.0, **self.BASE)
+        assert list(policy.delays()) == [0.05, 0.1, 0.2]
+
+    def test_zero_rng_is_the_deterministic_schedule(self):
+        policy = RetryPolicy(jitter=0.5, rng=lambda: 0.0, **self.BASE)
+        assert list(policy.delays()) == [0.1, 0.2, 0.4]
+
+    def test_no_jitter_is_the_default(self):
+        policy = RetryPolicy(**self.BASE)
+        assert list(policy.delays()) == [0.1, 0.2, 0.4]
+
+    def test_jittered_waits_never_exceed_the_schedule(self):
+        import random
+
+        policy = RetryPolicy(
+            jitter=1.0, rng=random.Random(7).random, **self.BASE
+        )
+        ceiling = [0.1, 0.2, 0.4]
+        for _ in range(20):
+            for wait, cap in zip(policy.delays(), ceiling):
+                assert 0.0 <= wait <= cap
 
 
 class TestTransientFaults:
@@ -166,3 +204,51 @@ class TestDegradedMode:
             'repro_storage_retry_exhausted_total{op="wal-append"}', 0
         ) == 1
         assert samples.get("repro_degraded_trips_total", 0) == 1
+
+    def test_exhaustion_under_concurrent_writers(self, tmp_path):
+        """Jittered retries exhausting under concurrent load latch once.
+
+        Four writers race a permanently failing fsync through the
+        single-writer lock: every one must surface the typed
+        ``degraded-mode`` error (whichever thread trips the latch, the
+        rest are rejected by it), no thread may hang, and the WAL must
+        hold no phantom record from any of the rolled-back attempts.
+        """
+        import random
+        import threading
+
+        fs = FaultyFS(fail_fsync=True)
+        store = ConcurrentObjectbase.open(
+            tmp_path / "wal", durability=ALWAYS, fs=fs,
+            retry=RetryPolicy(
+                attempts=2, jitter=0.5, rng=random.Random(11).random,
+                sleep=lambda _: None,
+            ),
+            lock_timeout=30.0,
+        )
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def writer(w: int) -> None:
+            try:
+                store.apply(AddType(f"T_w{w}"))
+                result = "committed"
+            except DegradedModeError:
+                result = "degraded"
+            with lock:
+                outcomes.append(result)
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive(), "a writer hung in the retry loop"
+        assert outcomes == ["degraded"] * 4
+        assert store.degraded
+        # Reads still serve, and the on-disk prefix is exactly empty.
+        assert "T_object" in store.types()
+        reopened = ConcurrentObjectbase.open(tmp_path / "wal")
+        assert not any(t.startswith("T_w") for t in reopened.types())

@@ -1,0 +1,77 @@
+"""The wire format: framing, checksums, and durable positions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ReplicationError
+from repro.replication.protocol import (
+    HEADER,
+    MAX_MESSAGE_BYTES,
+    Position,
+    decode_payload,
+    encode_message,
+)
+
+
+def split(envelope: bytes) -> tuple[int, int, bytes]:
+    length, crc = HEADER.unpack(envelope[: HEADER.size])
+    return length, crc, envelope[HEADER.size:]
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        message = {"type": "hello", "generation": 3, "frames": ["a", "b"]}
+        length, crc, payload = split(encode_message(message))
+        assert length == len(payload)
+        assert decode_payload(payload, crc) == message
+
+    def test_bitflip_anywhere_in_payload_is_caught(self):
+        length, crc, payload = split(encode_message({"type": "records"}))
+        for i in range(len(payload)):
+            corrupt = bytearray(payload)
+            corrupt[i] ^= 0x01
+            with pytest.raises(ReplicationError, match="checksum"):
+                decode_payload(bytes(corrupt), crc)
+
+    def test_wrong_crc_is_caught(self):
+        _, crc, payload = split(encode_message({"type": "heartbeat"}))
+        with pytest.raises(ReplicationError):
+            decode_payload(payload, crc ^ 0xDEADBEEF)
+
+    def test_payload_must_be_a_json_object(self):
+        import json
+        import zlib
+
+        for raw in (b"[1, 2]", b'"text"', b"not json"):
+            crc = zlib.crc32(raw) & 0xFFFFFFFF
+            with pytest.raises(ReplicationError):
+                decode_payload(raw, crc)
+        # json scalar with a valid checksum is still refused
+        raw = json.dumps(7).encode()
+        with pytest.raises(ReplicationError):
+            decode_payload(raw, zlib.crc32(raw) & 0xFFFFFFFF)
+
+    def test_oversized_message_refused_at_encode(self):
+        with pytest.raises(ReplicationError, match="exceeds"):
+            encode_message({"blob": "x" * (MAX_MESSAGE_BYTES + 1)})
+
+
+class TestPosition:
+    def test_string_roundtrip(self):
+        position = Position(3, 17)
+        assert str(position) == "3:17"
+        assert Position.parse("3:17") == position
+
+    def test_ordering_is_generation_then_index(self):
+        assert Position(1, 99) < Position(2, 0)
+        assert Position(2, 3) < Position(2, 4)
+
+    def test_zero(self):
+        assert Position(0, 0).zero
+        assert not Position(0, 1).zero
+
+    def test_parse_rejects_garbage(self):
+        for text in ("", "3", "a:b", "1:2:3", "-1:0"):
+            with pytest.raises(ReplicationError):
+                Position.parse(text)

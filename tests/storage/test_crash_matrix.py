@@ -337,6 +337,155 @@ class TestConcurrentWritersCrashMatrix:
         raise AssertionError("workload still crashing after 400 points")
 
 
+class TestTornRenameMatrix:
+    """Torn checkpoint publishes: data at the destination, temp left.
+
+    With ``torn_replace=True`` every rename gains an extra injection
+    point whose partial effect is the nastiest legal crash state: the
+    destination already shows the new content but the source temp file
+    still exists.  Recovery must prefer the destination, stay
+    prefix-consistent, and sweep the stale temp file away.
+    """
+
+    def test_checkpoint_torn_rename_matrix(self, tmp_path):
+        prefixes = lattice_prefix_fingerprints()
+        crash_at = 0
+        while crash_at < 200:
+            directory = tmp_path / f"torn-{crash_at}"
+            directory.mkdir()
+            fs = FaultyFS(crash_at=crash_at, torn_replace=True)
+            fs.acknowledged = 0
+            try:
+                durable = DurableLattice(
+                    directory / "wal", durability=ALWAYS, fs=fs
+                )
+                for i, op in enumerate(SCRIPT):
+                    durable.apply(op)
+                    fs.acknowledged += 1
+                    if i in (1, 3):  # two publishes: two torn points
+                        durable.checkpoint()
+                completed = not fs.crashed
+            except CrashPoint:
+                completed = False
+            acknowledged = fs.acknowledged
+            wal = directory / "wal"
+            checkpoint = wal.with_suffix(wal.suffix + ".checkpoint")
+            stale_tmp = checkpoint.with_suffix(
+                checkpoint.suffix + ".tmp"
+            )
+            for mode in ("strict", "salvage"):
+                reopened = DurableLattice.reopen(wal, recovery=mode)
+                fingerprint = reopened.lattice.state_fingerprint()
+                assert fingerprint in prefixes, (
+                    f"torn crash at point {crash_at}: recovered state "
+                    f"matches no prefix (mode {mode})"
+                )
+                assert prefixes[fingerprint] >= acknowledged, (
+                    f"torn crash at point {crash_at}: acknowledged "
+                    f"write lost (mode {mode})"
+                )
+            # Repair-on-open swept the interrupted publish's residue.
+            assert not stale_tmp.exists(), (
+                f"torn crash at point {crash_at}: stale checkpoint temp "
+                f"file survived recovery"
+            )
+            if completed:
+                assert crash_at > 10  # the torn points really ran
+                return
+            crash_at += 1
+        raise AssertionError("workload still crashing after 200 points")
+
+
+class TestDiskFull:
+    """ENOSPC mid-write: the process survives and must cope (unlike a
+    crash, which merely restarts it)."""
+
+    def test_enospc_appends_exhaust_retries_and_latch(self, tmp_path):
+        from repro.core.errors import DegradedModeError
+        from repro.storage.reliability import RetryPolicy
+
+        fs = FaultyFS(enospc_appends=5)
+        durable = DurableLattice(
+            tmp_path / "wal", durability=ALWAYS, fs=fs,
+            retry=RetryPolicy(attempts=3, sleep=lambda _: None),
+        )
+        with pytest.raises(DegradedModeError):
+            durable.apply(SCRIPT[0])
+        assert durable.degraded
+        # The half-persisted payloads were all rolled back: replay sees
+        # the acknowledged (empty) prefix, not torn residue.
+        reopened = DurableLattice.reopen(tmp_path / "wal")
+        assert "T_person" not in reopened.lattice
+
+    def test_transient_enospc_is_absorbed(self, tmp_path):
+        from repro.storage.reliability import RetryPolicy
+
+        fs = FaultyFS(enospc_appends=1)
+        durable = DurableLattice(
+            tmp_path / "wal", durability=ALWAYS, fs=fs,
+            retry=RetryPolicy(attempts=3, sleep=lambda _: None),
+        )
+        durable.apply(SCRIPT[0])  # space freed up: the retry lands
+        assert not durable.degraded
+        reopened = DurableLattice.reopen(tmp_path / "wal")
+        assert "T_person" in reopened.lattice
+
+    def test_enospc_checkpoint_leaves_the_old_one_intact(self, tmp_path):
+        from repro.core.errors import JournalError
+        from repro.storage.framing import load_checkpoint
+
+        fs = FaultyFS()
+        durable = DurableLattice(
+            tmp_path / "wal", durability=ALWAYS, fs=fs
+        )
+        for op in SCRIPT[:2]:
+            durable.apply(op)
+        durable.checkpoint()  # the good checkpoint
+        checkpoint = (tmp_path / "wal").with_suffix(".checkpoint")
+        _, old_generation = load_checkpoint(checkpoint)
+        durable.apply(SCRIPT[2])
+
+        fs.enospc_writes = 1  # the disk fills before the next publish
+        with pytest.raises(JournalError, match="previous .* intact"):
+            durable.checkpoint()
+        # The old checkpoint still loads; no partial temp file remains.
+        _, generation = load_checkpoint(checkpoint)
+        assert generation == old_generation
+        assert not checkpoint.with_suffix(
+            checkpoint.suffix + ".tmp"
+        ).exists()
+        # Nothing durable was lost: a reopen replays the full history.
+        reopened = DurableLattice.reopen(tmp_path / "wal")
+        expected = TypeLattice(None)
+        for op in SCRIPT[:3]:
+            op.apply(expected)
+        assert reopened.lattice.state_fingerprint() == \
+            expected.state_fingerprint()
+
+    def test_enospc_quarantine_downgrades_to_best_effort(self, tmp_path):
+        """Salvage must heal the WAL even when the quarantine sidecar
+        cannot be written (the disk is full — that may be *why* the WAL
+        is damaged)."""
+        jf_seed = JournalFile(tmp_path / "seed.wal")
+        for op in SCRIPT[:2]:
+            jf_seed.append(op)
+        good = (tmp_path / "seed.wal").read_bytes()
+        wal = tmp_path / "full.wal"
+        wal.write_bytes(good + b"#W1 0 9 00000000 junkjunk\n")
+
+        fs = FaultyFS(enospc_appends=1)
+        report = JournalFile(wal, fs=fs).repair("salvage")
+        assert report.quarantine_error is not None
+        assert "disk-full" in report.quarantine_error
+        assert report.quarantine_path is None
+        assert "quarantine sidecar failed" in report.summary()
+        # The repair itself still succeeded: valid prefix preserved,
+        # damage truncated, no partial sidecar left behind.
+        assert wal.read_bytes() == good
+        assert not wal.with_suffix(wal.suffix + ".corrupt").exists()
+        assert len(JournalFile(wal).operations()) == 2
+
+
 class TestSalvageCrashMatrix:
     def test_quarantine_is_crash_safe(self, tmp_path):
         """Crashing mid-quarantine never loses the valid WAL prefix."""

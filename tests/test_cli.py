@@ -452,3 +452,26 @@ class TestDurabilityFlags:
         assert Path(db + ".checkpoint").exists()
         assert run(db, "show") == 0
         assert "T_a" in capsys.readouterr().out
+
+
+class TestServeFlags:
+    def test_replica_and_primary_roles_are_exclusive(self, db, capsys):
+        code = main(["--db", db, "serve",
+                     "--replica-of", "127.0.0.1:9990",
+                     "--replication-port", "9991"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("target", ["nocolon", "host:", ":123", "h:xy"])
+    def test_malformed_replica_of_is_a_usage_error(self, db, capsys, target):
+        code = main(["--db", db, "serve", "--replica-of", target])
+        assert code == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_parse_host_port(self):
+        from repro.cli import _parse_host_port
+
+        assert _parse_host_port("127.0.0.1:9990") == ("127.0.0.1", 9990)
+        assert _parse_host_port("[::1]:80") == ("[::1]", 80)
+        with pytest.raises(ValueError):
+            _parse_host_port("80")
