@@ -2,7 +2,8 @@
 """Benchmark: WAL append throughput and recovery cost per fsync policy.
 
 Three measurements over the framed write-ahead journal
-(:mod:`repro.storage.framing`):
+(:mod:`repro.storage.framing`), swept across every storage backend
+(``file`` / ``sqlite`` / ``objstore`` — see ``docs/storage.md``):
 
 * **append throughput** — operations appended per second under each
   :class:`~repro.storage.framing.DurabilityPolicy` fsync mode
@@ -18,10 +19,15 @@ Run as a script (the CI smoke job uses ``--quick``)::
     PYTHONPATH=src python benchmarks/bench_durability.py \
         --out BENCH_durability.json --check
 
-``--check`` asserts correctness invariants, not timings (shared runners
-are too noisy for absolute throughput gates): fsync counts match the
-policy, recovery is state-identical to the writer, and salvage keeps
-the valid prefix.
+``--backend`` narrows the sweep to one backend; the default measures
+all three and nests the results per backend in the artifact.
+
+``--check`` asserts correctness invariants, not precise timings (shared
+runners are too noisy for tight throughput gates): fsync counts match
+the policy, recovery is state-identical to the writer, salvage keeps
+the valid prefix, and every backend clears a deliberately modest
+absolute throughput floor that only a pathological regression (e.g. an
+accidental O(n) re-read per append) would trip.
 """
 
 from __future__ import annotations
@@ -36,10 +42,29 @@ from pathlib import Path
 
 from repro.core import AddEssentialProperty, AddType, prop
 from repro.obs.metrics import REGISTRY
+from repro.storage.backend import StorageBackend
 from repro.storage.framing import DurabilityPolicy
 from repro.storage.journal import DurableLattice, JournalFile
+from repro.storage.objstore_backend import ObjectStoreBackend
+from repro.storage.sqlite_backend import SqliteBackend
 
 POLICIES = ("always", "batch", "never")
+BACKENDS = ("file", "sqlite", "objstore")
+
+# Any slower than this on fsync=never and something is structurally
+# wrong with the backend, not merely a noisy runner.
+MIN_OPS_PER_SEC = 100.0
+
+
+def make_fs(backend: str, tmp: str) -> StorageBackend:
+    """A fresh backend instance rooted inside the scratch directory."""
+    if backend == "file":
+        from repro.storage.backend import FileBackend
+
+        return FileBackend()
+    if backend == "sqlite":
+        return SqliteBackend(Path(tmp) / "bench.sqlite")
+    return ObjectStoreBackend(Path(tmp) / "bench.objstore")
 
 
 def script(n_ops: int) -> list:
@@ -55,96 +80,155 @@ def script(n_ops: int) -> list:
     return ops[:n_ops]
 
 
-def bench_append(n_ops: int) -> dict:
+def bench_append(backend: str, n_ops: int) -> dict:
     """Ops/second appended to the WAL under each fsync policy."""
     ops = script(n_ops)
     results = {}
     for policy in POLICIES:
         with tempfile.TemporaryDirectory() as tmp:
-            path = Path(tmp) / "bench.wal"
-            durable = DurableLattice(
-                path, durability=DurabilityPolicy(fsync=policy)
-            )
-            REGISTRY.reset()
-            start = time.perf_counter()
-            for op in ops:
-                durable.apply(op)
-            if policy == "batch":
-                durable.sync()  # the batch commit point counts too
-            elapsed = time.perf_counter() - start
-            counters = REGISTRY.counter_samples()
-            results[policy] = {
-                "n_ops": len(ops),
-                "elapsed_ms": elapsed * 1e3,
-                "ops_per_sec": len(ops) / elapsed,
-                "fsyncs": counters.get("repro_wal_fsyncs_total", 0),
-                "wal_bytes": path.stat().st_size,
-            }
+            fs = make_fs(backend, tmp)
+            try:
+                path = Path(tmp) / "bench.wal"
+                durable = DurableLattice(
+                    path,
+                    durability=DurabilityPolicy(fsync=policy),
+                    fs=fs,
+                )
+                REGISTRY.reset()
+                start = time.perf_counter()
+                for op in ops:
+                    durable.apply(op)
+                if policy == "batch":
+                    durable.sync()  # the batch commit point counts too
+                elapsed = time.perf_counter() - start
+                counters = REGISTRY.counter_samples()
+                results[policy] = {
+                    "n_ops": len(ops),
+                    "elapsed_ms": elapsed * 1e3,
+                    "ops_per_sec": len(ops) / elapsed,
+                    "fsyncs": counters.get("repro_wal_fsyncs_total", 0),
+                    "wal_bytes": fs.size(path),
+                }
+            finally:
+                fs.close()
     return results
 
 
-def bench_recovery(n_ops: int, repeats: int) -> dict:
+def bench_recovery(backend: str, n_ops: int, repeats: int) -> dict:
     """Reopen cost with a long WAL tail, then after a checkpoint."""
     ops = script(n_ops)
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "bench.wal"
-        writer = DurableLattice(path)
-        for op in ops:
-            writer.apply(op)
-        expected = writer.lattice.state_fingerprint()
+        fs = make_fs(backend, tmp)
+        try:
+            path = Path(tmp) / "bench.wal"
+            writer = DurableLattice(path, fs=fs)
+            for op in ops:
+                writer.apply(op)
+            expected = writer.lattice.state_fingerprint()
 
-        def reopen() -> str:
-            durable = DurableLattice.reopen(path)
-            durable.lattice.derivation
-            return durable.lattice.state_fingerprint()
+            def reopen() -> str:
+                durable = DurableLattice.reopen(path, fs=fs)
+                durable.lattice.derivation
+                return durable.lattice.state_fingerprint()
 
-        tail_times = []
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fingerprint = reopen()
-            tail_times.append(time.perf_counter() - start)
-        assert fingerprint == expected, "recovery diverged from writer"
+            tail_times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fingerprint = reopen()
+                tail_times.append(time.perf_counter() - start)
+            assert fingerprint == expected, "recovery diverged from writer"
 
-        writer.checkpoint()
-        ckpt_times = []
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fingerprint = reopen()
-            ckpt_times.append(time.perf_counter() - start)
-        assert fingerprint == expected, "post-checkpoint recovery diverged"
+            writer.checkpoint()
+            ckpt_times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fingerprint = reopen()
+                ckpt_times.append(time.perf_counter() - start)
+            assert fingerprint == expected, (
+                "post-checkpoint recovery diverged"
+            )
 
-        return {
-            "n_ops": len(ops),
-            "replay_tail_ms": min(tail_times) * 1e3,
-            "replay_checkpointed_ms": min(ckpt_times) * 1e3,
-            "checkpoint_speedup": min(tail_times) / min(ckpt_times),
-            "recovered_fingerprint_matches": True,
-        }
+            return {
+                "n_ops": len(ops),
+                "replay_tail_ms": min(tail_times) * 1e3,
+                "replay_checkpointed_ms": min(ckpt_times) * 1e3,
+                "checkpoint_speedup": min(tail_times) / min(ckpt_times),
+                "recovered_fingerprint_matches": True,
+            }
+        finally:
+            fs.close()
 
 
-def bench_salvage(n_ops: int) -> dict:
+def bench_salvage(backend: str, n_ops: int) -> dict:
     """A salvage pass over a log with a corrupt suffix (CRC sweep)."""
     ops = script(n_ops)
     with tempfile.TemporaryDirectory() as tmp:
-        path = Path(tmp) / "bench.wal"
-        writer = DurableLattice(path)
-        for op in ops:
-            writer.apply(op)
-        n_valid = len(JournalFile(path).operations())
-        with path.open("ab") as fh:
-            fh.write(b"#W1 0 9 00000000 junkjunk\n")
-            fh.write(b"#W1 0 44 torn-tail")
-        start = time.perf_counter()
-        report = JournalFile(path).repair("salvage")
-        elapsed = time.perf_counter() - start
-        survivors = len(JournalFile(path).operations())
-        return {
-            "n_ops": n_valid,
-            "salvage_ms": elapsed * 1e3,
-            "records_recovered": report.records_recovered,
-            "bytes_quarantined": report.bytes_quarantined,
-            "valid_prefix_kept": survivors == n_valid,
-        }
+        fs = make_fs(backend, tmp)
+        try:
+            path = Path(tmp) / "bench.wal"
+            writer = DurableLattice(path, fs=fs)
+            for op in ops:
+                writer.apply(op)
+            n_valid = len(JournalFile(path, fs=fs).operations())
+            fs.append_bytes(
+                path,
+                b"#W1 0 9 00000000 junkjunk\n" + b"#W1 0 44 torn-tail",
+            )
+            start = time.perf_counter()
+            report = JournalFile(path, fs=fs).repair("salvage")
+            elapsed = time.perf_counter() - start
+            survivors = len(JournalFile(path, fs=fs).operations())
+            return {
+                "n_ops": n_valid,
+                "salvage_ms": elapsed * 1e3,
+                "records_recovered": report.records_recovered,
+                "bytes_quarantined": report.bytes_quarantined,
+                "valid_prefix_kept": survivors == n_valid,
+            }
+        finally:
+            fs.close()
+
+
+def check_backend(name: str, measured: dict) -> list[str]:
+    """Correctness invariants for one backend's sweep results."""
+    append = measured["append"]
+    recovery = measured["recovery"]
+    salvage = measured["salvage"]
+    failures = []
+    appended = append["always"]["n_ops"]
+    if append["always"]["fsyncs"] < appended:
+        failures.append(
+            f"[{name}] fsync=always issued only "
+            f"{append['always']['fsyncs']} fsync(s) for {appended} appends"
+        )
+    if append["never"]["fsyncs"] != 0:
+        failures.append(
+            f"[{name}] fsync=never issued "
+            f"{append['never']['fsyncs']} fsync(s)"
+        )
+    if not (0 < append["batch"]["fsyncs"] < appended):
+        failures.append(
+            f"[{name}] fsync=batch issued {append['batch']['fsyncs']} "
+            f"fsync(s); expected a handful (commit points only)"
+        )
+    slowest = min(p["ops_per_sec"] for p in append.values())
+    if slowest < MIN_OPS_PER_SEC:
+        failures.append(
+            f"[{name}] append throughput fell to {slowest:.0f} ops/s "
+            f"(floor {MIN_OPS_PER_SEC:.0f})"
+        )
+    if not recovery["recovered_fingerprint_matches"]:
+        failures.append(
+            f"[{name}] recovery diverged from the writer's state"
+        )
+    if not salvage["valid_prefix_kept"]:
+        failures.append(f"[{name}] salvage lost part of the valid prefix")
+    if salvage["records_recovered"] != salvage["n_ops"]:
+        failures.append(
+            f"[{name}] salvage recovered {salvage['records_recovered']} "
+            f"of {salvage['n_ops']} valid records"
+        )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -152,6 +236,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true",
         help="reduced sizes for CI smoke",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKENDS + ("all",), default="all",
+        help="storage backend to measure (default: sweep all three)",
     )
     parser.add_argument(
         "--out", default="BENCH_durability.json",
@@ -168,68 +256,55 @@ def main(argv=None) -> int:
     else:
         n_append, n_recover, repeats = 500, 500, 3
 
-    append = bench_append(n_append)
-    recovery = bench_recovery(n_recover, repeats)
-    salvage = bench_salvage(n_recover)
+    backends = BACKENDS if args.backend == "all" else (args.backend,)
+    per_backend = {}
+    for name in backends:
+        per_backend[name] = {
+            "append": bench_append(name, n_append),
+            "recovery": bench_recovery(name, n_recover, repeats),
+            "salvage": bench_salvage(name, n_recover),
+        }
 
     result = {
         "benchmark": "WAL durability: fsync policies and recovery",
         "mode": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "append": append,
-        "recovery": recovery,
-        "salvage": salvage,
+        "backends": per_backend,
     }
     Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
 
-    print(f"append throughput ({n_append} framed records):")
-    for policy in POLICIES:
-        r = append[policy]
-        print(f"  fsync={policy:<7} {r['ops_per_sec']:10.0f} ops/s  "
-              f"({r['fsyncs']} fsync(s), {r['wal_bytes']} WAL bytes)")
-    print(f"recovery of a {recovery['n_ops']}-op tail:")
-    print(f"  replay tail        {recovery['replay_tail_ms']:9.3f} ms")
-    print(f"  after checkpoint   "
-          f"{recovery['replay_checkpointed_ms']:9.3f} ms  "
-          f"({recovery['checkpoint_speedup']:.1f}x)")
-    print(f"salvage sweep over {salvage['n_ops']} records: "
-          f"{salvage['salvage_ms']:.3f} ms, "
-          f"{salvage['bytes_quarantined']} byte(s) quarantined")
+    for name, measured in per_backend.items():
+        append = measured["append"]
+        recovery = measured["recovery"]
+        salvage = measured["salvage"]
+        print(f"== backend: {name}")
+        print(f"append throughput ({n_append} framed records):")
+        for policy in POLICIES:
+            r = append[policy]
+            print(f"  fsync={policy:<7} {r['ops_per_sec']:10.0f} ops/s  "
+                  f"({r['fsyncs']} fsync(s), {r['wal_bytes']} WAL bytes)")
+        print(f"recovery of a {recovery['n_ops']}-op tail:")
+        print(f"  replay tail        {recovery['replay_tail_ms']:9.3f} ms")
+        print(f"  after checkpoint   "
+              f"{recovery['replay_checkpointed_ms']:9.3f} ms  "
+              f"({recovery['checkpoint_speedup']:.1f}x)")
+        print(f"salvage sweep over {salvage['n_ops']} records: "
+              f"{salvage['salvage_ms']:.3f} ms, "
+              f"{salvage['bytes_quarantined']} byte(s) quarantined")
     print(f"artifact: {args.out}")
 
     if args.check:
         failures = []
-        appended = append["always"]["n_ops"]
-        if append["always"]["fsyncs"] < appended:
-            failures.append(
-                f"fsync=always issued only {append['always']['fsyncs']} "
-                f"fsync(s) for {appended} appends"
-            )
-        if append["never"]["fsyncs"] != 0:
-            failures.append(
-                f"fsync=never issued {append['never']['fsyncs']} fsync(s)"
-            )
-        if not (0 < append["batch"]["fsyncs"] < appended):
-            failures.append(
-                f"fsync=batch issued {append['batch']['fsyncs']} fsync(s); "
-                f"expected a handful (commit points only)"
-            )
-        if not recovery["recovered_fingerprint_matches"]:
-            failures.append("recovery diverged from the writer's state")
-        if not salvage["valid_prefix_kept"]:
-            failures.append("salvage lost part of the valid prefix")
-        if salvage["records_recovered"] != salvage["n_ops"]:
-            failures.append(
-                f"salvage recovered {salvage['records_recovered']} of "
-                f"{salvage['n_ops']} valid records"
-            )
+        for name, measured in per_backend.items():
+            failures.extend(check_backend(name, measured))
         if failures:
             for f in failures:
                 print(f"FAIL: {f}", file=sys.stderr)
             return 1
-        print("OK: fsync provenance matches policies, recovery exact, "
-              "salvage lossless")
+        print(f"OK ({', '.join(per_backend)}): fsync provenance matches "
+              "policies, recovery exact, salvage lossless, throughput "
+              "above floor")
     return 0
 
 

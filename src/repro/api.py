@@ -252,6 +252,14 @@ class Objectbase:
     ) -> "Objectbase":
         """Open (or create) a durable objectbase backed by a WAL file.
 
+        ``path`` is a filesystem path or a backend URL: a bare path (or
+        ``file:PATH``) selects the plain-file backend, ``sqlite:DBFILE``
+        stores frames and checkpoints as rows in one SQLite database,
+        and ``objstore:ROOT`` uses a content-addressed object store with
+        an atomically swapped manifest (see ``docs/storage.md``).  All
+        backends satisfy the same crash-consistency contract; the
+        conformance suite runs verbatim against each.
+
         Recovery replays the journal in batch mode: the first query after
         opening pays one derivation pass, regardless of the plan length.
 

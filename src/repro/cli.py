@@ -88,7 +88,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--db", required=True,
-        help="path to the write-ahead journal file (created when missing)",
+        help="journal path or backend URL (created when missing): a bare "
+             "path or file:PATH for the filesystem backend, "
+             "sqlite:DBFILE for the SQLite backend, objstore:ROOT for "
+             "the content-addressed object store (see docs/storage.md)",
     )
     parser.add_argument(
         "-v", "--verbose", action="count", default=0,
@@ -604,9 +607,14 @@ def _serve_primary(args, durability) -> int:
         ReplicationSource,
     )
 
-    db = Path(args.db)
+    from .storage.backend import resolve_storage_url
+
+    # The lease is a real file next to the backend's physical location
+    # (sqlite database file / object-store root), whatever the scheme —
+    # fencing must work across processes even for non-file backends.
+    anchor = resolve_storage_url(args.db).physical
     lease = FileLease(
-        db.with_suffix(db.suffix + ".lease"), ttl=args.lease_ttl
+        anchor.with_suffix(anchor.suffix + ".lease"), ttl=args.lease_ttl
     )
     try:
         lease.acquire()

@@ -58,7 +58,8 @@ from ..core.lattice import TypeLattice
 from ..core.operations import operation_from_dict
 from ..obs.metrics import REGISTRY
 from ..obs.tracing import trace
-from ..storage.faults import RealFS, StorageFS
+from ..storage.backend import resolve_storage_url
+from ..storage.faults import StorageFS
 from ..storage.framing import (
     DurabilityPolicy,
     frame_payload,
@@ -123,13 +124,15 @@ class ReplicaStore:
         durability: DurabilityPolicy | None = None,
         fs: StorageFS | None = None,
     ) -> None:
-        self.path = Path(path)
+        # Replicas mirror into any backend too (same URL forms).
+        target = resolve_storage_url(path, fs=fs)
+        self.path = Path(target.path)
         self.checkpoint_path = self.path.with_suffix(
             self.path.suffix + ".checkpoint"
         )
         self.policy = policy
         self.durability = durability or DurabilityPolicy()
-        self.fs = fs or RealFS()
+        self.fs = target.fs
         self._mutex = threading.Lock()
         self._lattice: TypeLattice
         self._snapshot: SchemaSnapshot

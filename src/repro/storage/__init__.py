@@ -8,9 +8,20 @@ code imports :class:`~repro.storage.journal.DurableLattice` /
 to re-export them here were removed after one release).
 """
 
+from .backend import (
+    FileBackend,
+    StorageBackend,
+    StorageTarget,
+    atomic_write_bytes,
+    backend_schemes,
+    register_backend,
+    resolve_storage_url,
+)
 from .durable_store import DurableObjectbase
 from .faults import CrashPoint, FaultyFS, RealFS, StorageFS
 from .framing import DurabilityPolicy, SalvageReport
+from .objstore_backend import ObjectStoreBackend
+from .sqlite_backend import SqliteBackend
 from .objectbase_snapshot import (
     load_objectbase,
     objectbase_from_dict,
@@ -32,6 +43,15 @@ __all__ = [
     "FaultyFS",
     "RealFS",
     "StorageFS",
+    "StorageBackend",
+    "FileBackend",
+    "SqliteBackend",
+    "ObjectStoreBackend",
+    "StorageTarget",
+    "atomic_write_bytes",
+    "resolve_storage_url",
+    "register_backend",
+    "backend_schemes",
     "objectbase_to_dict",
     "objectbase_from_dict",
     "save_objectbase",

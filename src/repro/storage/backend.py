@@ -1,0 +1,254 @@
+"""Pluggable storage backends behind the :class:`StorageFS` seam.
+
+:class:`~repro.storage.faults.StorageFS` started life as a test seam;
+this module promotes it into the real backend abstraction.  Everything
+above the seam — framed WAL records, checkpoint generation fencing,
+salvage/quarantine, retry/degraded-mode, replication shipping — is
+already expressed purely in the ten byte-stream primitives, so a new
+backend only has to implement those primitives faithfully and the whole
+durability stack (and its crash matrix) comes along for free.
+
+The design follows the two exemplars the ROADMAP names: an ABC with
+capability *probes* rather than subclass checks (Snippet 1's
+``LogicObjectStorage`` probing ``supports_transactions``), and a
+content-addressed segment store published by an atomic pointer swap
+(Snippet 2's Retikon ``ObjectStore`` with ``atomic_write_bytes``).
+
+Capability probes
+-----------------
+Backends differ in what the primitives *already* guarantee; the probes
+let the durability layer skip work a substrate makes redundant instead
+of branching on types:
+
+``supports_atomic_replace``
+    ``replace`` publishes all-or-nothing even across a crash.  True for
+    every shipped backend (POSIX rename, a sqlite transaction, a
+    manifest pointer swap).
+``supports_transactions``
+    The backend can group primitives into one atomic transaction
+    (sqlite).  Probed, not assumed — callers that want a transaction
+    try ``transaction()`` and fall back to ordered writes.
+``durable_rename``
+    ``replace`` is durable by itself; the post-rename directory fsync
+    is unnecessary and :func:`~repro.storage.framing.write_checkpoint`
+    skips it.
+``durable_writes``
+    Every mutating primitive commits durably before returning; fsync
+    barriers are no-ops and write reordering is impossible.
+
+Backend URLs
+------------
+Every open surface (:meth:`repro.api.Objectbase.open`, ``repro serve``,
+``repro recover``, replication) accepts a backend URL instead of a bare
+path:
+
+* ``file:/var/lib/repro/schema.wal`` (or just the path) — POSIX files;
+* ``sqlite:/var/lib/repro/schema.db`` — WAL frames as rows, checkpoints
+  as blobs, inside one sqlite database;
+* ``objstore:/var/lib/repro/store`` — immutable content-addressed
+  segments plus an atomically-swapped manifest.
+
+:func:`resolve_storage_url` returns the backend plus the *logical* path
+the journal should use inside it and the *physical* on-disk anchor
+(where sidecar files like the primary lease live).  Third-party
+backends register a scheme with :func:`register_backend`;
+``docs/storage.md`` walks through writing a conforming backend and
+running the conformance suite against it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from ..core.errors import JournalError
+from .faults import RealFS, StorageFS
+
+__all__ = [
+    "StorageBackend",
+    "FileBackend",
+    "StorageTarget",
+    "atomic_write_bytes",
+    "resolve_storage_url",
+    "register_backend",
+    "backend_schemes",
+]
+
+
+class StorageBackend(StorageFS):
+    """A production storage substrate: :class:`StorageFS` primitives
+    plus a scheme, capability probes and a lifecycle.
+
+    Subclass contract (the conformance suite in
+    ``tests/storage/test_crash_matrix.py`` / ``test_recovery_modes.py``
+    checks all of it — see ``docs/storage.md``):
+
+    * the ten byte-stream primitives with POSIX-file semantics
+      (``unlink`` tolerates a missing file; ``read_bytes``/``size``/
+      ``truncate``/``replace`` raise :class:`FileNotFoundError` family
+      errors on missing sources);
+    * transient substrate failures surface as :class:`OSError` so the
+      retry layer (:mod:`repro.storage.reliability`) absorbs them;
+    * the capability probes inherited from :class:`StorageFS` describe
+      what the substrate already guarantees;
+    * :meth:`close` releases substrate handles (idempotent).
+    """
+
+    #: URL scheme this backend answers to (``""`` for none).
+    scheme: str = ""
+
+    def close(self) -> None:
+        """Release substrate resources; further use is undefined."""
+
+    def gc(self) -> int:
+        """Collect substrate garbage (orphan segments, stale temp
+        residue); returns the number of objects removed."""
+        return 0
+
+
+class FileBackend(RealFS, StorageBackend):
+    """The POSIX-file backend: :class:`RealFS` with a scheme.
+
+    Durability is the classic recipe — write, fsync the file, rename,
+    fsync the directory — so ``durable_rename`` stays false and the
+    checkpoint writer performs the directory fsync itself.
+    """
+
+    scheme = "file"
+
+
+@dataclass(frozen=True)
+class StorageTarget:
+    """A resolved backend URL.
+
+    ``path`` is the logical journal path *inside* the backend (the WAL;
+    the checkpoint rides next to it via suffixing).  ``physical`` is the
+    on-disk anchor — the WAL file, the sqlite database file, the object
+    store root — where path-shaped sidecars (the primary lease) and
+    operator tooling point.
+    """
+
+    fs: StorageFS
+    path: Path
+    physical: Path
+    url: str
+
+
+def atomic_write_bytes(
+    fs: StorageFS, path: Path, data: bytes, *, sync: bool = True
+) -> None:
+    """Publish ``data`` at ``path`` atomically through ``fs`` primitives.
+
+    Temp file, optional fsync, rename, directory fsync (skipped when the
+    backend's rename is intrinsically durable).  A failed write never
+    touches the destination; the partial temp is removed.  This is the
+    pointer-swap primitive the object-store backend builds its manifest
+    on, and what the snapshot savers use.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    try:
+        fs.write_bytes(tmp, data)
+        if sync:
+            fs.fsync_file(tmp)
+        fs.replace(tmp, path)
+    except OSError:
+        try:
+            fs.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if sync and not getattr(fs, "durable_rename", False):
+        fs.fsync_dir(path.parent if str(path.parent) else Path("."))
+
+
+# -- URL resolution -----------------------------------------------------
+
+_SCHEME_RE = re.compile(r"^([A-Za-z][A-Za-z0-9+.-]*):")
+
+#: scheme -> factory(rest-of-url, full-url) -> StorageTarget
+_FACTORIES: dict[str, Callable[[str, str], StorageTarget]] = {}
+
+
+def register_backend(
+    scheme: str, factory: Callable[[str, str], StorageTarget]
+) -> None:
+    """Register a backend URL scheme (see ``docs/storage.md``)."""
+    _FACTORIES[scheme.lower()] = factory
+
+
+def backend_schemes() -> tuple[str, ...]:
+    """The registered URL schemes, for help text and validation."""
+    return tuple(sorted(_FACTORIES))
+
+
+def _file_target(rest: str, url: str) -> StorageTarget:
+    path = Path(rest)
+    return StorageTarget(fs=FileBackend(), path=path, physical=path, url=url)
+
+
+def _sqlite_target(rest: str, url: str) -> StorageTarget:
+    from .sqlite_backend import SqliteBackend
+
+    database = Path(rest)
+    return StorageTarget(
+        fs=SqliteBackend(database),
+        path=Path("wal"),
+        physical=database,
+        url=url,
+    )
+
+
+def _objstore_target(rest: str, url: str) -> StorageTarget:
+    from .objstore_backend import ObjectStoreBackend
+
+    root = Path(rest)
+    return StorageTarget(
+        fs=ObjectStoreBackend(root),
+        path=Path("wal"),
+        physical=root,
+        url=url,
+    )
+
+
+register_backend("file", _file_target)
+register_backend("sqlite", _sqlite_target)
+register_backend("objstore", _objstore_target)
+
+
+def resolve_storage_url(
+    db: str | Path, *, fs: StorageFS | None = None
+) -> StorageTarget:
+    """Resolve a database location (path or backend URL) to a target.
+
+    An explicit ``fs`` wins (tests injecting fault layers); a bare path
+    resolves to the :class:`FileBackend`; ``scheme:rest`` dispatches to
+    the registered backend.  A single-letter "scheme" is treated as a
+    path (Windows drive letters), and an unknown scheme is a typed
+    error rather than a surprise relative directory.
+    """
+    raw = str(db)
+    if fs is not None:
+        path = Path(db)
+        return StorageTarget(fs=fs, path=path, physical=path, url=raw)
+    match = _SCHEME_RE.match(raw) if isinstance(db, str) else None
+    if match is None or len(match.group(1)) == 1:
+        path = Path(db)
+        return StorageTarget(
+            fs=FileBackend(), path=path, physical=path, url=f"file:{path}"
+        )
+    scheme = match.group(1).lower()
+    factory = _FACTORIES.get(scheme)
+    if factory is None:
+        raise JournalError(
+            f"unknown storage backend scheme {scheme!r} in {raw!r} "
+            f"(expected one of: {', '.join(backend_schemes())})"
+        )
+    rest = raw[match.end():]
+    if rest.startswith("//"):
+        rest = rest[2:]
+    if not rest:
+        raise JournalError(f"storage URL {raw!r} names no path")
+    return factory(rest, raw)

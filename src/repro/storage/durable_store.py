@@ -43,7 +43,8 @@ from ..core.errors import JournalError, SchemaError
 from ..obs.metrics import REGISTRY
 from ..tigukat.evolution import SchemaManager
 from ..tigukat.store import Objectbase
-from .faults import RealFS, StorageFS
+from .backend import resolve_storage_url
+from .faults import StorageFS
 from .framing import (
     DurabilityPolicy,
     SalvageReport,
@@ -111,13 +112,16 @@ class DurableObjectbase:
         fs: StorageFS | None = None,
         retry: RetryPolicy | None = None,
     ) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        # A backend URL resolves to its backend plus a logical directory
+        # inside it; an explicit ``fs`` always wins (fault injection).
+        target = resolve_storage_url(directory, fs=fs)
+        self.directory = Path(target.path)
+        self.fs = target.fs
+        self.fs.mkdirs(self.directory)
         self.snapshot_path = self.directory / "objectbase.json"
         self.wal_path = self.directory / "schema.wal"
         self._bodies = computed_bodies or {}
         self.durability = durability or DurabilityPolicy()
-        self.fs = fs or RealFS()
         self.retry = retry or RetryPolicy()
         self.latch = DegradedLatch(store=str(self.wal_path))
 

@@ -1,10 +1,12 @@
 """Deterministic fault injection for the durability path.
 
-The storage layer performs every mutating filesystem operation through a
-:class:`StorageFS` object.  :class:`RealFS` is the production
-implementation (thin wrappers over :mod:`os` / :mod:`pathlib`);
-:class:`FaultyFS` wraps one and injects the three failure families the
-crash-matrix suite exercises:
+The storage layer performs every mutating storage operation through a
+:class:`StorageFS` object.  :class:`RealFS` is the production filesystem
+implementation (thin wrappers over :mod:`os` / :mod:`pathlib`); the
+pluggable backends in :mod:`repro.storage.backend` implement the same
+primitives over other substrates (sqlite, a content-addressed object
+store).  :class:`FaultyFS` wraps *any* of them and injects the failure
+families the crash-matrix suite exercises:
 
 * **crash-at-boundary** — every mutating primitive exposes numbered
   *injection points* (before the effect, mid-write, ...).  Points are
@@ -12,6 +14,8 @@ crash-matrix suite exercises:
   reaches ``crash_at``, the point's partial effect is applied and
   :class:`CrashPoint` is raised.  Once crashed, every later call raises
   immediately — the "process" is dead, exactly like a power failure.
+  Scheduling is thread-safe: racing writers each draw a distinct point
+  index under an internal lock, so a planned fault is never skipped.
 * **short writes** — the mid-write point of ``append_bytes`` /
   ``write_bytes`` persists only the first half of the payload before
   crashing, producing the torn records the framed-WAL reader must
@@ -42,6 +46,26 @@ crash-matrix suite exercises:
   persists only the first half of the payload before failing, so the
   retry path must also roll the partial write back.  Transient faults do
   **not** consume crash injection points — the two dimensions compose.
+* **backend-torn appends** — with ``backend_torn=True`` and a base that
+  exposes ``simulate_torn_append`` (the sqlite and object-store
+  backends), every append gains an ``append-backend-torn`` point whose
+  partial effect is the backend's own nastiest mid-append crash state:
+  sqlite leaves a half-payload *uncommitted transaction* (the partial
+  commit must be invisible on the next open), the object store writes
+  the segment but never swaps the manifest pointer (an orphan segment
+  GC must collect).  On a base without the hook the point simply does
+  not exist, so one matrix runs verbatim against every backend.
+* **write reordering** — with ``reorder=True`` the fault model tracks,
+  per file, the last state that an fsync barrier made durable.  When a
+  mutation lands while *other* files still have un-synced changes, a
+  ``reorder:`` point fires whose crash state is the classic reordered
+  write: the current mutation is on disk but every other un-synced file
+  rolls back to its last barrier state.  Writes to the *same* file stay
+  ordered (byte-stream semantics); only cross-file ordering is at risk,
+  which is exactly what fsync barriers — and checkpoint generation
+  fencing — exist to control.  Backends whose every primitive commits
+  durably (``durable_writes``) cannot reorder, and the tracking
+  disables itself.
 
 The crash-matrix driver iterates ``crash_at`` from 0 upward until a full
 workload completes without crashing (``total_points`` many boundaries),
@@ -54,6 +78,7 @@ from __future__ import annotations
 
 import errno
 import os
+import threading
 from pathlib import Path
 
 __all__ = ["CrashPoint", "StorageFS", "RealFS", "FaultyFS"]
@@ -69,7 +94,26 @@ class CrashPoint(Exception):
 
 
 class StorageFS:
-    """The filesystem primitives the durability path is allowed to use."""
+    """The storage primitives the durability path is allowed to use.
+
+    Implementations may keep "files" anywhere — POSIX paths, sqlite
+    rows, content-addressed segments — as long as the byte-stream
+    semantics hold: ``append_bytes`` extends, ``write_bytes`` replaces,
+    ``replace`` atomically renames, ``truncate`` cuts to a prefix.
+    The class-level capability probes describe what the substrate
+    guarantees *beyond* the primitives; :mod:`repro.storage.backend`
+    documents them and the conformance suite exercises them.
+    """
+
+    #: ``replace`` publishes all-or-nothing even across a crash.
+    supports_atomic_replace: bool = True
+    #: The backend can group primitives into one atomic transaction.
+    supports_transactions: bool = False
+    #: ``replace`` is durable by itself — no directory fsync needed.
+    durable_rename: bool = False
+    #: Every mutating primitive commits durably before returning
+    #: (transactional backends); fsync barriers are no-ops.
+    durable_writes: bool = False
 
     def exists(self, path: Path) -> bool:
         raise NotImplementedError
@@ -99,6 +143,11 @@ class StorageFS:
         raise NotImplementedError
 
     def fsync_dir(self, path: Path) -> None:
+        raise NotImplementedError
+
+    def mkdirs(self, path: Path) -> None:
+        """Ensure a (logical) directory exists; no-op where the
+        substrate has no directories."""
         raise NotImplementedError
 
 
@@ -154,6 +203,12 @@ class RealFS(StorageFS):
         finally:
             os.close(fd)
 
+    def mkdirs(self, path: Path) -> None:
+        Path(path).mkdir(parents=True, exist_ok=True)
+
+
+_ABSENT = object()  #: reorder-tracking marker: file did not exist
+
 
 class FaultyFS(StorageFS):
     """A :class:`StorageFS` that fails on purpose (see module docstring).
@@ -180,8 +235,22 @@ class FaultyFS(StorageFS):
     torn_replace:
         Add the ``replace-torn`` injection point to every ``replace``:
         new content visible at the destination, source left behind.
+    backend_torn:
+        Add the ``append-backend-torn`` injection point to every append
+        when the base backend exposes ``simulate_torn_append`` — the
+        backend-shaped mid-append crash (uncommitted sqlite transaction,
+        orphan object-store segment).  Bases without the hook are
+        unaffected, so the flag is safe to set unconditionally.
+    reorder:
+        Track fsync barriers and add ``reorder:`` injection points whose
+        crash state persists the current mutation while rolling every
+        *other* un-synced file back to its last barrier state (the
+        write-reordering model; see module docstring).  Self-disables on
+        ``durable_writes`` backends, which cannot reorder.
     base:
-        The real filesystem to delegate surviving operations to.
+        The real storage to delegate surviving operations to (defaults
+        to :class:`RealFS`).  Capability probes forward to it, so a
+        ``FaultyFS`` is transparently backend-generic.
     """
 
     def __init__(
@@ -194,6 +263,8 @@ class FaultyFS(StorageFS):
         enospc_appends: int = 0,
         enospc_writes: int = 0,
         torn_replace: bool = False,
+        backend_torn: bool = False,
+        reorder: bool = False,
     ) -> None:
         self.base = base or RealFS()
         self.crash_at = crash_at
@@ -203,22 +274,108 @@ class FaultyFS(StorageFS):
         self.enospc_appends = enospc_appends
         self.enospc_writes = enospc_writes
         self.torn_replace = torn_replace
+        self.backend_torn = backend_torn
+        self.reorder = reorder
         self.points = 0
         self.crashed = False
         self.trace: list[str] = []
+        self._mutex = threading.Lock()
+        #: path -> bytes at the last fsync barrier (or _ABSENT).
+        self._unsynced: dict[str, object] = {}
+
+    # -- capability probes forward to the wrapped backend --------------
+
+    @property
+    def supports_atomic_replace(self) -> bool:  # type: ignore[override]
+        return getattr(self.base, "supports_atomic_replace", True)
+
+    @property
+    def supports_transactions(self) -> bool:  # type: ignore[override]
+        return getattr(self.base, "supports_transactions", False)
+
+    @property
+    def durable_rename(self) -> bool:  # type: ignore[override]
+        return getattr(self.base, "durable_rename", False)
+
+    @property
+    def durable_writes(self) -> bool:  # type: ignore[override]
+        return getattr(self.base, "durable_writes", False)
+
+    # -- injection scheduling (thread-safe) ----------------------------
 
     def _point(self, label: str) -> bool:
         """Count one injection point; True means crash *here* (the caller
-        applies the point's partial effect first, then raises)."""
-        if self.crashed:
-            raise CrashPoint(f"process already dead (at {label})")
-        index = self.points
-        self.points += 1
-        self.trace.append(label)
-        if self.crash_at is not None and index == self.crash_at:
-            self.crashed = True
-            return True
-        return False
+        applies the point's partial effect first, then raises).
+
+        Guarded by a lock: concurrent writers each draw a distinct index
+        and exactly one of them observes ``index == crash_at``, so the
+        planned fault cannot be skipped under racing appends.
+        """
+        with self._mutex:
+            if self.crashed:
+                raise CrashPoint(f"process already dead (at {label})")
+            index = self.points
+            self.points += 1
+            self.trace.append(label)
+            if self.crash_at is not None and index == self.crash_at:
+                self.crashed = True
+                return True
+            return False
+
+    def _consume(self, attr: str) -> bool:
+        """Atomically decrement a fault countdown; True while it lasts."""
+        with self._mutex:
+            value = getattr(self, attr)
+            if value > 0:
+                setattr(self, attr, value - 1)
+                return True
+            return False
+
+    # -- write-reordering barrier tracking -----------------------------
+
+    def _tracking_reorder(self) -> bool:
+        return self.reorder and not self.durable_writes
+
+    def _note_mutation(self, path: Path) -> None:
+        """Snapshot a file's last-barrier state before mutating it."""
+        if not self._tracking_reorder():
+            return
+        key = str(path)
+        with self._mutex:
+            if key in self._unsynced:
+                return
+        state = (
+            self.base.read_bytes(path) if self.base.exists(path) else _ABSENT
+        )
+        with self._mutex:
+            self._unsynced.setdefault(key, state)
+
+    def _reorder_point(self, kind: str, path: Path) -> bool:
+        """Whether to crash here with the reordered-write state."""
+        if not self._tracking_reorder():
+            return False
+        key = str(path)
+        with self._mutex:
+            others = any(k != key for k in self._unsynced)
+        if not others:
+            return False
+        return self._point(f"reorder:{kind}:{Path(path).name}")
+
+    def _apply_reorder_crash(self, exclude: set[str]) -> None:
+        """Roll every un-synced file (except ``exclude``) back to its
+        last barrier state — the crash persisted the current mutation
+        ahead of older writes to other files."""
+        for key, state in list(self._unsynced.items()):
+            if key in exclude:
+                continue
+            if state is _ABSENT:
+                self.base.unlink(Path(key))
+            else:
+                self.base.write_bytes(Path(key), state)  # type: ignore[arg-type]
+
+    def _clear_barrier(self, path: Path) -> None:
+        with self._mutex:
+            self._unsynced.pop(str(path), None)
 
     # -- reads are never injected --------------------------------------
 
@@ -234,32 +391,55 @@ class FaultyFS(StorageFS):
     # -- mutating primitives -------------------------------------------
 
     def append_bytes(self, path: Path, data: bytes) -> None:
-        if self.enospc_appends > 0:
-            self.enospc_appends -= 1
+        self._note_mutation(path)
+        if self._consume("enospc_appends"):
             if len(data) > 1:
                 self.base.append_bytes(path, data[: len(data) // 2])
             raise OSError(
                 errno.ENOSPC, f"injected disk-full appending to {path}"
             )
-        if self.transient_append_failures > 0:
-            self.transient_append_failures -= 1
+        if self._consume("transient_append_failures"):
             if len(data) > 1:
                 self.base.append_bytes(path, data[: len(data) // 2])
             raise OSError(5, f"injected transient short write to {path}")
+        if self._reorder_point("append", path):
+            self.base.append_bytes(path, data)
+            self._apply_reorder_crash({str(path)})
+            raise CrashPoint(
+                f"reordered write: append to {path} persisted ahead of "
+                f"older un-synced writes"
+            )
         if self._point(f"append-pre:{Path(path).name}"):
             raise CrashPoint(f"crash before append to {path}")
         if len(data) > 1 and self._point(f"append-short:{Path(path).name}"):
             self.base.append_bytes(path, data[: len(data) // 2])
             raise CrashPoint(f"short write appending to {path}")
+        if (
+            self.backend_torn
+            and hasattr(self.base, "simulate_torn_append")
+            and self._point(f"append-backend-torn:{Path(path).name}")
+        ):
+            self.base.simulate_torn_append(path, data)
+            raise CrashPoint(
+                f"backend-shaped torn append to {path}: partial state "
+                f"must be invisible after recovery"
+            )
         self.base.append_bytes(path, data)
 
     def write_bytes(self, path: Path, data: bytes) -> None:
-        if self.enospc_writes > 0:
-            self.enospc_writes -= 1
+        self._note_mutation(path)
+        if self._consume("enospc_writes"):
             if len(data) > 1:
                 self.base.write_bytes(path, data[: len(data) // 2])
             raise OSError(
                 errno.ENOSPC, f"injected disk-full writing {path}"
+            )
+        if self._reorder_point("write", path):
+            self.base.write_bytes(path, data)
+            self._apply_reorder_crash({str(path)})
+            raise CrashPoint(
+                f"reordered write: {path} persisted ahead of older "
+                f"un-synced writes"
             )
         if self._point(f"write-pre:{Path(path).name}"):
             raise CrashPoint(f"crash before write of {path}")
@@ -269,6 +449,13 @@ class FaultyFS(StorageFS):
         self.base.write_bytes(path, data)
 
     def replace(self, src: Path, dst: Path) -> None:
+        if self._reorder_point("replace", dst):
+            self.base.replace(src, dst)
+            self._apply_reorder_crash({str(src), str(dst)})
+            raise CrashPoint(
+                f"reordered write: rename of {dst} persisted ahead of "
+                f"older un-synced writes"
+            )
         if self._point(f"replace-pre:{Path(dst).name}"):
             raise CrashPoint(f"crash before replacing {dst}")
         if self.torn_replace and self._point(f"replace-torn:{Path(dst).name}"):
@@ -278,29 +465,70 @@ class FaultyFS(StorageFS):
             raise CrashPoint(
                 f"torn rename: {dst} updated but {src} left behind"
             )
+        src_unsynced = False
+        if self._tracking_reorder():
+            with self._mutex:
+                src_unsynced = str(src) in self._unsynced
+            if src_unsynced:
+                # Renaming never-synced content: it stays vulnerable at
+                # its new name, against the pre-rename destination state.
+                self._note_mutation(dst)
         self.base.replace(src, dst)
+        if self._tracking_reorder():
+            with self._mutex:
+                self._unsynced.pop(str(src), None)
+                if not src_unsynced:
+                    # Synced content arrived atomically: dst is durable.
+                    self._unsynced.pop(str(dst), None)
 
     def truncate(self, path: Path, size: int) -> None:
+        self._note_mutation(path)
+        if self._reorder_point("truncate", path):
+            self.base.truncate(path, size)
+            self._apply_reorder_crash({str(path)})
+            raise CrashPoint(
+                f"reordered write: truncate of {path} persisted ahead "
+                f"of older un-synced writes"
+            )
         if self._point(f"truncate-pre:{Path(path).name}"):
             raise CrashPoint(f"crash before truncating {path}")
         self.base.truncate(path, size)
 
     def unlink(self, path: Path) -> None:
+        self._note_mutation(path)
         if self._point(f"unlink-pre:{Path(path).name}"):
             raise CrashPoint(f"crash before unlinking {path}")
         self.base.unlink(path)
 
     def fsync_file(self, path: Path) -> None:
-        if self.transient_fsync_failures > 0:
-            self.transient_fsync_failures -= 1
+        if self._consume("transient_fsync_failures"):
             raise OSError(5, f"injected transient fsync failure for {path}")
         if self._point(f"fsync-pre:{Path(path).name}"):
             raise CrashPoint(f"crash before fsync of {path}")
         if self.fail_fsync:
             raise OSError(5, f"injected fsync failure for {path}")
         self.base.fsync_file(path)
+        self._clear_barrier(path)
 
     def fsync_dir(self, path: Path) -> None:
         if self._point(f"fsyncdir-pre:{Path(path).name}"):
             raise CrashPoint(f"crash before directory fsync of {path}")
         self.base.fsync_dir(path)
+
+    def mkdirs(self, path: Path) -> None:
+        if self._point(f"mkdir-pre:{Path(path).name}"):
+            raise CrashPoint(f"crash before creating directory {path}")
+        self.base.mkdirs(path)
+
+    # -- backend-shaped fault passthrough ------------------------------
+
+    def simulate_torn_append(self, path: Path, data: bytes) -> None:
+        """Forward the backend's torn-append hook (tests drive it
+        directly when composing fault layers)."""
+        hook = getattr(self.base, "simulate_torn_append", None)
+        if hook is None:
+            raise NotImplementedError(
+                "the wrapped backend has no backend-shaped torn-append "
+                "state"
+            )
+        hook(path, data)

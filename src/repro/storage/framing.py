@@ -596,7 +596,9 @@ def write_checkpoint(
             f"checkpoint write to {path} failed; the previous "
             f"checkpoint is intact: {exc}"
         ) from exc
-    if sync:
+    if sync and not getattr(fs, "durable_rename", False):
+        # Backends whose rename is intrinsically durable (sqlite
+        # transactions, manifest swaps) need no directory fsync.
         fs.fsync_dir(path.parent if str(path.parent) else Path("."))
 
 

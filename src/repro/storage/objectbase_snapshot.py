@@ -16,7 +16,6 @@ that raises on first invocation, so the gap is loud, not silent.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Any, Callable
 
@@ -27,6 +26,8 @@ from ..tigukat.functions import Function, FunctionKind
 from ..tigukat.objects import TigukatObject
 from ..tigukat.primitive import PRIMITIVE_TYPE_BEHAVIORS
 from ..tigukat.store import Objectbase
+from .backend import atomic_write_bytes
+from .faults import RealFS, StorageFS
 from .snapshot import FORMAT_VERSION, lattice_from_dict, lattice_to_dict
 
 __all__ = ["objectbase_to_dict", "objectbase_from_dict",
@@ -255,21 +256,31 @@ def objectbase_from_dict(
     return store
 
 
-def save_objectbase(store: Objectbase, path: str | Path) -> Path:
-    """Write a whole-store snapshot atomically (temp file + rename)."""
+def save_objectbase(
+    store: Objectbase, path: str | Path, *, fs: StorageFS | None = None
+) -> Path:
+    """Write a whole-store snapshot atomically (temp file + rename,
+    through the storage backend's primitives)."""
     path = Path(path)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(
-        json.dumps(objectbase_to_dict(store), indent=2, sort_keys=True)
+    atomic_write_bytes(
+        fs or RealFS(),
+        path,
+        json.dumps(
+            objectbase_to_dict(store), indent=2, sort_keys=True
+        ).encode("utf-8"),
+        sync=False,
     )
-    os.replace(tmp, path)
     return path
 
 
 def load_objectbase(
     path: str | Path,
     computed_bodies: dict[str, Callable[..., Any]] | None = None,
+    *,
+    fs: StorageFS | None = None,
 ) -> Objectbase:
+    fs = fs or RealFS()
     return objectbase_from_dict(
-        json.loads(Path(path).read_text()), computed_bodies
+        json.loads(fs.read_bytes(Path(path)).decode("utf-8")),
+        computed_bodies,
     )

@@ -11,7 +11,6 @@ and a consistency hazard).
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Any
 
@@ -19,6 +18,8 @@ from ..core.config import EssentialityDefault, LatticePolicy
 from ..core.errors import JournalError
 from ..core.lattice import TypeLattice
 from ..core.properties import Property
+from .backend import atomic_write_bytes
+from .faults import RealFS, StorageFS
 
 __all__ = [
     "lattice_to_dict",
@@ -134,21 +135,32 @@ def lattice_from_dict(data: dict[str, Any]) -> TypeLattice:
     return lattice
 
 
-def save_lattice(lattice: TypeLattice, path: str | Path) -> Path:
+def save_lattice(
+    lattice: TypeLattice, path: str | Path, *, fs: StorageFS | None = None
+) -> Path:
     """Write a snapshot file atomically; returns the path.
 
-    The snapshot lands via temp-file + rename so a crash mid-save leaves
-    the previous snapshot intact instead of a torn JSON document.
+    The snapshot lands via temp-file + rename (through the storage
+    backend's primitives) so a crash mid-save leaves the previous
+    snapshot intact instead of a torn JSON document.
     """
     path = Path(path)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(
-        json.dumps(lattice_to_dict(lattice), indent=2, sort_keys=True)
+    atomic_write_bytes(
+        fs or RealFS(),
+        path,
+        json.dumps(
+            lattice_to_dict(lattice), indent=2, sort_keys=True
+        ).encode("utf-8"),
+        sync=False,
     )
-    os.replace(tmp, path)
     return path
 
 
-def load_lattice(path: str | Path) -> TypeLattice:
+def load_lattice(
+    path: str | Path, *, fs: StorageFS | None = None
+) -> TypeLattice:
     """Load a snapshot file back into a lattice."""
-    return lattice_from_dict(json.loads(Path(path).read_text()))
+    fs = fs or RealFS()
+    return lattice_from_dict(
+        json.loads(fs.read_bytes(Path(path)).decode("utf-8"))
+    )

@@ -1,10 +1,10 @@
-"""Crash-matrix: recovery is prefix-consistent at every I/O boundary.
+"""Crash-matrix conformance suite: prefix-consistent at every boundary.
 
 The driver runs a fixed workload under :class:`FaultyFS`, crashing at
 injection point 0, then 1, ... until the workload completes uncrashed.
-After every simulated power failure the store is reopened with the real
-filesystem (the "restart") in both recovery modes and the recovered
-state must be *prefix-consistent*:
+After every simulated power failure the store is reopened over a fresh
+backend instance (the "restart") in both recovery modes and the
+recovered state must be *prefix-consistent*:
 
 * equal to the state after some prefix of the workload's operations;
 * at least as long as the acknowledged prefix (with ``fsync="always"``
@@ -12,6 +12,14 @@ state must be *prefix-consistent*:
   dropped valid record);
 * never longer than the full workload (no double-applied tail, which is
   exactly what checkpoint generation fencing prevents).
+
+Every test takes the ``backend`` fixture (see ``conftest.py``), so the
+whole matrix runs verbatim against the plain-file, sqlite, and
+object-store backends — one suite, three substrates.  The matrix also
+covers the backend-shaped fault classes: torn renames, a
+mid-transaction sqlite crash (the partial commit must be invisible),
+an object-store manifest-swap crash (the orphan segment must be
+collected), and write reordering before an fsync barrier.
 """
 
 import threading
@@ -26,7 +34,7 @@ from repro.core import (
 )
 from repro.core.lattice import TypeLattice
 from repro.storage.durable_store import DurableObjectbase
-from repro.storage.faults import CrashPoint, FaultyFS
+from repro.storage.faults import CrashPoint
 from repro.storage.framing import DurabilityPolicy
 from repro.storage.journal import DurableLattice, JournalFile
 from repro.tigukat.evolution import SchemaManager
@@ -74,16 +82,19 @@ def objectbase_prefix_fingerprints() -> dict[str, int]:
     return fingerprints
 
 
-def drive_matrix(workload, recover, prefixes, max_points=200):
+def drive_matrix(faulty, workload, recover, prefixes, max_points=200):
     """Crash the workload at every injection point; check every recovery.
 
-    ``workload(fs) -> acknowledged-op-count`` runs against a fresh
-    directory each call; ``recover(mode) -> fingerprint`` reopens with
-    the real filesystem.  Returns the number of crash scenarios driven.
+    ``faulty(crash_at) -> FaultyFS`` builds the fault-injecting view
+    over a fresh backend instance (``harness.faulty`` partially
+    applied); ``workload(fs) -> acknowledged-op-count`` runs against a
+    fresh logical directory each call; ``recover(mode) -> fingerprint``
+    reopens over another fresh instance.  Returns the number of crash
+    scenarios driven.
     """
     crash_at = 0
     while crash_at < max_points:
-        fs = FaultyFS(crash_at=crash_at)
+        fs = faulty(crash_at=crash_at)
         try:
             acknowledged = workload(fs)
             completed = not fs.crashed
@@ -110,7 +121,7 @@ def drive_matrix(workload, recover, prefixes, max_points=200):
 
 
 class TestDurableLatticeCrashMatrix:
-    def test_apply_and_checkpoint_matrix(self, tmp_path):
+    def test_apply_and_checkpoint_matrix(self, backend, tmp_path):
         prefixes = lattice_prefix_fingerprints()
         scenario = {"n": 0}
 
@@ -132,37 +143,40 @@ class TestDurableLatticeCrashMatrix:
 
         def recover(mode):
             durable = DurableLattice.reopen(
-                scenario["dir"] / "wal", recovery=mode
+                scenario["dir"] / "wal", recovery=mode, fs=backend.fresh()
             )
             return durable.lattice.state_fingerprint()
 
-        scenarios = drive_matrix(workload, recover, prefixes)
+        scenarios = drive_matrix(backend.faulty, workload, recover, prefixes)
         assert scenarios > 10  # the workload really has many boundaries
 
-    def test_recovery_itself_is_crash_safe(self, tmp_path):
+    def test_recovery_itself_is_crash_safe(self, backend, tmp_path):
         """Crashing during repair-on-open must not lose the valid prefix."""
         source = tmp_path / "seed"
         source.mkdir()
-        durable = DurableLattice(source / "wal", durability=ALWAYS)
+        seed_fs = backend.fresh()
+        durable = DurableLattice(source / "wal", durability=ALWAYS, fs=seed_fs)
         for op in SCRIPT[:3]:
             durable.apply(op)
         expected = durable.lattice.state_fingerprint()
-        wal_bytes = (source / "wal").read_bytes()
+        wal_bytes = seed_fs.read_bytes(source / "wal")
 
         crash_at = 0
         while crash_at < 50:
             directory = tmp_path / f"recover-{crash_at}"
             directory.mkdir()
             # Damaged image: valid prefix + torn tail.
-            (directory / "wal").write_bytes(wal_bytes + b"#W1 0 77 to")
-            fs = FaultyFS(crash_at=crash_at)
+            backend.fresh().write_bytes(
+                directory / "wal", wal_bytes + b"#W1 0 77 to"
+            )
+            fs = backend.faulty(crash_at=crash_at)
             try:
                 DurableLattice(directory / "wal", recovery="salvage", fs=fs)
                 completed = not fs.crashed
             except CrashPoint:
                 completed = False
             reopened = DurableLattice.reopen(
-                directory / "wal", recovery="salvage"
+                directory / "wal", recovery="salvage", fs=backend.fresh()
             )
             assert reopened.lattice.state_fingerprint() == expected
             if completed:
@@ -172,7 +186,7 @@ class TestDurableLatticeCrashMatrix:
 
 
 class TestDurableObjectbaseCrashMatrix:
-    def test_execute_and_checkpoint_matrix(self, tmp_path):
+    def test_execute_and_checkpoint_matrix(self, backend, tmp_path):
         prefixes = objectbase_prefix_fingerprints()
         scenario = {"n": 0}
 
@@ -193,16 +207,18 @@ class TestDurableObjectbaseCrashMatrix:
 
         def recover(mode):
             durable = DurableObjectbase.reopen(
-                scenario["dir"], recovery=mode
+                scenario["dir"], recovery=mode, fs=backend.fresh()
             )
             return durable.store.lattice.state_fingerprint()
 
-        scenarios = drive_matrix(workload, recover, prefixes)
+        scenarios = drive_matrix(backend.faulty, workload, recover, prefixes)
         assert scenarios > 10
 
 
 class TestFsyncFailure:
-    def test_append_fsync_failure_latches_degraded_mode(self, tmp_path):
+    def test_append_fsync_failure_latches_degraded_mode(
+        self, backend, tmp_path
+    ):
         """A permanent fsync failure exhausts retries and latches the store.
 
         The append is rolled back (the WAL holds exactly the acknowledged
@@ -213,7 +229,7 @@ class TestFsyncFailure:
         from repro.core.errors import DegradedModeError
         from repro.storage.reliability import RetryPolicy
 
-        fs = FaultyFS(fail_fsync=True)
+        fs = backend.faulty(fail_fsync=True)
         durable = DurableLattice(
             tmp_path / "wal", durability=ALWAYS, fs=fs,
             retry=RetryPolicy(attempts=3, sleep=lambda _: None),
@@ -223,28 +239,28 @@ class TestFsyncFailure:
         assert durable.degraded
         # The rejected write was rolled back: replay sees only the
         # acknowledged (empty) prefix, not a phantom record.
-        reopened = DurableLattice.reopen(tmp_path / "wal")
+        reopened = DurableLattice.reopen(tmp_path / "wal", fs=backend.fresh())
         assert "T_person" not in reopened.lattice
         # Subsequent writes are rejected by the latch.
         with pytest.raises(DegradedModeError):
             durable.apply(SCRIPT[0])
 
-    def test_transient_fsync_failures_are_absorbed(self, tmp_path):
+    def test_transient_fsync_failures_are_absorbed(self, backend, tmp_path):
         """Recoverable fsync blips retry to success; the write lands."""
         from repro.storage.reliability import RetryPolicy
 
-        fs = FaultyFS(transient_fsync_failures=2)
+        fs = backend.faulty(transient_fsync_failures=2)
         durable = DurableLattice(
             tmp_path / "wal", durability=ALWAYS, fs=fs,
             retry=RetryPolicy(attempts=3, sleep=lambda _: None),
         )
         durable.apply(SCRIPT[0])
         assert not durable.degraded
-        reopened = DurableLattice.reopen(tmp_path / "wal")
+        reopened = DurableLattice.reopen(tmp_path / "wal", fs=backend.fresh())
         assert "T_person" in reopened.lattice
 
-    def test_batch_policy_defers_fsync_to_sync(self, tmp_path):
-        fs = FaultyFS(fail_fsync=True)
+    def test_batch_policy_defers_fsync_to_sync(self, backend, tmp_path):
+        fs = backend.faulty(fail_fsync=True)
         durable = DurableLattice(
             tmp_path / "wal",
             durability=DurabilityPolicy(fsync="batch"),
@@ -262,8 +278,8 @@ class TestConcurrentWritersCrashMatrix:
 
     Four writer threads race through the single-writer lock while the
     filesystem crashes at every injection point in turn.  After each
-    simulated power failure the store is reopened with the real
-    filesystem and every *acknowledged* write (``apply`` returned) must
+    simulated power failure the store is reopened over a fresh backend
+    instance and every *acknowledged* write (``apply`` returned) must
     have survived — regardless of which thread issued it or how the
     arrivals interleaved — and nothing that was never applied may
     appear.
@@ -272,7 +288,7 @@ class TestConcurrentWritersCrashMatrix:
     THREADS = 4
     OPS_PER_THREAD = 3
 
-    def test_acknowledged_writes_survive(self, tmp_path):
+    def test_acknowledged_writes_survive(self, backend, tmp_path):
         from repro.concurrent import ConcurrentObjectbase
 
         all_names = {
@@ -286,7 +302,7 @@ class TestConcurrentWritersCrashMatrix:
             scenarios += 1
             directory = tmp_path / f"crash-{crash_at}"
             directory.mkdir()
-            fs = FaultyFS(crash_at=crash_at)
+            fs = backend.faulty(crash_at=crash_at)
             store = ConcurrentObjectbase.open(
                 directory / "wal", durability=ALWAYS, fs=fs,
                 lock_timeout=30.0,
@@ -316,7 +332,7 @@ class TestConcurrentWritersCrashMatrix:
 
             for mode in ("strict", "salvage"):
                 reopened = DurableLattice.reopen(
-                    directory / "wal", recovery=mode
+                    directory / "wal", recovery=mode, fs=backend.fresh()
                 )
                 recovered = reopened.lattice.types()
                 missing = set(acknowledged) - recovered
@@ -347,13 +363,13 @@ class TestTornRenameMatrix:
     prefix-consistent, and sweep the stale temp file away.
     """
 
-    def test_checkpoint_torn_rename_matrix(self, tmp_path):
+    def test_checkpoint_torn_rename_matrix(self, backend, tmp_path):
         prefixes = lattice_prefix_fingerprints()
         crash_at = 0
         while crash_at < 200:
             directory = tmp_path / f"torn-{crash_at}"
             directory.mkdir()
-            fs = FaultyFS(crash_at=crash_at, torn_replace=True)
+            fs = backend.faulty(crash_at=crash_at, torn_replace=True)
             fs.acknowledged = 0
             try:
                 durable = DurableLattice(
@@ -374,7 +390,9 @@ class TestTornRenameMatrix:
                 checkpoint.suffix + ".tmp"
             )
             for mode in ("strict", "salvage"):
-                reopened = DurableLattice.reopen(wal, recovery=mode)
+                reopened = DurableLattice.reopen(
+                    wal, recovery=mode, fs=backend.fresh()
+                )
                 fingerprint = reopened.lattice.state_fingerprint()
                 assert fingerprint in prefixes, (
                     f"torn crash at point {crash_at}: recovered state "
@@ -385,7 +403,7 @@ class TestTornRenameMatrix:
                     f"write lost (mode {mode})"
                 )
             # Repair-on-open swept the interrupted publish's residue.
-            assert not stale_tmp.exists(), (
+            assert not backend.fresh().exists(stale_tmp), (
                 f"torn crash at point {crash_at}: stale checkpoint temp "
                 f"file survived recovery"
             )
@@ -396,15 +414,149 @@ class TestTornRenameMatrix:
         raise AssertionError("workload still crashing after 200 points")
 
 
+class TestBackendTornAppendMatrix:
+    """Backend-shaped mid-append crashes (the new fault classes).
+
+    With ``backend_torn=True`` every append gains an extra point whose
+    partial effect is the backend's own nastiest crash state: sqlite
+    crashes mid-transaction (the half-committed frame must be invisible
+    after restart — sqlite's rollback journal guarantees it), the
+    object store writes the segment but crashes before the manifest
+    pointer swap (the orphan segment must not surface and must be
+    collected by GC on the next open).  The plain-file backend has no
+    such state, so the flag is inert there and the matrix degenerates
+    to the base one — which is exactly the conformance claim.
+    """
+
+    def test_mid_transaction_crash_matrix(self, backend, tmp_path):
+        prefixes = lattice_prefix_fingerprints()
+        scenario = {"n": 0}
+
+        def workload(fs):
+            scenario["n"] += 1
+            directory = tmp_path / f"torn-{scenario['n']}"
+            directory.mkdir()
+            scenario["dir"] = directory
+            fs.acknowledged = 0
+            durable = DurableLattice(
+                directory / "wal", durability=ALWAYS, fs=fs
+            )
+            for i, op in enumerate(SCRIPT):
+                durable.apply(op)
+                fs.acknowledged += 1
+                if i == 2:
+                    durable.checkpoint()
+            return fs.acknowledged
+
+        def recover(mode):
+            durable = DurableLattice.reopen(
+                scenario["dir"] / "wal", recovery=mode, fs=backend.fresh()
+            )
+            return durable.lattice.state_fingerprint()
+
+        def faulty(crash_at):
+            return backend.faulty(crash_at=crash_at, backend_torn=True)
+
+        scenarios = drive_matrix(faulty, workload, recover, prefixes)
+        assert scenarios > 10
+
+    def test_backend_torn_state_is_invisible_after_restart(
+        self, backend, tmp_path
+    ):
+        """Drive the torn hook directly: the partial append must not
+        surface through a fresh instance, and the acknowledged prefix
+        must read back intact."""
+        fs = backend.fresh()
+        if not hasattr(fs, "simulate_torn_append"):
+            pytest.skip("plain-file backend has no backend-shaped state")
+        path = tmp_path / "wal"
+        fs.append_bytes(path, b"alpha\n")
+        fs.simulate_torn_append(path, b"beta-never-committed\n")
+        restarted = backend.fresh()
+        assert restarted.read_bytes(path) == b"alpha\n"
+        # The substrate healed itself: appends keep working.
+        restarted.append_bytes(path, b"gamma\n")
+        assert backend.fresh().read_bytes(path) == b"alpha\ngamma\n"
+
+
+def reorder_workload_factory(tmp_path, scenario):
+    """A batch-policy workload with explicit sync barriers.
+
+    Under ``fsync="batch"`` an append is acknowledged only once
+    ``sync()`` returns, so the acknowledged count advances at the
+    barriers (and at checkpoints, which are their own barrier) — the
+    discipline the reorder fault model exists to test.
+    """
+
+    def workload(fs):
+        scenario["n"] += 1
+        directory = tmp_path / f"reorder-{scenario['n']}"
+        directory.mkdir()
+        scenario["dir"] = directory
+        fs.acknowledged = 0
+        durable = DurableLattice(
+            directory / "wal",
+            durability=DurabilityPolicy(fsync="batch"),
+            fs=fs,
+        )
+        for i, op in enumerate(SCRIPT):
+            durable.apply(op)
+            if i == 1:
+                durable.sync()  # explicit barrier: first two ops durable
+                fs.acknowledged = 2
+            if i == 2:
+                durable.checkpoint()  # checkpoints are their own barrier
+                fs.acknowledged = 3
+        durable.sync()
+        fs.acknowledged = len(SCRIPT)
+        return fs.acknowledged
+
+    return workload
+
+
+class TestWriteReorderingMatrix:
+    """Writes reordered across files before an fsync barrier.
+
+    With ``reorder=True`` a mutation that lands while *other* files
+    still have un-synced changes gains a crash point whose state is the
+    classic reordered write: the current mutation persisted, every
+    older un-synced file rolled back to its last barrier.  Generation
+    fencing and the barrier discipline must keep recovery
+    prefix-consistent anyway.  On ``durable_writes`` backends (sqlite,
+    object store) reordering is physically impossible and the tracking
+    self-disables — the same matrix then proves the plain crash
+    behavior, which is the conformance statement for them.
+    """
+
+    def test_reordered_writes_stay_prefix_consistent(self, backend, tmp_path):
+        prefixes = lattice_prefix_fingerprints()
+        scenario = {"n": 0}
+        workload = reorder_workload_factory(tmp_path, scenario)
+
+        def recover(mode):
+            durable = DurableLattice.reopen(
+                scenario["dir"] / "wal", recovery=mode, fs=backend.fresh()
+            )
+            return durable.lattice.state_fingerprint()
+
+        def faulty(crash_at):
+            return backend.faulty(crash_at=crash_at, reorder=True)
+
+        scenarios = drive_matrix(faulty, workload, recover, prefixes)
+        assert scenarios > 10
+
+
 class TestDiskFull:
     """ENOSPC mid-write: the process survives and must cope (unlike a
     crash, which merely restarts it)."""
 
-    def test_enospc_appends_exhaust_retries_and_latch(self, tmp_path):
+    def test_enospc_appends_exhaust_retries_and_latch(
+        self, backend, tmp_path
+    ):
         from repro.core.errors import DegradedModeError
         from repro.storage.reliability import RetryPolicy
 
-        fs = FaultyFS(enospc_appends=5)
+        fs = backend.faulty(enospc_appends=5)
         durable = DurableLattice(
             tmp_path / "wal", durability=ALWAYS, fs=fs,
             retry=RetryPolicy(attempts=3, sleep=lambda _: None),
@@ -414,27 +566,29 @@ class TestDiskFull:
         assert durable.degraded
         # The half-persisted payloads were all rolled back: replay sees
         # the acknowledged (empty) prefix, not torn residue.
-        reopened = DurableLattice.reopen(tmp_path / "wal")
+        reopened = DurableLattice.reopen(tmp_path / "wal", fs=backend.fresh())
         assert "T_person" not in reopened.lattice
 
-    def test_transient_enospc_is_absorbed(self, tmp_path):
+    def test_transient_enospc_is_absorbed(self, backend, tmp_path):
         from repro.storage.reliability import RetryPolicy
 
-        fs = FaultyFS(enospc_appends=1)
+        fs = backend.faulty(enospc_appends=1)
         durable = DurableLattice(
             tmp_path / "wal", durability=ALWAYS, fs=fs,
             retry=RetryPolicy(attempts=3, sleep=lambda _: None),
         )
         durable.apply(SCRIPT[0])  # space freed up: the retry lands
         assert not durable.degraded
-        reopened = DurableLattice.reopen(tmp_path / "wal")
+        reopened = DurableLattice.reopen(tmp_path / "wal", fs=backend.fresh())
         assert "T_person" in reopened.lattice
 
-    def test_enospc_checkpoint_leaves_the_old_one_intact(self, tmp_path):
+    def test_enospc_checkpoint_leaves_the_old_one_intact(
+        self, backend, tmp_path
+    ):
         from repro.core.errors import JournalError
         from repro.storage.framing import load_checkpoint
 
-        fs = FaultyFS()
+        fs = backend.faulty()
         durable = DurableLattice(
             tmp_path / "wal", durability=ALWAYS, fs=fs
         )
@@ -442,38 +596,42 @@ class TestDiskFull:
             durable.apply(op)
         durable.checkpoint()  # the good checkpoint
         checkpoint = (tmp_path / "wal").with_suffix(".checkpoint")
-        _, old_generation = load_checkpoint(checkpoint)
+        check_fs = backend.fresh()
+        _, old_generation = load_checkpoint(checkpoint, fs=check_fs)
         durable.apply(SCRIPT[2])
 
         fs.enospc_writes = 1  # the disk fills before the next publish
         with pytest.raises(JournalError, match="previous .* intact"):
             durable.checkpoint()
         # The old checkpoint still loads; no partial temp file remains.
-        _, generation = load_checkpoint(checkpoint)
+        _, generation = load_checkpoint(checkpoint, fs=check_fs)
         assert generation == old_generation
-        assert not checkpoint.with_suffix(
-            checkpoint.suffix + ".tmp"
-        ).exists()
+        assert not check_fs.exists(
+            checkpoint.with_suffix(checkpoint.suffix + ".tmp")
+        )
         # Nothing durable was lost: a reopen replays the full history.
-        reopened = DurableLattice.reopen(tmp_path / "wal")
+        reopened = DurableLattice.reopen(tmp_path / "wal", fs=backend.fresh())
         expected = TypeLattice(None)
         for op in SCRIPT[:3]:
             op.apply(expected)
         assert reopened.lattice.state_fingerprint() == \
             expected.state_fingerprint()
 
-    def test_enospc_quarantine_downgrades_to_best_effort(self, tmp_path):
+    def test_enospc_quarantine_downgrades_to_best_effort(
+        self, backend, tmp_path
+    ):
         """Salvage must heal the WAL even when the quarantine sidecar
         cannot be written (the disk is full — that may be *why* the WAL
         is damaged)."""
-        jf_seed = JournalFile(tmp_path / "seed.wal")
+        seed_fs = backend.fresh()
+        jf_seed = JournalFile(tmp_path / "seed.wal", fs=seed_fs)
         for op in SCRIPT[:2]:
             jf_seed.append(op)
-        good = (tmp_path / "seed.wal").read_bytes()
+        good = seed_fs.read_bytes(tmp_path / "seed.wal")
         wal = tmp_path / "full.wal"
-        wal.write_bytes(good + b"#W1 0 9 00000000 junkjunk\n")
+        seed_fs.write_bytes(wal, good + b"#W1 0 9 00000000 junkjunk\n")
 
-        fs = FaultyFS(enospc_appends=1)
+        fs = backend.faulty(enospc_appends=1)
         report = JournalFile(wal, fs=fs).repair("salvage")
         assert report.quarantine_error is not None
         assert "disk-full" in report.quarantine_error
@@ -481,38 +639,40 @@ class TestDiskFull:
         assert "quarantine sidecar failed" in report.summary()
         # The repair itself still succeeded: valid prefix preserved,
         # damage truncated, no partial sidecar left behind.
-        assert wal.read_bytes() == good
-        assert not wal.with_suffix(wal.suffix + ".corrupt").exists()
-        assert len(JournalFile(wal).operations()) == 2
+        check_fs = backend.fresh()
+        assert check_fs.read_bytes(wal) == good
+        assert not check_fs.exists(wal.with_suffix(wal.suffix + ".corrupt"))
+        assert len(JournalFile(wal, fs=backend.fresh()).operations()) == 2
 
 
 class TestSalvageCrashMatrix:
-    def test_quarantine_is_crash_safe(self, tmp_path):
+    def test_quarantine_is_crash_safe(self, backend, tmp_path):
         """Crashing mid-quarantine never loses the valid WAL prefix."""
-        jf_seed = JournalFile(tmp_path / "seed.wal")
+        seed_fs = backend.fresh()
+        jf_seed = JournalFile(tmp_path / "seed.wal", fs=seed_fs)
         for op in SCRIPT[:2]:
             jf_seed.append(op)
-        good = (tmp_path / "seed.wal").read_bytes()
+        good = seed_fs.read_bytes(tmp_path / "seed.wal")
         damage = b"#W1 0 9 00000000 junkjunk\n" + b"#W1 0 55 trailing"
 
         crash_at = 0
         while crash_at < 50:
             wal = tmp_path / f"salvage-{crash_at}.wal"
-            wal.write_bytes(good + damage)
-            fs = FaultyFS(crash_at=crash_at)
+            backend.fresh().write_bytes(wal, good + damage)
+            fs = backend.faulty(crash_at=crash_at)
             try:
                 JournalFile(wal, fs=fs).repair("salvage")
                 completed = not fs.crashed
             except CrashPoint:
                 completed = False
-            # Restart: salvage again with the real filesystem.
-            report = JournalFile(wal).repair("salvage")
-            ops = JournalFile(wal).operations()
+            # Restart: salvage again over a fresh backend instance.
+            report = JournalFile(wal, fs=backend.fresh()).repair("salvage")
+            ops = JournalFile(wal, fs=backend.fresh()).operations()
             assert len(ops) == 2, (
                 f"crash at point {crash_at}: valid prefix lost "
                 f"({report.summary()})"
             )
-            assert wal.read_bytes() == good
+            assert backend.fresh().read_bytes(wal) == good
             if completed:
                 return
             crash_at += 1

@@ -437,6 +437,68 @@ class TestRecoverCommand:
         assert run(db, "show") == 1
         assert "salvage" in capsys.readouterr().err
 
+    def test_recover_never_written_db(self, db, capsys):
+        """Recovering a database that was never written is a clean no-op:
+        exit 0, nothing created, and the report says so."""
+        assert run(db, "recover") == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "0 record(s) live" in out
+        assert "replay verified" in out
+        assert not Path(db).exists()  # recovery creates nothing
+
+    def test_recover_db_path_in_empty_directory(self, tmp_path, capsys):
+        """An existing but empty directory (fresh volume, first boot):
+        same clean no-op, for every --mode."""
+        db = str(tmp_path / "empty" / "schema.wal")
+        Path(db).parent.mkdir()
+        for mode in ("strict", "salvage"):
+            assert run(db, "recover", "--mode", mode) == 0
+            assert "replay verified" in capsys.readouterr().out
+        assert list(Path(db).parent.iterdir()) == []
+
+    def test_recover_with_only_quarantine_sidecar(self, db, capsys):
+        """A directory holding only a .corrupt sidecar — the WAL itself
+        was lost after a past salvage.  Recovery must succeed with an
+        empty store and must not reingest the quarantined bytes."""
+        sidecar = Path(db + ".corrupt")
+        sidecar.write_bytes(
+            b'#QUARANTINE {"reason": "old damage", "bytes": 9}\n'
+            b"#W1 0 9 00000000 junkjunk\n"
+        )
+        assert run(db, "recover") == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "replay verified: 2 type(s)" in out
+        # The sidecar is evidence, not input: untouched, not replayed.
+        assert b"junkjunk" in sidecar.read_bytes()
+        assert not Path(db).exists()
+
+
+class TestBackendUrls:
+    """The --db flag accepts backend URLs (see docs/storage.md)."""
+
+    @pytest.mark.parametrize("scheme", ["sqlite", "objstore"])
+    def test_lifecycle_through_backend_url(self, tmp_path, scheme, capsys):
+        url = f"{scheme}:{tmp_path}/store"
+        assert run(url, "add-type", "T_person", "-p", "person.name") == 0
+        assert run(url, "add-type", "T_student", "-s", "T_person") == 0
+        assert run(url, "checkpoint") == 0
+        assert run(url, "show") == 0
+        out = capsys.readouterr().out
+        assert "T_student" in out
+        assert run(url, "check") == 0
+
+    @pytest.mark.parametrize("scheme", ["sqlite", "objstore"])
+    def test_recover_through_backend_url(self, tmp_path, scheme, capsys):
+        url = f"{scheme}:{tmp_path}/store"
+        run(url, "add-type", "T_a")
+        capsys.readouterr()
+        assert run(url, "recover") == 0
+        assert "replay verified" in capsys.readouterr().out
+
+    def test_unknown_scheme_fails_with_typed_error(self, capsys):
+        assert run("redis://localhost/0", "init") == 1
+        assert "unknown storage backend" in capsys.readouterr().err
+
 
 class TestDurabilityFlags:
     def test_fsync_always(self, db, capsys):
