@@ -588,6 +588,21 @@ class Objectbase:
             )
         self._journal.sync()
 
+    def storage_gc(self) -> int:
+        """Sweep storage-backend garbage (orphan object-store segments,
+        stale temp residue); returns the number of objects removed.
+
+        Only for a process that owns the store exclusively — the fenced
+        primary after acquiring its lease, or ``repro recover``.  A
+        read-only opener (a replica, a failover candidate) must never
+        call this: garbage is judged against the manifest this process
+        can see, and another writer's in-flight publish looks exactly
+        like garbage.  In-memory objectbases (and backends with no
+        substrate garbage) report zero.
+        """
+        collect = getattr(self._journal, "gc", None)
+        return collect() if callable(collect) else 0
+
     def __repr__(self) -> str:
         kind = "durable" if self.durable else "in-memory"
         return f"Objectbase({kind}, |T|={len(self.lattice)})"

@@ -484,11 +484,18 @@ def _cmd_recover(args) -> int:
     from .storage.journal import JournalFile
 
     try:
-        report = JournalFile(args.db).repair(mode=args.mode)
+        journal = JournalFile(args.db)
+        report = journal.repair(mode=args.mode)
     except EvolutionError as exc:
         print(f"error [{error_code(exc)}]: {exc}", file=sys.stderr)
         return exit_code_for(exc)
     print(report.summary())
+    # Recovery implies exclusive ownership, so sweep backend crash
+    # residue too (orphan object-store segments); the GC grace period
+    # still protects a live writer if that assumption is ever wrong.
+    swept = journal.gc()
+    if swept:
+        print(f"storage GC swept {swept} orphan object(s)")
     try:
         ob = Objectbase.open(args.db)
     except EvolutionError as exc:
@@ -607,12 +614,14 @@ def _serve_primary(args, durability) -> int:
         ReplicationSource,
     )
 
-    from .storage.backend import resolve_storage_url
+    from .storage.backend import storage_physical_path
 
     # The lease is a real file next to the backend's physical location
     # (sqlite database file / object-store root), whatever the scheme —
     # fencing must work across processes even for non-file backends.
-    anchor = resolve_storage_url(args.db).physical
+    # Resolved without constructing a backend: a failover candidate
+    # must not create, connect to, or sweep a store it does not own.
+    anchor = storage_physical_path(args.db)
     lease = FileLease(
         anchor.with_suffix(anchor.suffix + ".lease"), ttl=args.lease_ttl
     )
@@ -625,6 +634,14 @@ def _serve_primary(args, durability) -> int:
     # WAL: a paused-and-resumed ex-primary fails with lease-lost (503)
     # instead of silently extending a superseded history.
     store.set_write_fence(lease.check)
+    # Now — and only now — this process owns the store exclusively, so
+    # it is safe to sweep crash residue (orphan object-store segments
+    # from a predecessor's interrupted publish).
+    swept = store.storage_gc()
+    if swept:
+        logging.getLogger(__name__).info(
+            "storage GC swept %d orphan object(s)", swept
+        )
     keeper = LeaseKeeper(lease)
     keeper.start()
     hub = ReplicationServer(

@@ -16,6 +16,7 @@ from .backend import (
     backend_schemes,
     register_backend,
     resolve_storage_url,
+    storage_physical_path,
 )
 from .durable_store import DurableObjectbase
 from .faults import CrashPoint, FaultyFS, RealFS, StorageFS
@@ -50,6 +51,7 @@ __all__ = [
     "StorageTarget",
     "atomic_write_bytes",
     "resolve_storage_url",
+    "storage_physical_path",
     "register_backend",
     "backend_schemes",
     "objectbase_to_dict",

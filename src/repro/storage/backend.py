@@ -72,6 +72,7 @@ __all__ = [
     "StorageTarget",
     "atomic_write_bytes",
     "resolve_storage_url",
+    "storage_physical_path",
     "register_backend",
     "backend_schemes",
 ]
@@ -218,30 +219,20 @@ register_backend("sqlite", _sqlite_target)
 register_backend("objstore", _objstore_target)
 
 
-def resolve_storage_url(
-    db: str | Path, *, fs: StorageFS | None = None
-) -> StorageTarget:
-    """Resolve a database location (path or backend URL) to a target.
+def _split_storage_url(db: str | Path) -> tuple[str, str] | None:
+    """``(scheme, rest)`` for a backend URL, or ``None`` for a bare path.
 
-    An explicit ``fs`` wins (tests injecting fault layers); a bare path
-    resolves to the :class:`FileBackend`; ``scheme:rest`` dispatches to
-    the registered backend.  A single-letter "scheme" is treated as a
-    path (Windows drive letters), and an unknown scheme is a typed
-    error rather than a surprise relative directory.
+    A single-letter "scheme" is treated as a path (Windows drive
+    letters), and an unknown scheme is a typed error rather than a
+    surprise relative directory.  Pure parsing — no backend is
+    constructed and nothing on disk is touched.
     """
     raw = str(db)
-    if fs is not None:
-        path = Path(db)
-        return StorageTarget(fs=fs, path=path, physical=path, url=raw)
     match = _SCHEME_RE.match(raw) if isinstance(db, str) else None
     if match is None or len(match.group(1)) == 1:
-        path = Path(db)
-        return StorageTarget(
-            fs=FileBackend(), path=path, physical=path, url=f"file:{path}"
-        )
+        return None
     scheme = match.group(1).lower()
-    factory = _FACTORIES.get(scheme)
-    if factory is None:
+    if scheme not in _FACTORIES:
         raise JournalError(
             f"unknown storage backend scheme {scheme!r} in {raw!r} "
             f"(expected one of: {', '.join(backend_schemes())})"
@@ -251,4 +242,52 @@ def resolve_storage_url(
         rest = rest[2:]
     if not rest:
         raise JournalError(f"storage URL {raw!r} names no path")
-    return factory(rest, raw)
+    return scheme, rest
+
+
+def storage_physical_path(db: str | Path) -> Path:
+    """The on-disk anchor of a database location, **without** opening it.
+
+    Unlike :func:`resolve_storage_url` — which constructs a live
+    backend, creating directories, opening a sqlite connection, or
+    initialising an object-store root as a side effect — this is pure
+    parsing.  It is what path-shaped sidecar placement (the primary
+    lease) and help text must use *before* ownership of the store is
+    established: a failover candidate anchoring its lease must not
+    mutate a store it does not yet own.
+
+    For every shipped scheme the anchor is the URL's path part (the WAL
+    file, the sqlite database file, the object-store root).  Third-party
+    schemes registered via :func:`register_backend` are assumed to
+    follow the same convention.
+    """
+    split = _split_storage_url(db)
+    if split is None:
+        return Path(db)
+    _, rest = split
+    return Path(rest)
+
+
+def resolve_storage_url(
+    db: str | Path, *, fs: StorageFS | None = None
+) -> StorageTarget:
+    """Resolve a database location (path or backend URL) to a target.
+
+    An explicit ``fs`` wins (tests injecting fault layers); a bare path
+    resolves to the :class:`FileBackend`; ``scheme:rest`` dispatches to
+    the registered backend.  Resolving **constructs** the backend
+    (directories created, connections opened) — callers that only need
+    the anchor path must use :func:`storage_physical_path` instead.
+    """
+    raw = str(db)
+    if fs is not None:
+        path = Path(db)
+        return StorageTarget(fs=fs, path=path, physical=path, url=raw)
+    split = _split_storage_url(db)
+    if split is None:
+        path = Path(db)
+        return StorageTarget(
+            fs=FileBackend(), path=path, physical=path, url=f"file:{path}"
+        )
+    scheme, rest = split
+    return _FACTORIES[scheme](rest, raw)

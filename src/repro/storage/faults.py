@@ -301,6 +301,12 @@ class FaultyFS(StorageFS):
     def durable_writes(self) -> bool:  # type: ignore[override]
         return getattr(self.base, "durable_writes", False)
 
+    def gc(self) -> int:
+        """Forward substrate GC to the wrapped backend (never injected:
+        GC is maintenance the owner runs, not a crash-path primitive)."""
+        collect = getattr(self.base, "gc", None)
+        return collect() if callable(collect) else 0
+
     # -- injection scheduling (thread-safe) ----------------------------
 
     def _point(self, label: str) -> bool:
@@ -337,18 +343,24 @@ class FaultyFS(StorageFS):
         return self.reorder and not self.durable_writes
 
     def _note_mutation(self, path: Path) -> None:
-        """Snapshot a file's last-barrier state before mutating it."""
+        """Snapshot a file's last-barrier state before mutating it.
+
+        The read happens *inside* the mutex: with two threads racing to
+        first-mutate the same file, a snapshot taken outside could
+        capture the other thread's already-applied partial mutation as
+        the "barrier state", and :meth:`_apply_reorder_crash` would then
+        roll back to a state that never existed at a barrier.
+        """
         if not self._tracking_reorder():
             return
         key = str(path)
         with self._mutex:
             if key in self._unsynced:
                 return
-        state = (
-            self.base.read_bytes(path) if self.base.exists(path) else _ABSENT
-        )
-        with self._mutex:
-            self._unsynced.setdefault(key, state)
+            self._unsynced[key] = (
+                self.base.read_bytes(path)
+                if self.base.exists(path) else _ABSENT
+            )
 
     def _reorder_point(self, kind: str, path: Path) -> bool:
         """Whether to crash here with the reordered-write state."""

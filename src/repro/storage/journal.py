@@ -267,6 +267,18 @@ class JournalFile:
         if self.fs.exists(self.path):
             timed_fsync(self.fs, self.path)
 
+    def gc(self) -> int:
+        """Sweep backend garbage (orphan object-store segments, stale
+        temp residue); returns the number of objects removed.
+
+        Backends without substrate garbage report zero.  Call only with
+        exclusive write access established — the fenced primary after
+        acquiring its lease, or ``repro recover`` — never from a
+        read-only or pre-fence open (see ``docs/storage.md``).
+        """
+        collect = getattr(self.fs, "gc", None)
+        return collect() if callable(collect) else 0
+
     def clear(self) -> None:
         self.fs.unlink(self.path)
         self.fs.unlink(self.checkpoint_path)
@@ -409,6 +421,11 @@ class DurableLattice:
     def sync(self) -> None:
         """Flush appended records to disk (the batch-policy commit point)."""
         self.file.sync()
+
+    def gc(self) -> int:
+        """Sweep backend garbage; exclusive-writer-only (see
+        :meth:`JournalFile.gc`)."""
+        return self.file.gc()
 
     @classmethod
     def reopen(

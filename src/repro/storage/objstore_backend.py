@@ -16,9 +16,9 @@ rename, directory fsync.  The manifest is therefore the single commit
 point:
 
 * a crash before the swap leaves the old manifest and an **orphan
-  segment** — invisible to readers, collected by :meth:`gc` on the next
-  open (the backend-shaped fault ``FaultyFS(backend_torn=True)``
-  injects exactly this state via :meth:`simulate_torn_append`);
+  segment** — invisible to readers, collected by :meth:`gc` (the
+  backend-shaped fault ``FaultyFS(backend_torn=True)`` injects exactly
+  this state via :meth:`simulate_torn_append`);
 * a crash during the swap leaves either manifest whole (POSIX rename),
   never a hybrid — ``supports_atomic_replace``;
 * ``replace`` is a manifest-only re-pointing, so ``durable_rename`` is
@@ -35,6 +35,28 @@ cached, so independent backend instances over the same root (a writer
 and a :class:`~repro.replication.primary.ReplicationSource` reader)
 stay coherent without shared state; single-writer discipline is the
 caller's (the primary lease / FIFO writer lock), as for every backend.
+
+Because other processes may hold a live instance over the same root,
+:meth:`gc` must never run from a merely-opened instance: opening the
+store performs **no** garbage collection by default
+(``gc_on_open=False``).  Only an owner that has established exclusive
+write access — the fenced primary after acquiring its lease, or
+``repro recover`` — should sweep, and even then :meth:`gc` skips any
+candidate younger than ``gc_grace`` seconds so a concurrent writer's
+in-flight segment (written but not yet published by its manifest swap)
+or ``*.seg.tmp`` from an in-flight :func:`atomic_write_bytes` is never
+deleted out from under it.
+
+Write-amplification tradeoff: every mutation rewrites the whole
+manifest (all streams, all segment lists) and fsyncs it, so the cost
+of one WAL append grows with the total number of segments ever
+appended — O(n) per append, quadratic over the life of the store —
+and the manifest itself grows one digest per append.  Checkpoints
+bound this in practice: ``truncate``/``write_bytes`` re-point a stream
+at a single coalesced segment, which is exactly what the checkpoint
+cadence of :class:`~repro.storage.framing.DurabilityPolicy` does to
+the WAL stream.  The backend is deliberately simple rather than fast;
+``docs/storage.md`` records the tradeoff.
 """
 
 from __future__ import annotations
@@ -43,13 +65,14 @@ import errno
 import hashlib
 import json
 import threading
+import time
 from pathlib import Path
 
 from ..obs.metrics import REGISTRY
 from .backend import StorageBackend, atomic_write_bytes
 from .faults import RealFS
 
-__all__ = ["ObjectStoreBackend"]
+__all__ = ["ObjectStoreBackend", "DEFAULT_GC_GRACE"]
 
 _GC_SEGMENTS = REGISTRY.counter(
     "repro_objstore_gc_segments_total",
@@ -57,6 +80,13 @@ _GC_SEGMENTS = REGISTRY.counter(
 )
 
 MANIFEST_FORMAT = 1
+
+#: Default :meth:`ObjectStoreBackend.gc` grace period (seconds).  An
+#: unreferenced segment younger than this may be a concurrent writer's
+#: append caught between its segment write and its manifest swap (a
+#: window of milliseconds in practice), so it is spared; anything older
+#: is crash residue.
+DEFAULT_GC_GRACE = 60.0
 
 
 class ObjectStoreBackend(StorageBackend):
@@ -72,18 +102,25 @@ class ObjectStoreBackend(StorageBackend):
         self,
         root: str | Path,
         *,
-        gc_on_open: bool = True,
+        gc_on_open: bool = False,
+        gc_grace: float = DEFAULT_GC_GRACE,
         sync: bool = True,
     ) -> None:
         self.root = Path(root)
         self.segments_dir = self.root / "segments"
         self.manifest_path = self.root / "manifest.json"
         self.sync = sync
+        self.gc_grace = gc_grace
         self._disk = RealFS()
         self._lock = threading.RLock()
         self.segments_dir.mkdir(parents=True, exist_ok=True)
-        #: Orphan segments collected by the open-time GC (observability;
-        #: the conformance suite asserts crash residue is swept here).
+        #: Orphan segments collected at construction when the caller
+        #: owns the store exclusively and opted in with ``gc_on_open``
+        #: (observability; conformance tests assert sweep counts here).
+        #: Default off: merely resolving an ``objstore:`` URL (a
+        #: replication reader, a failover candidate that has not yet
+        #: acquired the lease) must never delete another process's
+        #: in-flight writes.
         self.gc_removed = 0
         if gc_on_open:
             self.gc_removed = self.gc()
@@ -214,14 +251,26 @@ class ObjectStoreBackend(StorageBackend):
 
     # -- maintenance ----------------------------------------------------
 
-    def gc(self) -> int:
+    def gc(self, *, grace: float | None = None) -> int:
         """Remove segments the manifest no longer references.
 
         Crash residue — a segment written whose manifest swap never
         happened, or segments stranded by ``truncate``/``unlink``/
         ``write_bytes`` re-pointing — is invisible to readers and safe
         to delete; stale ``.tmp`` files from interrupted swaps likewise.
+
+        Call this only with exclusive write access established (the
+        fenced primary, ``repro recover``): the manifest snapshot below
+        cannot see another process's append that is mid-swap.  As a
+        second line of defense, any candidate whose mtime is within
+        ``grace`` seconds (default :attr:`gc_grace`) is spared — a live
+        writer's unpublished segment or in-flight ``*.seg.tmp`` is
+        always that young, while genuine crash residue ages past the
+        grace and is collected by a later sweep.
         """
+        if grace is None:
+            grace = self.gc_grace
+        cutoff = time.time() - grace
         with self._lock:
             manifest = self._manifest()
             referenced = {
@@ -234,6 +283,11 @@ class ObjectStoreBackend(StorageBackend):
                 name = seg.name
                 if name.endswith(".seg") and name[:-4] in referenced:
                     continue
+                try:
+                    if seg.stat().st_mtime > cutoff:
+                        continue  # possibly a concurrent writer's in-flight file
+                except OSError:
+                    continue  # vanished under us: someone else's swap/cleanup
                 self._disk.unlink(seg)
                 removed += 1
         if removed:
@@ -247,8 +301,9 @@ class ObjectStoreBackend(StorageBackend):
         pointer swap did not — an orphan segment.
 
         Readers must never see the append (the manifest is the commit
-        point) and the next open's GC must collect the orphan; the
-        ``append-backend-torn`` conformance point asserts both.
+        point) and the next owner's :meth:`gc` sweep must collect the
+        orphan; the ``append-backend-torn`` conformance point asserts
+        both.
         """
         with self._lock:
             self._write_segment(data)

@@ -119,6 +119,22 @@ class SqliteBackend(StorageBackend):
             ) from exc
         raise OSError(errno.EIO, f"sqlite backend failure: {exc}") from exc
 
+    def _rollback_quietly(self) -> None:
+        """Best-effort ROLLBACK that never masks the original failure.
+
+        Leaving the connection inside an open transaction would make
+        every later ``BEGIN IMMEDIATE`` fail with "cannot start a
+        transaction within a transaction" — one transient fault
+        permanently wedging the backend.  A ROLLBACK that itself fails
+        (connection dead, disk gone) is swallowed: the caller is about
+        to surface the original error, and the retry layer will probe
+        the connection again.
+        """
+        try:
+            self._conn.execute("ROLLBACK")
+        except sqlite3.Error:
+            pass
+
     @contextmanager
     def transaction(self):
         """One atomic unit over the primitives (``supports_transactions``
@@ -135,15 +151,16 @@ class SqliteBackend(StorageBackend):
             try:
                 yield self._conn
             except sqlite3.Error as exc:
-                self._conn.execute("ROLLBACK")
+                self._rollback_quietly()
                 self._raise_mapped(exc)
             except BaseException:
-                self._conn.execute("ROLLBACK")
+                self._rollback_quietly()
                 raise
             else:
                 try:
                     self._conn.execute("COMMIT")
                 except sqlite3.Error as exc:
+                    self._rollback_quietly()
                     self._raise_mapped(exc)
 
     # -- helpers --------------------------------------------------------

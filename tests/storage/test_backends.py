@@ -23,6 +23,7 @@ from repro.storage import (
     backend_schemes,
     register_backend,
     resolve_storage_url,
+    storage_physical_path,
 )
 from repro.storage.reliability import DegradedLatch, RetryPolicy, append_record
 
@@ -92,6 +93,41 @@ class TestResolveStorageUrl:
         finally:
             from repro.storage.backend import _FACTORIES
             _FACTORIES.pop("null", None)
+
+
+class TestStoragePhysicalPath:
+    """The side-effect-free anchor resolver (lease placement runs this
+    *before* ownership is established, so it must not touch the store)."""
+
+    def test_all_schemes_anchor_at_the_url_path(self, tmp_path):
+        assert storage_physical_path(tmp_path / "wal") == tmp_path / "wal"
+        assert (
+            storage_physical_path(f"file:{tmp_path}/wal")
+            == tmp_path / "wal"
+        )
+        assert (
+            storage_physical_path(f"sqlite:{tmp_path}/store.sqlite")
+            == tmp_path / "store.sqlite"
+        )
+        assert (
+            storage_physical_path(f"objstore:{tmp_path}/store")
+            == tmp_path / "store"
+        )
+
+    def test_resolution_is_pure(self, tmp_path):
+        """No database created, no object-store root initialised — a
+        failover candidate anchoring its lease must not mutate a store
+        it does not own (resolve_storage_url would create both)."""
+        storage_physical_path(f"sqlite:{tmp_path}/sub/store.sqlite")
+        storage_physical_path(f"objstore:{tmp_path}/sub/store")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_unknown_scheme_is_a_typed_error(self):
+        with pytest.raises(JournalError, match="unknown storage backend"):
+            storage_physical_path("redis://localhost/0")
+
+    def test_windows_drive_is_a_path(self):
+        assert str(storage_physical_path("C:/data/wal")) == "C:/data/wal"
 
 
 class TestCapabilityProbes:
@@ -270,6 +306,40 @@ class TestSqliteBackend:
         assert fresh.read_bytes(tmp_path / "s") == b"committed\n"
         fresh.close()
 
+    def test_commit_failure_does_not_wedge_the_connection(self, tmp_path):
+        """A failed COMMIT must leave the connection outside any
+        transaction: without the rollback, every later BEGIN IMMEDIATE
+        fails with 'cannot start a transaction within a transaction'
+        and one transient fault permanently wedges the backend."""
+        import sqlite3
+
+        fs = SqliteBackend(tmp_path / "db")
+
+        class FailNextCommit:
+            def __init__(self, conn):
+                self._conn = conn
+                self.armed = True
+
+            def execute(self, sql, *args):
+                if sql == "COMMIT" and self.armed:
+                    self.armed = False
+                    raise sqlite3.OperationalError("disk I/O error")
+                return self._conn.execute(sql, *args)
+
+            def __getattr__(self, name):
+                return getattr(self._conn, name)
+
+        fs._conn = FailNextCommit(fs._conn)
+        path = tmp_path / "s"
+        with pytest.raises(OSError) as excinfo:
+            fs.append_bytes(path, b"lost\n")
+        assert excinfo.value.errno == errno.EIO
+        # The backend recovered: the next transaction begins cleanly
+        # (the retry layer relies on exactly this).
+        fs.append_bytes(path, b"after\n")
+        assert fs.read_bytes(path) == b"after\n"
+        fs.close()
+
 
 class TestObjectStoreBackend:
     def test_segments_are_content_addressed_and_shared(self, tmp_path):
@@ -282,7 +352,7 @@ class TestObjectStoreBackend:
         ]
         assert len(segments) == 1  # deduplicated by content hash
 
-    def test_orphan_segments_are_collected_on_open(self, tmp_path):
+    def test_orphan_segments_are_collected_by_owner_gc(self, tmp_path):
         fs = ObjectStoreBackend(tmp_path / "store")
         fs.append_bytes(tmp_path / "wal", b"live\n")
         # A manifest-swap crash: segment written, pointer never swapped.
@@ -290,17 +360,46 @@ class TestObjectStoreBackend:
         segments_dir = tmp_path / "store" / "segments"
         before = {p.name for p in segments_dir.iterdir()}
         assert len(before) == 2
-        restarted = ObjectStoreBackend(tmp_path / "store")
+        # The next exclusive owner opts into the sweep (grace=0: the
+        # "residue" is seconds old in this test, hours old in life).
+        restarted = ObjectStoreBackend(
+            tmp_path / "store", gc_on_open=True, gc_grace=0.0
+        )
         assert restarted.gc_removed == 1
         assert restarted.read_bytes(tmp_path / "wal") == b"live\n"
         after = {p.name for p in segments_dir.iterdir()}
         assert len(after) == 1 and after < before
 
+    def test_plain_open_never_collects(self, tmp_path):
+        """Merely resolving the store (a replica, a pre-lease failover
+        candidate) must not delete anything — another process's
+        unpublished segment is indistinguishable from an orphan."""
+        fs = ObjectStoreBackend(tmp_path / "store")
+        fs.append_bytes(tmp_path / "wal", b"live\n")
+        fs.simulate_torn_append(tmp_path / "wal", b"in-flight\n")
+        segments_dir = tmp_path / "store" / "segments"
+        before = {p.name for p in segments_dir.iterdir()}
+        reader = ObjectStoreBackend(tmp_path / "store")
+        assert reader.gc_removed == 0
+        assert {p.name for p in segments_dir.iterdir()} == before
+
+    def test_gc_grace_spares_fresh_orphans(self, tmp_path):
+        """Within the grace period an unreferenced segment may be a live
+        writer's append caught between segment write and manifest swap;
+        GC must leave it alone."""
+        fs = ObjectStoreBackend(tmp_path / "store")
+        fs.append_bytes(tmp_path / "wal", b"live\n")
+        fs.simulate_torn_append(tmp_path / "wal", b"in-flight\n")
+        assert fs.gc(grace=3600.0) == 0
+        assert fs.gc(grace=0.0) == 1
+
     def test_gc_spares_referenced_segments(self, tmp_path):
         fs = ObjectStoreBackend(tmp_path / "store")
         fs.append_bytes(tmp_path / "a", b"alpha\n")
         fs.append_bytes(tmp_path / "b", b"beta\n")
-        restarted = ObjectStoreBackend(tmp_path / "store")
+        restarted = ObjectStoreBackend(
+            tmp_path / "store", gc_on_open=True, gc_grace=0.0
+        )
         assert restarted.gc_removed == 0
         assert restarted.read_bytes(tmp_path / "a") == b"alpha\n"
         assert restarted.read_bytes(tmp_path / "b") == b"beta\n"
@@ -310,7 +409,13 @@ class TestObjectStoreBackend:
         fs.write_bytes(tmp_path / "a", b"data")
         junk = tmp_path / "store" / "segments" / "deadbeef.seg.tmp"
         junk.write_bytes(b"partial segment write")
-        restarted = ObjectStoreBackend(tmp_path / "store")
+        # In-flight tmp files are protected by the grace period...
+        assert fs.gc(grace=3600.0) == 0
+        assert junk.exists()
+        # ...and collected once they are stale residue.
+        restarted = ObjectStoreBackend(
+            tmp_path / "store", gc_on_open=True, gc_grace=0.0
+        )
         assert restarted.gc_removed == 1
         assert not junk.exists()
 
@@ -332,3 +437,34 @@ class TestObjectStoreBackend:
             seg.unlink()
         with pytest.raises(OSError, match="corrupt"):
             fs.read_bytes(tmp_path / "a")
+
+
+class TestOwnerStorageGc:
+    """The exclusive-owner sweep plumbed through the public surfaces
+    (``Objectbase.storage_gc`` — what the fenced primary and ``repro
+    recover`` call)."""
+
+    def test_facade_gc_sweeps_aged_orphans(self, tmp_path):
+        import os
+
+        from repro.api import Objectbase
+
+        url = f"objstore:{tmp_path}/store"
+        ob = Objectbase.open(url)
+        ob.add_type("T_person", properties=["person.name"])
+        # Crash residue from a dead predecessor, aged past the grace.
+        orphan = tmp_path / "store" / "segments" / ("0" * 64 + ".seg")
+        orphan.write_bytes(b"orphaned segment")
+        old = os.path.getmtime(orphan) - 3600
+        os.utime(orphan, (old, old))
+        assert ob.storage_gc() == 1
+        assert not orphan.exists()
+        # Live data is untouched and the store keeps working.
+        reopened = Objectbase.open(url)
+        assert "T_person" in reopened
+
+    def test_facade_gc_is_zero_for_gc_free_backends(self, tmp_path):
+        from repro.api import Objectbase
+
+        assert Objectbase.open(str(tmp_path / "wal")).storage_gc() == 0
+        assert Objectbase.in_memory().storage_gc() == 0

@@ -423,7 +423,7 @@ class TestBackendTornAppendMatrix:
     after restart — sqlite's rollback journal guarantees it), the
     object store writes the segment but crashes before the manifest
     pointer swap (the orphan segment must not surface and must be
-    collected by GC on the next open).  The plain-file backend has no
+    collected by the next owner's GC sweep).  The plain-file backend has no
     such state, so the flag is inert there and the matrix degenerates
     to the base one — which is exactly the conformance claim.
     """
